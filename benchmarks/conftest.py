@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate the data behind every figure of the paper at a
+scale a pure-Python implementation can handle (see DESIGN.md for the scaling
+argument).  Workload series are generated once per session and cached.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.workloads import build_workload
+
+#: Scaled-down stand-ins for the paper's datasets (0.1M-1M points in the paper).
+SERIES_LENGTH = 4096
+BASE_LENGTH = 64
+
+
+@pytest.fixture(scope="session")
+def workload_cache():
+    """Cache of generated workload series keyed by (name, length)."""
+    cache: dict[tuple[str, int], object] = {}
+
+    def get(name: str, length: int = SERIES_LENGTH):
+        key = (name, length)
+        if key not in cache:
+            cache[key] = build_workload(name, length, random_state=0)
+        return cache[key]
+
+    return get

@@ -1,0 +1,53 @@
+"""Ablation (extension) — anytime convergence of the SCRIMP substrate.
+
+Not a figure of the paper: it quantifies the anytime behaviour of the
+diagonal-order substrate the library adds on top of the paper's STOMP-based
+pipeline.  One benchmark entry per processed fraction of the diagonals; the
+extra info records how far the partial profile is from the exact one, which
+must shrink monotonically and reach zero at fraction 1.0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matrix_profile.scrimp import profile_error, scrimp
+from repro.matrix_profile.stomp import stomp
+
+SERIES_LENGTH = 2048
+WINDOW = 64
+FRACTIONS = (0.1, 0.25, 0.5, 1.0)
+
+_ERRORS: dict[float, float] = {}
+
+
+@pytest.fixture(scope="module")
+def exact_profile(workload_cache):
+    series = workload_cache("ecg", SERIES_LENGTH)
+    return series, stomp(series, WINDOW)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_anytime_scrimp_convergence(benchmark, exact_profile, fraction):
+    benchmark.group = "ablation: anytime SCRIMP convergence (ecg)"
+    series, exact = exact_profile
+
+    approximate = benchmark.pedantic(
+        scrimp,
+        args=(series, WINDOW),
+        kwargs={"fraction": fraction, "random_state": 0},
+        rounds=1,
+        iterations=1,
+    )
+    error = profile_error(approximate, exact)
+    _ERRORS[fraction] = error
+    benchmark.extra_info.update(
+        {"fraction": fraction, "profile_mae": round(error, 6), "window": WINDOW}
+    )
+
+    if fraction == FRACTIONS[-1]:
+        assert _ERRORS[1.0] == pytest.approx(0.0, abs=1e-6)
+        measured = [_ERRORS[f] for f in FRACTIONS if f in _ERRORS]
+        assert measured == sorted(measured, reverse=True) or all(
+            later <= earlier + 1e-9 for earlier, later in zip(measured, measured[1:])
+        )

@@ -1,0 +1,42 @@
+"""Ablation A — pruning power of the paper's lower bound vs. the tight bound.
+
+Not a figure of the demo paper; motivated in DESIGN.md.  Both bounds keep
+VALMOD exact; the ablation measures how much of the work each of them prunes
+and what that does to the runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.valmod import valmod
+
+SERIES_LENGTH = 4096
+BASE_LENGTH = 64
+RANGE_WIDTH = 32
+
+_FRACTIONS: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("kind", ["paper", "tight"])
+def test_ablation_lower_bound_kind(benchmark, workload_cache, kind):
+    benchmark.group = "ablation A (lower bound)"
+    series = workload_cache("ecg", SERIES_LENGTH)
+    max_length = BASE_LENGTH + RANGE_WIDTH - 1
+
+    result = benchmark.pedantic(
+        valmod,
+        args=(series, BASE_LENGTH, max_length),
+        kwargs={"top_k": 1, "lower_bound_kind": kind},
+        rounds=1,
+        iterations=1,
+    )
+    summary = result.pruning_summary()
+    _FRACTIONS[kind] = summary["valid_fraction"]
+    benchmark.extra_info["lower_bound_kind"] = kind
+    benchmark.extra_info["valid_fraction"] = round(summary["valid_fraction"], 4)
+    benchmark.extra_info["recomputed_fraction"] = round(summary["recomputed_fraction"], 4)
+
+    if len(_FRACTIONS) == 2:
+        # the tight bound can only prune at least as much as the paper bound
+        assert _FRACTIONS["tight"] >= _FRACTIONS["paper"] - 1e-9

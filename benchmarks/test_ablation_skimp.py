@@ -1,0 +1,64 @@
+"""Ablation (extension) — VALMOD vs. a SKIMP-style pan matrix profile.
+
+Both approaches answer "what are the motifs of every length in the range?"
+exactly; the pan profile pays the full per-length matrix-profile cost while
+VALMOD prunes it with its lower bound.  The benchmark confirms (a) the two
+agree on the best pair of every length and (b) VALMOD is faster on a dense
+range — the very work the lower bound is designed to remove.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.skimp import skimp
+from repro.core.valmod import valmod
+
+SERIES_LENGTH = 2048
+MIN_LENGTH = 64
+RANGE_WIDTH = 16
+
+_RESULTS: dict[str, object] = {}
+
+
+def test_skimp_pan_profile(benchmark, workload_cache):
+    benchmark.group = "ablation: VALMOD vs SKIMP pan profile (ecg)"
+    series = workload_cache("ecg", SERIES_LENGTH)
+    pan = benchmark.pedantic(
+        skimp,
+        args=(series, MIN_LENGTH, MIN_LENGTH + RANGE_WIDTH - 1),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS["skimp"] = (pan.elapsed_seconds, pan)
+    benchmark.extra_info.update(
+        {"algorithm": "skimp", "lengths_evaluated": len(pan), "range_width": RANGE_WIDTH}
+    )
+
+
+def test_valmod_same_range(benchmark, workload_cache):
+    benchmark.group = "ablation: VALMOD vs SKIMP pan profile (ecg)"
+    series = workload_cache("ecg", SERIES_LENGTH)
+    result = benchmark.pedantic(
+        valmod,
+        args=(series, MIN_LENGTH, MIN_LENGTH + RANGE_WIDTH - 1),
+        kwargs={"top_k": 1},
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS["valmod"] = (result.elapsed_seconds, result)
+    benchmark.extra_info.update(
+        {"algorithm": "valmod", "range_width": RANGE_WIDTH, **result.pruning_summary()}
+    )
+
+    skimp_entry = _RESULTS.get("skimp")
+    if skimp_entry is not None:
+        skimp_seconds, pan = skimp_entry
+        valmod_seconds = _RESULTS["valmod"][0]
+        # Exactness: best pair per length agrees between the two approaches.
+        for length in range(MIN_LENGTH, MIN_LENGTH + RANGE_WIDTH):
+            assert pan.best_pair_at(length).distance == pytest.approx(
+                result.length_results[length].best.distance, abs=1e-6
+            )
+        # Performance: the lower-bound pruning must beat the dense re-computation.
+        assert valmod_seconds < skimp_seconds

@@ -1,0 +1,75 @@
+"""Figure 1 — fixed-length matrix profile vs. VALMAP on ECG.
+
+The paper's Figure 1 is qualitative (profiles over an ECG snippet): with a
+fixed subsequence length of 50 the motif covers only a fraction of a
+heartbeat, while the variable-length analysis (VALMAP) records, position by
+position, the lengths at which longer patterns become better matches.  The
+benchmark measures the cost of producing each panel on a comparable snippet
+and records the qualitative outcome as extra info.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.valmod import valmod
+from repro.generators import generate_ecg
+from repro.matrix_profile.stomp import stomp
+
+SERIES_LENGTH = 3000
+BEAT_PERIOD = 220
+FIXED_WINDOW = 50
+MIN_LENGTH, MAX_LENGTH = 50, 200
+
+
+@pytest.fixture(scope="module")
+def ecg_snippet():
+    """A regular ECG snippet (low jitter), comparable to the paper's Figure 1 data."""
+    return generate_ecg(
+        SERIES_LENGTH,
+        beat_period=BEAT_PERIOD,
+        period_jitter=0.02,
+        amplitude_jitter=0.02,
+        noise_level=0.01,
+        random_state=0,
+    )
+
+
+def test_fig1_left_fixed_length_matrix_profile(benchmark, ecg_snippet):
+    """Figure 1 (left): matrix profile at the fixed length 50."""
+    benchmark.group = "figure-1"
+
+    profile = benchmark.pedantic(
+        stomp, args=(ecg_snippet, FIXED_WINDOW), rounds=1, iterations=1
+    )
+    best = profile.best()
+    benchmark.extra_info["fixed_window"] = FIXED_WINDOW
+    benchmark.extra_info["beat_period"] = BEAT_PERIOD
+    benchmark.extra_info["motif_offsets"] = list(best.offsets)
+    benchmark.extra_info["fraction_of_beat_covered"] = round(FIXED_WINDOW / BEAT_PERIOD, 3)
+    # paper claim: the fixed length is far below the natural pattern length,
+    # so the fixed-length motif can only describe a fraction of a heartbeat
+    assert FIXED_WINDOW < BEAT_PERIOD
+
+
+def test_fig1_right_valmap(benchmark, ecg_snippet):
+    """Figure 1 (right): VALMAP over lengths [50, 200]."""
+    benchmark.group = "figure-1"
+
+    result = benchmark.pedantic(
+        valmod,
+        args=(ecg_snippet, MIN_LENGTH, MAX_LENGTH),
+        kwargs={"top_k": 3, "profile_capacity": 64},
+        rounds=1,
+        iterations=1,
+    )
+    best = result.best_motif()
+    updated = len(result.valmap.updated_positions())
+    benchmark.extra_info["best_motif_length"] = best.window
+    benchmark.extra_info["beat_period"] = BEAT_PERIOD
+    benchmark.extra_info["valmap_updated_positions"] = int(updated)
+    benchmark.extra_info["max_length_profile_value"] = int(result.valmap.length_profile.max())
+    # paper claim: VALMAP records positions where longer patterns are better
+    # matches than the base-length ones (the length profile is not flat)
+    assert updated > 0
+    assert int(result.valmap.length_profile.max()) > MIN_LENGTH

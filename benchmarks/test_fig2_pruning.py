@@ -1,0 +1,40 @@
+"""Figure 2 — partial distance profiles and the pruning they enable.
+
+The paper illustrates the mechanism (valid vs. non-valid partial profiles);
+this benchmark quantifies it by sweeping the profile capacity ``p`` and
+recording the fraction of profiles that stay valid and the fraction that must
+be recomputed exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.valmod import valmod
+
+SERIES_LENGTH = 4096
+BASE_LENGTH = 64
+RANGE_WIDTH = 32
+
+
+@pytest.mark.parametrize("capacity", [4, 8, 16, 32])
+def test_fig2_pruning_vs_profile_capacity(benchmark, workload_cache, capacity):
+    """VALMOD run time and pruning counters as the capacity ``p`` grows."""
+    benchmark.group = "figure-2 (pruning vs p)"
+    series = workload_cache("ecg", SERIES_LENGTH)
+    max_length = BASE_LENGTH + RANGE_WIDTH - 1
+
+    result = benchmark.pedantic(
+        valmod,
+        args=(series, BASE_LENGTH, max_length),
+        kwargs={"top_k": 1, "profile_capacity": capacity},
+        rounds=1,
+        iterations=1,
+    )
+    summary = result.pruning_summary()
+    benchmark.extra_info["profile_capacity"] = capacity
+    benchmark.extra_info["valid_fraction"] = round(summary["valid_fraction"], 4)
+    benchmark.extra_info["recomputed_fraction"] = round(summary["recomputed_fraction"], 4)
+    # the whole point of the partial profiles: only a small fraction of the
+    # distance profiles ever needs to be recomputed exactly
+    assert summary["recomputed_fraction"] < 0.25

@@ -1,0 +1,85 @@
+"""Figure 3 (top) — runtime vs. motif length-range width, on ECG and ASTRO.
+
+The paper's headline performance result: as the range of lengths widens,
+VALMOD's runtime stays nearly flat while re-running STOMP or QUICKMOTIF per
+length, or running MOEN, grows steeply (in the paper some competitors exceed
+the 24-hour timeout).  The benchmark reproduces the comparison at laptop
+scale: one benchmark entry per (workload, algorithm, range width); the
+pytest-benchmark table grouped by workload *is* the figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import run_algorithm
+
+SERIES_LENGTH = 2048
+BASE_LENGTH = 64
+RANGE_WIDTHS = (8, 16, 32)
+ALGORITHMS = ("valmod", "stomp-range", "moen", "quickmotif")
+#: Competitors that, like in the paper, are adapted by re-running a
+#: fixed-length algorithm once per length of the range.  The paper's headline
+#: claim (near-flat growth of VALMOD vs. steep growth of the re-run
+#: approaches) is asserted against these; MOEN is measured and reported but
+#: not asserted against, because at laptop scale its vectorised inner loop
+#: behaves better than the original does at the paper's 0.5M-point scale
+#: (see EXPERIMENTS.md, Figure 3 discussion).
+PER_LENGTH_RERUN = ("stomp-range", "quickmotif")
+
+#: shared across parametrised runs so the widest-range case can assert the
+#: paper's qualitative claim (VALMOD fastest by a widening margin).
+_RESULTS: dict[tuple[str, str, int], float] = {}
+
+
+@pytest.mark.parametrize("workload", ["ecg", "astro"])
+@pytest.mark.parametrize("width", RANGE_WIDTHS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig3_top_time_vs_range_width(benchmark, workload_cache, workload, width, algorithm):
+    benchmark.group = f"figure-3 top ({workload}, time vs range width)"
+    series = workload_cache(workload, SERIES_LENGTH)
+    max_length = BASE_LENGTH + width - 1
+
+    result = benchmark.pedantic(
+        run_algorithm,
+        args=(algorithm, series, BASE_LENGTH, max_length),
+        kwargs={"top_k": 1},
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS[(workload, algorithm, width)] = result.elapsed_seconds
+    benchmark.extra_info.update(
+        {
+            "workload": workload,
+            "algorithm": algorithm,
+            "range_width": width,
+            "best_distance": round(result.best_at(BASE_LENGTH).distance, 4),
+        }
+    )
+
+    # The paper's qualitative claims, checked once every algorithm has been
+    # measured on every range width for this workload:
+    #   1. on the widest range VALMOD beats every per-length re-run competitor;
+    #   2. VALMOD's growth from the narrowest to the widest range is flatter
+    #      than that of every per-length re-run competitor.
+    if width == max(RANGE_WIDTHS) and algorithm == ALGORITHMS[-1]:
+        valmod_wide = _RESULTS.get((workload, "valmod", max(RANGE_WIDTHS)))
+        valmod_narrow = _RESULTS.get((workload, "valmod", min(RANGE_WIDTHS)))
+        rerun_wide = [_RESULTS.get((workload, name, max(RANGE_WIDTHS))) for name in PER_LENGTH_RERUN]
+        rerun_narrow = [_RESULTS.get((workload, name, min(RANGE_WIDTHS))) for name in PER_LENGTH_RERUN]
+        measured = (
+            valmod_wide is not None
+            and valmod_narrow is not None
+            and all(t is not None for t in rerun_wide + rerun_narrow)
+        )
+        if measured:
+            assert valmod_wide < min(rerun_wide), (
+                f"VALMOD ({valmod_wide:.2f}s) should beat every per-length re-run "
+                f"competitor on the widest range; measured: {rerun_wide}"
+            )
+            valmod_growth = valmod_wide - valmod_narrow
+            for name, wide, narrow in zip(PER_LENGTH_RERUN, rerun_wide, rerun_narrow):
+                assert valmod_growth < (wide - narrow), (
+                    f"VALMOD's growth with the range width ({valmod_growth:.2f}s) "
+                    f"should be flatter than {name}'s ({wide - narrow:.2f}s)"
+                )

@@ -1,0 +1,78 @@
+"""Extension benchmark — streaming (STAMPI) maintenance vs. batch recomputation.
+
+The monitored scenario behind the paper's application domains: points keep
+arriving and the matrix profile must stay exact.  The incremental update is
+benchmarked against the naive strategy of re-running batch STOMP after every
+arrival; both end with the identical profile, and the incremental path must
+be faster by a widening margin as the series grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.timing import timed_call
+from repro.matrix_profile.stomp import stomp
+from repro.streaming.stampi import StreamingMatrixProfile
+
+INITIAL_LENGTH = 1024
+APPENDED_POINTS = 128
+WINDOW = 64
+
+_RESULTS: dict[str, tuple[float, float]] = {}
+
+
+@pytest.fixture(scope="module")
+def stream_values(workload_cache):
+    series = workload_cache("ecg", INITIAL_LENGTH + APPENDED_POINTS)
+    return np.asarray(series)
+
+
+def _run_incremental(values: np.ndarray) -> float:
+    streaming = StreamingMatrixProfile(values[:INITIAL_LENGTH], WINDOW)
+    streaming.extend(values[INITIAL_LENGTH:])
+    return float(streaming.profile().distances[-1])
+
+
+def _run_batch_per_point(values: np.ndarray) -> float:
+    last = 0.0
+    for count in range(1, APPENDED_POINTS + 1):
+        profile = stomp(values[: INITIAL_LENGTH + count], WINDOW)
+        last = float(profile.distances[-1])
+    return last
+
+
+def _timed(function, values):
+    """Run once under the benchmark *and* record (tail distance, seconds)."""
+    tail, seconds = timed_call(function, values)
+    return tail, seconds
+
+
+def test_streaming_incremental(benchmark, stream_values):
+    benchmark.group = "extension: streaming maintenance (ecg)"
+    tail, seconds = benchmark.pedantic(
+        _timed, args=(_run_incremental, stream_values), rounds=1, iterations=1
+    )
+    _RESULTS["incremental"] = (tail, seconds)
+    benchmark.extra_info.update(
+        {"strategy": "incremental", "appended_points": APPENDED_POINTS, "tail_distance": tail}
+    )
+
+
+def test_streaming_batch_recompute(benchmark, stream_values):
+    benchmark.group = "extension: streaming maintenance (ecg)"
+    tail, seconds = benchmark.pedantic(
+        _timed, args=(_run_batch_per_point, stream_values), rounds=1, iterations=1
+    )
+    _RESULTS["batch"] = (tail, seconds)
+    benchmark.extra_info.update(
+        {"strategy": "batch per arrival", "appended_points": APPENDED_POINTS, "tail_distance": tail}
+    )
+    # Both strategies are exact, so they agree on the final profile tail; the
+    # incremental one must be faster.
+    incremental = _RESULTS.get("incremental")
+    if incremental is not None:
+        incremental_tail, incremental_seconds = incremental
+        assert incremental_seconds < seconds
+        assert tail == pytest.approx(incremental_tail, abs=1e-6)

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the matrix-profile substrate.
+
+Not a paper figure; these measure the building blocks (MASS, one STOMP run,
+the per-length partial-profile update) so regressions in the substrate are
+visible independently of the end-to-end figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partial_profile import PartialProfileStore
+from repro.matrix_profile.mass import mass
+from repro.matrix_profile.stomp import stomp
+from repro.stats.sliding import SlidingStats
+
+SERIES_LENGTH = 4096
+WINDOW = 64
+
+
+@pytest.fixture(scope="module")
+def ecg_values(workload_cache):
+    return np.array(workload_cache("ecg", SERIES_LENGTH).values)
+
+
+def test_micro_mass_single_query(benchmark, ecg_values):
+    benchmark.group = "substrate micro-benchmarks"
+    stats = SlidingStats(ecg_values)
+    query = ecg_values[100 : 100 + WINDOW]
+    benchmark(mass, query, ecg_values, stats=stats)
+
+
+def test_micro_stomp_full_profile(benchmark, ecg_values):
+    benchmark.group = "substrate micro-benchmarks"
+    benchmark.pedantic(stomp, args=(ecg_values, WINDOW), rounds=1, iterations=1)
+
+
+def test_micro_partial_profile_length_step(benchmark, ecg_values):
+    """Cost of advancing + evaluating every partial profile by one length."""
+    benchmark.group = "substrate micro-benchmarks"
+    stats = SlidingStats(ecg_values)
+    store = PartialProfileStore(ecg_values, stats, WINDOW, capacity=16)
+    stomp(
+        ecg_values,
+        WINDOW,
+        stats=stats,
+        profile_callback=lambda offset, qt, _d: store.ingest_base_profile(offset, qt),
+    )
+    lengths = iter(range(WINDOW + 1, WINDOW + 500))
+
+    def one_step():
+        return store.evaluate(next(lengths))
+
+    benchmark.pedantic(one_step, rounds=20, iterations=1)

@@ -1,0 +1,61 @@
+"""Variable-duration transit events in a synthetic light curve (ASTRO scenario).
+
+The ASTRO dataset of the paper contains repeated dimming events whose duration
+is unknown a priori.  This example shows that a single fixed subsequence
+length either truncates or over-stretches the events, whereas the
+variable-length ranking lands on the true event duration, and compares
+VALMOD's runtime with the re-run-STOMP-per-length baseline.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis import format_motif_table, render_series
+from repro.harness import timed_call
+
+
+def main() -> None:
+    transit_duration = 120
+    series = repro.generate_astro(
+        6000,
+        transit_duration=transit_duration,
+        transit_period=600,
+        random_state=3,
+    )
+    starts = series.metadata["transit_starts"]
+    durations = series.metadata["transit_durations"]
+    print(f"synthetic light curve: {len(series)} points, {len(starts)} transit events")
+    print(f"true event durations: {durations}")
+    print(render_series(series.values, label="ASTRO"))
+
+    min_length, max_length = 60, 180
+    result, valmod_seconds = timed_call(
+        repro.valmod, series, min_length, max_length, top_k=3
+    )
+    baseline, stomp_seconds = timed_call(
+        repro.stomp_range, series, min_length, max_length, top_k=1
+    )
+    print()
+    print(f"VALMOD      : {valmod_seconds:7.2f} s for lengths [{min_length}, {max_length}]")
+    print(f"STOMP-range : {stomp_seconds:7.2f} s for the same range "
+          f"({stomp_seconds / max(valmod_seconds, 1e-9):.1f}x slower)")
+
+    print()
+    print(format_motif_table(result.top_motifs(5), title="top-5 variable-length motifs"))
+    best = result.best_motif()
+    print(
+        f"\nbest motif length {best.window} vs. nominal transit duration {transit_duration}; "
+        f"offsets ({best.offset_a}, {best.offset_b}) vs. true event starts {starts[:6]}"
+    )
+
+    # The same pair at the base length only: what a fixed-length analysis sees.
+    fixed_best = result.motifs_at(min_length)[0]
+    print(
+        f"fixed-length (l={min_length}) motif: offsets "
+        f"({fixed_best.offset_a}, {fixed_best.offset_b}), which covers only "
+        f"{min_length / best.window:.0%} of the variable-length motif"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""repro — a reproduction of VALMOD (SIGMOD 2018): variable-length motif discovery.
+
+The library re-implements, in pure Python/numpy, the system described in
+*"VALMOD: A Suite for Easy and Exact Detection of Variable Length Motifs in
+Data Series"* (Linardi, Zhu, Palpanas, Keogh — SIGMOD 2018) together with
+every substrate it builds on and every baseline it is compared against.
+
+Typical usage::
+
+    import repro
+
+    series = repro.generate_ecg(5000, random_state=0)
+    result = repro.valmod(series, min_length=50, max_length=200)
+    best = result.best_motif()              # best variable-length motif pair
+    ranking = result.top_motifs(5)          # length-normalised top-5
+    valmap = result.valmap                  # the VALMAP meta-data (MPn, IP, LP)
+
+The main entry points are re-exported at the package root:
+
+* :func:`valmod` / :class:`ValmodConfig` — the core algorithm;
+* :func:`stomp`, :func:`stamp`, :func:`mass` — matrix-profile substrate;
+* :func:`stomp_range`, :func:`moen`, :func:`quick_motif_range`,
+  :func:`brute_force_range` — the paper's baselines;
+* :func:`generate_ecg`, :func:`generate_astro`, ... — dataset substitutes;
+* :class:`DataSeries` and the loaders in :mod:`repro.series`.
+"""
+
+from repro._version import __version__
+from repro.baselines import (
+    RangeDiscoveryResult,
+    brute_force_range,
+    moen,
+    quick_motif,
+    quick_motif_range,
+    stomp_range,
+)
+from repro.core import (
+    MotifSet,
+    PanMatrixProfile,
+    Valmap,
+    ValmapCheckpoint,
+    ValmodConfig,
+    ValmodResult,
+    VariableLengthDiscord,
+    expand_motif_pair,
+    lower_bound,
+    rank_motif_pairs,
+    skimp,
+    valmod,
+    valmod_with_config,
+    variable_length_discords,
+)
+from repro.exceptions import (
+    EmptyResultError,
+    InvalidParameterError,
+    InvalidSeriesError,
+    LengthRangeError,
+    ReproError,
+    SerializationError,
+    SubsequenceLengthError,
+)
+from repro.generators import (
+    generate_astro,
+    generate_climate,
+    generate_ecg,
+    generate_epg,
+    generate_gait,
+    generate_planted_motifs,
+    generate_random_walk,
+    generate_respiration,
+    generate_seismic,
+    generate_smooth_random_walk,
+)
+from repro.matrix_profile import (
+    JoinProfile,
+    MatrixProfile,
+    MotifPair,
+    ab_join,
+    ab_join_both,
+    brute_force_matrix_profile,
+    mass,
+    mpdist,
+    mpdist_profile,
+    pre_scrimp,
+    scrimp,
+    scrimp_pp,
+    stamp,
+    stomp,
+)
+from repro.series import DataSeries, load_csv, load_npy, load_text
+from repro.streaming import StreamingMatrixProfile
+
+__all__ = [
+    "DataSeries",
+    "EmptyResultError",
+    "InvalidParameterError",
+    "InvalidSeriesError",
+    "JoinProfile",
+    "LengthRangeError",
+    "MatrixProfile",
+    "MotifPair",
+    "MotifSet",
+    "PanMatrixProfile",
+    "RangeDiscoveryResult",
+    "StreamingMatrixProfile",
+    "ReproError",
+    "SerializationError",
+    "SubsequenceLengthError",
+    "Valmap",
+    "ValmapCheckpoint",
+    "ValmodConfig",
+    "ValmodResult",
+    "VariableLengthDiscord",
+    "__version__",
+    "ab_join",
+    "ab_join_both",
+    "brute_force_matrix_profile",
+    "brute_force_range",
+    "expand_motif_pair",
+    "generate_astro",
+    "generate_climate",
+    "generate_ecg",
+    "generate_epg",
+    "generate_gait",
+    "generate_planted_motifs",
+    "generate_random_walk",
+    "generate_respiration",
+    "generate_seismic",
+    "generate_smooth_random_walk",
+    "load_csv",
+    "load_npy",
+    "load_text",
+    "lower_bound",
+    "mass",
+    "moen",
+    "mpdist",
+    "mpdist_profile",
+    "pre_scrimp",
+    "quick_motif",
+    "quick_motif_range",
+    "rank_motif_pairs",
+    "scrimp",
+    "scrimp_pp",
+    "skimp",
+    "stamp",
+    "stomp",
+    "stomp_range",
+    "valmod",
+    "valmod_with_config",
+    "variable_length_discords",
+]

@@ -1,0 +1,53 @@
+"""Analysis front-end (the library counterpart of the demo's Python GUI).
+
+The VALMOD demo exposes three interactions on top of the algorithm's output:
+inspecting VALMAP checkpoints up to a chosen length (a slider in the GUI),
+listing the top-k variable-length motifs, and expanding a motif pair into its
+motif set.  This package provides those interactions programmatically plus
+evaluation utilities (matching discovered motifs against ground truth) and
+lightweight ASCII rendering so results can be inspected in a terminal without
+any plotting dependency.
+"""
+
+from repro.analysis.annotation import (
+    annotation_vector_clipping,
+    annotation_vector_complexity,
+    annotation_vector_forbidden,
+    apply_annotation_vector,
+    combine_annotation_vectors,
+)
+from repro.analysis.ascii_plot import render_profile, render_series, render_valmap
+from repro.analysis.checkpoints import CheckpointSummary, summarize_checkpoints
+from repro.analysis.evaluation import (
+    MatchReport,
+    match_motifs_to_ground_truth,
+    overlap_length,
+    recall_of_planted_motifs,
+)
+from repro.analysis.report import (
+    format_motif_table,
+    format_pruning_table,
+    format_valmap_summary,
+    result_report,
+)
+
+__all__ = [
+    "CheckpointSummary",
+    "MatchReport",
+    "annotation_vector_clipping",
+    "annotation_vector_complexity",
+    "annotation_vector_forbidden",
+    "apply_annotation_vector",
+    "combine_annotation_vectors",
+    "format_motif_table",
+    "format_pruning_table",
+    "format_valmap_summary",
+    "match_motifs_to_ground_truth",
+    "overlap_length",
+    "recall_of_planted_motifs",
+    "render_profile",
+    "render_series",
+    "render_valmap",
+    "result_report",
+    "summarize_checkpoints",
+]

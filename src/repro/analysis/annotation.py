@@ -1,0 +1,167 @@
+"""Annotation vectors — guiding motif discovery away from nuisance matches.
+
+On real recordings the mathematically best motif pair is sometimes a nuisance
+artefact: a flat stretch of dropout, a clipped region, or a segment the
+analyst already knows about.  The *annotation vector* technique (introduced
+with "guided motif search" in the matrix-profile literature) lets the analyst
+express such domain knowledge as a vector ``AV`` of values in ``[0, 1]`` (one
+per subsequence, 1 = interesting, 0 = forbidden) and biases the matrix
+profile accordingly::
+
+    CMP[i] = MP[i] + (1 - AV[i]) * max(MP)
+
+The *corrected matrix profile* ``CMP`` leaves interesting regions untouched
+and pushes annotated-away regions to the top of the profile, so the usual
+motif extraction (global minima) now returns the best *admissible* pair.
+
+The module provides the correction itself plus the annotation vectors that
+cover the common nuisance cases on the library's workloads: complexity-based
+(flat/dropout regions), amplitude-clipping, and explicit forbidden windows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.profile import MatrixProfile
+from repro.series.validation import validate_series, validate_subsequence_length
+from repro.stats.sliding import SlidingStats
+
+__all__ = [
+    "annotation_vector_complexity",
+    "annotation_vector_clipping",
+    "annotation_vector_forbidden",
+    "combine_annotation_vectors",
+    "apply_annotation_vector",
+]
+
+
+def _validate_vector(annotation: np.ndarray, count: int) -> np.ndarray:
+    vector = np.asarray(annotation, dtype=np.float64)
+    if vector.ndim != 1 or vector.size != count:
+        raise InvalidParameterError(
+            f"the annotation vector must be 1-D with {count} entries, got shape {vector.shape}"
+        )
+    if np.any(vector < 0.0) or np.any(vector > 1.0) or not np.all(np.isfinite(vector)):
+        raise InvalidParameterError("annotation values must be finite and lie in [0, 1]")
+    return vector
+
+
+def annotation_vector_complexity(series, window: int) -> np.ndarray:
+    """Annotation favouring *complex* subsequences over flat / dropout regions.
+
+    The per-subsequence complexity estimate is the root of the summed squared
+    first differences of the z-normalised subsequence (the classic
+    complexity-invariance measure); the vector is that estimate rescaled to
+    ``[0, 1]``.  Flat stretches — which otherwise produce spurious
+    zero-distance motifs — receive annotation 0.
+    """
+    values = validate_series(series)
+    window = validate_subsequence_length(values.size, window)
+    count = values.size - window + 1
+    stats = SlidingStats(values)
+    means, stds = stats.mean_std(window)
+
+    differences = np.diff(values)
+    squared = np.concatenate(([0.0], np.cumsum(np.square(differences))))
+    # Sum of squared differences inside each window (window-1 differences).
+    window_energy = squared[window - 1 :] - squared[: count]
+    safe_stds = np.where(stds <= 0.0, np.inf, stds)
+    complexity = np.sqrt(window_energy) / safe_stds
+    complexity[~np.isfinite(complexity)] = 0.0
+    top = complexity.max()
+    if top <= 0.0:
+        return np.zeros(count, dtype=np.float64)
+    return complexity / top
+
+
+def annotation_vector_clipping(series, window: int, *, saturation_fraction: float = 0.02) -> np.ndarray:
+    """Annotation that down-weights subsequences touching the sensor limits.
+
+    A point is considered saturated when it lies within ``saturation_fraction``
+    of the series' global minimum or maximum; a subsequence's annotation is the
+    fraction of its points that are *not* saturated.
+    """
+    values = validate_series(series)
+    window = validate_subsequence_length(values.size, window)
+    if not 0.0 < saturation_fraction < 0.5:
+        raise InvalidParameterError(
+            f"saturation_fraction must be in (0, 0.5), got {saturation_fraction}"
+        )
+    count = values.size - window + 1
+    low, high = float(values.min()), float(values.max())
+    span = max(high - low, 1e-12)
+    saturated = (
+        (values <= low + saturation_fraction * span)
+        | (values >= high - saturation_fraction * span)
+    ).astype(np.float64)
+    cumulative = np.concatenate(([0.0], np.cumsum(saturated)))
+    saturated_per_window = cumulative[window:] - cumulative[:count]
+    return 1.0 - saturated_per_window / window
+
+
+def annotation_vector_forbidden(
+    count: int, forbidden: Iterable[tuple[int, int]]
+) -> np.ndarray:
+    """Annotation that forbids explicit ``[start, stop)`` offset ranges.
+
+    ``count`` is the number of subsequences (profile entries); every offset
+    covered by one of the ranges gets annotation 0, everything else 1.
+    """
+    if count < 1:
+        raise InvalidParameterError(f"count must be >= 1, got {count}")
+    vector = np.ones(count, dtype=np.float64)
+    for start, stop in forbidden:
+        if stop <= start:
+            raise InvalidParameterError(
+                f"forbidden range [{start}, {stop}) is empty or reversed"
+            )
+        vector[max(0, int(start)) : min(count, int(stop))] = 0.0
+    return vector
+
+
+def combine_annotation_vectors(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Combine several annotation vectors (element-wise product).
+
+    The product is the natural conjunction: a subsequence is interesting only
+    if every annotation considers it interesting.
+    """
+    if not vectors:
+        raise InvalidParameterError("at least one annotation vector is required")
+    combined = np.asarray(vectors[0], dtype=np.float64).copy()
+    for vector in vectors[1:]:
+        other = np.asarray(vector, dtype=np.float64)
+        if other.shape != combined.shape:
+            raise InvalidParameterError(
+                "all annotation vectors must have the same length"
+            )
+        combined *= other
+    return np.clip(combined, 0.0, 1.0)
+
+
+def apply_annotation_vector(profile: MatrixProfile, annotation: np.ndarray) -> MatrixProfile:
+    """Return the corrected matrix profile ``CMP = MP + (1 - AV) · max(MP)``.
+
+    The returned object keeps the original best-match indices (the correction
+    re-ranks positions, it does not change who each position's nearest
+    neighbour is), so the usual ``motifs()`` / ``discords()`` extraction works
+    unchanged on it — now honouring the annotation.
+    """
+    vector = _validate_vector(annotation, len(profile))
+    distances = np.array(profile.distances, dtype=np.float64)
+    finite = np.isfinite(distances)
+    if not finite.any():
+        return profile
+    ceiling = float(distances[finite].max())
+    corrected = np.where(
+        finite, distances + (1.0 - vector) * ceiling, distances
+    )
+    return MatrixProfile(
+        distances=corrected,
+        indices=np.array(profile.indices),
+        window=profile.window,
+        exclusion_radius=profile.exclusion_radius,
+    )

@@ -1,0 +1,92 @@
+"""Terminal-friendly rendering of series, profiles and VALMAP.
+
+The original demo ships a graphical front-end; this library targets scripted
+and head-less use, so the "plots" are compact ASCII sparklines good enough to
+eyeball where the motifs and the VALMAP updates sit.  All functions return a
+string (they never print), so the CLI, the examples and the tests can reuse
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.valmap import Valmap
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["render_series", "render_profile", "render_valmap"]
+
+_LEVELS = " .:-=+*#%@"
+
+
+def _downsample_to(values: np.ndarray, width: int) -> np.ndarray:
+    """Reduce ``values`` to ``width`` points by block-averaging finite entries."""
+    if values.size <= width:
+        return np.array(values, dtype=np.float64)
+    edges = np.linspace(0, values.size, width + 1).astype(int)
+    output = np.empty(width, dtype=np.float64)
+    for i in range(width):
+        block = values[edges[i] : edges[i + 1]]
+        finite = block[np.isfinite(block)]
+        output[i] = finite.mean() if finite.size else np.nan
+    return output
+
+
+def _to_levels(values: np.ndarray) -> str:
+    """Map values to the ASCII intensity scale (NaN becomes a space)."""
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return " " * values.size
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low
+    characters = []
+    for value in values:
+        if not np.isfinite(value):
+            characters.append(" ")
+            continue
+        if span == 0:
+            characters.append(_LEVELS[len(_LEVELS) // 2])
+            continue
+        index = int(round((value - low) / span * (len(_LEVELS) - 1)))
+        characters.append(_LEVELS[index])
+    return "".join(characters)
+
+
+def render_series(values, *, width: int = 80, label: str = "series") -> str:
+    """One-line sparkline of a series (darker = larger value)."""
+    if width < 8:
+        raise InvalidParameterError(f"width must be >= 8, got {width}")
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1 or array.size == 0:
+        raise InvalidParameterError("expected a non-empty 1-D array")
+    line = _to_levels(_downsample_to(array, width))
+    return f"{label:>12} |{line}|"
+
+
+def render_profile(distances, *, width: int = 80, label: str = "profile", mark_min: bool = True) -> str:
+    """Sparkline of a (matrix or distance) profile, marking the minimum.
+
+    The minimum is where the motif lives, so a caret is printed beneath it.
+    """
+    array = np.asarray(distances, dtype=np.float64)
+    if array.ndim != 1 or array.size == 0:
+        raise InvalidParameterError("expected a non-empty 1-D array")
+    line = render_series(array, width=width, label=label)
+    if not mark_min or not np.isfinite(array).any():
+        return line
+    position = int(np.nanargmin(np.where(np.isfinite(array), array, np.nan)))
+    column = int(position * min(width, array.size) / array.size)
+    marker = " " * 14 + " " * column + "^"
+    return f"{line}\n{marker}"
+
+
+def render_valmap(valmap: Valmap, *, width: int = 80) -> str:
+    """Three-line rendering of a VALMAP: MPn, length profile and update mask."""
+    lines = [
+        render_profile(valmap.normalized_profile, width=width, label="VALMAP MPn"),
+        render_series(valmap.length_profile.astype(float), width=width, label="length prof"),
+    ]
+    updated = np.zeros(len(valmap), dtype=np.float64)
+    updated[valmap.updated_positions()] = 1.0
+    lines.append(render_series(updated, width=width, label="updated"))
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""VALMAP checkpoint analysis (the demo's slider view).
+
+The demo lets the user pick a length with a slider and shows every VALMAP
+update that happened between ``l_min`` and that length — highlighting the
+regions of the series where longer patterns keep improving on shorter ones
+(the ECG example of Figure 1 right, where a run of contiguous updates reveals
+the full heartbeat).  This module condenses the raw checkpoint log into that
+kind of summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.valmap import Valmap, ValmapCheckpoint
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["CheckpointSummary", "summarize_checkpoints"]
+
+
+@dataclass(frozen=True)
+class CheckpointSummary:
+    """Aggregate view of the VALMAP updates up to a chosen length.
+
+    Attributes
+    ----------
+    up_to_length:
+        The slider value the summary refers to.
+    num_updates:
+        Total number of update events with ``length <= up_to_length``.
+    updated_offsets:
+        Sorted offsets whose entry improved at least once.
+    update_regions:
+        Maximal runs ``(start, stop)`` of contiguous updated offsets — the
+        "sequences of contiguous updates" the paper points at in Figure 1(f).
+    updates_per_length:
+        Mapping ``length -> number of updates recorded at that length``.
+    """
+
+    up_to_length: int
+    num_updates: int
+    updated_offsets: List[int]
+    update_regions: List[tuple[int, int]]
+    updates_per_length: dict[int, int]
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for reports and serialization."""
+        return {
+            "up_to_length": self.up_to_length,
+            "num_updates": self.num_updates,
+            "updated_offsets": list(self.updated_offsets),
+            "update_regions": [list(region) for region in self.update_regions],
+            "updates_per_length": dict(self.updates_per_length),
+        }
+
+
+def _contiguous_regions(offsets: np.ndarray, max_gap: int = 1) -> List[tuple[int, int]]:
+    """Group sorted offsets into maximal runs with gaps of at most ``max_gap``."""
+    if offsets.size == 0:
+        return []
+    regions: List[tuple[int, int]] = []
+    start = int(offsets[0])
+    previous = int(offsets[0])
+    for offset in offsets[1:].tolist():
+        if offset - previous > max_gap:
+            regions.append((start, previous + 1))
+            start = offset
+        previous = offset
+    regions.append((start, previous + 1))
+    return regions
+
+
+def summarize_checkpoints(
+    valmap: Valmap, up_to_length: int | None = None, *, region_gap: int = 1
+) -> CheckpointSummary:
+    """Summarise the VALMAP update log up to ``up_to_length`` (defaults to the max).
+
+    ``region_gap`` controls how close two updated offsets must be to belong to
+    the same region (1 = strictly contiguous).
+    """
+    if up_to_length is None:
+        up_to_length = valmap.max_length
+    if up_to_length < valmap.min_length:
+        raise InvalidParameterError(
+            f"up_to_length {up_to_length} is below the VALMAP base length "
+            f"{valmap.min_length}"
+        )
+    if region_gap < 1:
+        raise InvalidParameterError(f"region_gap must be >= 1, got {region_gap}")
+
+    checkpoints: List[ValmapCheckpoint] = valmap.checkpoints_up_to(up_to_length)
+    offsets = np.unique(np.array([cp.offset for cp in checkpoints], dtype=np.int64))
+    per_length: dict[int, int] = {}
+    for checkpoint in checkpoints:
+        per_length[checkpoint.length] = per_length.get(checkpoint.length, 0) + 1
+
+    return CheckpointSummary(
+        up_to_length=int(up_to_length),
+        num_updates=len(checkpoints),
+        updated_offsets=offsets.tolist(),
+        update_regions=_contiguous_regions(offsets, max_gap=region_gap),
+        updates_per_length=dict(sorted(per_length.items())),
+    )

@@ -1,0 +1,124 @@
+"""Evaluating discovered motifs against ground truth.
+
+The synthetic generators embed patterns at known offsets; these helpers check
+whether the motifs an algorithm reports actually cover those plants.  They
+power the accuracy tests and the "did the variable-length search find the
+full heartbeat?" style analyses of the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.generators.planted import PlantedMotif
+from repro.matrix_profile.profile import MotifPair
+
+__all__ = [
+    "overlap_length",
+    "MatchReport",
+    "match_motifs_to_ground_truth",
+    "recall_of_planted_motifs",
+]
+
+
+def overlap_length(start_a: int, length_a: int, start_b: int, length_b: int) -> int:
+    """Number of points shared by the intervals ``[start, start+length)``."""
+    if length_a < 0 or length_b < 0:
+        raise InvalidParameterError("interval lengths must be >= 0")
+    return max(0, min(start_a + length_a, start_b + length_b) - max(start_a, start_b))
+
+
+@dataclass(frozen=True)
+class MatchReport:
+    """Outcome of matching one discovered pair against one planted motif.
+
+    A pair *covers* a planted motif when each pair member overlaps a distinct
+    planted copy by at least ``coverage`` (a fraction of the planted length).
+    """
+
+    pair: MotifPair
+    planted: PlantedMotif
+    covered: bool
+    coverage_a: float
+    coverage_b: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for reports."""
+        return {
+            "pair": self.pair.as_dict(),
+            "planted": self.planted.as_dict(),
+            "covered": self.covered,
+            "coverage_a": self.coverage_a,
+            "coverage_b": self.coverage_b,
+        }
+
+
+def _best_coverage(pair_offset: int, pair_window: int, planted: PlantedMotif) -> tuple[int, float]:
+    """Return ``(copy_index, coverage)`` of the planted copy best covered by one member."""
+    best_index = -1
+    best_coverage = 0.0
+    for index, copy_offset in enumerate(planted.offsets):
+        shared = overlap_length(pair_offset, pair_window, copy_offset, planted.length)
+        coverage = shared / planted.length
+        if coverage > best_coverage:
+            best_coverage = coverage
+            best_index = index
+    return best_index, best_coverage
+
+
+def match_motifs_to_ground_truth(
+    pairs: Iterable[MotifPair],
+    planted_motifs: Sequence[PlantedMotif],
+    *,
+    coverage: float = 0.5,
+) -> List[MatchReport]:
+    """Match every discovered pair against every planted motif.
+
+    ``coverage`` is the minimum fraction of the planted pattern that each pair
+    member must overlap (on distinct copies) for the pair to count as a find.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise InvalidParameterError(f"coverage must be in (0, 1], got {coverage}")
+    reports: List[MatchReport] = []
+    for pair in pairs:
+        for planted in planted_motifs:
+            index_a, coverage_a = _best_coverage(pair.offset_a, pair.window, planted)
+            index_b, coverage_b = _best_coverage(pair.offset_b, pair.window, planted)
+            covered = (
+                index_a >= 0
+                and index_b >= 0
+                and index_a != index_b
+                and coverage_a >= coverage
+                and coverage_b >= coverage
+            )
+            reports.append(
+                MatchReport(
+                    pair=pair,
+                    planted=planted,
+                    covered=covered,
+                    coverage_a=coverage_a,
+                    coverage_b=coverage_b,
+                )
+            )
+    return reports
+
+
+def recall_of_planted_motifs(
+    pairs: Iterable[MotifPair],
+    planted_motifs: Sequence[PlantedMotif],
+    *,
+    coverage: float = 0.5,
+) -> float:
+    """Fraction of planted motifs covered by at least one discovered pair."""
+    planted_motifs = list(planted_motifs)
+    if not planted_motifs:
+        raise InvalidParameterError("planted_motifs must not be empty")
+    reports = match_motifs_to_ground_truth(pairs, planted_motifs, coverage=coverage)
+    found = {
+        id(report.planted)
+        for report in reports
+        if report.covered
+    }
+    return len(found) / len(planted_motifs)

@@ -1,0 +1,31 @@
+"""Competitor algorithms used in the paper's experimental comparison.
+
+The paper compares VALMOD against:
+
+* **STOMP** (Zhu et al., ICDM 2016) — a fixed-length exact algorithm, adapted
+  by re-running it for every length of the range
+  (:func:`~repro.baselines.stomp_range.stomp_range`);
+* **QUICKMOTIF** (Li et al., ICDE 2015) — a fixed-length bounding-based motif
+  finder, likewise re-run per length
+  (:func:`~repro.baselines.quick_motif.quick_motif`,
+  :func:`~repro.baselines.quick_motif.quick_motif_range`);
+* **MOEN** (Mueen, ICDM 2013) — an exact enumeration of the best motif of
+  every length in a range (:func:`~repro.baselines.moen.moen`).
+
+A brute-force range algorithm is included as the correctness oracle.
+"""
+
+from repro.baselines.base import RangeDiscoveryResult
+from repro.baselines.brute_force_range import brute_force_range
+from repro.baselines.moen import moen
+from repro.baselines.quick_motif import quick_motif, quick_motif_range
+from repro.baselines.stomp_range import stomp_range
+
+__all__ = [
+    "RangeDiscoveryResult",
+    "brute_force_range",
+    "moen",
+    "quick_motif",
+    "quick_motif_range",
+    "stomp_range",
+]

@@ -1,0 +1,81 @@
+"""Shared result container for the range-discovery baselines.
+
+Every baseline (and the benchmark harness) reports its findings in the same
+shape: the top-k motif pairs of every evaluated length plus wall-clock time,
+so results from VALMOD and from its competitors can be compared row by row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.core.ranking import rank_motif_pairs
+from repro.exceptions import EmptyResultError, InvalidParameterError
+from repro.matrix_profile.profile import MotifPair
+
+__all__ = ["RangeDiscoveryResult"]
+
+
+@dataclass(frozen=True)
+class RangeDiscoveryResult:
+    """Top-k motif pairs per length, as produced by one algorithm.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable algorithm name ("valmod", "stomp-range", "moen", ...).
+    motifs_by_length:
+        Mapping from subsequence length to the ordered list of motif pairs
+        found at that length (best first).
+    elapsed_seconds:
+        Wall-clock duration of the run.
+    extra:
+        Algorithm-specific counters (pruning statistics, pair evaluations...).
+    """
+
+    algorithm: str
+    motifs_by_length: Mapping[int, List[MotifPair]]
+    elapsed_seconds: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def lengths(self) -> List[int]:
+        """Evaluated lengths, ascending."""
+        return sorted(self.motifs_by_length)
+
+    def motifs_at(self, length: int) -> List[MotifPair]:
+        """Top-k motif pairs found at one length."""
+        if length not in self.motifs_by_length:
+            raise InvalidParameterError(
+                f"length {length} was not evaluated; available: {self.lengths}"
+            )
+        return list(self.motifs_by_length[length])
+
+    def best_at(self, length: int) -> MotifPair:
+        """The single best motif pair of one length."""
+        motifs = self.motifs_at(length)
+        if not motifs:
+            raise EmptyResultError(f"no motif pair was found at length {length}")
+        return motifs[0]
+
+    def best_overall(self) -> MotifPair:
+        """The best pair across all lengths, by length-normalised distance."""
+        pairs = [pair for motifs in self.motifs_by_length.values() for pair in motifs]
+        ranked = rank_motif_pairs(pairs, 1, distinct_events=False)
+        if not ranked:
+            raise EmptyResultError("the run produced no motif pair at any length")
+        return ranked[0]
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for reports and serialization."""
+        return {
+            "algorithm": self.algorithm,
+            "elapsed_seconds": self.elapsed_seconds,
+            "lengths": self.lengths,
+            "motifs_by_length": {
+                str(length): [pair.as_dict() for pair in pairs]
+                for length, pairs in sorted(self.motifs_by_length.items())
+            },
+            "extra": dict(self.extra),
+        }

@@ -1,0 +1,49 @@
+"""Brute-force variable-length motif discovery (correctness oracle).
+
+Computes, for every length of the range, the full matrix profile directly
+from the distance definition — ``O(n²·m)`` per length.  Only usable on small
+series; it exists so the test suite can verify that VALMOD and every faster
+baseline return exactly the same motif distances.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.baselines.base import RangeDiscoveryResult
+from repro.matrix_profile.brute_force import brute_force_matrix_profile
+from repro.matrix_profile.profile import MotifPair
+from repro.series.validation import validate_length_range, validate_series
+
+__all__ = ["brute_force_range"]
+
+
+def brute_force_range(
+    series,
+    min_length: int,
+    max_length: int,
+    *,
+    top_k: int = 3,
+    length_step: int = 1,
+    exclusion_factor: int = 4,
+) -> RangeDiscoveryResult:
+    """Exact top-k motif pairs of every length, from the distance definition."""
+    values = validate_series(series)
+    min_length, max_length = validate_length_range(values.size, min_length, max_length)
+    lengths = list(range(min_length, max_length + 1, length_step))
+    if lengths[-1] != max_length:
+        lengths.append(max_length)
+
+    started = time.perf_counter()
+    motifs_by_length: Dict[int, List[MotifPair]] = {}
+    for length in lengths:
+        profile = brute_force_matrix_profile(values, length)
+        motifs_by_length[length] = profile.motifs(top_k)
+    elapsed = time.perf_counter() - started
+    return RangeDiscoveryResult(
+        algorithm="brute-force-range",
+        motifs_by_length=motifs_by_length,
+        elapsed_seconds=elapsed,
+        extra={"lengths_evaluated": float(len(lengths))},
+    )

@@ -1,0 +1,363 @@
+"""Command-line interface.
+
+The original system couples a C back-end with a GUI front-end; the library's
+CLI provides the equivalent head-less workflow::
+
+    valmod discover --input series.txt --min-length 50 --max-length 200
+    valmod generate --workload ecg --length 8192 --output ecg.txt
+    valmod compare --workload ecg --min-length 64 --max-length 96
+    valmod figure --name fig3-top
+
+Run ``valmod <command> --help`` for the options of each sub-command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.analysis.ascii_plot import render_valmap
+from repro.analysis.report import result_report
+from repro.core.discords import variable_length_discords
+from repro.core.motif_sets import expand_motif_pair
+from repro.core.valmod import valmod
+from repro.exceptions import ReproError
+from repro.harness.extensions import (
+    ablation_anytime_scrimp,
+    extension_domains_table,
+    skimp_vs_valmod,
+    streaming_throughput,
+)
+from repro.harness.figures import (
+    ablation_exactness,
+    ablation_lower_bound,
+    figure1_fixed_length,
+    figure1_valmap,
+    figure2_pruning,
+    figure3_length_range,
+    figure3_series_length,
+)
+from repro.harness.runner import ALGORITHMS, compare_algorithms
+from repro.harness.tables import format_table
+from repro.harness.workloads import WORKLOADS, build_workload
+from repro.io.serialization import save_result, save_valmap
+from repro.matrix_profile.mpdist import mpdist
+from repro.series.loaders import load_csv, load_npy, load_text, save_text
+from repro.streaming.monitor import StreamingMotifMonitor
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig1-left": figure1_fixed_length,
+    "fig1-right": figure1_valmap,
+    "fig2": figure2_pruning,
+    "fig3-top": figure3_length_range,
+    "fig3-bottom": figure3_series_length,
+    "ablation-lb": ablation_lower_bound,
+    "ablation-exactness": ablation_exactness,
+    "ablation-anytime": ablation_anytime_scrimp,
+    "ablation-skimp": skimp_vs_valmod,
+    "streaming-throughput": streaming_throughput,
+    "extension-domains": extension_domains_table,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="valmod",
+        description="Exact discovery of variable-length motifs in data series (VALMOD).",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    discover = subparsers.add_parser("discover", help="run VALMOD on a series")
+    source = discover.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", help="path to a text/CSV/npy series file")
+    source.add_argument(
+        "--workload", choices=sorted(WORKLOADS), help="generate a named synthetic workload"
+    )
+    discover.add_argument("--length", type=int, default=None, help="workload length (points)")
+    discover.add_argument("--min-length", type=int, required=True)
+    discover.add_argument("--max-length", type=int, required=True)
+    discover.add_argument("--top-k", type=int, default=3)
+    discover.add_argument("--profile-capacity", type=int, default=16)
+    discover.add_argument("--seed", type=int, default=0, help="workload random seed")
+    discover.add_argument("--output", help="write the full result as JSON")
+    discover.add_argument("--valmap-output", help="write the VALMAP as JSON")
+    discover.add_argument(
+        "--plot", action="store_true", help="print an ASCII rendering of the VALMAP"
+    )
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic workload")
+    generate.add_argument("--workload", choices=sorted(WORKLOADS), required=True)
+    generate.add_argument("--length", type=int, default=8192)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True, help="output text file (one value per line)")
+
+    compare = subparsers.add_parser("compare", help="compare VALMOD against the baselines")
+    compare.add_argument("--workload", choices=sorted(WORKLOADS), default="ecg")
+    compare.add_argument("--length", type=int, default=2048)
+    compare.add_argument("--min-length", type=int, default=64)
+    compare.add_argument("--max-length", type=int, default=79)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=sorted(ALGORITHMS),
+        default=["valmod", "stomp-range", "moen", "quickmotif"],
+    )
+
+    figure = subparsers.add_parser("figure", help="regenerate the data behind a paper figure")
+    figure.add_argument("--name", choices=sorted(_FIGURES), required=True)
+    figure.add_argument("--json", action="store_true", help="print raw JSON rows")
+
+    discords = subparsers.add_parser(
+        "discords", help="find variable-length discords (anomalies) in a series"
+    )
+    discord_source = discords.add_mutually_exclusive_group(required=True)
+    discord_source.add_argument("--input", help="path to a text/CSV/npy series file")
+    discord_source.add_argument(
+        "--workload", choices=sorted(WORKLOADS), help="generate a named synthetic workload"
+    )
+    discords.add_argument("--length", type=int, default=None, help="workload length (points)")
+    discords.add_argument("--min-length", type=int, required=True)
+    discords.add_argument("--max-length", type=int, required=True)
+    discords.add_argument("--top-k", type=int, default=3)
+    discords.add_argument("--seed", type=int, default=0, help="workload random seed")
+
+    motif_set = subparsers.add_parser(
+        "motif-set", help="expand the best variable-length motif pair into its motif set"
+    )
+    motif_source = motif_set.add_mutually_exclusive_group(required=True)
+    motif_source.add_argument("--input", help="path to a text/CSV/npy series file")
+    motif_source.add_argument(
+        "--workload", choices=sorted(WORKLOADS), help="generate a named synthetic workload"
+    )
+    motif_set.add_argument("--length", type=int, default=None, help="workload length (points)")
+    motif_set.add_argument("--min-length", type=int, required=True)
+    motif_set.add_argument("--max-length", type=int, required=True)
+    motif_set.add_argument(
+        "--radius-factor", type=float, default=2.0, help="set radius = factor x pair distance"
+    )
+    motif_set.add_argument("--seed", type=int, default=0, help="workload random seed")
+
+    stream = subparsers.add_parser(
+        "stream", help="replay a workload through the streaming motif monitor"
+    )
+    stream.add_argument("--workload", choices=sorted(WORKLOADS), default="ecg")
+    stream.add_argument("--length", type=int, default=2048, help="total points to replay")
+    stream.add_argument(
+        "--warmup", type=int, default=1024, help="points ingested before monitoring starts"
+    )
+    stream.add_argument(
+        "--windows", type=int, nargs="+", default=[64], help="subsequence lengths to monitor"
+    )
+    stream.add_argument("--seed", type=int, default=0)
+
+    distance = subparsers.add_parser(
+        "mpdist", help="matrix-profile distance (MPdist) between two series files"
+    )
+    distance.add_argument("first", help="path to the first series file")
+    distance.add_argument("second", help="path to the second series file")
+    distance.add_argument("--window", type=int, required=True)
+    distance.add_argument("--percentile", type=float, default=0.05)
+
+    return parser
+
+
+def _load_series(path: str):
+    if path.endswith(".npy"):
+        return load_npy(path)
+    if path.endswith(".csv"):
+        return load_csv(path)
+    return load_text(path)
+
+
+def _command_discover(args: argparse.Namespace) -> int:
+    if args.input:
+        series = _load_series(args.input)
+    else:
+        series = build_workload(args.workload, args.length, random_state=args.seed)
+    result = valmod(
+        series,
+        args.min_length,
+        args.max_length,
+        top_k=args.top_k,
+        profile_capacity=args.profile_capacity,
+    )
+    print(result_report(result, top_k=args.top_k))
+    if args.plot:
+        print()
+        print(render_valmap(result.valmap))
+    if args.output:
+        save_result(result, args.output)
+        print(f"\nresult written to {args.output}")
+    if args.valmap_output:
+        save_valmap(result.valmap, args.valmap_output)
+        print(f"VALMAP written to {args.valmap_output}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    series = build_workload(args.workload, args.length, random_state=args.seed)
+    save_text(series, args.output)
+    print(f"{series.name}: {len(series)} points written to {args.output}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    series = build_workload(args.workload, args.length, random_state=args.seed)
+    results = compare_algorithms(
+        series,
+        args.min_length,
+        args.max_length,
+        algorithms=args.algorithms,
+        top_k=1,
+    )
+    print(
+        f"workload={args.workload} length={len(series)} "
+        f"range=[{args.min_length}, {args.max_length}]"
+    )
+    print(f"{'algorithm':<16}{'seconds':>10}  best pair (normalised distance)")
+    for result in results:
+        best = result.best_overall()
+        print(
+            f"{result.algorithm:<16}{result.elapsed_seconds:>10.3f}  "
+            f"length={best.window} offsets=({best.offset_a}, {best.offset_b}) "
+            f"dn={best.normalized_distance:.4f}"
+        )
+    return 0
+
+
+def _jsonable(value):
+    """Best-effort conversion of figure rows (may contain numpy arrays) to JSON."""
+    try:
+        import numpy as np
+
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, (np.integer, np.floating)):
+            return value.item()
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    rows = _FIGURES[args.name]()
+    rows = rows if isinstance(rows, list) else [rows]
+    if args.json:
+        print(json.dumps(_jsonable(rows), indent=2))
+        return 0
+    for row in rows:
+        printable = {
+            key: value
+            for key, value in row.items()
+            if not hasattr(value, "shape")  # skip raw arrays in the table view
+        }
+        print(json.dumps(_jsonable(printable)))
+    return 0
+
+
+def _series_from_args(args: argparse.Namespace):
+    """Shared --input / --workload resolution for the analysis sub-commands."""
+    if getattr(args, "input", None):
+        return _load_series(args.input)
+    return build_workload(args.workload, args.length, random_state=args.seed)
+
+
+def _command_discords(args: argparse.Namespace) -> int:
+    series = _series_from_args(args)
+    discords = variable_length_discords(
+        series, args.min_length, args.max_length, k=args.top_k
+    )
+    rows = [discord.as_dict() for discord in discords]
+    if not rows:
+        print("no discord found (the series may be too short for the requested range)")
+        return 0
+    print(format_table(rows))
+    return 0
+
+
+def _command_motif_set(args: argparse.Namespace) -> int:
+    series = _series_from_args(args)
+    result = valmod(series, args.min_length, args.max_length, top_k=1)
+    best = result.best_motif()
+    motif_set = expand_motif_pair(series, best, radius_factor=args.radius_factor)
+    print(
+        f"best motif pair: length={best.window} offsets=({best.offset_a}, {best.offset_b}) "
+        f"dn={best.normalized_distance:.4f}"
+    )
+    print(
+        f"motif set: {len(motif_set)} occurrences within radius {motif_set.radius:.4f}"
+    )
+    rows = [
+        {"occurrence": offset, "distance_to_pair": distance}
+        for offset, distance in zip(motif_set.occurrences, motif_set.distances)
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _command_stream(args: argparse.Namespace) -> int:
+    series = build_workload(args.workload, args.length, random_state=args.seed)
+    values = series.values
+    warmup = min(max(args.warmup, max(args.windows) * 2), len(values) - 1)
+    monitor = StreamingMotifMonitor(values[:warmup], windows=args.windows)
+    events = monitor.extend(values[warmup:])
+    print(
+        f"replayed {len(values) - warmup} points of {series.name!r} after a "
+        f"{warmup}-point warm-up; {len(events)} events"
+    )
+    if events:
+        print(format_table([event.as_dict() for event in events]))
+    for window in monitor.windows:
+        best = monitor.best_motif(window)
+        print(
+            f"final best motif @ length {window}: offsets=({best.offset_a}, {best.offset_b}) "
+            f"distance={best.distance:.4f}"
+        )
+    return 0
+
+
+def _command_mpdist(args: argparse.Namespace) -> int:
+    first = _load_series(args.first)
+    second = _load_series(args.second)
+    value = mpdist(first, second, args.window, percentile=args.percentile)
+    print(f"MPdist(window={args.window}, percentile={args.percentile}) = {value:.6f}")
+    return 0
+
+
+_COMMANDS = {
+    "discover": _command_discover,
+    "generate": _command_generate,
+    "compare": _command_compare,
+    "figure": _command_figure,
+    "discords": _command_discords,
+    "motif-set": _command_motif_set,
+    "stream": _command_stream,
+    "mpdist": _command_mpdist,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""VALMOD core: the paper's primary contribution.
+
+Public entry points:
+
+* :func:`~repro.core.valmod.valmod` — exact top-k motif pairs for every
+  subsequence length of a range, plus VALMAP;
+* :class:`~repro.core.valmap.Valmap` — the variable-length matrix profile
+  meta-data structure;
+* :func:`~repro.core.motif_sets.expand_motif_pair` — motif-set expansion;
+* :func:`~repro.core.ranking.rank_motif_pairs` — length-normalised ranking;
+* :func:`~repro.core.discords.variable_length_discords` — discord extension.
+"""
+
+from repro.core.config import ValmodConfig
+from repro.core.discords import VariableLengthDiscord, variable_length_discords
+from repro.core.lower_bound import lower_bound, lower_bound_paper, lower_bound_tight
+from repro.core.motif_sets import MotifSet, expand_motif_pair
+from repro.core.partial_profile import LengthEvaluation, PartialProfileStore
+from repro.core.ranking import deduplicate_pairs, pairs_describe_same_event, rank_motif_pairs
+from repro.core.results import LengthResult, PruningStats, ValmodResult
+from repro.core.skimp import PanMatrixProfile, breadth_first_lengths, skimp
+from repro.core.valmap import Valmap, ValmapCheckpoint
+from repro.core.valmod import valmod, valmod_with_config
+
+__all__ = [
+    "LengthEvaluation",
+    "LengthResult",
+    "MotifSet",
+    "PanMatrixProfile",
+    "PartialProfileStore",
+    "PruningStats",
+    "Valmap",
+    "ValmapCheckpoint",
+    "ValmodConfig",
+    "ValmodResult",
+    "VariableLengthDiscord",
+    "breadth_first_lengths",
+    "deduplicate_pairs",
+    "expand_motif_pair",
+    "lower_bound",
+    "lower_bound_paper",
+    "lower_bound_tight",
+    "pairs_describe_same_event",
+    "rank_motif_pairs",
+    "skimp",
+    "valmod",
+    "valmod_with_config",
+    "variable_length_discords",
+]

@@ -1,0 +1,119 @@
+"""Configuration of a VALMOD run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.lower_bound import LOWER_BOUND_KINDS
+from repro.exceptions import InvalidParameterError, LengthRangeError
+
+__all__ = ["ValmodConfig", "DEFAULT_PROFILE_CAPACITY", "DEFAULT_TOP_K"]
+
+#: Default number of entries retained per partial distance profile (the
+#: paper's ``p``).  Small values keep memory proportional to ``p·n`` while
+#: still pruning the vast majority of recomputations.
+DEFAULT_PROFILE_CAPACITY = 16
+
+#: Default number of motif pairs reported per subsequence length.
+DEFAULT_TOP_K = 3
+
+
+@dataclass(frozen=True)
+class ValmodConfig:
+    """All tunables of the VALMOD algorithm.
+
+    Attributes
+    ----------
+    min_length, max_length:
+        The inclusive subsequence-length range ``[l_min, l_max]``.
+    top_k:
+        Number of motif pairs reported per length (the paper's top-k motif
+        pairs); the variable-length ranking draws from these.
+    profile_capacity:
+        The paper's ``p``: how many entries of each base distance profile are
+        carried to larger lengths.  Larger values prune more recomputations
+        at the cost of memory and per-length update work.
+    exclusion_factor:
+        Trivial-match radius denominator: at length ``L`` the radius is
+        ``ceil(L / exclusion_factor)``.
+    lower_bound_kind:
+        ``"tight"`` (default) or ``"paper"`` — see
+        :mod:`repro.core.lower_bound`.
+    length_step:
+        Evaluate only every ``length_step``-th length of the range (1 = every
+        length, the paper's setting).
+    track_checkpoints:
+        Record every VALMAP update event (needed by the checkpoint/slider
+        analysis of the demo; costs memory proportional to the number of
+        updates).
+    update_both_members:
+        When updating VALMAP from a motif pair, update the entries of both
+        members (default) instead of only the left one as in the paper's
+        formal definition.
+    """
+
+    min_length: int
+    max_length: int
+    top_k: int = DEFAULT_TOP_K
+    profile_capacity: int = DEFAULT_PROFILE_CAPACITY
+    exclusion_factor: int = 4
+    lower_bound_kind: str = "tight"
+    length_step: int = 1
+    track_checkpoints: bool = True
+    update_both_members: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_length < 3:
+            raise LengthRangeError(self.min_length, self.max_length, "min_length must be >= 3")
+        if self.max_length < self.min_length:
+            raise LengthRangeError(
+                self.min_length, self.max_length, "max_length must be >= min_length"
+            )
+        if self.top_k < 1:
+            raise InvalidParameterError(f"top_k must be >= 1, got {self.top_k}")
+        if self.profile_capacity < 1:
+            raise InvalidParameterError(
+                f"profile_capacity must be >= 1, got {self.profile_capacity}"
+            )
+        if self.exclusion_factor < 1:
+            raise InvalidParameterError(
+                f"exclusion_factor must be >= 1, got {self.exclusion_factor}"
+            )
+        if self.lower_bound_kind not in LOWER_BOUND_KINDS:
+            raise InvalidParameterError(
+                f"lower_bound_kind must be one of {LOWER_BOUND_KINDS}, "
+                f"got {self.lower_bound_kind!r}"
+            )
+        if self.length_step < 1:
+            raise InvalidParameterError(f"length_step must be >= 1, got {self.length_step}")
+
+    @property
+    def lengths(self) -> list[int]:
+        """The lengths that will be evaluated, smallest first.
+
+        ``max_length`` is always included even when the step does not land on
+        it exactly, so the requested range is fully covered.
+        """
+        values = list(range(self.min_length, self.max_length + 1, self.length_step))
+        if values[-1] != self.max_length:
+            values.append(self.max_length)
+        return values
+
+    @property
+    def range_width(self) -> int:
+        """Width of the length range (the x-axis of Figure 3, top)."""
+        return self.max_length - self.min_length + 1
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for reports and serialization."""
+        return {
+            "min_length": self.min_length,
+            "max_length": self.max_length,
+            "top_k": self.top_k,
+            "profile_capacity": self.profile_capacity,
+            "exclusion_factor": self.exclusion_factor,
+            "lower_bound_kind": self.lower_bound_kind,
+            "length_step": self.length_step,
+            "track_checkpoints": self.track_checkpoints,
+            "update_both_members": self.update_both_members,
+        }

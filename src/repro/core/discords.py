@@ -1,0 +1,115 @@
+"""Variable-length discord discovery (extension).
+
+The journal version of VALMOD extends the framework to *discords* — the
+subsequences whose nearest neighbour is furthest away, i.e. the anomalies.
+The demo paper does not evaluate discords, so this module provides a
+straightforward exact implementation built on the fixed-length matrix
+profile: every length of the (optionally strided) range is processed with
+STOMP and the discords of different lengths are compared through the same
+length-normalised distance used for motifs (larger is more anomalous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.stomp import stomp
+from repro.series.validation import validate_length_range, validate_series
+from repro.stats.distance import length_normalized
+from repro.stats.sliding import SlidingStats
+
+__all__ = ["VariableLengthDiscord", "variable_length_discords"]
+
+
+@dataclass(frozen=True, order=True)
+class VariableLengthDiscord:
+    """A discord candidate: offset, length and its nearest-neighbour distance.
+
+    Ordering is by *descending* anomaly strength when sorted with
+    ``reverse=True`` on ``normalized_distance``.
+    """
+
+    normalized_distance: float
+    offset: int
+    window: int
+    distance: float
+    nearest_neighbor: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for reports and serialization."""
+        return {
+            "offset": self.offset,
+            "window": self.window,
+            "distance": self.distance,
+            "normalized_distance": self.normalized_distance,
+            "nearest_neighbor": self.nearest_neighbor,
+        }
+
+
+def variable_length_discords(
+    series,
+    min_length: int,
+    max_length: int,
+    *,
+    k: int = 3,
+    length_step: int | None = None,
+    exclusion_factor: int = 4,
+) -> List[VariableLengthDiscord]:
+    """Top-k discords across a range of subsequence lengths.
+
+    Parameters
+    ----------
+    k:
+        Number of discords returned (ranked by length-normalised
+        nearest-neighbour distance, largest first).
+    length_step:
+        Stride over the length range; defaults to roughly 16 evaluated
+        lengths, which keeps the exact computation affordable.
+    """
+    values = validate_series(series)
+    min_length, max_length = validate_length_range(values.size, min_length, max_length)
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if length_step is None:
+        length_step = max(1, (max_length - min_length) // 16)
+    if length_step < 1:
+        raise InvalidParameterError(f"length_step must be >= 1, got {length_step}")
+
+    lengths = list(range(min_length, max_length + 1, length_step))
+    if lengths[-1] != max_length:
+        lengths.append(max_length)
+
+    stats = SlidingStats(values)
+    candidates: List[VariableLengthDiscord] = []
+    for length in lengths:
+        profile = stomp(values, length, stats=stats)
+        for offset in profile.discords(k):
+            distance = float(profile.distances[offset])
+            candidates.append(
+                VariableLengthDiscord(
+                    normalized_distance=float(length_normalized(distance, length)),
+                    offset=offset,
+                    window=length,
+                    distance=distance,
+                    nearest_neighbor=int(profile.indices[offset]),
+                )
+            )
+        stats.forget(length)
+
+    candidates.sort(key=lambda discord: discord.normalized_distance, reverse=True)
+    # Keep at most one discord per distinct region: two candidates whose
+    # offsets are within half the shorter window of each other describe the
+    # same anomaly at different resolutions.
+    selected: List[VariableLengthDiscord] = []
+    for candidate in candidates:
+        if any(
+            abs(candidate.offset - chosen.offset) <= min(candidate.window, chosen.window) // 2
+            for chosen in selected
+        ):
+            continue
+        selected.append(candidate)
+        if len(selected) == k:
+            break
+    return selected

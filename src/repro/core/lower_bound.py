@@ -1,0 +1,143 @@
+"""The VALMOD lower-bounding distance.
+
+The heart of VALMOD is a distance that lower-bounds the z-normalised
+Euclidean distance between two subsequences of length ``L = l + k`` using
+only quantities already available at the base length ``l``:
+
+* ``q`` — the Pearson correlation of the two subsequences at length ``l``
+  (obtained from the base distance profile);
+* the standard deviation of the *query* subsequence at lengths ``l`` and
+  ``L`` (an ``O(1)`` lookup from :class:`~repro.stats.SlidingStats`).
+
+Derivation (Cauchy–Schwarz on the trailing window, see DESIGN.md):  write the
+length-``L`` z-normalised subsequences as unit vectors ``u, v`` in ``R^L``;
+the prefix of ``u`` is an affine image of the base-length z-normalised query,
+so the correlation at length ``L`` satisfies
+
+    rho_L  <=  sqrt(1 - alpha² · (1 - q₊²)),       q₊ = max(q, 0),
+    alpha² = l·sigma²_{i,l} / (L·sigma²_{i,L})     (alpha² <= 1 always),
+
+which yields the *tight* bound
+
+    LB_tight² = 2·L·(1 - sqrt(1 - alpha²·(1 - q₊²))).
+
+Using ``1 - sqrt(1-z) >= z/2`` gives the simpler bound reported in the
+paper::
+
+    LB_paper² = l·sigma²_{i,l}·(1 - q₊²) / sigma²_{i,L}
+
+Both bounds depend on the neighbour only through ``q``; therefore the ranking
+of the entries of a distance profile by lower bound is the ranking by ``q``
+(descending) and is *independent of the target length* — the property VALMOD
+exploits to keep only the ``p`` most promising entries per profile.
+
+Degenerate (constant) subsequences fall outside the derivation; callers must
+bypass the bound for them (VALMOD sets the bound to ``0``, which is always
+valid and simply disables pruning for those offsets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "LOWER_BOUND_KINDS",
+    "lower_bound_paper",
+    "lower_bound_tight",
+    "lower_bound",
+]
+
+LOWER_BOUND_KINDS = ("tight", "paper")
+
+
+def _validate_lengths(base_length: int, target_length: int) -> None:
+    if base_length < 1:
+        raise InvalidParameterError(f"base_length must be >= 1, got {base_length}")
+    if target_length < base_length:
+        raise InvalidParameterError(
+            f"target_length ({target_length}) must be >= base_length ({base_length})"
+        )
+
+
+def _alpha_squared(
+    base_length: int,
+    target_length: int,
+    query_std_base: np.ndarray | float,
+    query_std_target: np.ndarray | float,
+) -> np.ndarray:
+    """``alpha² = l·sigma_l² / (L·sigma_L²)``, clipped into ``[0, 1]``.
+
+    Division by a zero target deviation is mapped to ``alpha² = 0`` (the
+    caller is expected to bypass the bound for constant subsequences anyway;
+    ``alpha² = 0`` makes the bound collapse to ``0``, which is always valid).
+    """
+    sigma_base = np.asarray(query_std_base, dtype=np.float64)
+    sigma_target = np.asarray(query_std_target, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        alpha_sq = (base_length * np.square(sigma_base)) / (
+            target_length * np.square(sigma_target)
+        )
+    alpha_sq = np.where(sigma_target <= 0.0, 0.0, alpha_sq)
+    return np.clip(alpha_sq, 0.0, 1.0)
+
+
+def lower_bound_paper(
+    correlation: np.ndarray | float,
+    base_length: int,
+    target_length: int,
+    query_std_base: np.ndarray | float,
+    query_std_target: np.ndarray | float,
+) -> np.ndarray | float:
+    """The paper's lower bound ``sqrt(l·sigma_l²·(1 - q₊²) / sigma_L²)``."""
+    _validate_lengths(base_length, target_length)
+    q_pos = np.maximum(np.clip(np.asarray(correlation, dtype=np.float64), -1.0, 1.0), 0.0)
+    alpha_sq = _alpha_squared(base_length, target_length, query_std_base, query_std_target)
+    squared = target_length * alpha_sq * (1.0 - np.square(q_pos))
+    result = np.sqrt(np.maximum(squared, 0.0))
+    if np.ndim(correlation) == 0 and np.ndim(query_std_base) == 0:
+        return float(result)
+    return result
+
+
+def lower_bound_tight(
+    correlation: np.ndarray | float,
+    base_length: int,
+    target_length: int,
+    query_std_base: np.ndarray | float,
+    query_std_target: np.ndarray | float,
+) -> np.ndarray | float:
+    """The tighter bound ``sqrt(2·L·(1 - sqrt(1 - alpha²·(1 - q₊²))))``."""
+    _validate_lengths(base_length, target_length)
+    q_pos = np.maximum(np.clip(np.asarray(correlation, dtype=np.float64), -1.0, 1.0), 0.0)
+    alpha_sq = _alpha_squared(base_length, target_length, query_std_base, query_std_target)
+    inner = np.clip(1.0 - alpha_sq * (1.0 - np.square(q_pos)), 0.0, 1.0)
+    squared = 2.0 * target_length * (1.0 - np.sqrt(inner))
+    result = np.sqrt(np.maximum(squared, 0.0))
+    if np.ndim(correlation) == 0 and np.ndim(query_std_base) == 0:
+        return float(result)
+    return result
+
+
+def lower_bound(
+    correlation: np.ndarray | float,
+    base_length: int,
+    target_length: int,
+    query_std_base: np.ndarray | float,
+    query_std_target: np.ndarray | float,
+    *,
+    kind: str = "tight",
+) -> np.ndarray | float:
+    """Dispatch between :func:`lower_bound_tight` and :func:`lower_bound_paper`."""
+    if kind == "tight":
+        return lower_bound_tight(
+            correlation, base_length, target_length, query_std_base, query_std_target
+        )
+    if kind == "paper":
+        return lower_bound_paper(
+            correlation, base_length, target_length, query_std_base, query_std_target
+        )
+    raise InvalidParameterError(
+        f"unknown lower bound kind {kind!r}; expected one of {LOWER_BOUND_KINDS}"
+    )

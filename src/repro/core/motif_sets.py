@@ -1,0 +1,148 @@
+"""Motif sets: expanding a motif pair to all of its occurrences.
+
+The demo lets the user "expand a selected motif pair to the relative Motif
+Set, containing all the similar subsequences of the pair in the data".  A
+motif set is defined, as in the VALMOD paper, by a radius ``r``: every
+subsequence whose z-normalised distance to one of the pair's members is at
+most ``r`` belongs to the set (trivial matches excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.distance_profile import distance_profile
+from repro.matrix_profile.exclusion import apply_exclusion_zone, default_exclusion_radius
+from repro.matrix_profile.profile import MotifPair
+from repro.series.validation import validate_series
+from repro.stats.distance import length_normalized
+from repro.stats.sliding import SlidingStats
+
+__all__ = ["MotifSet", "expand_motif_pair"]
+
+
+@dataclass(frozen=True)
+class MotifSet:
+    """A motif pair together with every other occurrence within ``radius``.
+
+    ``occurrences`` always contains the two pair members and is sorted by
+    offset; ``distances`` holds, for each occurrence, its distance to the
+    nearest pair member (0 for the members themselves).
+    """
+
+    pair: MotifPair
+    radius: float
+    occurrences: List[int]
+    distances: List[float]
+
+    def __len__(self) -> int:
+        return len(self.occurrences)
+
+    @property
+    def window(self) -> int:
+        """Subsequence length of every member of the set."""
+        return self.pair.window
+
+    @property
+    def normalized_radius(self) -> float:
+        """The radius divided by ``sqrt(window)`` (comparable across lengths)."""
+        return float(length_normalized(self.radius, self.window))
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for reports and serialization."""
+        return {
+            "pair": self.pair.as_dict(),
+            "radius": self.radius,
+            "occurrences": list(self.occurrences),
+            "distances": list(self.distances),
+        }
+
+
+def expand_motif_pair(
+    series,
+    pair: MotifPair,
+    *,
+    radius: float | None = None,
+    radius_factor: float = 2.0,
+    exclusion_factor: int = 4,
+    max_occurrences: int | None = None,
+) -> MotifSet:
+    """Expand a motif pair into its motif set.
+
+    Parameters
+    ----------
+    series:
+        The series the pair was discovered in.
+    pair:
+        The motif pair to expand.
+    radius:
+        Absolute distance threshold.  When omitted it defaults to
+        ``radius_factor`` times the pair distance (the usual convention; the
+        pair distance itself is the tightest meaningful choice).
+    radius_factor:
+        Multiplier used when ``radius`` is not given.
+    exclusion_factor:
+        Trivial-match radius denominator used while collecting occurrences.
+    max_occurrences:
+        Optional cap on the number of returned occurrences (closest first,
+        then re-sorted by offset).
+    """
+    values = validate_series(series)
+    if radius is None:
+        if radius_factor <= 0:
+            raise InvalidParameterError(f"radius_factor must be positive, got {radius_factor}")
+        radius = radius_factor * pair.distance
+    if radius < 0:
+        raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+    if max_occurrences is not None and max_occurrences < 2:
+        raise InvalidParameterError(
+            f"max_occurrences must be >= 2 (the pair itself), got {max_occurrences}"
+        )
+    window = pair.window
+    if window > values.size:
+        raise InvalidParameterError(
+            f"the pair's window ({window}) exceeds the series length ({values.size})"
+        )
+    stats = SlidingStats(values)
+    trivial_radius = default_exclusion_radius(window, exclusion_factor)
+
+    profile_a = distance_profile(
+        values, pair.offset_a, window, stats=stats, apply_exclusion=False
+    )
+    profile_b = distance_profile(
+        values, pair.offset_b, window, stats=stats, apply_exclusion=False
+    )
+    nearest = np.minimum(profile_a, profile_b)
+
+    # Greedily collect occurrences closest-first, skipping trivial matches of
+    # already collected ones (including the pair members themselves).
+    working = np.array(nearest)
+    members: List[int] = []
+    distances: List[float] = []
+    for seed in (pair.offset_a, pair.offset_b):
+        members.append(seed)
+        distances.append(0.0)
+        apply_exclusion_zone(working, seed, trivial_radius)
+    while True:
+        if max_occurrences is not None and len(members) >= max_occurrences:
+            break
+        candidate = int(np.argmin(working))
+        if not np.isfinite(working[candidate]) or working[candidate] > radius:
+            break
+        members.append(candidate)
+        distances.append(float(nearest[candidate]))
+        apply_exclusion_zone(working, candidate, trivial_radius)
+
+    order = np.argsort(members)
+    ordered_members = [members[i] for i in order]
+    ordered_distances = [distances[i] for i in order]
+    return MotifSet(
+        pair=pair,
+        radius=float(radius),
+        occurrences=ordered_members,
+        distances=ordered_distances,
+    )

@@ -1,0 +1,363 @@
+"""Partial distance profiles — the memory VALMOD carries across lengths.
+
+While STOMP computes the base-length (``l_min``) matrix profile, VALMOD keeps,
+for every query offset ``i``, the ``p`` distance-profile entries with the
+smallest lower bound — equivalently the ``p`` neighbours with the *largest*
+base-length correlation, since the lower bound is a decreasing function of
+that correlation and its ranking never changes with the target length (see
+:mod:`repro.core.lower_bound`).
+
+For each retained entry the store keeps the neighbour offset, the raw dot
+product ``QT`` (updated incrementally as the length grows) and the base
+correlation.  All entries of all profiles live in flat ``(n_profiles, p)``
+arrays so the per-length update of the whole store is a handful of vectorised
+numpy operations instead of a Python loop over profiles.
+
+Terminology (Figure 2 of the paper):
+
+* a partial profile is **valid** at length ``L`` when its smallest true
+  distance among the retained entries (``minDist``) does not exceed the
+  largest lower bound of the entries it did *not* retain (``maxLB``): the
+  retained minimum is then provably the minimum of the whole profile;
+* otherwise it is **non-valid** and ``maxLB`` acts as a lower bound on the
+  true minimum, which VALMOD uses to decide whether the profile ever needs to
+  be recomputed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lower_bound import lower_bound
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.exclusion import default_exclusion_radius
+from repro.stats.sliding import SlidingStats
+from repro.stats.znorm import STD_EPSILON
+
+__all__ = ["PartialProfileStore", "LengthEvaluation"]
+
+
+@dataclass(frozen=True)
+class LengthEvaluation:
+    """The outcome of evaluating every partial profile at one length.
+
+    Attributes
+    ----------
+    length:
+        The subsequence length the evaluation refers to.
+    min_distances:
+        Per-offset minimum true distance among the retained entries
+        (``inf`` when no retained entry is applicable at this length).
+    min_indices:
+        Offset of the neighbour achieving that minimum (``-1`` when none).
+    max_lower_bounds:
+        Per-offset ``maxLB`` threshold (``inf`` when the profile is complete,
+        ``0`` when pruning had to be disabled for that offset).
+    valid:
+        Boolean mask: ``minDist <= maxLB`` (the retained minimum is exact).
+    """
+
+    length: int
+    min_distances: np.ndarray
+    min_indices: np.ndarray
+    max_lower_bounds: np.ndarray
+    valid: np.ndarray
+
+    @property
+    def num_valid(self) -> int:
+        """Number of valid (fully pruned) partial profiles."""
+        return int(np.count_nonzero(self.valid))
+
+    @property
+    def num_non_valid(self) -> int:
+        """Number of non-valid partial profiles (candidates for recomputation)."""
+        return int(self.valid.size - self.num_valid)
+
+    @property
+    def min_lb_abs(self) -> float:
+        """The paper's ``minLBAbs``: smallest ``maxLB`` among non-valid profiles."""
+        non_valid = ~self.valid
+        if not non_valid.any():
+            return float("inf")
+        return float(self.max_lower_bounds[non_valid].min())
+
+
+class PartialProfileStore:
+    """Retained distance-profile entries for every query offset.
+
+    Parameters
+    ----------
+    series_values:
+        The raw data series (validated float64 array).
+    stats:
+        Precomputed sliding statistics of the series.
+    base_length:
+        The base subsequence length ``l_min``.
+    capacity:
+        The paper's ``p``: entries retained per profile.
+    exclusion_factor:
+        Denominator of the trivial-match radius.
+    lower_bound_kind:
+        ``"tight"`` or ``"paper"`` (see :mod:`repro.core.lower_bound`).
+    """
+
+    def __init__(
+        self,
+        series_values: np.ndarray,
+        stats: SlidingStats,
+        base_length: int,
+        capacity: int,
+        *,
+        exclusion_factor: int = 4,
+        lower_bound_kind: str = "tight",
+    ) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        self._values = np.asarray(series_values, dtype=np.float64)
+        self._stats = stats
+        self._base_length = int(base_length)
+        self._capacity = int(capacity)
+        self._exclusion_factor = int(exclusion_factor)
+        self._lower_bound_kind = lower_bound_kind
+
+        n = self._values.size
+        self._num_profiles = n - self._base_length + 1
+        base_means, base_stds = stats.mean_std(self._base_length)
+        self._base_means = base_means
+        self._base_stds = base_stds
+        self._base_constant = base_stds <= 0.0
+
+        shape = (self._num_profiles, self._capacity)
+        self._neighbors = np.full(shape, -1, dtype=np.int64)
+        self._dot_products = np.zeros(shape, dtype=np.float64)
+        self._base_correlations = np.full(shape, -np.inf, dtype=np.float64)
+        #: largest base correlation among the entries *not* retained for each
+        #: profile: every pruned candidate correlates at most this much with
+        #: the query, so its lower bound at any longer length is at least
+        #: ``LB(threshold)`` — the profile's ``maxLB``.
+        self._pruned_correlation_ceiling = np.full(self._num_profiles, -np.inf)
+        #: True when every candidate neighbour was retained (no pruning risk)
+        self._complete = np.zeros(self._num_profiles, dtype=bool)
+        #: True when pruning must be disabled for this offset (degenerate cases)
+        self._unbounded = np.zeros(self._num_profiles, dtype=bool)
+        self._populated = np.zeros(self._num_profiles, dtype=bool)
+        #: the length the stored dot products currently refer to
+        self._current_length = self._base_length
+
+    # ------------------------------------------------------------------ #
+    # construction (driven by the STOMP callback)
+    # ------------------------------------------------------------------ #
+    @property
+    def base_length(self) -> int:
+        """The base subsequence length the store was built at."""
+        return self._base_length
+
+    @property
+    def capacity(self) -> int:
+        """Number of entries retained per profile (the paper's ``p``)."""
+        return self._capacity
+
+    @property
+    def current_length(self) -> int:
+        """The length the stored dot products currently correspond to."""
+        return self._current_length
+
+    @property
+    def num_profiles(self) -> int:
+        """Number of base-length query offsets."""
+        return self._num_profiles
+
+    def ingest_base_profile(self, offset: int, dot_products: np.ndarray) -> None:
+        """Retain the most promising entries of one base distance profile.
+
+        Called once per query offset from the STOMP ``profile_callback`` with
+        the raw sliding dot products of that offset's base-length profile.
+        """
+        if self._populated[offset]:
+            raise InvalidParameterError(f"profile {offset} was already ingested")
+        length = self._base_length
+        qt = np.asarray(dot_products, dtype=np.float64)
+        if qt.size != self._num_profiles:
+            raise InvalidParameterError(
+                f"expected {self._num_profiles} dot products, got {qt.size}"
+            )
+        sigma_i = self._base_stds[offset]
+        if sigma_i <= 0.0:
+            # Degenerate query: the correlation is undefined, so the lower
+            # bound cannot be trusted.  Disable pruning for this offset.
+            self._unbounded[offset] = True
+            self._populated[offset] = True
+            return
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            correlations = (
+                qt - length * self._base_means[offset] * self._base_means
+            ) / (length * sigma_i * self._base_stds)
+        # Neighbours that are constant at the base length do not obey the
+        # bound either; give them the best possible correlation so they are
+        # retained (and therefore tracked exactly) whenever possible.
+        correlations = np.where(self._base_constant, 1.0, correlations)
+        np.clip(correlations, -1.0, 1.0, out=correlations)
+
+        radius = default_exclusion_radius(length, self._exclusion_factor)
+        start = max(0, offset - radius)
+        stop = min(self._num_profiles, offset + radius + 1)
+        candidate_mask = np.ones(self._num_profiles, dtype=bool)
+        candidate_mask[start:stop] = False
+        candidate_indices = np.flatnonzero(candidate_mask)
+
+        if candidate_indices.size == 0:
+            self._complete[offset] = True
+            self._populated[offset] = True
+            return
+
+        if candidate_indices.size <= self._capacity:
+            kept = candidate_indices
+            self._complete[offset] = True
+        else:
+            candidate_correlations = correlations[candidate_indices]
+            partition = np.argpartition(candidate_correlations, -self._capacity)
+            top = partition[-self._capacity :]
+            kept = candidate_indices[top]
+            self._pruned_correlation_ceiling[offset] = float(
+                candidate_correlations[partition[: -self._capacity]].max()
+            )
+            # If some constant-at-base neighbour was *not* retained we cannot
+            # bound its distance at longer lengths: disable pruning here.
+            constant_candidates = int(np.count_nonzero(self._base_constant[candidate_indices]))
+            if constant_candidates:
+                constant_kept = int(np.count_nonzero(self._base_constant[kept]))
+                if constant_kept < constant_candidates:
+                    self._unbounded[offset] = True
+
+        order = np.argsort(-correlations[kept])
+        kept = kept[order]
+        count = kept.size
+        self._neighbors[offset, :count] = kept
+        self._dot_products[offset, :count] = qt[kept]
+        self._base_correlations[offset, :count] = correlations[kept]
+        self._populated[offset] = True
+
+    # ------------------------------------------------------------------ #
+    # per-length evaluation
+    # ------------------------------------------------------------------ #
+    def advance_to(self, length: int) -> None:
+        """Grow the stored dot products from the current length to ``length``.
+
+        The update appends one trailing product per intermediate length, each
+        as a single vectorised operation over the whole store.
+        """
+        if length < self._current_length:
+            raise InvalidParameterError(
+                f"cannot shrink the store from length {self._current_length} to {length}"
+            )
+        if length > self._values.size:
+            raise InvalidParameterError(
+                f"length {length} exceeds the series length {self._values.size}"
+            )
+        values = self._values
+        n = values.size
+        while self._current_length < length:
+            current = self._current_length
+            new_length = current + 1
+            # Rows whose query subsequence still fits at the new length.
+            row_limit = n - new_length + 1
+            rows = np.arange(row_limit)
+            neighbors = self._neighbors[:row_limit]
+            applicable = (neighbors >= 0) & (neighbors <= n - new_length)
+            if applicable.any():
+                query_tail = values[rows + current][:, np.newaxis]
+                neighbor_tail = np.where(
+                    applicable, values[np.clip(neighbors + current, 0, n - 1)], 0.0
+                )
+                self._dot_products[:row_limit] += np.where(
+                    applicable, query_tail * neighbor_tail, 0.0
+                )
+            self._current_length = new_length
+
+    def evaluate(self, length: int) -> LengthEvaluation:
+        """Evaluate every partial profile at ``length``.
+
+        Advances the dot products if needed, computes the true distances of
+        the retained (still applicable) entries, the per-profile ``minDist``
+        and ``maxLB``, and the valid/non-valid classification.
+        """
+        if length < self._base_length:
+            raise InvalidParameterError(
+                f"length {length} is smaller than the base length {self._base_length}"
+            )
+        self.advance_to(length)
+        values = self._values
+        n = values.size
+        num_rows = n - length + 1
+        means, stds = self._stats.mean_std(length)
+        radius = default_exclusion_radius(length, self._exclusion_factor)
+
+        rows = np.arange(num_rows)
+        neighbors = self._neighbors[:num_rows]
+        qt = self._dot_products[:num_rows]
+
+        applicable = (
+            (neighbors >= 0)
+            & (neighbors < num_rows)
+            & (np.abs(neighbors - rows[:, np.newaxis]) > radius)
+        )
+        safe_neighbors = np.clip(neighbors, 0, num_rows - 1)
+        mu_i = means[:num_rows][:, np.newaxis]
+        sigma_i = stds[:num_rows][:, np.newaxis]
+        mu_j = means[safe_neighbors]
+        sigma_j = stds[safe_neighbors]
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            correlation = (qt - length * mu_i * mu_j) / (length * sigma_i * sigma_j)
+        np.clip(correlation, -1.0, 1.0, out=correlation)
+        squared = 2.0 * length * (1.0 - correlation)
+        np.maximum(squared, 0.0, out=squared)
+        distances = np.sqrt(squared)
+        # Constant-subsequence conventions.
+        i_const = sigma_i <= 0.0
+        j_const = sigma_j <= 0.0
+        distances = np.where(i_const & j_const, 0.0, distances)
+        distances = np.where(i_const ^ j_const, np.sqrt(length), distances)
+        distances = np.where(applicable, distances, np.inf)
+
+        min_positions = np.argmin(distances, axis=1)
+        min_distances = distances[rows, min_positions]
+        min_indices = np.where(
+            np.isfinite(min_distances), neighbors[rows, min_positions], -1
+        )
+
+        max_lower_bounds = np.asarray(
+            lower_bound(
+                self._pruned_correlation_ceiling[:num_rows],
+                self._base_length,
+                length,
+                self._base_stds[:num_rows],
+                stds[:num_rows],
+                kind=self._lower_bound_kind,
+            ),
+            dtype=np.float64,
+        )
+        # If any subsequence of this length is constant, its distance to any
+        # query is sqrt(length) by convention, which the correlation-based
+        # bound does not cover; cap the threshold accordingly.
+        if bool(np.any(stds[:num_rows] <= 0.0)):
+            cap = max(float(np.sqrt(length)) - STD_EPSILON, 0.0)
+            max_lower_bounds = np.minimum(max_lower_bounds, cap)
+        # Degenerate cases where the bound does not hold: disable pruning.
+        max_lower_bounds = np.where(self._unbounded[:num_rows], 0.0, max_lower_bounds)
+        max_lower_bounds = np.where(stds[:num_rows] <= 0.0, 0.0, max_lower_bounds)
+        # A complete profile retains every candidate, so its retained minimum
+        # is exact no matter what: the threshold is infinite by definition.
+        max_lower_bounds = np.where(self._complete[:num_rows], np.inf, max_lower_bounds)
+
+        valid = min_distances <= max_lower_bounds
+        return LengthEvaluation(
+            length=length,
+            min_distances=min_distances,
+            min_indices=min_indices.astype(np.int64),
+            max_lower_bounds=max_lower_bounds,
+            valid=valid,
+        )

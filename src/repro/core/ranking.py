@@ -1,0 +1,105 @@
+"""Ranking motif pairs of different lengths.
+
+Raw z-normalised Euclidean distances grow with the subsequence length, so
+they cannot be compared across lengths.  The paper introduces the
+*length-normalised distance* ``d_n = d · sqrt(1/l)`` and ranks variable-length
+motif pairs by it, which "favours longer and similar sequences".
+
+Two motif pairs found at different lengths frequently describe the same
+underlying event (e.g. the same pair of heartbeats seen at length 50 and at
+length 56); the ranking helpers can optionally collapse such near-duplicates
+so a top-k list covers k *distinct* events.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.profile import MotifPair
+
+__all__ = ["rank_motif_pairs", "deduplicate_pairs", "pairs_describe_same_event"]
+
+
+def pairs_describe_same_event(
+    first: MotifPair, second: MotifPair, *, overlap_fraction: float = 0.5
+) -> bool:
+    """Heuristic: do two (possibly different-length) pairs cover the same event?
+
+    Two pairs are considered the same event when *both* members of the shorter
+    pair overlap the corresponding members of the longer pair by at least
+    ``overlap_fraction`` of the shorter length (members are matched in the
+    order that maximises the overlap).
+    """
+    if not 0.0 < overlap_fraction <= 1.0:
+        raise InvalidParameterError(
+            f"overlap_fraction must be in (0, 1], got {overlap_fraction}"
+        )
+    shorter, longer = (first, second) if first.window <= second.window else (second, first)
+    required = overlap_fraction * shorter.window
+
+    def overlap(offset_short: int, offset_long: int) -> float:
+        start = max(offset_short, offset_long)
+        stop = min(offset_short + shorter.window, offset_long + longer.window)
+        return max(0.0, stop - start)
+
+    direct = min(
+        overlap(shorter.offset_a, longer.offset_a),
+        overlap(shorter.offset_b, longer.offset_b),
+    )
+    crossed = min(
+        overlap(shorter.offset_a, longer.offset_b),
+        overlap(shorter.offset_b, longer.offset_a),
+    )
+    return max(direct, crossed) >= required
+
+
+def deduplicate_pairs(
+    pairs: Sequence[MotifPair], *, overlap_fraction: float = 0.5
+) -> List[MotifPair]:
+    """Keep, for every group of same-event pairs, only the best-ranked one.
+
+    ``pairs`` must already be sorted by preference (best first); the result
+    preserves that order.
+    """
+    kept: List[MotifPair] = []
+    for pair in pairs:
+        if any(
+            pairs_describe_same_event(pair, existing, overlap_fraction=overlap_fraction)
+            for existing in kept
+        ):
+            continue
+        kept.append(pair)
+    return kept
+
+
+def rank_motif_pairs(
+    pairs: Iterable[MotifPair],
+    k: int | None = None,
+    *,
+    distinct_events: bool = True,
+    overlap_fraction: float = 0.5,
+) -> List[MotifPair]:
+    """Rank motif pairs of any lengths by length-normalised distance.
+
+    Parameters
+    ----------
+    pairs:
+        Candidate pairs (typically the per-length top-k lists of a VALMOD run).
+    k:
+        Return at most this many pairs (all of them when None).
+    distinct_events:
+        Collapse pairs that describe the same underlying event at different
+        lengths, keeping the best-normalised one (default True — this is what
+        makes the ranking a list of *different* insights, as in the demo GUI).
+    overlap_fraction:
+        Overlap threshold used by the same-event heuristic.
+    """
+    if k is not None and k < 1:
+        raise InvalidParameterError(f"k must be >= 1 or None, got {k}")
+    ordered = sorted(pairs, key=lambda pair: (pair.normalized_distance, -pair.window))
+    if distinct_events:
+        ordered = deduplicate_pairs(ordered, overlap_fraction=overlap_fraction)
+    if k is not None:
+        ordered = ordered[:k]
+    return ordered

@@ -1,0 +1,255 @@
+"""VALMAP — the Variable-Length Matrix Profile.
+
+The paper defines VALMAP as a triple ``⟨MPn, IP, LP⟩`` of arrays of length
+``|D| - l_min + 1``:
+
+* ``MPn`` — the matrix profile holding *length-normalised* distances,
+* ``IP``  — the index profile (offset of the best match),
+* ``LP``  — the length profile (length at which the best match was found).
+
+It is initialised from the length-normalised base matrix profile (flat length
+profile equal to ``l_min``) and then updated with the top-k motif pairs of
+every longer length: position ``i`` is overwritten whenever a longer pair
+involving ``i`` achieves a smaller length-normalised distance.  The *update
+events* ("checkpoints" in the demo's GUI) are recorded so the analysis
+front-end can replay the structure at any intermediate length — that is what
+the demo's slider does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.profile import MatrixProfile, MotifPair
+from repro.stats.distance import length_normalized
+
+__all__ = ["ValmapCheckpoint", "Valmap"]
+
+
+@dataclass(frozen=True)
+class ValmapCheckpoint:
+    """One VALMAP update event.
+
+    Recorded every time a longer motif pair improves the length-normalised
+    distance of a position.  ``previous_*`` fields allow the structure to be
+    rolled back (or replayed forward) to any length.
+    """
+
+    offset: int
+    length: int
+    match: int
+    normalized_distance: float
+    previous_length: int
+    previous_match: int
+    previous_normalized_distance: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for reports and serialization."""
+        return {
+            "offset": self.offset,
+            "length": self.length,
+            "match": self.match,
+            "normalized_distance": self.normalized_distance,
+            "previous_length": self.previous_length,
+            "previous_match": self.previous_match,
+            "previous_normalized_distance": self.previous_normalized_distance,
+        }
+
+
+class Valmap:
+    """The VALMAP structure plus its update log.
+
+    Parameters
+    ----------
+    min_length, max_length:
+        The length range of the VALMOD run that produces the structure.
+    size:
+        Number of positions, ``|D| - min_length + 1``.
+    """
+
+    def __init__(self, min_length: int, max_length: int, size: int) -> None:
+        if size < 1:
+            raise InvalidParameterError(f"VALMAP size must be >= 1, got {size}")
+        if min_length < 1 or max_length < min_length:
+            raise InvalidParameterError(
+                f"invalid VALMAP length range [{min_length}, {max_length}]"
+            )
+        self.min_length = int(min_length)
+        self.max_length = int(max_length)
+        self._normalized_profile = np.full(size, np.inf, dtype=np.float64)
+        self._index_profile = np.full(size, -1, dtype=np.int64)
+        self._length_profile = np.full(size, min_length, dtype=np.int64)
+        self._checkpoints: List[ValmapCheckpoint] = []
+        self._track_checkpoints = True
+
+    # ------------------------------------------------------------------ #
+    # array views (the paper's MPn, IP, LP)
+    # ------------------------------------------------------------------ #
+    @property
+    def normalized_profile(self) -> np.ndarray:
+        """``MPn`` — length-normalised best-match distances."""
+        return self._normalized_profile
+
+    @property
+    def index_profile(self) -> np.ndarray:
+        """``IP`` — offsets of the best matches."""
+        return self._index_profile
+
+    @property
+    def length_profile(self) -> np.ndarray:
+        """``LP`` — lengths at which the best matches were found."""
+        return self._length_profile
+
+    @property
+    def checkpoints(self) -> List[ValmapCheckpoint]:
+        """All recorded update events, in application order."""
+        return list(self._checkpoints)
+
+    def __len__(self) -> int:
+        return int(self._normalized_profile.size)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_base_profile(
+        cls,
+        base_profile: MatrixProfile,
+        max_length: int,
+        *,
+        track_checkpoints: bool = True,
+    ) -> "Valmap":
+        """Initialise VALMAP from the base-length matrix profile.
+
+        With a fixed length this coincides with the length-normalised matrix
+        profile and a flat length profile, exactly as the paper describes.
+        """
+        valmap = cls(base_profile.window, max_length, len(base_profile))
+        valmap._track_checkpoints = track_checkpoints
+        valmap._normalized_profile[:] = base_profile.normalized_distances
+        valmap._index_profile[:] = base_profile.indices
+        valmap._length_profile[:] = base_profile.window
+        return valmap
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def update(self, offset: int, length: int, match: int, distance: float) -> bool:
+        """Offer a new best-match candidate for ``offset``.
+
+        ``distance`` is the raw z-normalised Euclidean distance at ``length``;
+        it is length-normalised internally.  Returns True when the entry was
+        improved (and a checkpoint recorded).
+        """
+        if offset < 0 or offset >= len(self):
+            raise InvalidParameterError(f"offset {offset} out of range [0, {len(self)})")
+        if length < self.min_length or length > self.max_length:
+            raise InvalidParameterError(
+                f"length {length} outside VALMAP range "
+                f"[{self.min_length}, {self.max_length}]"
+            )
+        normalized = float(length_normalized(distance, length))
+        if normalized >= self._normalized_profile[offset]:
+            return False
+        if self._track_checkpoints:
+            self._checkpoints.append(
+                ValmapCheckpoint(
+                    offset=offset,
+                    length=length,
+                    match=match,
+                    normalized_distance=normalized,
+                    previous_length=int(self._length_profile[offset]),
+                    previous_match=int(self._index_profile[offset]),
+                    previous_normalized_distance=float(self._normalized_profile[offset]),
+                )
+            )
+        self._normalized_profile[offset] = normalized
+        self._index_profile[offset] = match
+        self._length_profile[offset] = length
+        return True
+
+    def update_from_pair(self, pair: MotifPair, *, both_members: bool = True) -> int:
+        """Update VALMAP from one motif pair; returns how many entries improved.
+
+        The paper formally updates only the left member of the pair; with
+        ``both_members=True`` (default) the symmetric entry is updated as
+        well, since the pair distance also upper-bounds the best match of the
+        right member.
+        """
+        improved = 0
+        improved += int(self.update(pair.offset_a, pair.window, pair.offset_b, pair.distance))
+        if both_members and pair.offset_b < len(self):
+            improved += int(
+                self.update(pair.offset_b, pair.window, pair.offset_a, pair.distance)
+            )
+        return improved
+
+    def update_from_pairs(self, pairs: Iterable[MotifPair], *, both_members: bool = True) -> int:
+        """Apply :meth:`update_from_pair` to every pair; returns total improvements."""
+        return sum(self.update_from_pair(pair, both_members=both_members) for pair in pairs)
+
+    # ------------------------------------------------------------------ #
+    # analysis
+    # ------------------------------------------------------------------ #
+    def best_entry(self) -> tuple[int, int, int, float]:
+        """``(offset, length, match, normalized_distance)`` of the global best entry."""
+        offset = int(np.argmin(self._normalized_profile))
+        return (
+            offset,
+            int(self._length_profile[offset]),
+            int(self._index_profile[offset]),
+            float(self._normalized_profile[offset]),
+        )
+
+    def updated_positions(self) -> np.ndarray:
+        """Offsets whose best match was found at a length larger than ``min_length``."""
+        return np.flatnonzero(self._length_profile > self.min_length)
+
+    def checkpoints_up_to(self, length: int) -> List[ValmapCheckpoint]:
+        """The update events produced by lengths ``<= length`` (the demo's slider)."""
+        return [cp for cp in self._checkpoints if cp.length <= length]
+
+    def snapshot_at(self, length: int) -> "Valmap":
+        """Rebuild the VALMAP as it looked after processing lengths ``<= length``.
+
+        Requires checkpoint tracking; raises otherwise.
+        """
+        if not self._track_checkpoints:
+            raise InvalidParameterError(
+                "snapshot_at requires checkpoint tracking to be enabled"
+            )
+        if length < self.min_length:
+            raise InvalidParameterError(
+                f"length {length} is smaller than min_length {self.min_length}"
+            )
+        snapshot = Valmap(self.min_length, self.max_length, len(self))
+        snapshot._normalized_profile[:] = self._normalized_profile
+        snapshot._index_profile[:] = self._index_profile
+        snapshot._length_profile[:] = self._length_profile
+        # Roll back the updates that happened after the requested length,
+        # newest first, restoring the recorded previous values.
+        for checkpoint in reversed(self._checkpoints):
+            if checkpoint.length <= length:
+                break
+            snapshot._normalized_profile[checkpoint.offset] = (
+                checkpoint.previous_normalized_distance
+            )
+            snapshot._index_profile[checkpoint.offset] = checkpoint.previous_match
+            snapshot._length_profile[checkpoint.offset] = checkpoint.previous_length
+        snapshot._checkpoints = self.checkpoints_up_to(length)
+        return snapshot
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for reports and serialization."""
+        return {
+            "min_length": self.min_length,
+            "max_length": self.max_length,
+            "normalized_profile": self._normalized_profile.tolist(),
+            "index_profile": self._index_profile.tolist(),
+            "length_profile": self._length_profile.tolist(),
+            "checkpoints": [cp.as_dict() for cp in self._checkpoints],
+        }

@@ -1,0 +1,217 @@
+"""VALMOD — Variable-Length Motif Discovery (the paper's core algorithm).
+
+The algorithm proceeds exactly as described in Section 2 of the paper:
+
+1. compute the matrix profile at the smallest length ``l_min`` of the range
+   with a STOMP pass; while each base distance profile is available, retain
+   its ``p`` most promising entries (smallest lower bound) in a
+   :class:`~repro.core.partial_profile.PartialProfileStore`;
+2. for every longer length ``l_min+1 … l_max``: update the retained dot
+   products incrementally, obtain each profile's ``minDist`` and ``maxLB``
+   and classify it as *valid* (its retained minimum is provably the true
+   minimum) or *non-valid*;
+3. extract the top-k motif pairs of the length.  Whenever the smallest
+   candidate value belongs to a non-valid profile (i.e. the candidate is only
+   a lower bound — this is the paper's ``minLBAbs`` test failing), that
+   single profile is recomputed exactly with MASS and the selection resumes;
+   the output is therefore always exact;
+4. update VALMAP with the top-k pairs of the length.
+
+The result object bundles the per-length motif pairs, the pruning statistics
+(Figure 2), the VALMAP meta-data (Figure 1, right) and the ranking of motif
+pairs across lengths by length-normalised distance.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.config import ValmodConfig
+from repro.core.partial_profile import PartialProfileStore
+from repro.core.results import LengthResult, PruningStats, ValmodResult
+from repro.core.valmap import Valmap
+from repro.matrix_profile.distance_profile import distance_profile
+from repro.matrix_profile.exclusion import apply_exclusion_zone, default_exclusion_radius
+from repro.matrix_profile.profile import MotifPair
+from repro.matrix_profile.stomp import stomp
+from repro.series.dataseries import DataSeries
+from repro.series.validation import validate_length_range, validate_series
+from repro.stats.sliding import SlidingStats
+
+__all__ = ["valmod", "valmod_with_config"]
+
+
+def valmod(
+    series,
+    min_length: int,
+    max_length: int,
+    *,
+    top_k: int = 3,
+    profile_capacity: int = 16,
+    exclusion_factor: int = 4,
+    lower_bound_kind: str = "tight",
+    length_step: int = 1,
+    track_checkpoints: bool = True,
+    update_both_members: bool = True,
+) -> ValmodResult:
+    """Find the exact top-k motif pairs of every length in ``[min_length, max_length]``.
+
+    Parameters mirror :class:`~repro.core.config.ValmodConfig`; see its
+    documentation for the meaning of each knob.  ``series`` may be a plain
+    array or a :class:`~repro.series.DataSeries`.
+
+    Returns
+    -------
+    ValmodResult
+        Per-length top-k motif pairs, pruning statistics, the VALMAP
+        meta-data structure and timing information.
+    """
+    config = ValmodConfig(
+        min_length=min_length,
+        max_length=max_length,
+        top_k=top_k,
+        profile_capacity=profile_capacity,
+        exclusion_factor=exclusion_factor,
+        lower_bound_kind=lower_bound_kind,
+        length_step=length_step,
+        track_checkpoints=track_checkpoints,
+        update_both_members=update_both_members,
+    )
+    return valmod_with_config(series, config)
+
+
+def valmod_with_config(series, config: ValmodConfig) -> ValmodResult:
+    """Run VALMOD with an explicit :class:`~repro.core.config.ValmodConfig`."""
+    series_name = series.name if isinstance(series, DataSeries) else "series"
+    values = validate_series(series)
+    validate_length_range(values.size, config.min_length, config.max_length)
+
+    started = time.perf_counter()
+    stats = SlidingStats(values)
+    store = PartialProfileStore(
+        values,
+        stats,
+        config.min_length,
+        config.profile_capacity,
+        exclusion_factor=config.exclusion_factor,
+        lower_bound_kind=config.lower_bound_kind,
+    )
+
+    def ingest(offset: int, dot_products: np.ndarray, _distances: np.ndarray) -> None:
+        store.ingest_base_profile(offset, dot_products)
+
+    base_radius = default_exclusion_radius(config.min_length, config.exclusion_factor)
+    base_profile = stomp(
+        values,
+        config.min_length,
+        exclusion_radius=base_radius,
+        stats=stats,
+        profile_callback=ingest,
+    )
+
+    length_results: Dict[int, LengthResult] = {}
+    base_motifs = base_profile.motifs(config.top_k)
+    base_count = len(base_profile)
+    length_results[config.min_length] = LengthResult(
+        length=config.min_length,
+        motifs=base_motifs,
+        pruning=PruningStats(
+            length=config.min_length,
+            num_profiles=base_count,
+            num_valid=base_count,
+            num_non_valid=0,
+            num_recomputed=0,
+            min_lb_abs=float("inf"),
+        ),
+    )
+
+    valmap = Valmap.from_base_profile(
+        base_profile, config.max_length, track_checkpoints=config.track_checkpoints
+    )
+
+    total_recomputed = 0
+    for length in config.lengths[1:]:
+        result, recomputed = _evaluate_length(values, stats, store, config, length)
+        total_recomputed += recomputed
+        length_results[length] = result
+        valmap.update_from_pairs(result.motifs, both_members=config.update_both_members)
+        if length != config.min_length:
+            stats.forget(length)
+
+    elapsed = time.perf_counter() - started
+    return ValmodResult(
+        config=config,
+        series_name=series_name,
+        series_length=int(values.size),
+        base_profile=base_profile,
+        length_results=length_results,
+        valmap=valmap,
+        elapsed_seconds=elapsed,
+        extra={"total_recomputed_profiles": float(total_recomputed)},
+    )
+
+
+def _evaluate_length(
+    values: np.ndarray,
+    stats: SlidingStats,
+    store: PartialProfileStore,
+    config: ValmodConfig,
+    length: int,
+) -> tuple[LengthResult, int]:
+    """Top-k motif pairs of one length, recomputing profiles only when required."""
+    evaluation = store.evaluate(length)
+    radius = default_exclusion_radius(length, config.exclusion_factor)
+
+    exact = np.array(evaluation.valid, dtype=bool)
+    min_distances = np.array(evaluation.min_distances, dtype=np.float64)
+    nearest = np.array(evaluation.min_indices, dtype=np.int64)
+    # Selection values: exact minima where certified, lower bounds elsewhere.
+    working = np.where(exact, min_distances, evaluation.max_lower_bounds)
+
+    pairs: List[MotifPair] = []
+    recomputed = 0
+    while len(pairs) < config.top_k:
+        candidate = int(np.argmin(working))
+        if not np.isfinite(working[candidate]):
+            break
+        if not exact[candidate]:
+            profile = distance_profile(
+                values, candidate, length, stats=stats, exclusion_radius=radius
+            )
+            best = int(np.argmin(profile))
+            if np.isfinite(profile[best]):
+                min_distances[candidate] = float(profile[best])
+                nearest[candidate] = best
+            else:
+                min_distances[candidate] = np.inf
+                nearest[candidate] = -1
+            exact[candidate] = True
+            working[candidate] = min_distances[candidate]
+            recomputed += 1
+            continue
+        if nearest[candidate] < 0:
+            apply_exclusion_zone(working, candidate, radius)
+            continue
+        pairs.append(
+            MotifPair(
+                distance=float(min_distances[candidate]),
+                offset_a=candidate,
+                offset_b=int(nearest[candidate]),
+                window=length,
+            )
+        )
+        apply_exclusion_zone(working, candidate, radius)
+        apply_exclusion_zone(working, int(nearest[candidate]), radius)
+
+    pruning = PruningStats(
+        length=length,
+        num_profiles=int(evaluation.valid.size),
+        num_valid=evaluation.num_valid,
+        num_non_valid=evaluation.num_non_valid,
+        num_recomputed=recomputed,
+        min_lb_abs=evaluation.min_lb_abs,
+    )
+    return LengthResult(length=length, motifs=pairs, pruning=pruning), recomputed

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the VALMOD reproduction library.
+
+All exceptions raised on purpose by :mod:`repro` derive from
+:class:`ReproError`, so callers can catch library errors with a single
+``except`` clause without masking programming errors (``TypeError`` and
+friends are still allowed to propagate).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidSeriesError",
+    "InvalidParameterError",
+    "SubsequenceLengthError",
+    "LengthRangeError",
+    "EmptyResultError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class InvalidSeriesError(ReproError, ValueError):
+    """The input data series is unusable (wrong type, NaNs, too short...)."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter value is outside its valid domain."""
+
+
+class SubsequenceLengthError(InvalidParameterError):
+    """A subsequence length is invalid for the given series."""
+
+    def __init__(self, length: int, series_length: int, reason: str | None = None) -> None:
+        message = f"subsequence length {length} is invalid for a series of length {series_length}"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+        self.length = length
+        self.series_length = series_length
+
+
+class LengthRangeError(InvalidParameterError):
+    """The motif length range [min_length, max_length] is invalid."""
+
+    def __init__(self, min_length: int, max_length: int, reason: str | None = None) -> None:
+        message = f"invalid length range [{min_length}, {max_length}]"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+        self.min_length = min_length
+        self.max_length = max_length
+
+
+class EmptyResultError(ReproError, RuntimeError):
+    """An operation that must produce a result produced none.
+
+    Raised, for instance, when the exclusion constraints prune every candidate
+    motif pair of a given length.
+    """
+
+
+class SerializationError(ReproError, RuntimeError):
+    """A profile or VALMAP artefact could not be saved or loaded."""

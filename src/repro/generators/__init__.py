@@ -1,0 +1,38 @@
+"""Synthetic dataset generators.
+
+The paper's evaluation uses real recordings (ECG, ASTRO light curves,
+seismology, entomology) that are not redistributable; these generators build
+synthetic stand-ins that preserve the property each experiment relies on —
+repeated patterns whose natural length is unknown a priori and differs from
+any single fixed subsequence length (see the substitution table in
+DESIGN.md).  The planted-motif generator additionally embeds patterns at
+known positions so tests can check discovered motifs against ground truth.
+"""
+
+from repro.generators.astro import generate_astro
+from repro.generators.climatology import generate_climate
+from repro.generators.ecg import generate_ecg
+from repro.generators.entomology import generate_epg
+from repro.generators.noise import add_gaussian_noise, add_spikes, generate_noise
+from repro.generators.planted import PlantedMotif, generate_planted_motifs
+from repro.generators.random_walk import generate_random_walk, generate_smooth_random_walk
+from repro.generators.respiration import generate_respiration
+from repro.generators.robotics import generate_gait
+from repro.generators.seismic import generate_seismic
+
+__all__ = [
+    "PlantedMotif",
+    "add_gaussian_noise",
+    "add_spikes",
+    "generate_astro",
+    "generate_climate",
+    "generate_ecg",
+    "generate_epg",
+    "generate_gait",
+    "generate_noise",
+    "generate_planted_motifs",
+    "generate_random_walk",
+    "generate_respiration",
+    "generate_seismic",
+    "generate_smooth_random_walk",
+]

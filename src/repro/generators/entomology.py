@@ -1,0 +1,88 @@
+"""Synthetic insect electrical-penetration-graph (EPG) series.
+
+The entomology demo scenario of the paper analyses EPG recordings: the
+voltage measured while an insect feeds on a plant.  Such recordings alternate
+between behavioural phases — non-probing baseline, probing waveforms
+(quasi-periodic oscillation bursts) and ingestion plateaus — and the motifs of
+interest are the recurring probing bursts, whose duration depends on the
+insect's behaviour rather than on any fixed analysis window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.generators.noise import _rng
+from repro.series.dataseries import DataSeries
+
+__all__ = ["generate_epg"]
+
+
+def generate_epg(
+    length: int,
+    *,
+    burst_duration: int = 140,
+    duration_jitter: float = 0.15,
+    burst_frequency: float = 9.0,
+    plateau_level: float = 1.5,
+    noise_level: float = 0.08,
+    random_state: np.random.Generator | int | None = None,
+    name: str = "epg",
+) -> DataSeries:
+    """Generate an EPG-like series alternating baseline / burst / plateau phases.
+
+    ``metadata`` records the ground-truth ``burst_starts`` and
+    ``burst_durations``.
+    """
+    if length < 2:
+        raise InvalidParameterError(f"length must be >= 2, got {length}")
+    if burst_duration < 16:
+        raise InvalidParameterError(f"burst_duration must be >= 16, got {burst_duration}")
+    rng = _rng(random_state)
+
+    values = np.zeros(length, dtype=np.float64)
+    burst_starts: list[int] = []
+    burst_durations: list[int] = []
+    position = 0
+    while position < length:
+        # Baseline phase.
+        baseline_length = int(rng.integers(burst_duration // 2, burst_duration * 2))
+        position = min(position + baseline_length, length)
+        if position >= length:
+            break
+        # Probing burst: amplitude-modulated oscillation.
+        duration = max(
+            16, int(round(burst_duration * (1.0 + rng.normal(0.0, duration_jitter))))
+        )
+        stop = min(position + duration, length)
+        time_axis = np.arange(stop - position, dtype=np.float64)
+        envelope = np.sin(np.pi * time_axis / max(duration - 1, 1)) ** 2
+        oscillation = np.sin(
+            2.0 * np.pi * burst_frequency * time_axis / duration + rng.uniform(0, 2 * np.pi)
+        )
+        values[position:stop] += envelope[: stop - position] * oscillation
+        burst_starts.append(position)
+        burst_durations.append(duration)
+        position = stop
+        # Occasional ingestion plateau.
+        if rng.random() < 0.4 and position < length:
+            plateau_length = int(rng.integers(burst_duration // 2, burst_duration))
+            stop = min(position + plateau_length, length)
+            ramp = np.minimum(np.arange(stop - position) / 10.0, 1.0)
+            values[position:stop] += plateau_level * ramp
+            position = stop
+
+    if noise_level > 0:
+        values += rng.normal(0.0, noise_level, size=length)
+
+    return DataSeries(
+        values,
+        name=name,
+        metadata={
+            "generator": "epg",
+            "burst_duration": burst_duration,
+            "burst_starts": burst_starts,
+            "burst_durations": burst_durations,
+        },
+    )

@@ -1,0 +1,74 @@
+"""Noise sources and corruption helpers used by every generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["generate_noise", "add_gaussian_noise", "add_spikes"]
+
+
+def _rng(random_state: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)
+
+
+def generate_noise(
+    length: int,
+    *,
+    scale: float = 1.0,
+    kind: str = "gaussian",
+    random_state: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A pure-noise series (``gaussian``, ``uniform`` or ``laplace``)."""
+    if length < 1:
+        raise InvalidParameterError(f"length must be >= 1, got {length}")
+    if scale < 0:
+        raise InvalidParameterError(f"scale must be >= 0, got {scale}")
+    rng = _rng(random_state)
+    if kind == "gaussian":
+        return rng.normal(0.0, scale, size=length)
+    if kind == "uniform":
+        return rng.uniform(-scale, scale, size=length)
+    if kind == "laplace":
+        return rng.laplace(0.0, scale, size=length)
+    raise InvalidParameterError(f"unknown noise kind {kind!r}")
+
+
+def add_gaussian_noise(
+    values: np.ndarray,
+    noise_level: float,
+    *,
+    random_state: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Return ``values`` plus white noise scaled to ``noise_level``·std(values)."""
+    array = np.asarray(values, dtype=np.float64)
+    if noise_level < 0:
+        raise InvalidParameterError(f"noise_level must be >= 0, got {noise_level}")
+    if noise_level == 0:
+        return np.array(array)
+    rng = _rng(random_state)
+    scale = noise_level * (array.std() if array.std() > 0 else 1.0)
+    return array + rng.normal(0.0, scale, size=array.size)
+
+
+def add_spikes(
+    values: np.ndarray,
+    *,
+    num_spikes: int = 5,
+    magnitude: float = 5.0,
+    random_state: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Inject isolated spikes (used to create discord-bearing series)."""
+    array = np.array(np.asarray(values, dtype=np.float64))
+    if num_spikes < 0:
+        raise InvalidParameterError(f"num_spikes must be >= 0, got {num_spikes}")
+    if num_spikes == 0:
+        return array
+    rng = _rng(random_state)
+    positions = rng.choice(array.size, size=min(num_spikes, array.size), replace=False)
+    scale = magnitude * (array.std() if array.std() > 0 else 1.0)
+    array[positions] += rng.choice([-1.0, 1.0], size=positions.size) * scale
+    return array

@@ -1,0 +1,170 @@
+"""Planted-motif series with exact ground truth.
+
+These series embed copies of a randomly drawn pattern at known offsets inside
+a random-walk background.  Because the plant locations, the pattern length
+and the amount of per-copy distortion are all controlled, they are the
+work-horse of the correctness tests (did VALMOD find the planted pair?) and
+of the accuracy/ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.generators.noise import _rng
+from repro.series.dataseries import DataSeries
+
+__all__ = ["PlantedMotif", "generate_planted_motifs"]
+
+
+@dataclass(frozen=True)
+class PlantedMotif:
+    """Ground truth for one planted pattern: its length and its copy offsets."""
+
+    length: int
+    offsets: List[int]
+
+    def as_dict(self) -> dict:
+        """Plain-dict form stored in the series metadata."""
+        return {"length": self.length, "offsets": list(self.offsets)}
+
+
+def _smooth_pattern(length: int, rng: np.random.Generator) -> np.ndarray:
+    """A smooth random pattern with a distinctive multi-bump shape."""
+    time_axis = np.linspace(0.0, 1.0, length)
+    pattern = np.zeros(length, dtype=np.float64)
+    for _ in range(int(rng.integers(2, 5))):
+        center = rng.uniform(0.1, 0.9)
+        width = rng.uniform(0.05, 0.2)
+        amplitude = rng.uniform(0.5, 2.0) * rng.choice([-1.0, 1.0])
+        pattern += amplitude * np.exp(-0.5 * ((time_axis - center) / width) ** 2)
+    pattern += 0.3 * np.sin(2.0 * np.pi * rng.uniform(1.0, 3.0) * time_axis)
+    return pattern
+
+
+def generate_planted_motifs(
+    length: int,
+    *,
+    motif_lengths: tuple[int, ...] | list[int] = (64,),
+    copies_per_motif: int = 2,
+    distortion: float = 0.02,
+    background_scale: float = 1.0,
+    amplitude: float = 3.0,
+    min_separation: int | None = None,
+    random_state: np.random.Generator | int | None = None,
+    name: str = "planted",
+) -> tuple[DataSeries, List[PlantedMotif]]:
+    """Build a random-walk series with planted motif copies.
+
+    Parameters
+    ----------
+    length:
+        Total number of points.
+    motif_lengths:
+        Length of each planted pattern (one distinct pattern per entry).
+    copies_per_motif:
+        Number of copies planted for each pattern (>= 2 so a pair exists).
+    distortion:
+        Standard deviation of the white noise added to every copy, relative
+        to the pattern amplitude (0 = identical copies).
+    background_scale:
+        Step size of the random-walk background.
+    amplitude:
+        Scale of the planted pattern relative to the background's local std.
+    min_separation:
+        Minimum distance between any two plant locations; defaults to the
+        largest motif length (so copies never overlap).
+
+    Returns
+    -------
+    (series, ground_truth)
+        The series (the ground truth is also stored in its metadata) and the
+        list of :class:`PlantedMotif` records.
+    """
+    if length < 2:
+        raise InvalidParameterError(f"length must be >= 2, got {length}")
+    motif_lengths = tuple(int(value) for value in motif_lengths)
+    if not motif_lengths:
+        raise InvalidParameterError("motif_lengths must not be empty")
+    if any(value < 8 for value in motif_lengths):
+        raise InvalidParameterError("every motif length must be >= 8")
+    if copies_per_motif < 2:
+        raise InvalidParameterError(
+            f"copies_per_motif must be >= 2, got {copies_per_motif}"
+        )
+    if distortion < 0:
+        raise InvalidParameterError(f"distortion must be >= 0, got {distortion}")
+    longest = max(motif_lengths)
+    if min_separation is None:
+        min_separation = longest
+    total_needed = sum(
+        (max(lng, min_separation) + 1) * copies_per_motif for lng in motif_lengths
+    )
+    if total_needed > length:
+        raise InvalidParameterError(
+            f"series of length {length} is too short to plant "
+            f"{copies_per_motif} copies of {len(motif_lengths)} motifs "
+            f"with separation {min_separation}"
+        )
+    rng = _rng(random_state)
+
+    background = np.cumsum(rng.normal(0.0, background_scale, size=length))
+    values = np.array(background)
+    local_scale = max(background.std(), 1e-6)
+
+    occupied: list[tuple[int, int]] = []
+    ground_truth: List[PlantedMotif] = []
+
+    def collides(start: int, span: int) -> bool:
+        return any(
+            start < existing_stop + min_separation
+            and existing_start - min_separation < start + span
+            for existing_start, existing_stop in occupied
+        )
+
+    for motif_length in motif_lengths:
+        pattern = _smooth_pattern(motif_length, rng)
+        pattern = amplitude * local_scale * pattern / max(pattern.std(), 1e-9)
+        offsets: List[int] = []
+        attempts = 0
+        while len(offsets) < copies_per_motif and attempts < 200 * copies_per_motif:
+            attempts += 1
+            start = int(rng.integers(0, length - motif_length))
+            if collides(start, motif_length):
+                continue
+            copy = pattern + rng.normal(
+                0.0, distortion * amplitude * local_scale, size=motif_length
+            )
+            # Blend the copy over the background so plant boundaries do not
+            # create artificial discontinuities (which would themselves become
+            # spurious motifs or discords).
+            blend = np.ones(motif_length)
+            ramp = max(2, motif_length // 16)
+            blend[:ramp] = np.linspace(0.0, 1.0, ramp)
+            blend[-ramp:] = np.linspace(1.0, 0.0, ramp)
+            segment = values[start : start + motif_length]
+            values[start : start + motif_length] = (
+                (1 - blend) * segment + blend * (segment[0] + copy)
+            )
+            offsets.append(start)
+            occupied.append((start, start + motif_length))
+        if len(offsets) < copies_per_motif:
+            raise InvalidParameterError(
+                "could not place all motif copies; increase the series length "
+                "or reduce min_separation"
+            )
+        ground_truth.append(PlantedMotif(length=motif_length, offsets=sorted(offsets)))
+
+    series = DataSeries(
+        values,
+        name=name,
+        metadata={
+            "generator": "planted",
+            "planted_motifs": [motif.as_dict() for motif in ground_truth],
+        },
+    )
+    return series, ground_truth

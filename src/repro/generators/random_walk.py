@@ -1,0 +1,47 @@
+"""Random-walk series — the canonical "no planted structure" background."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.generators.noise import _rng
+from repro.series.dataseries import DataSeries
+
+__all__ = ["generate_random_walk", "generate_smooth_random_walk"]
+
+
+def generate_random_walk(
+    length: int,
+    *,
+    step_scale: float = 1.0,
+    random_state: np.random.Generator | int | None = None,
+    name: str = "random-walk",
+) -> DataSeries:
+    """Cumulative sum of Gaussian steps."""
+    if length < 2:
+        raise InvalidParameterError(f"length must be >= 2, got {length}")
+    if step_scale <= 0:
+        raise InvalidParameterError(f"step_scale must be positive, got {step_scale}")
+    rng = _rng(random_state)
+    values = np.cumsum(rng.normal(0.0, step_scale, size=length))
+    return DataSeries(values, name=name, metadata={"generator": "random_walk"})
+
+
+def generate_smooth_random_walk(
+    length: int,
+    *,
+    smoothing: int = 8,
+    step_scale: float = 1.0,
+    random_state: np.random.Generator | int | None = None,
+    name: str = "smooth-random-walk",
+) -> DataSeries:
+    """Random walk convolved with a box filter (locally smooth, like sensor data)."""
+    if smoothing < 1:
+        raise InvalidParameterError(f"smoothing must be >= 1, got {smoothing}")
+    walk = generate_random_walk(
+        length + smoothing, step_scale=step_scale, random_state=random_state
+    )
+    kernel = np.full(smoothing, 1.0 / smoothing)
+    values = np.convolve(walk.values, kernel, mode="valid")[:length]
+    return DataSeries(values, name=name, metadata={"generator": "smooth_random_walk"})

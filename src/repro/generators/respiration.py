@@ -1,0 +1,147 @@
+"""Synthetic respiration series (sleep-study breathing with apnea events).
+
+Reference [6] of the paper is a sleep-study reliability paper (respiratory
+disturbance scoring); the corresponding recordings are airflow/chest-belt
+series in which normal breathing cycles alternate with *apnea* episodes
+(reduced or absent airflow followed by a recovery gasp).  Both structures are
+motifs of *a priori unknown and different* lengths — breathing cycles last a
+few seconds, apnea events tens of seconds — which makes the series a natural
+variable-length benchmark and a good discord workload (isolated events).
+
+The generator produces:
+
+* quasi-periodic breathing (amplitude- and period-jittered sinusoid bursts);
+* apnea episodes: the breathing amplitude collapses for a jittered duration
+  and a recovery gasp (deep breath) follows;
+* slow baseline drift (body movements) and measurement noise.
+
+Ground truth (apnea onsets/durations, nominal breath period) is stored in the
+metadata.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.generators.noise import _rng
+from repro.series.dataseries import DataSeries
+
+__all__ = ["generate_respiration"]
+
+
+def generate_respiration(
+    length: int,
+    *,
+    breath_period: int = 80,
+    period_jitter: float = 0.08,
+    amplitude_jitter: float = 0.10,
+    apnea_duration: int = 320,
+    apnea_gap: int = 1200,
+    duration_jitter: float = 0.20,
+    gasp_amplitude: float = 1.8,
+    drift_amplitude: float = 0.15,
+    noise_level: float = 0.03,
+    random_state: np.random.Generator | int | None = None,
+    name: str = "respiration",
+) -> DataSeries:
+    """Generate a synthetic respiration (airflow) recording with apnea events.
+
+    Parameters
+    ----------
+    length:
+        Number of points of the series.
+    breath_period:
+        Nominal points per breathing cycle (short motif length).
+    apnea_duration:
+        Nominal duration of an apnea episode, suppression plus recovery gasp
+        (long motif length).
+    apnea_gap:
+        Mean number of points between consecutive apnea onsets.
+    gasp_amplitude:
+        Amplitude multiplier of the recovery breath that ends each apnea.
+    drift_amplitude:
+        Amplitude of the slow baseline drift.
+    noise_level:
+        Standard deviation of the white measurement noise.
+
+    Returns
+    -------
+    DataSeries
+        ``metadata["apnea_starts"]`` / ``metadata["apnea_durations"]`` hold the
+        ground truth; ``metadata["breath_period"]`` and
+        ``metadata["apnea_duration"]`` the two nominal motif lengths.
+    """
+    if length < 2:
+        raise InvalidParameterError(f"length must be >= 2, got {length}")
+    if breath_period < 8:
+        raise InvalidParameterError(f"breath_period must be >= 8, got {breath_period}")
+    if apnea_duration < 2 * breath_period:
+        raise InvalidParameterError(
+            "apnea_duration must be at least two breathing cycles "
+            f"({apnea_duration} < {2 * breath_period})"
+        )
+    if apnea_gap <= apnea_duration:
+        raise InvalidParameterError(
+            f"apnea_gap must exceed apnea_duration ({apnea_gap} <= {apnea_duration})"
+        )
+    if min(period_jitter, amplitude_jitter, duration_jitter, noise_level) < 0:
+        raise InvalidParameterError("jitter and noise amplitudes must be >= 0")
+    rng = _rng(random_state)
+
+    # Breathing: phase-continuous oscillation with per-cycle period/amplitude jitter.
+    values = np.zeros(length, dtype=np.float64)
+    position = 0
+    while position < length:
+        this_period = max(
+            8, int(round(breath_period * (1.0 + rng.normal(0.0, period_jitter))))
+        )
+        amplitude = 1.0 + rng.normal(0.0, amplitude_jitter)
+        stop = min(position + this_period, length)
+        phase = np.linspace(0.0, 2.0 * np.pi, this_period, endpoint=False)
+        values[position:stop] = amplitude * np.sin(phase[: stop - position])
+        position += this_period
+
+    # Apnea episodes: suppress the breathing envelope, then add a recovery gasp.
+    apnea_starts: list[int] = []
+    apnea_durations: list[int] = []
+    position = int(rng.integers(apnea_gap // 2, apnea_gap))
+    while position < length:
+        duration = max(
+            2 * breath_period,
+            int(round(apnea_duration * (1.0 + rng.normal(0.0, duration_jitter)))),
+        )
+        stop = min(position + duration, length)
+        span = stop - position
+        envelope = np.ones(span)
+        suppressed = int(span * 0.75)
+        envelope[:suppressed] = 0.12  # near-flat airflow during the apnea
+        values[position:stop] *= envelope
+        # Recovery gasp: one deep breath right after the suppression.
+        gasp_length = min(breath_period, stop - (position + suppressed))
+        if gasp_length > 4:
+            gasp_phase = np.linspace(0.0, 2.0 * np.pi, gasp_length, endpoint=False)
+            values[position + suppressed : position + suppressed + gasp_length] = (
+                gasp_amplitude * np.sin(gasp_phase)
+            )
+        apnea_starts.append(position)
+        apnea_durations.append(duration)
+        position += max(duration + 1, int(round(apnea_gap * (1.0 + rng.normal(0.0, 0.25)))))
+
+    # Slow drift (posture changes) and measurement noise.
+    time_axis = np.arange(length, dtype=np.float64)
+    values += drift_amplitude * np.sin(2.0 * np.pi * time_axis / (breath_period * 23.7))
+    if noise_level > 0:
+        values += rng.normal(0.0, noise_level, size=length)
+
+    return DataSeries(
+        values,
+        name=name,
+        metadata={
+            "generator": "respiration",
+            "breath_period": breath_period,
+            "apnea_duration": apnea_duration,
+            "apnea_starts": apnea_starts,
+            "apnea_durations": apnea_durations,
+        },
+    )

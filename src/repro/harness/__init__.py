@@ -1,0 +1,60 @@
+"""Experiment harness: workloads, timing and figure regeneration.
+
+Every figure of the paper's evaluation maps to one function in
+:mod:`repro.harness.figures`; the benchmark suite under ``benchmarks/`` is a
+thin pytest-benchmark wrapper around those functions, and the same functions
+can be called directly (or through the CLI) to print the figure data.
+"""
+
+from repro.harness.extensions import (
+    ablation_anytime_scrimp,
+    extension_domains_table,
+    skimp_vs_valmod,
+    streaming_throughput,
+)
+from repro.harness.figures import (
+    figure1_fixed_length,
+    figure1_valmap,
+    figure2_pruning,
+    figure3_length_range,
+    figure3_series_length,
+    ablation_exactness,
+    ablation_lower_bound,
+    ranking_normalization_table,
+)
+from repro.harness.runner import ALGORITHMS, run_algorithm, compare_algorithms
+from repro.harness.tables import (
+    format_markdown_table,
+    format_table,
+    save_rows_csv,
+    select_columns,
+)
+from repro.harness.timing import Timer, timed_call
+from repro.harness.workloads import Workload, build_workload, WORKLOADS
+
+__all__ = [
+    "ALGORITHMS",
+    "Timer",
+    "WORKLOADS",
+    "Workload",
+    "ablation_anytime_scrimp",
+    "ablation_exactness",
+    "ablation_lower_bound",
+    "build_workload",
+    "compare_algorithms",
+    "extension_domains_table",
+    "figure1_fixed_length",
+    "figure1_valmap",
+    "figure2_pruning",
+    "figure3_length_range",
+    "figure3_series_length",
+    "format_markdown_table",
+    "format_table",
+    "ranking_normalization_table",
+    "run_algorithm",
+    "save_rows_csv",
+    "select_columns",
+    "skimp_vs_valmod",
+    "streaming_throughput",
+    "timed_call",
+]

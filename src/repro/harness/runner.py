@@ -1,0 +1,98 @@
+"""Uniform dispatch over the competing algorithms.
+
+The figures compare VALMOD against its competitors on identical inputs; this
+module gives every algorithm the same signature
+``(series, min_length, max_length, **options) -> RangeDiscoveryResult`` so
+the figure code and the CLI can iterate over algorithm names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from repro.baselines.base import RangeDiscoveryResult
+from repro.baselines.brute_force_range import brute_force_range
+from repro.baselines.moen import moen
+from repro.baselines.quick_motif import quick_motif_range
+from repro.baselines.stomp_range import stomp_range
+from repro.core.valmod import valmod
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["ALGORITHMS", "run_algorithm", "compare_algorithms"]
+
+
+def _run_valmod(series, min_length: int, max_length: int, **options) -> RangeDiscoveryResult:
+    """Adapt :func:`repro.core.valmod.valmod` to the common result shape."""
+    top_k = int(options.pop("top_k", 1))
+    result = valmod(series, min_length, max_length, top_k=top_k, **options)
+    return RangeDiscoveryResult(
+        algorithm="valmod",
+        motifs_by_length={
+            length: list(result.length_results[length].motifs) for length in result.lengths
+        },
+        elapsed_seconds=result.elapsed_seconds,
+        extra={
+            **result.pruning_summary(),
+            "total_recomputed_profiles": result.extra.get("total_recomputed_profiles", 0.0),
+        },
+    )
+
+
+def _run_stomp_range(series, min_length: int, max_length: int, **options) -> RangeDiscoveryResult:
+    return stomp_range(
+        series, min_length, max_length, top_k=int(options.pop("top_k", 1)), **options
+    )
+
+
+def _run_brute_force(series, min_length: int, max_length: int, **options) -> RangeDiscoveryResult:
+    return brute_force_range(
+        series, min_length, max_length, top_k=int(options.pop("top_k", 1)), **options
+    )
+
+
+def _run_moen(series, min_length: int, max_length: int, **options) -> RangeDiscoveryResult:
+    options.pop("top_k", None)  # MOEN reports the single best pair per length
+    return moen(series, min_length, max_length, **options)
+
+
+def _run_quick_motif(series, min_length: int, max_length: int, **options) -> RangeDiscoveryResult:
+    options.pop("top_k", None)  # QuickMotif reports the single best pair per length
+    return quick_motif_range(series, min_length, max_length, **options)
+
+
+#: Registry of the algorithms the figures and the CLI can run.
+ALGORITHMS: Dict[str, Callable[..., RangeDiscoveryResult]] = {
+    "valmod": _run_valmod,
+    "stomp-range": _run_stomp_range,
+    "moen": _run_moen,
+    "quickmotif": _run_quick_motif,
+    "brute-force": _run_brute_force,
+}
+
+
+def run_algorithm(
+    name: str, series, min_length: int, max_length: int, **options
+) -> RangeDiscoveryResult:
+    """Run one named algorithm on a series with a length range."""
+    try:
+        runner = ALGORITHMS[name]
+    except KeyError as error:
+        raise InvalidParameterError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from error
+    return runner(series, min_length, max_length, **options)
+
+
+def compare_algorithms(
+    series,
+    min_length: int,
+    max_length: int,
+    *,
+    algorithms: Iterable[str] = ("valmod", "stomp-range", "moen", "quickmotif"),
+    **options,
+) -> List[RangeDiscoveryResult]:
+    """Run several algorithms on the same input and return their results."""
+    return [
+        run_algorithm(name, series, min_length, max_length, **dict(options))
+        for name in algorithms
+    ]

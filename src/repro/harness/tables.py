@@ -1,0 +1,123 @@
+"""Rendering of experiment rows as text / markdown tables and CSV files.
+
+The figure and extension functions all return lists of dictionaries; this
+module turns those rows into the artefacts a user actually reads — an aligned
+text table for the terminal, a markdown table for EXPERIMENTS.md-style
+reports, or a CSV file for external plotting — without pulling in any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Mapping, Sequence
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["format_table", "format_markdown_table", "save_rows_csv", "select_columns"]
+
+
+def _stringify(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    if isinstance(value, (list, tuple)):
+        return ", ".join(_stringify(item, float_format) for item in value)
+    return str(value)
+
+
+def _normalise_rows(
+    rows: Iterable[Mapping[str, object]],
+    columns: Sequence[str] | None,
+) -> tuple[List[str], List[dict]]:
+    materialised = [dict(row) for row in rows]
+    if not materialised:
+        raise InvalidParameterError("cannot format an empty list of rows")
+    if columns is None:
+        # Preserve the key order of the first row, appending keys that only
+        # appear in later rows.
+        columns = list(materialised[0].keys())
+        for row in materialised[1:]:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    else:
+        columns = list(columns)
+        if not columns:
+            raise InvalidParameterError("the column selection must not be empty")
+    return columns, materialised
+
+
+def select_columns(
+    rows: Iterable[Mapping[str, object]], columns: Sequence[str]
+) -> List[dict]:
+    """Project every row onto ``columns`` (missing keys become empty strings)."""
+    projected = []
+    for row in rows:
+        projected.append({column: row.get(column, "") for column in columns})
+    if not projected:
+        raise InvalidParameterError("cannot project an empty list of rows")
+    return projected
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_format: str = ".4g",
+) -> str:
+    """Aligned plain-text table (what the CLI prints)."""
+    columns, materialised = _normalise_rows(rows, columns)
+    cells = [
+        [_stringify(row.get(column, ""), float_format) for column in columns]
+        for row in materialised
+    ]
+    widths = [
+        max(len(str(column)), max((len(row[index]) for row in cells), default=0))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in cells
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_markdown_table(
+    rows: Iterable[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_format: str = ".4g",
+) -> str:
+    """GitHub-flavoured markdown table (what EXPERIMENTS.md embeds)."""
+    columns, materialised = _normalise_rows(rows, columns)
+    header = "| " + " | ".join(str(column) for column in columns) + " |"
+    separator = "|" + "|".join(["---"] * len(columns)) + "|"
+    body = [
+        "| "
+        + " | ".join(_stringify(row.get(column, ""), float_format) for column in columns)
+        + " |"
+        for row in materialised
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def save_rows_csv(
+    rows: Iterable[Mapping[str, object]],
+    path: str | Path,
+    *,
+    columns: Sequence[str] | None = None,
+) -> Path:
+    """Write the rows to a CSV file and return its path."""
+    columns, materialised = _normalise_rows(rows, columns)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in materialised:
+            writer.writerow({column: row.get(column, "") for column in columns})
+    return target

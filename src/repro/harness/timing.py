@@ -1,0 +1,39 @@
+"""Wall-clock timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+__all__ = ["Timer", "timed_call"]
+
+
+@dataclass
+class Timer:
+    """Context manager measuring wall-clock time.
+
+    Example
+    -------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._started
+
+
+def timed_call(function: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Call ``function`` and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - started

@@ -1,0 +1,27 @@
+"""Persistence of analysis artefacts (profiles, joins, pan profiles, VALMAP, results)."""
+
+from repro.io.serialization import (
+    load_join_profile,
+    load_matrix_profile,
+    load_pan_profile,
+    load_result,
+    load_valmap,
+    save_join_profile,
+    save_matrix_profile,
+    save_pan_profile,
+    save_result,
+    save_valmap,
+)
+
+__all__ = [
+    "load_join_profile",
+    "load_matrix_profile",
+    "load_pan_profile",
+    "load_result",
+    "load_valmap",
+    "save_join_profile",
+    "save_matrix_profile",
+    "save_pan_profile",
+    "save_result",
+    "save_valmap",
+]

@@ -1,0 +1,188 @@
+"""Saving and loading analysis artefacts as JSON.
+
+The demo system hands the VALMAP produced by the C back-end to the Python
+front-end as a file; this module plays that role for the library.  JSON was
+chosen over pickle because the artefacts are small (a few arrays and motif
+lists), human-inspectable, and safe to load.
+
+Matrix profiles and VALMAP round-trip losslessly.  :func:`save_result` stores
+the full :class:`~repro.core.results.ValmodResult` dictionary; loading it back
+returns that dictionary (not a reconstructed object), which is what the
+benchmark harness and the reports need.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.results import ValmodResult
+from repro.core.skimp import PanMatrixProfile
+from repro.core.valmap import Valmap, ValmapCheckpoint
+from repro.exceptions import SerializationError
+from repro.matrix_profile.ab_join import JoinProfile
+from repro.matrix_profile.profile import MatrixProfile
+
+__all__ = [
+    "save_matrix_profile",
+    "load_matrix_profile",
+    "save_valmap",
+    "load_valmap",
+    "save_result",
+    "load_result",
+    "save_join_profile",
+    "load_join_profile",
+    "save_pan_profile",
+    "load_pan_profile",
+]
+
+PathLike = Union[str, Path]
+
+
+def _write_json(payload: dict, path: PathLike) -> Path:
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+    except (OSError, TypeError, ValueError) as error:
+        raise SerializationError(f"cannot write {path}: {error}") from error
+    return path
+
+
+def _read_json(path: PathLike) -> dict:
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SerializationError(f"cannot read {path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise SerializationError(f"{path} does not contain a JSON object")
+    return payload
+
+
+def save_matrix_profile(profile: MatrixProfile, path: PathLike) -> Path:
+    """Write a matrix profile to a JSON file."""
+    payload = {"kind": "matrix_profile", **profile.as_dict()}
+    return _write_json(payload, path)
+
+
+def load_matrix_profile(path: PathLike) -> MatrixProfile:
+    """Read a matrix profile written by :func:`save_matrix_profile`."""
+    payload = _read_json(path)
+    if payload.get("kind") != "matrix_profile":
+        raise SerializationError(f"{path} does not contain a matrix profile")
+    try:
+        return MatrixProfile(
+            distances=np.asarray(payload["distances"], dtype=np.float64),
+            indices=np.asarray(payload["indices"], dtype=np.int64),
+            window=int(payload["window"]),
+            exclusion_radius=int(payload["exclusion_radius"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"{path} is not a valid matrix profile file: {error}") from error
+
+
+def save_valmap(valmap: Valmap, path: PathLike) -> Path:
+    """Write a VALMAP (including its checkpoints) to a JSON file."""
+    payload = {"kind": "valmap", **valmap.as_dict()}
+    return _write_json(payload, path)
+
+
+def load_valmap(path: PathLike) -> Valmap:
+    """Read a VALMAP written by :func:`save_valmap`."""
+    payload = _read_json(path)
+    if payload.get("kind") != "valmap":
+        raise SerializationError(f"{path} does not contain a VALMAP")
+    try:
+        normalized = np.asarray(payload["normalized_profile"], dtype=np.float64)
+        valmap = Valmap(
+            int(payload["min_length"]), int(payload["max_length"]), normalized.size
+        )
+        valmap.normalized_profile[:] = normalized
+        valmap.index_profile[:] = np.asarray(payload["index_profile"], dtype=np.int64)
+        valmap.length_profile[:] = np.asarray(payload["length_profile"], dtype=np.int64)
+        valmap._checkpoints = [  # noqa: SLF001 - reconstruction of our own artefact
+            ValmapCheckpoint(**checkpoint) for checkpoint in payload.get("checkpoints", [])
+        ]
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"{path} is not a valid VALMAP file: {error}") from error
+    return valmap
+
+
+def save_result(result: ValmodResult, path: PathLike) -> Path:
+    """Write the full result of a VALMOD run to a JSON file."""
+    payload = {"kind": "valmod_result", **result.as_dict()}
+    return _write_json(payload, path)
+
+
+def load_result(path: PathLike) -> dict:
+    """Read a result file written by :func:`save_result` (returns a dictionary)."""
+    payload = _read_json(path)
+    if payload.get("kind") != "valmod_result":
+        raise SerializationError(f"{path} does not contain a VALMOD result")
+    return payload
+
+
+def save_join_profile(profile: JoinProfile, path: PathLike) -> Path:
+    """Write an AB-join profile to a JSON file."""
+    payload = {"kind": "join_profile", **profile.as_dict()}
+    return _write_json(payload, path)
+
+
+def load_join_profile(path: PathLike) -> JoinProfile:
+    """Read an AB-join profile written by :func:`save_join_profile`."""
+    payload = _read_json(path)
+    if payload.get("kind") != "join_profile":
+        raise SerializationError(f"{path} does not contain an AB-join profile")
+    try:
+        return JoinProfile(
+            distances=np.asarray(payload["distances"], dtype=np.float64),
+            indices=np.asarray(payload["indices"], dtype=np.int64),
+            window=int(payload["window"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"{path} is not a valid join-profile file: {error}") from error
+
+
+def save_pan_profile(pan: PanMatrixProfile, path: PathLike) -> Path:
+    """Write a SKIMP pan matrix profile to a JSON file.
+
+    ``NaN`` padding (positions a length cannot reach) is stored as ``null``
+    so the file stays valid JSON.
+    """
+    payload = pan.as_dict()
+    payload["normalized_profiles"] = [
+        [None if value != value else value for value in row]
+        for row in payload["normalized_profiles"]
+    ]
+    return _write_json({"kind": "pan_profile", **payload}, path)
+
+
+def load_pan_profile(path: PathLike) -> PanMatrixProfile:
+    """Read a pan matrix profile written by :func:`save_pan_profile`."""
+    payload = _read_json(path)
+    if payload.get("kind") != "pan_profile":
+        raise SerializationError(f"{path} does not contain a pan matrix profile")
+    try:
+        normalized = np.asarray(
+            [
+                [np.nan if value is None else float(value) for value in row]
+                for row in payload["normalized_profiles"]
+            ],
+            dtype=np.float64,
+        )
+        return PanMatrixProfile(
+            lengths=np.asarray(payload["lengths"], dtype=np.int64),
+            normalized_profiles=normalized,
+            index_profiles=np.asarray(payload["index_profiles"], dtype=np.int64),
+            min_length=int(payload["min_length"]),
+            max_length=int(payload["max_length"]),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"{path} is not a valid pan-profile file: {error}") from error

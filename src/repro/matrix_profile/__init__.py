@@ -1,0 +1,62 @@
+"""Matrix-profile substrate.
+
+The matrix profile of a series ``T`` for a subsequence length ``m`` is the
+vector whose entry ``i`` holds the z-normalised Euclidean distance between
+``T[i:i+m]`` and its best non-trivial match elsewhere in ``T``; the index
+profile holds the offset of that match.  VALMOD builds on top of this
+primitive: it computes the matrix profile at the smallest length of the range
+and then prunes the work for every other length.
+
+The package provides three exact algorithms with identical outputs and
+different costs:
+
+* :func:`brute_force_matrix_profile` — ``O(n² · m)``; correctness oracle;
+* :func:`stamp` — ``O(n² log n)`` using one MASS call per subsequence;
+* :func:`stomp` — ``O(n²)`` using the dot-product recurrence (default).
+"""
+
+from repro.matrix_profile.ab_join import JoinProfile, ab_join, ab_join_both
+from repro.matrix_profile.brute_force import brute_force_distance_profile, brute_force_matrix_profile
+from repro.matrix_profile.distance_profile import (
+    distance_profile,
+    distances_from_dot_products,
+)
+from repro.matrix_profile.exclusion import apply_exclusion_zone, default_exclusion_radius
+from repro.matrix_profile.mass import mass
+from repro.matrix_profile.mpdist import mpdist, mpdist_profile
+from repro.matrix_profile.profile import MatrixProfile, MotifPair
+from repro.matrix_profile.scrimp import (
+    ScrimpState,
+    convergence_curve,
+    pre_scrimp,
+    profile_error,
+    scrimp,
+    scrimp_pp,
+)
+from repro.matrix_profile.stamp import stamp
+from repro.matrix_profile.stomp import stomp
+
+__all__ = [
+    "JoinProfile",
+    "MatrixProfile",
+    "MotifPair",
+    "ScrimpState",
+    "ab_join",
+    "ab_join_both",
+    "apply_exclusion_zone",
+    "brute_force_distance_profile",
+    "brute_force_matrix_profile",
+    "convergence_curve",
+    "default_exclusion_radius",
+    "distance_profile",
+    "distances_from_dot_products",
+    "mass",
+    "mpdist",
+    "mpdist_profile",
+    "pre_scrimp",
+    "profile_error",
+    "scrimp",
+    "scrimp_pp",
+    "stamp",
+    "stomp",
+]

@@ -1,0 +1,157 @@
+"""AB-joins — matrix profiles between two different series.
+
+The self-join matrix profile answers "where does this series repeat itself?";
+the AB-join answers "where does series ``A`` occur in series ``B``?".  Every
+entry ``i`` of the AB-join profile is the z-normalised distance between
+``A[i:i+m]`` and its nearest neighbour among the subsequences of ``B`` (no
+exclusion zone is needed because the two series are distinct).
+
+The VALMOD demo only shows self-joins, but the underlying C library (like
+every matrix-profile implementation) exposes joins as well, and two library
+features rely on them:
+
+* :func:`repro.matrix_profile.mpdist.mpdist` builds its distance measure from
+  the two one-sided joins;
+* the analysis helpers use joins to locate a discovered motif inside another
+  recording (e.g. "does the heartbeat found in recording 1 appear in
+  recording 2?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import EmptyResultError, InvalidParameterError
+from repro.matrix_profile.distance_profile import distances_from_dot_products
+from repro.series.validation import validate_series, validate_subsequence_length
+from repro.stats.fft import sliding_dot_product
+from repro.stats.sliding import SlidingStats
+
+__all__ = ["JoinProfile", "ab_join", "ab_join_both"]
+
+
+@dataclass(frozen=True)
+class JoinProfile:
+    """The one-sided AB-join profile of ``series_a`` against ``series_b``.
+
+    Attributes
+    ----------
+    distances:
+        ``distances[i]`` is the distance between ``A[i:i+window]`` and its
+        nearest neighbour among the subsequences of ``B``.
+    indices:
+        Offset (in ``B``) of that nearest neighbour.
+    window:
+        Subsequence length of the join.
+    """
+
+    distances: np.ndarray
+    indices: np.ndarray
+    window: int
+
+    def __post_init__(self) -> None:
+        distances = np.asarray(self.distances, dtype=np.float64)
+        indices = np.asarray(self.indices, dtype=np.int64)
+        if distances.ndim != 1 or indices.ndim != 1 or distances.shape != indices.shape:
+            raise InvalidParameterError(
+                "distances and indices must be 1-D arrays of identical length"
+            )
+        if self.window < 1:
+            raise InvalidParameterError(f"window must be >= 1, got {self.window}")
+        object.__setattr__(self, "distances", distances)
+        object.__setattr__(self, "indices", indices)
+
+    def __len__(self) -> int:
+        return int(self.distances.size)
+
+    def best(self) -> tuple[int, int, float]:
+        """The closest cross-series pair as ``(offset_in_a, offset_in_b, distance)``."""
+        finite = np.isfinite(self.distances)
+        if not finite.any():
+            raise EmptyResultError("the join profile contains no finite entries")
+        offset = int(np.argmin(np.where(finite, self.distances, np.inf)))
+        return (offset, int(self.indices[offset]), float(self.distances[offset]))
+
+    def top_matches(self, k: int = 3) -> List[tuple[int, int, float]]:
+        """The ``k`` closest cross-series pairs as ``(offset_a, offset_b, distance)``."""
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        order = np.argsort(self.distances, kind="stable")
+        matches: List[tuple[int, int, float]] = []
+        for offset in order.tolist():
+            if not np.isfinite(self.distances[offset]):
+                break
+            matches.append(
+                (int(offset), int(self.indices[offset]), float(self.distances[offset]))
+            )
+            if len(matches) == k:
+                break
+        return matches
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for reports and serialization."""
+        return {
+            "window": self.window,
+            "distances": self.distances.tolist(),
+            "indices": self.indices.tolist(),
+        }
+
+
+def ab_join(
+    series_a,
+    series_b,
+    window: int,
+    *,
+    stats_b: SlidingStats | None = None,
+) -> JoinProfile:
+    """One-sided AB-join: nearest neighbour in ``series_b`` of every subsequence of ``series_a``.
+
+    The computation is STAMP-style — one MASS call (an FFT convolution against
+    ``series_b``) per subsequence of ``series_a`` — which keeps the memory
+    footprint at ``O(|B|)`` and the cost at ``O(|A| · |B| log |B|)``.
+    """
+    values_a = validate_series(series_a, name="series_a")
+    values_b = validate_series(series_b, name="series_b")
+    window = validate_subsequence_length(min(values_a.size, values_b.size), window)
+    if stats_b is None:
+        stats_b = SlidingStats(values_b)
+    means_b, stds_b = stats_b.mean_std(window)
+    stats_a = SlidingStats(values_a)
+    means_a, stds_a = stats_a.mean_std(window)
+
+    count_a = values_a.size - window + 1
+    distances = np.full(count_a, np.inf, dtype=np.float64)
+    indices = np.full(count_a, -1, dtype=np.int64)
+    for offset in range(count_a):
+        query = values_a[offset : offset + window]
+        dot_products = sliding_dot_product(query, values_b)
+        profile = distances_from_dot_products(
+            dot_products,
+            window,
+            float(means_a[offset]),
+            float(stds_a[offset]),
+            means_b,
+            stds_b,
+        )
+        best = int(np.argmin(profile))
+        distances[offset] = float(profile[best])
+        indices[offset] = best
+
+    return JoinProfile(distances=distances, indices=indices, window=window)
+
+
+def ab_join_both(
+    series_a,
+    series_b,
+    window: int,
+) -> tuple[JoinProfile, JoinProfile]:
+    """Both one-sided joins ``(A -> B, B -> A)``, sharing the sliding statistics."""
+    values_a = validate_series(series_a, name="series_a")
+    values_b = validate_series(series_b, name="series_b")
+    window = validate_subsequence_length(min(values_a.size, values_b.size), window)
+    forward = ab_join(values_a, values_b, window, stats_b=SlidingStats(values_b))
+    backward = ab_join(values_b, values_a, window, stats_b=SlidingStats(values_a))
+    return forward, backward

@@ -1,0 +1,64 @@
+"""Brute-force matrix profile and distance profile.
+
+The ``O(n²·m)`` definitions, kept deliberately simple: they are the
+correctness oracle every faster algorithm (STOMP, STAMP, VALMOD, the
+baselines) is tested against, and they double as the exact-but-slow end of the
+benchmark comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.exclusion import apply_exclusion_zone, default_exclusion_radius
+from repro.matrix_profile.profile import MatrixProfile
+from repro.series.validation import validate_series, validate_subsequence_length
+from repro.stats.distance import znorm_euclidean
+from repro.stats.znorm import znormalize_subsequences
+
+__all__ = ["brute_force_distance_profile", "brute_force_matrix_profile"]
+
+
+def brute_force_distance_profile(series, query_offset: int, window: int) -> np.ndarray:
+    """Distance profile computed directly from the definition (no exclusion zone)."""
+    values = validate_series(series)
+    window = validate_subsequence_length(values.size, window)
+    count = values.size - window + 1
+    if query_offset < 0 or query_offset >= count:
+        raise InvalidParameterError(
+            f"query offset {query_offset} out of range [0, {count})"
+        )
+    query = values[query_offset : query_offset + window]
+    profile = np.empty(count, dtype=np.float64)
+    for j in range(count):
+        profile[j] = znorm_euclidean(query, values[j : j + window])
+    return profile
+
+
+def brute_force_matrix_profile(
+    series, window: int, *, exclusion_radius: int | None = None
+) -> MatrixProfile:
+    """Matrix profile computed directly from the definition.
+
+    Uses a single materialisation of all z-normalised subsequences, so it is
+    memory-hungry; intended for series of at most a few thousand points.
+    """
+    values = validate_series(series)
+    window = validate_subsequence_length(values.size, window)
+    radius = default_exclusion_radius(window) if exclusion_radius is None else int(exclusion_radius)
+    normalised = znormalize_subsequences(values, window)
+    count = normalised.shape[0]
+    profile = np.full(count, np.inf, dtype=np.float64)
+    indices = np.full(count, -1, dtype=np.int64)
+    for i in range(count):
+        diffs = normalised - normalised[i]
+        distances = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        apply_exclusion_zone(distances, i, radius)
+        best = int(np.argmin(distances))
+        if np.isfinite(distances[best]):
+            profile[i] = distances[best]
+            indices[i] = best
+    return MatrixProfile(
+        distances=profile, indices=indices, window=window, exclusion_radius=radius
+    )

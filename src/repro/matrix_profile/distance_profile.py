@@ -1,0 +1,117 @@
+"""Distance profiles.
+
+The *distance profile* of the query subsequence ``T[q:q+m]`` is the vector of
+z-normalised Euclidean distances between the query and every subsequence of
+``T`` of the same length.  Its minimum (outside the trivial-match exclusion
+zone) is the matrix-profile entry of offset ``q``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.exclusion import apply_exclusion_zone, default_exclusion_radius
+from repro.series.validation import validate_series, validate_subsequence_length
+from repro.stats.fft import sliding_dot_product
+from repro.stats.sliding import SlidingStats
+
+__all__ = ["distances_from_dot_products", "distance_profile"]
+
+
+def distances_from_dot_products(
+    dot_products: np.ndarray,
+    window: int,
+    query_mean: float,
+    query_std: float,
+    means: np.ndarray,
+    stds: np.ndarray,
+) -> np.ndarray:
+    """Convert sliding dot products into z-normalised Euclidean distances.
+
+    Implements the standard identity
+    ``d_{q,j}² = 2 m (1 - (QT_j - m·μ_q·μ_j) / (m·σ_q·σ_j))`` together with
+    the constant-subsequence convention: distance ``0`` between two constant
+    subsequences and ``sqrt(m)`` between a constant and a non-constant one.
+    """
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    qt = np.asarray(dot_products, dtype=np.float64)
+    means = np.asarray(means, dtype=np.float64)
+    stds = np.asarray(stds, dtype=np.float64)
+    if qt.shape != means.shape or qt.shape != stds.shape:
+        raise InvalidParameterError(
+            "dot_products, means and stds must have identical shapes; got "
+            f"{qt.shape}, {means.shape}, {stds.shape}"
+        )
+    query_constant = query_std == 0.0
+    target_constant = stds == 0.0
+    distances = np.empty_like(qt)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        correlation = (qt - window * query_mean * means) / (window * query_std * stds)
+    np.clip(correlation, -1.0, 1.0, out=correlation)
+    squared = 2.0 * window * (1.0 - correlation)
+    np.maximum(squared, 0.0, out=squared)
+    distances = np.sqrt(squared)
+    if query_constant:
+        distances = np.where(target_constant, 0.0, np.sqrt(window))
+    else:
+        distances[target_constant] = np.sqrt(window)
+    return distances
+
+
+def distance_profile(
+    series,
+    query_offset: int,
+    window: int,
+    *,
+    stats: SlidingStats | None = None,
+    exclusion_radius: int | None = None,
+    apply_exclusion: bool = True,
+) -> np.ndarray:
+    """Distance profile of the subsequence starting at ``query_offset``.
+
+    Parameters
+    ----------
+    series:
+        The data series (array-like or :class:`~repro.series.DataSeries`).
+    query_offset:
+        Offset of the query subsequence within ``series`` (self-join).
+    window:
+        Subsequence length.
+    stats:
+        Optional precomputed :class:`~repro.stats.SlidingStats` for ``series``
+        (avoids recomputing cumulative sums in tight loops).
+    exclusion_radius:
+        Radius of the trivial-match zone around ``query_offset``; defaults to
+        ``ceil(window / 4)``.
+    apply_exclusion:
+        When False, the raw profile is returned (used by motif-set expansion,
+        which wants the trivial matches too).
+    """
+    values = validate_series(series)
+    window = validate_subsequence_length(values.size, window)
+    count = values.size - window + 1
+    if query_offset < 0 or query_offset >= count:
+        raise InvalidParameterError(
+            f"query offset {query_offset} out of range [0, {count})"
+        )
+    if stats is None:
+        stats = SlidingStats(values)
+    means, stds = stats.mean_std(window)
+    query = values[query_offset : query_offset + window]
+    qt = sliding_dot_product(query, values)
+    profile = distances_from_dot_products(
+        qt,
+        window,
+        float(means[query_offset]),
+        float(stds[query_offset]),
+        means,
+        stds,
+    )
+    if apply_exclusion:
+        radius = (
+            default_exclusion_radius(window) if exclusion_radius is None else exclusion_radius
+        )
+        apply_exclusion_zone(profile, query_offset, radius)
+    return profile

@@ -1,0 +1,53 @@
+"""Trivial-match exclusion zones.
+
+A subsequence trivially matches itself and its immediate neighbours; motif
+discovery must ignore those matches.  The matrix-profile convention is to
+exclude every candidate whose offset is within ``ceil(m / factor)`` of the
+query offset, with ``factor = 4`` by default (an exclusion *radius* of a
+quarter of the subsequence length on each side).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["default_exclusion_radius", "apply_exclusion_zone"]
+
+#: Default denominator of the exclusion radius: radius = ceil(m / 4).
+DEFAULT_EXCLUSION_FACTOR = 4
+
+
+def default_exclusion_radius(window: int, factor: int = DEFAULT_EXCLUSION_FACTOR) -> int:
+    """Exclusion radius for subsequences of length ``window``.
+
+    A radius of ``r`` means offsets ``[i - r, i + r]`` are treated as trivial
+    matches of offset ``i``.
+    """
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    if factor < 1:
+        raise InvalidParameterError(f"exclusion factor must be >= 1, got {factor}")
+    return int(math.ceil(window / factor))
+
+
+def apply_exclusion_zone(
+    distances: np.ndarray,
+    center: int,
+    radius: int,
+    value: float = np.inf,
+) -> np.ndarray:
+    """Set ``distances[center - radius : center + radius + 1]`` to ``value`` in place.
+
+    Returns the same array for convenient chaining.
+    """
+    if radius < 0:
+        raise InvalidParameterError(f"exclusion radius must be >= 0, got {radius}")
+    start = max(0, center - radius)
+    stop = min(distances.shape[0], center + radius + 1)
+    if start < stop:
+        distances[start:stop] = value
+    return distances

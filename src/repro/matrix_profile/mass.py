@@ -1,0 +1,56 @@
+"""MASS — Mueen's Algorithm for Similarity Search.
+
+Given a query ``Q`` (of length ``m``) and a series ``T`` (of length ``n``),
+MASS returns the z-normalised Euclidean distance between ``Q`` and every
+subsequence of ``T`` in ``O(n log n)`` time, by computing all sliding dot
+products with a single FFT convolution and converting them to distances with
+precomputed sliding statistics.
+
+This is the building block of STAMP and of the QuickMotif-style baseline; it
+also supports *ad-hoc* queries that are not part of the series (join mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.distance_profile import distances_from_dot_products
+from repro.series.validation import validate_series
+from repro.stats.fft import sliding_dot_product
+from repro.stats.sliding import SlidingStats
+from repro.stats.znorm import STD_EPSILON
+
+__all__ = ["mass"]
+
+
+def mass(query, series, *, stats: SlidingStats | None = None) -> np.ndarray:
+    """Distance profile of an arbitrary query against every window of ``series``.
+
+    Unlike :func:`repro.matrix_profile.distance_profile`, the query does not
+    need to come from ``series`` and no exclusion zone is applied.
+    """
+    query_values = np.asarray(query, dtype=np.float64)
+    if query_values.ndim != 1 or query_values.size < 2:
+        raise InvalidParameterError(
+            f"query must be a 1-D sequence of at least 2 points, got shape {query_values.shape}"
+        )
+    series_values = validate_series(series)
+    window = query_values.size
+    if window > series_values.size:
+        raise InvalidParameterError(
+            f"query length {window} exceeds series length {series_values.size}"
+        )
+    if not np.all(np.isfinite(query_values)):
+        raise InvalidParameterError("query contains NaN or infinite values")
+    if stats is None:
+        stats = SlidingStats(series_values)
+    means, stds = stats.mean_std(window)
+    query_mean = float(query_values.mean())
+    query_std = float(query_values.std())
+    if query_std <= STD_EPSILON * max(1.0, float(np.abs(query_values).max())):
+        query_std = 0.0
+    dot_products = sliding_dot_product(query_values, series_values)
+    return distances_from_dot_products(
+        dot_products, window, query_mean, query_std, means, stds
+    )

@@ -1,0 +1,89 @@
+"""STAMP — the anytime predecessor of STOMP.
+
+STAMP (Yeh et al., ICDM 2016) computes one full distance profile per
+subsequence with MASS, in any order, which makes it an *anytime* algorithm:
+stopping early yields an approximate profile.  It is ``O(n² log n)``, slower
+than STOMP, but the independent per-offset computation makes it a useful
+cross-check and a natural fit for randomised anytime experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.distance_profile import distance_profile
+from repro.matrix_profile.exclusion import default_exclusion_radius
+from repro.matrix_profile.profile import MatrixProfile
+from repro.series.validation import validate_series, validate_subsequence_length
+from repro.stats.sliding import SlidingStats
+
+__all__ = ["stamp"]
+
+
+def stamp(
+    series,
+    window: int,
+    *,
+    exclusion_radius: int | None = None,
+    order: np.ndarray | None = None,
+    max_profiles: int | None = None,
+    random_state: np.random.Generator | int | None = None,
+) -> MatrixProfile:
+    """Matrix profile via repeated MASS calls (anytime algorithm).
+
+    Parameters
+    ----------
+    order:
+        Optional explicit order in which query offsets are processed.  When
+        omitted and ``max_profiles`` is given, a random permutation drawn from
+        ``random_state`` is used (the classic anytime setting); otherwise the
+        natural order is used.
+    max_profiles:
+        Process only this many query offsets.  The result is then an
+        *approximate* (upper-bound) profile: unprocessed offsets keep the best
+        distance seen so far from the symmetric updates, possibly ``inf``.
+    """
+    values = validate_series(series)
+    window = validate_subsequence_length(values.size, window)
+    radius = default_exclusion_radius(window) if exclusion_radius is None else int(exclusion_radius)
+    stats = SlidingStats(values)
+    count = values.size - window + 1
+
+    if order is None:
+        if max_profiles is not None:
+            rng = np.random.default_rng(random_state)
+            order = rng.permutation(count)
+        else:
+            order = np.arange(count)
+    else:
+        order = np.asarray(order, dtype=np.int64)
+        if order.ndim != 1 or np.any(order < 0) or np.any(order >= count):
+            raise InvalidParameterError("order must contain valid query offsets")
+
+    if max_profiles is not None:
+        if max_profiles < 1:
+            raise InvalidParameterError(f"max_profiles must be >= 1, got {max_profiles}")
+        order = order[:max_profiles]
+
+    profile = np.full(count, np.inf, dtype=np.float64)
+    indices = np.full(count, -1, dtype=np.int64)
+
+    for offset in order.tolist():
+        distances = distance_profile(
+            values, offset, window, stats=stats, exclusion_radius=radius
+        )
+        best = int(np.argmin(distances))
+        if np.isfinite(distances[best]) and distances[best] < profile[offset]:
+            profile[offset] = distances[best]
+            indices[offset] = best
+        # Symmetric update: the distance between offset and j also bounds the
+        # profile entry of j (this is what makes partial STAMP useful).
+        improved = distances < profile
+        if improved.any():
+            profile[improved] = distances[improved]
+            indices[improved] = offset
+
+    return MatrixProfile(
+        distances=profile, indices=indices, window=window, exclusion_radius=radius
+    )

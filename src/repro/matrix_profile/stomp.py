@@ -1,0 +1,104 @@
+"""STOMP — Scalable Time series Ordered-search Matrix Profile.
+
+STOMP (Zhu et al., ICDM 2016 — reference [1]/[2] of the demo paper) computes
+the full self-join matrix profile in ``O(n²)`` time by observing that the
+sliding dot products of consecutive query subsequences obey the recurrence::
+
+    QT[i, j] = QT[i-1, j-1] - T[i-1]·T[j-1] + T[i+m-1]·T[j+m-1]
+
+so only the first distance profile needs an FFT.  This implementation is the
+fixed-length work-horse of the library: VALMOD uses it for the base length
+``l_min`` and the ``STOMP-range`` baseline re-runs it for every length in the
+range.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.matrix_profile.distance_profile import distances_from_dot_products
+from repro.matrix_profile.exclusion import (
+    apply_exclusion_zone,
+    default_exclusion_radius,
+)
+from repro.matrix_profile.profile import MatrixProfile
+from repro.series.validation import validate_series, validate_subsequence_length
+from repro.stats.fft import sliding_dot_product
+from repro.stats.sliding import SlidingStats
+
+__all__ = ["stomp"]
+
+
+def stomp(
+    series,
+    window: int,
+    *,
+    exclusion_radius: int | None = None,
+    stats: SlidingStats | None = None,
+    profile_callback: Callable[[int, np.ndarray, np.ndarray], None] | None = None,
+) -> MatrixProfile:
+    """Exact matrix profile of ``series`` at subsequence length ``window``.
+
+    Parameters
+    ----------
+    series:
+        The data series (array-like or :class:`~repro.series.DataSeries`).
+    window:
+        Subsequence length ``m``.
+    exclusion_radius:
+        Trivial-match radius; defaults to ``ceil(m / 4)``.
+    stats:
+        Optional precomputed sliding statistics of ``series``.
+    profile_callback:
+        Optional hook invoked as ``callback(offset, dot_products, distances)``
+        for every query offset, *before* the exclusion zone is applied to the
+        returned copy.  VALMOD uses it to build its partial distance profiles
+        while the base matrix profile is being computed, exactly as described
+        in Section 2 of the paper.
+
+    Returns
+    -------
+    MatrixProfile
+        Distances and best-match indices for every subsequence.
+    """
+    values = validate_series(series)
+    window = validate_subsequence_length(values.size, window)
+    radius = default_exclusion_radius(window) if exclusion_radius is None else int(exclusion_radius)
+    if stats is None:
+        stats = SlidingStats(values)
+    means, stds = stats.mean_std(window)
+    count = values.size - window + 1
+
+    profile = np.full(count, np.inf, dtype=np.float64)
+    indices = np.full(count, -1, dtype=np.int64)
+
+    first_query = values[:window]
+    qt = sliding_dot_product(first_query, values)
+    qt_first_column = np.array(qt)  # QT[i, 0] for every i
+
+    for offset in range(count):
+        if offset > 0:
+            # Vectorised application of the STOMP recurrence for row `offset`.
+            qt[1:] = (
+                qt[:-1]
+                - values[offset - 1] * values[: count - 1]
+                + values[offset + window - 1] * values[window : window + count - 1]
+            )
+            qt[0] = qt_first_column[offset]
+        distances = distances_from_dot_products(
+            qt, window, float(means[offset]), float(stds[offset]), means, stds
+        )
+        if profile_callback is not None:
+            profile_callback(offset, qt, distances)
+        masked = np.array(distances)
+        apply_exclusion_zone(masked, offset, radius)
+        best = int(np.argmin(masked))
+        if np.isfinite(masked[best]):
+            profile[offset] = masked[best]
+            indices[offset] = best
+
+    return MatrixProfile(
+        distances=profile, indices=indices, window=window, exclusion_radius=radius
+    )

@@ -1,0 +1,53 @@
+"""Data-series substrate: containers, loaders, preprocessing and windowing."""
+
+from repro.series.dataseries import DataSeries
+from repro.series.loaders import (
+    load_csv,
+    load_npy,
+    load_text,
+    save_csv,
+    save_npy,
+    save_text,
+)
+from repro.series.preprocessing import (
+    clip_outliers,
+    detrend,
+    downsample,
+    fill_missing,
+    moving_average_smooth,
+    standardize,
+)
+from repro.series.validation import (
+    validate_length_range,
+    validate_series,
+    validate_subsequence_length,
+)
+from repro.series.windows import (
+    extract_subsequence,
+    iter_subsequences,
+    subsequence_count,
+    subsequence_view,
+)
+
+__all__ = [
+    "DataSeries",
+    "clip_outliers",
+    "detrend",
+    "downsample",
+    "extract_subsequence",
+    "fill_missing",
+    "iter_subsequences",
+    "load_csv",
+    "load_npy",
+    "load_text",
+    "moving_average_smooth",
+    "save_csv",
+    "save_npy",
+    "save_text",
+    "standardize",
+    "subsequence_count",
+    "subsequence_view",
+    "validate_length_range",
+    "validate_series",
+    "validate_subsequence_length",
+]

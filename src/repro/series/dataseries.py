@@ -1,0 +1,162 @@
+"""The :class:`DataSeries` container.
+
+A thin, immutable wrapper around a one-dimensional numpy array that carries
+the metadata the rest of the library (and the demo front-end it replaces)
+needs: a name, an optional sampling rate, and optional per-point annotations
+(e.g. ground-truth motif locations produced by the synthetic generators).
+
+The paper uses the terms *time series*, *data series* and *sequence*
+interchangeably; so does this library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.series.validation import validate_series
+
+__all__ = ["DataSeries"]
+
+
+@dataclass(frozen=True)
+class DataSeries:
+    """An immutable, validated one-dimensional data series.
+
+    Parameters
+    ----------
+    values:
+        The raw points.  Validated and stored as a read-only float64 array.
+    name:
+        Human-readable identifier used in reports and plots.
+    sampling_rate:
+        Optional number of points per unit of the ordering dimension (e.g. Hz
+        for time series); purely informational.
+    metadata:
+        Free-form mapping (generator parameters, ground-truth annotations...).
+    """
+
+    values: np.ndarray
+    name: str = "series"
+    sampling_rate: float | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        array = validate_series(self.values, name=self.name or "series")
+        array.flags.writeable = False
+        object.__setattr__(self, "values", array)
+        object.__setattr__(self, "metadata", dict(self.metadata))
+        if self.sampling_rate is not None and self.sampling_rate <= 0:
+            raise InvalidParameterError(
+                f"sampling_rate must be positive, got {self.sampling_rate}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # sequence protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    def __getitem__(self, index):
+        result = self.values[index]
+        if isinstance(index, slice):
+            return DataSeries(
+                np.array(result),
+                name=f"{self.name}[{index.start}:{index.stop}]",
+                sampling_rate=self.sampling_rate,
+                metadata=self.metadata,
+            )
+        return float(result)
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        if dtype is None:
+            return np.array(self.values)
+        return np.asarray(self.values, dtype=dtype)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataSeries):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.sampling_rate == other.sampling_rate
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass with an array needs a manual hash
+        return hash((self.name, self.sampling_rate, self.values.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"DataSeries(name={self.name!r}, length={len(self)}, "
+            f"mean={float(self.values.mean()):.4g}, std={float(self.values.std()):.4g})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors and views
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_values(cls, values, name: str = "series", **kwargs: Any) -> "DataSeries":
+        """Build a series from any array-like object."""
+        return cls(np.asarray(values, dtype=np.float64), name=name, **kwargs)
+
+    def subsequence(self, start: int, length: int) -> np.ndarray:
+        """Return a *copy* of ``values[start:start+length]``.
+
+        Raises if the window falls outside the series.
+        """
+        if length < 1:
+            raise InvalidParameterError(f"length must be >= 1, got {length}")
+        if start < 0 or start + length > len(self):
+            raise InvalidParameterError(
+                f"subsequence [{start}, {start + length}) out of bounds for length {len(self)}"
+            )
+        return np.array(self.values[start : start + length])
+
+    def prefix(self, length: int) -> "DataSeries":
+        """Return the first ``length`` points as a new series.
+
+        Used by the scalability experiments, which evaluate prefixes of a
+        dataset of increasing size (Figure 3, bottom).
+        """
+        if length < 1 or length > len(self):
+            raise InvalidParameterError(
+                f"prefix length {length} out of range [1, {len(self)}]"
+            )
+        return DataSeries(
+            np.array(self.values[:length]),
+            name=f"{self.name}[:{length}]",
+            sampling_rate=self.sampling_rate,
+            metadata=self.metadata,
+        )
+
+    def with_metadata(self, **entries: Any) -> "DataSeries":
+        """Return a copy with ``entries`` merged into the metadata mapping."""
+        merged = dict(self.metadata)
+        merged.update(entries)
+        return DataSeries(
+            np.array(self.values),
+            name=self.name,
+            sampling_rate=self.sampling_rate,
+            metadata=merged,
+        )
+
+    # ------------------------------------------------------------------ #
+    # summary statistics
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict[str, float]:
+        """Return basic summary statistics (used by reports and the CLI)."""
+        values = self.values
+        return {
+            "length": float(values.size),
+            "mean": float(values.mean()),
+            "std": float(values.std()),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "median": float(np.median(values)),
+        }

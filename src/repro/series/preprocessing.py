@@ -1,0 +1,146 @@
+"""Preprocessing utilities for raw data series.
+
+Real recordings (ECG, seismic, light curves) come with missing samples,
+baseline drift and outliers.  VALMOD itself requires a clean, finite series;
+these helpers put raw data into that shape and are exercised by the example
+applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.series.dataseries import DataSeries
+
+__all__ = [
+    "fill_missing",
+    "detrend",
+    "standardize",
+    "downsample",
+    "moving_average_smooth",
+    "clip_outliers",
+]
+
+
+def _to_array(series) -> tuple[np.ndarray, DataSeries | None]:
+    """Return ``(values, original)`` where ``original`` is the DataSeries if given."""
+    if isinstance(series, DataSeries):
+        return np.array(series.values), series
+    array = np.asarray(series, dtype=np.float64)
+    if array.ndim != 1 or array.size == 0:
+        raise InvalidSeriesError(f"expected a non-empty 1-D series, got shape {array.shape}")
+    return np.array(array), None
+
+
+def _wrap(values: np.ndarray, original: DataSeries | None, suffix: str) -> DataSeries | np.ndarray:
+    if original is None:
+        return values
+    return DataSeries(
+        values,
+        name=f"{original.name}:{suffix}",
+        sampling_rate=original.sampling_rate,
+        metadata=original.metadata,
+    )
+
+
+def fill_missing(series, *, method: str = "linear"):
+    """Replace NaN values by interpolation.
+
+    ``method`` is ``"linear"`` (default), ``"ffill"`` (previous valid value)
+    or ``"mean"`` (series mean).  Leading/trailing NaNs are filled with the
+    nearest valid value.  Unlike the other helpers, this one accepts NaNs in
+    its input — that is its purpose.
+    """
+    if isinstance(series, DataSeries):
+        raise InvalidSeriesError(
+            "DataSeries instances are always finite; fill_missing operates on raw arrays"
+        )
+    values = np.asarray(series, dtype=np.float64).copy()
+    if values.ndim != 1 or values.size == 0:
+        raise InvalidSeriesError(f"expected a non-empty 1-D series, got shape {values.shape}")
+    mask = np.isfinite(values)
+    if mask.all():
+        return values
+    if not mask.any():
+        raise InvalidSeriesError("the series contains no finite values to interpolate from")
+    indices = np.arange(values.size)
+    if method == "linear":
+        values[~mask] = np.interp(indices[~mask], indices[mask], values[mask])
+    elif method == "ffill":
+        last = values[mask][0]
+        for i in range(values.size):
+            if mask[i]:
+                last = values[i]
+            else:
+                values[i] = last
+    elif method == "mean":
+        values[~mask] = values[mask].mean()
+    else:
+        raise InvalidParameterError(f"unknown fill method {method!r}")
+    return values
+
+
+def detrend(series):
+    """Remove the least-squares straight-line trend from the series."""
+    values, original = _to_array(series)
+    x = np.arange(values.size, dtype=np.float64)
+    slope, intercept = np.polyfit(x, values, deg=1)
+    detrended = values - (slope * x + intercept)
+    return _wrap(detrended, original, "detrended")
+
+
+def standardize(series):
+    """Z-normalise the *whole* series (zero mean, unit variance)."""
+    values, original = _to_array(series)
+    std = values.std()
+    if std == 0:
+        standardized = np.zeros_like(values)
+    else:
+        standardized = (values - values.mean()) / std
+    return _wrap(standardized, original, "standardized")
+
+
+def downsample(series, factor: int):
+    """Keep every ``factor``-th point (simple decimation)."""
+    if factor < 1:
+        raise InvalidParameterError(f"downsampling factor must be >= 1, got {factor}")
+    values, original = _to_array(series)
+    if values.size // factor < 2:
+        raise InvalidParameterError(
+            f"downsampling by {factor} would leave fewer than 2 points"
+        )
+    return _wrap(values[::factor].copy(), original, f"down{factor}")
+
+
+def moving_average_smooth(series, window: int):
+    """Centred moving-average smoothing with edge padding."""
+    if window < 1:
+        raise InvalidParameterError(f"smoothing window must be >= 1, got {window}")
+    values, original = _to_array(series)
+    if window == 1:
+        return _wrap(values, original, "smoothed")
+    if window > values.size:
+        raise InvalidParameterError(
+            f"smoothing window {window} exceeds series length {values.size}"
+        )
+    pad_left = window // 2
+    pad_right = window - 1 - pad_left
+    padded = np.pad(values, (pad_left, pad_right), mode="edge")
+    kernel = np.full(window, 1.0 / window)
+    smoothed = np.convolve(padded, kernel, mode="valid")
+    return _wrap(smoothed, original, "smoothed")
+
+
+def clip_outliers(series, *, n_sigmas: float = 5.0):
+    """Clamp points further than ``n_sigmas`` standard deviations from the mean."""
+    if n_sigmas <= 0:
+        raise InvalidParameterError(f"n_sigmas must be positive, got {n_sigmas}")
+    values, original = _to_array(series)
+    mean = values.mean()
+    std = values.std()
+    if std == 0:
+        return _wrap(values, original, "clipped")
+    low = mean - n_sigmas * std
+    high = mean + n_sigmas * std
+    return _wrap(np.clip(values, low, high), original, "clipped")

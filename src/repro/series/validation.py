@@ -1,0 +1,82 @@
+"""Validation helpers shared by every algorithm entry point.
+
+All public algorithms funnel their inputs through these functions so that a
+bad series or an impossible length range fails fast with a clear,
+library-specific exception instead of a numpy broadcasting error deep inside
+an FFT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import (
+    InvalidSeriesError,
+    LengthRangeError,
+    SubsequenceLengthError,
+)
+
+__all__ = ["validate_series", "validate_subsequence_length", "validate_length_range"]
+
+
+def validate_series(series, *, min_length: int = 2, name: str = "series") -> np.ndarray:
+    """Return ``series`` as a validated, contiguous 1-D float64 array.
+
+    Accepts anything :func:`numpy.asarray` accepts plus :class:`DataSeries`
+    (anything exposing ``.values``).  Rejects empty, non-1-D, non-finite and
+    too-short inputs.
+    """
+    if hasattr(series, "values") and not isinstance(series, np.ndarray):
+        series = series.values
+    array = np.asarray(series, dtype=np.float64)
+    if array.ndim != 1:
+        raise InvalidSeriesError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if array.size < min_length:
+        raise InvalidSeriesError(
+            f"{name} must contain at least {min_length} points, got {array.size}"
+        )
+    if not np.all(np.isfinite(array)):
+        bad = int(np.count_nonzero(~np.isfinite(array)))
+        raise InvalidSeriesError(
+            f"{name} contains {bad} NaN/inf values; clean it with "
+            f"repro.series.fill_missing first"
+        )
+    return np.ascontiguousarray(array)
+
+
+def validate_subsequence_length(series_length: int, window: int, *, minimum: int = 3) -> int:
+    """Validate a subsequence length against the series it will slide over.
+
+    The minimum of 3 points matches the matrix-profile convention: shorter
+    windows have degenerate z-normalised shapes.
+    """
+    window = int(window)
+    if window < minimum:
+        raise SubsequenceLengthError(window, series_length, f"must be >= {minimum}")
+    if window > series_length // 2 + 1 and window > series_length - 1:
+        raise SubsequenceLengthError(window, series_length, "longer than the series allows")
+    if series_length - window + 1 < 2:
+        raise SubsequenceLengthError(
+            window, series_length, "the series must contain at least two subsequences"
+        )
+    return window
+
+
+def validate_length_range(
+    series_length: int,
+    min_length: int,
+    max_length: int,
+    *,
+    minimum: int = 3,
+) -> tuple[int, int]:
+    """Validate a VALMOD length range ``[min_length, max_length]``."""
+    min_length = int(min_length)
+    max_length = int(max_length)
+    if min_length > max_length:
+        raise LengthRangeError(min_length, max_length, "min_length exceeds max_length")
+    validate_subsequence_length(series_length, min_length, minimum=minimum)
+    try:
+        validate_subsequence_length(series_length, max_length, minimum=minimum)
+    except SubsequenceLengthError as error:
+        raise LengthRangeError(min_length, max_length, str(error)) from error
+    return min_length, max_length

@@ -1,0 +1,61 @@
+"""Subsequence extraction and window iteration helpers."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.series.validation import validate_series, validate_subsequence_length
+
+__all__ = [
+    "subsequence_count",
+    "subsequence_view",
+    "extract_subsequence",
+    "iter_subsequences",
+]
+
+
+def subsequence_count(series_length: int, window: int) -> int:
+    """Number of subsequences of length ``window`` in a series of the given length."""
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    if window > series_length:
+        raise InvalidParameterError(
+            f"window {window} exceeds series length {series_length}"
+        )
+    return series_length - window + 1
+
+
+def subsequence_view(series, window: int) -> np.ndarray:
+    """Zero-copy 2-D view whose row ``i`` is ``series[i:i+window]``."""
+    array = validate_series(series)
+    window = validate_subsequence_length(array.size, window, minimum=1)
+    return np.lib.stride_tricks.sliding_window_view(array, window)
+
+
+def extract_subsequence(series, start: int, window: int) -> np.ndarray:
+    """Copy of the subsequence of length ``window`` starting at ``start``."""
+    array = validate_series(series)
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    if start < 0 or start + window > array.size:
+        raise InvalidParameterError(
+            f"subsequence [{start}, {start + window}) out of bounds "
+            f"for a series of length {array.size}"
+        )
+    return np.array(array[start : start + window])
+
+
+def iter_subsequences(series, window: int, step: int = 1) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(offset, subsequence)`` pairs, optionally with a stride.
+
+    The returned subsequences are copies, so callers may mutate them freely.
+    """
+    array = validate_series(series)
+    window = validate_subsequence_length(array.size, window, minimum=1)
+    if step < 1:
+        raise InvalidParameterError(f"step must be >= 1, got {step}")
+    for offset in range(0, array.size - window + 1, step):
+        yield offset, np.array(array[offset : offset + window])

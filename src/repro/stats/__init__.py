@@ -1,0 +1,47 @@
+"""Numeric substrate: sliding statistics, z-normalisation and distances.
+
+This package contains the low-level numerical routines every motif-discovery
+algorithm in the library is built on:
+
+* :mod:`repro.stats.sliding` — numerically stable sliding-window means,
+  standard deviations and sums of squares;
+* :mod:`repro.stats.znorm` — z-normalisation of (sub)sequences;
+* :mod:`repro.stats.distance` — z-normalised Euclidean distance, Pearson
+  correlation and the conversions between the two;
+* :mod:`repro.stats.fft` — FFT-based sliding dot products (the core of MASS).
+"""
+
+from repro.stats.distance import (
+    correlation_to_distance,
+    distance_to_correlation,
+    length_normalized,
+    pairwise_znorm_distance,
+    znorm_euclidean,
+)
+from repro.stats.fft import sliding_dot_product, sliding_dot_product_naive
+from repro.stats.sliding import (
+    SlidingStats,
+    moving_mean,
+    moving_mean_std,
+    moving_std,
+    prefix_sums,
+)
+from repro.stats.znorm import is_constant, znormalize, znormalize_subsequences
+
+__all__ = [
+    "SlidingStats",
+    "correlation_to_distance",
+    "distance_to_correlation",
+    "is_constant",
+    "length_normalized",
+    "moving_mean",
+    "moving_mean_std",
+    "moving_std",
+    "pairwise_znorm_distance",
+    "prefix_sums",
+    "sliding_dot_product",
+    "sliding_dot_product_naive",
+    "znorm_euclidean",
+    "znormalize",
+    "znormalize_subsequences",
+]

@@ -1,0 +1,115 @@
+"""Distances between (sub)sequences.
+
+The whole library works with the *z-normalised Euclidean distance* between
+subsequences of equal length ``m``.  It is related to the Pearson correlation
+``rho`` of the raw subsequences by::
+
+    d = sqrt(2 * m * (1 - rho))
+
+which is how matrix-profile algorithms compute it from sliding dot products.
+This module provides the direct definition (used by brute-force baselines and
+tests), the correlation conversions, and the *length-normalised* distance
+``d_n = d / sqrt(m)`` that VALMOD uses to rank motifs of different lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.znorm import STD_EPSILON, znormalize
+
+__all__ = [
+    "znorm_euclidean",
+    "pairwise_znorm_distance",
+    "correlation_to_distance",
+    "distance_to_correlation",
+    "length_normalized",
+]
+
+
+def znorm_euclidean(first: np.ndarray, second: np.ndarray) -> float:
+    """Z-normalised Euclidean distance between two equal-length sequences.
+
+    Constant-sequence convention (see :mod:`repro.stats.znorm`): the distance
+    between two constant sequences is ``0`` and the distance between a
+    constant and a non-constant sequence is ``sqrt(m)``.
+    """
+    a = np.asarray(first, dtype=np.float64)
+    b = np.asarray(second, dtype=np.float64)
+    if a.shape != b.shape:
+        raise InvalidParameterError(
+            f"sequences must have the same shape, got {a.shape} and {b.shape}"
+        )
+    if a.ndim != 1:
+        raise InvalidParameterError(f"expected 1-D sequences, got shape {a.shape}")
+    length = a.size
+    a_constant = a.std() <= STD_EPSILON * max(1.0, float(np.abs(a).max(initial=0.0)))
+    b_constant = b.std() <= STD_EPSILON * max(1.0, float(np.abs(b).max(initial=0.0)))
+    if a_constant and b_constant:
+        return 0.0
+    if a_constant or b_constant:
+        return float(np.sqrt(length))
+    return float(np.linalg.norm(znormalize(a) - znormalize(b)))
+
+
+def pairwise_znorm_distance(subsequences: np.ndarray) -> np.ndarray:
+    """All-pairs z-normalised Euclidean distance matrix of the given rows.
+
+    ``subsequences`` is a 2-D array whose rows are equal-length subsequences.
+    Intended for small candidate sets (motif-set expansion, tests).
+    """
+    matrix = np.asarray(subsequences, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise InvalidParameterError(f"expected a 2-D array of subsequences, got {matrix.shape}")
+    count = matrix.shape[0]
+    distances = np.zeros((count, count), dtype=np.float64)
+    for i in range(count):
+        for j in range(i + 1, count):
+            d = znorm_euclidean(matrix[i], matrix[j])
+            distances[i, j] = d
+            distances[j, i] = d
+    return distances
+
+
+def correlation_to_distance(correlation: np.ndarray | float, window: int) -> np.ndarray | float:
+    """Convert Pearson correlation(s) to z-normalised Euclidean distance(s).
+
+    ``d = sqrt(2 * window * (1 - rho))``, with ``rho`` clipped to ``[-1, 1]``
+    to absorb floating-point overshoot.
+    """
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    rho = np.clip(np.asarray(correlation, dtype=np.float64), -1.0, 1.0)
+    distances = np.sqrt(2.0 * window * (1.0 - rho))
+    if np.isscalar(correlation) or np.ndim(correlation) == 0:
+        return float(distances)
+    return distances
+
+
+def distance_to_correlation(distance: np.ndarray | float, window: int) -> np.ndarray | float:
+    """Inverse of :func:`correlation_to_distance`."""
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    d = np.asarray(distance, dtype=np.float64)
+    rho = 1.0 - np.square(d) / (2.0 * window)
+    if np.isscalar(distance) or np.ndim(distance) == 0:
+        return float(rho)
+    return rho
+
+
+def length_normalized(distance: np.ndarray | float, window: int) -> np.ndarray | float:
+    """Length-normalised distance ``d_n = d / sqrt(window)``.
+
+    This is the quantity the VALMOD paper uses to compare motif pairs of
+    different lengths (it factorises the Euclidean distance by
+    ``sqrt(1/length)``).  It is bounded by ``sqrt(2)`` for z-normalised
+    subsequences, regardless of their length.
+    """
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    d = np.asarray(distance, dtype=np.float64)
+    normalized = d / np.sqrt(window)
+    if np.isscalar(distance) or np.ndim(distance) == 0:
+        return float(normalized)
+    return normalized

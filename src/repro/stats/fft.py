@@ -1,0 +1,68 @@
+"""Sliding dot products.
+
+The MASS algorithm (Mueen's Algorithm for Similarity Search) reduces the
+computation of a full distance profile to one convolution, implemented here
+with real FFTs from :mod:`scipy.fft`.  A naive ``O(n·m)`` implementation is
+kept both as a correctness oracle for the tests and as the faster option for
+very short queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import fft as _fft
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["sliding_dot_product", "sliding_dot_product_naive"]
+
+#: Below this query length the naive method tends to beat the FFT in practice.
+_NAIVE_CUTOFF = 16
+
+
+def _validate(query: np.ndarray, series: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    q = np.asarray(query, dtype=np.float64)
+    t = np.asarray(series, dtype=np.float64)
+    if q.ndim != 1 or t.ndim != 1:
+        raise InvalidParameterError(
+            f"query and series must be 1-D, got shapes {q.shape} and {t.shape}"
+        )
+    if q.size == 0 or t.size == 0:
+        raise InvalidParameterError("query and series must not be empty")
+    if q.size > t.size:
+        raise InvalidParameterError(
+            f"query (length {q.size}) is longer than the series (length {t.size})"
+        )
+    return q, t
+
+
+def sliding_dot_product_naive(query: np.ndarray, series: np.ndarray) -> np.ndarray:
+    """Dot product of ``query`` with every window of ``series`` (direct loop).
+
+    Returns an array of length ``len(series) - len(query) + 1`` whose entry
+    ``i`` is ``query . series[i:i+m]``.
+    """
+    q, t = _validate(query, series)
+    m = q.size
+    count = t.size - m + 1
+    windows = np.lib.stride_tricks.sliding_window_view(t, m)
+    return windows[:count] @ q
+
+
+def sliding_dot_product(query: np.ndarray, series: np.ndarray) -> np.ndarray:
+    """Dot product of ``query`` with every window of ``series`` (FFT based).
+
+    This is the MASS building block: ``O((n + m) log(n + m))`` regardless of
+    the query length.  Falls back to the naive method for very short queries
+    where the FFT overhead dominates.
+    """
+    q, t = _validate(query, series)
+    m = q.size
+    n = t.size
+    if m <= _NAIVE_CUTOFF:
+        return sliding_dot_product_naive(q, t)
+    size = _fft.next_fast_len(n + m - 1, real=True)
+    reversed_query = q[::-1]
+    product = _fft.irfft(_fft.rfft(t, size) * _fft.rfft(reversed_query, size), size)
+    # Entry m-1+i of the full convolution equals query . series[i:i+m].
+    return product[m - 1 : n]

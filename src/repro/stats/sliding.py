@@ -1,0 +1,225 @@
+"""Numerically stable sliding-window statistics.
+
+Matrix-profile style algorithms need, for every subsequence ``T[i:i+m]`` of a
+series ``T``, its mean and standard deviation.  Computing them naively is
+``O(n·m)``; computing them from cumulative sums is ``O(n)`` but loses
+precision on long series.  The routines here use cumulative sums in
+``float64`` (with a compensated fallback) and clamp tiny negative variances
+to zero, which is the standard practice in matrix-profile implementations.
+
+The :class:`SlidingStats` class precomputes the cumulative sums once and then
+serves means / standard deviations / sums of squares for *any* window length
+in ``O(1)`` per window, which is exactly what VALMOD needs when it grows the
+subsequence length from ``l_min`` to ``l_max``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+
+__all__ = [
+    "prefix_sums",
+    "moving_mean",
+    "moving_std",
+    "moving_mean_std",
+    "SlidingStats",
+]
+
+#: Variances smaller than this fraction of the prefix-sum magnitude they were
+#: derived from are treated as zero (the subsequence is considered constant):
+#: below that level the value is dominated by float64 cancellation error.
+_EPS_VARIANCE = 1e-15
+
+
+def _as_float_array(values: np.ndarray | list | tuple, name: str = "series") -> np.ndarray:
+    """Return ``values`` as a contiguous 1-D float64 array, validating it."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise InvalidSeriesError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if array.size == 0:
+        raise InvalidSeriesError(f"{name} must not be empty")
+    if not np.all(np.isfinite(array)):
+        raise InvalidSeriesError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(array)
+
+
+def prefix_sums(series: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(cumsum, cumsum_sq)`` with a leading zero element.
+
+    ``cumsum[j] - cumsum[i]`` is the sum of ``series[i:j]``; likewise for the
+    squared values.  Both arrays have length ``len(series) + 1`` so that any
+    window sum is a single subtraction.
+    """
+    array = _as_float_array(series)
+    csum = np.empty(array.size + 1, dtype=np.float64)
+    csum_sq = np.empty(array.size + 1, dtype=np.float64)
+    csum[0] = 0.0
+    csum_sq[0] = 0.0
+    np.cumsum(array, out=csum[1:])
+    np.cumsum(np.square(array), out=csum_sq[1:])
+    return csum, csum_sq
+
+
+def _validate_window(series_length: int, window: int) -> None:
+    if window < 1:
+        raise InvalidParameterError(f"window length must be >= 1, got {window}")
+    if window > series_length:
+        raise InvalidParameterError(
+            f"window length {window} exceeds series length {series_length}"
+        )
+
+
+def moving_mean(series: np.ndarray, window: int) -> np.ndarray:
+    """Mean of every length-``window`` subsequence of ``series``."""
+    array = _as_float_array(series)
+    _validate_window(array.size, window)
+    csum, _ = prefix_sums(array)
+    return (csum[window:] - csum[:-window]) / window
+
+
+def moving_std(series: np.ndarray, window: int) -> np.ndarray:
+    """Population standard deviation of every length-``window`` subsequence."""
+    _, std = moving_mean_std(series, window)
+    return std
+
+
+def moving_mean_std(series: np.ndarray, window: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(means, stds)`` of every length-``window`` subsequence.
+
+    Standard deviations are *population* standard deviations (``ddof=0``),
+    the convention used by the matrix-profile literature.  Values that are
+    numerically indistinguishable from zero are clamped to exactly ``0.0`` so
+    callers can detect constant subsequences with ``std == 0``.
+    """
+    array = _as_float_array(series)
+    _validate_window(array.size, window)
+    csum, csum_sq = prefix_sums(array)
+    window_sum = csum[window:] - csum[:-window]
+    window_sum_sq = csum_sq[window:] - csum_sq[:-window]
+    means = window_sum / window
+    variances = window_sum_sq / window - np.square(means)
+    # Guard against catastrophic cancellation: the error of the subtraction is
+    # proportional to the magnitude of the *prefix* sums being subtracted (not
+    # of the local window), so the "numerically constant" threshold scales
+    # with that magnitude.
+    scale = np.maximum((csum_sq[window:] + csum_sq[:-window]) / window, 1.0)
+    variances[variances < _EPS_VARIANCE * scale] = 0.0
+    np.maximum(variances, 0.0, out=variances)
+    return means, np.sqrt(variances)
+
+
+class SlidingStats:
+    """Per-window statistics of a series for *any* window length in O(1).
+
+    Parameters
+    ----------
+    series:
+        One-dimensional, finite, non-empty array of values.
+
+    Notes
+    -----
+    The object stores the two prefix-sum arrays (``O(n)`` memory) and derives
+    the statistics of any window on demand.  VALMOD queries it once per
+    subsequence length between ``l_min`` and ``l_max``; results for a given
+    length are cached because the main loop asks for the same length many
+    times (once per distance profile).
+    """
+
+    def __init__(self, series: np.ndarray) -> None:
+        self._values = _as_float_array(series)
+        self._csum, self._csum_sq = prefix_sums(self._values)
+        self._cache: dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying series (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    def subsequence_count(self, window: int) -> int:
+        """Number of subsequences of length ``window``: ``n - window + 1``."""
+        _validate_window(self._values.size, window)
+        return self._values.size - window + 1
+
+    # ------------------------------------------------------------------ #
+    # window statistics
+    # ------------------------------------------------------------------ #
+    def mean_std(self, window: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(means, stds)`` for every subsequence of length ``window``."""
+        _validate_window(self._values.size, window)
+        cached = self._cache.get(window)
+        if cached is not None:
+            return cached
+        window_sum = self._csum[window:] - self._csum[:-window]
+        window_sum_sq = self._csum_sq[window:] - self._csum_sq[:-window]
+        means = window_sum / window
+        variances = window_sum_sq / window - np.square(means)
+        # Same cancellation guard as moving_mean_std: the threshold scales
+        # with the magnitude of the prefix sums being subtracted.
+        scale = np.maximum((self._csum_sq[window:] + self._csum_sq[:-window]) / window, 1.0)
+        variances[variances < _EPS_VARIANCE * scale] = 0.0
+        np.maximum(variances, 0.0, out=variances)
+        stats = (means, np.sqrt(variances))
+        self._cache[window] = stats
+        return stats
+
+    def forget(self, window: int) -> None:
+        """Drop the cached statistics of one window length.
+
+        VALMOD sweeps hundreds of consecutive lengths; forgetting each length
+        after its iteration keeps the cache memory bounded.
+        """
+        self._cache.pop(window, None)
+
+    def means(self, window: int) -> np.ndarray:
+        """Means of every subsequence of length ``window``."""
+        return self.mean_std(window)[0]
+
+    def stds(self, window: int) -> np.ndarray:
+        """Standard deviations of every subsequence of length ``window``."""
+        return self.mean_std(window)[1]
+
+    def window_sum(self, start: int, length: int) -> float:
+        """Sum of ``series[start:start+length]``."""
+        self._validate_slice(start, length)
+        return float(self._csum[start + length] - self._csum[start])
+
+    def window_sum_sq(self, start: int, length: int) -> float:
+        """Sum of squares of ``series[start:start+length]``."""
+        self._validate_slice(start, length)
+        return float(self._csum_sq[start + length] - self._csum_sq[start])
+
+    def window_mean(self, start: int, length: int) -> float:
+        """Mean of ``series[start:start+length]``."""
+        return self.window_sum(start, length) / length
+
+    def window_std(self, start: int, length: int) -> float:
+        """Population standard deviation of ``series[start:start+length]``."""
+        mean = self.window_mean(start, length)
+        variance = self.window_sum_sq(start, length) / length - mean * mean
+        scale = max(
+            (self._csum_sq[start + length] + self._csum_sq[start]) / length, 1.0
+        )
+        if variance < _EPS_VARIANCE * scale:
+            return 0.0
+        return float(np.sqrt(max(variance, 0.0)))
+
+    def _validate_slice(self, start: int, length: int) -> None:
+        if length < 1:
+            raise InvalidParameterError(f"window length must be >= 1, got {length}")
+        if start < 0 or start + length > self._values.size:
+            raise InvalidParameterError(
+                f"window [{start}, {start + length}) is out of bounds for a series "
+                f"of length {self._values.size}"
+            )

@@ -1,0 +1,76 @@
+"""Z-normalisation utilities.
+
+Motif discovery compares the *shape* of subsequences, so every subsequence is
+z-normalised (zero mean, unit standard deviation) before distances are taken.
+Constant subsequences have no shape; the library follows the convention used
+by STUMPY and the matrix-profile papers: a constant subsequence z-normalises
+to the all-zero vector and its distance to another constant subsequence is 0,
+while its distance to a non-constant subsequence is ``sqrt(m)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+
+__all__ = ["znormalize", "znormalize_subsequences", "is_constant"]
+
+#: Standard deviations below this threshold are treated as zero.
+STD_EPSILON = 1e-10
+
+
+def is_constant(values: np.ndarray, epsilon: float = STD_EPSILON) -> bool:
+    """Return True when ``values`` has (numerically) zero standard deviation."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise InvalidSeriesError("cannot test an empty array for constancy")
+    return bool(np.std(array) <= epsilon * max(1.0, float(np.abs(array).max())))
+
+
+def znormalize(values: np.ndarray, epsilon: float = STD_EPSILON) -> np.ndarray:
+    """Return the z-normalised copy of a 1-D array.
+
+    A constant input maps to the all-zero vector instead of raising, matching
+    the distance conventions described in the module docstring.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise InvalidSeriesError(f"expected a 1-D array, got shape {array.shape}")
+    if array.size == 0:
+        raise InvalidSeriesError("cannot z-normalise an empty array")
+    if not np.all(np.isfinite(array)):
+        raise InvalidSeriesError("cannot z-normalise an array with NaN or infinite values")
+    mean = array.mean()
+    std = array.std()
+    if std <= epsilon * max(1.0, float(np.abs(array).max())):
+        return np.zeros_like(array)
+    return (array - mean) / std
+
+
+def znormalize_subsequences(series: np.ndarray, window: int) -> np.ndarray:
+    """Return a 2-D array whose row ``i`` is the z-normalised ``series[i:i+window]``.
+
+    This materialises ``(n - window + 1) x window`` values and is intended for
+    small inputs (tests, brute-force baselines, motif-set expansion), not for
+    the main algorithms which work on the series in place.
+    """
+    array = np.asarray(series, dtype=np.float64)
+    if array.ndim != 1:
+        raise InvalidSeriesError(f"expected a 1-D series, got shape {array.shape}")
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    if window > array.size:
+        raise InvalidParameterError(
+            f"window {window} exceeds series length {array.size}"
+        )
+    count = array.size - window + 1
+    subsequences = np.lib.stride_tricks.sliding_window_view(array, window).astype(np.float64)
+    means = subsequences.mean(axis=1, keepdims=True)
+    stds = subsequences.std(axis=1, keepdims=True)
+    normalised = np.zeros((count, window), dtype=np.float64)
+    nonconstant = (stds > STD_EPSILON * np.maximum(1.0, np.abs(subsequences).max(axis=1, keepdims=True)))[:, 0]
+    normalised[nonconstant] = (
+        (subsequences[nonconstant] - means[nonconstant]) / stds[nonconstant]
+    )
+    return normalised

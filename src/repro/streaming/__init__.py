@@ -1,0 +1,19 @@
+"""Streaming / incremental matrix-profile maintenance.
+
+The VALMOD paper analyses static recordings, but the domains it motivates
+(medicine, seismology, entomology) produce *streams*: new points keep
+arriving and the analyst wants the motif structure to stay current without
+recomputing everything.  This package provides the incremental substrate:
+
+* :class:`~repro.streaming.stampi.StreamingMatrixProfile` — STAMPI-style
+  maintenance of the fixed-length matrix profile under appends (exactly the
+  batch profile after every append, at ``O(n)`` per new point);
+* :class:`~repro.streaming.monitor.StreamingMotifMonitor` — a higher-level
+  monitor that tracks the best motif pair and the top discord as the stream
+  grows, and can periodically refresh a variable-length VALMAP snapshot.
+"""
+
+from repro.streaming.monitor import MotifEvent, StreamingMotifMonitor
+from repro.streaming.stampi import StreamingMatrixProfile
+
+__all__ = ["MotifEvent", "StreamingMatrixProfile", "StreamingMotifMonitor"]

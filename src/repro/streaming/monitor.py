@@ -1,0 +1,270 @@
+"""Streaming motif / discord monitoring on top of the incremental profile.
+
+The monitor answers the operational question behind the paper's application
+domains ("is the pattern we care about happening again, and did anything
+anomalous just happen?") while the recording is still being acquired:
+
+* every appended point updates one or more
+  :class:`~repro.streaming.stampi.StreamingMatrixProfile` instances (one per
+  monitored subsequence length);
+* whenever the best motif pair improves by more than a configurable margin,
+  or a new discord exceeds the previous record, a :class:`MotifEvent` is
+  emitted;
+* on demand (or every ``valmap_refresh`` points) the monitor runs VALMOD on
+  the recent history to refresh a variable-length VALMAP snapshot, so the
+  full expressiveness of the paper's meta-data remains available on streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.valmod import valmod
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.profile import MotifPair
+from repro.series.validation import validate_series
+from repro.streaming.stampi import StreamingMatrixProfile
+
+__all__ = ["MotifEvent", "StreamingMotifMonitor"]
+
+
+@dataclass(frozen=True)
+class MotifEvent:
+    """One noteworthy change observed while ingesting the stream.
+
+    Attributes
+    ----------
+    kind:
+        ``"motif"`` when the best motif pair of a monitored length improved,
+        ``"discord"`` when a new strongest discord appeared.
+    position:
+        Stream length (number of points seen) when the event fired.
+    window:
+        The monitored subsequence length the event refers to.
+    distance:
+        The new best motif distance, or the new discord's nearest-neighbour
+        distance.
+    offsets:
+        The motif pair offsets, or a one-element tuple with the discord offset.
+    """
+
+    kind: str
+    position: int
+    window: int
+    distance: float
+    offsets: tuple[int, ...]
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for logs and reports."""
+        return {
+            "kind": self.kind,
+            "position": self.position,
+            "window": self.window,
+            "distance": self.distance,
+            "offsets": list(self.offsets),
+        }
+
+
+class StreamingMotifMonitor:
+    """Track motifs and discords of one or more lengths over a growing stream.
+
+    Parameters
+    ----------
+    initial_values:
+        The points observed before monitoring starts (must cover at least the
+        largest monitored window).
+    windows:
+        The subsequence lengths to monitor (each gets its own incremental
+        profile).
+    improvement_margin:
+        Relative improvement of the best motif distance required to emit a new
+        ``"motif"`` event (guards against a flood of events caused by
+        infinitesimal improvements).
+    discord_margin:
+        Relative increase of the largest nearest-neighbour distance required
+        to emit a ``"discord"`` event.
+    valmap_refresh:
+        When positive, a VALMOD run over the most recent ``history`` points is
+        triggered every ``valmap_refresh`` appended points, refreshing
+        :attr:`last_valmap_result`.
+    history:
+        Length of the suffix used for the periodic VALMOD refresh (defaults to
+        the full stream).
+    """
+
+    def __init__(
+        self,
+        initial_values,
+        windows: Sequence[int] | int,
+        *,
+        improvement_margin: float = 0.01,
+        discord_margin: float = 0.05,
+        valmap_refresh: int = 0,
+        history: int | None = None,
+    ) -> None:
+        values = validate_series(initial_values)
+        if isinstance(windows, (int, np.integer)):
+            windows = [int(windows)]
+        window_list = sorted({int(window) for window in windows})
+        if not window_list:
+            raise InvalidParameterError("at least one window length must be monitored")
+        if improvement_margin < 0 or discord_margin < 0:
+            raise InvalidParameterError("event margins must be >= 0")
+        if valmap_refresh < 0:
+            raise InvalidParameterError(
+                f"valmap_refresh must be >= 0, got {valmap_refresh}"
+            )
+        self._improvement_margin = float(improvement_margin)
+        self._discord_margin = float(discord_margin)
+        self._valmap_refresh = int(valmap_refresh)
+        self._history = None if history is None else int(history)
+        if self._history is not None and self._history < max(window_list) * 2:
+            raise InvalidParameterError(
+                "history must cover at least twice the largest monitored window"
+            )
+
+        self._profiles = {
+            window: StreamingMatrixProfile(values, window) for window in window_list
+        }
+        self._best_distance = {}
+        self._worst_discord = {}
+        for window, profile in self._profiles.items():
+            snapshot = profile.profile()
+            finite = snapshot.distances[np.isfinite(snapshot.distances)]
+            self._best_distance[window] = float(finite.min()) if finite.size else np.inf
+            self._worst_discord[window] = float(finite.max()) if finite.size else 0.0
+        self._events: List[MotifEvent] = []
+        self._since_refresh = 0
+        self.last_valmap_result = None
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def append(self, value: float) -> List[MotifEvent]:
+        """Ingest one point and return the events it triggered (possibly none)."""
+        fired: List[MotifEvent] = []
+        for window, profile in self._profiles.items():
+            created = profile.append(value)
+            if created < 0:
+                continue
+            fired.extend(self._check_window(window, profile))
+        self._since_refresh += 1
+        if self._valmap_refresh and self._since_refresh >= self._valmap_refresh:
+            self.refresh_valmap()
+            self._since_refresh = 0
+        self._events.extend(fired)
+        return fired
+
+    def extend(self, values: Iterable[float]) -> List[MotifEvent]:
+        """Ingest a batch of points and return every event they triggered."""
+        fired: List[MotifEvent] = []
+        for value in values:
+            fired.extend(self.append(float(value)))
+        return fired
+
+    def _check_window(
+        self, window: int, profile: StreamingMatrixProfile
+    ) -> List[MotifEvent]:
+        fired: List[MotifEvent] = []
+        snapshot = profile.profile()
+        finite = np.isfinite(snapshot.distances)
+        if not finite.any():
+            return fired
+        best_offset = int(np.argmin(np.where(finite, snapshot.distances, np.inf)))
+        best_distance = float(snapshot.distances[best_offset])
+        previous_best = self._best_distance[window]
+        if best_distance < previous_best * (1.0 - self._improvement_margin) or (
+            not np.isfinite(previous_best) and np.isfinite(best_distance)
+        ):
+            match = int(snapshot.indices[best_offset])
+            fired.append(
+                MotifEvent(
+                    kind="motif",
+                    position=len(profile),
+                    window=window,
+                    distance=best_distance,
+                    offsets=(best_offset, match),
+                )
+            )
+            self._best_distance[window] = best_distance
+        worst = float(snapshot.distances[finite].max())
+        previous_worst = self._worst_discord[window]
+        if worst > previous_worst * (1.0 + self._discord_margin):
+            discord_offset = int(
+                np.argmax(np.where(finite, snapshot.distances, -np.inf))
+            )
+            fired.append(
+                MotifEvent(
+                    kind="discord",
+                    position=len(profile),
+                    window=window,
+                    distance=worst,
+                    offsets=(discord_offset,),
+                )
+            )
+            self._worst_discord[window] = worst
+        return fired
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def windows(self) -> List[int]:
+        """The monitored subsequence lengths, ascending."""
+        return sorted(self._profiles)
+
+    @property
+    def events(self) -> List[MotifEvent]:
+        """Every event emitted since construction, in arrival order."""
+        return list(self._events)
+
+    def stream_length(self) -> int:
+        """Number of points observed so far."""
+        return len(next(iter(self._profiles.values())))
+
+    def best_motif(self, window: int | None = None) -> MotifPair:
+        """Current best motif pair of one monitored length (or the smallest one)."""
+        profile = self._profile_for(window)
+        return profile.best_motif()
+
+    def top_discords(self, k: int = 1, window: int | None = None) -> List[int]:
+        """Current top-``k`` discord offsets of one monitored length."""
+        return self._profile_for(window).top_discords(k)
+
+    def profile(self, window: int | None = None):
+        """Snapshot of the incremental matrix profile of one monitored length."""
+        return self._profile_for(window).profile()
+
+    def _profile_for(self, window: int | None) -> StreamingMatrixProfile:
+        if window is None:
+            window = self.windows[0]
+        if window not in self._profiles:
+            raise InvalidParameterError(
+                f"window {window} is not monitored; available: {self.windows}"
+            )
+        return self._profiles[window]
+
+    # ------------------------------------------------------------------ #
+    # variable-length snapshot
+    # ------------------------------------------------------------------ #
+    def refresh_valmap(self, *, top_k: int = 3):
+        """Run VALMOD over the recent history and cache the result.
+
+        The length range spans the monitored windows (``[min(windows),
+        max(windows)]``); when a single window is monitored the refresh
+        degenerates to a fixed-length matrix profile, mirroring the paper's
+        observation that VALMAP with a single length coincides with the
+        length-normalised matrix profile.
+        """
+        reference = next(iter(self._profiles.values()))
+        values = np.array(reference.values)
+        if self._history is not None and values.size > self._history:
+            values = values[-self._history :]
+        min_length = self.windows[0]
+        max_length = max(self.windows[-1], min_length + 1)
+        result = valmod(values, min_length, max_length, top_k=top_k)
+        self.last_valmap_result = result
+        return result

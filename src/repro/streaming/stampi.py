@@ -1,0 +1,278 @@
+"""STAMPI — incremental maintenance of the matrix profile under appends.
+
+STAMPI (the incremental variant introduced with STAMP in Matrix Profile I)
+keeps the self-join matrix profile of a growing series exact after every
+appended point.  When a point arrives, exactly one new subsequence appears at
+the tail of the series; its distance profile against all existing
+subsequences is computed in ``O(n)`` with the incremental dot-product
+recurrence, and is used twice:
+
+* its minimum (outside the exclusion zone) becomes the new profile entry;
+* every existing entry is lowered where the new subsequence is a closer
+  neighbour than the previously recorded one.
+
+Both updates preserve exactness, so after any number of appends the object
+holds exactly what a batch STOMP run over the current values would produce
+(the tests assert this point by point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.distance_profile import distances_from_dot_products
+from repro.matrix_profile.exclusion import apply_exclusion_zone, default_exclusion_radius
+from repro.matrix_profile.profile import MatrixProfile, MotifPair
+from repro.matrix_profile.stomp import stomp
+from repro.series.validation import validate_series, validate_subsequence_length
+from repro.stats.fft import sliding_dot_product
+
+__all__ = ["StreamingMatrixProfile"]
+
+#: The values buffer grows geometrically; this is its initial headroom.
+_INITIAL_CAPACITY = 256
+
+
+class StreamingMatrixProfile:
+    """Exact matrix profile of a growing series, maintained under appends.
+
+    Parameters
+    ----------
+    initial_values:
+        The series observed so far (at least ``window + exclusion radius``
+        points are needed before any motif pair can exist; fewer points are
+        accepted, the profile simply stays empty until the series is long
+        enough).
+    window:
+        Subsequence length ``m`` of the maintained profile.
+    exclusion_radius:
+        Trivial-match radius; defaults to ``ceil(m / 4)``.
+
+    Notes
+    -----
+    Appending one point costs ``O(n)`` time (one dot-product recurrence pass
+    plus two vectorised minimum updates), so ingesting ``k`` points into a
+    series of final length ``n`` costs ``O(n·k)`` — the same asymptotic cost
+    as one batch STOMP run restricted to the new rows, without ever touching
+    the rows that did not change.
+    """
+
+    def __init__(
+        self,
+        initial_values,
+        window: int,
+        *,
+        exclusion_radius: int | None = None,
+    ) -> None:
+        values = validate_series(initial_values, min_length=2)
+        self._window = validate_subsequence_length(values.size, window)
+        self._radius = (
+            default_exclusion_radius(self._window)
+            if exclusion_radius is None
+            else int(exclusion_radius)
+        )
+        if self._radius < 0:
+            raise InvalidParameterError(
+                f"exclusion radius must be >= 0, got {self._radius}"
+            )
+
+        # Growable buffer holding the stream seen so far.
+        self._capacity = max(_INITIAL_CAPACITY, 2 * values.size)
+        self._values = np.empty(self._capacity, dtype=np.float64)
+        self._values[: values.size] = values
+        self._length = int(values.size)
+
+        # Seed the profile with a batch STOMP run over the initial values.
+        base = stomp(values, self._window, exclusion_radius=self._radius)
+        count = len(base)
+        self._profile_capacity = max(_INITIAL_CAPACITY, 2 * count)
+        self._distances = np.full(self._profile_capacity, np.inf, dtype=np.float64)
+        self._indices = np.full(self._profile_capacity, -1, dtype=np.int64)
+        self._distances[:count] = base.distances
+        self._indices[:count] = base.indices
+        self._count = count
+
+        # Dot products of the *last* subsequence against every other one,
+        # kept so the next append can apply the O(1)-per-entry recurrence.
+        last = values[values.size - self._window :]
+        self._last_dot_products = sliding_dot_product(last, values)
+        self._appended = 0
+
+    # ------------------------------------------------------------------ #
+    # read-only views
+    # ------------------------------------------------------------------ #
+    @property
+    def window(self) -> int:
+        """The maintained subsequence length."""
+        return self._window
+
+    @property
+    def exclusion_radius(self) -> int:
+        """The trivial-match radius used by the profile."""
+        return self._radius
+
+    @property
+    def values(self) -> np.ndarray:
+        """The stream observed so far (read-only view)."""
+        view = self._values[: self._length].view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def appended_points(self) -> int:
+        """Number of points appended after construction."""
+        return self._appended
+
+    def __len__(self) -> int:
+        """Number of points observed so far."""
+        return self._length
+
+    @property
+    def subsequence_count(self) -> int:
+        """Number of subsequences (profile entries) currently maintained."""
+        return self._count
+
+    def profile(self) -> MatrixProfile:
+        """Snapshot of the current exact matrix profile."""
+        return MatrixProfile(
+            distances=np.array(self._distances[: self._count]),
+            indices=np.array(self._indices[: self._count]),
+            window=self._window,
+            exclusion_radius=self._radius,
+        )
+
+    def best_motif(self) -> MotifPair:
+        """The current best motif pair (smallest profile entry)."""
+        return self.profile().best()
+
+    def top_discords(self, k: int = 1) -> list[int]:
+        """Offsets of the current top-``k`` discords."""
+        return self.profile().discords(k)
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def append(self, value: float) -> int:
+        """Ingest one point; returns the offset of the newly created subsequence.
+
+        Returns ``-1`` while the stream is still shorter than one window (no
+        new subsequence is created yet).
+        """
+        number = float(value)
+        if not np.isfinite(number):
+            raise InvalidParameterError(f"appended values must be finite, got {value!r}")
+        self._ensure_value_capacity(self._length + 1)
+        self._values[self._length] = number
+        self._length += 1
+        self._appended += 1
+        if self._length < self._window:
+            return -1
+        return self._add_subsequence()
+
+    def extend(self, values) -> int:
+        """Ingest a batch of points; returns the number of new subsequences."""
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            raise InvalidParameterError(
+                f"extend expects a 1-D batch of values, got shape {array.shape}"
+            )
+        created = 0
+        for value in array.tolist():
+            if self.append(value) >= 0:
+                created += 1
+        return created
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _ensure_value_capacity(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        self._capacity = max(needed, 2 * self._capacity)
+        grown = np.empty(self._capacity, dtype=np.float64)
+        grown[: self._length] = self._values[: self._length]
+        self._values = grown
+
+    def _ensure_profile_capacity(self, needed: int) -> None:
+        if needed <= self._profile_capacity:
+            return
+        self._profile_capacity = max(needed, 2 * self._profile_capacity)
+        distances = np.full(self._profile_capacity, np.inf, dtype=np.float64)
+        indices = np.full(self._profile_capacity, -1, dtype=np.int64)
+        distances[: self._count] = self._distances[: self._count]
+        indices[: self._count] = self._indices[: self._count]
+        self._distances = distances
+        self._indices = indices
+
+    def _add_subsequence(self) -> int:
+        """Create the profile entry for the newest subsequence and refresh the rest."""
+        window = self._window
+        length = self._length
+        values = self._values[:length]
+        offset = length - window  # offset of the new (last) subsequence
+        count = offset + 1
+
+        # Dot products of the new last subsequence against every subsequence.
+        if count == 1:
+            dot_products = np.array(
+                [float(np.dot(values[offset:], values[offset:]))], dtype=np.float64
+            )
+        elif self._last_dot_products.size == count - 1:
+            previous = self._last_dot_products
+            dot_products = np.empty(count, dtype=np.float64)
+            # Recurrence over the query: QT_new[j] pairs the new tail query
+            # with subsequence j; it extends QT_old[j-1] (previous tail query
+            # against subsequence j-1) by one trailing product and drops one
+            # leading product.
+            dot_products[1:] = (
+                previous
+                - values[offset - 1] * values[: count - 1]
+                + values[length - 1] * values[window : window + count - 1]
+            )
+            dot_products[0] = float(np.dot(values[offset : offset + window], values[:window]))
+        else:
+            # Fallback (first append after construction on a very short seed).
+            dot_products = sliding_dot_product(values[offset:], values)
+        self._last_dot_products = dot_products
+
+        means, stds = self._window_stats(values, window)
+        query_mean = float(means[offset])
+        query_std = float(stds[offset])
+        profile = distances_from_dot_products(
+            dot_products, window, query_mean, query_std, means, stds
+        )
+        masked = np.array(profile)
+        apply_exclusion_zone(masked, offset, self._radius)
+
+        self._ensure_profile_capacity(count)
+        # 1. entry of the new subsequence: its nearest neighbour so far.
+        best = int(np.argmin(masked)) if masked.size else -1
+        if best >= 0 and np.isfinite(masked[best]):
+            self._distances[offset] = float(masked[best])
+            self._indices[offset] = best
+        else:
+            self._distances[offset] = np.inf
+            self._indices[offset] = -1
+        # 2. existing entries: adopt the new subsequence where it is closer.
+        if count > 1:
+            existing = masked[: count - 1]
+            better = existing < self._distances[: count - 1]
+            if np.any(better):
+                self._distances[: count - 1][better] = existing[better]
+                self._indices[: count - 1][better] = offset
+        self._count = count
+        return offset
+
+    def _window_stats(self, values: np.ndarray, window: int) -> tuple[np.ndarray, np.ndarray]:
+        """Means and standard deviations of every subsequence of the current buffer."""
+        csum = np.concatenate(([0.0], np.cumsum(values)))
+        csum_sq = np.concatenate(([0.0], np.cumsum(np.square(values))))
+        window_sum = csum[window:] - csum[:-window]
+        window_sum_sq = csum_sq[window:] - csum_sq[:-window]
+        means = window_sum / window
+        variances = window_sum_sq / window - np.square(means)
+        scale = np.maximum((csum_sq[window:] + csum_sq[:-window]) / window, 1.0)
+        variances[variances < 1e-15 * scale] = 0.0
+        np.maximum(variances, 0.0, out=variances)
+        return means, np.sqrt(variances)

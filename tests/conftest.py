@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately small (hundreds of points) so the full suite,
+including the brute-force cross-checks, runs in well under a minute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import generate_ecg, generate_planted_motifs, generate_random_walk
+from repro.series.dataseries import DataSeries
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A session-wide deterministic random generator."""
+    return np.random.default_rng(20180610)
+
+
+@pytest.fixture(scope="session")
+def small_random_series() -> np.ndarray:
+    """A small random-walk array (no DataSeries wrapper)."""
+    generator = np.random.default_rng(7)
+    return np.cumsum(generator.normal(size=300))
+
+
+@pytest.fixture(scope="session")
+def small_ecg_series() -> DataSeries:
+    """A short synthetic ECG with a beat period of 60 points."""
+    return generate_ecg(500, beat_period=60, random_state=1)
+
+
+@pytest.fixture(scope="session")
+def planted_series():
+    """A 900-point series with one planted motif of length 48 (plus ground truth)."""
+    return generate_planted_motifs(
+        900, motif_lengths=(48,), copies_per_motif=2, distortion=0.01, random_state=3
+    )
+
+
+@pytest.fixture(scope="session")
+def two_length_planted_series():
+    """A series with planted motifs of two different lengths (plus ground truth)."""
+    return generate_planted_motifs(
+        1600,
+        motif_lengths=(32, 80),
+        copies_per_motif=2,
+        distortion=0.03,
+        random_state=9,
+    )
+
+
+@pytest.fixture(scope="session")
+def random_walk_series() -> DataSeries:
+    """A plain random walk (no planted structure)."""
+    return generate_random_walk(400, random_state=5)

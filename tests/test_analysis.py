@@ -1,0 +1,165 @@
+"""Tests for the analysis front-end: checkpoints, evaluation, reports, ASCII plots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import render_profile, render_series, render_valmap
+from repro.analysis.checkpoints import summarize_checkpoints
+from repro.analysis.evaluation import (
+    match_motifs_to_ground_truth,
+    overlap_length,
+    recall_of_planted_motifs,
+)
+from repro.analysis.report import (
+    format_motif_table,
+    format_pruning_table,
+    format_valmap_summary,
+    result_report,
+)
+from repro.core.valmod import valmod
+from repro.exceptions import InvalidParameterError
+from repro.generators.planted import PlantedMotif
+from repro.matrix_profile.profile import MotifPair
+
+
+@pytest.fixture(scope="module")
+def ecg_result(small_ecg_series=None):
+    from repro.generators import generate_ecg
+
+    series = generate_ecg(500, beat_period=60, random_state=1)
+    return valmod(series, 24, 48, top_k=2)
+
+
+class TestCheckpoints:
+    def test_summary_counts(self, ecg_result):
+        summary = summarize_checkpoints(ecg_result.valmap)
+        assert summary.num_updates == len(ecg_result.valmap.checkpoints)
+        assert summary.up_to_length == ecg_result.config.max_length
+        assert len(summary.updated_offsets) == len(set(summary.updated_offsets))
+
+    def test_partial_summary_monotone(self, ecg_result):
+        early = summarize_checkpoints(ecg_result.valmap, up_to_length=30)
+        late = summarize_checkpoints(ecg_result.valmap, up_to_length=48)
+        assert early.num_updates <= late.num_updates
+
+    def test_regions_cover_updated_offsets(self, ecg_result):
+        summary = summarize_checkpoints(ecg_result.valmap)
+        for offset in summary.updated_offsets:
+            assert any(start <= offset < stop for start, stop in summary.update_regions)
+
+    def test_updates_per_length_sums(self, ecg_result):
+        summary = summarize_checkpoints(ecg_result.valmap)
+        assert sum(summary.updates_per_length.values()) == summary.num_updates
+
+    def test_invalid_parameters(self, ecg_result):
+        with pytest.raises(InvalidParameterError):
+            summarize_checkpoints(ecg_result.valmap, up_to_length=5)
+        with pytest.raises(InvalidParameterError):
+            summarize_checkpoints(ecg_result.valmap, region_gap=0)
+
+    def test_as_dict(self, ecg_result):
+        payload = summarize_checkpoints(ecg_result.valmap).as_dict()
+        assert "update_regions" in payload
+
+
+class TestEvaluation:
+    def test_overlap_length(self):
+        assert overlap_length(0, 10, 5, 10) == 5
+        assert overlap_length(0, 10, 20, 10) == 0
+        assert overlap_length(0, 10, 0, 10) == 10
+        with pytest.raises(InvalidParameterError):
+            overlap_length(0, -1, 0, 5)
+
+    def test_match_covered_pair(self):
+        planted = PlantedMotif(length=50, offsets=[100, 400])
+        pair = MotifPair(distance=1.0, offset_a=105, offset_b=395, window=50)
+        reports = match_motifs_to_ground_truth([pair], [planted])
+        assert len(reports) == 1
+        assert reports[0].covered
+
+    def test_pair_on_same_copy_not_covered(self):
+        planted = PlantedMotif(length=50, offsets=[100, 400])
+        pair = MotifPair(distance=1.0, offset_a=100, offset_b=110, window=50)
+        reports = match_motifs_to_ground_truth([pair], [planted])
+        assert not reports[0].covered
+
+    def test_recall(self):
+        planted = [
+            PlantedMotif(length=50, offsets=[100, 400]),
+            PlantedMotif(length=30, offsets=[700, 900]),
+        ]
+        pair = MotifPair(distance=1.0, offset_a=100, offset_b=400, window=50)
+        assert recall_of_planted_motifs([pair], planted) == pytest.approx(0.5)
+
+    def test_recall_requires_ground_truth(self):
+        with pytest.raises(InvalidParameterError):
+            recall_of_planted_motifs([], [])
+
+    def test_invalid_coverage(self):
+        planted = PlantedMotif(length=50, offsets=[0, 100])
+        with pytest.raises(InvalidParameterError):
+            match_motifs_to_ground_truth([], [planted], coverage=0.0)
+
+
+class TestReports:
+    def test_motif_table_contains_every_pair(self, ecg_result):
+        pairs = ecg_result.top_motifs(3)
+        table = format_motif_table(pairs)
+        for pair in pairs:
+            assert str(pair.offset_a) in table
+        assert "norm. distance" in table
+
+    def test_pruning_table(self, ecg_result):
+        stats = [ecg_result.length_results[length].pruning for length in ecg_result.lengths]
+        table = format_pruning_table(stats)
+        assert str(ecg_result.config.min_length) in table
+        assert "valid frac" in table
+
+    def test_valmap_summary(self, ecg_result):
+        text = format_valmap_summary(ecg_result)
+        assert "VALMAP summary" in text
+        assert "best entry" in text
+
+    def test_full_report(self, ecg_result):
+        text = result_report(ecg_result)
+        assert "VALMOD on" in text
+        assert "pruning per length" in text
+        assert f"{ecg_result.series_length} points" in text
+
+
+class TestAsciiPlots:
+    def test_render_series_width(self):
+        line = render_series(np.sin(np.linspace(0, 10, 500)), width=40, label="sine")
+        assert "sine" in line
+        assert len(line.split("|")[1]) == 40
+
+    def test_render_series_short_input(self):
+        line = render_series(np.array([1.0, 2.0, 3.0]), width=40)
+        assert "|" in line
+
+    def test_render_profile_marks_minimum(self):
+        distances = np.ones(100)
+        distances[30] = 0.0
+        text = render_profile(distances, width=50)
+        assert "^" in text.splitlines()[1]
+
+    def test_render_profile_all_inf(self):
+        text = render_profile(np.full(10, np.inf))
+        assert text  # no crash, single line
+        assert "^" not in text
+
+    def test_render_valmap(self, ecg_result):
+        text = render_valmap(ecg_result.valmap)
+        # MPn sparkline + its minimum marker + length profile + update mask
+        assert len(text.splitlines()) == 4
+        assert "VALMAP MPn" in text and "length prof" in text and "updated" in text
+
+    def test_invalid_width(self):
+        with pytest.raises(InvalidParameterError):
+            render_series(np.arange(10, dtype=float), width=2)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            render_series(np.array([]))

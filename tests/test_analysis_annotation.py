@@ -1,0 +1,143 @@
+"""Tests for annotation vectors (guided motif search)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.annotation import (
+    annotation_vector_clipping,
+    annotation_vector_complexity,
+    annotation_vector_forbidden,
+    apply_annotation_vector,
+    combine_annotation_vectors,
+)
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.stomp import stomp
+
+
+def _series_with_flat_dropout(rng: np.random.Generator) -> np.ndarray:
+    """A sine-burst series with a long flat dropout region in the middle.
+
+    The two bursts are slightly distorted copies of each other (distance > 0),
+    while the dropout region is exactly constant, so the *naive* best motif is
+    the spurious dropout-vs-dropout pair.
+    """
+    pattern = np.sin(np.linspace(0, 6 * np.pi, 80))
+    parts = [
+        rng.normal(0.0, 0.3, 60),
+        pattern + rng.normal(0.0, 0.05, pattern.size),
+        rng.normal(0.0, 0.3, 40),
+        np.zeros(120),  # dropout (flat, a spurious perfect motif)
+        rng.normal(0.0, 0.3, 40),
+        pattern + rng.normal(0.0, 0.05, pattern.size),
+        rng.normal(0.0, 0.3, 60),
+    ]
+    return np.concatenate(parts)
+
+
+class TestComplexityAnnotation:
+    def test_values_in_unit_interval(self, small_ecg_series):
+        vector = annotation_vector_complexity(small_ecg_series, 32)
+        assert vector.size == len(small_ecg_series) - 32 + 1
+        assert np.all(vector >= 0.0)
+        assert np.all(vector <= 1.0)
+
+    def test_flat_regions_score_zero(self):
+        rng = np.random.default_rng(0)
+        values = _series_with_flat_dropout(rng)
+        window = 40
+        vector = annotation_vector_complexity(values, window)
+        # Subsequences fully inside the dropout (offsets 220..260) are flat.
+        assert np.all(vector[230:250] == 0.0)
+        # Subsequences on the sine bursts are not.
+        assert vector[60:80].min() > 0.0
+
+
+class TestClippingAnnotation:
+    def test_clipped_plateau_is_down_weighted(self):
+        rng = np.random.default_rng(1)
+        values = np.sin(np.linspace(0, 20 * np.pi, 600)) + rng.normal(0.0, 0.05, 600)
+        values[200:260] = values.max() + 0.5  # saturated plateau
+        vector = annotation_vector_clipping(values, 30)
+        assert vector[210:225].max() < 0.5
+        assert vector[:100].min() > 0.5
+
+    def test_invalid_fraction_raises(self, small_random_series):
+        with pytest.raises(InvalidParameterError):
+            annotation_vector_clipping(small_random_series, 16, saturation_fraction=0.9)
+
+
+class TestForbiddenAnnotation:
+    def test_ranges_are_zeroed(self):
+        vector = annotation_vector_forbidden(100, [(10, 20), (90, 200)])
+        assert np.all(vector[10:20] == 0.0)
+        assert np.all(vector[90:] == 0.0)
+        assert np.all(vector[:10] == 1.0)
+        assert np.all(vector[20:90] == 1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            annotation_vector_forbidden(0, [])
+        with pytest.raises(InvalidParameterError):
+            annotation_vector_forbidden(10, [(5, 5)])
+
+
+class TestCombineAndApply:
+    def test_combination_is_elementwise_product(self):
+        first = np.array([1.0, 0.5, 0.0, 1.0])
+        second = np.array([1.0, 1.0, 1.0, 0.0])
+        combined = combine_annotation_vectors([first, second])
+        np.testing.assert_allclose(combined, [1.0, 0.5, 0.0, 0.0])
+        with pytest.raises(InvalidParameterError):
+            combine_annotation_vectors([])
+        with pytest.raises(InvalidParameterError):
+            combine_annotation_vectors([first, np.ones(3)])
+
+    def test_guided_search_avoids_dropout_motif(self):
+        rng = np.random.default_rng(3)
+        values = _series_with_flat_dropout(rng)
+        window = 40
+        profile = stomp(values, window)
+        naive_best = profile.best()
+        # The naive motif is the flat dropout matching itself (the dropout
+        # spans raw offsets [180, 300), so length-40 subsequences fully inside
+        # it start in [180, 260]).
+        assert 180 <= naive_best.offset_a <= 260
+        assert naive_best.distance == pytest.approx(0.0, abs=1e-9)
+
+        annotation = annotation_vector_complexity(values, window)
+        corrected = apply_annotation_vector(profile, annotation)
+        guided_best = corrected.best()
+        # The guided motif is the repeated sine burst (planted at 60 and 340).
+        assert min(abs(guided_best.offset_a - offset) for offset in (60, 340)) <= window
+        assert min(abs(guided_best.offset_b - offset) for offset in (60, 340)) <= window
+
+    def test_apply_preserves_interesting_entries(self, small_random_series):
+        window = 16
+        profile = stomp(small_random_series, window)
+        all_interesting = np.ones(len(profile))
+        corrected = apply_annotation_vector(profile, all_interesting)
+        np.testing.assert_allclose(corrected.distances, profile.distances)
+
+    def test_apply_validates_vector(self, small_random_series):
+        profile = stomp(small_random_series, 16)
+        with pytest.raises(InvalidParameterError):
+            apply_annotation_vector(profile, np.ones(3))
+        bad = np.ones(len(profile))
+        bad[0] = 2.0
+        with pytest.raises(InvalidParameterError):
+            apply_annotation_vector(profile, bad)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_correction_never_lowers_any_entry(self, seed):
+        rng = np.random.default_rng(seed)
+        values = np.cumsum(rng.normal(size=180))
+        profile = stomp(values, 16)
+        annotation = rng.uniform(0.0, 1.0, size=len(profile))
+        corrected = apply_annotation_vector(profile, annotation)
+        finite = np.isfinite(profile.distances)
+        assert np.all(corrected.distances[finite] >= profile.distances[finite] - 1e-12)

@@ -1,0 +1,153 @@
+"""Tests for the baseline algorithms and their shared result container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import RangeDiscoveryResult
+from repro.baselines.brute_force_range import brute_force_range
+from repro.baselines.moen import moen
+from repro.baselines.quick_motif import quick_motif, quick_motif_range
+from repro.baselines.stomp_range import stomp_range
+from repro.exceptions import EmptyResultError, InvalidParameterError
+from repro.matrix_profile.profile import MotifPair
+from repro.matrix_profile.stomp import stomp
+
+
+class TestRangeDiscoveryResult:
+    def _result(self) -> RangeDiscoveryResult:
+        pairs = {
+            10: [MotifPair(distance=2.0, offset_a=0, offset_b=50, window=10)],
+            11: [MotifPair(distance=1.0, offset_a=5, offset_b=70, window=11)],
+        }
+        return RangeDiscoveryResult(algorithm="toy", motifs_by_length=pairs, elapsed_seconds=0.5)
+
+    def test_lengths_sorted(self):
+        assert self._result().lengths == [10, 11]
+
+    def test_motifs_at_and_best_at(self):
+        result = self._result()
+        assert result.best_at(11).distance == 1.0
+        with pytest.raises(InvalidParameterError):
+            result.motifs_at(99)
+
+    def test_best_overall_uses_normalized_distance(self):
+        result = self._result()
+        assert result.best_overall().window == 11
+
+    def test_best_at_empty_raises(self):
+        result = RangeDiscoveryResult(
+            algorithm="toy", motifs_by_length={10: []}, elapsed_seconds=0.0
+        )
+        with pytest.raises(EmptyResultError):
+            result.best_at(10)
+        with pytest.raises(EmptyResultError):
+            result.best_overall()
+
+    def test_as_dict(self):
+        payload = self._result().as_dict()
+        assert payload["algorithm"] == "toy"
+        assert "10" in payload["motifs_by_length"]
+
+
+class TestStompRangeAndBruteForce:
+    def test_agree_with_each_other(self, small_random_series):
+        fast = stomp_range(small_random_series, 16, 24, top_k=1)
+        slow = brute_force_range(small_random_series, 16, 24, top_k=1)
+        assert fast.lengths == slow.lengths
+        for length in fast.lengths:
+            assert fast.best_at(length).distance == pytest.approx(
+                slow.best_at(length).distance, abs=1e-6
+            )
+
+    def test_length_step_includes_max(self, small_random_series):
+        result = stomp_range(small_random_series, 16, 25, top_k=1, length_step=4)
+        assert result.lengths == [16, 20, 24, 25]
+
+    def test_reports_elapsed_and_extra(self, small_random_series):
+        result = stomp_range(small_random_series, 16, 18, top_k=1)
+        assert result.elapsed_seconds > 0
+        assert result.extra["lengths_evaluated"] == 3
+
+
+class TestMoen:
+    def test_exact_per_length(self, small_random_series):
+        result = moen(small_random_series, 16, 28)
+        oracle = stomp_range(small_random_series, 16, 28, top_k=1)
+        for length in oracle.lengths:
+            assert result.best_at(length).distance == pytest.approx(
+                oracle.best_at(length).distance, abs=1e-6
+            )
+
+    def test_exact_on_ecg(self, small_ecg_series):
+        result = moen(small_ecg_series, 24, 36)
+        oracle = stomp_range(small_ecg_series, 24, 36, top_k=1)
+        for length in oracle.lengths:
+            assert result.best_at(length).distance == pytest.approx(
+                oracle.best_at(length).distance, abs=1e-6
+            )
+
+    def test_exact_with_flat_regions(self):
+        values = np.concatenate([np.zeros(40), np.sin(np.linspace(0, 15, 150)), np.zeros(30)])
+        result = moen(values, 12, 20)
+        oracle = stomp_range(values, 12, 20, top_k=1)
+        for length in oracle.lengths:
+            assert result.best_at(length).distance == pytest.approx(
+                oracle.best_at(length).distance, abs=1e-6
+            )
+
+    def test_reports_pruning_counters(self, small_random_series):
+        result = moen(small_random_series, 16, 24)
+        assert result.extra["profiles_computed"] > 0
+        assert result.extra["profiles_pruned"] >= 0
+
+    @pytest.mark.parametrize("kind", ["tight", "paper"])
+    def test_both_bounds_give_exact_results(self, small_random_series, kind):
+        result = moen(small_random_series, 16, 20, lower_bound_kind=kind)
+        oracle = stomp_range(small_random_series, 16, 20, top_k=1)
+        for length in oracle.lengths:
+            assert result.best_at(length).distance == pytest.approx(
+                oracle.best_at(length).distance, abs=1e-6
+            )
+
+
+class TestQuickMotif:
+    def test_matches_stomp_best_pair(self, small_random_series):
+        for window in (16, 25):
+            expected = stomp(small_random_series, window).best()
+            observed = quick_motif(small_random_series, window)
+            assert observed.distance == pytest.approx(expected.distance, abs=1e-6)
+
+    def test_matches_stomp_on_ecg(self, small_ecg_series):
+        window = 30
+        expected = stomp(small_ecg_series, window).best()
+        observed = quick_motif(small_ecg_series, window)
+        assert observed.distance == pytest.approx(expected.distance, abs=1e-6)
+
+    def test_different_segment_counts_agree(self, small_random_series):
+        window = 20
+        reference = quick_motif(small_random_series, window, segments=4)
+        finer = quick_motif(small_random_series, window, segments=16)
+        assert reference.distance == pytest.approx(finer.distance, abs=1e-6)
+
+    def test_group_size_does_not_change_result(self, small_random_series):
+        window = 20
+        coarse = quick_motif(small_random_series, window, group_size=64)
+        fine = quick_motif(small_random_series, window, group_size=8)
+        assert coarse.distance == pytest.approx(fine.distance, abs=1e-6)
+
+    def test_range_wrapper(self, small_random_series):
+        result = quick_motif_range(small_random_series, 16, 20, length_step=2)
+        oracle = stomp_range(small_random_series, 16, 20, top_k=1, length_step=2)
+        assert result.lengths == oracle.lengths
+        for length in result.lengths:
+            assert result.best_at(length).distance == pytest.approx(
+                oracle.best_at(length).distance, abs=1e-6
+            )
+
+    def test_invalid_parameters(self, small_random_series):
+        with pytest.raises(InvalidParameterError):
+            quick_motif(small_random_series, 16, segments=0)
+        with pytest.raises(InvalidParameterError):
+            quick_motif(small_random_series, 16, group_size=0)

@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.series.loaders import save_text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_discover_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["discover", "--min-length", "10", "--max-length", "20"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args(["--version"])
+        assert exit_info.value.code == 0
+
+
+class TestGenerateCommand:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        output = tmp_path / "ecg.txt"
+        code = main(
+            ["generate", "--workload", "ecg", "--length", "400", "--output", str(output)]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "400 points" in capsys.readouterr().out
+
+
+class TestDiscoverCommand:
+    def test_discover_on_workload(self, capsys, tmp_path):
+        result_path = tmp_path / "result.json"
+        valmap_path = tmp_path / "valmap.json"
+        code = main(
+            [
+                "discover",
+                "--workload",
+                "ecg",
+                "--length",
+                "400",
+                "--min-length",
+                "24",
+                "--max-length",
+                "32",
+                "--top-k",
+                "2",
+                "--output",
+                str(result_path),
+                "--valmap-output",
+                str(valmap_path),
+                "--plot",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VALMOD on" in out
+        assert "VALMAP MPn" in out
+        assert result_path.exists() and valmap_path.exists()
+        payload = json.loads(result_path.read_text())
+        assert payload["kind"] == "valmod_result"
+
+    def test_discover_on_file(self, capsys, tmp_path):
+        rng = np.random.default_rng(0)
+        series_path = tmp_path / "series.txt"
+        save_text(np.cumsum(rng.normal(size=300)), series_path)
+        code = main(
+            [
+                "discover",
+                "--input",
+                str(series_path),
+                "--min-length",
+                "16",
+                "--max-length",
+                "20",
+            ]
+        )
+        assert code == 0
+        assert "top-3" in capsys.readouterr().out
+
+    def test_error_is_reported_not_raised(self, capsys, tmp_path):
+        rng = np.random.default_rng(0)
+        series_path = tmp_path / "short.txt"
+        save_text(rng.normal(size=30), series_path)
+        code = main(
+            [
+                "discover",
+                "--input",
+                str(series_path),
+                "--min-length",
+                "16",
+                "--max-length",
+                "200",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompareCommand:
+    def test_compare_prints_all_algorithms(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--workload",
+                "random-walk",
+                "--length",
+                "400",
+                "--min-length",
+                "16",
+                "--max-length",
+                "20",
+                "--algorithms",
+                "valmod",
+                "stomp-range",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "valmod" in out and "stomp-range" in out
+
+
+class TestFigureCommand:
+    def test_figure_json_output(self, capsys, monkeypatch):
+        # patch the figure registry to a tiny workload so the test stays fast
+        import repro.cli as cli_module
+
+        monkeypatch.setitem(
+            cli_module._FIGURES,
+            "fig2",
+            lambda: [{"profile_capacity": 4, "valid_fraction": 1.0}],
+        )
+        code = main(["figure", "--name", "fig2", "--json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["profile_capacity"] == 4
+
+    def test_figure_table_output(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        monkeypatch.setitem(
+            cli_module._FIGURES,
+            "ablation-exactness",
+            lambda: {"mismatches": 0, "speedup": 3.0},
+        )
+        code = main(["figure", "--name", "ablation-exactness"])
+        assert code == 0
+        assert "mismatches" in capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Tests for the CLI sub-commands added by the reproduction extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.generators import generate_ecg
+from repro.series.loaders import save_text
+
+
+class TestParser:
+    def test_new_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("discords", "motif-set", "stream", "mpdist"):
+            args = {
+                "discords": ["discords", "--workload", "ecg", "--min-length", "32", "--max-length", "40"],
+                "motif-set": ["motif-set", "--workload", "ecg", "--min-length", "32", "--max-length", "40"],
+                "stream": ["stream", "--workload", "ecg"],
+                "mpdist": ["mpdist", "a.txt", "b.txt", "--window", "16"],
+            }[command]
+            parsed = parser.parse_args(args)
+            assert parsed.command == command
+
+    def test_extension_figures_registered(self):
+        parser = build_parser()
+        parsed = parser.parse_args(["figure", "--name", "ablation-anytime"])
+        assert parsed.name == "ablation-anytime"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure", "--name", "not-a-figure"])
+
+
+class TestDiscordsCommand:
+    def test_runs_on_workload(self, capsys):
+        exit_code = main(
+            [
+                "discords",
+                "--workload",
+                "ecg",
+                "--length",
+                "800",
+                "--min-length",
+                "32",
+                "--max-length",
+                "48",
+                "--top-k",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "offset" in captured.out
+        assert "normalized_distance" in captured.out
+
+
+class TestMotifSetCommand:
+    def test_runs_on_workload(self, capsys):
+        exit_code = main(
+            [
+                "motif-set",
+                "--workload",
+                "ecg",
+                "--length",
+                "800",
+                "--min-length",
+                "32",
+                "--max-length",
+                "40",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "best motif pair" in captured.out
+        assert "motif set" in captured.out
+
+
+class TestStreamCommand:
+    def test_replays_workload(self, capsys):
+        exit_code = main(
+            [
+                "stream",
+                "--workload",
+                "ecg",
+                "--length",
+                "900",
+                "--warmup",
+                "600",
+                "--windows",
+                "48",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "replayed 300 points" in captured.out
+        assert "final best motif @ length 48" in captured.out
+
+
+class TestMpdistCommand:
+    def test_computes_distance_between_files(self, tmp_path, capsys):
+        first = generate_ecg(400, beat_period=60, random_state=0)
+        second = generate_ecg(400, beat_period=60, random_state=1)
+        first_path = tmp_path / "first.txt"
+        second_path = tmp_path / "second.txt"
+        save_text(first, first_path)
+        save_text(second, second_path)
+        exit_code = main(
+            ["mpdist", str(first_path), str(second_path), "--window", "32"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "MPdist" in captured.out
+        value = float(captured.out.strip().rsplit("=", 1)[1])
+        assert value >= 0.0
+
+    def test_identical_files_give_zero(self, tmp_path, capsys):
+        series = generate_ecg(300, beat_period=60, random_state=2)
+        path = tmp_path / "series.txt"
+        save_text(series, path)
+        main(["mpdist", str(path), str(path), "--window", "32"])
+        captured = capsys.readouterr()
+        value = float(captured.out.strip().rsplit("=", 1)[1])
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFigureCommandExtensions:
+    def test_extension_domain_figure_prints_rows(self, capsys):
+        exit_code = main(["figure", "--name", "ablation-anytime", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "profile_mae" in captured.out

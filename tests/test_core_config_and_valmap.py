@@ -1,0 +1,142 @@
+"""Tests for ValmodConfig and the VALMAP structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ValmodConfig
+from repro.core.valmap import Valmap
+from repro.exceptions import InvalidParameterError, LengthRangeError
+from repro.matrix_profile.profile import MatrixProfile, MotifPair
+
+
+class TestValmodConfig:
+    def test_defaults(self):
+        config = ValmodConfig(min_length=10, max_length=20)
+        assert config.top_k == 3
+        assert config.profile_capacity == 16
+        assert config.range_width == 11
+        assert config.lengths == list(range(10, 21))
+
+    def test_length_step_includes_max(self):
+        config = ValmodConfig(min_length=10, max_length=21, length_step=4)
+        assert config.lengths == [10, 14, 18, 21]
+
+    def test_invalid_ranges(self):
+        with pytest.raises(LengthRangeError):
+            ValmodConfig(min_length=2, max_length=10)
+        with pytest.raises(LengthRangeError):
+            ValmodConfig(min_length=20, max_length=10)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            ValmodConfig(min_length=10, max_length=20, top_k=0)
+        with pytest.raises(InvalidParameterError):
+            ValmodConfig(min_length=10, max_length=20, profile_capacity=0)
+        with pytest.raises(InvalidParameterError):
+            ValmodConfig(min_length=10, max_length=20, exclusion_factor=0)
+        with pytest.raises(InvalidParameterError):
+            ValmodConfig(min_length=10, max_length=20, lower_bound_kind="nope")
+        with pytest.raises(InvalidParameterError):
+            ValmodConfig(min_length=10, max_length=20, length_step=0)
+
+    def test_as_dict_round_trip(self):
+        config = ValmodConfig(min_length=10, max_length=20, top_k=5)
+        payload = config.as_dict()
+        rebuilt = ValmodConfig(**payload)
+        assert rebuilt == config
+
+
+def _base_profile() -> MatrixProfile:
+    distances = np.array([2.0, 1.0, 3.0, 0.5, 4.0])
+    indices = np.array([3, 3, 4, 1, 0])
+    return MatrixProfile(distances=distances, indices=indices, window=4, exclusion_radius=1)
+
+
+class TestValmap:
+    def test_from_base_profile(self):
+        valmap = Valmap.from_base_profile(_base_profile(), max_length=10)
+        assert len(valmap) == 5
+        np.testing.assert_allclose(valmap.normalized_profile, _base_profile().normalized_distances)
+        assert set(valmap.length_profile.tolist()) == {4}
+        assert valmap.min_length == 4 and valmap.max_length == 10
+
+    def test_update_improves_entry(self):
+        valmap = Valmap.from_base_profile(_base_profile(), max_length=10)
+        # raw distance 1.2 at length 9 -> normalized 0.4 < 0.5 (entry 0 had 2/2=1.0)
+        assert valmap.update(0, 9, 4, 1.2)
+        assert valmap.length_profile[0] == 9
+        assert valmap.index_profile[0] == 4
+        assert valmap.normalized_profile[0] == pytest.approx(0.4)
+
+    def test_update_rejected_when_worse(self):
+        valmap = Valmap.from_base_profile(_base_profile(), max_length=10)
+        assert not valmap.update(3, 9, 4, 3.0)  # normalized 1.0 > 0.25
+        assert valmap.length_profile[3] == 4
+
+    def test_update_out_of_range_raises(self):
+        valmap = Valmap.from_base_profile(_base_profile(), max_length=10)
+        with pytest.raises(InvalidParameterError):
+            valmap.update(99, 9, 4, 1.0)
+        with pytest.raises(InvalidParameterError):
+            valmap.update(0, 99, 4, 1.0)
+
+    def test_update_from_pair_both_members(self):
+        valmap = Valmap.from_base_profile(_base_profile(), max_length=10)
+        pair = MotifPair(distance=0.9, offset_a=0, offset_b=2, window=9)
+        improved = valmap.update_from_pair(pair)
+        assert improved == 2
+        assert valmap.length_profile[0] == 9
+        assert valmap.length_profile[2] == 9
+
+    def test_update_from_pair_left_only(self):
+        valmap = Valmap.from_base_profile(_base_profile(), max_length=10)
+        pair = MotifPair(distance=0.9, offset_a=0, offset_b=2, window=9)
+        improved = valmap.update_from_pair(pair, both_members=False)
+        assert improved == 1
+        assert valmap.length_profile[2] == 4
+
+    def test_checkpoints_and_snapshot(self):
+        valmap = Valmap.from_base_profile(_base_profile(), max_length=12)
+        valmap.update(0, 6, 4, 1.0)
+        valmap.update(0, 9, 4, 0.9)
+        valmap.update(2, 11, 1, 1.0)
+        assert len(valmap.checkpoints) == 3
+        assert [cp.length for cp in valmap.checkpoints_up_to(9)] == [6, 9]
+
+        snapshot = valmap.snapshot_at(6)
+        assert snapshot.length_profile[0] == 6
+        assert snapshot.length_profile[2] == 4
+        assert len(snapshot.checkpoints) == 1
+
+        original = valmap.snapshot_at(12)
+        assert original.length_profile[0] == 9
+        assert original.length_profile[2] == 11
+
+    def test_snapshot_requires_tracking(self):
+        valmap = Valmap.from_base_profile(_base_profile(), max_length=10, track_checkpoints=False)
+        valmap.update(0, 9, 4, 1.0)
+        assert valmap.checkpoints == []
+        with pytest.raises(InvalidParameterError):
+            valmap.snapshot_at(9)
+
+    def test_best_entry_and_updated_positions(self):
+        valmap = Valmap.from_base_profile(_base_profile(), max_length=10)
+        valmap.update(4, 10, 0, 0.1)
+        offset, length, match, normalized = valmap.best_entry()
+        assert offset == 4 and length == 10 and match == 0
+        assert normalized == pytest.approx(0.1 / np.sqrt(10))
+        assert valmap.updated_positions().tolist() == [4]
+
+    def test_as_dict(self):
+        valmap = Valmap.from_base_profile(_base_profile(), max_length=10)
+        payload = valmap.as_dict()
+        assert payload["min_length"] == 4
+        assert len(payload["normalized_profile"]) == 5
+
+    def test_invalid_construction(self):
+        with pytest.raises(InvalidParameterError):
+            Valmap(5, 10, 0)
+        with pytest.raises(InvalidParameterError):
+            Valmap(10, 5, 4)

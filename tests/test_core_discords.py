@@ -1,0 +1,77 @@
+"""Tests for the variable-length discord extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.discords import variable_length_discords
+from repro.exceptions import InvalidParameterError
+from repro.generators import generate_ecg
+from repro.series.dataseries import DataSeries
+
+
+@pytest.fixture(scope="module")
+def anomalous_ecg() -> tuple[DataSeries, int, int]:
+    """An ECG with one corrupted beat; returns (series, anomaly_start, anomaly_length)."""
+    base = generate_ecg(1500, beat_period=100, noise_level=0.01, random_state=4)
+    values = np.array(base.values)
+    start, length = 700, 100
+    time_axis = np.arange(length)
+    values[start : start + length] = (
+        values[start : start + length][::-1] * 0.5
+        + 0.4 * np.sin(2 * np.pi * 2 * time_axis / length)
+    )
+    return DataSeries(values, name="anomalous-ecg"), start, length
+
+
+class TestVariableLengthDiscords:
+    def test_returns_requested_count(self, anomalous_ecg):
+        series, _, _ = anomalous_ecg
+        discords = variable_length_discords(series, 50, 120, k=3, length_step=35)
+        assert 1 <= len(discords) <= 3
+
+    def test_sorted_by_normalized_distance(self, anomalous_ecg):
+        series, _, _ = anomalous_ecg
+        discords = variable_length_discords(series, 50, 120, k=3, length_step=35)
+        values = [d.normalized_distance for d in discords]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_discord_overlaps_anomaly(self, anomalous_ecg):
+        series, start, length = anomalous_ecg
+        discords = variable_length_discords(series, 50, 120, k=1, length_step=35)
+        top = discords[0]
+        assert top.offset < start + length and start < top.offset + top.window
+
+    def test_discords_are_spatially_distinct(self, anomalous_ecg):
+        series, _, _ = anomalous_ecg
+        discords = variable_length_discords(series, 50, 120, k=3, length_step=35)
+        for i in range(len(discords)):
+            for j in range(i + 1, len(discords)):
+                separation = min(discords[i].window, discords[j].window) // 2
+                assert abs(discords[i].offset - discords[j].offset) > separation
+
+    def test_lengths_within_range(self, anomalous_ecg):
+        series, _, _ = anomalous_ecg
+        discords = variable_length_discords(series, 50, 120, k=3, length_step=35)
+        for discord in discords:
+            assert 50 <= discord.window <= 120
+
+    def test_as_dict(self, anomalous_ecg):
+        series, _, _ = anomalous_ecg
+        discord = variable_length_discords(series, 50, 120, k=1, length_step=70)[0]
+        payload = discord.as_dict()
+        assert set(payload) == {
+            "offset",
+            "window",
+            "distance",
+            "normalized_distance",
+            "nearest_neighbor",
+        }
+
+    def test_invalid_parameters(self, anomalous_ecg):
+        series, _, _ = anomalous_ecg
+        with pytest.raises(InvalidParameterError):
+            variable_length_discords(series, 50, 120, k=0)
+        with pytest.raises(InvalidParameterError):
+            variable_length_discords(series, 50, 120, k=1, length_step=0)

@@ -1,0 +1,164 @@
+"""Tests of the VALMOD lower-bounding distance.
+
+The critical property — the one VALMOD's exactness rests on — is that both
+bounds never exceed the true z-normalised Euclidean distance of the extended
+subsequences.  It is checked against brute-force distances on random and on
+structured series, including a hypothesis-driven sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lower_bound import lower_bound, lower_bound_paper, lower_bound_tight
+from repro.exceptions import InvalidParameterError
+from repro.stats.distance import znorm_euclidean
+from repro.stats.sliding import SlidingStats
+
+
+def _correlation(values: np.ndarray, i: int, j: int, length: int) -> float:
+    a = values[i : i + length]
+    b = values[j : j + length]
+    if a.std() == 0 or b.std() == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+class TestBasicProperties:
+    def test_zero_extension_is_tight(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=200)
+        base = 20
+        i, j = 10, 100
+        q = _correlation(values, i, j, base)
+        sigma = values[i : i + base].std()
+        bound = lower_bound_tight(q, base, base, sigma, sigma)
+        true = znorm_euclidean(values[i : i + base], values[j : j + base])
+        if q > 0:
+            assert bound == pytest.approx(true, rel=1e-6)
+        else:
+            assert bound <= true + 1e-9
+
+    def test_paper_bound_never_exceeds_tight_bound(self):
+        rng = np.random.default_rng(1)
+        correlations = rng.uniform(-1, 1, size=50)
+        sigma_base = rng.uniform(0.1, 2.0, size=50)
+        sigma_target = rng.uniform(0.1, 2.0, size=50)
+        paper = lower_bound_paper(correlations, 20, 35, sigma_base, sigma_target)
+        tight = lower_bound_tight(correlations, 20, 35, sigma_base, sigma_target)
+        assert np.all(paper <= tight + 1e-9)
+
+    def test_monotone_decreasing_in_correlation(self):
+        correlations = np.linspace(-1, 1, 21)
+        bounds = lower_bound_tight(correlations, 20, 40, 1.0, 1.0)
+        assert np.all(np.diff(bounds) <= 1e-12)
+
+    def test_rank_preservation_across_lengths(self):
+        # The ranking of candidates by lower bound must not depend on the
+        # target length (the property that lets VALMOD keep only p entries).
+        rng = np.random.default_rng(2)
+        correlations = rng.uniform(-1, 1, size=30)
+        order_40 = np.argsort(lower_bound_tight(correlations, 20, 40, 1.3, 0.9))
+        order_80 = np.argsort(lower_bound_tight(correlations, 20, 80, 1.3, 0.7))
+        positive = correlations > 0
+        # among positively correlated candidates the order is exactly by -q
+        expected = np.argsort(-correlations[positive])
+        observed_40 = [list(np.flatnonzero(positive)).index(k) for k in order_40 if positive[k]]
+        observed_80 = [list(np.flatnonzero(positive)).index(k) for k in order_80 if positive[k]]
+        assert observed_40 == list(expected)
+        assert observed_80 == list(expected)
+
+    def test_zero_target_std_gives_zero_bound(self):
+        assert lower_bound_tight(0.9, 10, 20, 1.0, 0.0) == pytest.approx(0.0)
+        assert lower_bound_paper(0.9, 10, 20, 1.0, 0.0) == pytest.approx(0.0)
+
+    def test_invalid_lengths_raise(self):
+        with pytest.raises(InvalidParameterError):
+            lower_bound_tight(0.5, 0, 10, 1.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            lower_bound_tight(0.5, 20, 10, 1.0, 1.0)
+
+    def test_dispatch(self):
+        assert lower_bound(0.5, 10, 20, 1.0, 1.0, kind="paper") == pytest.approx(
+            lower_bound_paper(0.5, 10, 20, 1.0, 1.0)
+        )
+        assert lower_bound(0.5, 10, 20, 1.0, 1.0, kind="tight") == pytest.approx(
+            lower_bound_tight(0.5, 10, 20, 1.0, 1.0)
+        )
+        with pytest.raises(InvalidParameterError):
+            lower_bound(0.5, 10, 20, 1.0, 1.0, kind="bogus")
+
+    def test_vector_and_scalar_forms_agree(self):
+        scalar = lower_bound_tight(0.4, 16, 24, 1.2, 0.8)
+        vector = lower_bound_tight(np.array([0.4]), 16, 24, np.array([1.2]), np.array([0.8]))
+        assert scalar == pytest.approx(float(vector[0]))
+
+
+def _check_bound_is_valid(values: np.ndarray, base: int, target: int, kind: str) -> None:
+    """Assert LB(i, j, target) <= true distance for a grid of (i, j) pairs."""
+    stats = SlidingStats(values)
+    _, stds_base = stats.mean_std(base)
+    _, stds_target = stats.mean_std(target)
+    count = values.size - target + 1
+    step = max(1, count // 8)
+    for i in range(0, count, step):
+        if stds_base[i] == 0 or stds_target[i] == 0:
+            continue
+        for j in range(0, count, step):
+            if abs(i - j) < base or stds_base[j] == 0 or stds_target[j] == 0:
+                continue
+            q = _correlation(values, i, j, base)
+            bound = lower_bound(
+                q, base, target, float(stds_base[i]), float(stds_target[i]), kind=kind
+            )
+            true = znorm_euclidean(values[i : i + target], values[j : j + target])
+            assert bound <= true + 1e-7, (i, j, bound, true)
+
+
+class TestBoundValidity:
+    @pytest.mark.parametrize("kind", ["tight", "paper"])
+    def test_valid_on_random_walk(self, kind):
+        rng = np.random.default_rng(3)
+        values = np.cumsum(rng.normal(size=300))
+        _check_bound_is_valid(values, base=16, target=48, kind=kind)
+
+    @pytest.mark.parametrize("kind", ["tight", "paper"])
+    def test_valid_on_ecg(self, kind, small_ecg_series):
+        _check_bound_is_valid(np.array(small_ecg_series.values), base=24, target=60, kind=kind)
+
+    @pytest.mark.parametrize("kind", ["tight", "paper"])
+    def test_valid_on_sine_mixture(self, kind):
+        x = np.linspace(0, 30, 400)
+        values = np.sin(x) + 0.4 * np.sin(3.7 * x) + 0.1 * np.cos(11.0 * x)
+        _check_bound_is_valid(values, base=20, target=45, kind=kind)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        base=st.integers(min_value=8, max_value=24),
+        extension=st.integers(min_value=1, max_value=40),
+    )
+    def test_property_bound_below_true_distance(self, seed, base, extension):
+        rng = np.random.default_rng(seed)
+        target = base + extension
+        values = np.cumsum(rng.normal(size=target + 120))
+        stats = SlidingStats(values)
+        _, stds_base = stats.mean_std(base)
+        _, stds_target = stats.mean_std(target)
+        count = values.size - target + 1
+        i = int(rng.integers(0, count))
+        j = int(rng.integers(0, count))
+        if abs(i - j) < base:
+            return
+        if stds_base[i] == 0 or stds_target[i] == 0:
+            return
+        q = _correlation(values, i, j, base)
+        for kind in ("tight", "paper"):
+            bound = lower_bound(
+                q, base, target, float(stds_base[i]), float(stds_target[i]), kind=kind
+            )
+            true = znorm_euclidean(values[i : i + target], values[j : j + target])
+            assert bound <= true + 1e-7

@@ -1,0 +1,158 @@
+"""Tests for length-normalised ranking, deduplication and motif sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.motif_sets import expand_motif_pair
+from repro.core.ranking import (
+    deduplicate_pairs,
+    pairs_describe_same_event,
+    rank_motif_pairs,
+)
+from repro.core.valmod import valmod
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.profile import MotifPair
+
+
+def _pair(offset_a: int, offset_b: int, window: int, distance: float) -> MotifPair:
+    return MotifPair(distance=distance, offset_a=offset_a, offset_b=offset_b, window=window)
+
+
+class TestSameEventHeuristic:
+    def test_identical_pairs(self):
+        a = _pair(10, 200, 32, 1.0)
+        assert pairs_describe_same_event(a, a)
+
+    def test_nested_pairs_of_different_lengths(self):
+        short = _pair(100, 500, 32, 1.0)
+        long = _pair(90, 490, 64, 2.0)
+        assert pairs_describe_same_event(short, long)
+
+    def test_crossed_members_still_match(self):
+        first = _pair(100, 500, 32, 1.0)
+        second = _pair(498, 102, 32, 1.1)
+        assert pairs_describe_same_event(first, second)
+
+    def test_disjoint_pairs(self):
+        assert not pairs_describe_same_event(_pair(0, 300, 32, 1.0), _pair(600, 900, 32, 1.0))
+
+    def test_partial_overlap_below_threshold(self):
+        first = _pair(100, 500, 32, 1.0)
+        second = _pair(130, 530, 32, 1.0)  # only 2 points overlap
+        assert not pairs_describe_same_event(first, second)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(InvalidParameterError):
+            pairs_describe_same_event(_pair(0, 100, 8, 1.0), _pair(0, 100, 8, 1.0), overlap_fraction=0.0)
+
+
+class TestRanking:
+    def test_sorted_by_normalized_distance(self):
+        pairs = [
+            _pair(0, 100, 25, 5.0),   # dn = 1.0
+            _pair(300, 400, 100, 5.0),  # dn = 0.5
+            _pair(600, 700, 4, 1.0),  # dn = 0.5
+        ]
+        ranked = rank_motif_pairs(pairs, distinct_events=False)
+        assert [pair.normalized_distance for pair in ranked] == sorted(
+            pair.normalized_distance for pair in pairs
+        )
+        # ties broken in favour of the longer pattern
+        assert ranked[0].window == 100
+
+    def test_k_limits_output(self):
+        pairs = [_pair(i * 100, i * 100 + 50, 10, float(i)) for i in range(1, 6)]
+        assert len(rank_motif_pairs(pairs, 2, distinct_events=False)) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            rank_motif_pairs([], 0)
+
+    def test_deduplication_keeps_best(self):
+        best = _pair(100, 500, 64, 1.0)
+        duplicate = _pair(102, 502, 32, 3.0)
+        other = _pair(900, 1200, 32, 2.0)
+        ranked = rank_motif_pairs([duplicate, best, other], distinct_events=True)
+        assert best in ranked
+        assert duplicate not in ranked
+        assert other in ranked
+
+    def test_deduplicate_preserves_order(self):
+        pairs = [_pair(0, 500, 32, 1.0), _pair(2, 502, 32, 1.1), _pair(900, 1300, 32, 1.2)]
+        kept = deduplicate_pairs(pairs)
+        assert kept == [pairs[0], pairs[2]]
+
+    def test_empty_input(self):
+        assert rank_motif_pairs([]) == []
+
+
+class TestMotifSets:
+    def test_contains_pair_members(self, planted_series):
+        series, truth = planted_series
+        result = valmod(series, 40, 56, top_k=1)
+        best = result.best_motif()
+        motif_set = expand_motif_pair(series, best)
+        assert best.offset_a in motif_set.occurrences
+        assert best.offset_b in motif_set.occurrences
+        assert len(motif_set.occurrences) == len(motif_set.distances)
+        assert motif_set.window == best.window
+
+    def test_occurrences_within_radius(self, small_ecg_series):
+        result = valmod(small_ecg_series, 30, 40, top_k=1)
+        best = result.best_motif()
+        motif_set = expand_motif_pair(small_ecg_series, best, radius_factor=3.0)
+        for offset, distance in zip(motif_set.occurrences, motif_set.distances):
+            assert distance <= motif_set.radius + 1e-9
+        assert motif_set.normalized_radius == pytest.approx(
+            motif_set.radius / np.sqrt(motif_set.window)
+        )
+
+    def test_occurrences_do_not_trivially_match_each_other(self, small_ecg_series):
+        result = valmod(small_ecg_series, 30, 40, top_k=1)
+        best = result.best_motif()
+        motif_set = expand_motif_pair(small_ecg_series, best, radius_factor=3.0)
+        offsets = motif_set.occurrences
+        radius = best.window // 4
+        for i in range(len(offsets)):
+            for j in range(i + 1, len(offsets)):
+                assert abs(offsets[i] - offsets[j]) > radius
+
+    def test_explicit_radius_and_cap(self, small_ecg_series):
+        result = valmod(small_ecg_series, 30, 40, top_k=1)
+        best = result.best_motif()
+        capped = expand_motif_pair(
+            small_ecg_series, best, radius=100.0, max_occurrences=3
+        )
+        assert len(capped) == 3
+
+    def test_all_heartbeats_recovered(self, small_ecg_series):
+        # every beat of the synthetic ECG should be similar to the best pair
+        beat_starts = small_ecg_series.metadata["beat_starts"]
+        result = valmod(small_ecg_series, 40, 56, top_k=1)
+        best = result.best_motif()
+        motif_set = expand_motif_pair(small_ecg_series, best, radius_factor=3.0)
+        usable_beats = [
+            start for start in beat_starts if start + best.window <= len(small_ecg_series)
+        ]
+        recovered = sum(
+            1
+            for start in usable_beats
+            # the motif may be phase-shifted w.r.t. the annotated beat onset,
+            # so an occurrence within one window length counts as the beat
+            if any(abs(start - offset) <= best.window for offset in motif_set.occurrences)
+        )
+        assert recovered >= len(usable_beats) // 2
+
+    def test_invalid_parameters(self, small_ecg_series):
+        pair = MotifPair(distance=1.0, offset_a=0, offset_b=100, window=30)
+        with pytest.raises(InvalidParameterError):
+            expand_motif_pair(small_ecg_series, pair, radius=-1.0)
+        with pytest.raises(InvalidParameterError):
+            expand_motif_pair(small_ecg_series, pair, radius_factor=0.0)
+        with pytest.raises(InvalidParameterError):
+            expand_motif_pair(small_ecg_series, pair, max_occurrences=1)
+        too_long = MotifPair(distance=1.0, offset_a=0, offset_b=10, window=10_000)
+        with pytest.raises(InvalidParameterError):
+            expand_motif_pair(small_ecg_series, too_long)

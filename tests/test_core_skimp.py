@@ -1,0 +1,169 @@
+"""Tests for the SKIMP pan matrix profile and its cross-checks against VALMOD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.skimp import PanMatrixProfile, breadth_first_lengths, skimp
+from repro.core.valmod import valmod
+from repro.exceptions import EmptyResultError, InvalidParameterError
+from repro.matrix_profile.stomp import stomp
+
+
+class TestBreadthFirstLengths:
+    def test_covers_every_length_exactly_once(self):
+        order = breadth_first_lengths(10, 30)
+        assert sorted(order) == list(range(10, 31))
+        assert len(order) == len(set(order))
+
+    def test_first_visit_is_the_middle(self):
+        order = breadth_first_lengths(16, 48)
+        assert order[0] == (16 + 48) // 2
+
+    def test_prefix_spreads_over_the_range(self):
+        order = breadth_first_lengths(0, 127)
+        prefix = sorted(order[:8])
+        gaps = np.diff([0] + prefix + [127])
+        # After 8 visits no un-visited stretch should span more than half the range.
+        assert gaps.max() <= 64
+
+    def test_single_length_range(self):
+        assert breadth_first_lengths(7, 7) == [7]
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(InvalidParameterError):
+            breadth_first_lengths(10, 5)
+
+
+class TestSkimpExactness:
+    def test_each_row_matches_stomp(self, small_ecg_series):
+        pan = skimp(small_ecg_series, 24, 32)
+        for length in (24, 28, 32):
+            expected = stomp(small_ecg_series, length)
+            np.testing.assert_allclose(
+                pan.profile_at(length).distances, expected.distances, atol=1e-6
+            )
+
+    def test_subset_of_lengths(self, small_random_series):
+        pan = skimp(small_random_series, 16, 40, num_lengths=5)
+        assert len(pan) == 5
+        assert set(pan.lengths.tolist()) <= set(range(16, 41))
+
+    def test_explicit_lengths(self, small_random_series):
+        pan = skimp(small_random_series, 16, 40, lengths=[16, 24, 40])
+        assert pan.lengths.tolist() == [16, 24, 40]
+        with pytest.raises(InvalidParameterError):
+            skimp(small_random_series, 16, 40, lengths=[8])
+        with pytest.raises(InvalidParameterError):
+            skimp(small_random_series, 16, 40, lengths=[])
+
+    def test_invalid_num_lengths(self, small_random_series):
+        with pytest.raises(InvalidParameterError):
+            skimp(small_random_series, 16, 24, num_lengths=0)
+
+
+class TestPanAgainstValmod:
+    def test_best_pair_per_length_agrees_with_valmod(self, small_ecg_series):
+        min_length, max_length = 24, 31
+        pan = skimp(small_ecg_series, min_length, max_length)
+        result = valmod(small_ecg_series, min_length, max_length, top_k=1)
+        for length in range(min_length, max_length + 1):
+            pan_best = pan.best_pair_at(length)
+            valmod_best = result.length_results[length].best
+            assert pan_best.distance == pytest.approx(valmod_best.distance, abs=1e-6)
+
+    def test_best_variable_length_motif_agrees(self, two_length_planted_series):
+        series, _truth = two_length_planted_series
+        pan = skimp(series, 28, 36)
+        result = valmod(series, 28, 36, top_k=1)
+        assert pan.best_motif().normalized_distance == pytest.approx(
+            result.best_motif().normalized_distance, abs=1e-6
+        )
+
+    def test_collapse_agrees_with_dense_per_position_minimum(self, small_ecg_series):
+        min_length, max_length = 24, 28
+        pan = skimp(small_ecg_series, min_length, max_length)
+        collapsed = pan.collapse()
+        # Dense reference: per-position minimum of the length-normalised
+        # profiles computed independently.
+        size = len(small_ecg_series) - min_length + 1
+        reference = np.full(size, np.inf)
+        for length in range(min_length, max_length + 1):
+            profile = stomp(small_ecg_series, length)
+            normalized = profile.normalized_distances
+            reference[: normalized.size] = np.minimum(
+                reference[: normalized.size], normalized
+            )
+        np.testing.assert_allclose(collapsed.normalized_profile, reference, atol=1e-6)
+
+    def test_length_of_best_match_within_range(self, small_ecg_series):
+        pan = skimp(small_ecg_series, 24, 30)
+        lengths = pan.length_of_best_match()
+        assert np.all(lengths >= 24)
+        assert np.all(lengths <= 30)
+
+
+class TestPanMatrixProfileObject:
+    def test_validation_errors(self):
+        with pytest.raises(InvalidParameterError):
+            PanMatrixProfile(
+                lengths=np.array([], dtype=np.int64),
+                normalized_profiles=np.zeros((0, 4)),
+                index_profiles=np.zeros((0, 4), dtype=np.int64),
+                min_length=8,
+                max_length=16,
+            )
+        with pytest.raises(InvalidParameterError):
+            PanMatrixProfile(
+                lengths=np.array([8, 9]),
+                normalized_profiles=np.zeros((1, 4)),
+                index_profiles=np.zeros((1, 4), dtype=np.int64),
+                min_length=8,
+                max_length=16,
+            )
+
+    def test_unknown_length_raises(self, small_random_series):
+        pan = skimp(small_random_series, 16, 24, lengths=[16, 24])
+        with pytest.raises(InvalidParameterError):
+            pan.profile_at(20)
+
+    def test_iteration_and_serialization(self, small_random_series):
+        pan = skimp(small_random_series, 16, 20)
+        assert list(pan) == pan.lengths.tolist()
+        payload = pan.as_dict()
+        assert payload["min_length"] == 16
+        assert len(payload["normalized_profiles"]) == len(pan)
+
+    def test_top_motifs_ranked_by_normalized_distance(self, small_ecg_series):
+        pan = skimp(small_ecg_series, 24, 30)
+        top = pan.top_motifs(5, distinct_events=False)
+        normalized = [pair.normalized_distance for pair in top]
+        assert normalized == sorted(normalized)
+
+    def test_empty_profile_best_raises(self):
+        pan = PanMatrixProfile(
+            lengths=np.array([8]),
+            normalized_profiles=np.full((1, 4), np.nan),
+            index_profiles=np.full((1, 4), -1, dtype=np.int64),
+            min_length=8,
+            max_length=8,
+        )
+        with pytest.raises(EmptyResultError):
+            pan.best_motif()
+
+
+class TestSkimpProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_collapse_never_exceeds_any_row(self, seed):
+        rng = np.random.default_rng(seed)
+        series = np.cumsum(rng.normal(size=220))
+        pan = skimp(series, 12, 18)
+        collapsed = pan.collapse().normalized_profile
+        filled = np.where(
+            np.isnan(pan.normalized_profiles), np.inf, pan.normalized_profiles
+        )
+        assert np.all(collapsed <= filled.min(axis=0) + 1e-9)

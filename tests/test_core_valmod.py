@@ -1,0 +1,198 @@
+"""Integration and exactness tests for the VALMOD algorithm itself."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force_range import brute_force_range
+from repro.baselines.stomp_range import stomp_range
+from repro.core.valmod import valmod, valmod_with_config
+from repro.core.config import ValmodConfig
+from repro.exceptions import InvalidParameterError, LengthRangeError
+from repro.generators import generate_planted_motifs
+
+
+class TestExactness:
+    """VALMOD must return exactly the same motif distances as the oracles."""
+
+    def test_matches_stomp_range_on_random_walk(self, small_random_series):
+        result = valmod(small_random_series, 16, 40, top_k=2)
+        oracle = stomp_range(small_random_series, 16, 40, top_k=2)
+        for length in oracle.lengths:
+            expected = [pair.distance for pair in oracle.motifs_at(length)]
+            observed = [pair.distance for pair in result.motifs_at(length)]
+            np.testing.assert_allclose(observed, expected, atol=1e-6)
+
+    def test_matches_stomp_range_on_ecg(self, small_ecg_series):
+        result = valmod(small_ecg_series, 24, 48, top_k=3)
+        oracle = stomp_range(small_ecg_series, 24, 48, top_k=3)
+        for length in oracle.lengths:
+            expected = [pair.distance for pair in oracle.motifs_at(length)]
+            observed = [pair.distance for pair in result.motifs_at(length)]
+            np.testing.assert_allclose(observed, expected, atol=1e-6)
+
+    def test_matches_brute_force_on_planted(self, planted_series):
+        series, _ = planted_series
+        result = valmod(series, 32, 56, top_k=1)
+        oracle = brute_force_range(series, 32, 56, top_k=1)
+        for length in oracle.lengths:
+            assert result.motifs_at(length)[0].distance == pytest.approx(
+                oracle.motifs_at(length)[0].distance, abs=1e-6
+            )
+
+    @pytest.mark.parametrize("capacity", [1, 4, 64])
+    def test_exact_for_any_profile_capacity(self, small_random_series, capacity):
+        result = valmod(small_random_series, 16, 28, top_k=1, profile_capacity=capacity)
+        oracle = stomp_range(small_random_series, 16, 28, top_k=1)
+        for length in oracle.lengths:
+            assert result.motifs_at(length)[0].distance == pytest.approx(
+                oracle.best_at(length).distance, abs=1e-6
+            )
+
+    @pytest.mark.parametrize("kind", ["tight", "paper"])
+    def test_exact_for_both_lower_bounds(self, small_random_series, kind):
+        result = valmod(small_random_series, 16, 28, top_k=1, lower_bound_kind=kind)
+        oracle = stomp_range(small_random_series, 16, 28, top_k=1)
+        for length in oracle.lengths:
+            assert result.motifs_at(length)[0].distance == pytest.approx(
+                oracle.best_at(length).distance, abs=1e-6
+            )
+
+    def test_exact_on_series_with_flat_regions(self):
+        values = np.concatenate(
+            [np.zeros(60), np.sin(np.linspace(0, 25, 200)), np.full(50, 2.0)]
+        )
+        result = valmod(values, 12, 24, top_k=1)
+        oracle = stomp_range(values, 12, 24, top_k=1)
+        for length in oracle.lengths:
+            assert result.motifs_at(length)[0].distance == pytest.approx(
+                oracle.best_at(length).distance, abs=1e-6
+            )
+
+
+class TestResultStructure:
+    def test_lengths_and_motif_counts(self, small_random_series):
+        result = valmod(small_random_series, 16, 24, top_k=2)
+        assert result.lengths == list(range(16, 25))
+        for length in result.lengths:
+            motifs = result.motifs_at(length)
+            assert 1 <= len(motifs) <= 2
+            assert all(pair.window == length for pair in motifs)
+
+    def test_unknown_length_raises(self, small_random_series):
+        result = valmod(small_random_series, 16, 20, top_k=1)
+        with pytest.raises(InvalidParameterError):
+            result.motifs_at(99)
+
+    def test_top_motifs_sorted_by_normalized_distance(self, small_ecg_series):
+        result = valmod(small_ecg_series, 24, 40, top_k=2)
+        ranked = result.top_motifs(5, distinct_events=False)
+        normalized = [pair.normalized_distance for pair in ranked]
+        assert normalized == sorted(normalized)
+
+    def test_best_motif_is_global_minimum(self, small_ecg_series):
+        result = valmod(small_ecg_series, 24, 40, top_k=2)
+        best = result.best_motif()
+        assert best.normalized_distance <= min(
+            pair.normalized_distance for pair in result.all_motifs()
+        ) + 1e-12
+
+    def test_valmap_consistency_with_base_profile(self, small_random_series):
+        result = valmod(small_random_series, 16, 24, top_k=1)
+        valmap = result.valmap
+        base = result.base_profile
+        assert len(valmap) == len(base)
+        # every VALMAP entry is at least as good as the base profile entry
+        assert np.all(
+            valmap.normalized_profile <= base.normalized_distances + 1e-9
+        )
+        # entries never updated still carry the base length
+        never_updated = valmap.length_profile == 16
+        np.testing.assert_allclose(
+            valmap.normalized_profile[never_updated],
+            base.normalized_distances[never_updated],
+            atol=1e-9,
+        )
+
+    def test_valmap_entries_match_reported_pairs(self, small_random_series):
+        result = valmod(small_random_series, 16, 30, top_k=2)
+        valmap = result.valmap
+        for checkpoint in valmap.checkpoints:
+            pairs = result.motifs_at(checkpoint.length)
+            assert any(
+                checkpoint.offset in pair.offsets
+                and checkpoint.normalized_distance == pytest.approx(
+                    pair.normalized_distance, abs=1e-9
+                )
+                for pair in pairs
+            )
+
+    def test_pruning_statistics_accounting(self, small_random_series):
+        result = valmod(small_random_series, 16, 32, top_k=1)
+        for length in result.lengths:
+            stats = result.length_results[length].pruning
+            assert stats.num_valid + stats.num_non_valid == stats.num_profiles
+            assert 0 <= stats.num_recomputed <= stats.num_non_valid + 1
+            assert 0.0 <= stats.valid_fraction <= 1.0
+        summary = result.pruning_summary()
+        assert summary["lengths_evaluated"] == len(result.lengths) - 1
+        assert 0.0 <= summary["recomputed_fraction"] <= 1.0
+
+    def test_elapsed_time_recorded(self, small_random_series):
+        result = valmod(small_random_series, 16, 20, top_k=1)
+        assert result.elapsed_seconds > 0.0
+
+    def test_length_step(self, small_random_series):
+        result = valmod(small_random_series, 16, 30, top_k=1, length_step=5)
+        assert result.lengths == [16, 21, 26, 30]
+
+    def test_with_config_object(self, small_random_series):
+        config = ValmodConfig(min_length=16, max_length=20, top_k=1)
+        result = valmod_with_config(small_random_series, config)
+        assert result.config == config
+
+    def test_as_dict_is_json_friendly(self, small_random_series):
+        import json
+
+        result = valmod(small_random_series, 16, 20, top_k=1)
+        payload = result.as_dict()
+        text = json.dumps(payload)
+        assert "valmap" in text
+
+
+class TestParameterValidation:
+    def test_range_exceeding_series_raises(self, small_random_series):
+        with pytest.raises(LengthRangeError):
+            valmod(small_random_series, 16, small_random_series.size)
+
+    def test_min_length_too_small_raises(self, small_random_series):
+        with pytest.raises(LengthRangeError):
+            valmod(small_random_series, 2, 20)
+
+    def test_nan_series_raises(self):
+        from repro.exceptions import InvalidSeriesError
+
+        values = np.ones(100)
+        values[10] = np.nan
+        with pytest.raises(InvalidSeriesError):
+            valmod(values, 8, 16)
+
+
+class TestGroundTruthRecovery:
+    def test_planted_motif_recovered(self, planted_series):
+        series, truth = planted_series
+        planted = truth[0]
+        result = valmod(series, 32, 64, top_k=2)
+        best = result.best_motif()
+        tolerance = planted.length
+        assert min(abs(best.offset_a - offset) for offset in planted.offsets) <= tolerance
+        assert min(abs(best.offset_b - offset) for offset in planted.offsets) <= tolerance
+
+    def test_two_planted_lengths_both_found(self, two_length_planted_series):
+        series, truth = two_length_planted_series
+        result = valmod(series, 28, 88, top_k=2, length_step=4)
+        ranked = result.top_motifs(6)
+        from repro.analysis.evaluation import recall_of_planted_motifs
+
+        assert recall_of_planted_motifs(ranked, truth, coverage=0.4) == 1.0

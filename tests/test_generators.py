@@ -1,0 +1,179 @@
+"""Tests of the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.generators import (
+    add_gaussian_noise,
+    add_spikes,
+    generate_astro,
+    generate_ecg,
+    generate_epg,
+    generate_noise,
+    generate_planted_motifs,
+    generate_random_walk,
+    generate_seismic,
+    generate_smooth_random_walk,
+)
+from repro.series.dataseries import DataSeries
+from repro.stats.distance import znorm_euclidean
+
+
+class TestNoiseHelpers:
+    def test_generate_noise_kinds(self):
+        for kind in ("gaussian", "uniform", "laplace"):
+            noise = generate_noise(100, kind=kind, random_state=0)
+            assert noise.shape == (100,)
+
+    def test_generate_noise_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            generate_noise(0)
+        with pytest.raises(InvalidParameterError):
+            generate_noise(10, kind="pink")
+
+    def test_add_gaussian_noise_zero_level_is_identity(self):
+        values = np.arange(10, dtype=float)
+        np.testing.assert_array_equal(add_gaussian_noise(values, 0.0), values)
+
+    def test_add_spikes(self):
+        values = np.zeros(100)
+        spiked = add_spikes(values, num_spikes=3, magnitude=5.0, random_state=0)
+        assert np.count_nonzero(spiked) == 3
+
+
+class TestDeterminismAndShape:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: generate_ecg(600, beat_period=80, random_state=seed),
+            lambda seed: generate_astro(800, transit_duration=60, transit_period=250, random_state=seed),
+            lambda seed: generate_seismic(800, event_duration=60, random_state=seed),
+            lambda seed: generate_epg(800, burst_duration=60, random_state=seed),
+            lambda seed: generate_random_walk(500, random_state=seed),
+            lambda seed: generate_smooth_random_walk(500, random_state=seed),
+        ],
+    )
+    def test_deterministic_given_seed(self, factory):
+        first = factory(7)
+        second = factory(7)
+        third = factory(8)
+        np.testing.assert_array_equal(first.values, second.values)
+        assert not np.array_equal(first.values, third.values)
+
+    def test_all_return_dataseries_of_requested_length(self):
+        assert isinstance(generate_ecg(300, beat_period=50, random_state=0), DataSeries)
+        assert len(generate_ecg(300, beat_period=50, random_state=0)) == 300
+        assert len(generate_astro(400, transit_duration=40, transit_period=150, random_state=0)) == 400
+        assert len(generate_seismic(400, event_duration=40, random_state=0)) == 400
+        assert len(generate_epg(400, burst_duration=40, random_state=0)) == 400
+
+
+class TestEcg:
+    def test_metadata_beats(self):
+        series = generate_ecg(1000, beat_period=100, random_state=0)
+        starts = series.metadata["beat_starts"]
+        assert len(starts) >= 8
+        assert starts == sorted(starts)
+        assert series.metadata["beat_period"] == 100
+
+    def test_beats_are_similar(self):
+        series = generate_ecg(
+            1200,
+            beat_period=100,
+            noise_level=0.0,
+            period_jitter=0.0,
+            amplitude_jitter=0.0,
+            baseline_wander=0.0,
+            random_state=0,
+        )
+        starts = series.metadata["beat_starts"]
+        first = series.values[starts[1] : starts[1] + 100]
+        second = series.values[starts[2] : starts[2] + 100]
+        # two noiseless beats are near-identical under z-normalisation
+        assert znorm_euclidean(first, second) < 0.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            generate_ecg(100, beat_period=4)
+        with pytest.raises(InvalidParameterError):
+            generate_ecg(100, noise_level=-1.0)
+
+
+class TestAstroSeismicEpg:
+    def test_astro_metadata(self):
+        series = generate_astro(2000, transit_duration=80, transit_period=400, random_state=1)
+        starts = series.metadata["transit_starts"]
+        durations = series.metadata["transit_durations"]
+        assert len(starts) == len(durations) >= 3
+        assert all(duration >= 8 for duration in durations)
+
+    def test_astro_transits_dim_the_curve(self):
+        series = generate_astro(
+            2000, transit_duration=80, transit_period=400, noise_level=0.0, random_state=1
+        )
+        starts = series.metadata["transit_starts"]
+        durations = series.metadata["transit_durations"]
+        values = series.values
+        in_transit = np.mean(
+            [values[s : s + d].min() for s, d in zip(starts, durations) if s + d <= len(series)]
+        )
+        assert in_transit < values.mean()
+
+    def test_astro_invalid_period(self):
+        with pytest.raises(InvalidParameterError):
+            generate_astro(500, transit_duration=100, transit_period=50)
+
+    def test_seismic_events_have_larger_amplitude(self):
+        series = generate_seismic(2000, event_duration=100, num_events=4, random_state=2)
+        starts = series.metadata["event_starts"]
+        values = series.values
+        event_energy = np.mean([np.abs(values[s : s + 100]).max() for s in starts])
+        assert event_energy > 2.0 * np.abs(values).std()
+
+    def test_epg_metadata(self):
+        series = generate_epg(2000, burst_duration=80, random_state=3)
+        assert len(series.metadata["burst_starts"]) >= 3
+
+
+class TestPlantedMotifs:
+    def test_ground_truth_structure(self):
+        series, truth = generate_planted_motifs(
+            1500, motif_lengths=(40, 64), copies_per_motif=2, random_state=0
+        )
+        assert len(truth) == 2
+        for planted in truth:
+            assert len(planted.offsets) == 2
+            for offset in planted.offsets:
+                assert 0 <= offset <= len(series) - planted.length
+        assert series.metadata["planted_motifs"][0]["length"] == 40
+
+    def test_copies_are_similar(self):
+        series, truth = generate_planted_motifs(
+            1200, motif_lengths=(48,), copies_per_motif=2, distortion=0.0, random_state=1
+        )
+        planted = truth[0]
+        a = series.values[planted.offsets[0] : planted.offsets[0] + planted.length]
+        b = series.values[planted.offsets[1] : planted.offsets[1] + planted.length]
+        assert znorm_euclidean(a, b) < 1.0
+
+    def test_copies_do_not_overlap(self):
+        _, truth = generate_planted_motifs(
+            2000, motif_lengths=(50,), copies_per_motif=3, random_state=2
+        )
+        offsets = sorted(truth[0].offsets)
+        assert all(b - a >= 50 for a, b in zip(offsets, offsets[1:]))
+
+    def test_too_small_series_raises(self):
+        with pytest.raises(InvalidParameterError):
+            generate_planted_motifs(200, motif_lengths=(64,), copies_per_motif=3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            generate_planted_motifs(1000, motif_lengths=(), copies_per_motif=2)
+        with pytest.raises(InvalidParameterError):
+            generate_planted_motifs(1000, motif_lengths=(4,), copies_per_motif=2)
+        with pytest.raises(InvalidParameterError):
+            generate_planted_motifs(1000, motif_lengths=(32,), copies_per_motif=1)

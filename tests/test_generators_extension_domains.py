@@ -1,0 +1,179 @@
+"""Tests for the climatology, robotics and respiration generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.valmod import valmod
+from repro.exceptions import InvalidParameterError
+from repro.generators import generate_climate, generate_gait, generate_respiration
+from repro.harness.workloads import WORKLOADS, build_workload
+from repro.matrix_profile.stomp import stomp
+from repro.series.dataseries import DataSeries
+
+
+class TestClimateGenerator:
+    def test_basic_shape_and_metadata(self):
+        series = generate_climate(3000, random_state=0)
+        assert isinstance(series, DataSeries)
+        assert len(series) == 3000
+        assert series.metadata["generator"] == "climate"
+        assert len(series.metadata["episode_starts"]) >= 1
+        assert all(
+            0 <= start < 3000 for start in series.metadata["episode_starts"]
+        )
+
+    def test_reproducible_with_same_seed(self):
+        first = generate_climate(1200, random_state=7)
+        second = generate_climate(1200, random_state=7)
+        np.testing.assert_array_equal(np.asarray(first), np.asarray(second))
+        third = generate_climate(1200, random_state=8)
+        assert not np.array_equal(np.asarray(first), np.asarray(third))
+
+    def test_seasonal_cycle_dominates_spectrum(self):
+        series = generate_climate(
+            2920, season_period=1460, weather_noise=0.2, episode_amplitude=2.0, random_state=1
+        )
+        values = np.asarray(series) - np.mean(np.asarray(series))
+        spectrum = np.abs(np.fft.rfft(values))
+        # The annual frequency (2 cycles over the series) must be the dominant bin.
+        assert int(np.argmax(spectrum[1:])) + 1 == 2
+
+    def test_episode_is_discoverable_motif(self):
+        series = generate_climate(
+            3000,
+            episode_duration=80,
+            episode_gap=500,
+            weather_noise=0.3,
+            seasonal_amplitude=3.0,
+            random_state=3,
+        )
+        profile = stomp(series, 80)
+        best = profile.best()
+        starts = series.metadata["episode_starts"]
+        tolerance = 80
+        assert min(abs(best.offset_a - start) for start in starts) <= tolerance
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            generate_climate(1)
+        with pytest.raises(InvalidParameterError):
+            generate_climate(1000, episode_duration=4)
+        with pytest.raises(InvalidParameterError):
+            generate_climate(1000, episode_gap=50, episode_duration=90)
+        with pytest.raises(InvalidParameterError):
+            generate_climate(1000, weather_noise=-1.0)
+
+
+class TestGaitGenerator:
+    def test_basic_shape_and_metadata(self):
+        series = generate_gait(2000, random_state=0)
+        assert len(series) == 2000
+        assert series.metadata["generator"] == "gait"
+        assert len(series.metadata["cycle_starts"]) >= 3
+        assert len(series.metadata["cycle_starts"]) == len(
+            series.metadata["cycle_durations"]
+        )
+
+    def test_cycle_durations_jitter_around_nominal(self):
+        series = generate_gait(4000, cycle_period=160, period_jitter=0.1, random_state=2)
+        durations = np.array(series.metadata["cycle_durations"])
+        assert abs(durations.mean() - 160) < 160 * 0.2
+        assert durations.std() > 0
+
+    def test_gait_cycle_is_discoverable_motif(self):
+        series = generate_gait(
+            2400, cycle_period=120, idle_probability=0.0, noise_level=0.02, random_state=5
+        )
+        profile = stomp(series, 120)
+        best = profile.best()
+        starts = series.metadata["cycle_starts"]
+        assert min(abs(best.offset_a - start) for start in starts) <= 120
+
+    def test_idle_segments_reduce_cycle_count(self):
+        busy = generate_gait(3000, idle_probability=0.0, random_state=1)
+        idle = generate_gait(3000, idle_probability=0.5, idle_duration=300, random_state=1)
+        assert len(idle.metadata["cycle_starts"]) < len(busy.metadata["cycle_starts"])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            generate_gait(1)
+        with pytest.raises(InvalidParameterError):
+            generate_gait(1000, cycle_period=4)
+        with pytest.raises(InvalidParameterError):
+            generate_gait(1000, idle_probability=1.5)
+        with pytest.raises(InvalidParameterError):
+            generate_gait(1000, idle_duration=0)
+
+
+class TestRespirationGenerator:
+    def test_basic_shape_and_metadata(self):
+        series = generate_respiration(4000, random_state=0)
+        assert len(series) == 4000
+        assert series.metadata["generator"] == "respiration"
+        assert series.metadata["breath_period"] == 80
+        assert len(series.metadata["apnea_starts"]) >= 1
+
+    def test_breathing_period_visible_in_spectrum(self):
+        series = generate_respiration(
+            3200, breath_period=80, apnea_gap=3000, apnea_duration=320, random_state=1
+        )
+        values = np.asarray(series) - np.mean(np.asarray(series))
+        spectrum = np.abs(np.fft.rfft(values))
+        dominant_period = values.size / (int(np.argmax(spectrum[1:])) + 1)
+        assert abs(dominant_period - 80) < 20
+
+    def test_apnea_region_is_low_amplitude(self):
+        series = generate_respiration(5000, apnea_gap=1500, random_state=3)
+        values = np.asarray(series)
+        start = series.metadata["apnea_starts"][0]
+        duration = series.metadata["apnea_durations"][0]
+        suppressed = values[start : start + int(duration * 0.6)]
+        normal = values[max(0, start - 400) : start]
+        assert suppressed.std() < normal.std()
+
+    def test_variable_length_run_covers_breath_and_apnea_scales(self):
+        series = generate_respiration(2500, breath_period=60, apnea_duration=240, random_state=4)
+        result = valmod(series, 48, 72, top_k=1)
+        assert result.best_motif().distance >= 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            generate_respiration(1)
+        with pytest.raises(InvalidParameterError):
+            generate_respiration(1000, breath_period=4)
+        with pytest.raises(InvalidParameterError):
+            generate_respiration(1000, apnea_duration=100, breath_period=80)
+        with pytest.raises(InvalidParameterError):
+            generate_respiration(1000, apnea_gap=200, apnea_duration=320)
+
+
+class TestWorkloadRegistry:
+    @pytest.mark.parametrize("name", ["climate", "gait", "respiration"])
+    def test_new_workloads_registered(self, name):
+        assert name in WORKLOADS
+        series = build_workload(name, 1200, random_state=0)
+        assert len(series) == 1200
+        assert series.name == name
+
+    def test_workload_seeds_are_independent(self):
+        first = build_workload("gait", 800, random_state=1)
+        second = build_workload("gait", 800, random_state=2)
+        assert not np.array_equal(np.asarray(first), np.asarray(second))
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        length=st.integers(min_value=600, max_value=2000),
+    )
+    def test_all_generators_produce_finite_series(self, seed, length):
+        for factory in (generate_climate, generate_gait, generate_respiration):
+            series = factory(length, random_state=seed)
+            values = np.asarray(series)
+            assert values.size == length
+            assert np.all(np.isfinite(values))

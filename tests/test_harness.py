@@ -1,0 +1,153 @@
+"""Tests for the experiment harness: workloads, runner dispatch and figure data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.harness.figures import (
+    ablation_exactness,
+    ablation_lower_bound,
+    figure1_fixed_length,
+    figure1_valmap,
+    figure2_pruning,
+    figure3_length_range,
+    figure3_series_length,
+    ranking_normalization_table,
+)
+from repro.harness.runner import ALGORITHMS, compare_algorithms, run_algorithm
+from repro.harness.timing import Timer, timed_call
+from repro.harness.workloads import WORKLOADS, build_workload
+
+
+class TestTiming:
+    def test_timer(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.elapsed >= 0.0
+
+    def test_timed_call(self):
+        result, elapsed = timed_call(sum, range(100))
+        assert result == 4950
+        assert elapsed >= 0.0
+
+
+class TestWorkloads:
+    def test_all_named_workloads_build(self):
+        for name in WORKLOADS:
+            series = build_workload(name, 512, random_state=0)
+            assert len(series) == 512
+
+    def test_deterministic(self):
+        first = build_workload("ecg", 400, random_state=1)
+        second = build_workload("ecg", 400, random_state=1)
+        assert first == second
+
+    def test_unknown_workload(self):
+        with pytest.raises(InvalidParameterError):
+            build_workload("stock-market")
+
+    def test_invalid_length(self):
+        with pytest.raises(InvalidParameterError):
+            build_workload("ecg", 1)
+
+
+class TestRunner:
+    def test_all_algorithms_run_and_agree_on_best_distance(self, small_random_series):
+        results = compare_algorithms(
+            small_random_series,
+            16,
+            20,
+            algorithms=list(ALGORITHMS),
+            top_k=1,
+        )
+        distances = {
+            result.algorithm: round(result.best_at(16).distance, 6) for result in results
+        }
+        assert len(set(distances.values())) == 1, distances
+
+    def test_unknown_algorithm(self, small_random_series):
+        with pytest.raises(InvalidParameterError):
+            run_algorithm("magic", small_random_series, 16, 20)
+
+    def test_valmod_adapter_reports_pruning(self, small_random_series):
+        result = run_algorithm("valmod", small_random_series, 16, 24, top_k=1)
+        assert result.algorithm == "valmod"
+        assert "valid_fraction" in result.extra
+
+
+class TestFigureData:
+    """Each figure function must return well-formed rows at toy scale."""
+
+    def test_figure1_fixed_length(self):
+        row = figure1_fixed_length(series_length=600, window=24, random_state=0)
+        assert row["matrix_profile"].shape == row["index_profile"].shape
+        assert not row["motif_covers_full_beat"]
+
+    def test_figure1_valmap(self):
+        row = figure1_valmap(series_length=600, min_length=24, max_length=48, random_state=0)
+        assert row["best_motif_length"] >= 24
+        assert len(row["normalized_profile"]) == 600 - 24 + 1
+        assert row["updated_positions"] >= 0
+
+    def test_figure2_pruning(self):
+        rows = figure2_pruning(
+            series_length=512,
+            min_length=24,
+            range_width=8,
+            profile_capacities=(4, 16),
+            random_state=0,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row["valid_fraction"] <= 1.0
+            assert 0.0 <= row["recomputed_fraction"] <= 1.0
+        # larger capacity must not prune less
+        assert rows[1]["valid_fraction"] >= rows[0]["valid_fraction"] - 1e-9
+
+    def test_figure3_length_range(self):
+        rows = figure3_length_range(
+            series_length=512,
+            min_length=24,
+            range_widths=(4, 8),
+            algorithms=("valmod", "stomp-range"),
+            random_state=0,
+        )
+        assert len(rows) == 4
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {"valmod", "stomp-range"}
+        for row in rows:
+            assert row["elapsed_seconds"] > 0.0
+
+    def test_figure3_series_length(self):
+        rows = figure3_series_length(
+            series_lengths=(400, 800),
+            min_length=24,
+            range_width=4,
+            algorithms=("valmod", "stomp-range"),
+            random_state=0,
+        )
+        assert len(rows) == 4
+        # same algorithm on a longer prefix must not report a shorter series
+        lengths = sorted({row["series_length"] for row in rows})
+        assert lengths == [400, 800]
+
+    def test_ablation_lower_bound(self):
+        rows = ablation_lower_bound(
+            series_length=512, min_length=24, range_width=8, random_state=0
+        )
+        kinds = {row["lower_bound_kind"] for row in rows}
+        assert kinds == {"paper", "tight"}
+
+    def test_ablation_exactness(self):
+        row = ablation_exactness(series_length=600, min_length=20, range_width=6, random_state=0)
+        assert row["mismatches"] == 0
+        assert row["largest_gap"] < 1e-6
+        assert row["speedup"] > 1.0
+
+    def test_ranking_normalization(self):
+        row = ranking_normalization_table(
+            series_length=1200, short_length=24, long_length=64, random_state=0
+        )
+        assert row["num_pairs"] > 0
+        assert row["best_normalized_length"] >= row["best_raw_length"]

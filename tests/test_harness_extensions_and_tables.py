@@ -1,0 +1,138 @@
+"""Tests for the extension experiment functions and the table rendering."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.harness.extensions import (
+    ablation_anytime_scrimp,
+    extension_domains_table,
+    skimp_vs_valmod,
+    streaming_throughput,
+)
+from repro.harness.tables import (
+    format_markdown_table,
+    format_table,
+    save_rows_csv,
+    select_columns,
+)
+
+
+class TestAblationAnytime:
+    def test_rows_cover_requested_fractions_and_converge(self):
+        rows = ablation_anytime_scrimp(
+            workload="ecg",
+            series_length=512,
+            window=48,
+            fractions=(0.1, 0.5, 1.0),
+            random_state=0,
+        )
+        assert [row["fraction"] for row in rows] == [0.1, 0.5, 1.0]
+        assert rows[-1]["profile_mae"] == pytest.approx(0.0, abs=1e-6)
+        assert rows[0]["profile_mae"] >= rows[-1]["profile_mae"]
+        assert all(row["workload"] == "ecg" for row in rows)
+
+
+class TestStreamingThroughput:
+    def test_incremental_beats_batch_per_point(self):
+        rows = streaming_throughput(
+            workload="ecg",
+            initial_length=512,
+            appended_points=48,
+            window=48,
+            random_state=0,
+        )
+        assert len(rows) == 2
+        incremental = next(row for row in rows if "incremental" in row["strategy"])
+        batch = next(row for row in rows if "batch" in row["strategy"])
+        assert incremental["seconds"] < batch["seconds"]
+        # Both strategies end with the identical exact profile tail value.
+        assert incremental["final_tail_distance"] == pytest.approx(
+            batch["final_tail_distance"], abs=1e-6
+        )
+
+
+class TestSkimpVsValmod:
+    def test_exact_agreement_between_the_two(self):
+        rows = skimp_vs_valmod(
+            workload="ecg",
+            series_length=768,
+            min_length=48,
+            range_width=8,
+            random_state=0,
+        )
+        assert len(rows) == 2
+        assert all(row["disagreements"] == 0 for row in rows)
+        algorithms = {row["algorithm"] for row in rows}
+        assert "valmod" in algorithms
+
+
+class TestExtensionDomains:
+    def test_rows_for_every_requested_workload(self):
+        rows = extension_domains_table(
+            series_length=1024, random_state=0, workloads=("gait", "respiration")
+        )
+        assert [row["workload"] for row in rows] == ["gait", "respiration"]
+        for row in rows:
+            low, high = row["length_range"]
+            assert low <= row["best_motif_length"] <= high
+            assert row["normalized_distance"] >= 0.0
+
+
+class TestTables:
+    ROWS = [
+        {"name": "valmod", "seconds": 1.2345, "exact": True},
+        {"name": "stomp-range", "seconds": 10.5, "exact": True, "note": "re-run"},
+    ]
+
+    def test_format_table_aligns_columns(self):
+        text = format_table(self.ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 2 + len(self.ROWS)
+        # The column that only appears in the second row is still present.
+        assert "note" in lines[0]
+
+    def test_format_markdown_table(self):
+        text = format_markdown_table(self.ROWS, columns=["name", "seconds"])
+        lines = text.splitlines()
+        assert lines[0] == "| name | seconds |"
+        assert lines[1] == "|---|---|"
+        assert lines[2].startswith("| valmod |")
+
+    def test_float_formatting(self):
+        text = format_table(self.ROWS, float_format=".2f")
+        assert "1.23" in text
+        assert "10.50" in text
+
+    def test_boolean_and_sequence_rendering(self):
+        rows = [{"flag": False, "range": (10, 20)}]
+        text = format_table(rows)
+        assert "no" in text
+        assert "10, 20" in text
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(InvalidParameterError):
+            format_table([])
+        with pytest.raises(InvalidParameterError):
+            format_markdown_table([])
+        with pytest.raises(InvalidParameterError):
+            format_table(self.ROWS, columns=[])
+
+    def test_select_columns(self):
+        projected = select_columns(self.ROWS, ["name", "missing"])
+        assert projected[0] == {"name": "valmod", "missing": ""}
+        with pytest.raises(InvalidParameterError):
+            select_columns([], ["name"])
+
+    def test_save_rows_csv(self, tmp_path):
+        target = save_rows_csv(self.ROWS, tmp_path / "out" / "rows.csv")
+        assert target.exists()
+        with target.open() as handle:
+            reader = csv.DictReader(handle)
+            loaded = list(reader)
+        assert loaded[0]["name"] == "valmod"
+        assert len(loaded) == 2

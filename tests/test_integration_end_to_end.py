@@ -1,0 +1,130 @@
+"""End-to-end integration and property tests across the whole library.
+
+These tests exercise the public package-level API the way the examples and a
+downstream user would, including a hypothesis sweep asserting the central
+claim of the paper's reproduction: VALMOD's per-length motif distances are
+*identical* to the ones a per-length exact algorithm reports, on arbitrary
+(random) inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in ("valmod", "stomp", "mass", "generate_ecg", "DataSeries"):
+            assert hasattr(repro, name)
+        assert set(repro.__all__) <= set(dir(repro))
+
+    def test_quickstart_flow(self):
+        series, truth = repro.generate_planted_motifs(
+            1000, motif_lengths=(40,), copies_per_motif=2, random_state=0
+        )
+        result = repro.valmod(series, 32, 48, top_k=2)
+        best = result.best_motif()
+        motif_set = repro.expand_motif_pair(series, best)
+        report = repro.rank_motif_pairs(result.all_motifs(), 3)
+        assert len(motif_set) >= 2
+        assert len(report) >= 1
+        planted = truth[0]
+        assert min(abs(best.offset_a - o) for o in planted.offsets) <= planted.length
+
+    def test_dataseries_and_raw_arrays_give_same_result(self):
+        series = repro.generate_ecg(400, beat_period=50, random_state=2)
+        from_series = repro.valmod(series, 20, 26, top_k=1)
+        from_array = repro.valmod(np.array(series.values), 20, 26, top_k=1)
+        for length in from_series.lengths:
+            assert from_series.motifs_at(length)[0].distance == pytest.approx(
+                from_array.motifs_at(length)[0].distance, abs=1e-12
+            )
+
+    def test_loaders_round_trip_through_discovery(self, tmp_path):
+        series = repro.generate_astro(600, transit_duration=50, transit_period=200, random_state=1)
+        path = tmp_path / "astro.txt"
+        from repro.series import save_text
+
+        save_text(series, path)
+        reloaded = repro.load_text(path)
+        original = repro.valmod(series, 30, 36, top_k=1)
+        recovered = repro.valmod(reloaded, 30, 36, top_k=1)
+        for length in original.lengths:
+            assert original.motifs_at(length)[0].distance == pytest.approx(
+                recovered.motifs_at(length)[0].distance, abs=1e-9
+            )
+
+
+class TestCrossAlgorithmProperties:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        base=st.integers(min_value=8, max_value=20),
+        width=st.integers(min_value=1, max_value=10),
+        smooth=st.booleans(),
+    )
+    def test_property_valmod_equals_stomp_range(self, seed, base, width, smooth):
+        """The central exactness property on arbitrary random inputs."""
+        rng = np.random.default_rng(seed)
+        steps = rng.normal(size=220)
+        values = np.cumsum(steps)
+        if smooth:
+            values = np.convolve(values, np.full(5, 0.2), mode="valid")
+        max_length = base + width
+        result = repro.valmod(values, base, max_length, top_k=1, profile_capacity=8)
+        oracle = repro.stomp_range(values, base, max_length, top_k=1)
+        for length in oracle.lengths:
+            assert result.motifs_at(length)[0].distance == pytest.approx(
+                oracle.best_at(length).distance, abs=1e-6
+            )
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_valmap_entries_are_achievable_distances(self, seed):
+        """Every VALMAP entry corresponds to a real pair at the recorded length."""
+        rng = np.random.default_rng(seed)
+        values = np.cumsum(rng.normal(size=200))
+        result = repro.valmod(values, 12, 20, top_k=2)
+        valmap = result.valmap
+        from repro.stats.distance import znorm_euclidean
+
+        checked = 0
+        for offset in valmap.updated_positions().tolist()[:5]:
+            length = int(valmap.length_profile[offset])
+            match = int(valmap.index_profile[offset])
+            expected = znorm_euclidean(
+                values[offset : offset + length], values[match : match + length]
+            ) / np.sqrt(length)
+            assert valmap.normalized_profile[offset] == pytest.approx(expected, abs=1e-6)
+            checked += 1
+        # positions never updated must still carry the base-length profile value
+        base_positions = np.flatnonzero(valmap.length_profile == 12)[:5]
+        for offset in base_positions.tolist():
+            assert valmap.normalized_profile[offset] == pytest.approx(
+                result.base_profile.normalized_distances[offset], abs=1e-9
+            )
+
+    def test_motif_distances_decrease_with_top_k_rank(self, small_ecg_series):
+        result = repro.valmod(small_ecg_series, 24, 30, top_k=4)
+        for length in result.lengths:
+            distances = [pair.distance for pair in result.motifs_at(length)]
+            assert distances == sorted(distances)
+
+    def test_discords_and_motifs_are_different_offsets(self, small_ecg_series):
+        result = repro.valmod(small_ecg_series, 30, 36, top_k=1)
+        best = result.best_motif()
+        discords = repro.variable_length_discords(
+            small_ecg_series, 30, 36, k=1, length_step=6
+        )
+        top_discord = discords[0]
+        assert abs(top_discord.offset - best.offset_a) > 5

@@ -1,0 +1,72 @@
+"""Round-trip tests for the extension artefacts (AB-join and pan profiles)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.skimp import skimp
+from repro.exceptions import SerializationError
+from repro.io import (
+    load_join_profile,
+    load_pan_profile,
+    save_join_profile,
+    save_matrix_profile,
+    save_pan_profile,
+)
+from repro.matrix_profile.ab_join import ab_join
+from repro.matrix_profile.stomp import stomp
+
+
+class TestJoinProfileRoundTrip:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        series_a = np.cumsum(rng.normal(size=120))
+        series_b = np.cumsum(rng.normal(size=150))
+        join = ab_join(series_a, series_b, 16)
+        path = save_join_profile(join, tmp_path / "join.json")
+        loaded = load_join_profile(path)
+        np.testing.assert_allclose(loaded.distances, join.distances)
+        np.testing.assert_array_equal(loaded.indices, join.indices)
+        assert loaded.window == join.window
+        assert loaded.best() == join.best()
+
+    def test_wrong_kind_rejected(self, tmp_path, small_random_series):
+        profile = stomp(small_random_series, 16)
+        path = save_matrix_profile(profile, tmp_path / "mp.json")
+        with pytest.raises(SerializationError):
+            load_join_profile(path)
+
+
+class TestPanProfileRoundTrip:
+    def test_round_trip_with_nan_padding(self, tmp_path, small_random_series):
+        pan = skimp(small_random_series, 16, 24, lengths=[16, 20, 24])
+        path = save_pan_profile(pan, tmp_path / "pan.json")
+        loaded = load_pan_profile(path)
+        assert loaded.lengths.tolist() == pan.lengths.tolist()
+        assert loaded.min_length == pan.min_length
+        assert loaded.max_length == pan.max_length
+        np.testing.assert_allclose(
+            loaded.normalized_profiles, pan.normalized_profiles, equal_nan=True
+        )
+        np.testing.assert_array_equal(loaded.index_profiles, pan.index_profiles)
+        # Derived views keep working on the reloaded object.
+        assert loaded.best_pair_at(20).distance == pytest.approx(
+            pan.best_pair_at(20).distance, abs=1e-9
+        )
+
+    def test_collapse_survives_round_trip(self, tmp_path, small_ecg_series):
+        pan = skimp(small_ecg_series, 24, 28)
+        path = save_pan_profile(pan, tmp_path / "pan.json")
+        loaded = load_pan_profile(path)
+        np.testing.assert_allclose(
+            loaded.collapse().normalized_profile,
+            pan.collapse().normalized_profile,
+            atol=1e-12,
+        )
+
+    def test_wrong_kind_rejected(self, tmp_path, small_random_series):
+        profile = stomp(small_random_series, 16)
+        path = save_matrix_profile(profile, tmp_path / "mp.json")
+        with pytest.raises(SerializationError):
+            load_pan_profile(path)

@@ -1,0 +1,111 @@
+"""Tests for JSON persistence of profiles, VALMAP and results."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.valmod import valmod
+from repro.exceptions import SerializationError
+from repro.io.serialization import (
+    load_matrix_profile,
+    load_result,
+    load_valmap,
+    save_matrix_profile,
+    save_result,
+    save_valmap,
+)
+from repro.matrix_profile.stomp import stomp
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    rng = np.random.default_rng(0)
+    values = np.cumsum(rng.normal(size=250))
+    return values, valmod(values, 16, 24, top_k=2)
+
+
+class TestMatrixProfileRoundTrip:
+    def test_round_trip(self, small_result, tmp_path):
+        values, _ = small_result
+        profile = stomp(values, 16)
+        path = save_matrix_profile(profile, tmp_path / "profile.json")
+        loaded = load_matrix_profile(path)
+        np.testing.assert_allclose(loaded.distances, profile.distances)
+        np.testing.assert_array_equal(loaded.indices, profile.indices)
+        assert loaded.window == profile.window
+        assert loaded.exclusion_radius == profile.exclusion_radius
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something_else"}))
+        with pytest.raises(SerializationError):
+            load_matrix_profile(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_matrix_profile(tmp_path / "missing.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not valid json")
+        with pytest.raises(SerializationError):
+            load_matrix_profile(path)
+
+
+class TestValmapRoundTrip:
+    def test_round_trip_including_checkpoints(self, small_result, tmp_path):
+        _, result = small_result
+        path = save_valmap(result.valmap, tmp_path / "valmap.json")
+        loaded = load_valmap(path)
+        np.testing.assert_allclose(
+            loaded.normalized_profile, result.valmap.normalized_profile
+        )
+        np.testing.assert_array_equal(loaded.index_profile, result.valmap.index_profile)
+        np.testing.assert_array_equal(loaded.length_profile, result.valmap.length_profile)
+        assert len(loaded.checkpoints) == len(result.valmap.checkpoints)
+        if loaded.checkpoints:
+            assert loaded.checkpoints[0] == result.valmap.checkpoints[0]
+
+    def test_snapshot_still_works_after_reload(self, small_result, tmp_path):
+        _, result = small_result
+        path = save_valmap(result.valmap, tmp_path / "valmap.json")
+        loaded = load_valmap(path)
+        snapshot = loaded.snapshot_at(result.config.min_length)
+        assert set(snapshot.length_profile.tolist()) == {result.config.min_length}
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "not_valmap.json"
+        path.write_text(json.dumps({"kind": "matrix_profile"}))
+        with pytest.raises(SerializationError):
+            load_valmap(path)
+
+
+class TestResultRoundTrip:
+    def test_round_trip(self, small_result, tmp_path):
+        _, result = small_result
+        path = save_result(result, tmp_path / "result.json")
+        payload = load_result(path)
+        assert payload["series_length"] == result.series_length
+        assert payload["config"]["min_length"] == result.config.min_length
+        assert payload["lengths"] == result.lengths
+        best = result.best_motif()
+        lengths_payload = payload["length_results"][str(best.window)]["motifs"]
+        assert any(
+            entry["offset_a"] == best.offset_a and entry["offset_b"] == best.offset_b
+            for entry in lengths_payload
+        )
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "foo.json"
+        path.write_text(json.dumps({"kind": "valmap"}))
+        with pytest.raises(SerializationError):
+            load_result(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SerializationError):
+            load_result(path)

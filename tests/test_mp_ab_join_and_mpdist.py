@@ -1,0 +1,193 @@
+"""Tests for AB-joins and the MPdist whole-series distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EmptyResultError, InvalidParameterError
+from repro.generators import generate_ecg, generate_random_walk
+from repro.matrix_profile.ab_join import JoinProfile, ab_join, ab_join_both
+from repro.matrix_profile.mpdist import mpdist, mpdist_profile
+from repro.stats.distance import znorm_euclidean
+
+
+def _brute_force_join(series_a: np.ndarray, series_b: np.ndarray, window: int) -> np.ndarray:
+    count_a = series_a.size - window + 1
+    count_b = series_b.size - window + 1
+    distances = np.empty(count_a)
+    for i in range(count_a):
+        best = np.inf
+        for j in range(count_b):
+            best = min(
+                best,
+                znorm_euclidean(series_a[i : i + window], series_b[j : j + window]),
+            )
+        distances[i] = best
+    return distances
+
+
+class TestAbJoin:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(11)
+        series_a = np.cumsum(rng.normal(size=120))
+        series_b = np.cumsum(rng.normal(size=150))
+        window = 14
+        join = ab_join(series_a, series_b, window)
+        np.testing.assert_allclose(
+            join.distances, _brute_force_join(series_a, series_b, window), atol=1e-5
+        )
+
+    def test_profile_length_is_count_of_a(self):
+        rng = np.random.default_rng(3)
+        series_a = np.cumsum(rng.normal(size=90))
+        series_b = np.cumsum(rng.normal(size=200))
+        join = ab_join(series_a, series_b, 16)
+        assert len(join) == series_a.size - 16 + 1
+
+    def test_indices_point_into_b(self):
+        rng = np.random.default_rng(5)
+        series_a = np.cumsum(rng.normal(size=80))
+        series_b = np.cumsum(rng.normal(size=140))
+        window = 12
+        join = ab_join(series_a, series_b, window)
+        count_b = series_b.size - window + 1
+        assert np.all(join.indices >= 0)
+        assert np.all(join.indices < count_b)
+
+    def test_shared_pattern_yields_near_zero_distance(self):
+        rng = np.random.default_rng(8)
+        pattern = np.sin(np.linspace(0, 4 * np.pi, 60))
+        series_a = np.concatenate([rng.normal(size=80), pattern, rng.normal(size=80)])
+        series_b = np.concatenate([rng.normal(size=50), pattern, rng.normal(size=110)])
+        join = ab_join(series_a, series_b, 60)
+        offset_a, offset_b, distance = join.best()
+        assert distance < 0.1
+        assert abs(offset_a - 80) <= 2
+        assert abs(offset_b - 50) <= 2
+
+    def test_both_directions(self):
+        rng = np.random.default_rng(21)
+        series_a = np.cumsum(rng.normal(size=100))
+        series_b = np.cumsum(rng.normal(size=130))
+        forward, backward = ab_join_both(series_a, series_b, 16)
+        assert len(forward) == series_a.size - 16 + 1
+        assert len(backward) == series_b.size - 16 + 1
+        # The globally closest cross pair is the same seen from either side.
+        assert forward.best()[2] == pytest.approx(backward.best()[2], abs=1e-9)
+
+    def test_top_matches_sorted(self):
+        rng = np.random.default_rng(2)
+        series_a = np.cumsum(rng.normal(size=100))
+        series_b = np.cumsum(rng.normal(size=100))
+        join = ab_join(series_a, series_b, 16)
+        matches = join.top_matches(5)
+        distances = [m[2] for m in matches]
+        assert distances == sorted(distances)
+        with pytest.raises(InvalidParameterError):
+            join.top_matches(0)
+
+    def test_as_dict_roundtrip_fields(self):
+        rng = np.random.default_rng(6)
+        join = ab_join(np.cumsum(rng.normal(size=60)), np.cumsum(rng.normal(size=60)), 10)
+        payload = join.as_dict()
+        assert payload["window"] == 10
+        assert len(payload["distances"]) == len(join)
+
+    def test_empty_profile_best_raises(self):
+        profile = JoinProfile(
+            distances=np.array([np.inf, np.inf]), indices=np.array([-1, -1]), window=4
+        )
+        with pytest.raises(EmptyResultError):
+            profile.best()
+
+    def test_invalid_construction(self):
+        with pytest.raises(InvalidParameterError):
+            JoinProfile(distances=np.array([1.0, 2.0]), indices=np.array([0]), window=4)
+        with pytest.raises(InvalidParameterError):
+            JoinProfile(distances=np.array([1.0]), indices=np.array([0]), window=0)
+
+
+class TestMpdist:
+    def test_identical_series_distance_zero(self):
+        series = generate_ecg(400, beat_period=60, random_state=0)
+        assert mpdist(series, series, 32) == pytest.approx(0.0, abs=1e-6)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        series_a = np.cumsum(rng.normal(size=200))
+        series_b = np.cumsum(rng.normal(size=260))
+        assert mpdist(series_a, series_b, 24) == pytest.approx(
+            mpdist(series_b, series_a, 24), abs=1e-9
+        )
+
+    def test_shared_motifs_closer_than_unrelated(self):
+        ecg_one = generate_ecg(500, beat_period=60, random_state=1)
+        ecg_two = generate_ecg(500, beat_period=60, random_state=2)
+        walk = generate_random_walk(500, random_state=3)
+        related = mpdist(ecg_one, ecg_two, 48)
+        unrelated = mpdist(ecg_one, walk, 48)
+        assert related < unrelated
+
+    def test_percentile_extremes(self):
+        rng = np.random.default_rng(17)
+        series_a = np.cumsum(rng.normal(size=150))
+        series_b = np.cumsum(rng.normal(size=150))
+        closest = mpdist(series_a, series_b, 16, percentile=0.0)
+        furthest = mpdist(series_a, series_b, 16, percentile=1.0)
+        default = mpdist(series_a, series_b, 16)
+        assert closest <= default <= furthest
+
+    def test_invalid_percentile_raises(self):
+        rng = np.random.default_rng(1)
+        series = np.cumsum(rng.normal(size=100))
+        with pytest.raises(InvalidParameterError):
+            mpdist(series, series, 16, percentile=1.5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_non_negative_and_symmetric_property(self, seed):
+        rng = np.random.default_rng(seed)
+        series_a = np.cumsum(rng.normal(size=120))
+        series_b = np.cumsum(rng.normal(size=140))
+        forward = mpdist(series_a, series_b, 16)
+        backward = mpdist(series_b, series_a, 16)
+        assert forward >= 0.0
+        assert forward == pytest.approx(backward, abs=1e-9)
+
+
+class TestMpdistProfile:
+    def test_embedded_query_region_scores_near_zero(self):
+        rng = np.random.default_rng(9)
+        query = generate_ecg(120, beat_period=40, random_state=12)
+        background = np.cumsum(rng.normal(size=400))
+        series = np.concatenate([background[:150], np.asarray(query), background[150:]])
+        profile = mpdist_profile(series, query, 24, step=8)
+        # The window aligned with the embedded copy is an (almost) exact match,
+        # while windows far away in the random walk score clearly higher.
+        assert profile[150] < 1e-3
+        assert profile[0] > 0.5
+        assert profile[-1] > 0.5
+
+    def test_profile_length(self):
+        rng = np.random.default_rng(10)
+        series = np.cumsum(rng.normal(size=300))
+        query = series[40:120]
+        profile = mpdist_profile(series, query, 16, step=5)
+        assert profile.size == series.size - query.size + 1
+        assert np.all(np.isfinite(profile))
+
+    def test_invalid_step_raises(self):
+        rng = np.random.default_rng(2)
+        series = np.cumsum(rng.normal(size=200))
+        with pytest.raises(InvalidParameterError):
+            mpdist_profile(series, series[:50], 16, step=0)
+
+    def test_query_longer_than_series_raises(self):
+        rng = np.random.default_rng(2)
+        series = np.cumsum(rng.normal(size=100))
+        query = np.cumsum(rng.normal(size=200))
+        with pytest.raises(InvalidParameterError):
+            mpdist_profile(series, query, 16)

@@ -1,0 +1,130 @@
+"""Unit tests for exclusion zones, distance profiles and MASS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.brute_force import brute_force_distance_profile
+from repro.matrix_profile.distance_profile import distance_profile, distances_from_dot_products
+from repro.matrix_profile.exclusion import apply_exclusion_zone, default_exclusion_radius
+from repro.matrix_profile.mass import mass
+from repro.stats.fft import sliding_dot_product
+from repro.stats.sliding import SlidingStats
+
+
+class TestExclusion:
+    def test_default_radius(self):
+        assert default_exclusion_radius(100) == 25
+        assert default_exclusion_radius(10) == 3  # ceil(10/4)
+        assert default_exclusion_radius(100, factor=2) == 50
+
+    def test_default_radius_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            default_exclusion_radius(0)
+        with pytest.raises(InvalidParameterError):
+            default_exclusion_radius(10, factor=0)
+
+    def test_apply_zone_center(self):
+        distances = np.zeros(10)
+        apply_exclusion_zone(distances, 5, 2)
+        assert np.isinf(distances[3:8]).all()
+        assert np.isfinite(distances[:3]).all()
+        assert np.isfinite(distances[8:]).all()
+
+    def test_apply_zone_clipped_at_edges(self):
+        distances = np.zeros(5)
+        apply_exclusion_zone(distances, 0, 3)
+        assert np.isinf(distances[:4]).all()
+        assert distances[4] == 0.0
+
+    def test_apply_zone_custom_value(self):
+        distances = np.zeros(5)
+        apply_exclusion_zone(distances, 2, 1, value=-1.0)
+        assert distances[1] == -1.0
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(InvalidParameterError):
+            apply_exclusion_zone(np.zeros(5), 2, -1)
+
+
+class TestDistancesFromDotProducts:
+    def test_matches_brute_force(self, small_random_series):
+        values = small_random_series
+        window = 16
+        stats = SlidingStats(values)
+        means, stds = stats.mean_std(window)
+        query_offset = 37
+        qt = sliding_dot_product(values[query_offset : query_offset + window], values)
+        computed = distances_from_dot_products(
+            qt, window, means[query_offset], stds[query_offset], means, stds
+        )
+        expected = brute_force_distance_profile(values, query_offset, window)
+        np.testing.assert_allclose(computed, expected, atol=2e-5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError):
+            distances_from_dot_products(np.zeros(5), 10, 0.0, 1.0, np.zeros(4), np.ones(4))
+
+    def test_constant_query_convention(self):
+        qt = np.zeros(3)
+        means = np.array([0.0, 0.0, 0.0])
+        stds = np.array([1.0, 0.0, 2.0])
+        distances = distances_from_dot_products(qt, 9, 0.0, 0.0, means, stds)
+        assert distances[1] == 0.0  # constant vs constant
+        assert distances[0] == pytest.approx(3.0)  # constant vs non-constant = sqrt(9)
+
+
+class TestDistanceProfile:
+    def test_matches_brute_force_everywhere(self, small_random_series):
+        values = small_random_series
+        window = 20
+        offset = 100
+        computed = distance_profile(values, offset, window, apply_exclusion=False)
+        expected = brute_force_distance_profile(values, offset, window)
+        np.testing.assert_allclose(computed, expected, atol=2e-5)
+
+    def test_exclusion_zone_applied(self, small_random_series):
+        profile = distance_profile(small_random_series, 50, 16)
+        radius = default_exclusion_radius(16)
+        assert np.isinf(profile[50 - radius : 50 + radius + 1]).all()
+
+    def test_self_distance_zero_without_exclusion(self, small_random_series):
+        profile = distance_profile(small_random_series, 50, 16, apply_exclusion=False)
+        assert profile[50] == pytest.approx(0.0, abs=1e-4)
+
+    def test_invalid_offset(self, small_random_series):
+        with pytest.raises(InvalidParameterError):
+            distance_profile(small_random_series, 500, 16)
+
+
+class TestMass:
+    def test_mass_matches_distance_profile_for_internal_query(self, small_random_series):
+        values = small_random_series
+        window = 24
+        offset = 40
+        query = values[offset : offset + window]
+        from_mass = mass(query, values)
+        internal = distance_profile(values, offset, window, apply_exclusion=False)
+        np.testing.assert_allclose(from_mass, internal, atol=2e-5)
+
+    def test_mass_external_query(self, small_random_series):
+        rng = np.random.default_rng(0)
+        query = rng.normal(size=32)
+        profile = mass(query, small_random_series)
+        assert profile.shape == (small_random_series.size - 32 + 1,)
+        assert np.all(profile >= 0.0)
+
+    def test_mass_constant_query(self, small_random_series):
+        profile = mass(np.full(16, 2.0), small_random_series)
+        # constant query vs non-constant subsequences -> sqrt(m) everywhere
+        np.testing.assert_allclose(profile, np.full(profile.size, 4.0), atol=1e-9)
+
+    def test_mass_query_too_long(self):
+        with pytest.raises(InvalidParameterError):
+            mass(np.ones(10), np.ones(5))
+
+    def test_mass_rejects_nan_query(self, small_random_series):
+        with pytest.raises(InvalidParameterError):
+            mass(np.array([1.0, np.nan, 2.0]), small_random_series)

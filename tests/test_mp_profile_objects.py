@@ -1,0 +1,143 @@
+"""Unit tests for MatrixProfile / MotifPair result objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyResultError, InvalidParameterError
+from repro.matrix_profile.profile import MatrixProfile, MotifPair
+from repro.matrix_profile.stomp import stomp
+
+
+class TestMotifPair:
+    def test_offsets_ordered(self):
+        pair = MotifPair(distance=1.0, offset_a=30, offset_b=10, window=16)
+        assert pair.offset_a == 10
+        assert pair.offset_b == 30
+        assert pair.offsets == (10, 30)
+
+    def test_normalized_distance(self):
+        pair = MotifPair(distance=4.0, offset_a=0, offset_b=100, window=16)
+        assert pair.normalized_distance == pytest.approx(1.0)
+
+    def test_sortable_by_distance(self):
+        pairs = [
+            MotifPair(distance=2.0, offset_a=0, offset_b=50, window=8),
+            MotifPair(distance=1.0, offset_a=5, offset_b=60, window=8),
+        ]
+        assert sorted(pairs)[0].distance == 1.0
+
+    def test_rejects_identical_offsets(self):
+        with pytest.raises(InvalidParameterError):
+            MotifPair(distance=1.0, offset_a=5, offset_b=5, window=8)
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(InvalidParameterError):
+            MotifPair(distance=-1.0, offset_a=0, offset_b=5, window=8)
+
+    def test_overlaps(self):
+        a = MotifPair(distance=1.0, offset_a=0, offset_b=100, window=16)
+        b = MotifPair(distance=1.0, offset_a=2, offset_b=200, window=16)
+        c = MotifPair(distance=1.0, offset_a=50, offset_b=200, window=16)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_as_dict(self):
+        pair = MotifPair(distance=1.0, offset_a=0, offset_b=5, window=4)
+        payload = pair.as_dict()
+        assert payload["offset_a"] == 0
+        assert payload["normalized_distance"] == pytest.approx(0.5)
+
+
+class TestMatrixProfileObject:
+    def _profile(self):
+        distances = np.array([1.0, 0.5, 2.0, 0.4, 3.0, 0.9])
+        indices = np.array([3, 3, 5, 1, 0, 2])
+        return MatrixProfile(distances=distances, indices=indices, window=4, exclusion_radius=1)
+
+    def test_len_and_iter(self):
+        profile = self._profile()
+        assert len(profile) == 6
+        assert list(profile)[0] == (1.0, 3)
+
+    def test_best(self):
+        best = self._profile().best()
+        assert best.offsets == (1, 3)
+        assert best.distance == 0.4
+
+    def test_motifs_respect_exclusion(self):
+        motifs = self._profile().motifs(k=2)
+        assert len(motifs) == 2
+        first, second = motifs
+        # pairs come out best-first and the second selection skipped every
+        # offset inside the first pair's exclusion zones (0..4 here), so it
+        # must have been seeded from offset 5
+        assert first.distance == pytest.approx(0.4)
+        assert first.offsets == (1, 3)
+        assert second.distance == pytest.approx(0.9)
+        assert 5 in second.offsets
+
+    def test_motifs_k_larger_than_available(self):
+        motifs = self._profile().motifs(k=50)
+        assert 1 <= len(motifs) <= 3
+
+    def test_discords(self):
+        discords = self._profile().discords(k=2)
+        assert discords[0] == 4  # largest distance
+        assert len(discords) == 2
+
+    def test_normalized_distances(self):
+        profile = self._profile()
+        np.testing.assert_allclose(profile.normalized_distances, profile.distances / 2.0)
+
+    def test_mismatched_arrays_raise(self):
+        with pytest.raises(InvalidParameterError):
+            MatrixProfile(
+                distances=np.zeros(5), indices=np.zeros(4, dtype=int), window=4, exclusion_radius=1
+            )
+
+    def test_best_on_all_inf_raises(self):
+        profile = MatrixProfile(
+            distances=np.full(4, np.inf),
+            indices=np.full(4, -1, dtype=int),
+            window=3,
+            exclusion_radius=1,
+        )
+        with pytest.raises(EmptyResultError):
+            profile.best()
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(InvalidParameterError):
+            self._profile().motifs(k=0)
+        with pytest.raises(InvalidParameterError):
+            self._profile().discords(k=0)
+
+    def test_as_dict_round_trip_fields(self):
+        payload = self._profile().as_dict()
+        assert payload["window"] == 4
+        assert len(payload["distances"]) == 6
+
+
+class TestMotifExtractionOnRealProfile:
+    def test_motifs_are_disjoint_on_ecg(self, small_ecg_series):
+        profile = stomp(small_ecg_series, 30)
+        motifs = profile.motifs(k=3)
+        assert len(motifs) >= 2
+        # pairs are returned best-first
+        distances = [pair.distance for pair in motifs]
+        assert distances == sorted(distances)
+        # no two selected left-members trivially match each other
+        radius = profile.exclusion_radius
+        lefts = [pair.offset_a for pair in motifs]
+        for i in range(len(lefts)):
+            for j in range(i + 1, len(lefts)):
+                assert abs(lefts[i] - lefts[j]) > radius
+
+    def test_discords_far_from_each_other(self, small_ecg_series):
+        profile = stomp(small_ecg_series, 30)
+        discords = profile.discords(k=3)
+        radius = profile.exclusion_radius
+        for i in range(len(discords)):
+            for j in range(i + 1, len(discords)):
+                assert abs(discords[i] - discords[j]) > radius

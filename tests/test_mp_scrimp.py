@@ -1,0 +1,188 @@
+"""Tests for the anytime SCRIMP / PreSCRIMP / SCRIMP++ algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.scrimp import (
+    ScrimpState,
+    convergence_curve,
+    pre_scrimp,
+    profile_error,
+    scrimp,
+    scrimp_pp,
+)
+from repro.matrix_profile.stomp import stomp
+
+
+class TestScrimpExactness:
+    @pytest.mark.parametrize("window", [8, 16, 33])
+    def test_full_scrimp_equals_stomp(self, small_random_series, window):
+        exact = stomp(small_random_series, window)
+        diagonal = scrimp(small_random_series, window, fraction=1.0, random_state=0)
+        np.testing.assert_allclose(diagonal.distances, exact.distances, atol=1e-6)
+
+    def test_full_scrimp_on_ecg(self, small_ecg_series):
+        window = 24
+        exact = stomp(small_ecg_series, window)
+        diagonal = scrimp(small_ecg_series, window, fraction=1.0, random_state=3)
+        np.testing.assert_allclose(diagonal.distances, exact.distances, atol=1e-6)
+
+    def test_order_independence(self, small_random_series):
+        window = 16
+        first = scrimp(small_random_series, window, random_state=1)
+        second = scrimp(small_random_series, window, random_state=99)
+        np.testing.assert_allclose(first.distances, second.distances, atol=1e-9)
+
+    def test_constant_region(self):
+        values = np.concatenate([np.zeros(40), np.sin(np.linspace(0, 9, 90)), np.zeros(30)])
+        window = 10
+        np.testing.assert_allclose(
+            scrimp(values, window).distances, stomp(values, window).distances, atol=1e-6
+        )
+
+
+class TestScrimpAnytime:
+    def test_partial_run_is_upper_bound(self, small_random_series):
+        window = 16
+        exact = stomp(small_random_series, window)
+        partial = scrimp(small_random_series, window, fraction=0.2, random_state=0)
+        finite = np.isfinite(partial.distances)
+        assert np.all(partial.distances[finite] >= exact.distances[finite] - 1e-9)
+
+    def test_error_decreases_with_fraction(self, small_ecg_series):
+        window = 24
+        exact = stomp(small_ecg_series, window)
+        errors = [
+            profile_error(
+                scrimp(small_ecg_series, window, fraction=fraction, random_state=5), exact
+            )
+            for fraction in (0.1, 0.5, 1.0)
+        ]
+        assert errors[0] >= errors[1] >= errors[2]
+        assert errors[2] == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_fraction_raises(self, small_random_series):
+        with pytest.raises(InvalidParameterError):
+            scrimp(small_random_series, 16, fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            scrimp(small_random_series, 16, fraction=1.5)
+
+    def test_state_mismatch_raises(self, small_random_series):
+        state = ScrimpState(
+            distances=np.full(10, np.inf),
+            indices=np.full(10, -1, dtype=np.int64),
+            window=16,
+            exclusion_radius=4,
+            diagonals_done=0,
+            diagonals_total=5,
+        )
+        with pytest.raises(InvalidParameterError):
+            scrimp(small_random_series, 16, state=state)
+
+    def test_completion_property(self, small_random_series):
+        window = 16
+        count = small_random_series.size - window + 1
+        state = ScrimpState(
+            distances=np.full(count, np.inf),
+            indices=np.full(count, -1, dtype=np.int64),
+            window=window,
+            exclusion_radius=4,
+            diagonals_done=0,
+            diagonals_total=count - 5,
+        )
+        assert state.completion == 0.0
+        scrimp(small_random_series, window, fraction=0.5, exclusion_radius=4, state=state)
+        assert 0.0 < state.completion <= 1.0
+
+
+class TestPreScrimp:
+    def test_upper_bound_of_exact(self, small_ecg_series):
+        window = 24
+        exact = stomp(small_ecg_series, window)
+        seeded = pre_scrimp(small_ecg_series, window, random_state=0)
+        finite = np.isfinite(seeded.distances)
+        assert np.all(seeded.distances[finite] >= exact.distances[finite] - 1e-9)
+
+    def test_finds_planted_motif_neighbourhood(self, planted_series):
+        series, truth = planted_series
+        planted = truth[0]
+        seeded = pre_scrimp(series, planted.length, step=planted.length // 4, random_state=0)
+        best = seeded.best()
+        tolerance = planted.length // 2
+        assert min(abs(best.offset_a - offset) for offset in planted.offsets) < tolerance
+
+    def test_step_one_is_exact(self, small_random_series):
+        window = 16
+        exact = stomp(small_random_series, window)
+        seeded = pre_scrimp(small_random_series, window, step=1, random_state=0)
+        np.testing.assert_allclose(seeded.distances, exact.distances, atol=1e-6)
+
+    def test_invalid_step_raises(self, small_random_series):
+        with pytest.raises(InvalidParameterError):
+            pre_scrimp(small_random_series, 16, step=0)
+
+
+class TestScrimpPlusPlus:
+    def test_full_run_is_exact(self, small_random_series):
+        window = 16
+        exact = stomp(small_random_series, window)
+        combined = scrimp_pp(small_random_series, window, fraction=1.0, random_state=0)
+        np.testing.assert_allclose(combined.distances, exact.distances, atol=1e-6)
+
+    def test_partial_run_better_than_prescrimp_alone(self, small_ecg_series):
+        window = 24
+        exact = stomp(small_ecg_series, window)
+        seeded_only = pre_scrimp(small_ecg_series, window, random_state=7)
+        combined = scrimp_pp(small_ecg_series, window, fraction=0.25, random_state=7)
+        assert profile_error(combined, exact) <= profile_error(seeded_only, exact) + 1e-9
+
+
+class TestConvergenceCurve:
+    def test_rows_and_monotonicity(self, small_ecg_series):
+        rows = convergence_curve(
+            small_ecg_series, 24, fractions=(0.1, 0.5, 1.0), random_state=0
+        )
+        assert [row["fraction"] for row in rows] == [0.1, 0.5, 1.0]
+        assert rows[-1]["profile_mae"] == pytest.approx(0.0, abs=1e-6)
+        assert rows[0]["profile_mae"] >= rows[-1]["profile_mae"]
+
+    def test_profile_error_requires_matching_profiles(self, small_random_series):
+        first = stomp(small_random_series, 16)
+        second = stomp(small_random_series, 20)
+        with pytest.raises(InvalidParameterError):
+            profile_error(first, second)
+
+
+class TestScrimpProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        window=st.integers(min_value=4, max_value=24),
+    )
+    def test_full_scrimp_matches_stomp_on_random_walks(self, seed, window):
+        rng = np.random.default_rng(seed)
+        series = np.cumsum(rng.normal(size=160))
+        np.testing.assert_allclose(
+            scrimp(series, window, random_state=seed).distances,
+            stomp(series, window).distances,
+            atol=1e-5,
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        fraction=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_partial_scrimp_never_underestimates(self, seed, fraction):
+        rng = np.random.default_rng(seed)
+        series = np.cumsum(rng.normal(size=150))
+        window = 12
+        exact = stomp(series, window)
+        partial = scrimp(series, window, fraction=fraction, random_state=seed)
+        finite = np.isfinite(partial.distances)
+        assert np.all(partial.distances[finite] >= exact.distances[finite] - 1e-9)

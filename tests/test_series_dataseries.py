@@ -1,0 +1,106 @@
+"""Unit tests for repro.series.dataseries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.series.dataseries import DataSeries
+
+
+class TestConstruction:
+    def test_basic(self):
+        series = DataSeries(np.array([1.0, 2.0, 3.0]), name="toy")
+        assert len(series) == 3
+        assert series.name == "toy"
+
+    def test_values_read_only(self):
+        series = DataSeries(np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            series.values[0] = 9.0
+
+    def test_from_values_accepts_lists(self):
+        series = DataSeries.from_values([1, 2, 3, 4], name="ints")
+        assert series.values.dtype == np.float64
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidSeriesError):
+            DataSeries(np.array([1.0, np.nan]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidSeriesError):
+            DataSeries(np.ones((3, 2)))
+
+    def test_rejects_too_short(self):
+        with pytest.raises(InvalidSeriesError):
+            DataSeries(np.array([1.0]))
+
+    def test_rejects_bad_sampling_rate(self):
+        with pytest.raises(InvalidParameterError):
+            DataSeries(np.array([1.0, 2.0]), sampling_rate=0.0)
+
+
+class TestSequenceProtocol:
+    def test_iter_and_getitem(self):
+        series = DataSeries(np.array([1.0, 2.0, 3.0]))
+        assert list(series) == [1.0, 2.0, 3.0]
+        assert series[1] == 2.0
+
+    def test_slice_returns_series(self):
+        series = DataSeries(np.arange(10, dtype=float), name="s")
+        piece = series[2:6]
+        assert isinstance(piece, DataSeries)
+        assert len(piece) == 4
+
+    def test_array_conversion(self):
+        series = DataSeries(np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(np.asarray(series), np.array([1.0, 2.0]))
+
+    def test_equality_and_hash(self):
+        a = DataSeries(np.array([1.0, 2.0]), name="x")
+        b = DataSeries(np.array([1.0, 2.0]), name="x")
+        c = DataSeries(np.array([1.0, 3.0]), name="x")
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_repr_contains_name_and_length(self):
+        series = DataSeries(np.arange(5, dtype=float), name="demo")
+        text = repr(series)
+        assert "demo" in text and "length=5" in text
+
+
+class TestViews:
+    def test_subsequence(self):
+        series = DataSeries(np.arange(10, dtype=float))
+        np.testing.assert_array_equal(series.subsequence(3, 4), np.array([3.0, 4.0, 5.0, 6.0]))
+
+    def test_subsequence_out_of_bounds(self):
+        series = DataSeries(np.arange(10, dtype=float))
+        with pytest.raises(InvalidParameterError):
+            series.subsequence(8, 5)
+
+    def test_prefix(self):
+        series = DataSeries(np.arange(10, dtype=float), name="p", sampling_rate=2.0)
+        prefix = series.prefix(4)
+        assert len(prefix) == 4
+        assert prefix.sampling_rate == 2.0
+
+    def test_prefix_out_of_range(self):
+        series = DataSeries(np.arange(10, dtype=float))
+        with pytest.raises(InvalidParameterError):
+            series.prefix(11)
+
+    def test_with_metadata_merges(self):
+        series = DataSeries(np.arange(5, dtype=float), metadata={"a": 1})
+        updated = series.with_metadata(b=2)
+        assert updated.metadata == {"a": 1, "b": 2}
+        assert series.metadata == {"a": 1}
+
+    def test_describe(self):
+        series = DataSeries(np.array([1.0, 2.0, 3.0, 4.0]))
+        stats = series.describe()
+        assert stats["length"] == 4
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["median"] == pytest.approx(2.5)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.series.loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidSeriesError
+from repro.series.dataseries import DataSeries
+from repro.series.loaders import load_csv, load_npy, load_text, save_csv, save_npy, save_text
+
+
+class TestTextRoundTrip:
+    def test_round_trip(self, tmp_path):
+        values = np.random.default_rng(0).normal(size=50)
+        path = tmp_path / "series.txt"
+        save_text(values, path)
+        loaded = load_text(path)
+        np.testing.assert_allclose(loaded.values, values)
+        assert loaded.name == "series"
+
+    def test_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "annotated.txt"
+        path.write_text("# header\n1.5\n\n2.5\n# trailing\n3.5\n")
+        loaded = load_text(path)
+        np.testing.assert_allclose(loaded.values, [1.5, 2.5, 3.5])
+
+    def test_multi_column_selection(self, tmp_path):
+        path = tmp_path / "two_columns.txt"
+        path.write_text("1 10\n2 20\n3 30\n")
+        np.testing.assert_allclose(load_text(path, column=1).values, [10.0, 20.0, 30.0])
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "one_column.txt"
+        path.write_text("1\n2\n")
+        with pytest.raises(InvalidSeriesError):
+            load_text(path, column=3)
+
+    def test_non_numeric_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\nhello\n")
+        with pytest.raises(InvalidSeriesError):
+            load_text(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(InvalidSeriesError):
+            load_text(tmp_path / "does_not_exist.txt")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only comments\n")
+        with pytest.raises(InvalidSeriesError):
+            load_text(path)
+
+    def test_accepts_dataseries_input(self, tmp_path):
+        series = DataSeries(np.array([1.0, 2.0, 3.0]), name="ds")
+        path = save_text(series, tmp_path / "ds.txt")
+        np.testing.assert_allclose(load_text(path).values, series.values)
+
+
+class TestCsv:
+    def test_round_trip_with_header(self, tmp_path):
+        values = np.arange(10, dtype=float)
+        path = tmp_path / "series.csv"
+        save_csv(values, path, header="value")
+        loaded = load_csv(path, has_header=True)
+        np.testing.assert_allclose(loaded.values, values)
+
+    def test_named_column(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("time,value\n0,1.0\n1,2.0\n2,4.0\n")
+        loaded = load_csv(path, column="value")
+        np.testing.assert_allclose(loaded.values, [1.0, 2.0, 4.0])
+
+    def test_unknown_column_raises(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("time,value\n0,1.0\n")
+        with pytest.raises(InvalidSeriesError):
+            load_csv(path, column="missing")
+
+    def test_non_numeric_cell_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0\nnot-a-number\n")
+        with pytest.raises(InvalidSeriesError):
+            load_csv(path)
+
+
+class TestNpy:
+    def test_round_trip(self, tmp_path):
+        values = np.random.default_rng(1).normal(size=32)
+        path = tmp_path / "series.npy"
+        save_npy(values, path)
+        loaded = load_npy(path)
+        np.testing.assert_allclose(loaded.values, values)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(InvalidSeriesError):
+            load_npy(tmp_path / "missing.npy")

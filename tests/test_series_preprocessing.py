@@ -1,0 +1,113 @@
+"""Unit tests for repro.series.preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.series.dataseries import DataSeries
+from repro.series.preprocessing import (
+    clip_outliers,
+    detrend,
+    downsample,
+    fill_missing,
+    moving_average_smooth,
+    standardize,
+)
+
+
+class TestFillMissing:
+    def test_linear_interpolation(self):
+        values = np.array([0.0, np.nan, 2.0, np.nan, np.nan, 5.0])
+        filled = fill_missing(values)
+        np.testing.assert_allclose(filled, [0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_ffill(self):
+        values = np.array([1.0, np.nan, np.nan, 4.0])
+        filled = fill_missing(values, method="ffill")
+        np.testing.assert_allclose(filled, [1.0, 1.0, 1.0, 4.0])
+
+    def test_mean(self):
+        values = np.array([1.0, np.nan, 3.0])
+        filled = fill_missing(values, method="mean")
+        assert filled[1] == pytest.approx(2.0)
+
+    def test_no_missing_returns_copy(self):
+        values = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(fill_missing(values), values)
+
+    def test_all_missing_raises(self):
+        with pytest.raises(InvalidSeriesError):
+            fill_missing(np.array([np.nan, np.nan]))
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(InvalidParameterError):
+            fill_missing(np.array([1.0, np.nan]), method="magic")
+
+    def test_rejects_dataseries(self):
+        with pytest.raises(InvalidSeriesError):
+            fill_missing(DataSeries(np.array([1.0, 2.0])))
+
+
+class TestTransforms:
+    def test_detrend_removes_linear_trend(self):
+        x = np.arange(100, dtype=float)
+        values = 3.0 * x + 2.0 + np.sin(x / 5.0)
+        detrended = detrend(values)
+        # after detrending the residual correlation with the trend is ~0
+        assert abs(np.corrcoef(detrended, x)[0, 1]) < 0.05
+
+    def test_standardize(self):
+        values = np.random.default_rng(0).normal(5.0, 3.0, size=200)
+        standardized = standardize(values)
+        assert standardized.mean() == pytest.approx(0.0, abs=1e-10)
+        assert standardized.std() == pytest.approx(1.0, rel=1e-10)
+
+    def test_standardize_constant(self):
+        np.testing.assert_array_equal(standardize(np.full(5, 2.0)), np.zeros(5))
+
+    def test_downsample(self):
+        values = np.arange(10, dtype=float)
+        np.testing.assert_array_equal(downsample(values, 2), np.array([0, 2, 4, 6, 8], dtype=float))
+
+    def test_downsample_too_aggressive_raises(self):
+        with pytest.raises(InvalidParameterError):
+            downsample(np.arange(4, dtype=float), 4)
+
+    def test_smooth_reduces_variance(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=500)
+        smoothed = moving_average_smooth(values, 9)
+        assert smoothed.shape == values.shape
+        assert smoothed.std() < values.std()
+
+    def test_smooth_window_one_is_identity(self):
+        values = np.arange(5, dtype=float)
+        np.testing.assert_array_equal(moving_average_smooth(values, 1), values)
+
+    def test_smooth_window_too_large_raises(self):
+        with pytest.raises(InvalidParameterError):
+            moving_average_smooth(np.arange(5, dtype=float), 6)
+
+    def test_clip_outliers(self):
+        values = np.concatenate([np.zeros(100), [1000.0]])
+        clipped = clip_outliers(values, n_sigmas=3.0)
+        assert clipped.max() < 1000.0
+
+    def test_clip_outliers_invalid_sigma(self):
+        with pytest.raises(InvalidParameterError):
+            clip_outliers(np.arange(5, dtype=float), n_sigmas=0.0)
+
+
+class TestDataSeriesWrapping:
+    def test_dataseries_in_dataseries_out(self):
+        series = DataSeries(np.arange(20, dtype=float), name="raw", sampling_rate=10.0)
+        result = detrend(series)
+        assert isinstance(result, DataSeries)
+        assert result.sampling_rate == 10.0
+        assert result.name.startswith("raw:")
+
+    def test_array_in_array_out(self):
+        result = standardize(np.arange(10, dtype=float))
+        assert isinstance(result, np.ndarray)

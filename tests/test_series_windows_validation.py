@@ -1,0 +1,112 @@
+"""Unit tests for repro.series.windows and repro.series.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    InvalidParameterError,
+    InvalidSeriesError,
+    LengthRangeError,
+    SubsequenceLengthError,
+)
+from repro.series.dataseries import DataSeries
+from repro.series.validation import (
+    validate_length_range,
+    validate_series,
+    validate_subsequence_length,
+)
+from repro.series.windows import (
+    extract_subsequence,
+    iter_subsequences,
+    subsequence_count,
+    subsequence_view,
+)
+
+
+class TestValidateSeries:
+    def test_accepts_lists(self):
+        result = validate_series([1, 2, 3])
+        assert result.dtype == np.float64
+
+    def test_accepts_dataseries(self):
+        series = DataSeries(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(validate_series(series), series.values)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidSeriesError):
+            validate_series([1.0, np.nan])
+
+    def test_rejects_short(self):
+        with pytest.raises(InvalidSeriesError):
+            validate_series([1.0], min_length=2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidSeriesError):
+            validate_series(np.ones((2, 2)))
+
+
+class TestValidateSubsequenceLength:
+    def test_valid(self):
+        assert validate_subsequence_length(100, 10) == 10
+
+    def test_too_small(self):
+        with pytest.raises(SubsequenceLengthError):
+            validate_subsequence_length(100, 2)
+
+    def test_too_large(self):
+        with pytest.raises(SubsequenceLengthError):
+            validate_subsequence_length(10, 10)  # would leave a single subsequence
+
+
+class TestValidateLengthRange:
+    def test_valid(self):
+        assert validate_length_range(1000, 10, 20) == (10, 20)
+
+    def test_inverted(self):
+        with pytest.raises(LengthRangeError):
+            validate_length_range(1000, 20, 10)
+
+    def test_max_too_large(self):
+        with pytest.raises(LengthRangeError):
+            validate_length_range(50, 10, 50)
+
+
+class TestWindows:
+    def test_subsequence_count(self):
+        assert subsequence_count(100, 10) == 91
+
+    def test_subsequence_count_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            subsequence_count(5, 6)
+
+    def test_subsequence_view_shape_and_content(self):
+        values = np.arange(10, dtype=float)
+        view = subsequence_view(values, 4)
+        assert view.shape == (7, 4)
+        np.testing.assert_array_equal(view[3], values[3:7])
+
+    def test_extract_subsequence(self):
+        values = np.arange(10, dtype=float)
+        np.testing.assert_array_equal(extract_subsequence(values, 2, 3), values[2:5])
+
+    def test_extract_out_of_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            extract_subsequence(np.arange(10, dtype=float), 8, 5)
+
+    def test_iter_subsequences_with_step(self):
+        values = np.arange(10, dtype=float)
+        items = list(iter_subsequences(values, 4, step=3))
+        assert [offset for offset, _ in items] == [0, 3, 6]
+        np.testing.assert_array_equal(items[1][1], values[3:7])
+
+    def test_iter_subsequences_invalid_step(self):
+        with pytest.raises(InvalidParameterError):
+            list(iter_subsequences(np.arange(10, dtype=float), 3, step=0))
+
+    def test_iter_returns_copies(self):
+        values = np.arange(10, dtype=float)
+        _, first = next(iter(iter_subsequences(values, 3)))
+        first[0] = 99.0
+        assert values[0] == 0.0

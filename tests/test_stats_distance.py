@@ -1,0 +1,130 @@
+"""Unit tests for repro.stats.distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.distance import (
+    correlation_to_distance,
+    distance_to_correlation,
+    length_normalized,
+    pairwise_znorm_distance,
+    znorm_euclidean,
+)
+from repro.stats.znorm import znormalize
+
+pair_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=3, max_value=40),
+    elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, width=64),
+)
+
+
+class TestZnormEuclidean:
+    def test_identical_sequences_have_zero_distance(self):
+        values = np.random.default_rng(0).normal(size=20)
+        assert znorm_euclidean(values, values) == pytest.approx(0.0, abs=1e-9)
+
+    def test_scale_shift_invariance(self):
+        values = np.random.default_rng(1).normal(size=25)
+        assert znorm_euclidean(values, 5.0 * values + 2.0) == pytest.approx(0.0, abs=1e-7)
+
+    def test_matches_definition(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=30), rng.normal(size=30)
+        expected = float(np.linalg.norm(znormalize(a) - znormalize(b)))
+        assert znorm_euclidean(a, b) == pytest.approx(expected)
+
+    def test_constant_conventions(self):
+        constant = np.full(16, 3.0)
+        other = np.random.default_rng(3).normal(size=16)
+        assert znorm_euclidean(constant, constant * 2) == 0.0
+        assert znorm_euclidean(constant, other) == pytest.approx(np.sqrt(16))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError):
+            znorm_euclidean(np.ones(5), np.ones(6))
+
+    def test_anticorrelated_is_maximal(self):
+        values = np.sin(np.linspace(0, 4 * np.pi, 64))
+        distance = znorm_euclidean(values, -values)
+        assert distance == pytest.approx(np.sqrt(4 * 64), rel=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=pair_arrays)
+    def test_property_bounded_by_2_sqrt_m(self, a):
+        b = np.roll(a, 1) + 1.0
+        m = a.size
+        distance = znorm_euclidean(a, b[:m])
+        assert 0.0 <= distance <= 2.0 * np.sqrt(m) + 1e-6
+
+
+class TestConversions:
+    def test_round_trip(self):
+        for rho in (-1.0, -0.3, 0.0, 0.5, 1.0):
+            distance = correlation_to_distance(rho, 50)
+            assert distance_to_correlation(distance, 50) == pytest.approx(rho, abs=1e-9)
+
+    def test_perfect_correlation_zero_distance(self):
+        assert correlation_to_distance(1.0, 100) == pytest.approx(0.0)
+
+    def test_vectorised(self):
+        rho = np.array([0.0, 0.5, 1.0])
+        distances = correlation_to_distance(rho, 10)
+        assert isinstance(distances, np.ndarray)
+        np.testing.assert_allclose(distances[2], 0.0, atol=1e-9)
+
+    def test_correlation_clipped(self):
+        # values slightly above 1 (floating point) must not yield NaN
+        assert correlation_to_distance(1.0 + 1e-12, 20) == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_window(self):
+        with pytest.raises(InvalidParameterError):
+            correlation_to_distance(0.5, 0)
+        with pytest.raises(InvalidParameterError):
+            distance_to_correlation(1.0, 0)
+
+    def test_consistency_with_direct_distance(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.normal(size=40), rng.normal(size=40)
+        rho = float(np.corrcoef(a, b)[0, 1])
+        assert correlation_to_distance(rho, 40) == pytest.approx(
+            znorm_euclidean(a, b), rel=1e-6
+        )
+
+
+class TestLengthNormalized:
+    def test_scalar(self):
+        assert length_normalized(10.0, 100) == pytest.approx(1.0)
+
+    def test_array(self):
+        np.testing.assert_allclose(
+            length_normalized(np.array([2.0, 4.0]), 4), np.array([1.0, 2.0])
+        )
+
+    def test_bounded_for_znorm_distances(self):
+        # d <= 2 sqrt(m)  =>  d / sqrt(m) <= 2
+        assert length_normalized(2 * np.sqrt(123), 123) == pytest.approx(2.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(InvalidParameterError):
+            length_normalized(1.0, 0)
+
+
+class TestPairwise:
+    def test_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(5)
+        subsequences = rng.normal(size=(6, 12))
+        matrix = pairwise_znorm_distance(subsequences)
+        assert matrix.shape == (6, 6)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), np.zeros(6), atol=1e-12)
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidParameterError):
+            pairwise_znorm_distance(np.arange(5, dtype=float))

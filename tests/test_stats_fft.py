@@ -1,0 +1,87 @@
+"""Unit tests for repro.stats.fft (sliding dot products)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.fft import sliding_dot_product, sliding_dot_product_naive
+
+
+class TestNaive:
+    def test_simple_case(self):
+        series = np.array([1.0, 2.0, 3.0, 4.0])
+        query = np.array([1.0, 1.0])
+        np.testing.assert_allclose(
+            sliding_dot_product_naive(query, series), np.array([3.0, 5.0, 7.0])
+        )
+
+    def test_query_equal_to_series(self):
+        series = np.array([1.0, -2.0, 3.0])
+        result = sliding_dot_product_naive(series, series)
+        assert result.shape == (1,)
+        assert result[0] == pytest.approx(float(series @ series))
+
+    def test_rejects_long_query(self):
+        with pytest.raises(InvalidParameterError):
+            sliding_dot_product_naive(np.ones(5), np.ones(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            sliding_dot_product_naive(np.array([]), np.ones(3))
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidParameterError):
+            sliding_dot_product_naive(np.ones((2, 2)), np.ones(5))
+
+
+class TestFFT:
+    def test_matches_naive_long_query(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=500)
+        query = rng.normal(size=64)
+        np.testing.assert_allclose(
+            sliding_dot_product(query, series),
+            sliding_dot_product_naive(query, series),
+            atol=1e-8,
+        )
+
+    def test_matches_naive_short_query(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=100)
+        query = rng.normal(size=4)  # below the naive cutoff
+        np.testing.assert_allclose(
+            sliding_dot_product(query, series),
+            sliding_dot_product_naive(query, series),
+            atol=1e-10,
+        )
+
+    def test_output_length(self):
+        result = sliding_dot_product(np.ones(30), np.ones(100))
+        assert result.shape == (71,)
+
+    def test_query_longer_than_series_raises(self):
+        with pytest.raises(InvalidParameterError):
+            sliding_dot_product(np.ones(11), np.ones(10))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        series=hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=20, max_value=120),
+            elements=st.floats(min_value=-100, max_value=100, allow_nan=False, width=64),
+        ),
+        query_length=st.integers(min_value=2, max_value=40),
+    )
+    def test_property_fft_equals_naive(self, series, query_length):
+        query_length = min(query_length, series.size)
+        query = series[:query_length]
+        np.testing.assert_allclose(
+            sliding_dot_product(query, series),
+            sliding_dot_product_naive(query, series),
+            atol=1e-6 * max(1.0, np.abs(series).max() ** 2 * query_length),
+        )

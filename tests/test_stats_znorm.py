@@ -1,0 +1,92 @@
+"""Unit tests for repro.stats.znorm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.stats.znorm import is_constant, znormalize, znormalize_subsequences
+
+
+class TestZnormalize:
+    def test_zero_mean_unit_std(self):
+        values = np.random.default_rng(0).normal(3.0, 2.0, size=100)
+        normalized = znormalize(values)
+        assert normalized.mean() == pytest.approx(0.0, abs=1e-12)
+        assert normalized.std() == pytest.approx(1.0, rel=1e-12)
+
+    def test_constant_maps_to_zeros(self):
+        np.testing.assert_array_equal(znormalize(np.full(10, 4.2)), np.zeros(10))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidSeriesError):
+            znormalize(np.array([]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidSeriesError):
+            znormalize(np.array([1.0, np.nan, 2.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidSeriesError):
+            znormalize(np.ones((2, 2)))
+
+    def test_scale_and_shift_invariance(self):
+        values = np.random.default_rng(1).normal(size=50)
+        np.testing.assert_allclose(
+            znormalize(values), znormalize(3.0 * values + 7.0), atol=1e-10
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=2, max_value=50),
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=64),
+        )
+    )
+    def test_property_output_is_normalized_or_zero(self, values):
+        normalized = znormalize(values)
+        if np.allclose(normalized, 0.0):
+            return
+        assert normalized.mean() == pytest.approx(0.0, abs=1e-8)
+        assert normalized.std() == pytest.approx(1.0, rel=1e-6)
+
+
+class TestIsConstant:
+    def test_detects_constant(self):
+        assert is_constant(np.full(5, 3.3))
+
+    def test_detects_non_constant(self):
+        assert not is_constant(np.array([1.0, 2.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidSeriesError):
+            is_constant(np.array([]))
+
+
+class TestZnormalizeSubsequences:
+    def test_shape(self):
+        values = np.arange(20, dtype=float)
+        matrix = znormalize_subsequences(values, 5)
+        assert matrix.shape == (16, 5)
+
+    def test_rows_match_individual_normalization(self):
+        values = np.random.default_rng(2).normal(size=30)
+        matrix = znormalize_subsequences(values, 7)
+        for i in (0, 5, 23):
+            np.testing.assert_allclose(matrix[i], znormalize(values[i : i + 7]), atol=1e-10)
+
+    def test_constant_rows_are_zero(self):
+        values = np.concatenate([np.full(10, 2.0), np.random.default_rng(3).normal(size=10)])
+        matrix = znormalize_subsequences(values, 5)
+        np.testing.assert_array_equal(matrix[0], np.zeros(5))
+
+    def test_invalid_window(self):
+        with pytest.raises(InvalidParameterError):
+            znormalize_subsequences(np.arange(10, dtype=float), 0)
+        with pytest.raises(InvalidParameterError):
+            znormalize_subsequences(np.arange(10, dtype=float), 11)

@@ -1,0 +1,172 @@
+"""Tests for the streaming (STAMPI) matrix profile and the motif monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.generators import generate_ecg, generate_random_walk
+from repro.matrix_profile.stomp import stomp
+from repro.streaming import MotifEvent, StreamingMatrixProfile, StreamingMotifMonitor
+
+
+class TestStreamingMatrixProfileExactness:
+    def test_matches_batch_after_appends(self, small_random_series):
+        window = 16
+        split = 200
+        streaming = StreamingMatrixProfile(small_random_series[:split], window)
+        for value in small_random_series[split:]:
+            streaming.append(float(value))
+        batch = stomp(small_random_series, window)
+        snapshot = streaming.profile()
+        np.testing.assert_allclose(snapshot.distances, batch.distances, atol=1e-6)
+        assert len(snapshot) == len(batch)
+
+    def test_matches_batch_on_ecg(self, small_ecg_series):
+        window = 24
+        values = np.asarray(small_ecg_series)
+        streaming = StreamingMatrixProfile(values[:300], window)
+        streaming.extend(values[300:])
+        batch = stomp(values, window)
+        np.testing.assert_allclose(streaming.profile().distances, batch.distances, atol=1e-6)
+
+    def test_single_append_is_exact(self, small_random_series):
+        window = 12
+        streaming = StreamingMatrixProfile(small_random_series[:-1], window)
+        streaming.append(float(small_random_series[-1]))
+        batch = stomp(small_random_series, window)
+        np.testing.assert_allclose(streaming.profile().distances, batch.distances, atol=1e-6)
+
+    def test_best_motif_matches_batch(self, small_ecg_series):
+        window = 32
+        values = np.asarray(small_ecg_series)
+        streaming = StreamingMatrixProfile(values[:350], window)
+        streaming.extend(values[350:])
+        assert streaming.best_motif().distance == pytest.approx(
+            stomp(values, window).best().distance, abs=1e-6
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        window=st.integers(min_value=4, max_value=20),
+        tail=st.integers(min_value=1, max_value=40),
+    )
+    def test_incremental_equals_batch_property(self, seed, window, tail):
+        rng = np.random.default_rng(seed)
+        values = np.cumsum(rng.normal(size=120 + tail))
+        streaming = StreamingMatrixProfile(values[: values.size - tail], window)
+        streaming.extend(values[values.size - tail :])
+        batch = stomp(values, window)
+        np.testing.assert_allclose(streaming.profile().distances, batch.distances, atol=1e-5)
+
+
+class TestStreamingMatrixProfileInterface:
+    def test_metadata_and_counters(self, small_random_series):
+        window = 16
+        streaming = StreamingMatrixProfile(small_random_series[:100], window)
+        assert streaming.window == window
+        assert streaming.appended_points == 0
+        created = streaming.extend(small_random_series[100:140])
+        assert created == 40
+        assert streaming.appended_points == 40
+        assert len(streaming) == 140
+        assert streaming.subsequence_count == 140 - window + 1
+        assert streaming.values.size == 140
+
+    def test_values_view_is_read_only(self, small_random_series):
+        streaming = StreamingMatrixProfile(small_random_series[:100], 16)
+        with pytest.raises(ValueError):
+            streaming.values[0] = 0.0
+
+    def test_rejects_non_finite_appends(self, small_random_series):
+        streaming = StreamingMatrixProfile(small_random_series[:100], 16)
+        with pytest.raises(InvalidParameterError):
+            streaming.append(float("nan"))
+        with pytest.raises(InvalidParameterError):
+            streaming.extend(np.array([[1.0, 2.0]]))
+
+    def test_buffer_growth_beyond_initial_capacity(self):
+        rng = np.random.default_rng(0)
+        values = np.cumsum(rng.normal(size=900))
+        streaming = StreamingMatrixProfile(values[:64], 16)
+        streaming.extend(values[64:])
+        np.testing.assert_allclose(
+            streaming.profile().distances, stomp(values, 16).distances, atol=1e-5
+        )
+
+    def test_discords_exposed(self, small_random_series):
+        streaming = StreamingMatrixProfile(small_random_series, 16)
+        discords = streaming.top_discords(3)
+        assert len(discords) == 3
+        assert len(set(discords)) == 3
+
+
+class TestStreamingMotifMonitor:
+    def test_motif_event_fires_when_second_copy_arrives(self):
+        rng = np.random.default_rng(1)
+        pattern = np.sin(np.linspace(0, 4 * np.pi, 64))
+        prefix = np.concatenate([rng.normal(size=200), pattern, rng.normal(size=100)])
+        monitor = StreamingMotifMonitor(prefix, windows=64, improvement_margin=0.05)
+        events = monitor.extend(np.concatenate([pattern, rng.normal(size=50)]))
+        motif_events = [event for event in events if event.kind == "motif"]
+        assert motif_events, "the second planted copy must trigger a motif event"
+        best = monitor.best_motif(64)
+        assert best.distance < 1.0
+
+    def test_discord_event_fires_on_anomaly(self):
+        rng = np.random.default_rng(2)
+        baseline = np.sin(np.linspace(0, 40 * np.pi, 800)) + rng.normal(0.0, 0.05, 800)
+        monitor = StreamingMotifMonitor(baseline[:600], windows=32, discord_margin=0.05)
+        anomaly = np.concatenate([baseline[600:650], np.full(20, 4.0), baseline[650:700]])
+        events = monitor.extend(anomaly)
+        assert any(event.kind == "discord" for event in events)
+
+    def test_multiple_windows_and_queries(self, small_ecg_series):
+        values = np.asarray(small_ecg_series)
+        monitor = StreamingMotifMonitor(values[:400], windows=(24, 48))
+        monitor.extend(values[400:])
+        assert monitor.windows == [24, 48]
+        assert monitor.stream_length() == values.size
+        assert monitor.profile(24).window == 24
+        assert monitor.best_motif(48).window == 48
+        with pytest.raises(InvalidParameterError):
+            monitor.profile(99)
+
+    def test_valmap_refresh(self, small_ecg_series):
+        values = np.asarray(small_ecg_series)
+        monitor = StreamingMotifMonitor(
+            values[:400], windows=(24, 36), valmap_refresh=50
+        )
+        monitor.extend(values[400:470])
+        assert monitor.last_valmap_result is not None
+        assert monitor.last_valmap_result.lengths[0] == 24
+        assert monitor.last_valmap_result.lengths[-1] == 36
+
+    def test_event_serialization(self):
+        event = MotifEvent(kind="motif", position=10, window=8, distance=0.5, offsets=(1, 5))
+        payload = event.as_dict()
+        assert payload["kind"] == "motif"
+        assert payload["offsets"] == [1, 5]
+
+    def test_invalid_parameters(self, small_random_series):
+        with pytest.raises(InvalidParameterError):
+            StreamingMotifMonitor(small_random_series, windows=())
+        with pytest.raises(InvalidParameterError):
+            StreamingMotifMonitor(small_random_series, windows=16, improvement_margin=-0.1)
+        with pytest.raises(InvalidParameterError):
+            StreamingMotifMonitor(small_random_series, windows=16, valmap_refresh=-1)
+        with pytest.raises(InvalidParameterError):
+            StreamingMotifMonitor(small_random_series, windows=64, history=70)
+
+    def test_random_walk_produces_few_motif_events(self):
+        series = generate_random_walk(600, random_state=4)
+        values = np.asarray(series)
+        monitor = StreamingMotifMonitor(values[:500], windows=32, improvement_margin=0.2)
+        events = monitor.extend(values[500:])
+        # With a 20 % improvement margin an unstructured random walk should
+        # not flood the caller with motif events.
+        assert len([event for event in events if event.kind == "motif"]) <= 5
