@@ -59,6 +59,14 @@ from repro.exceptions import (
     SerializationError,
     SubsequenceLengthError,
 )
+from repro.engine import (
+    JobOutcome,
+    ParallelExecutor,
+    ProfileJob,
+    SerialExecutor,
+    compute_profiles,
+    partitioned_stomp,
+)
 from repro.generators import (
     generate_astro,
     generate_climate,
@@ -95,13 +103,17 @@ __all__ = [
     "EmptyResultError",
     "InvalidParameterError",
     "InvalidSeriesError",
+    "JobOutcome",
     "JoinProfile",
     "LengthRangeError",
     "MatrixProfile",
     "MotifPair",
     "MotifSet",
     "PanMatrixProfile",
+    "ParallelExecutor",
+    "ProfileJob",
     "RangeDiscoveryResult",
+    "SerialExecutor",
     "StreamingMatrixProfile",
     "ReproError",
     "SerializationError",
@@ -130,11 +142,13 @@ __all__ = [
     "load_csv",
     "load_npy",
     "load_text",
+    "compute_profiles",
     "lower_bound",
     "mass",
     "moen",
     "mpdist",
     "mpdist_profile",
+    "partitioned_stomp",
     "pre_scrimp",
     "quick_motif",
     "quick_motif_range",

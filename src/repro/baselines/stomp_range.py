@@ -14,6 +14,7 @@ import time
 from typing import Dict, List
 
 from repro.baselines.base import RangeDiscoveryResult
+from repro.matrix_profile.exclusion import default_exclusion_radius
 from repro.matrix_profile.profile import MotifPair
 from repro.matrix_profile.stomp import stomp
 from repro.series.validation import validate_length_range, validate_series
@@ -30,8 +31,16 @@ def stomp_range(
     top_k: int = 3,
     length_step: int = 1,
     exclusion_factor: int = 4,
+    engine: object | None = None,
+    n_jobs: int | None = None,
 ) -> RangeDiscoveryResult:
-    """Exact top-k motif pairs of every length, one STOMP run per length."""
+    """Exact top-k motif pairs of every length, one STOMP run per length.
+
+    ``engine`` / ``n_jobs`` dispatch the per-length profiles as one batch
+    of independent jobs through :func:`repro.engine.batch.compute_profiles`
+    (each length is a full, data-independent profile computation — the
+    engine's ideal workload); ``engine=None`` keeps the serial loop.
+    """
     values = validate_series(series)
     min_length, max_length = validate_length_range(values.size, min_length, max_length)
     lengths = list(range(min_length, max_length + 1, length_step))
@@ -39,12 +48,33 @@ def stomp_range(
         lengths.append(max_length)
 
     started = time.perf_counter()
-    stats = SlidingStats(values)
     motifs_by_length: Dict[int, List[MotifPair]] = {}
-    for length in lengths:
-        profile = stomp(values, length, stats=stats)
-        motifs_by_length[length] = profile.motifs(top_k)
-        stats.forget(length)
+    if engine is not None:
+        from repro.engine.batch import ProfileJob, compute_profiles
+
+        jobs = [
+            ProfileJob(
+                values,
+                window=length,
+                exclusion_radius=default_exclusion_radius(length, exclusion_factor),
+            )
+            for length in lengths
+        ]
+        for length, outcome in zip(
+            lengths, compute_profiles(jobs, executor=engine, n_jobs=n_jobs)
+        ):
+            motifs_by_length[length] = outcome.unwrap().motifs(top_k)
+    else:
+        stats = SlidingStats(values)
+        for length in lengths:
+            profile = stomp(
+                values,
+                length,
+                stats=stats,
+                exclusion_radius=default_exclusion_radius(length, exclusion_factor),
+            )
+            motifs_by_length[length] = profile.motifs(top_k)
+            stats.forget(length)
     elapsed = time.perf_counter() - started
     return RangeDiscoveryResult(
         algorithm="stomp-range",

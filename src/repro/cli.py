@@ -86,6 +86,19 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--top-k", type=int, default=3)
     discover.add_argument("--profile-capacity", type=int, default=16)
     discover.add_argument("--seed", type=int, default=0, help="workload random seed")
+    discover.add_argument(
+        "--engine",
+        choices=["serial", "parallel", "auto"],
+        default=None,
+        help="route the profile computations through the block-partitioned "
+        "engine (default: the plain serial path)",
+    )
+    discover.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for --engine parallel/auto (default: all cores)",
+    )
     discover.add_argument("--output", help="write the full result as JSON")
     discover.add_argument("--valmap-output", help="write the VALMAP as JSON")
     discover.add_argument(
@@ -104,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--min-length", type=int, default=64)
     compare.add_argument("--max-length", type=int, default=79)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--engine",
+        choices=["serial", "parallel", "auto"],
+        default=None,
+        help="execution engine for the engine-aware algorithms",
+    )
+    compare.add_argument(
+        "--jobs", type=int, default=None, help="worker processes for the engine"
+    )
     compare.add_argument(
         "--algorithms",
         nargs="+",
@@ -188,6 +210,8 @@ def _command_discover(args: argparse.Namespace) -> int:
         args.max_length,
         top_k=args.top_k,
         profile_capacity=args.profile_capacity,
+        engine=args.engine,
+        n_jobs=args.jobs,
     )
     print(result_report(result, top_k=args.top_k))
     if args.plot:
@@ -217,6 +241,8 @@ def _command_compare(args: argparse.Namespace) -> int:
         args.max_length,
         algorithms=args.algorithms,
         top_k=1,
+        engine=args.engine,
+        n_jobs=args.jobs,
     )
     print(
         f"workload={args.workload} length={len(series)} "

@@ -214,6 +214,8 @@ def skimp(
     num_lengths: int | None = None,
     lengths: Sequence[int] | None = None,
     exclusion_factor: int = 4,
+    engine: object | None = None,
+    n_jobs: int | None = None,
 ) -> PanMatrixProfile:
     """Compute a pan matrix profile over ``[min_length, max_length]``.
 
@@ -229,6 +231,12 @@ def skimp(
     exclusion_factor:
         Trivial-match exclusion denominator passed to the per-length STOMP
         runs.
+    engine, n_jobs:
+        ``engine=None`` (default) keeps the serial per-length loop.
+        Otherwise the per-length profiles are dispatched as one batch of
+        independent jobs through :func:`repro.engine.batch.compute_profiles`
+        — the pan profile is the engine's best case, since every length is
+        a full profile with no cross-length data dependency.
     """
     values = validate_series(series)
     min_length, max_length = validate_length_range(values.size, min_length, max_length)
@@ -251,21 +259,43 @@ def skimp(
         chosen = sorted(order)
 
     started = time.perf_counter()
-    stats = SlidingStats(values)
     size = values.size - min_length + 1
     normalized = np.full((len(chosen), size), np.nan, dtype=np.float64)
     indices = np.full((len(chosen), size), -1, dtype=np.int64)
-    for row, length in enumerate(chosen):
-        profile = stomp(
-            values,
-            length,
-            exclusion_radius=default_exclusion_radius(length, exclusion_factor),
-            stats=stats,
-        )
+    def fill_row(row: int, profile: MatrixProfile) -> None:
         count = len(profile)
         normalized[row, :count] = profile.normalized_distances
         indices[row, :count] = profile.indices
-        stats.forget(length)
+
+    if engine is not None:
+        from repro.engine.batch import ProfileJob, compute_profiles
+
+        jobs = [
+            ProfileJob(
+                values,
+                window=length,
+                exclusion_radius=default_exclusion_radius(length, exclusion_factor),
+            )
+            for length in chosen
+        ]
+        for row, outcome in enumerate(
+            compute_profiles(jobs, executor=engine, n_jobs=n_jobs)
+        ):
+            fill_row(row, outcome.unwrap())
+    else:
+        stats = SlidingStats(values)
+        for row, length in enumerate(chosen):
+            # Copy-and-discard per length: peak memory stays O(n), not O(L·n).
+            fill_row(
+                row,
+                stomp(
+                    values,
+                    length,
+                    exclusion_radius=default_exclusion_radius(length, exclusion_factor),
+                    stats=stats,
+                ),
+            )
+            stats.forget(length)
     elapsed = time.perf_counter() - started
 
     return PanMatrixProfile(

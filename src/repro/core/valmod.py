@@ -56,12 +56,21 @@ def valmod(
     length_step: int = 1,
     track_checkpoints: bool = True,
     update_both_members: bool = True,
+    engine: object | None = None,
+    n_jobs: int | None = None,
 ) -> ValmodResult:
     """Find the exact top-k motif pairs of every length in ``[min_length, max_length]``.
 
     Parameters mirror :class:`~repro.core.config.ValmodConfig`; see its
     documentation for the meaning of each knob.  ``series`` may be a plain
     array or a :class:`~repro.series.DataSeries`.
+
+    ``engine`` / ``n_jobs`` route the base-length STOMP pass through the
+    block-partitioned engine (see :mod:`repro.engine`).  The base pass
+    feeds the partial-profile store through an order-dependent per-row
+    callback, so the engine runs its blocks serially for VALMOD today;
+    the knob still buys the per-block re-seeding (bounded numerical
+    drift) and keeps the call site ready for a parallel ingest path.
 
     Returns
     -------
@@ -80,10 +89,16 @@ def valmod(
         track_checkpoints=track_checkpoints,
         update_both_members=update_both_members,
     )
-    return valmod_with_config(series, config)
+    return valmod_with_config(series, config, engine=engine, n_jobs=n_jobs)
 
 
-def valmod_with_config(series, config: ValmodConfig) -> ValmodResult:
+def valmod_with_config(
+    series,
+    config: ValmodConfig,
+    *,
+    engine: object | None = None,
+    n_jobs: int | None = None,
+) -> ValmodResult:
     """Run VALMOD with an explicit :class:`~repro.core.config.ValmodConfig`."""
     series_name = series.name if isinstance(series, DataSeries) else "series"
     values = validate_series(series)
@@ -110,6 +125,8 @@ def valmod_with_config(series, config: ValmodConfig) -> ValmodResult:
         exclusion_radius=base_radius,
         stats=stats,
         profile_callback=ingest,
+        engine=engine,
+        n_jobs=n_jobs,
     )
 
     length_results: Dict[int, LengthResult] = {}

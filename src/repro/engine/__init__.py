@@ -1,0 +1,56 @@
+"""Block-partitioned parallel execution engine.
+
+This package decouples the matrix-profile algorithms from the way their
+work is scheduled:
+
+* :mod:`repro.engine.partition` — the block decomposition of STOMP: the
+  query range is split into contiguous row blocks, each seeded by one
+  FFT-based MASS call and advanced with the dot-product recurrence, so
+  blocks are independent and their results concatenate into the exact
+  profile (see that module's docstring for the exactness argument).
+* :mod:`repro.engine.executor` — pluggable executors
+  (:class:`SerialExecutor`, process-pool backed :class:`ParallelExecutor`,
+  :func:`auto_executor` selection by problem size) that map picklable
+  tasks and preserve task order.
+* :mod:`repro.engine.batch` — :func:`compute_profiles`: many
+  (series, window / length-range) jobs through one executor, with shared
+  sliding-statistics reuse and per-job error isolation.
+
+The serial single-sweep implementations remain the defaults and the
+correctness oracles everywhere; the engine is opted into with the
+``engine=`` / ``n_jobs=`` knobs on :func:`repro.stomp`,
+:func:`repro.valmod`, :func:`repro.skimp`, :func:`repro.stomp_range`
+and the ``--engine`` / ``--jobs`` CLI flags.
+"""
+
+from repro.engine.batch import JobOutcome, ProfileJob, compute_profiles
+from repro.engine.executor import (
+    AUTO_PARALLEL_MIN_TASK_UNITS,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    auto_executor,
+    resolve_executor,
+)
+from repro.engine.partition import (
+    DEFAULT_RESEED_INTERVAL,
+    default_block_size,
+    partitioned_stomp,
+    plan_blocks,
+)
+
+__all__ = [
+    "AUTO_PARALLEL_MIN_TASK_UNITS",
+    "DEFAULT_RESEED_INTERVAL",
+    "Executor",
+    "JobOutcome",
+    "ParallelExecutor",
+    "ProfileJob",
+    "SerialExecutor",
+    "auto_executor",
+    "compute_profiles",
+    "default_block_size",
+    "partitioned_stomp",
+    "plan_blocks",
+    "resolve_executor",
+]

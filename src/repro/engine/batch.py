@@ -1,0 +1,239 @@
+"""Batch execution of many matrix-profile jobs through one executor.
+
+The range algorithms (``stomp-range``, SKIMP) and the harness all share
+the same shape of work: *many independent profile computations over the
+same or different series*.  :func:`compute_profiles` gives that shape a
+first-class API:
+
+* a :class:`ProfileJob` names one unit of work — a series plus either a
+  single ``window`` (one :class:`~repro.matrix_profile.profile.MatrixProfile`)
+  or a list of ``lengths`` (a dict mapping each length to its profile);
+* jobs are dispatched through one
+  :class:`~repro.engine.executor.Executor` — serially in-process, or one
+  job per process-pool task when the executor is parallel;
+* results come back as :class:`JobOutcome` objects **in job order**; a
+  job that raises records its exception in ``outcome.error`` without
+  affecting the other jobs (``outcome.unwrap()`` re-raises it).
+
+``SlidingStats`` reuse: when jobs run serially, a per-batch cache keyed
+on series identity shares one :class:`~repro.stats.sliding.SlidingStats`
+(one pair of prefix-sum arrays) across every job on the same series —
+this is what makes a many-lengths batch over one series cost one ``O(n)``
+statistics pass instead of one per length.  Parallel workers live in
+separate processes and rebuild the ``O(n)`` statistics per job; that cost
+is negligible against the ``O(n²)`` profile computation it fronts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple, Union
+
+import numpy as np
+
+from repro.engine.executor import Executor, resolve_executor
+from repro.engine.partition import DEFAULT_RESEED_INTERVAL, partitioned_stomp
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.profile import MatrixProfile
+from repro.series.dataseries import DataSeries
+from repro.series.validation import validate_series
+from repro.stats.sliding import SlidingStats
+
+__all__ = ["ProfileJob", "JobOutcome", "compute_profiles"]
+
+
+@dataclass(frozen=True, eq=False)
+class ProfileJob:
+    """One unit of batch work: a series plus a window or a length list.
+
+    Exactly one of ``window`` / ``lengths`` must be given.  ``name`` is
+    carried through to the outcome for the caller's bookkeeping and
+    defaults to the series name when the series is a
+    :class:`~repro.series.DataSeries`.
+
+    ``eq=False``: the generated field-tuple ``__eq__`` would compare the
+    series array element-wise (ambiguous truth value) and make jobs
+    unhashable; identity semantics are the useful ones for work items.
+    """
+
+    series: object
+    window: int | None = None
+    lengths: Tuple[int, ...] | None = None
+    exclusion_radius: int | None = None
+    block_size: int | None = None
+    reseed_interval: int = DEFAULT_RESEED_INTERVAL
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.window is None) == (self.lengths is None):
+            raise InvalidParameterError(
+                "a ProfileJob needs exactly one of window= or lengths="
+            )
+        if self.lengths is not None:
+            lengths = tuple(int(length) for length in self.lengths)
+            if not lengths:
+                raise InvalidParameterError("lengths must not be empty")
+            object.__setattr__(self, "lengths", lengths)
+        if self.name is None and isinstance(self.series, DataSeries):
+            object.__setattr__(self, "name", self.series.name)
+
+    @property
+    def windows(self) -> Tuple[int, ...]:
+        """The window lengths this job evaluates (singleton for window jobs)."""
+        return (self.window,) if self.window is not None else self.lengths
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Result slot of one job, in the order the jobs were submitted."""
+
+    index: int
+    job: ProfileJob
+    result: Union[MatrixProfile, Dict[int, MatrixProfile], None] = None
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job completed without raising."""
+        return self.error is None
+
+    def unwrap(self) -> Union[MatrixProfile, Dict[int, MatrixProfile]]:
+        """The job's result, re-raising the job's exception if it failed."""
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+def _profile_for_length(
+    values: np.ndarray,
+    stats: SlidingStats,
+    window: int,
+    exclusion_radius: int | None,
+    block_size: int | None,
+    reseed_interval: int,
+) -> MatrixProfile:
+    """One serial blocked profile computation (runs inside a worker).
+
+    Delegates to :func:`~repro.engine.partition.partitioned_stomp` with a
+    serial executor — job-level parallelism (one process per job) is the
+    batch layer's concern, so the per-job computation must not spawn
+    nested pools.
+    """
+    return partitioned_stomp(
+        values,
+        window,
+        executor="serial",
+        block_size=block_size,
+        reseed_interval=reseed_interval,
+        exclusion_radius=exclusion_radius,
+        stats=stats,
+    )
+
+
+def _run_job(
+    job: ProfileJob,
+    stats_cache: Dict[int, SlidingStats] | None = None,
+) -> Tuple[str, object]:
+    """Run one job to a ``("ok", result)`` / ``("error", exc)`` pair.
+
+    Errors are captured *inside* the worker so one failing job cannot
+    poison a process-pool map; the pair representation (rather than the
+    exception itself) keeps the transport picklable either way.
+    """
+    try:
+        values = validate_series(job.series)
+        stats = None
+        if stats_cache is not None:
+            stats = stats_cache.get(id(job.series))
+        if stats is None:
+            stats = SlidingStats(values)
+            if stats_cache is not None:
+                stats_cache[id(job.series)] = stats
+        profiles = {}
+        for window in job.windows:
+            profiles[window] = _profile_for_length(
+                values,
+                stats,
+                window,
+                job.exclusion_radius,
+                job.block_size,
+                job.reseed_interval,
+            )
+            # Keep the shared-stats cache bounded across a length sweep
+            # (mirrors the forget-per-length discipline of the serial
+            # loops this batch path replaces).
+            stats.forget(window)
+        if job.window is not None:
+            return ("ok", profiles[job.window])
+        return ("ok", profiles)
+    except Exception as error:  # noqa: BLE001 - the whole point is isolation
+        return ("error", error)
+
+
+def _job_task(job: ProfileJob) -> Tuple[str, object]:
+    """Top-level (picklable) adapter for process-pool dispatch."""
+    return _run_job(job)
+
+
+def compute_profiles(
+    jobs: Iterable[ProfileJob],
+    *,
+    executor: "str | Executor | None" = "auto",
+    n_jobs: int | None = None,
+) -> List[JobOutcome]:
+    """Run many profile jobs through one executor, preserving job order.
+
+    Parameters
+    ----------
+    jobs:
+        The :class:`ProfileJob` list.  Jobs over the same series object
+        share one :class:`~repro.stats.sliding.SlidingStats` when running
+        serially (see the module docstring).
+    executor:
+        ``"serial"``, ``"parallel"``, ``"auto"`` (default), ``None``, or
+        an :class:`~repro.engine.executor.Executor` instance; ``"auto"``
+        weighs the summed subsequence counts of all jobs.
+
+    Returns
+    -------
+    list of JobOutcome
+        One outcome per job, in submission order.  Failed jobs carry
+        their exception in ``outcome.error``; the batch itself never
+        raises for a per-job failure.
+    """
+    job_list = list(jobs)
+    for job in job_list:
+        if not isinstance(job, ProfileJob):
+            raise InvalidParameterError(
+                f"compute_profiles expects ProfileJob instances, got {type(job).__name__}"
+            )
+    if not job_list:
+        return []
+
+    task_units = 0
+    for job in job_list:
+        try:
+            size = validate_series(job.series).size
+        except Exception:  # invalid series fail per-job later, not here
+            continue
+        task_units += sum(max(1, size - window + 1) for window in job.windows)
+
+    chosen, owned = resolve_executor(executor, task_units=task_units, n_jobs=n_jobs)
+    try:
+        if chosen.supports_callbacks:  # serial: share stats across jobs
+            stats_cache: Dict[int, SlidingStats] = {}
+            raw = [_run_job(job, stats_cache) for job in job_list]
+        else:
+            raw = chosen.map(_job_task, job_list)
+    finally:
+        if owned:
+            chosen.close()
+
+    outcomes: List[JobOutcome] = []
+    for index, (job, (status, payload)) in enumerate(zip(job_list, raw)):
+        if status == "ok":
+            outcomes.append(JobOutcome(index=index, job=job, result=payload))
+        else:
+            outcomes.append(JobOutcome(index=index, job=job, error=payload))
+    return outcomes

@@ -41,6 +41,14 @@ class SubsequenceLengthError(InvalidParameterError):
         super().__init__(message)
         self.length = length
         self.series_length = series_length
+        self.reason = reason
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) into ``__init__``, which expects the raw fields — so
+        # spell out the constructor arguments.  The engine ships per-job
+        # errors across process boundaries and needs this to round-trip.
+        return (type(self), (self.length, self.series_length, self.reason))
 
 
 class LengthRangeError(InvalidParameterError):
@@ -53,6 +61,11 @@ class LengthRangeError(InvalidParameterError):
         super().__init__(message)
         self.min_length = min_length
         self.max_length = max_length
+        self.reason = reason
+
+    def __reduce__(self):
+        # See SubsequenceLengthError.__reduce__.
+        return (type(self), (self.min_length, self.max_length, self.reason))
 
 
 class EmptyResultError(ReproError, RuntimeError):

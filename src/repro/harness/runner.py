@@ -69,6 +69,12 @@ ALGORITHMS: Dict[str, Callable[..., RangeDiscoveryResult]] = {
     "brute-force": _run_brute_force,
 }
 
+#: Algorithms that accept the ``engine=`` / ``n_jobs=`` execution knobs
+#: (i.e. route their profile computations through :mod:`repro.engine`).
+#: ``run_algorithm`` silently drops the knobs for the others so one option
+#: dict can drive a mixed comparison.
+ENGINE_AWARE = frozenset({"valmod", "stomp-range"})
+
 
 def run_algorithm(
     name: str, series, min_length: int, max_length: int, **options
@@ -80,6 +86,9 @@ def run_algorithm(
         raise InvalidParameterError(
             f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
         ) from error
+    if name not in ENGINE_AWARE:
+        options.pop("engine", None)
+        options.pop("n_jobs", None)
     return runner(series, min_length, max_length, **options)
 
 
@@ -89,9 +98,19 @@ def compare_algorithms(
     max_length: int,
     *,
     algorithms: Iterable[str] = ("valmod", "stomp-range", "moen", "quickmotif"),
+    engine: object | None = None,
+    n_jobs: int | None = None,
     **options,
 ) -> List[RangeDiscoveryResult]:
-    """Run several algorithms on the same input and return their results."""
+    """Run several algorithms on the same input and return their results.
+
+    ``engine`` / ``n_jobs`` are forwarded to the algorithms that support
+    them (see :data:`ENGINE_AWARE`) and ignored by the rest, so a single
+    call can compare engine-routed and plain implementations on identical
+    inputs.
+    """
+    if engine is not None:
+        options = {**options, "engine": engine, "n_jobs": n_jobs}
     return [
         run_algorithm(name, series, min_length, max_length, **dict(options))
         for name in algorithms

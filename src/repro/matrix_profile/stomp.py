@@ -38,6 +38,9 @@ def stomp(
     exclusion_radius: int | None = None,
     stats: SlidingStats | None = None,
     profile_callback: Callable[[int, np.ndarray, np.ndarray], None] | None = None,
+    engine: object | None = None,
+    n_jobs: int | None = None,
+    block_size: int | None = None,
 ) -> MatrixProfile:
     """Exact matrix profile of ``series`` at subsequence length ``window``.
 
@@ -57,12 +60,33 @@ def stomp(
         returned copy.  VALMOD uses it to build its partial distance profiles
         while the base matrix profile is being computed, exactly as described
         in Section 2 of the paper.
+    engine:
+        ``None`` (default) runs this module's serial single-sweep loop —
+        the correctness oracle.  ``"serial"``, ``"parallel"``, ``"auto"``
+        or an :class:`~repro.engine.executor.Executor` instance route the
+        computation through the block-partitioned engine
+        (:func:`repro.engine.partition.partitioned_stomp`).
+    n_jobs, block_size:
+        Engine tuning knobs, ignored when ``engine`` is ``None``.
 
     Returns
     -------
     MatrixProfile
         Distances and best-match indices for every subsequence.
     """
+    if engine is not None:
+        from repro.engine.partition import partitioned_stomp
+
+        return partitioned_stomp(
+            series,
+            window,
+            executor=engine,
+            n_jobs=n_jobs,
+            block_size=block_size,
+            exclusion_radius=exclusion_radius,
+            stats=stats,
+            profile_callback=profile_callback,
+        )
     values = validate_series(series)
     window = validate_subsequence_length(values.size, window)
     radius = default_exclusion_radius(window) if exclusion_radius is None else int(exclusion_radius)

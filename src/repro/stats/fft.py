@@ -49,17 +49,30 @@ def sliding_dot_product_naive(query: np.ndarray, series: np.ndarray) -> np.ndarr
     return windows[:count] @ q
 
 
-def sliding_dot_product(query: np.ndarray, series: np.ndarray) -> np.ndarray:
+def sliding_dot_product(
+    query: np.ndarray, series: np.ndarray, *, method: str = "auto"
+) -> np.ndarray:
     """Dot product of ``query`` with every window of ``series`` (FFT based).
 
     This is the MASS building block: ``O((n + m) log(n + m))`` regardless of
     the query length.  Falls back to the naive method for very short queries
     where the FFT overhead dominates.
+
+    ``method`` selects the implementation: ``"auto"`` (default) uses the
+    FFT above :data:`_NAIVE_CUTOFF`, ``"fft"`` forces the FFT, and
+    ``"naive"`` forces the direct ``O(n·m)`` products.  The naive products
+    round only within each window, so on high-variance series they are the
+    more accurate of the two — the engine's re-seeding tests use the forced
+    modes to measure the FFT's drift contribution in isolation.
     """
+    if method not in ("auto", "fft", "naive"):
+        raise InvalidParameterError(
+            f"method must be 'auto', 'fft' or 'naive', got {method!r}"
+        )
     q, t = _validate(query, series)
     m = q.size
     n = t.size
-    if m <= _NAIVE_CUTOFF:
+    if method == "naive" or (method == "auto" and m <= _NAIVE_CUTOFF):
         return sliding_dot_product_naive(q, t)
     size = _fft.next_fast_len(n + m - 1, real=True)
     reversed_query = q[::-1]
