@@ -1,8 +1,12 @@
 """Quickstart: find variable-length motifs in a synthetic series.
 
 Generates a random-walk series with two planted occurrences of an unknown
-pattern, runs VALMOD over a range of subsequence lengths, and prints the
-ranked motif pairs, the pruning statistics and a VALMAP summary.
+pattern, opens an analysis session (``repro.analyze``), runs VALMOD over a
+range of subsequence lengths, and prints the ranked motif pairs, the pruning
+statistics and a VALMAP summary.  The session validates the series once and
+shares its sliding statistics across every follow-up question, so the
+matrix-profile and discord calls at the end reuse the work the motif search
+already paid for.
 
 Run with::
 
@@ -27,8 +31,10 @@ def main() -> None:
     print(f"series: {series.name}, {len(series)} points")
     print(f"ground truth (hidden from the algorithm): {ground_truth}")
 
-    # 2. Run VALMOD over a length range that brackets the unknown length.
-    result = repro.valmod(series, min_length=48, max_length=96, top_k=3)
+    # 2. Open a session and run VALMOD over a range bracketing the length.
+    session = repro.analyze(series)
+    envelope = session.motifs(48, 96, method="valmod", top_k=3)
+    result = envelope.value  # the full ValmodResult (VALMAP, pruning, ...)
 
     # 3. Inspect the output: report, best motif, VALMAP rendering.
     print()
@@ -36,7 +42,7 @@ def main() -> None:
     print()
     print(render_valmap(result.valmap))
 
-    best = result.best_motif()
+    best = envelope.best_motif()
     print()
     print(
         f"best variable-length motif: length={best.window}, "
@@ -45,6 +51,21 @@ def main() -> None:
     )
     planted = ground_truth[0]
     print(f"planted copies started at {planted.offsets} with length {planted.length}")
+
+    # 4. Ask follow-up questions on the same session: the series statistics
+    #    are shared and repeated calls hit the session cache.
+    profile = session.matrix_profile(best.window).profile()
+    print(
+        f"matrix profile at length {best.window}: best pair distance "
+        f"{profile.best().distance:.4f}"
+    )
+    anomalies = session.discords(48, 96, k=1).value
+    if anomalies:
+        print(
+            f"strongest anomaly: offset {anomalies[0].offset} at length "
+            f"{anomalies[0].window}"
+        )
+    print(f"session cache: {session.cache_info()}")
 
 
 if __name__ == "__main__":

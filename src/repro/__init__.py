@@ -5,18 +5,28 @@ The library re-implements, in pure Python/numpy, the system described in
 Data Series"* (Linardi, Zhu, Palpanas, Keogh — SIGMOD 2018) together with
 every substrate it builds on and every baseline it is compared against.
 
-Typical usage::
+Typical usage — the session API (validates the series once, shares the
+sliding statistics across calls, caches repeated results)::
 
     import repro
 
     series = repro.generate_ecg(5000, random_state=0)
-    result = repro.valmod(series, min_length=50, max_length=200)
+    session = repro.analyze(series)
+    result = session.motifs(50, 200)        # VALMOD, in the common envelope
     best = result.best_motif()              # best variable-length motif pair
-    ranking = result.top_motifs(5)          # length-normalised top-5
-    valmap = result.valmap                  # the VALMAP meta-data (MPn, IP, LP)
+    profile = session.matrix_profile(64)    # cached: repeat calls are free
+    valmap = result.value.valmap            # the VALMAP meta-data (MPn, IP, LP)
+
+The flat entry points remain available (and now delegate shared state to
+the same substrate)::
+
+    result = repro.valmod(series, min_length=50, max_length=200)
 
 The main entry points are re-exported at the package root:
 
+* :func:`analyze` / :class:`Analysis` — the unified session API, with
+  :class:`AnalysisRequest` / :class:`AnalysisResult` for service-style
+  submission and :class:`EngineConfig` for execution knobs;
 * :func:`valmod` / :class:`ValmodConfig` — the core algorithm;
 * :func:`stomp`, :func:`stamp`, :func:`mass` — matrix-profile substrate;
 * :func:`stomp_range`, :func:`moen`, :func:`quick_motif_range`,
@@ -26,6 +36,13 @@ The main entry points are re-exported at the package root:
 """
 
 from repro._version import __version__
+from repro.api import (
+    Analysis,
+    AnalysisRequest,
+    AnalysisResult,
+    EngineConfig,
+    analyze,
+)
 from repro.baselines import (
     RangeDiscoveryResult,
     brute_force_range,
@@ -95,11 +112,15 @@ from repro.matrix_profile import (
     stamp,
     stomp,
 )
-from repro.series import DataSeries, load_csv, load_npy, load_text
+from repro.series import DataSeries, as_series, load_csv, load_npy, load_text
 from repro.streaming import StreamingMatrixProfile
 
 __all__ = [
+    "Analysis",
+    "AnalysisRequest",
+    "AnalysisResult",
     "DataSeries",
+    "EngineConfig",
     "EmptyResultError",
     "InvalidParameterError",
     "InvalidSeriesError",
@@ -126,6 +147,8 @@ __all__ = [
     "__version__",
     "ab_join",
     "ab_join_both",
+    "analyze",
+    "as_series",
     "brute_force_matrix_profile",
     "brute_force_range",
     "expand_motif_pair",

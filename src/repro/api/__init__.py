@@ -1,0 +1,37 @@
+"""Unified analysis API: one request/result surface over every algorithm.
+
+The package groups three layers:
+
+* :mod:`repro.api.session` — the :class:`Analysis` session object
+  (``repro.analyze(series)``) with per-series shared state, cross-call
+  result caching and the session-wide :class:`EngineConfig`;
+* :mod:`repro.api.registry` — the string-keyed algorithm registry with
+  capability metadata every dispatch funnels through;
+* :mod:`repro.api.requests` — the JSON-serialisable
+  :class:`AnalysisRequest` / :class:`AnalysisResult` layer for
+  service-style batch submission (file round-trips live in
+  :mod:`repro.io.serialization`).
+"""
+
+from repro.api.registry import (
+    AlgorithmSpec,
+    algorithm_keys,
+    capabilities,
+    registered_kinds,
+    resolve_algorithm,
+)
+from repro.api.requests import AnalysisRequest, AnalysisResult
+from repro.api.session import Analysis, EngineConfig, analyze
+
+__all__ = [
+    "AlgorithmSpec",
+    "Analysis",
+    "AnalysisRequest",
+    "AnalysisResult",
+    "EngineConfig",
+    "algorithm_keys",
+    "analyze",
+    "capabilities",
+    "registered_kinds",
+    "resolve_algorithm",
+]

@@ -1,0 +1,489 @@
+"""The :class:`Analysis` session — one surface over every algorithm.
+
+The flat entry points (``repro.stomp``, ``repro.valmod``, ``repro.skimp``,
+...) each validate the series and derive sliding statistics per call.  A
+production service answering many questions about the *same* series should
+pay those costs once; the session object does exactly that:
+
+* the series is normalised and validated **once** at construction
+  (:class:`~repro.series.DataSeries`, numpy array or plain list — all
+  accepted uniformly);
+* one :class:`~repro.stats.sliding.SlidingStats` (prefix sums + per-window
+  mean/std cache) is shared across every computation;
+* the base FFT products STOMP needs (``QT[0, j]``) are memoized per window
+  length;
+* every completed computation is cached under its canonical request key, so
+  repeating a call is a dictionary hit (see
+  ``benchmarks/test_api_session_cache.py`` for the measured speedup);
+* one :class:`EngineConfig` carries the execution knobs for every
+  engine-aware algorithm instead of per-call ``engine=`` / ``n_jobs=``
+  arguments, and multi-request submissions batch through
+  :func:`repro.engine.batch.compute_profiles`.
+
+Typical usage::
+
+    import repro
+
+    session = repro.analyze(series)
+    profile = session.matrix_profile(window=64).profile()
+    motifs = session.motifs(50, 200, method="valmod").best_motif()
+    pan = session.pan_profile(50, 200).value
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.registry import AlgorithmSpec, resolve_algorithm
+from repro.api.requests import AnalysisRequest, AnalysisResult
+from repro.engine.executor import Executor
+from repro.exceptions import InvalidParameterError
+from repro.series.dataseries import DataSeries, as_series
+from repro.stats.fft import sliding_dot_product
+from repro.stats.sliding import SlidingStats
+
+__all__ = ["EngineConfig", "Analysis", "analyze"]
+
+_ENGINE_NAMES = ("serial", "parallel", "auto")
+
+
+def _canonical_key(spec: AlgorithmSpec, request: AnalysisRequest) -> str | None:
+    """Cache key under the *resolved* algorithm, so aliases and the kind's
+    default spelling share one cache slot."""
+    if request.algo == spec.key:
+        return request.cache_key()
+    return AnalysisRequest(
+        kind=spec.kind, algo=spec.key, params=request.params
+    ).cache_key()
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution configuration carried by a session.
+
+    Attributes
+    ----------
+    executor:
+        ``None`` (default; plain serial oracle paths), ``"serial"``,
+        ``"parallel"``, ``"auto"`` or an
+        :class:`~repro.engine.executor.Executor` instance.  Anything but
+        ``None`` routes the engine-aware algorithms through
+        :mod:`repro.engine`.
+    n_jobs:
+        Worker processes for ``"parallel"`` / ``"auto"``.
+    block_size:
+        Row-block size for the partitioned profile computations.
+    """
+
+    executor: object | None = None
+    n_jobs: int | None = None
+    block_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor is not None and not isinstance(self.executor, Executor):
+            if self.executor not in _ENGINE_NAMES:
+                raise InvalidParameterError(
+                    f"unknown engine executor {self.executor!r}; expected one of "
+                    f"{list(_ENGINE_NAMES)} or an Executor instance"
+                )
+        if self.n_jobs is not None and int(self.n_jobs) < 1:
+            raise InvalidParameterError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.block_size is not None and int(self.block_size) < 1:
+            raise InvalidParameterError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when the engine-aware algorithms should route through the engine."""
+        return self.executor is not None
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (executor instances degrade to their name)."""
+        executor = self.executor
+        if isinstance(executor, Executor):
+            executor = executor.name
+        return {
+            "executor": executor,
+            "n_jobs": self.n_jobs,
+            "block_size": self.block_size,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineConfig":
+        """Rebuild a config from :meth:`as_dict` output."""
+        return cls(
+            executor=payload.get("executor"),
+            n_jobs=payload.get("n_jobs"),
+            block_size=payload.get("block_size"),
+        )
+
+
+class Analysis:
+    """An analysis session over one data series.
+
+    Parameters
+    ----------
+    series:
+        :class:`~repro.series.DataSeries`, numpy array, or plain list.
+    name:
+        Optional name override (reports, result envelopes).
+    engine:
+        Session-wide :class:`EngineConfig`; also accepts the shorthand
+        strings ``"serial"`` / ``"parallel"`` / ``"auto"`` or an
+        :class:`~repro.engine.executor.Executor` instance.
+    """
+
+    def __init__(
+        self,
+        series,
+        *,
+        name: str | None = None,
+        engine: "EngineConfig | str | Executor | None" = None,
+    ) -> None:
+        self._series = as_series(series, name=name)
+        if engine is None:
+            engine = EngineConfig()
+        elif not isinstance(engine, EngineConfig):
+            engine = EngineConfig(executor=engine)
+        self._engine = engine
+        self._stats: SlidingStats | None = None
+        self._base_qt: Dict[int, np.ndarray] = {}
+        self._results: Dict[str, AnalysisResult] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # shared state
+    # ------------------------------------------------------------------ #
+    @property
+    def series(self) -> DataSeries:
+        """The normalised series (validated once at construction)."""
+        return self._series
+
+    @property
+    def values(self) -> np.ndarray:
+        """The validated float64 values (read-only)."""
+        return self._series.values
+
+    @property
+    def name(self) -> str:
+        """The series name used in reports and result envelopes."""
+        return self._series.name
+
+    @property
+    def engine(self) -> EngineConfig:
+        """The session's execution configuration."""
+        return self._engine
+
+    @property
+    def stats(self) -> SlidingStats:
+        """The shared sliding statistics (created lazily, once)."""
+        if self._stats is None:
+            self._stats = SlidingStats(self.values)
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __repr__(self) -> str:
+        return (
+            f"Analysis(name={self.name!r}, length={len(self)}, "
+            f"engine={self._engine.as_dict()}, cached_results={len(self._results)})"
+        )
+
+    def base_dot_products(self, window: int) -> np.ndarray:
+        """Memoized ``QT[0, j]`` sliding dot products for one window length.
+
+        This is the single FFT product a STOMP run needs; caching it means a
+        repeated ``matrix_profile`` call at the same window (with caching
+        disabled or different options) still skips the FFT.
+        """
+        window = int(window)
+        cached = self._base_qt.get(window)
+        if cached is None:
+            if window < 1 or window > len(self):
+                raise InvalidParameterError(
+                    f"window {window} out of range [1, {len(self)}]"
+                )
+            cached = sliding_dot_product(self.values[:window], self.values)
+            self._base_qt[window] = cached
+        return cached
+
+    def coerce_other(self, other) -> Tuple[np.ndarray, SlidingStats | None]:
+        """Normalise the second series of a join/distance computation.
+
+        Accepts another :class:`Analysis` (whose statistics are reused), a
+        :class:`~repro.series.DataSeries`, an array, or a list.
+        """
+        if isinstance(other, Analysis):
+            return other.values, other.stats
+        return as_series(other).values, None
+
+    # ------------------------------------------------------------------ #
+    # cache management
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> dict:
+        """Hit/miss counters and entry count of the result cache."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "entries": len(self._results),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached result and memoized FFT product."""
+        self._results.clear()
+        self._base_qt.clear()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # the one dispatch path
+    # ------------------------------------------------------------------ #
+    def run(self, request: AnalysisRequest, *, cache: bool = True) -> AnalysisResult:
+        """Execute one :class:`~repro.api.requests.AnalysisRequest`.
+
+        Every public method funnels through here: the request resolves
+        against the registry, the result cache is consulted under the
+        request's canonical key, and the computation lands in the common
+        :class:`~repro.api.requests.AnalysisResult` envelope.
+        """
+        if not isinstance(request, AnalysisRequest):
+            raise InvalidParameterError(
+                f"run() expects an AnalysisRequest, got {type(request).__name__}"
+            )
+        spec = resolve_algorithm(request.kind, request.algo)
+        key = _canonical_key(spec, request) if cache else None
+        if key is not None:
+            cached = self._results.get(key)
+            if cached is not None:
+                self._hits += 1
+                return cached
+        self._misses += 1
+        started = time.perf_counter()
+        payload = spec.runner(self, **request.params)
+        elapsed = time.perf_counter() - started
+        result = AnalysisResult(
+            kind=spec.kind,
+            algo=spec.key,
+            params=request.params,
+            series_name=self.name,
+            series_length=len(self),
+            elapsed_seconds=elapsed,
+            payload=payload,
+        )
+        if key is not None:
+            self._results[key] = result
+        return result
+
+    def run_many(
+        self, requests: Iterable[AnalysisRequest], *, cache: bool = True
+    ) -> List[AnalysisResult]:
+        """Execute several requests, batching profile work through the engine.
+
+        STOMP matrix-profile requests (the service's bread and butter) are
+        grouped into one :func:`repro.engine.batch.compute_profiles`
+        submission driven by the session's :class:`EngineConfig` — one
+        statistics pass, optional process-level parallelism.  Everything
+        else runs through :meth:`run` in submission order.  Results come
+        back in submission order either way.
+
+        Error semantics match :meth:`run`: the first failing request raises
+        (results of requests that already completed are still in the session
+        cache, but not returned).  Submit requests individually when partial
+        results must survive a failure.
+        """
+        request_list = list(requests)
+        results: List[AnalysisResult | None] = [None] * len(request_list)
+        batchable: List[int] = []
+        for index, request in enumerate(request_list):
+            if not isinstance(request, AnalysisRequest):
+                raise InvalidParameterError(
+                    f"run_many() expects AnalysisRequest items, "
+                    f"got {type(request).__name__}"
+                )
+            spec = resolve_algorithm(request.kind, request.algo)
+            if (
+                spec.kind == "matrix_profile"
+                and spec.key == "stomp"
+                and set(request.params) <= {"window", "exclusion_radius"}
+                and (not cache or _canonical_key(spec, request) not in self._results)
+            ):
+                batchable.append(index)
+            else:
+                results[index] = self.run(request, cache=cache)
+        if batchable:
+            self._run_profile_batch(request_list, results, batchable, cache)
+        return [result for result in results if result is not None]
+
+    def _run_profile_batch(
+        self,
+        requests: Sequence[AnalysisRequest],
+        results: List[AnalysisResult | None],
+        indices: List[int],
+        cache: bool,
+    ) -> None:
+        """Dispatch plain STOMP requests as one engine batch."""
+        from repro.engine.batch import ProfileJob, compute_profiles
+
+        jobs = [
+            ProfileJob(
+                self.values,
+                window=int(requests[index].params["window"]),
+                exclusion_radius=requests[index].params.get("exclusion_radius"),
+                block_size=self._engine.block_size,
+                name=self.name,
+            )
+            for index in indices
+        ]
+        executor = self._engine.executor if self._engine.enabled else "serial"
+        started = time.perf_counter()
+        outcomes = compute_profiles(
+            jobs, executor=executor, n_jobs=self._engine.n_jobs
+        )
+        elapsed = time.perf_counter() - started
+        self._misses += len(indices)
+        for index, outcome in zip(indices, outcomes):
+            request = requests[index]
+            result = AnalysisResult(
+                kind="matrix_profile",
+                algo="stomp",
+                params=request.params,
+                series_name=self.name,
+                series_length=len(self),
+                # Per-job wall clock is not observable inside the pool; the
+                # batch total is recorded on every member.
+                elapsed_seconds=elapsed,
+                payload=outcome.unwrap(),
+            )
+            results[index] = result
+            if cache:
+                key = _canonical_key(
+                    resolve_algorithm("matrix_profile", "stomp"), request
+                )
+                if key is not None:
+                    self._results[key] = result
+
+    # ------------------------------------------------------------------ #
+    # the public computation surface
+    # ------------------------------------------------------------------ #
+    def matrix_profile(
+        self, window: int, *, algo: str = "stomp", cache: bool = True, **options: Any
+    ) -> AnalysisResult:
+        """Matrix profile at one window length.
+
+        ``algo``: ``"stomp"`` (default), ``"scrimp"``, ``"scrimp++"``,
+        ``"stamp"`` or ``"brute"``; extra options forward to the algorithm.
+        """
+        params = {"window": int(window), **options}
+        return self.run(
+            AnalysisRequest(kind="matrix_profile", algo=algo, params=params),
+            cache=cache,
+        )
+
+    def motifs(
+        self,
+        min_length: int,
+        max_length: int,
+        *,
+        method: str = "valmod",
+        cache: bool = True,
+        **options: Any,
+    ) -> AnalysisResult:
+        """Variable-length motif discovery over ``[min_length, max_length]``.
+
+        ``method``: ``"valmod"`` (default), ``"stomp_range"``, ``"moen"``,
+        ``"quick_motif"`` or ``"brute"``.
+        """
+        params = {
+            "min_length": int(min_length),
+            "max_length": int(max_length),
+            **options,
+        }
+        return self.run(
+            AnalysisRequest(kind="motifs", algo=method, params=params), cache=cache
+        )
+
+    def discords(
+        self,
+        min_length: int,
+        max_length: int,
+        *,
+        cache: bool = True,
+        **options: Any,
+    ) -> AnalysisResult:
+        """Variable-length discords (anomalies) over a length range."""
+        params = {
+            "min_length": int(min_length),
+            "max_length": int(max_length),
+            **options,
+        }
+        return self.run(
+            AnalysisRequest(kind="discords", params=params), cache=cache
+        )
+
+    def pan_profile(
+        self,
+        min_length: int,
+        max_length: int,
+        *,
+        cache: bool = True,
+        **options: Any,
+    ) -> AnalysisResult:
+        """SKIMP pan matrix profile over a length range."""
+        params = {
+            "min_length": int(min_length),
+            "max_length": int(max_length),
+            **options,
+        }
+        return self.run(
+            AnalysisRequest(kind="pan_profile", params=params), cache=cache
+        )
+
+    def ab_join(
+        self, other, window: int, *, cache: bool = True, **options: Any
+    ) -> AnalysisResult:
+        """One-sided AB-join of this series against ``other``.
+
+        ``other`` may be another :class:`Analysis` (statistics reused), a
+        :class:`~repro.series.DataSeries`, an array, or a list.
+        """
+        params = {"other": self._other_param(other), "window": int(window), **options}
+        return self.run(AnalysisRequest(kind="ab_join", params=params), cache=cache)
+
+    def mpdist(
+        self,
+        other,
+        window: int,
+        *,
+        percentile: float = 0.05,
+        cache: bool = True,
+    ) -> AnalysisResult:
+        """MPdist between this series and ``other`` at one window length."""
+        params = {
+            "other": self._other_param(other),
+            "window": int(window),
+            "percentile": float(percentile),
+        }
+        return self.run(AnalysisRequest(kind="mpdist", params=params), cache=cache)
+
+    def _other_param(self, other):
+        """Keep Analysis instances intact (stats reuse) — they digest fine."""
+        if isinstance(other, Analysis):
+            return other
+        return as_series(other)
+
+
+def analyze(
+    series,
+    *,
+    name: str | None = None,
+    engine: "EngineConfig | str | Executor | None" = None,
+) -> Analysis:
+    """Open an :class:`Analysis` session over ``series`` (the main entry point)."""
+    return Analysis(series, name=name, engine=engine)

@@ -53,13 +53,15 @@ def moen(
     *,
     exclusion_factor: int = 4,
     lower_bound_kind: str = "tight",
+    stats: SlidingStats | None = None,
 ) -> RangeDiscoveryResult:
     """Exact best motif pair of every length in ``[min_length, max_length]``."""
     values = validate_series(series)
     min_length, max_length = validate_length_range(values.size, min_length, max_length)
 
     started = time.perf_counter()
-    stats = SlidingStats(values)
+    if stats is None:
+        stats = SlidingStats(values)
     motifs_by_length: Dict[int, List[MotifPair]] = {}
     profiles_computed = 0
     profiles_pruned = 0

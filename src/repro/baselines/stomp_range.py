@@ -33,6 +33,7 @@ def stomp_range(
     exclusion_factor: int = 4,
     engine: object | None = None,
     n_jobs: int | None = None,
+    stats: SlidingStats | None = None,
 ) -> RangeDiscoveryResult:
     """Exact top-k motif pairs of every length, one STOMP run per length.
 
@@ -65,7 +66,8 @@ def stomp_range(
         ):
             motifs_by_length[length] = outcome.unwrap().motifs(top_k)
     else:
-        stats = SlidingStats(values)
+        if stats is None:
+            stats = SlidingStats(values)
         for length in lengths:
             profile = stomp(
                 values,

@@ -21,9 +21,8 @@ from typing import Sequence
 from repro._version import __version__
 from repro.analysis.ascii_plot import render_valmap
 from repro.analysis.report import result_report
-from repro.core.discords import variable_length_discords
+from repro.api.session import EngineConfig, analyze
 from repro.core.motif_sets import expand_motif_pair
-from repro.core.valmod import valmod
 from repro.exceptions import ReproError
 from repro.harness.extensions import (
     ablation_anytime_scrimp,
@@ -44,7 +43,6 @@ from repro.harness.runner import ALGORITHMS, compare_algorithms
 from repro.harness.tables import format_table
 from repro.harness.workloads import WORKLOADS, build_workload
 from repro.io.serialization import save_result, save_valmap
-from repro.matrix_profile.mpdist import mpdist
 from repro.series.loaders import load_csv, load_npy, load_text, save_text
 from repro.streaming.monitor import StreamingMotifMonitor
 
@@ -204,15 +202,16 @@ def _command_discover(args: argparse.Namespace) -> int:
         series = _load_series(args.input)
     else:
         series = build_workload(args.workload, args.length, random_state=args.seed)
-    result = valmod(
-        series,
+    session = analyze(
+        series, engine=EngineConfig(executor=args.engine, n_jobs=args.jobs)
+    )
+    result = session.motifs(
         args.min_length,
         args.max_length,
+        method="valmod",
         top_k=args.top_k,
         profile_capacity=args.profile_capacity,
-        engine=args.engine,
-        n_jobs=args.jobs,
-    )
+    ).value
     print(result_report(result, top_k=args.top_k))
     if args.plot:
         print()
@@ -301,10 +300,8 @@ def _series_from_args(args: argparse.Namespace):
 
 
 def _command_discords(args: argparse.Namespace) -> int:
-    series = _series_from_args(args)
-    discords = variable_length_discords(
-        series, args.min_length, args.max_length, k=args.top_k
-    )
+    session = analyze(_series_from_args(args))
+    discords = session.discords(args.min_length, args.max_length, k=args.top_k).value
     rows = [discord.as_dict() for discord in discords]
     if not rows:
         print("no discord found (the series may be too short for the requested range)")
@@ -315,8 +312,10 @@ def _command_discords(args: argparse.Namespace) -> int:
 
 def _command_motif_set(args: argparse.Namespace) -> int:
     series = _series_from_args(args)
-    result = valmod(series, args.min_length, args.max_length, top_k=1)
-    best = result.best_motif()
+    session = analyze(series)
+    best = session.motifs(
+        args.min_length, args.max_length, method="valmod", top_k=1
+    ).best_motif()
     motif_set = expand_motif_pair(series, best, radius_factor=args.radius_factor)
     print(
         f"best motif pair: length={best.window} offsets=({best.offset_a}, {best.offset_b}) "
@@ -355,9 +354,9 @@ def _command_stream(args: argparse.Namespace) -> int:
 
 
 def _command_mpdist(args: argparse.Namespace) -> int:
-    first = _load_series(args.first)
-    second = _load_series(args.second)
-    value = mpdist(first, second, args.window, percentile=args.percentile)
+    first = analyze(_load_series(args.first))
+    second = analyze(_load_series(args.second))
+    value = first.mpdist(second, args.window, percentile=args.percentile).value
     print(f"MPdist(window={args.window}, percentile={args.percentile}) = {value:.6f}")
     return 0
 

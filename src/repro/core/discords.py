@@ -56,6 +56,7 @@ def variable_length_discords(
     k: int = 3,
     length_step: int | None = None,
     exclusion_factor: int = 4,
+    stats: SlidingStats | None = None,
 ) -> List[VariableLengthDiscord]:
     """Top-k discords across a range of subsequence lengths.
 
@@ -81,7 +82,8 @@ def variable_length_discords(
     if lengths[-1] != max_length:
         lengths.append(max_length)
 
-    stats = SlidingStats(values)
+    if stats is None:
+        stats = SlidingStats(values)
     candidates: List[VariableLengthDiscord] = []
     for length in lengths:
         profile = stomp(values, length, stats=stats)

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.lower_bound import lower_bound
 from repro.exceptions import InvalidParameterError
 from repro.matrix_profile.exclusion import default_exclusion_radius
+from repro.stats.distance import centered_dot_products, compensation_needed
 from repro.stats.sliding import SlidingStats
 from repro.stats.znorm import STD_EPSILON
 
@@ -128,6 +129,8 @@ class PartialProfileStore:
         self._base_means = base_means
         self._base_stds = base_stds
         self._base_constant = base_stds <= 0.0
+        #: one cancellation-risk decision for every base-profile ingest
+        self._base_compensated = compensation_needed(base_means, base_means, base_stds)
 
         shape = (self._num_profiles, self._capacity)
         self._neighbors = np.full(shape, -1, dtype=np.int64)
@@ -191,10 +194,15 @@ class PartialProfileStore:
             self._populated[offset] = True
             return
 
+        centered = centered_dot_products(
+            qt,
+            length,
+            float(self._base_means[offset]),
+            self._base_means,
+            compensated=self._base_compensated,
+        )
         with np.errstate(divide="ignore", invalid="ignore"):
-            correlations = (
-                qt - length * self._base_means[offset] * self._base_means
-            ) / (length * sigma_i * self._base_stds)
+            correlations = centered / (length * sigma_i * self._base_stds)
         # Neighbours that are constant at the base length do not obey the
         # bound either; give them the best possible correlation so they are
         # retained (and therefore tracked exactly) whenever possible.
@@ -310,8 +318,17 @@ class PartialProfileStore:
         mu_j = means[safe_neighbors]
         sigma_j = stds[safe_neighbors]
 
+        centered = centered_dot_products(
+            qt,
+            length,
+            mu_i,
+            mu_j,
+            compensated=compensation_needed(
+                means[:num_rows], means[:num_rows], stds[:num_rows]
+            ),
+        )
         with np.errstate(divide="ignore", invalid="ignore"):
-            correlation = (qt - length * mu_i * mu_j) / (length * sigma_i * sigma_j)
+            correlation = centered / (length * sigma_i * sigma_j)
         np.clip(correlation, -1.0, 1.0, out=correlation)
         squared = 2.0 * length * (1.0 - correlation)
         np.maximum(squared, 0.0, out=squared)

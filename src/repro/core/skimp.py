@@ -216,6 +216,7 @@ def skimp(
     exclusion_factor: int = 4,
     engine: object | None = None,
     n_jobs: int | None = None,
+    stats: SlidingStats | None = None,
 ) -> PanMatrixProfile:
     """Compute a pan matrix profile over ``[min_length, max_length]``.
 
@@ -283,7 +284,8 @@ def skimp(
         ):
             fill_row(row, outcome.unwrap())
     else:
-        stats = SlidingStats(values)
+        if stats is None:
+            stats = SlidingStats(values)
         for row, length in enumerate(chosen):
             # Copy-and-discard per length: peak memory stays O(n), not O(L·n).
             fill_row(

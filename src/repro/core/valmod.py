@@ -58,6 +58,7 @@ def valmod(
     update_both_members: bool = True,
     engine: object | None = None,
     n_jobs: int | None = None,
+    stats: SlidingStats | None = None,
 ) -> ValmodResult:
     """Find the exact top-k motif pairs of every length in ``[min_length, max_length]``.
 
@@ -66,11 +67,13 @@ def valmod(
     array or a :class:`~repro.series.DataSeries`.
 
     ``engine`` / ``n_jobs`` route the base-length STOMP pass through the
-    block-partitioned engine (see :mod:`repro.engine`).  The base pass
-    feeds the partial-profile store through an order-dependent per-row
-    callback, so the engine runs its blocks serially for VALMOD today;
-    the knob still buys the per-block re-seeding (bounded numerical
-    drift) and keeps the call site ready for a parallel ingest path.
+    block-partitioned engine (see :mod:`repro.engine`) and batch the
+    per-length exact recomputations (independent MASS calls for non-valid
+    profiles) through :func:`repro.engine.batch.compute_profiles`.  The
+    base pass feeds the partial-profile store through an order-dependent
+    per-row callback, so the engine runs its blocks serially for VALMOD
+    today; the knob still buys the per-block re-seeding (bounded
+    numerical drift) and the batched recomputations.
 
     Returns
     -------
@@ -89,7 +92,7 @@ def valmod(
         track_checkpoints=track_checkpoints,
         update_both_members=update_both_members,
     )
-    return valmod_with_config(series, config, engine=engine, n_jobs=n_jobs)
+    return valmod_with_config(series, config, engine=engine, n_jobs=n_jobs, stats=stats)
 
 
 def valmod_with_config(
@@ -98,14 +101,21 @@ def valmod_with_config(
     *,
     engine: object | None = None,
     n_jobs: int | None = None,
+    stats: SlidingStats | None = None,
 ) -> ValmodResult:
-    """Run VALMOD with an explicit :class:`~repro.core.config.ValmodConfig`."""
+    """Run VALMOD with an explicit :class:`~repro.core.config.ValmodConfig`.
+
+    ``stats`` optionally reuses a precomputed
+    :class:`~repro.stats.sliding.SlidingStats` of the same series (the
+    :class:`repro.api.Analysis` session shares one across every call).
+    """
     series_name = series.name if isinstance(series, DataSeries) else "series"
     values = validate_series(series)
     validate_length_range(values.size, config.min_length, config.max_length)
 
     started = time.perf_counter()
-    stats = SlidingStats(values)
+    if stats is None:
+        stats = SlidingStats(values)
     store = PartialProfileStore(
         values,
         stats,
@@ -151,7 +161,9 @@ def valmod_with_config(
 
     total_recomputed = 0
     for length in config.lengths[1:]:
-        result, recomputed = _evaluate_length(values, stats, store, config, length)
+        result, recomputed = _evaluate_length(
+            values, stats, store, config, length, engine=engine, n_jobs=n_jobs
+        )
         total_recomputed += recomputed
         length_results[length] = result
         valmap.update_from_pairs(result.motifs, both_members=config.update_both_members)
@@ -171,14 +183,68 @@ def valmod_with_config(
     )
 
 
+def _recompute_exact(
+    values: np.ndarray,
+    stats: SlidingStats,
+    length: int,
+    radius: int,
+    offsets: np.ndarray,
+    engine: object | None,
+    n_jobs: int | None,
+) -> List[np.ndarray]:
+    """Exact distance profiles of ``offsets``, batched through the engine.
+
+    Each profile is one independent MASS call; with an engine configured
+    they are dispatched as one batch of single-offset
+    :class:`~repro.engine.batch.ProfileJob` s (the ROADMAP's "parallelise
+    VALMOD's per-length recomputed distance profiles" follow-up).  The
+    serial fallback keeps the original one-call-at-a-time oracle path.
+    """
+    if engine is None or offsets.size == 1:
+        return [
+            distance_profile(
+                values, int(offset), length, stats=stats, exclusion_radius=radius
+            )
+            for offset in offsets.tolist()
+        ]
+    from repro.engine.batch import ProfileJob, compute_profiles
+
+    jobs = [
+        ProfileJob(values, window=length, query_offset=int(offset), exclusion_radius=radius)
+        for offset in offsets.tolist()
+    ]
+    return [
+        outcome.unwrap()
+        for outcome in compute_profiles(jobs, executor=engine, n_jobs=n_jobs)
+    ]
+
+
 def _evaluate_length(
     values: np.ndarray,
     stats: SlidingStats,
     store: PartialProfileStore,
     config: ValmodConfig,
     length: int,
+    *,
+    engine: object | None = None,
+    n_jobs: int | None = None,
 ) -> tuple[LengthResult, int]:
-    """Top-k motif pairs of one length, recomputing profiles only when required."""
+    """Top-k motif pairs of one length, recomputing profiles only when required.
+
+    With an engine configured, a non-valid candidate triggers the batched
+    recomputation of the non-exact offsets whose selection value is below
+    the smallest certified-exact value: each of those offsets would become
+    the argmin (and be recomputed serially) before any exact candidate can
+    be selected, so recomputing them together preserves exactness while
+    turning the per-length recomputations into one engine batch.  The batch
+    is capped per round (smallest bounds first; the argmin candidate is the
+    global minimum, hence always included) so a length where pruning barely
+    certified anything cannot degenerate into recomputing the whole profile
+    set in one go.  The batch may recompute profiles the serial loop would
+    have skipped (when a freshly recomputed pair's exclusion zone wipes a
+    candidate out), which only affects the ``num_recomputed`` counter,
+    never the reported pairs.
+    """
     evaluation = store.evaluate(length)
     radius = default_exclusion_radius(length, config.exclusion_factor)
 
@@ -195,19 +261,34 @@ def _evaluate_length(
         if not np.isfinite(working[candidate]):
             break
         if not exact[candidate]:
-            profile = distance_profile(
-                values, candidate, length, stats=stats, exclusion_radius=radius
-            )
-            best = int(np.argmin(profile))
-            if np.isfinite(profile[best]):
-                min_distances[candidate] = float(profile[best])
-                nearest[candidate] = best
+            if engine is not None:
+                exact_working = working[exact]
+                min_exact = (
+                    float(np.min(exact_working)) if exact_working.size else np.inf
+                )
+                chunk = np.flatnonzero(
+                    ~exact & np.isfinite(working) & (working <= min_exact)
+                )
+                cap = max(16, 4 * config.top_k)
+                if chunk.size > cap:
+                    smallest = np.argpartition(working[chunk], cap - 1)[:cap]
+                    chunk = chunk[smallest]
             else:
-                min_distances[candidate] = np.inf
-                nearest[candidate] = -1
-            exact[candidate] = True
-            working[candidate] = min_distances[candidate]
-            recomputed += 1
+                chunk = np.array([candidate], dtype=np.int64)
+            profiles = _recompute_exact(
+                values, stats, length, radius, chunk, engine, n_jobs
+            )
+            for offset, profile in zip(chunk.tolist(), profiles):
+                best = int(np.argmin(profile))
+                if np.isfinite(profile[best]):
+                    min_distances[offset] = float(profile[best])
+                    nearest[offset] = best
+                else:
+                    min_distances[offset] = np.inf
+                    nearest[offset] = -1
+                exact[offset] = True
+                working[offset] = min_distances[offset]
+                recomputed += 1
             continue
         if nearest[candidate] < 0:
             apply_exclusion_zone(working, candidate, radius)

@@ -34,6 +34,7 @@ import numpy as np
 from repro.engine.executor import Executor, resolve_executor
 from repro.engine.partition import DEFAULT_RESEED_INTERVAL, partitioned_stomp
 from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.distance_profile import distance_profile
 from repro.matrix_profile.profile import MatrixProfile
 from repro.series.dataseries import DataSeries
 from repro.series.validation import validate_series
@@ -51,6 +52,15 @@ class ProfileJob:
     defaults to the series name when the series is a
     :class:`~repro.series.DataSeries`.
 
+    ``query_offset`` (only with ``window=``) narrows the job from a full
+    matrix profile to the *distance profile* of one query offset — a single
+    MASS call.  VALMOD's per-length exact recomputations are exactly this
+    shape: many independent single-offset profiles at one length, which the
+    batch layer can fan out across workers.  The outcome's result is then a
+    plain ``numpy`` distance array (exclusion zone applied when
+    ``exclusion_radius`` is set) instead of a
+    :class:`~repro.matrix_profile.profile.MatrixProfile`.
+
     ``eq=False``: the generated field-tuple ``__eq__`` would compare the
     series array element-wise (ambiguous truth value) and make jobs
     unhashable; identity semantics are the useful ones for work items.
@@ -59,6 +69,7 @@ class ProfileJob:
     series: object
     window: int | None = None
     lengths: Tuple[int, ...] | None = None
+    query_offset: int | None = None
     exclusion_radius: int | None = None
     block_size: int | None = None
     reseed_interval: int = DEFAULT_RESEED_INTERVAL
@@ -69,6 +80,12 @@ class ProfileJob:
             raise InvalidParameterError(
                 "a ProfileJob needs exactly one of window= or lengths="
             )
+        if self.query_offset is not None:
+            if self.window is None:
+                raise InvalidParameterError(
+                    "query_offset= requires a single window= job"
+                )
+            object.__setattr__(self, "query_offset", int(self.query_offset))
         if self.lengths is not None:
             lengths = tuple(int(length) for length in self.lengths)
             if not lengths:
@@ -85,11 +102,16 @@ class ProfileJob:
 
 @dataclass(frozen=True)
 class JobOutcome:
-    """Result slot of one job, in the order the jobs were submitted."""
+    """Result slot of one job, in the order the jobs were submitted.
+
+    ``result`` is a :class:`MatrixProfile` for ``window=`` jobs, a dict of
+    them for ``lengths=`` jobs, and a plain distance array for
+    ``query_offset=`` jobs.
+    """
 
     index: int
     job: ProfileJob
-    result: Union[MatrixProfile, Dict[int, MatrixProfile], None] = None
+    result: Union[MatrixProfile, Dict[int, MatrixProfile], np.ndarray, None] = None
     error: BaseException | None = None
 
     @property
@@ -97,7 +119,7 @@ class JobOutcome:
         """True when the job completed without raising."""
         return self.error is None
 
-    def unwrap(self) -> Union[MatrixProfile, Dict[int, MatrixProfile]]:
+    def unwrap(self) -> Union[MatrixProfile, Dict[int, MatrixProfile], np.ndarray]:
         """The job's result, re-raising the job's exception if it failed."""
         if self.error is not None:
             raise self.error
@@ -150,6 +172,21 @@ def _run_job(
             stats = SlidingStats(values)
             if stats_cache is not None:
                 stats_cache[id(job.series)] = stats
+        if job.query_offset is not None:
+            # Single-offset job: one distance profile (a MASS call), not a
+            # full matrix profile.  No stats.forget(): many such jobs share
+            # one window, so the cached per-window statistics are the point.
+            return (
+                "ok",
+                distance_profile(
+                    values,
+                    job.query_offset,
+                    job.window,
+                    stats=stats,
+                    exclusion_radius=job.exclusion_radius,
+                    apply_exclusion=job.exclusion_radius is not None,
+                ),
+            )
         profiles = {}
         for window in job.windows:
             profiles[window] = _profile_for_length(
@@ -217,7 +254,11 @@ def compute_profiles(
             size = validate_series(job.series).size
         except Exception:  # invalid series fail per-job later, not here
             continue
-        task_units += sum(max(1, size - window + 1) for window in job.windows)
+        if job.query_offset is not None:
+            # One MASS call is O(n log n), i.e. ~log2(n) "profile rows".
+            task_units += max(1, int(size).bit_length())
+        else:
+            task_units += sum(max(1, size - window + 1) for window in job.windows)
 
     chosen, owned = resolve_executor(executor, task_units=task_units, n_jobs=n_jobs)
     try:

@@ -65,6 +65,7 @@ from repro.matrix_profile.exclusion import (
 )
 from repro.matrix_profile.profile import MatrixProfile
 from repro.series.validation import validate_series, validate_subsequence_length
+from repro.stats.distance import compensation_needed
 from repro.stats.fft import sliding_dot_product
 from repro.stats.sliding import SlidingStats
 
@@ -140,6 +141,9 @@ def _compute_block(
     profile = np.full(length, np.inf, dtype=np.float64)
     indices = np.full(length, -1, dtype=np.int64)
 
+    # One cancellation-risk decision per block (rows share the same means).
+    compensated = compensation_needed(means, means, stds)
+
     qt: np.ndarray | None = None
     rows_since_seed = 0
     for offset in range(start, stop):
@@ -160,7 +164,13 @@ def _compute_block(
             qt[0] = first_row_dots[offset]
             rows_since_seed += 1
         distances = distances_from_dot_products(
-            qt, window, float(means[offset]), float(stds[offset]), means, stds
+            qt,
+            window,
+            float(means[offset]),
+            float(stds[offset]),
+            means,
+            stds,
+            compensated=compensated,
         )
         if profile_callback is not None:
             profile_callback(offset, qt, distances)

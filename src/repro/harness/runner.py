@@ -1,95 +1,83 @@
 """Uniform dispatch over the competing algorithms.
 
 The figures compare VALMOD against its competitors on identical inputs; this
-module gives every algorithm the same signature
+module keeps every algorithm behind the same signature
 ``(series, min_length, max_length, **options) -> RangeDiscoveryResult`` so
 the figure code and the CLI can iterate over algorithm names.
+
+Since the unified analysis API landed, the dispatch itself lives in the
+:mod:`repro.api` registry: each call here builds an
+:class:`~repro.api.requests.AnalysisRequest` against an
+:class:`~repro.api.Analysis` session and returns the cross-algorithm
+comparable view.  ``compare_algorithms`` shares **one** session across every
+algorithm, so the series is validated once and the sliding statistics are
+computed once for the whole comparison.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from typing import Dict, Iterable, List
 
+from repro.api.registry import algorithm_keys, resolve_algorithm
+from repro.api.requests import AnalysisRequest
+from repro.api.session import Analysis, EngineConfig
 from repro.baselines.base import RangeDiscoveryResult
-from repro.baselines.brute_force_range import brute_force_range
-from repro.baselines.moen import moen
-from repro.baselines.quick_motif import quick_motif_range
-from repro.baselines.stomp_range import stomp_range
-from repro.core.valmod import valmod
 from repro.exceptions import InvalidParameterError
 
 __all__ = ["ALGORITHMS", "run_algorithm", "compare_algorithms"]
 
-
-def _run_valmod(series, min_length: int, max_length: int, **options) -> RangeDiscoveryResult:
-    """Adapt :func:`repro.core.valmod.valmod` to the common result shape."""
-    top_k = int(options.pop("top_k", 1))
-    result = valmod(series, min_length, max_length, top_k=top_k, **options)
-    return RangeDiscoveryResult(
-        algorithm="valmod",
-        motifs_by_length={
-            length: list(result.length_results[length].motifs) for length in result.lengths
-        },
-        elapsed_seconds=result.elapsed_seconds,
-        extra={
-            **result.pruning_summary(),
-            "total_recomputed_profiles": result.extra.get("total_recomputed_profiles", 0.0),
-        },
-    )
-
-
-def _run_stomp_range(series, min_length: int, max_length: int, **options) -> RangeDiscoveryResult:
-    return stomp_range(
-        series, min_length, max_length, top_k=int(options.pop("top_k", 1)), **options
-    )
-
-
-def _run_brute_force(series, min_length: int, max_length: int, **options) -> RangeDiscoveryResult:
-    return brute_force_range(
-        series, min_length, max_length, top_k=int(options.pop("top_k", 1)), **options
-    )
-
-
-def _run_moen(series, min_length: int, max_length: int, **options) -> RangeDiscoveryResult:
-    options.pop("top_k", None)  # MOEN reports the single best pair per length
-    return moen(series, min_length, max_length, **options)
-
-
-def _run_quick_motif(series, min_length: int, max_length: int, **options) -> RangeDiscoveryResult:
-    options.pop("top_k", None)  # QuickMotif reports the single best pair per length
-    return quick_motif_range(series, min_length, max_length, **options)
-
-
-#: Registry of the algorithms the figures and the CLI can run.
-ALGORITHMS: Dict[str, Callable[..., RangeDiscoveryResult]] = {
-    "valmod": _run_valmod,
-    "stomp-range": _run_stomp_range,
-    "moen": _run_moen,
-    "quickmotif": _run_quick_motif,
-    "brute-force": _run_brute_force,
+#: CLI/figure algorithm names mapped to registry keys of the ``motifs`` kind.
+#: Kept as a mapping (not a function table) so ``sorted(ALGORITHMS)`` still
+#: feeds the CLI's ``choices=`` and the figure code unchanged.
+ALGORITHMS: Dict[str, str] = {
+    "valmod": "valmod",
+    "stomp-range": "stomp_range",
+    "moen": "moen",
+    "quickmotif": "quick_motif",
+    "brute-force": "brute",
 }
 
 #: Algorithms that accept the ``engine=`` / ``n_jobs=`` execution knobs
 #: (i.e. route their profile computations through :mod:`repro.engine`).
-#: ``run_algorithm`` silently drops the knobs for the others so one option
-#: dict can drive a mixed comparison.
-ENGINE_AWARE = frozenset({"valmod", "stomp-range"})
+#: Derived from the registry's capability metadata.
+ENGINE_AWARE = frozenset(
+    name
+    for name, key in ALGORITHMS.items()
+    if resolve_algorithm("motifs", key).engine_aware
+)
+
+
+def _session(series, engine, n_jobs) -> Analysis:
+    if isinstance(series, Analysis):
+        return series
+    return Analysis(series, engine=EngineConfig(executor=engine, n_jobs=n_jobs))
 
 
 def run_algorithm(
     name: str, series, min_length: int, max_length: int, **options
 ) -> RangeDiscoveryResult:
-    """Run one named algorithm on a series with a length range."""
-    try:
-        runner = ALGORITHMS[name]
-    except KeyError as error:
+    """Run one named algorithm on a series with a length range.
+
+    ``series`` may also be an :class:`~repro.api.Analysis` session, in which
+    case its shared statistics (and engine configuration) are reused.
+    """
+    if name not in ALGORITHMS:
         raise InvalidParameterError(
             f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
-        ) from error
+        )
+    engine = options.pop("engine", None)
+    n_jobs = options.pop("n_jobs", None)
     if name not in ENGINE_AWARE:
-        options.pop("engine", None)
-        options.pop("n_jobs", None)
-    return runner(series, min_length, max_length, **options)
+        engine, n_jobs = None, None
+    session = _session(series, engine, n_jobs)
+    if "top_k" in options and ALGORITHMS[name] in ("moen", "quick_motif"):
+        options.pop("top_k")  # single best pair per length by design
+    request = AnalysisRequest(
+        kind="motifs",
+        algo=ALGORITHMS[name],
+        params={"min_length": int(min_length), "max_length": int(max_length), **options},
+    )
+    return session.run(request).range_result()
 
 
 def compare_algorithms(
@@ -104,14 +92,22 @@ def compare_algorithms(
 ) -> List[RangeDiscoveryResult]:
     """Run several algorithms on the same input and return their results.
 
-    ``engine`` / ``n_jobs`` are forwarded to the algorithms that support
-    them (see :data:`ENGINE_AWARE`) and ignored by the rest, so a single
+    One :class:`~repro.api.Analysis` session is shared across the whole
+    comparison (one validation, one statistics pass).  ``engine`` /
+    ``n_jobs`` reach the algorithms whose registry entry is engine-aware
+    (see :data:`ENGINE_AWARE`) and are ignored by the rest, so a single
     call can compare engine-routed and plain implementations on identical
     inputs.
     """
-    if engine is not None:
-        options = {**options, "engine": engine, "n_jobs": n_jobs}
+    session = _session(series, engine, n_jobs)
+    # One session for every algorithm: the non-engine-aware runners simply
+    # never read session.engine, so no second "plain" session is needed.
     return [
-        run_algorithm(name, series, min_length, max_length, **dict(options))
+        run_algorithm(name, session, min_length, max_length, **dict(options))
         for name in algorithms
     ]
+
+
+def available_algorithms() -> List[str]:
+    """Registry keys of every motif algorithm (for diagnostics and docs)."""
+    return algorithm_keys("motifs")

@@ -1,11 +1,15 @@
 """Persistence of analysis artefacts (profiles, joins, pan profiles, VALMAP, results)."""
 
 from repro.io.serialization import (
+    load_analysis_request,
+    load_analysis_result,
     load_join_profile,
     load_matrix_profile,
     load_pan_profile,
     load_result,
     load_valmap,
+    save_analysis_request,
+    save_analysis_result,
     save_join_profile,
     save_matrix_profile,
     save_pan_profile,
@@ -14,11 +18,15 @@ from repro.io.serialization import (
 )
 
 __all__ = [
+    "load_analysis_request",
+    "load_analysis_result",
     "load_join_profile",
     "load_matrix_profile",
     "load_pan_profile",
     "load_result",
     "load_valmap",
+    "save_analysis_request",
+    "save_analysis_result",
     "save_join_profile",
     "save_matrix_profile",
     "save_pan_profile",

@@ -37,6 +37,10 @@ __all__ = [
     "load_join_profile",
     "save_pan_profile",
     "load_pan_profile",
+    "save_analysis_request",
+    "load_analysis_request",
+    "save_analysis_result",
+    "load_analysis_result",
 ]
 
 PathLike = Union[str, Path]
@@ -126,6 +130,43 @@ def load_result(path: PathLike) -> dict:
     if payload.get("kind") != "valmod_result":
         raise SerializationError(f"{path} does not contain a VALMOD result")
     return payload
+
+
+def save_analysis_request(request, path: PathLike) -> Path:
+    """Write an :class:`~repro.api.requests.AnalysisRequest` to a JSON file.
+
+    This is the service-style submission format: a request document saved
+    here can be loaded on another machine and replayed through
+    :meth:`repro.api.Analysis.run`.
+    """
+    payload = {"kind": "analysis_request", "request": request.as_dict()}
+    return _write_json(payload, path)
+
+
+def load_analysis_request(path: PathLike):
+    """Read a request written by :func:`save_analysis_request`."""
+    from repro.api.requests import AnalysisRequest
+
+    payload = _read_json(path)
+    if payload.get("kind") != "analysis_request":
+        raise SerializationError(f"{path} does not contain an analysis request")
+    return AnalysisRequest.from_dict(payload.get("request", {}))
+
+
+def save_analysis_result(result, path: PathLike) -> Path:
+    """Write an :class:`~repro.api.requests.AnalysisResult` envelope to JSON."""
+    payload = {"kind": "analysis_result", "result": result.as_dict()}
+    return _write_json(payload, path)
+
+
+def load_analysis_result(path: PathLike):
+    """Read a result envelope written by :func:`save_analysis_result`."""
+    from repro.api.requests import AnalysisResult
+
+    payload = _read_json(path)
+    if payload.get("kind") != "analysis_result":
+        raise SerializationError(f"{path} does not contain an analysis result")
+    return AnalysisResult.from_dict(payload.get("result", {}))
 
 
 def save_join_profile(profile: JoinProfile, path: PathLike) -> Path:

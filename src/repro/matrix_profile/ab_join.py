@@ -118,23 +118,31 @@ def ab_join(
     window = validate_subsequence_length(min(values_a.size, values_b.size), window)
     if stats_b is None:
         stats_b = SlidingStats(values_b)
-    means_b, stds_b = stats_b.mean_std(window)
     stats_a = SlidingStats(values_a)
     means_a, stds_a = stats_a.mean_std(window)
+
+    # Shift both series by one common constant before taking dot products:
+    # z-normalised distances are shift-invariant and the centered products
+    # avoid the large-offset cancellation (see SlidingStats.centered_values).
+    center = stats_b.center
+    centered_b = stats_b.centered_values
+    centered_means_b, stds_b = stats_b.centered_mean_std(window)
+    compensated = stats_b.conversion_compensated(window)
 
     count_a = values_a.size - window + 1
     distances = np.full(count_a, np.inf, dtype=np.float64)
     indices = np.full(count_a, -1, dtype=np.int64)
     for offset in range(count_a):
-        query = values_a[offset : offset + window]
-        dot_products = sliding_dot_product(query, values_b)
+        query = values_a[offset : offset + window] - center
+        dot_products = sliding_dot_product(query, centered_b)
         profile = distances_from_dot_products(
             dot_products,
             window,
-            float(means_a[offset]),
+            float(means_a[offset]) - center,
             float(stds_a[offset]),
-            means_b,
+            centered_means_b,
             stds_b,
+            compensated=compensated,
         )
         best = int(np.argmin(profile))
         distances[offset] = float(profile[best])

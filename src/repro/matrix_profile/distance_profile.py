@@ -13,6 +13,7 @@ import numpy as np
 from repro.exceptions import InvalidParameterError
 from repro.matrix_profile.exclusion import apply_exclusion_zone, default_exclusion_radius
 from repro.series.validation import validate_series, validate_subsequence_length
+from repro.stats.distance import centered_dot_products, compensation_needed
 from repro.stats.fft import sliding_dot_product
 from repro.stats.sliding import SlidingStats
 
@@ -26,6 +27,8 @@ def distances_from_dot_products(
     query_std: float,
     means: np.ndarray,
     stds: np.ndarray,
+    *,
+    compensated: bool | None = None,
 ) -> np.ndarray:
     """Convert sliding dot products into z-normalised Euclidean distances.
 
@@ -33,6 +36,12 @@ def distances_from_dot_products(
     ``d_{q,j}² = 2 m (1 - (QT_j - m·μ_q·μ_j) / (m·σ_q·σ_j))`` together with
     the constant-subsequence convention: distance ``0`` between two constant
     subsequences and ``sqrt(m)`` between a constant and a non-constant one.
+    The numerator is evaluated with the compensated subtraction of
+    :func:`repro.stats.distance.centered_dot_products`, so the conversion
+    stays accurate on high-variance / large-offset series where the naive
+    ``QT - m·μ_q·μ_j`` cancels catastrophically.  ``compensated`` overrides
+    the per-call risk heuristic; row-loop callers hoist the decision with
+    :func:`repro.stats.distance.compensation_needed`.
     """
     if window < 1:
         raise InvalidParameterError(f"window must be >= 1, got {window}")
@@ -47,8 +56,13 @@ def distances_from_dot_products(
     query_constant = query_std == 0.0
     target_constant = stds == 0.0
     distances = np.empty_like(qt)
+    if compensated is None:
+        compensated = compensation_needed(query_mean, means, stds)
+    centered = centered_dot_products(
+        qt, window, query_mean, means, compensated=compensated
+    )
     with np.errstate(divide="ignore", invalid="ignore"):
-        correlation = (qt - window * query_mean * means) / (window * query_std * stds)
+        correlation = centered / (window * query_std * stds)
     np.clip(correlation, -1.0, 1.0, out=correlation)
     squared = 2.0 * window * (1.0 - correlation)
     np.maximum(squared, 0.0, out=squared)
@@ -98,16 +112,22 @@ def distance_profile(
         )
     if stats is None:
         stats = SlidingStats(values)
-    means, stds = stats.mean_std(window)
-    query = values[query_offset : query_offset + window]
-    qt = sliding_dot_product(query, values)
+    # Compute the dot products on the mean-shifted series: z-normalised
+    # distances are shift-invariant, and the centered products are small
+    # enough that their rounding error no longer dominates the conversion
+    # on series sitting at a large offset.
+    centered = stats.centered_values
+    centered_means, stds = stats.centered_mean_std(window)
+    query = centered[query_offset : query_offset + window]
+    qt = sliding_dot_product(query, centered)
     profile = distances_from_dot_products(
         qt,
         window,
-        float(means[query_offset]),
+        float(centered_means[query_offset]),
         float(stds[query_offset]),
-        means,
+        centered_means,
         stds,
+        compensated=stats.conversion_compensated(window),
     )
     if apply_exclusion:
         radius = (

@@ -45,12 +45,24 @@ def mass(query, series, *, stats: SlidingStats | None = None) -> np.ndarray:
         raise InvalidParameterError("query contains NaN or infinite values")
     if stats is None:
         stats = SlidingStats(series_values)
-    means, stds = stats.mean_std(window)
     query_mean = float(query_values.mean())
     query_std = float(query_values.std())
     if query_std <= STD_EPSILON * max(1.0, float(np.abs(query_values).max())):
         query_std = 0.0
-    dot_products = sliding_dot_product(query_values, series_values)
+    # Shift the query and the series by the same constant before taking the
+    # dot products: the z-normalised distances are unchanged, but the
+    # products lose the large common offset whose rounding error would
+    # otherwise survive the qt -> correlation cancellation (see
+    # repro.stats.sliding.SlidingStats.centered_values).
+    center = stats.center
+    centered_means, stds = stats.centered_mean_std(window)
+    dot_products = sliding_dot_product(query_values - center, stats.centered_values)
     return distances_from_dot_products(
-        dot_products, window, query_mean, query_std, means, stds
+        dot_products,
+        window,
+        query_mean - center,
+        query_std,
+        centered_means,
+        stds,
+        compensated=stats.conversion_compensated(window),
     )

@@ -34,6 +34,7 @@ from repro.matrix_profile.exclusion import apply_exclusion_zone, default_exclusi
 from repro.matrix_profile.mass import mass
 from repro.matrix_profile.profile import MatrixProfile
 from repro.series.validation import validate_series, validate_subsequence_length
+from repro.stats.distance import centered_dot_products, compensation_needed
 from repro.stats.sliding import SlidingStats
 
 __all__ = [
@@ -95,12 +96,16 @@ def _constant_aware_distances(
     stds_a: np.ndarray,
     means_b: np.ndarray,
     stds_b: np.ndarray,
+    compensated: bool | None = None,
 ) -> np.ndarray:
     """Distances along a diagonal, honouring the constant-subsequence rules."""
     a_constant = stds_a == 0.0
     b_constant = stds_b == 0.0
+    centered = centered_dot_products(
+        qt, window, means_a, means_b, compensated=compensated
+    )
     with np.errstate(divide="ignore", invalid="ignore"):
-        correlation = (qt - window * means_a * means_b) / (window * stds_a * stds_b)
+        correlation = centered / (window * stds_a * stds_b)
     np.clip(correlation, -1.0, 1.0, out=correlation)
     squared = 2.0 * window * (1.0 - correlation)
     np.maximum(squared, 0.0, out=squared)
@@ -130,6 +135,7 @@ def _process_diagonal(
     means: np.ndarray,
     stds: np.ndarray,
     diagonal: int,
+    compensated: bool | None = None,
 ) -> None:
     """Update the profile with every pair that lies on one diagonal."""
     window = state.window
@@ -138,7 +144,13 @@ def _process_diagonal(
         return
     qt = _diagonal_dot_products(values, window, diagonal)
     distances = _constant_aware_distances(
-        qt, window, means[:count], stds[:count], means[diagonal:], stds[diagonal:]
+        qt,
+        window,
+        means[:count],
+        stds[:count],
+        means[diagonal:],
+        stds[diagonal:],
+        compensated,
     )
     rows = np.arange(count)
     columns = rows + diagonal
@@ -228,8 +240,11 @@ def scrimp(
         limit = max(1, int(round(fraction * order.size))) if order.size else 0
         to_process = order[:limit]
 
+    # One cancellation-risk decision for the whole sweep (every diagonal
+    # shares the same means array).
+    compensated = compensation_needed(means, means, stds)
     for diagonal in to_process.tolist():
-        _process_diagonal(state, values, means, stds, diagonal)
+        _process_diagonal(state, values, means, stds, diagonal, compensated)
     state.diagonals_done += int(to_process.size)
 
     return state.as_profile()

@@ -29,6 +29,7 @@ def stamp(
     order: np.ndarray | None = None,
     max_profiles: int | None = None,
     random_state: np.random.Generator | int | None = None,
+    stats: SlidingStats | None = None,
 ) -> MatrixProfile:
     """Matrix profile via repeated MASS calls (anytime algorithm).
 
@@ -47,7 +48,8 @@ def stamp(
     values = validate_series(series)
     window = validate_subsequence_length(values.size, window)
     radius = default_exclusion_radius(window) if exclusion_radius is None else int(exclusion_radius)
-    stats = SlidingStats(values)
+    if stats is None:
+        stats = SlidingStats(values)
     count = values.size - window + 1
 
     if order is None:

@@ -18,6 +18,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.exceptions import InvalidParameterError
 from repro.matrix_profile.distance_profile import distances_from_dot_products
 from repro.matrix_profile.exclusion import (
     apply_exclusion_zone,
@@ -25,6 +26,7 @@ from repro.matrix_profile.exclusion import (
 )
 from repro.matrix_profile.profile import MatrixProfile
 from repro.series.validation import validate_series, validate_subsequence_length
+from repro.stats.distance import compensation_needed
 from repro.stats.fft import sliding_dot_product
 from repro.stats.sliding import SlidingStats
 
@@ -41,6 +43,7 @@ def stomp(
     engine: object | None = None,
     n_jobs: int | None = None,
     block_size: int | None = None,
+    first_row_qt: np.ndarray | None = None,
 ) -> MatrixProfile:
     """Exact matrix profile of ``series`` at subsequence length ``window``.
 
@@ -68,6 +71,13 @@ def stomp(
         (:func:`repro.engine.partition.partitioned_stomp`).
     n_jobs, block_size:
         Engine tuning knobs, ignored when ``engine`` is ``None``.
+    first_row_qt:
+        Optional precomputed sliding dot products of the first query
+        (``QT[0, j]`` for every ``j``) — the one FFT product STOMP needs.
+        The :class:`repro.api.Analysis` session memoizes it per window
+        length so repeated calls on the same series skip the FFT.  Ignored
+        when ``engine`` routes the computation (the engine re-seeds blocks
+        itself).
 
     Returns
     -------
@@ -98,9 +108,20 @@ def stomp(
     profile = np.full(count, np.inf, dtype=np.float64)
     indices = np.full(count, -1, dtype=np.int64)
 
-    first_query = values[:window]
-    qt = sliding_dot_product(first_query, values)
+    if first_row_qt is not None:
+        qt = np.array(np.asarray(first_row_qt, dtype=np.float64))
+        if qt.shape != (count,):
+            raise InvalidParameterError(
+                f"first_row_qt must have {count} entries, got shape {qt.shape}"
+            )
+    else:
+        first_query = values[:window]
+        qt = sliding_dot_product(first_query, values)
     qt_first_column = np.array(qt)  # QT[i, 0] for every i
+
+    # One cancellation-risk decision for the whole sweep (every row shares
+    # the same means), keeping the reduction passes out of the hot loop.
+    compensated = compensation_needed(means, means, stds)
 
     for offset in range(count):
         if offset > 0:
@@ -112,7 +133,13 @@ def stomp(
             )
             qt[0] = qt_first_column[offset]
         distances = distances_from_dot_products(
-            qt, window, float(means[offset]), float(stds[offset]), means, stds
+            qt,
+            window,
+            float(means[offset]),
+            float(stds[offset]),
+            means,
+            stds,
+            compensated=compensated,
         )
         if profile_callback is not None:
             profile_callback(offset, qt, distances)

@@ -1,6 +1,6 @@
 """Data-series substrate: containers, loaders, preprocessing and windowing."""
 
-from repro.series.dataseries import DataSeries
+from repro.series.dataseries import DataSeries, as_series
 from repro.series.loaders import (
     load_csv,
     load_npy,
@@ -31,6 +31,7 @@ from repro.series.windows import (
 
 __all__ = [
     "DataSeries",
+    "as_series",
     "clip_outliers",
     "detrend",
     "downsample",

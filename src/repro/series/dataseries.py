@@ -19,7 +19,30 @@ import numpy as np
 from repro.exceptions import InvalidParameterError
 from repro.series.validation import validate_series
 
-__all__ = ["DataSeries"]
+__all__ = ["DataSeries", "as_series"]
+
+
+def as_series(series, *, name: str | None = None, **kwargs: Any) -> "DataSeries":
+    """Coerce any accepted series input into a validated :class:`DataSeries`.
+
+    Accepts a :class:`DataSeries` (returned as-is, unless ``name`` renames
+    it), a numpy array, a plain Python list/tuple, or anything
+    :func:`numpy.asarray` understands.  This is the single normalisation
+    point the :class:`repro.api.Analysis` session and the savers use instead
+    of re-validating per call.
+    """
+    if isinstance(series, DataSeries):
+        if name is None or name == series.name:
+            return series
+        return DataSeries(
+            np.array(series.values),
+            name=name,
+            sampling_rate=series.sampling_rate,
+            metadata=series.metadata,
+        )
+    return DataSeries(
+        np.asarray(series, dtype=np.float64), name=name or "series", **kwargs
+    )
 
 
 @dataclass(frozen=True)

@@ -22,10 +22,132 @@ from repro.stats.znorm import STD_EPSILON, znormalize
 __all__ = [
     "znorm_euclidean",
     "pairwise_znorm_distance",
+    "centered_dot_products",
+    "compensation_needed",
     "correlation_to_distance",
     "distance_to_correlation",
     "length_normalized",
 ]
+
+#: Dekker's splitting constant for float64: ``2**27 + 1``.  Multiplying by it
+#: and subtracting splits a double into two non-overlapping 26-bit halves,
+#: which lets a product be computed with its exact rounding error.
+_SPLIT = 134217729.0
+
+
+def _two_product(a, b):
+    """Return ``(p, e)`` with ``p = fl(a*b)`` and ``a*b = p + e`` exactly.
+
+    Dekker's algorithm (no FMA required): both halves of each operand are
+    short enough that the partial products are exact in float64.
+    """
+    p = a * b
+    a_big = _SPLIT * a
+    a_hi = a_big - (a_big - a)
+    a_lo = a - a_hi
+    b_big = _SPLIT * b
+    b_hi = b_big - (b_big - b)
+    b_lo = b - b_hi
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, e
+
+
+def _two_sum(a, b):
+    """Return ``(s, e)`` with ``s = fl(a+b)`` and ``a + b = s + e`` exactly."""
+    s = a + b
+    v = s - a
+    e = (a - (s - v)) + (b - v)
+    return s, e
+
+
+#: ``|mu_q * mu_j| / (sigma_q * sigma_j)`` ratio above which the naive
+#: ``QT - m mu_q mu_j`` subtraction is considered at risk of cancellation
+#: (relative error ``eps * ratio``, i.e. ~2e-13 at the threshold) and the
+#: compensated path is taken instead.  Below it the naive subtraction is
+#: already exact to working precision and ~3x cheaper.
+_COMPENSATION_RATIO = 1e3
+
+
+def _abs_scale(values: np.ndarray) -> float:
+    """``max(|values|)`` via min/max (no abs() temporary)."""
+    if values.ndim == 0:
+        return abs(float(values))
+    if values.size == 0:
+        return 0.0
+    return max(-float(np.min(values)), float(np.max(values)), 0.0)
+
+
+def compensation_needed(query_means, means, stds=None) -> bool:
+    """Whether :func:`centered_dot_products` should compensate for these means.
+
+    The cancellation's *relative* damage to the correlation is
+    ``eps * |mu_q mu_j| / (sigma_q sigma_j)``, so the decision compares the
+    means' magnitude against the typical (median) standard deviation when
+    one is available: an ordinary random walk whose means wander to ±100
+    with unit-scale sigmas stays on the cheap naive path, a series sitting
+    at offset 1e3+ compensates.  Without ``stds`` the check degrades to the
+    conservative absolute threshold.
+
+    Row-loop algorithms (STOMP, SCRIMP, the engine blocks) call the
+    conversion once per row against the *same* means arrays; evaluating
+    this predicate once and passing ``compensated=`` explicitly keeps the
+    reduction passes out of the hot loop.
+    """
+    query_means = np.asarray(query_means, dtype=np.float64)
+    means = np.asarray(means, dtype=np.float64)
+    product_scale = _abs_scale(query_means) * _abs_scale(means)
+    if stds is not None:
+        typical_std = float(np.median(np.asarray(stds, dtype=np.float64)))
+        if typical_std > 0.0:
+            return product_scale > _COMPENSATION_RATIO * typical_std * typical_std
+    return product_scale > _COMPENSATION_RATIO
+
+
+def centered_dot_products(
+    dot_products: np.ndarray,
+    window: int,
+    query_mean: float | np.ndarray,
+    means: np.ndarray,
+    *,
+    compensated: bool | None = None,
+) -> np.ndarray:
+    """Evaluation of ``QT - window * mu_q * mu`` (elementwise), compensated on demand.
+
+    ``query_mean`` may be a scalar (one query against many targets — the
+    distance-profile case) or an array broadcastable against ``means`` (the
+    diagonal/pairwise cases of SCRIMP and the VALMOD partial-profile store).
+
+    This is the numerator of the ``qt -> correlation`` conversion used by
+    every matrix-profile algorithm.  On series with a large offset (means of
+    magnitude ``1e6`` and unit variance, say) the two terms agree to many
+    digits and the plain subtraction cancels catastrophically: the rounding
+    error of the *product* ``window * mu_q * mu`` — invisible in the product
+    itself — survives the subtraction at full size and dominates the result.
+
+    The compensation tracks the exact rounding error of both multiplications
+    (Dekker's two-product) and of the subtraction (two-sum) and adds the
+    error terms back, so the result is correct to within a couple of ulps of
+    the *centered* magnitude instead of the uncentered one.  ``dot_products``
+    keeps whatever error it arrived with; the centred MASS path
+    (:func:`repro.matrix_profile.mass.mass`) removes that error too by
+    computing the dot products on a mean-shifted copy of the series.
+
+    ``compensated=None`` (default) decides per call from the magnitude of the
+    means relative to the work the caller is doing: the compensation costs
+    roughly three extra vector passes, which the tight STOMP row loop should
+    only pay when the series actually puts the subtraction at risk.
+    """
+    qt = np.asarray(dot_products, dtype=np.float64)
+    means = np.asarray(means, dtype=np.float64)
+    query_mean = np.asarray(query_mean, dtype=np.float64)
+    if compensated is None:
+        compensated = compensation_needed(query_mean, means)
+    if not compensated:
+        return qt - window * query_mean * means
+    coeff, coeff_err = _two_product(np.float64(window), query_mean)
+    product, product_err = _two_product(coeff, means)
+    centered, sum_err = _two_sum(qt, -product)
+    return centered + (sum_err - product_err - coeff_err * means)
 
 
 def znorm_euclidean(first: np.ndarray, second: np.ndarray) -> float:

@@ -20,6 +20,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.stats.distance import compensation_needed
 
 __all__ = [
     "prefix_sums",
@@ -94,22 +95,44 @@ def moving_mean_std(series: np.ndarray, window: int) -> Tuple[np.ndarray, np.nda
     the convention used by the matrix-profile literature.  Values that are
     numerically indistinguishable from zero are clamped to exactly ``0.0`` so
     callers can detect constant subsequences with ``std == 0``.
+
+    The variance is computed from prefix sums of the *mean-shifted* series:
+    the standard deviation is invariant under a global shift, but the raw
+    sums of squares are not — on a series sitting at offset ``1e6`` they
+    reach ``1e15`` and their float64 rounding error wipes out any variance
+    below ``1e-3``.  Centering first makes the error scale with the series
+    *spread* instead of its absolute offset.
     """
     array = _as_float_array(series)
     _validate_window(array.size, window)
-    csum, csum_sq = prefix_sums(array)
+    csum, _ = prefix_sums(array)
+    center = csum[-1] / array.size
+    centered = array - center
+    ccsum_sq = np.empty(array.size + 1, dtype=np.float64)
+    ccsum_sq[0] = 0.0
+    np.cumsum(np.square(centered), out=ccsum_sq[1:])
     window_sum = csum[window:] - csum[:-window]
-    window_sum_sq = csum_sq[window:] - csum_sq[:-window]
     means = window_sum / window
-    variances = window_sum_sq / window - np.square(means)
-    # Guard against catastrophic cancellation: the error of the subtraction is
-    # proportional to the magnitude of the *prefix* sums being subtracted (not
-    # of the local window), so the "numerically constant" threshold scales
-    # with that magnitude.
-    scale = np.maximum((csum_sq[window:] + csum_sq[:-window]) / window, 1.0)
+    variances, stds = _variances_from_centered(ccsum_sq, means - center, window)
+    return means, stds
+
+
+def _variances_from_centered(
+    ccsum_sq: np.ndarray, centered_means: np.ndarray, window: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(variances, stds)`` from centered sum-of-squares prefix sums.
+
+    ``var = sum((x - c)^2) / w - (mu - c)^2`` for any constant ``c``; the
+    caller passes ``c`` = the global series mean so both terms stay small.
+    The cancellation guard scales with the magnitude of the prefix sums
+    being subtracted, which after centering is the honest noise floor.
+    """
+    window_sum_sq = ccsum_sq[window:] - ccsum_sq[:-window]
+    variances = window_sum_sq / window - np.square(centered_means)
+    scale = np.maximum((ccsum_sq[window:] + ccsum_sq[:-window]) / window, 1.0)
     variances[variances < _EPS_VARIANCE * scale] = 0.0
     np.maximum(variances, 0.0, out=variances)
-    return means, np.sqrt(variances)
+    return variances, np.sqrt(variances)
 
 
 class SlidingStats:
@@ -133,6 +156,10 @@ class SlidingStats:
         self._values = _as_float_array(series)
         self._csum, self._csum_sq = prefix_sums(self._values)
         self._cache: dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._centered: np.ndarray | None = None
+        self._ccsum_sq: np.ndarray | None = None
+        self._centered_cache: dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._compensation: dict[int, bool] = {}
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -143,6 +170,40 @@ class SlidingStats:
         view = self._values.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def center(self) -> float:
+        """The global mean of the series (the shift removed by ``centered_values``)."""
+        return float(self._csum[-1] / self._values.size)
+
+    @property
+    def centered_values(self) -> np.ndarray:
+        """The series minus its global mean, cached (read-only view).
+
+        Z-normalised distances are invariant under a global shift of the
+        series, but the sliding dot products used to compute them are not:
+        on a series sitting at a large offset the products are huge and their
+        rounding error survives the ``qt -> correlation`` cancellation at
+        full size.  Computing the dot products on the centered copy (and
+        shifting the window means by the same constant) removes that error
+        at the source; the MASS / distance-profile paths do exactly this.
+        """
+        if self._centered is None:
+            centered = self._values - self.center
+            centered.flags.writeable = False
+            self._centered = centered
+        view = self._centered.view()
+        view.flags.writeable = False
+        return view
+
+    def _centered_csum_sq(self) -> np.ndarray:
+        """Prefix sums of squares of the centered series (lazy, cached)."""
+        if self._ccsum_sq is None:
+            ccsum_sq = np.empty(self._values.size + 1, dtype=np.float64)
+            ccsum_sq[0] = 0.0
+            np.cumsum(np.square(self.centered_values), out=ccsum_sq[1:])
+            self._ccsum_sq = ccsum_sq
+        return self._ccsum_sq
 
     def __len__(self) -> int:
         return int(self._values.size)
@@ -162,17 +223,47 @@ class SlidingStats:
         if cached is not None:
             return cached
         window_sum = self._csum[window:] - self._csum[:-window]
-        window_sum_sq = self._csum_sq[window:] - self._csum_sq[:-window]
         means = window_sum / window
-        variances = window_sum_sq / window - np.square(means)
-        # Same cancellation guard as moving_mean_std: the threshold scales
-        # with the magnitude of the prefix sums being subtracted.
-        scale = np.maximum((self._csum_sq[window:] + self._csum_sq[:-window]) / window, 1.0)
-        variances[variances < _EPS_VARIANCE * scale] = 0.0
-        np.maximum(variances, 0.0, out=variances)
-        stats = (means, np.sqrt(variances))
+        # Variances from the *centered* sums of squares (see moving_mean_std):
+        # invariant in exact arithmetic, dramatically more accurate when the
+        # series sits at a large offset.
+        _, stds = _variances_from_centered(
+            self._centered_csum_sq(), means - self.center, window
+        )
+        stats = (means, stds)
         self._cache[window] = stats
         return stats
+
+    def centered_mean_std(self, window: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(means - center, stds)`` for every subsequence, cached per window.
+
+        These are the statistics of :attr:`centered_values` — exactly what
+        the centred MASS / distance-profile / AB-join paths feed into the
+        ``qt -> correlation`` conversion.  Cached separately so per-query
+        loops (STAMP, PreSCRIMP, VALMOD's recomputations) do not re-subtract
+        the center on every call.
+        """
+        cached = self._centered_cache.get(window)
+        if cached is None:
+            means, stds = self.mean_std(window)
+            cached = (means - self.center, stds)
+            self._centered_cache[window] = cached
+        return cached
+
+    def conversion_compensated(self, window: int) -> bool:
+        """Whether the centred conversion should still Dekker-compensate.
+
+        Decided once per window from the centred means and typical std (see
+        :func:`repro.stats.distance.compensation_needed`); ``False`` for
+        well-scaled series, ``True`` when even the centred means are large
+        against the sigmas (e.g. strong drift spanning decades).
+        """
+        flag = self._compensation.get(window)
+        if flag is None:
+            centered_means, stds = self.centered_mean_std(window)
+            flag = compensation_needed(centered_means, centered_means, stds)
+            self._compensation[window] = flag
+        return flag
 
     def forget(self, window: int) -> None:
         """Drop the cached statistics of one window length.
@@ -181,6 +272,8 @@ class SlidingStats:
         after its iteration keeps the cache memory bounded.
         """
         self._cache.pop(window, None)
+        self._centered_cache.pop(window, None)
+        self._compensation.pop(window, None)
 
     def means(self, window: int) -> np.ndarray:
         """Means of every subsequence of length ``window``."""
@@ -206,11 +299,12 @@ class SlidingStats:
 
     def window_std(self, start: int, length: int) -> float:
         """Population standard deviation of ``series[start:start+length]``."""
-        mean = self.window_mean(start, length)
-        variance = self.window_sum_sq(start, length) / length - mean * mean
-        scale = max(
-            (self._csum_sq[start + length] + self._csum_sq[start]) / length, 1.0
-        )
+        centered_mean = self.window_mean(start, length) - self.center
+        ccsum_sq = self._centered_csum_sq()
+        variance = (
+            ccsum_sq[start + length] - ccsum_sq[start]
+        ) / length - centered_mean * centered_mean
+        scale = max((ccsum_sq[start + length] + ccsum_sq[start]) / length, 1.0)
         if variance < _EPS_VARIANCE * scale:
             return 0.0
         return float(np.sqrt(max(variance, 0.0)))

@@ -265,14 +265,22 @@ class StreamingMatrixProfile:
         return offset
 
     def _window_stats(self, values: np.ndarray, window: int) -> tuple[np.ndarray, np.ndarray]:
-        """Means and standard deviations of every subsequence of the current buffer."""
+        """Means and standard deviations of every subsequence of the current buffer.
+
+        Variances come from prefix sums of the *mean-shifted* buffer, the
+        same centering discipline as :func:`repro.stats.sliding.moving_mean_std`:
+        on a buffer sitting at a large offset the raw sums of squares lose
+        any variance below ``eps * offset^2`` to cancellation.
+        """
         csum = np.concatenate(([0.0], np.cumsum(values)))
-        csum_sq = np.concatenate(([0.0], np.cumsum(np.square(values))))
+        center = csum[-1] / values.size
+        centered = values - center
+        ccsum_sq = np.concatenate(([0.0], np.cumsum(np.square(centered))))
         window_sum = csum[window:] - csum[:-window]
-        window_sum_sq = csum_sq[window:] - csum_sq[:-window]
+        window_sum_sq = ccsum_sq[window:] - ccsum_sq[:-window]
         means = window_sum / window
-        variances = window_sum_sq / window - np.square(means)
-        scale = np.maximum((csum_sq[window:] + csum_sq[:-window]) / window, 1.0)
+        variances = window_sum_sq / window - np.square(means - center)
+        scale = np.maximum((ccsum_sq[window:] + ccsum_sq[:-window]) / window, 1.0)
         variances[variances < 1e-15 * scale] = 0.0
         np.maximum(variances, 0.0, out=variances)
         return means, np.sqrt(variances)

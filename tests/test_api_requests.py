@@ -1,0 +1,170 @@
+"""Request/result envelopes: JSON round-trips and io file round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.requests import AnalysisRequest, AnalysisResult
+from repro.api.session import analyze
+from repro.baselines.base import RangeDiscoveryResult
+from repro.exceptions import InvalidParameterError, SerializationError
+from repro.io.serialization import (
+    load_analysis_request,
+    load_analysis_result,
+    save_analysis_request,
+    save_analysis_result,
+)
+
+
+@pytest.fixture(scope="module")
+def values():
+    rng = np.random.default_rng(23)
+    return np.cumsum(rng.standard_normal(260))
+
+
+@pytest.fixture(scope="module")
+def session(values):
+    return analyze(values, name="walk")
+
+
+class TestRequestRoundTrip:
+    def test_json_round_trip(self):
+        request = AnalysisRequest(
+            kind="matrix_profile", algo="stomp", params={"window": 32}
+        )
+        restored = AnalysisRequest.from_json(request.to_json())
+        assert restored == request
+
+    def test_round_trip_preserves_execution_semantics(self, session):
+        """request -> JSON -> request -> run == direct run (the service loop)."""
+        request = AnalysisRequest(
+            kind="matrix_profile", algo="stomp", params={"window": 24}
+        )
+        replayed = session.run(AnalysisRequest.from_json(request.to_json()))
+        direct = session.run(request)
+        np.testing.assert_array_equal(
+            replayed.profile().distances, direct.profile().distances
+        )
+
+    def test_array_parameters_serialise_as_lists(self, values):
+        request = AnalysisRequest(
+            kind="mpdist",
+            params={"other": values[:50], "window": 16, "percentile": 0.05},
+        )
+        payload = request.as_dict()
+        assert payload["params"]["other"] == values[:50].tolist()
+        restored = AnalysisRequest.from_json(request.to_json())
+        assert restored.params["other"] == values[:50].tolist()
+
+    def test_unserialisable_parameter_raises(self):
+        request = AnalysisRequest(kind="matrix_profile", params={"window": object()})
+        with pytest.raises(SerializationError):
+            request.as_dict()
+        assert request.cache_key() is None
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AnalysisRequest(kind="")
+
+    def test_file_round_trip(self, tmp_path):
+        request = AnalysisRequest(kind="motifs", algo="valmod", params={"min_length": 16, "max_length": 24})
+        path = save_analysis_request(request, tmp_path / "request.json")
+        assert load_analysis_request(path) == request
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SerializationError):
+            AnalysisRequest.from_json("[1, 2]")
+        with pytest.raises(SerializationError):
+            AnalysisRequest.from_json("{not json")
+
+
+class TestResultRoundTrip:
+    """The acceptance loop: AnalysisRequest -> JSON -> run -> AnalysisResult -> JSON."""
+
+    def test_matrix_profile_envelope(self, session, tmp_path):
+        request = AnalysisRequest.from_json(
+            AnalysisRequest(
+                kind="matrix_profile", algo="stomp", params={"window": 24}
+            ).to_json()
+        )
+        result = session.run(request)
+        path = save_analysis_result(result, tmp_path / "result.json")
+        restored = load_analysis_result(path)
+        assert restored.kind == "matrix_profile"
+        assert restored.algo == "stomp"
+        assert restored.series_name == "walk"
+        np.testing.assert_allclose(
+            restored.profile().distances, result.profile().distances, atol=1e-12
+        )
+        np.testing.assert_array_equal(
+            restored.profile().indices, result.profile().indices
+        )
+
+    @pytest.mark.parametrize("method", ["valmod", "stomp_range"])
+    def test_motifs_envelope_round_trips_the_comparable_view(
+        self, session, method, tmp_path
+    ):
+        result = session.motifs(16, 20, method=method, top_k=2)
+        restored = load_analysis_result(
+            save_analysis_result(result, tmp_path / f"{method}.json")
+        )
+        assert isinstance(restored.payload, RangeDiscoveryResult)
+        assert restored.best_motif().offsets == result.best_motif().offsets
+        assert restored.motifs_by_length().keys() == result.motifs_by_length().keys()
+
+    def test_pan_profile_envelope(self, session, tmp_path):
+        result = session.pan_profile(16, 20)
+        restored = load_analysis_result(
+            save_analysis_result(result, tmp_path / "pan.json")
+        )
+        np.testing.assert_array_equal(
+            restored.payload.lengths, result.payload.lengths
+        )
+        np.testing.assert_allclose(
+            restored.payload.normalized_profiles,
+            result.payload.normalized_profiles,
+            atol=1e-12,
+            equal_nan=True,
+        )
+
+    def test_discords_envelope(self, session, tmp_path):
+        result = session.discords(16, 24, k=2)
+        restored = load_analysis_result(
+            save_analysis_result(result, tmp_path / "discords.json")
+        )
+        assert [d.offset for d in restored.payload] == [
+            d.offset for d in result.payload
+        ]
+
+    def test_ab_join_and_mpdist_envelopes(self, session, values, tmp_path):
+        other = values[:120]
+        join = session.ab_join(other, 16)
+        restored_join = load_analysis_result(
+            save_analysis_result(join, tmp_path / "join.json")
+        )
+        np.testing.assert_allclose(
+            restored_join.payload.distances, join.payload.distances, atol=1e-12
+        )
+        distance = session.mpdist(other, 16)
+        restored_distance = load_analysis_result(
+            save_analysis_result(distance, tmp_path / "mpdist.json")
+        )
+        assert restored_distance.payload == pytest.approx(distance.payload)
+
+    def test_wrong_file_kind_rejected(self, session, tmp_path):
+        result = session.matrix_profile(16)
+        path = save_analysis_result(result, tmp_path / "result.json")
+        with pytest.raises(SerializationError):
+            load_analysis_request(path)
+
+    def test_unknown_payload_type_rejected(self):
+        with pytest.raises(SerializationError):
+            AnalysisResult.from_dict(
+                {
+                    "kind": "matrix_profile",
+                    "algo": "stomp",
+                    "payload_type": "hologram",
+                    "payload": {},
+                }
+            )

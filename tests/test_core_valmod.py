@@ -196,3 +196,37 @@ class TestGroundTruthRecovery:
         from repro.analysis.evaluation import recall_of_planted_motifs
 
         assert recall_of_planted_motifs(ranked, truth, coverage=0.4) == 1.0
+
+
+class TestEngineBatchedRecomputations:
+    """engine= batches the per-length exact recomputations; results are exact."""
+
+    @pytest.mark.parametrize("engine", ["serial", "parallel"])
+    def test_engine_routed_valmod_matches_serial_oracle(
+        self, small_random_series, engine
+    ):
+        kwargs = {"n_jobs": 2} if engine == "parallel" else {}
+        oracle = valmod(small_random_series, 16, 40, top_k=2)
+        routed = valmod(small_random_series, 16, 40, top_k=2, engine=engine, **kwargs)
+        for length in oracle.lengths:
+            expected = [(p.offsets, p.distance) for p in oracle.motifs_at(length)]
+            observed = [(p.offsets, p.distance) for p in routed.motifs_at(length)]
+            assert [o for o, _ in observed] == [o for o, _ in expected]
+            np.testing.assert_allclose(
+                [d for _, d in observed], [d for _, d in expected], atol=1e-8
+            )
+
+    def test_batched_recomputation_is_a_superset_of_serial(self, small_ecg_series):
+        """The batch may recompute more profiles, never report different pairs."""
+        oracle = valmod(small_ecg_series, 24, 40, top_k=3, profile_capacity=4)
+        routed = valmod(
+            small_ecg_series, 24, 40, top_k=3, profile_capacity=4, engine="serial"
+        )
+        assert (
+            routed.extra["total_recomputed_profiles"]
+            >= oracle.extra["total_recomputed_profiles"]
+        )
+        for length in oracle.lengths:
+            expected = [p.distance for p in oracle.motifs_at(length)]
+            observed = [p.distance for p in routed.motifs_at(length)]
+            np.testing.assert_allclose(observed, expected, atol=1e-8)

@@ -128,3 +128,105 @@ class TestPairwise:
     def test_rejects_1d(self):
         with pytest.raises(InvalidParameterError):
             pairwise_znorm_distance(np.arange(5, dtype=float))
+
+
+class TestCenteredDotProducts:
+    """The compensated ``QT - m mu_q mu_j`` numerator (large-offset accuracy)."""
+
+    @staticmethod
+    def _exact_numerator(qt, window, query_mean, means):
+        from fractions import Fraction
+
+        return np.array(
+            [
+                float(
+                    Fraction(q) - Fraction(window) * Fraction(query_mean) * Fraction(m)
+                )
+                for q, m in zip(qt.tolist(), means.tolist())
+            ]
+        )
+
+    def test_compensated_beats_naive_on_large_offsets(self):
+        from repro.stats.distance import centered_dot_products
+
+        rng = np.random.default_rng(7)
+        window = 64
+        means = 1e6 + rng.normal(size=200)
+        query_mean = 1e6 + float(rng.normal())
+        # Dot products of the same magnitude as the product term, as they
+        # are in the shifted-series scenario.
+        qt = window * query_mean * means * (1.0 + 1e-9 * rng.normal(size=200))
+        exact = self._exact_numerator(qt, window, query_mean, means)
+        naive = qt - window * query_mean * means
+        compensated = centered_dot_products(
+            qt, window, query_mean, means, compensated=True
+        )
+        naive_error = float(np.max(np.abs(naive - exact)))
+        compensated_error = float(np.max(np.abs(compensated - exact)))
+        assert compensated_error < naive_error / 1e3
+        # The compensated numerator is exact to a few ulps of the result.
+        assert compensated_error <= 4 * np.finfo(np.float64).eps * np.max(np.abs(exact))
+
+    def test_auto_mode_matches_naive_on_small_means(self):
+        from repro.stats.distance import centered_dot_products
+
+        rng = np.random.default_rng(8)
+        qt = rng.normal(size=100)
+        means = rng.normal(size=100)
+        auto = centered_dot_products(qt, 32, 0.5, means)
+        naive = qt - 32 * 0.5 * means
+        np.testing.assert_array_equal(auto, naive)
+
+    def test_vector_query_means_broadcast(self):
+        from repro.stats.distance import centered_dot_products
+
+        rng = np.random.default_rng(9)
+        qt = rng.normal(size=(4, 5))
+        means_a = rng.normal(size=(4, 1))
+        means_b = rng.normal(size=(4, 5))
+        result = centered_dot_products(qt, 16, means_a, means_b, compensated=True)
+        np.testing.assert_allclose(result, qt - 16 * means_a * means_b, atol=1e-12)
+
+
+class TestLargeOffsetProfiles:
+    """Brute-force comparison of the centred MASS path at large offsets.
+
+    The ROADMAP accuracy item: on series sitting at a large offset the naive
+    ``qt -> correlation`` pipeline loses ~1e-3..1e-1 absolute accuracy to
+    cancellation (dot products ~1e13, variances from raw prefix sums).  The
+    centred pipeline keeps the error within ~1e-5 of the brute-force oracle.
+    """
+
+    @pytest.mark.parametrize("offset", [1e4, 1e6])
+    def test_distance_profile_tracks_brute_force(self, offset):
+        from repro.matrix_profile.brute_force import brute_force_distance_profile
+        from repro.matrix_profile.distance_profile import distance_profile
+
+        rng = np.random.default_rng(11)
+        values = np.cumsum(rng.standard_normal(512)) + offset
+        window, query = 48, 100
+        computed = distance_profile(
+            values, query, window, apply_exclusion=False
+        )
+        brute = brute_force_distance_profile(values, query, window)
+        # Exclude the trivial self-match region, where the true distance is
+        # ~0 and sqrt() turns eps-level correlation noise into ~1e-6.
+        mask = np.ones(computed.size, dtype=bool)
+        mask[query - window // 4 : query + window // 4 + 1] = False
+        error = float(np.max(np.abs(computed[mask] - brute[mask])))
+        assert error < 1e-5, f"offset {offset:g}: error {error:.3e}"
+
+    @pytest.mark.parametrize("offset", [1e4, 1e6])
+    def test_mass_tracks_brute_force(self, offset):
+        from repro.matrix_profile.brute_force import brute_force_distance_profile
+        from repro.matrix_profile.mass import mass
+
+        rng = np.random.default_rng(12)
+        values = np.cumsum(rng.standard_normal(512)) + offset
+        window, query = 48, 333
+        computed = mass(values[query : query + window], values)
+        brute = brute_force_distance_profile(values, query, window)
+        mask = np.ones(computed.size, dtype=bool)
+        mask[query - window // 4 : query + window // 4 + 1] = False
+        error = float(np.max(np.abs(computed[mask] - brute[mask])))
+        assert error < 1e-5, f"offset {offset:g}: error {error:.3e}"
