@@ -1,0 +1,95 @@
+"""Cold / warm / persisted latency of the analysis service.
+
+Measures the three regimes of one identical request through a live
+localhost server and writes them to ``BENCH_service.json`` at the
+repository root:
+
+* **cold** — first submission: full HTTP round trip + profile computation;
+* **warm** — repeated identical submission against the same server: the
+  session's in-memory LRU cache answers;
+* **persisted** — the server is torn down and a fresh one (same spill
+  directory) answers the same request from the persistent cache: disk
+  read + envelope parse instead of the O(n^2) computation.
+
+The acceptance gates are single-core safe: they check the cache *source*
+markers and that the cached regimes beat the cold one — cache reuse, not
+parallelism.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.cache import CacheConfig
+from repro.api.requests import AnalysisRequest
+from repro.generators import generate_random_walk
+from repro.service import BackgroundService, ServiceClient, ServiceConfig
+
+SERIES_LENGTH = 4096
+WINDOW = 128
+WARM_REPEATS = 10
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _timed_request(client: ServiceClient, values: np.ndarray, request) -> tuple:
+    started = time.perf_counter()
+    _result, source = client.analyze(values, request)
+    return time.perf_counter() - started, source
+
+
+def test_service_latency_regimes() -> None:
+    values = np.array(generate_random_walk(SERIES_LENGTH, random_state=11).values)
+    request = AnalysisRequest(kind="matrix_profile", params={"window": WINDOW})
+
+    with tempfile.TemporaryDirectory() as spill:
+        config = ServiceConfig(
+            port=0, workers=1, cache=CacheConfig(persist_dir=spill)
+        )
+        with BackgroundService(config) as background:
+            client = ServiceClient(port=background.port, timeout=300)
+            cold_seconds, cold_source = _timed_request(client, values, request)
+            warm_samples = []
+            warm_sources = set()
+            for _ in range(WARM_REPEATS):
+                seconds, source = _timed_request(client, values, request)
+                warm_samples.append(seconds)
+                warm_sources.add(source)
+            warm_seconds = sum(warm_samples) / len(warm_samples)
+
+        fresh_config = ServiceConfig(
+            port=0, workers=1, cache=CacheConfig(persist_dir=spill)
+        )
+        with BackgroundService(fresh_config) as background:
+            client = ServiceClient(port=background.port, timeout=300)
+            persisted_seconds, persisted_source = _timed_request(
+                client, values, request
+            )
+
+    assert cold_source == "computed"
+    assert warm_sources == {"memory"}
+    assert persisted_source == "persistent"
+    # Single-core-safe gates: cached regimes must beat recomputation.
+    assert warm_seconds < cold_seconds
+    assert persisted_seconds < cold_seconds
+
+    payload = {
+        "series_length": SERIES_LENGTH,
+        "window": WINDOW,
+        "warm_repeats": WARM_REPEATS,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "persisted_seconds": persisted_seconds,
+        "warm_speedup_vs_cold": cold_seconds / max(warm_seconds, 1e-9),
+        "persisted_speedup_vs_cold": cold_seconds / max(persisted_seconds, 1e-9),
+        "regime_sources": {
+            "cold": cold_source,
+            "warm": sorted(warm_sources),
+            "persisted": persisted_source,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

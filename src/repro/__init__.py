@@ -40,6 +40,7 @@ from repro.api import (
     Analysis,
     AnalysisRequest,
     AnalysisResult,
+    CacheConfig,
     EngineConfig,
     analyze,
 )
@@ -74,6 +75,7 @@ from repro.exceptions import (
     LengthRangeError,
     ReproError,
     SerializationError,
+    ServiceError,
     SubsequenceLengthError,
 )
 from repro.engine import (
@@ -119,6 +121,7 @@ __all__ = [
     "Analysis",
     "AnalysisRequest",
     "AnalysisResult",
+    "CacheConfig",
     "DataSeries",
     "EngineConfig",
     "EmptyResultError",
@@ -138,6 +141,7 @@ __all__ = [
     "StreamingMatrixProfile",
     "ReproError",
     "SerializationError",
+    "ServiceError",
     "SubsequenceLengthError",
     "Valmap",
     "ValmapCheckpoint",

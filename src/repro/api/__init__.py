@@ -13,14 +13,21 @@ The package groups three layers:
   :mod:`repro.io.serialization`).
 """
 
+from repro.api.cache import (
+    CacheConfig,
+    LRUResultCache,
+    PersistentResultCache,
+    series_digest,
+)
 from repro.api.registry import (
     AlgorithmSpec,
     algorithm_keys,
     capabilities,
+    iter_specs,
     registered_kinds,
     resolve_algorithm,
 )
-from repro.api.requests import AnalysisRequest, AnalysisResult
+from repro.api.requests import AnalysisRequest, AnalysisResult, canonical_cache_key
 from repro.api.session import Analysis, EngineConfig, analyze
 
 __all__ = [
@@ -28,10 +35,16 @@ __all__ = [
     "Analysis",
     "AnalysisRequest",
     "AnalysisResult",
+    "CacheConfig",
     "EngineConfig",
+    "LRUResultCache",
+    "PersistentResultCache",
     "algorithm_keys",
     "analyze",
+    "canonical_cache_key",
     "capabilities",
+    "iter_specs",
     "registered_kinds",
     "resolve_algorithm",
+    "series_digest",
 ]

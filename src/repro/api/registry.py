@@ -24,9 +24,11 @@ from repro.exceptions import InvalidParameterError
 __all__ = [
     "AlgorithmSpec",
     "register",
+    "unregister",
     "resolve_algorithm",
     "algorithm_keys",
     "registered_kinds",
+    "iter_specs",
     "capabilities",
 ]
 
@@ -72,6 +74,10 @@ class AlgorithmSpec:
 _REGISTRY: Dict[Tuple[str, str], AlgorithmSpec] = {}
 _ALIASES: Dict[Tuple[str, str], str] = {}
 _DEFAULTS: Dict[str, str] = {}
+#: Default key each spec displaced when it became its kind's default —
+#: lets :func:`unregister` restore the previous default instead of
+#: silently promoting the alphabetically-first survivor.
+_DISPLACED_DEFAULTS: Dict[Tuple[str, str], str | None] = {}
 
 
 def register(spec: AlgorithmSpec, *, default: bool = False) -> AlgorithmSpec:
@@ -85,8 +91,39 @@ def register(spec: AlgorithmSpec, *, default: bool = False) -> AlgorithmSpec:
     for alias in spec.aliases:
         _ALIASES[(spec.kind, alias)] = spec.key
     if default or spec.kind not in _DEFAULTS:
+        _DISPLACED_DEFAULTS[slot] = _DEFAULTS.get(spec.kind)
         _DEFAULTS[spec.kind] = spec.key
     return spec
+
+
+def unregister(kind: str, key: str) -> None:
+    """Remove a registered spec (and its aliases and default slot).
+
+    Exists for test substrates that install synthetic algorithms (e.g. the
+    service suite's deliberately slow runner) and must restore the global
+    registry afterwards; production code never unregisters.
+    """
+    spec = _REGISTRY.pop((kind, key), None)
+    if spec is None:
+        raise InvalidParameterError(
+            f"no {kind!r} algorithm {key!r} is registered"
+        )
+    for alias in spec.aliases:
+        _ALIASES.pop((kind, alias), None)
+    displaced = _DISPLACED_DEFAULTS.pop((kind, key), None)
+    if _DEFAULTS.get(kind) == key:
+        remaining = algorithm_keys(kind)
+        if displaced is not None and displaced in remaining:
+            _DEFAULTS[kind] = displaced  # restore the default this spec took
+        elif remaining:
+            _DEFAULTS[kind] = remaining[0]
+        else:
+            _DEFAULTS.pop(kind, None)
+
+
+def iter_specs() -> List[AlgorithmSpec]:
+    """Every registered spec, sorted by ``(kind, key)`` (for tests/clients)."""
+    return [spec for _, spec in sorted(_REGISTRY.items())]
 
 
 def registered_kinds() -> List[str]:
@@ -160,7 +197,7 @@ def _mp_stomp(session, window: int, **options):
         session.values,
         window,
         stats=session.stats,
-        first_row_qt=session.base_dot_products(window),
+        centered_first_row_qt=session.base_dot_products(window),
         **options,
     )
 

@@ -39,7 +39,7 @@ from repro.matrix_profile.ab_join import JoinProfile
 from repro.matrix_profile.profile import MatrixProfile, MotifPair
 from repro.series.dataseries import DataSeries
 
-__all__ = ["AnalysisRequest", "AnalysisResult"]
+__all__ = ["AnalysisRequest", "AnalysisResult", "canonical_cache_key"]
 
 
 def _jsonable(value: Any) -> Any:
@@ -154,7 +154,7 @@ class AnalysisRequest:
                 algo=payload.get("algo"),
                 params=dict(payload.get("params", {})),
             )
-        except (KeyError, TypeError) as error:
+        except (KeyError, TypeError, ValueError) as error:
             raise SerializationError(f"not a valid analysis request: {error}") from error
 
     @classmethod
@@ -167,6 +167,22 @@ class AnalysisRequest:
         if not isinstance(payload, dict):
             raise SerializationError("not a valid analysis request: expected an object")
         return cls.from_dict(payload)
+
+
+def canonical_cache_key(spec, request: "AnalysisRequest") -> str | None:
+    """Cache key of ``request`` under the *resolved* algorithm spec.
+
+    Aliases and the kind's default spelling share one cache slot: the key is
+    always computed with the spec's canonical ``key`` as the algo.  Returns
+    ``None`` when the parameters resist canonicalisation (such requests
+    bypass every cache).  Shared by the session cache, the persistent spill
+    and the service layer so all three agree on what "the same request" is.
+    """
+    if request.algo == spec.key:
+        return request.cache_key()
+    return AnalysisRequest(
+        kind=spec.kind, algo=spec.key, params=request.params
+    ).cache_key()
 
 
 def _payload_as_dict(kind: str, payload: Any) -> tuple[str, Any]:

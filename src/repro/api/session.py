@@ -12,9 +12,14 @@ pay those costs once; the session object does exactly that:
   mean/std cache) is shared across every computation;
 * the base FFT products STOMP needs (``QT[0, j]``) are memoized per window
   length;
-* every completed computation is cached under its canonical request key, so
-  repeating a call is a dictionary hit (see
-  ``benchmarks/test_api_session_cache.py`` for the measured speedup);
+* every completed computation is cached under its canonical request key in a
+  bounded LRU cache (entry-count **and** byte-size accounting, see
+  :class:`~repro.api.cache.LRUResultCache`), so repeating a call is a
+  dictionary hit (``benchmarks/test_api_session_cache.py`` measures the
+  speedup) while long-lived sessions stay bounded;
+* with a :class:`~repro.api.cache.CacheConfig` ``persist_dir``, envelopes
+  additionally spill to disk keyed by ``(series_digest, canonical request
+  key)`` — a fresh process answering the same series reuses prior work;
 * one :class:`EngineConfig` carries the execution knobs for every
   engine-aware algorithm instead of per-call ``engine=`` / ``n_jobs=``
   arguments, and multi-request submissions batch through
@@ -32,33 +37,30 @@ Typical usage::
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.api.registry import AlgorithmSpec, resolve_algorithm
-from repro.api.requests import AnalysisRequest, AnalysisResult
+from repro.api.cache import (
+    CacheConfig,
+    LRUResultCache,
+    PersistentResultCache,
+    series_digest,
+)
+from repro.api.registry import resolve_algorithm
+from repro.api.requests import AnalysisRequest, AnalysisResult, canonical_cache_key
 from repro.engine.executor import Executor
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, SerializationError
 from repro.series.dataseries import DataSeries, as_series
 from repro.stats.fft import sliding_dot_product
 from repro.stats.sliding import SlidingStats
 
-__all__ = ["EngineConfig", "Analysis", "analyze"]
+__all__ = ["EngineConfig", "CacheConfig", "Analysis", "analyze"]
 
 _ENGINE_NAMES = ("serial", "parallel", "auto")
-
-
-def _canonical_key(spec: AlgorithmSpec, request: AnalysisRequest) -> str | None:
-    """Cache key under the *resolved* algorithm, so aliases and the kind's
-    default spelling share one cache slot."""
-    if request.algo == spec.key:
-        return request.cache_key()
-    return AnalysisRequest(
-        kind=spec.kind, algo=spec.key, params=request.params
-    ).cache_key()
 
 
 @dataclass(frozen=True)
@@ -136,6 +138,11 @@ class Analysis:
         Session-wide :class:`EngineConfig`; also accepts the shorthand
         strings ``"serial"`` / ``"parallel"`` / ``"auto"`` or an
         :class:`~repro.engine.executor.Executor` instance.
+    cache_config:
+        Session-wide :class:`~repro.api.cache.CacheConfig`: LRU bounds of
+        the in-memory result cache (entries and serialised bytes) and the
+        optional cross-session spill directory.  Defaults to a bounded
+        in-memory cache with no persistence.
     """
 
     def __init__(
@@ -144,6 +151,7 @@ class Analysis:
         *,
         name: str | None = None,
         engine: "EngineConfig | str | Executor | None" = None,
+        cache_config: CacheConfig | None = None,
     ) -> None:
         self._series = as_series(series, name=name)
         if engine is None:
@@ -151,11 +159,23 @@ class Analysis:
         elif not isinstance(engine, EngineConfig):
             engine = EngineConfig(executor=engine)
         self._engine = engine
+        if cache_config is None:
+            cache_config = CacheConfig()
+        self._cache_config = cache_config
         self._stats: SlidingStats | None = None
         self._base_qt: Dict[int, np.ndarray] = {}
-        self._results: Dict[str, AnalysisResult] = {}
+        self._results = LRUResultCache(
+            cache_config.max_entries, cache_config.max_bytes
+        )
+        self._persistent = (
+            None
+            if cache_config.persist_dir is None
+            else PersistentResultCache(cache_config.persist_dir)
+        )
+        self._digest: str | None = None
         self._hits = 0
         self._misses = 0
+        self._persistent_hits = 0
 
     # ------------------------------------------------------------------ #
     # shared state
@@ -181,6 +201,18 @@ class Analysis:
         return self._engine
 
     @property
+    def cache_config(self) -> CacheConfig:
+        """The session's result-cache configuration."""
+        return self._cache_config
+
+    @property
+    def series_digest(self) -> str:
+        """Content digest of the series (persistent-cache / service key)."""
+        if self._digest is None:
+            self._digest = series_digest(self.values)
+        return self._digest
+
+    @property
     def stats(self) -> SlidingStats:
         """The shared sliding statistics (created lazily, once)."""
         if self._stats is None:
@@ -201,7 +233,10 @@ class Analysis:
 
         This is the single FFT product a STOMP run needs; caching it means a
         repeated ``matrix_profile`` call at the same window (with caching
-        disabled or different options) still skips the FFT.
+        disabled or different options) still skips the FFT.  The products
+        are taken on the **mean-centered** series — the form
+        :func:`repro.matrix_profile.stomp.stomp` expects for its centered
+        recurrence (``centered_first_row_qt=``).
         """
         window = int(window)
         cached = self._base_qt.get(window)
@@ -210,7 +245,8 @@ class Analysis:
                 raise InvalidParameterError(
                     f"window {window} out of range [1, {len(self)}]"
                 )
-            cached = sliding_dot_product(self.values[:window], self.values)
+            centered = self.stats.centered_values
+            cached = sliding_dot_product(centered[:window], centered)
             self._base_qt[window] = cached
         return cached
 
@@ -228,19 +264,74 @@ class Analysis:
     # cache management
     # ------------------------------------------------------------------ #
     def cache_info(self) -> dict:
-        """Hit/miss counters and entry count of the result cache."""
+        """Hit/miss counters, bounds and occupancy of the result cache."""
         return {
             "hits": self._hits,
             "misses": self._misses,
-            "entries": len(self._results),
+            "persistent_hits": self._persistent_hits,
+            **self._results.info(),
+            "persist_dir": (
+                None if self._persistent is None else str(self._persistent.root)
+            ),
         }
 
     def clear_cache(self) -> None:
-        """Drop every cached result and memoized FFT product."""
+        """Drop every in-memory cached result and memoized FFT product.
+
+        The persistent spill directory (when configured) is left intact —
+        it exists precisely to outlive sessions; remove the directory itself
+        to discard it.
+        """
         self._results.clear()
         self._base_qt.clear()
         self._hits = 0
         self._misses = 0
+        self._persistent_hits = 0
+
+    def _cached_anywhere(self, spec, request: AnalysisRequest) -> bool:
+        """Whether a request is answerable from the memory cache or the
+        spill (which is promoted into memory as a side effect) — used by
+        :meth:`run_many` so the batch path does not recompute work a prior
+        process already persisted."""
+        key = canonical_cache_key(spec, request)
+        if key is None:
+            return False
+        if key in self._results:
+            return True
+        return self._load_spilled(key) is not None
+
+    def _load_spilled(self, key: str) -> AnalysisResult | None:
+        """Probe the persistent spill and promote a hit into the LRU cache.
+
+        The spill file's size (already known from the read) feeds the byte
+        accounting — no re-serialisation on the hit path.
+        """
+        if self._persistent is None:
+            return None
+        spilled = self._persistent.load(self.series_digest, key)
+        if spilled is None:
+            return None
+        result, size = spilled
+        self._persistent_hits += 1
+        self._results.put(key, result, size)
+        return result
+
+    def _cache_store(self, key: str, result: AnalysisResult) -> None:
+        """Insert one computed envelope into the memory cache and the spill.
+
+        The envelope is serialised exactly once: the dict form feeds both
+        the byte-size accounting and the persistent spill file.
+        """
+        try:
+            document = result.as_dict()
+        except SerializationError:
+            return
+        size = len(json.dumps(document, sort_keys=True).encode("utf-8"))
+        self._results.put(key, result, size)
+        if self._persistent is not None:
+            self._persistent.store(
+                self.series_digest, key, result, result_dict=document
+            )
 
     # ------------------------------------------------------------------ #
     # the one dispatch path
@@ -249,21 +340,42 @@ class Analysis:
         """Execute one :class:`~repro.api.requests.AnalysisRequest`.
 
         Every public method funnels through here: the request resolves
-        against the registry, the result cache is consulted under the
-        request's canonical key, and the computation lands in the common
+        against the registry, the result caches (in-memory LRU, then the
+        persistent spill when configured) are consulted under the request's
+        canonical key, and the computation lands in the common
         :class:`~repro.api.requests.AnalysisResult` envelope.
+        """
+        return self.run_with_info(request, cache=cache)[0]
+
+    def run_with_info(
+        self, request: AnalysisRequest, *, cache: bool = True
+    ) -> Tuple[AnalysisResult, str]:
+        """Like :meth:`run`, also reporting where the result came from.
+
+        The second element is ``"memory"`` (in-memory cache hit),
+        ``"persistent"`` (spill-file hit from an earlier session) or
+        ``"computed"``.  The service layer surfaces it to clients and the
+        latency benchmark keys its regimes on it.
+
+        Note that a persistent hit returns the envelope as it round-trips
+        through JSON: a ``motifs``/``valmod`` payload comes back as the
+        cross-algorithm :class:`~repro.baselines.base.RangeDiscoveryResult`
+        view, not the full in-process ``ValmodResult``.
         """
         if not isinstance(request, AnalysisRequest):
             raise InvalidParameterError(
                 f"run() expects an AnalysisRequest, got {type(request).__name__}"
             )
         spec = resolve_algorithm(request.kind, request.algo)
-        key = _canonical_key(spec, request) if cache else None
+        key = canonical_cache_key(spec, request) if cache else None
         if key is not None:
             cached = self._results.get(key)
             if cached is not None:
                 self._hits += 1
-                return cached
+                return cached, "memory"
+            spilled = self._load_spilled(key)
+            if spilled is not None:
+                return spilled, "persistent"
         self._misses += 1
         started = time.perf_counter()
         payload = spec.runner(self, **request.params)
@@ -278,8 +390,8 @@ class Analysis:
             payload=payload,
         )
         if key is not None:
-            self._results[key] = result
-        return result
+            self._cache_store(key, result)
+        return result, "computed"
 
     def run_many(
         self, requests: Iterable[AnalysisRequest], *, cache: bool = True
@@ -312,7 +424,7 @@ class Analysis:
                 spec.kind == "matrix_profile"
                 and spec.key == "stomp"
                 and set(request.params) <= {"window", "exclusion_radius"}
-                and (not cache or _canonical_key(spec, request) not in self._results)
+                and (not cache or not self._cached_anywhere(spec, request))
             ):
                 batchable.append(index)
             else:
@@ -363,11 +475,11 @@ class Analysis:
             )
             results[index] = result
             if cache:
-                key = _canonical_key(
+                key = canonical_cache_key(
                     resolve_algorithm("matrix_profile", "stomp"), request
                 )
                 if key is not None:
-                    self._results[key] = result
+                    self._cache_store(key, result)
 
     # ------------------------------------------------------------------ #
     # the public computation surface
@@ -484,6 +596,7 @@ def analyze(
     *,
     name: str | None = None,
     engine: "EngineConfig | str | Executor | None" = None,
+    cache_config: CacheConfig | None = None,
 ) -> Analysis:
     """Open an :class:`Analysis` session over ``series`` (the main entry point)."""
-    return Analysis(series, name=name, engine=engine)
+    return Analysis(series, name=name, engine=engine, cache_config=cache_config)

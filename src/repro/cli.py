@@ -7,6 +7,9 @@ CLI provides the equivalent head-less workflow::
     valmod generate --workload ecg --length 8192 --output ecg.txt
     valmod compare --workload ecg --min-length 64 --max-length 96
     valmod figure --name fig3-top
+    valmod serve --port 8765
+    valmod request --url http://127.0.0.1:8765 --workload ecg --length 1024 \
+        --kind matrix_profile --params '{"window": 64}'
 
 Run ``valmod <command> --help`` for the options of each sub-command.
 """
@@ -21,9 +24,11 @@ from typing import Sequence
 from repro._version import __version__
 from repro.analysis.ascii_plot import render_valmap
 from repro.analysis.report import result_report
+from repro.api.cache import CacheConfig
+from repro.api.requests import AnalysisRequest
 from repro.api.session import EngineConfig, analyze
 from repro.core.motif_sets import expand_motif_pair
-from repro.exceptions import ReproError
+from repro.exceptions import InvalidParameterError, ReproError
 from repro.harness.extensions import (
     ablation_anytime_scrimp,
     extension_domains_table,
@@ -185,6 +190,84 @@ def build_parser() -> argparse.ArgumentParser:
     distance.add_argument("second", help="path to the second series file")
     distance.add_argument("--window", type=int, required=True)
     distance.add_argument("--percentile", type=float, default=0.05)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the asyncio analysis service over AnalysisRequest JSON"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765, help="0 picks a free port")
+    serve.add_argument(
+        "--workers", type=int, default=1, help="worker tasks draining the queue"
+    )
+    serve.add_argument(
+        "--backlog",
+        type=int,
+        default=32,
+        help="queued requests beyond which submissions are answered 503",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=8, help="per-series sessions kept (LRU)"
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="result-cache entry bound per session",
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="result-cache byte bound per session",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result-cache directory (survives restarts)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=["serial", "parallel", "auto"],
+        default=None,
+        help="execution engine for the engine-aware algorithms",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, help="worker processes for the engine"
+    )
+
+    request = subparsers.add_parser(
+        "request", help="post one AnalysisRequest to a running analysis service"
+    )
+    request.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="service endpoint"
+    )
+    request_source = request.add_mutually_exclusive_group(required=True)
+    request_source.add_argument("--input", help="path to a text/CSV/npy series file")
+    request_source.add_argument(
+        "--workload", choices=sorted(WORKLOADS), help="generate a named synthetic workload"
+    )
+    request.add_argument("--length", type=int, default=None, help="workload length (points)")
+    request.add_argument("--seed", type=int, default=0, help="workload random seed")
+    request.add_argument(
+        "--kind",
+        default=None,
+        help="analysis kind (matrix_profile, motifs, discords, pan_profile, ...)",
+    )
+    request.add_argument("--algo", default=None, help="algorithm key (kind default if omitted)")
+    request.add_argument(
+        "--params",
+        default="{}",
+        help='algorithm parameters as a JSON object, e.g. \'{"window": 64}\'',
+    )
+    request.add_argument(
+        "--request-file",
+        default=None,
+        help="read the request document from a save_analysis_request JSON file "
+        "instead of --kind/--algo/--params",
+    )
+    request.add_argument(
+        "--timeout", type=float, default=300.0, help="response timeout (seconds)"
+    )
 
     return parser
 
@@ -361,6 +444,55 @@ def _command_mpdist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backlog=args.backlog,
+        max_sessions=args.max_sessions,
+        cache=CacheConfig(
+            max_entries=args.cache_entries,
+            max_bytes=args.cache_bytes,
+            persist_dir=args.cache_dir,
+        ),
+        engine=EngineConfig(executor=args.engine, n_jobs=args.jobs),
+    )
+    serve_forever(config)
+    return 0
+
+
+def _command_request(args: argparse.Namespace) -> int:
+    from repro.io.serialization import load_analysis_request
+    from repro.service.client import ServiceClient
+
+    if args.request_file:
+        request = load_analysis_request(args.request_file)
+    else:
+        if not args.kind:
+            raise InvalidParameterError(
+                "provide --kind (with optional --algo/--params) or --request-file"
+            )
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as error:
+            raise InvalidParameterError(
+                f"--params is not valid JSON: {error}"
+            ) from error
+        if not isinstance(params, dict):
+            raise InvalidParameterError("--params must be a JSON object")
+        request = AnalysisRequest(kind=args.kind, algo=args.algo, params=params)
+    series = _series_from_args(args)
+    client = ServiceClient.from_url(args.url, timeout=args.timeout)
+    result, source = client.analyze(series, request, series_name=series.name)
+    document = result.as_dict()
+    document["cache"] = source
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
 _COMMANDS = {
     "discover": _command_discover,
     "generate": _command_generate,
@@ -370,6 +502,8 @@ _COMMANDS = {
     "motif-set": _command_motif_set,
     "stream": _command_stream,
     "mpdist": _command_mpdist,
+    "serve": _command_serve,
+    "request": _command_request,
 }
 
 

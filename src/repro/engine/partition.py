@@ -240,20 +240,31 @@ def partitioned_stomp(
         )
     if stats is None:
         stats = SlidingStats(values)
-    means, stds = stats.mean_std(window)
     count = values.size - window + 1
+
+    # Same contract as the serial sweep in repro.matrix_profile.stomp: the
+    # recurrence runs on the mean-centered series (z-normalised distances
+    # are shift-invariant; the centered products no longer carry rounding
+    # error at the raw magnitude), except when a profile_callback consumes
+    # the dot products — that contract is defined on raw values.
+    if profile_callback is None:
+        sweep_values = stats.centered_values
+        means, stds = stats.centered_mean_std(window)
+    else:
+        sweep_values = values
+        means, stds = stats.mean_std(window)
 
     chosen_executor, owned = resolve_executor(executor, task_units=count, n_jobs=n_jobs)
     try:
         if block_size is None:
             block_size = default_block_size(count, chosen_executor.effective_jobs)
         blocks = plan_blocks(count, block_size)
-        first_row_dots = sliding_dot_product(values[:window], values)
+        first_row_dots = sliding_dot_product(sweep_values[:window], sweep_values)
 
         if profile_callback is not None or chosen_executor.supports_callbacks:
             results = [
                 _compute_block(
-                    values,
+                    sweep_values,
                     window,
                     radius,
                     means,
@@ -269,7 +280,7 @@ def partitioned_stomp(
         else:
             payloads = [
                 (
-                    values,
+                    sweep_values,
                     window,
                     radius,
                     means,

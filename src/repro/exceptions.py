@@ -16,6 +16,7 @@ __all__ = [
     "LengthRangeError",
     "EmptyResultError",
     "SerializationError",
+    "ServiceError",
 ]
 
 
@@ -78,3 +79,23 @@ class EmptyResultError(ReproError, RuntimeError):
 
 class SerializationError(ReproError, RuntimeError):
     """A profile or VALMAP artefact could not be saved or loaded."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A request to (or the operation of) the analysis service failed.
+
+    Carries the HTTP status code when the failure is a server response.
+    """
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+    def __reduce__(self):
+        # ``status`` is keyword-only; default exception pickling would drop
+        # it (see SubsequenceLengthError.__reduce__ for the pattern).
+        return (_rebuild_service_error, (str(self), self.status))
+
+
+def _rebuild_service_error(message: str, status: int | None) -> "ServiceError":
+    return ServiceError(message, status=status)

@@ -60,6 +60,14 @@ def run_algorithm(
 
     ``series`` may also be an :class:`~repro.api.Analysis` session, in which
     case its shared statistics (and engine configuration) are reused.
+
+    ``service_url=`` (keyword option) switches to the service-backed mode:
+    instead of computing in-process, the request document is POSTed to a
+    running ``repro serve`` endpoint and the returned envelope's
+    cross-algorithm view is used — identical results (the service runs the
+    same registry), but computed (and cached) in the server process.
+    ``service_timeout=`` (seconds, default 300) bounds the wait for the
+    server's answer — large series/ranges legitimately compute for minutes.
     """
     if name not in ALGORITHMS:
         raise InvalidParameterError(
@@ -67,9 +75,10 @@ def run_algorithm(
         )
     engine = options.pop("engine", None)
     n_jobs = options.pop("n_jobs", None)
+    service_url = options.pop("service_url", None)
+    service_timeout = float(options.pop("service_timeout", 300.0))
     if name not in ENGINE_AWARE:
         engine, n_jobs = None, None
-    session = _session(series, engine, n_jobs)
     if "top_k" in options and ALGORITHMS[name] in ("moen", "quick_motif"):
         options.pop("top_k")  # single best pair per length by design
     request = AnalysisRequest(
@@ -77,6 +86,14 @@ def run_algorithm(
         algo=ALGORITHMS[name],
         params={"min_length": int(min_length), "max_length": int(max_length), **options},
     )
+    if service_url is not None:
+        from repro.service.client import ServiceClient
+
+        values = series.values if isinstance(series, Analysis) else series
+        client = ServiceClient.from_url(service_url, timeout=service_timeout)
+        result, _source = client.analyze(values, request)
+        return result.range_result()
+    session = _session(series, engine, n_jobs)
     return session.run(request).range_result()
 
 
@@ -88,6 +105,7 @@ def compare_algorithms(
     algorithms: Iterable[str] = ("valmod", "stomp-range", "moen", "quickmotif"),
     engine: object | None = None,
     n_jobs: int | None = None,
+    service_url: str | None = None,
     **options,
 ) -> List[RangeDiscoveryResult]:
     """Run several algorithms on the same input and return their results.
@@ -97,8 +115,23 @@ def compare_algorithms(
     ``n_jobs`` reach the algorithms whose registry entry is engine-aware
     (see :data:`ENGINE_AWARE`) and are ignored by the rest, so a single
     call can compare engine-routed and plain implementations on identical
-    inputs.
+    inputs.  ``service_url`` routes every algorithm through a running
+    analysis service instead of computing in-process (the server's session
+    pool then plays the shared-session role).
     """
+    if service_url is not None:
+        values = series.values if isinstance(series, Analysis) else series
+        return [
+            run_algorithm(
+                name,
+                values,
+                min_length,
+                max_length,
+                service_url=service_url,
+                **dict(options),
+            )
+            for name in algorithms
+        ]
     session = _session(series, engine, n_jobs)
     # One session for every algorithm: the non-engine-aware runners simply
     # never read session.engine, so no second "plain" session is needed.

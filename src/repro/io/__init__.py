@@ -3,6 +3,7 @@
 from repro.io.serialization import (
     load_analysis_request,
     load_analysis_result,
+    load_cache_entry,
     load_join_profile,
     load_matrix_profile,
     load_pan_profile,
@@ -10,6 +11,7 @@ from repro.io.serialization import (
     load_valmap,
     save_analysis_request,
     save_analysis_result,
+    save_cache_entry,
     save_join_profile,
     save_matrix_profile,
     save_pan_profile,
@@ -20,6 +22,7 @@ from repro.io.serialization import (
 __all__ = [
     "load_analysis_request",
     "load_analysis_result",
+    "load_cache_entry",
     "load_join_profile",
     "load_matrix_profile",
     "load_pan_profile",
@@ -27,6 +30,7 @@ __all__ = [
     "load_valmap",
     "save_analysis_request",
     "save_analysis_result",
+    "save_cache_entry",
     "save_join_profile",
     "save_matrix_profile",
     "save_pan_profile",

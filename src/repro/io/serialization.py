@@ -14,6 +14,8 @@ benchmark harness and the reports need.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Union
 
@@ -41,19 +43,43 @@ __all__ = [
     "load_analysis_request",
     "save_analysis_result",
     "load_analysis_result",
+    "save_cache_entry",
+    "load_cache_entry",
 ]
 
 PathLike = Union[str, Path]
 
 
 def _write_json(payload: dict, path: PathLike) -> Path:
+    # Atomic write: dump to a unique sibling temp file, then rename over the
+    # target.  Concurrent readers (the persistent result cache is shared
+    # between processes by design) only ever see complete files, and two
+    # concurrent writers cannot interleave into garbage — the last rename
+    # wins wholesale.
     path = Path(path)
+    temp_name = None
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", encoding="utf-8") as handle:
+        with tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{path.name}.",
+            suffix=".tmp",
+            delete=False,
+        ) as handle:
+            temp_name = handle.name
             json.dump(payload, handle, indent=2)
+        os.replace(temp_name, path)
+        temp_name = None
     except (OSError, TypeError, ValueError) as error:
         raise SerializationError(f"cannot write {path}: {error}") from error
+    finally:
+        if temp_name is not None:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
     return path
 
 
@@ -167,6 +193,44 @@ def load_analysis_result(path: PathLike):
     if payload.get("kind") != "analysis_result":
         raise SerializationError(f"{path} does not contain an analysis result")
     return AnalysisResult.from_dict(payload.get("result", {}))
+
+
+def save_cache_entry(
+    result, key: str, path: PathLike, *, result_dict: dict | None = None
+) -> Path:
+    """Write one persistent-cache slot: an envelope plus its canonical key.
+
+    The key travels inside the file so :func:`load_cache_entry` can verify
+    the slot really answers the request being asked (filename hashes alone
+    cannot), which is what lets
+    :class:`repro.api.cache.PersistentResultCache` treat any mismatch as a
+    miss instead of returning a wrong result.  ``result_dict`` optionally
+    reuses an already-computed ``result.as_dict()``.
+    """
+    payload = {
+        "kind": "analysis_cache_entry",
+        "cache_key": str(key),
+        "result": result.as_dict() if result_dict is None else result_dict,
+    }
+    return _write_json(payload, path)
+
+
+def load_cache_entry(path: PathLike):
+    """Read a slot written by :func:`save_cache_entry`.
+
+    Returns ``(cache_key, AnalysisResult)``; raises
+    :class:`~repro.exceptions.SerializationError` on any malformed content
+    (the persistent cache converts that into a miss).
+    """
+    from repro.api.requests import AnalysisResult
+
+    payload = _read_json(path)
+    if payload.get("kind") != "analysis_cache_entry":
+        raise SerializationError(f"{path} does not contain an analysis cache entry")
+    key = payload.get("cache_key")
+    if not isinstance(key, str):
+        raise SerializationError(f"{path} has no cache key")
+    return key, AnalysisResult.from_dict(payload.get("result", {}))
 
 
 def save_join_profile(profile: JoinProfile, path: PathLike) -> Path:

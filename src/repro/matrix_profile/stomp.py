@@ -43,7 +43,7 @@ def stomp(
     engine: object | None = None,
     n_jobs: int | None = None,
     block_size: int | None = None,
-    first_row_qt: np.ndarray | None = None,
+    centered_first_row_qt: np.ndarray | None = None,
 ) -> MatrixProfile:
     """Exact matrix profile of ``series`` at subsequence length ``window``.
 
@@ -71,18 +71,39 @@ def stomp(
         (:func:`repro.engine.partition.partitioned_stomp`).
     n_jobs, block_size:
         Engine tuning knobs, ignored when ``engine`` is ``None``.
-    first_row_qt:
+    centered_first_row_qt:
         Optional precomputed sliding dot products of the first query
-        (``QT[0, j]`` for every ``j``) — the one FFT product STOMP needs.
+        (``QT[0, j]`` for every ``j``) — the one FFT product STOMP needs —
+        taken on the **mean-centered** series (``values - values.mean()``),
+        which is the space the recurrence runs in (see below).  The
+        parameter was named ``first_row_qt`` (and carried *raw* products)
+        before the sweep was centered; the rename makes stale raw-product
+        callers fail loudly instead of silently mis-seeding the recurrence.
         The :class:`repro.api.Analysis` session memoizes it per window
         length so repeated calls on the same series skip the FFT.  Ignored
         when ``engine`` routes the computation (the engine re-seeds blocks
-        itself).
+        itself) or when ``profile_callback`` forces the raw-value sweep.
 
     Returns
     -------
     MatrixProfile
         Distances and best-match indices for every subsequence.
+
+    Notes
+    -----
+    Z-normalised distances are invariant under a global shift of the series,
+    but the dot products the recurrence carries are not: on a series sitting
+    at a large offset each recurrence step adds rounding error of magnitude
+    ``~eps·|T|²_max`` that survives the ``qt -> correlation`` cancellation at
+    full size.  The sweep therefore shifts the values **once** (reusing
+    :attr:`~repro.stats.sliding.SlidingStats.centered_values`) and runs the
+    recurrence mean-centered, cutting the drift at the source — the same
+    treatment the MASS / distance-profile paths received earlier.
+
+    When ``profile_callback`` is given the sweep stays on the raw values:
+    the callback contract (VALMOD's partial-profile ingest, which advances
+    and converts the dot products itself) is defined on raw products, and
+    converting centered products back would reintroduce the cancellation.
     """
     if engine is not None:
         from repro.engine.partition import partitioned_stomp
@@ -102,21 +123,28 @@ def stomp(
     radius = default_exclusion_radius(window) if exclusion_radius is None else int(exclusion_radius)
     if stats is None:
         stats = SlidingStats(values)
-    means, stds = stats.mean_std(window)
     count = values.size - window + 1
+
+    centered_sweep = profile_callback is None
+    if centered_sweep:
+        sweep_values = stats.centered_values
+        means, stds = stats.centered_mean_std(window)
+    else:
+        sweep_values = values
+        means, stds = stats.mean_std(window)
 
     profile = np.full(count, np.inf, dtype=np.float64)
     indices = np.full(count, -1, dtype=np.int64)
 
-    if first_row_qt is not None:
-        qt = np.array(np.asarray(first_row_qt, dtype=np.float64))
+    if centered_first_row_qt is not None and centered_sweep:
+        qt = np.array(np.asarray(centered_first_row_qt, dtype=np.float64))
         if qt.shape != (count,):
             raise InvalidParameterError(
-                f"first_row_qt must have {count} entries, got shape {qt.shape}"
+                f"centered_first_row_qt must have {count} entries, got shape {qt.shape}"
             )
     else:
-        first_query = values[:window]
-        qt = sliding_dot_product(first_query, values)
+        first_query = sweep_values[:window]
+        qt = sliding_dot_product(first_query, sweep_values)
     qt_first_column = np.array(qt)  # QT[i, 0] for every i
 
     # One cancellation-risk decision for the whole sweep (every row shares
@@ -128,8 +156,9 @@ def stomp(
             # Vectorised application of the STOMP recurrence for row `offset`.
             qt[1:] = (
                 qt[:-1]
-                - values[offset - 1] * values[: count - 1]
-                + values[offset + window - 1] * values[window : window + count - 1]
+                - sweep_values[offset - 1] * sweep_values[: count - 1]
+                + sweep_values[offset + window - 1]
+                * sweep_values[window : window + count - 1]
             )
             qt[0] = qt_first_column[offset]
         distances = distances_from_dot_products(

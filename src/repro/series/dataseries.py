@@ -169,6 +169,17 @@ class DataSeries:
             metadata=merged,
         )
 
+    def digest(self) -> str:
+        """Content digest (sha1 hex) of the values.
+
+        The identity the result caches and the service layer key work by:
+        two series with identical values share one digest regardless of
+        their name, sampling rate or metadata.
+        """
+        from repro.api.cache import series_digest
+
+        return series_digest(self.values)
+
     # ------------------------------------------------------------------ #
     # summary statistics
     # ------------------------------------------------------------------ #

@@ -1,0 +1,27 @@
+"""The analysis service layer: an asyncio HTTP front-end over the envelope API.
+
+* :mod:`repro.service.server` — :class:`AnalysisService` (stdlib asyncio
+  HTTP/1.1, bounded worker queue, per-digest session pool),
+  :class:`ServiceConfig`, :func:`serve_forever` for the CLI and
+  :class:`BackgroundService` for tests/benchmarks;
+* :mod:`repro.service.client` — the blocking :class:`ServiceClient` used by
+  ``repro request``, the harness's service-backed mode and the test
+  substrate.
+"""
+
+from repro.service.client import ServiceClient, parse_service_url
+from repro.service.server import (
+    AnalysisService,
+    BackgroundService,
+    ServiceConfig,
+    serve_forever,
+)
+
+__all__ = [
+    "AnalysisService",
+    "BackgroundService",
+    "ServiceClient",
+    "ServiceConfig",
+    "parse_service_url",
+    "serve_forever",
+]

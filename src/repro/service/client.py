@@ -1,0 +1,195 @@
+"""Blocking HTTP client for the analysis service (stdlib ``http.client``).
+
+The counterpart of :mod:`repro.service.server`: serialises a series plus an
+:class:`~repro.api.requests.AnalysisRequest` into the service's submission
+document, posts it, and rebuilds the
+:class:`~repro.api.requests.AnalysisResult` envelope from the response.
+Deliberately synchronous — it is what the ``repro request`` CLI command,
+the harness's service-backed mode and the concurrency tests (one client per
+thread) need; an async client would just wrap the same two calls.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.api.requests import AnalysisRequest, AnalysisResult
+from repro.exceptions import SerializationError, ServiceError
+from repro.series.dataseries import DataSeries
+
+__all__ = ["ServiceClient", "parse_service_url"]
+
+
+def parse_service_url(url: str) -> Tuple[str, int]:
+    """``http://host:port`` (path-less) → ``(host, port)``.
+
+    Accepts a bare ``host:port`` too; anything else —
+    schemes other than http, embedded paths — raises
+    :class:`~repro.exceptions.ServiceError`.
+    """
+    stripped = url.strip()
+    if stripped.startswith("http://"):
+        stripped = stripped[len("http://") :]
+    elif "://" in stripped:
+        raise ServiceError(f"only http:// service URLs are supported, got {url!r}")
+    stripped = stripped.rstrip("/")
+    if "/" in stripped:
+        raise ServiceError(f"service URLs must not carry a path, got {url!r}")
+    host, _, port_text = stripped.partition(":")
+    if not host:
+        raise ServiceError(f"service URL {url!r} has no host")
+    if not port_text:
+        return host, 80
+    try:
+        return host, int(port_text)
+    except ValueError as error:
+        raise ServiceError(f"service URL {url!r} has an invalid port") from error
+
+
+class ServiceClient:
+    """One service endpoint; each call opens a fresh connection.
+
+    (The server answers ``Connection: close``, so a connection per request
+    is the protocol, not an inefficiency worth optimising here.)
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765, *, timeout: float = 60.0
+    ) -> None:
+        self._host = host
+        self._port = int(port)
+        self._timeout = float(timeout)
+
+    @classmethod
+    def from_url(cls, url: str, *, timeout: float = 60.0) -> "ServiceClient":
+        """Build a client from an ``http://host:port`` URL."""
+        host, port = parse_service_url(url)
+        return cls(host, port, timeout=timeout)
+
+    @property
+    def base_url(self) -> str:
+        """The endpoint as a URL string."""
+        return f"http://{self._host}:{self._port}"
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _exchange(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> Tuple[int, Any]:
+        connection = HTTPConnection(self._host, self._port, timeout=self._timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        except (OSError, HTTPException) as error:
+            raise ServiceError(
+                f"cannot reach the analysis service at {self.base_url}: {error}"
+            ) from error
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                f"the service returned a non-JSON response (status {status})"
+            ) from error
+        return status, payload
+
+    @staticmethod
+    def _raise_for_status(status: int, payload: Any, context: str) -> None:
+        if status == 200:
+            return
+        message = (
+            payload.get("error", f"status {status}")
+            if isinstance(payload, dict)
+            else f"status {status}"
+        )
+        raise ServiceError(f"{context}: {message}", status=status)
+
+    def _get(self, path: str) -> Any:
+        status, payload = self._exchange("GET", path)
+        self._raise_for_status(status, payload, f"GET {path} failed")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """The server's liveness document (queue depth, worker count)."""
+        return self._get("/health")
+
+    def capabilities(self) -> list:
+        """Capability metadata of every algorithm the server dispatches."""
+        return self._get("/capabilities")["algorithms"]
+
+    def stats(self) -> dict:
+        """Server counters, completion order and per-session cache info."""
+        return self._get("/stats")
+
+    def analyze_raw(
+        self,
+        series,
+        request: AnalysisRequest | dict,
+        *,
+        series_name: str | None = None,
+        request_id: str | None = None,
+    ) -> Tuple[int, dict]:
+        """POST one submission; returns ``(status, response_document)``.
+
+        No raising on non-200 — the backpressure test asserts on the 503
+        path directly.
+        """
+        if isinstance(series, DataSeries):
+            if series_name is None:
+                series_name = series.name
+            values = series.values
+        else:
+            values = np.asarray(series, dtype=np.float64)
+        if isinstance(request, AnalysisRequest):
+            request_document = request.as_dict()
+        else:
+            request_document = dict(request)
+        document = {
+            "series": values.tolist(),
+            "request": request_document,
+        }
+        if series_name is not None:
+            document["series_name"] = series_name
+        if request_id is not None:
+            document["id"] = request_id
+        body = json.dumps(document).encode("utf-8")
+        return self._exchange("POST", "/analyze", body)
+
+    def analyze(
+        self,
+        series,
+        request: AnalysisRequest | dict,
+        *,
+        series_name: str | None = None,
+        request_id: str | None = None,
+    ) -> Tuple[AnalysisResult, str]:
+        """Submit one request; returns ``(envelope, cache_source)``.
+
+        ``cache_source`` is the server's ``"memory"`` / ``"persistent"`` /
+        ``"computed"`` marker.  Raises
+        :class:`~repro.exceptions.ServiceError` (with the HTTP status) on
+        any non-200 response.
+        """
+        status, payload = self.analyze_raw(
+            series, request, series_name=series_name, request_id=request_id
+        )
+        self._raise_for_status(status, payload, "analysis request failed")
+        try:
+            result = AnalysisResult.from_dict(payload["result"])
+        except (KeyError, TypeError, SerializationError) as error:
+            raise ServiceError(
+                f"the service returned an invalid result envelope: {error}"
+            ) from error
+        return result, str(payload.get("cache", "unknown"))

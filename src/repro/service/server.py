@@ -1,0 +1,628 @@
+"""The asyncio HTTP front-end over :class:`~repro.api.requests.AnalysisRequest`.
+
+This is the "system that serves the envelope": a stdlib-only HTTP/1.1
+server (``asyncio.start_server`` + a minimal request parser, no external
+dependencies) that accepts ``AnalysisRequest`` JSON documents, routes them
+through a shared :class:`~repro.api.Analysis` session per series content
+digest, and returns :class:`~repro.api.requests.AnalysisResult` envelopes.
+
+Execution model
+---------------
+Connection handlers never compute.  A ``POST /analyze`` body is parsed and
+enqueued on a **bounded** :class:`asyncio.Queue`; a fixed pool of worker
+tasks drains it in FIFO order, running each computation on a thread
+executor so the event loop keeps answering health checks and new
+submissions while a profile is being computed.  A full queue answers
+``503`` immediately — real backpressure instead of unbounded buffering,
+which is what the single-core tier-1 environment can actually exercise and
+assert on (the concurrency tests check correctness and queue ordering, not
+parallel speedup).
+
+Sessions and caching
+--------------------
+Series are identified by content digest (:func:`repro.api.cache.series_digest`).
+Each digest owns one session in a bounded LRU pool, so repeated traffic
+about the same series shares validation, sliding statistics, memoized FFT
+products and the session's LRU result cache; with a
+:class:`~repro.api.cache.CacheConfig` ``persist_dir`` the envelopes also
+spill to disk and survive the process.  Every ``/analyze`` response reports
+where its result came from (``"memory"`` / ``"persistent"`` /
+``"computed"``) in the ``cache`` field.
+
+Protocol
+--------
+================ ======= ==================================================
+``GET /health``          liveness + queue depth
+``GET /capabilities``    the algorithm registry's capability table
+``GET /stats``           counters, completion order, per-session cache info
+``POST /analyze``        ``{"series": [...], "request": {...}}`` → envelope
+================ ======= ==================================================
+
+The ``/analyze`` response wraps the envelope:
+``{"result": <AnalysisResult.as_dict()>, "cache": "...", "id": ...,
+"series_digest": "..."}``.  Errors come back as JSON objects with an
+``error`` field: ``400`` for malformed documents, ``422`` for requests the
+library rejects, ``503`` when the queue is full.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.api.cache import CacheConfig, series_digest
+from repro.api.registry import capabilities
+from repro.api.requests import AnalysisRequest
+from repro.api.session import Analysis, EngineConfig
+from repro.exceptions import (
+    InvalidParameterError,
+    ReproError,
+    SerializationError,
+    ServiceError,
+)
+
+__all__ = ["ServiceConfig", "AnalysisService", "BackgroundService", "serve_forever"]
+
+#: Hard body cap.  Bounds how long the event loop can stall on json.loads
+#: of one submission (~64MB is a ~3.5M-point series as a JSON array) —
+#: pure-CPU parsing cannot be usefully offloaded under the GIL, so the cap
+#: IS the latency bound; a streaming upload is a listed ROADMAP follow-up.
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+_MAX_HEADER_LINE = 64 * 1024
+#: Read timeouts: an idle socket may not pin a handler (or, worse, an
+#: intake permit) forever — see _read_request.
+_HEADER_TIMEOUT_SECONDS = 30.0
+_BODY_TIMEOUT_SECONDS = 120.0
+#: Completed-sequence history kept for /stats (enough for the FIFO tests
+#: and operational spot checks; unbounded growth would contradict the
+#: layer's whole bounded-memory story).
+_COMPLETION_HISTORY = 4096
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the service needs to listen and execute.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (the bound port is
+        readable as :attr:`AnalysisService.port` after start — the tests
+        rely on this).
+    workers:
+        Worker tasks draining the request queue (and threads executing the
+        computations).  ``1`` gives strict FIFO execution.
+    backlog:
+        Bound of the request queue; a submission beyond it is answered
+        ``503`` instead of buffered.
+    max_sessions:
+        Most per-series :class:`~repro.api.Analysis` sessions kept alive
+        (LRU eviction beyond it).
+    cache:
+        Result-cache configuration handed to every session (LRU bounds +
+        optional persistent spill directory).
+    engine:
+        Execution configuration handed to every session.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    workers: int = 1
+    backlog: int = 32
+    max_sessions: int = 8
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        if int(self.workers) < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {self.workers}")
+        if int(self.backlog) < 1:
+            raise InvalidParameterError(f"backlog must be >= 1, got {self.backlog}")
+        if int(self.max_sessions) < 1:
+            raise InvalidParameterError(
+                f"max_sessions must be >= 1, got {self.max_sessions}"
+            )
+
+
+class _SessionPool:
+    """Bounded LRU pool of per-digest sessions (thread-safe).
+
+    Each slot carries the session and a lock: worker threads serialise
+    computations on the *same* series (the session object is not designed
+    for concurrent mutation) while different series proceed independently.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self._config = config
+        self._sessions: "OrderedDict[str, Tuple[Analysis, threading.Lock]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+
+    def get_or_create(
+        self, digest: str, values: np.ndarray, name: str
+    ) -> Tuple[Analysis, threading.Lock]:
+        with self._lock:
+            slot = self._sessions.get(digest)
+            if slot is not None:
+                self._sessions.move_to_end(digest)
+                return slot
+        # Session construction validates the series; do it outside the pool
+        # lock so a malformed submission cannot stall other lookups.
+        session = Analysis(
+            values,
+            name=name,
+            engine=self._config.engine,
+            cache_config=self._config.cache,
+        )
+        slot = (session, threading.Lock())
+        with self._lock:
+            raced = self._sessions.get(digest)
+            if raced is not None:
+                self._sessions.move_to_end(digest)
+                return raced
+            self._sessions[digest] = slot
+            while len(self._sessions) > self._config.max_sessions:
+                self._sessions.popitem(last=False)
+            return slot
+
+    def stats(self) -> List[dict]:
+        with self._lock:
+            slots = list(self._sessions.items())
+        return [
+            {
+                "series_digest": digest,
+                "series_name": session.name,
+                "series_length": len(session),
+                "cache": session.cache_info(),
+            }
+            for digest, (session, _) in slots
+        ]
+
+
+@dataclass
+class _Job:
+    """One queued ``/analyze`` submission."""
+
+    sequence: int
+    request_id: str
+    digest: str
+    values: np.ndarray
+    series_name: str
+    request: AnalysisRequest
+    future: "asyncio.Future[dict]"
+
+
+class AnalysisService:
+    """The service object: start/stop lifecycle plus the request pipeline."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self._config = config or ServiceConfig()
+        self._pool = _SessionPool(self._config)
+        self._queue: "asyncio.Queue[_Job]" = asyncio.Queue(
+            maxsize=self._config.backlog
+        )
+        # The queue bounds *accepted* work; this bounds the bodies being
+        # buffered/parsed before acceptance, so server memory stays at
+        # ~(backlog + workers + slack) x body cap even under a flood of
+        # concurrent large POSTs.  Connections beyond it wait in kernel
+        # socket buffers, not in Python memory.
+        self._intake = asyncio.Semaphore(self._config.backlog + self._config.workers)
+        self._server: asyncio.AbstractServer | None = None
+        self._workers: List[asyncio.Task] = []
+        self._executor = None  # created on start
+        self._sequence = 0
+        self._received = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        #: most recent sequence numbers in completion order — with
+        #: ``workers=1`` this must equal enqueue order (the queue-ordering
+        #: test asserts it); bounded so /stats stays cheap under sustained
+        #: traffic.
+        self._completion_order: "deque[int]" = deque(maxlen=_COMPLETION_HISTORY)
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The configuration the service was built with."""
+        return self._config
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("the service is not listening")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listening socket and launch the worker pool."""
+        if self._server is not None:
+            raise ServiceError("the service is already running")
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._config.workers,
+            thread_name_prefix="repro-service",
+        )
+        self._workers = [
+            asyncio.get_running_loop().create_task(self._worker_loop())
+            for _ in range(self._config.workers)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._config.host, self._config.port
+        )
+
+    async def stop(self) -> None:
+        """Stop listening, cancel the workers, fail queued jobs, release the
+        executor.  Jobs still waiting in the queue get their futures failed
+        (``503``) so their connection handlers — and clients — are released
+        instead of hanging on futures nobody will ever resolve."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if not job.future.done():
+                job.future.set_exception(
+                    ServiceError("the service is shutting down", status=503)
+                )
+            self._queue.task_done()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    async def serve_until(self, stop_event: asyncio.Event) -> None:
+        """Run until ``stop_event`` is set (the CLI's foreground loop)."""
+        await self.start()
+        try:
+            await stop_event.wait()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # the worker pool
+    # ------------------------------------------------------------------ #
+    async def _worker_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            try:
+                payload = await loop.run_in_executor(
+                    self._executor, self._execute_job, job
+                )
+            except ReproError as error:
+                self._failed += 1
+                if not job.future.done():
+                    job.future.set_exception(error)
+            except Exception as error:  # defensive: a worker must never die
+                self._failed += 1
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceError(f"internal error: {error}", status=500)
+                    )
+            else:
+                self._completed += 1
+                self._completion_order.append(job.sequence)
+                if not job.future.done():
+                    job.future.set_result(payload)
+            finally:
+                self._queue.task_done()
+
+    def _execute_job(self, job: _Job) -> dict:
+        """Runs on an executor thread: resolve the session, run, envelope."""
+        session, lock = self._pool.get_or_create(
+            job.digest, job.values, job.series_name
+        )
+        with lock:
+            result, source = session.run_with_info(job.request)
+        return {
+            "id": job.request_id,
+            "series_digest": job.digest,
+            "cache": source,
+            "result": result.as_dict(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # HTTP layer
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            method, target, body = await self._read_request(reader)
+        except (
+            ServiceError,
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            TimeoutError,
+            ValueError,
+        ):
+            await self._respond(writer, 400, {"error": "malformed HTTP request"})
+            return
+        try:
+            status, payload = await self._route(method, target, body)
+        except ServiceError as error:
+            status, payload = error.status or 500, {"error": str(error)}
+        except (SerializationError, InvalidParameterError) as error:
+            status, payload = 422, {"error": str(error)}
+        except ReproError as error:
+            status, payload = 422, {"error": str(error)}
+        await self._respond(writer, status, payload)
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        # Request line and headers are read WITHOUT an intake permit (an
+        # idle socket must not starve /health or the 503 path) but under a
+        # timeout, so a silent connection cannot pin this handler forever.
+        request_line = await asyncio.wait_for(
+            reader.readline(), timeout=_HEADER_TIMEOUT_SECONDS
+        )
+        if not request_line:
+            raise ServiceError("empty request", status=400)
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ServiceError("malformed request line", status=400)
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=_HEADER_TIMEOUT_SECONDS
+            )
+            if len(line) > _MAX_HEADER_LINE:
+                raise ServiceError("header line too long", status=400)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length < 0 or content_length > _MAX_BODY_BYTES:
+            raise ServiceError("invalid content length", status=400)
+        if not content_length:
+            return method.upper(), target, b""
+        # Only the body buffering holds an intake permit: it is what makes
+        # server memory proportional to concurrent uploads.  The permit is
+        # released before the request waits for its computation, so it
+        # never delays the queue-full 503 answer.
+        async with self._intake:
+            body = await asyncio.wait_for(
+                reader.readexactly(content_length), timeout=_BODY_TIMEOUT_SECONDS
+            )
+        return method.upper(), target, body
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        reasons = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            422: "Unprocessable Entity",
+            500: "Internal Server Error",
+            503: "Service Unavailable",
+        }
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away; nothing to clean up beyond the socket
+        finally:
+            # close() schedules the transport teardown; awaiting
+            # wait_closed() here would race loop shutdown (handlers for
+            # dying connections get cancelled mid-await and spam the loop's
+            # exception handler) for no benefit.
+            writer.close()
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, dict]:
+        path = target.split("?", 1)[0]
+        if method == "GET" and path == "/health":
+            return 200, {
+                "status": "ok",
+                "queue_depth": self._queue.qsize(),
+                "backlog": self._config.backlog,
+                "workers": self._config.workers,
+            }
+        if method == "GET" and path == "/capabilities":
+            return 200, {"algorithms": capabilities()}
+        if method == "GET" and path == "/stats":
+            return 200, self.stats()
+        if method == "POST" and path == "/analyze":
+            return await self._handle_analyze(body)
+        if path in ("/health", "/capabilities", "/stats", "/analyze"):
+            return 405, {"error": f"method {method} not allowed for {path}"}
+        return 404, {"error": f"unknown path {path!r}"}
+
+    async def _handle_analyze(self, body: bytes) -> Tuple[int, dict]:
+        self._received += 1
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": f"request body is not valid JSON: {error}"}
+        if not isinstance(document, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        raw_series = document.get("series")
+        if not isinstance(raw_series, list) or not raw_series:
+            return 400, {"error": "'series' must be a non-empty list of numbers"}
+        try:
+            values = np.asarray(raw_series, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            return 400, {"error": f"'series' is not numeric: {error}"}
+        if values.ndim != 1:
+            return 400, {"error": "'series' must be one-dimensional"}
+        raw_request = document.get("request")
+        if not isinstance(raw_request, dict):
+            return 400, {"error": "'request' must be an AnalysisRequest object"}
+        try:
+            request = AnalysisRequest.from_dict(raw_request)
+        except SerializationError as error:
+            return 400, {"error": str(error)}
+
+        self._sequence += 1
+        job = _Job(
+            sequence=self._sequence,
+            request_id=str(document.get("id", self._sequence)),
+            digest=series_digest(values),
+            values=values,
+            series_name=str(document.get("series_name", "series")),
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self._rejected += 1
+            return 503, {
+                "error": f"request queue is full ({self._config.backlog} pending)",
+                "id": job.request_id,
+            }
+        payload = await job.future
+        return 200, payload
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Counters, completion order and per-session cache info."""
+        return {
+            "received": self._received,
+            "completed": self._completed,
+            "failed": self._failed,
+            "rejected": self._rejected,
+            "queue_depth": self._queue.qsize(),
+            "completion_order": list(self._completion_order),
+            "sessions": self._pool.stats(),
+        }
+
+
+def serve_forever(config: ServiceConfig | None = None) -> None:
+    """Run a service in the foreground until interrupted (the CLI path)."""
+
+    async def _run() -> None:
+        service = AnalysisService(config)
+        await service.start()
+        host = config.host if config else "127.0.0.1"
+        print(f"repro analysis service listening on http://{host}:{service.port}")
+        try:
+            await asyncio.Event().wait()  # until cancelled by KeyboardInterrupt
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+
+
+class BackgroundService:
+    """A service running on its own thread/event loop (tests, benchmarks).
+
+    Usage::
+
+        with BackgroundService(ServiceConfig(port=0)) as service:
+            client = ServiceClient(port=service.port)
+            ...
+
+    The context manager guarantees the loop is up (and the port bound) on
+    entry and fully torn down on exit.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self._config = config or ServiceConfig(port=0)
+        self._service: AnalysisService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def service(self) -> AnalysisService:
+        """The underlying service (valid while started)."""
+        if self._service is None:
+            raise ServiceError("the background service is not running")
+        return self._service
+
+    @property
+    def port(self) -> int:
+        """The bound port."""
+        return self.service.port
+
+    @property
+    def host(self) -> str:
+        """The bind host."""
+        return self._config.host
+
+    def __enter__(self) -> "BackgroundService":
+        if self._thread is not None:
+            raise ServiceError("the background service is already running")
+        # Reset per-run state so one BackgroundService object can be
+        # entered again after a clean exit (or a failed start).
+        self._started = threading.Event()
+        self._error = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise ServiceError("the background service did not start in time")
+        if self._error is not None:
+            raise ServiceError(f"the background service failed to start: {self._error}")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self._service = None
+        self._loop = None
+        self._thread = None
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            self._service = AnalysisService(self._config)
+            self._stop = asyncio.Event()
+            self._loop = asyncio.get_running_loop()
+            try:
+                await self._service.start()
+            except BaseException as error:
+                self._error = error
+                self._started.set()
+                return
+            self._started.set()
+            try:
+                await self._stop.wait()
+            finally:
+                await self._service.stop()
+
+        asyncio.run(_main())

@@ -123,7 +123,9 @@ class TestResultCache:
         session = analyze(values)
         session.matrix_profile(24)
         session.clear_cache()
-        assert session.cache_info() == {"hits": 0, "misses": 0, "entries": 0}
+        info = session.cache_info()
+        assert info["hits"] == 0 and info["misses"] == 0
+        assert info["entries"] == 0 and info["bytes"] == 0
 
     def test_cached_result_matches_direct_call(self, values):
         session = analyze(values)

@@ -1,0 +1,128 @@
+"""Regression pins for the mean-centered STOMP recurrence.
+
+PR 2 centered the MASS / distance-profile / AB-join dot products but left
+the STOMP *recurrence* on raw values — the last ROADMAP accuracy item.  On
+a series sitting at offset 1e6 each raw recurrence step carries rounding
+error of magnitude ``~eps·|T|²_max ≈ 1e-4`` that survives the
+``qt → correlation`` cancellation; the measured profile drift of a full
+serial sweep is ~1e-2.  Shifting the values once (the recurrence now runs
+on :attr:`~repro.stats.sliding.SlidingStats.centered_values`) cuts the
+error at the source — these tests pin the improvement at 1e-5 (observed
+~1.6e-7) against the definition-level brute-force oracle.
+
+The ``profile_callback`` path intentionally keeps the raw-value sweep
+(VALMOD's partial-profile ingest is defined on raw dot products); the
+contract test below pins that too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine.partition import partitioned_stomp
+from repro.matrix_profile.brute_force import brute_force_matrix_profile
+from repro.matrix_profile.stomp import stomp
+from repro.stats.fft import sliding_dot_product
+from repro.stats.sliding import SlidingStats
+
+WINDOW = 64
+OFFSET = 1e6
+
+
+@pytest.fixture(scope="module")
+def offset_series() -> np.ndarray:
+    rng = np.random.default_rng(2018)
+    return OFFSET + np.cumsum(rng.normal(size=900))
+
+
+@pytest.fixture(scope="module")
+def oracle(offset_series):
+    return brute_force_matrix_profile(offset_series, WINDOW)
+
+
+def test_serial_recurrence_drift_at_large_offset(offset_series, oracle):
+    profile = stomp(offset_series, WINDOW)
+    drift = float(np.max(np.abs(profile.distances - oracle.distances)))
+    assert drift <= 1e-5, drift
+    np.testing.assert_array_equal(profile.indices, oracle.indices)
+
+
+def test_engine_recurrence_drift_at_large_offset(offset_series, oracle):
+    profile = partitioned_stomp(
+        offset_series, WINDOW, executor="serial", block_size=200
+    )
+    drift = float(np.max(np.abs(profile.distances - oracle.distances)))
+    assert drift <= 1e-5, drift
+    np.testing.assert_array_equal(profile.indices, oracle.indices)
+
+
+def test_session_memoized_first_row_matches_fresh_sweep(offset_series):
+    """The session hands stomp a memoized ``centered_first_row_qt``; the
+    result must equal the sweep that computes its own seed."""
+    session = repro.analyze(offset_series)
+    via_session = session.matrix_profile(WINDOW).profile()
+    fresh = stomp(offset_series, WINDOW)
+    np.testing.assert_array_equal(via_session.distances, fresh.distances)
+    np.testing.assert_array_equal(via_session.indices, fresh.indices)
+
+
+def test_centered_beats_raw_recurrence_at_large_offset(offset_series, oracle):
+    """The raw sweep (forced via a no-op callback) measurably drifts; the
+    centered sweep must beat it by orders of magnitude."""
+    raw = stomp(offset_series, WINDOW, profile_callback=lambda o, qt, d: None)
+    centered = stomp(offset_series, WINDOW)
+    raw_drift = float(np.max(np.abs(raw.distances - oracle.distances)))
+    centered_drift = float(np.max(np.abs(centered.distances - oracle.distances)))
+    assert raw_drift > 1e-4  # the hazard is real on this series
+    assert centered_drift < raw_drift / 100.0
+
+
+def test_callback_contract_stays_raw(offset_series):
+    """VALMOD's ingest receives raw-value dot products — row 0 must equal
+    the raw sliding products exactly."""
+    seen = {}
+
+    def capture(offset, dot_products, _distances):
+        if offset == 0:
+            seen["qt"] = np.array(dot_products)
+
+    stomp(offset_series, WINDOW, profile_callback=capture)
+    expected = sliding_dot_product(offset_series[:WINDOW], offset_series)
+    np.testing.assert_allclose(seen["qt"], expected, rtol=1e-12)
+
+
+def test_centered_sweep_is_identical_on_well_scaled_series():
+    """On an ordinary series the centering must be invisible: the profile
+    still matches brute force to the library's standard tolerance."""
+    values = np.cumsum(np.random.default_rng(4).standard_normal(500))
+    profile = stomp(values, 32)
+    oracle = brute_force_matrix_profile(values, 32)
+    np.testing.assert_allclose(profile.distances, oracle.distances, atol=1e-8)
+    np.testing.assert_array_equal(profile.indices, oracle.indices)
+
+
+def test_valmod_still_finds_the_same_motifs_at_large_offset(offset_series):
+    """End-to-end guard: VALMOD's raw-callback base pass still discovers the
+    same pairs as STOMP-range at every length.
+
+    The reported distances are allowed ~1e-3 relative slack: the partial
+    profile store carries dot products at the raw magnitude by contract
+    (its per-length ``advance_to`` update needs them), so its conversion
+    keeps the raw FFT error — the centered sweep only fixes the paths that
+    do not feed the store.
+    """
+    stats = SlidingStats(offset_series)
+    valmod = repro.valmod(offset_series, 48, 52, stats=stats)
+    reference = repro.stomp_range(offset_series, 48, 52, stats=stats)
+    for length in valmod.lengths:
+        best_valmod = valmod.length_results[length].motifs[0]
+        best_reference = reference.motifs_at(length)[0]
+        assert {best_valmod.offset_a, best_valmod.offset_b} == {
+            best_reference.offset_a,
+            best_reference.offset_b,
+        }, length
+        np.testing.assert_allclose(
+            best_valmod.distance, best_reference.distance, rtol=1e-3
+        )
