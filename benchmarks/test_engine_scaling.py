@@ -1,15 +1,18 @@
 """Serial-vs-parallel scaling of the block-partitioned engine.
 
 Times one full STOMP profile at n ∈ {2048, 8192, 32768} through the plain
-serial sweep and through the engine's :class:`ParallelExecutor`, and
-records the wall-clock pairs (plus the derived speedups) into
+serial sweep and through the engine's :class:`ParallelExecutor`, plus
+VALMOD's base-pass ingest (STOMP + block-local
+:class:`~repro.core.partial_profile.PartialProfileStore` fragments merged
+back — the path the mergeable-store refactor parallelised), and records
+the wall-clock pairs (plus the derived speedups) into
 ``BENCH_engine_scaling.json`` at the repository root, so the speedup
 trajectory is tracked from this PR onwards.
 
 On a single-core machine the parallel numbers measure pure overhead —
-the speedup assertion is therefore gated on the *effective* core count
+every speedup assertion is therefore gated on the *effective* core count
 (scheduler affinity, not ``os.cpu_count()``, which ignores cgroup and
-affinity limits).
+affinity limits); single-core runs still check exactness.
 """
 
 from __future__ import annotations
@@ -22,17 +25,24 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.core.partial_profile import PartialProfileStore
 from repro.engine import ParallelExecutor, partitioned_stomp
 from repro.generators import generate_random_walk
 from repro.matrix_profile.stomp import stomp
+from repro.stats.sliding import SlidingStats
 
 SIZES = (2048, 8192, 32768)
 WINDOW = 128
+VALMOD_INGEST_SIZE = 8192
+VALMOD_CAPACITY = 16
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine_scaling.json"
 
 #: Wall-clock seconds per (size, mode), filled by the timing tests and
 #: flushed to RESULT_PATH once complete.
 _TIMINGS: dict[int, dict[str, float]] = {}
+
+#: Wall-clock seconds of the VALMOD base-pass ingest case, same shape.
+_VALMOD_TIMINGS: dict[str, float] = {}
 
 
 def _effective_cores() -> int:
@@ -47,23 +57,48 @@ def _series(n: int) -> np.ndarray:
 
 
 def _flush_results() -> None:
+    # Merge with whatever a previous (possibly partial / deselected) run
+    # recorded: a `-k valmod` run must not clobber the sizes trajectory,
+    # and the sizes flush must not erase an earlier ingest section.
+    existing: dict = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = {}
     payload = {
         "window": WINDOW,
         "effective_cores": _effective_cores(),
         "cpu_count": os.cpu_count(),
         "n_jobs": _n_jobs(),
         "sizes": {
-            str(n): {
-                **times,
-                "speedup": (
-                    times["serial_seconds"] / times["parallel_seconds"]
-                    if times.get("parallel_seconds")
-                    else None
-                ),
-            }
-            for n, times in sorted(_TIMINGS.items())
+            **existing.get("sizes", {}),
+            **{
+                str(n): {
+                    **times,
+                    "speedup": (
+                        times["serial_seconds"] / times["parallel_seconds"]
+                        if times.get("parallel_seconds")
+                        else None
+                    ),
+                }
+                for n, times in sorted(_TIMINGS.items())
+            },
         },
     }
+    if _VALMOD_TIMINGS:
+        payload["valmod_base_pass_ingest"] = {
+            "n": VALMOD_INGEST_SIZE,
+            "capacity": VALMOD_CAPACITY,
+            **_VALMOD_TIMINGS,
+            "speedup": (
+                _VALMOD_TIMINGS["serial_seconds"] / _VALMOD_TIMINGS["parallel_seconds"]
+                if _VALMOD_TIMINGS.get("parallel_seconds")
+                else None
+            ),
+        }
+    elif "valmod_base_pass_ingest" in existing:
+        payload["valmod_base_pass_ingest"] = existing["valmod_base_pass_ingest"]
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 
@@ -99,6 +134,81 @@ def test_scaling_parallel(benchmark, n):
         for times in _TIMINGS.values()
     ):
         _flush_results()
+
+
+def _base_pass_serial(values):
+    stats = SlidingStats(values)
+    store = PartialProfileStore(values, stats, WINDOW, VALMOD_CAPACITY)
+    stomp(values, WINDOW, stats=stats, ingest_store=store)
+    return store
+
+
+def _base_pass_parallel(values, executor):
+    stats = SlidingStats(values)
+    store = PartialProfileStore(values, stats, WINDOW, VALMOD_CAPACITY)
+    partitioned_stomp(
+        values, WINDOW, stats=stats, executor=executor, ingest_store=store
+    )
+    return store
+
+
+def test_scaling_valmod_base_pass_ingest(benchmark):
+    """VALMOD's dominant cost — the base STOMP pass that seeds the
+    partial-profile store — through the serial sweep and through
+    block-local fragment ingest on the process pool (shared-memory series
+    transport when available).  Exactness of the merged store is asserted
+    unconditionally; wall-clock lands in ``BENCH_engine_scaling.json``.
+    """
+    benchmark.group = "valmod base-pass ingest"
+    values = _series(VALMOD_INGEST_SIZE)
+
+    started = time.perf_counter()
+    serial_store = _base_pass_serial(values)
+    _VALMOD_TIMINGS["serial_seconds"] = time.perf_counter() - started
+
+    with ParallelExecutor(n_jobs=_n_jobs()) as executor:
+        started = time.perf_counter()
+        parallel_store = benchmark.pedantic(
+            _base_pass_parallel, args=(values, executor), rounds=1, iterations=1
+        )
+        _VALMOD_TIMINGS["parallel_seconds"] = time.perf_counter() - started
+
+    # Single-core runs check exactness only: the merged per-block store must
+    # agree with the serial sweep's store — pairs identical, distances
+    # within the library's standard 1e-8 (the monolithic chain and the
+    # block-seeded chains accumulate different ~1e-11 recurrence drift at
+    # this size; identical-plan merges are bit-for-bit, pinned in
+    # tests/test_partial_profile_merge.py).
+    length = WINDOW + 8
+    eval_serial = serial_store.evaluate(length)
+    eval_parallel = parallel_store.evaluate(length)
+    np.testing.assert_array_equal(eval_serial.min_indices, eval_parallel.min_indices)
+    finite = np.isfinite(eval_serial.min_distances)
+    np.testing.assert_allclose(
+        eval_serial.min_distances[finite],
+        eval_parallel.min_distances[finite],
+        atol=1e-8,
+        rtol=0,
+    )
+    _flush_results()
+
+
+def test_valmod_ingest_speedup_on_multicore():
+    """Speedup gate for the base-pass ingest — skipped below 2 effective
+    cores (single-core tier-1 runs only check exactness above); advisory
+    unless ``ENGINE_SPEEDUP_STRICT=1``."""
+    if not {"serial_seconds", "parallel_seconds"} <= set(_VALMOD_TIMINGS):
+        pytest.skip("ingest timing test did not run (deselected)")
+    if _effective_cores() < 2:
+        pytest.skip(f"needs 2+ effective cores, have {_effective_cores()}")
+    speedup = _VALMOD_TIMINGS["serial_seconds"] / _VALMOD_TIMINGS["parallel_seconds"]
+    message = f"valmod ingest speedup {speedup:.2f}x below the 1.2x floor"
+    if os.environ.get("ENGINE_SPEEDUP_STRICT") == "1":
+        assert speedup >= 1.2, message
+    elif speedup < 1.2:
+        import warnings
+
+        warnings.warn(message + " (set ENGINE_SPEEDUP_STRICT=1 to enforce)")
 
 
 def test_parallel_speedup_on_multicore():

@@ -41,12 +41,7 @@ def test_micro_partial_profile_length_step(benchmark, ecg_values):
     benchmark.group = "substrate micro-benchmarks"
     stats = SlidingStats(ecg_values)
     store = PartialProfileStore(ecg_values, stats, WINDOW, capacity=16)
-    stomp(
-        ecg_values,
-        WINDOW,
-        stats=stats,
-        profile_callback=lambda offset, qt, _d: store.ingest_base_profile(offset, qt),
-    )
+    stomp(ecg_values, WINDOW, stats=stats, ingest_store=store)
     lengths = iter(range(WINDOW + 1, WINDOW + 500))
 
     def one_step():

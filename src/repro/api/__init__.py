@@ -27,7 +27,12 @@ from repro.api.registry import (
     registered_kinds,
     resolve_algorithm,
 )
-from repro.api.requests import AnalysisRequest, AnalysisResult, canonical_cache_key
+from repro.api.requests import (
+    AnalysisRequest,
+    AnalysisResult,
+    EnvelopeRangeResult,
+    canonical_cache_key,
+)
 from repro.api.session import Analysis, EngineConfig, analyze
 
 __all__ = [
@@ -35,6 +40,7 @@ __all__ = [
     "Analysis",
     "AnalysisRequest",
     "AnalysisResult",
+    "EnvelopeRangeResult",
     "CacheConfig",
     "EngineConfig",
     "LRUResultCache",

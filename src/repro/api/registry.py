@@ -237,6 +237,7 @@ def _motifs_valmod(session, min_length: int, max_length: int, **options):
         stats=session.stats,
         engine=engine.executor,
         n_jobs=engine.n_jobs,
+        block_size=engine.block_size,
         **options,
     )
 

@@ -39,7 +39,40 @@ from repro.matrix_profile.ab_join import JoinProfile
 from repro.matrix_profile.profile import MatrixProfile, MotifPair
 from repro.series.dataseries import DataSeries
 
-__all__ = ["AnalysisRequest", "AnalysisResult", "canonical_cache_key"]
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
+    "EnvelopeRangeResult",
+    "canonical_cache_key",
+]
+
+
+class EnvelopeRangeResult(RangeDiscoveryResult):
+    """A ``motifs`` payload rehydrated from a serialised envelope.
+
+    A VALMOD computation produces the full in-process
+    :class:`~repro.core.results.ValmodResult` (VALMAP, checkpoints, pruning
+    detail), but the envelope only round-trips the cross-algorithm
+    comparable view.  When such an envelope comes back — a persistent-spill
+    hit from an earlier process, a service response, a loaded result file —
+    callers written against ``ValmodResult`` would previously get a bare
+    ``AttributeError`` with no hint of *why* the attribute vanished.  This
+    marker subclass behaves exactly like its parent for everything the view
+    actually carries and turns unknown-attribute access into a loud,
+    explanatory error.
+    """
+
+    def __getattr__(self, name: str):
+        # Only reached when normal lookup fails, i.e. for attributes of the
+        # richer in-process result types the envelope does not carry.
+        raise AttributeError(
+            f"{name!r} is not available: this motifs result was rehydrated "
+            "from a serialised envelope (persistent cache, service response "
+            "or result file) and carries only the cross-algorithm "
+            "RangeDiscoveryResult view.  Recompute in-process (e.g. "
+            "Analysis.run(request, cache=False) or repro.valmod) when the "
+            "full ValmodResult is needed."
+        )
 
 
 def _jsonable(value: Any) -> Any:
@@ -327,6 +360,12 @@ class AnalysisResult:
         """The native payload (alias kept short for call-site readability)."""
         return self.payload
 
+    @property
+    def is_envelope_view(self) -> bool:
+        """True when the payload is a rehydrated envelope view, not the
+        in-process result object (see :class:`EnvelopeRangeResult`)."""
+        return isinstance(self.payload, EnvelopeRangeResult)
+
     def profile(self) -> MatrixProfile:
         """The payload as a :class:`MatrixProfile` (``matrix_profile`` kind)."""
         if not isinstance(self.payload, MatrixProfile):
@@ -377,18 +416,37 @@ class AnalysisResult:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "AnalysisResult":
-        """Rebuild an envelope from :meth:`as_dict` output."""
+        """Rebuild an envelope from :meth:`as_dict` output.
+
+        A ``motifs``/``valmod`` payload is tagged as an
+        :class:`EnvelopeRangeResult`: VALMOD is the one algorithm whose
+        in-process result is richer than what the envelope round-trips, so
+        rehydrated hits must fail loudly when callers reach for the missing
+        ``ValmodResult`` fields.
+        """
         try:
+            kind = str(payload["kind"])
+            algo = str(payload["algo"])
+            native = _payload_from_dict(str(payload["payload_type"]), payload["payload"])
+            if (
+                kind == "motifs"
+                and algo == "valmod"
+                and isinstance(native, RangeDiscoveryResult)
+            ):
+                native = EnvelopeRangeResult(
+                    algorithm=native.algorithm,
+                    motifs_by_length=native.motifs_by_length,
+                    elapsed_seconds=native.elapsed_seconds,
+                    extra=native.extra,
+                )
             return cls(
-                kind=str(payload["kind"]),
-                algo=str(payload["algo"]),
+                kind=kind,
+                algo=algo,
                 params=dict(payload.get("params", {})),
                 series_name=str(payload.get("series_name", "series")),
                 series_length=int(payload.get("series_length", 0)),
                 elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
-                payload=_payload_from_dict(
-                    str(payload["payload_type"]), payload["payload"]
-                ),
+                payload=native,
             )
         except (KeyError, TypeError, ValueError) as error:
             raise SerializationError(f"not a valid analysis result: {error}") from error

@@ -288,17 +288,23 @@ class Analysis:
         self._misses = 0
         self._persistent_hits = 0
 
-    def _cached_anywhere(self, spec, request: AnalysisRequest) -> bool:
-        """Whether a request is answerable from the memory cache or the
-        spill (which is promoted into memory as a side effect) — used by
-        :meth:`run_many` so the batch path does not recompute work a prior
-        process already persisted."""
-        key = canonical_cache_key(spec, request)
-        if key is None:
-            return False
-        if key in self._results:
-            return True
-        return self._load_spilled(key) is not None
+    def _probe_caches(self, key: str) -> Tuple[AnalysisResult, str] | None:
+        """One cache probe: memory first, then the persistent spill.
+
+        Returns ``(result, source)`` with ``source`` ``"memory"`` or
+        ``"persistent"`` (a spill hit is promoted into the LRU as a side
+        effect), or ``None`` on a full miss.  Shared by :meth:`run_with_info`
+        and :meth:`run_many_with_info` so both report identical
+        ``cache_source`` semantics.
+        """
+        cached = self._results.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached, "memory"
+        spilled = self._load_spilled(key)
+        if spilled is not None:
+            return spilled, "persistent"
+        return None
 
     def _load_spilled(self, key: str) -> AnalysisResult | None:
         """Probe the persistent spill and promote a hit into the LRU cache.
@@ -360,7 +366,11 @@ class Analysis:
         Note that a persistent hit returns the envelope as it round-trips
         through JSON: a ``motifs``/``valmod`` payload comes back as the
         cross-algorithm :class:`~repro.baselines.base.RangeDiscoveryResult`
-        view, not the full in-process ``ValmodResult``.
+        view, not the full in-process ``ValmodResult``.  Such hits are
+        tagged (``result.is_envelope_view`` is true, the payload is an
+        :class:`~repro.api.requests.EnvelopeRangeResult`) so reaching for a
+        missing ``ValmodResult`` field raises an explanatory error instead
+        of a bare ``AttributeError``.
         """
         if not isinstance(request, AnalysisRequest):
             raise InvalidParameterError(
@@ -369,13 +379,9 @@ class Analysis:
         spec = resolve_algorithm(request.kind, request.algo)
         key = canonical_cache_key(spec, request) if cache else None
         if key is not None:
-            cached = self._results.get(key)
-            if cached is not None:
-                self._hits += 1
-                return cached, "memory"
-            spilled = self._load_spilled(key)
-            if spilled is not None:
-                return spilled, "persistent"
+            hit = self._probe_caches(key)
+            if hit is not None:
+                return hit
         self._misses += 1
         started = time.perf_counter()
         payload = spec.runner(self, **request.params)
@@ -410,8 +416,22 @@ class Analysis:
         cache, but not returned).  Submit requests individually when partial
         results must survive a failure.
         """
+        return [result for result, _ in self.run_many_with_info(requests, cache=cache)]
+
+    def run_many_with_info(
+        self, requests: Iterable[AnalysisRequest], *, cache: bool = True
+    ) -> List[Tuple[AnalysisResult, str]]:
+        """Like :meth:`run_many`, also reporting where each result came from.
+
+        Every entry carries the same ``cache_source`` tag as
+        :meth:`run_with_info`: ``"memory"``, ``"persistent"`` or
+        ``"computed"``.  Batch-shaped requests probe both cache tiers —
+        including the persistent spill, whose hits are promoted into the
+        LRU — *before* batching, so work a previous process already
+        persisted is never recomputed just because it arrived in a batch.
+        """
         request_list = list(requests)
-        results: List[AnalysisResult | None] = [None] * len(request_list)
+        results: List[Tuple[AnalysisResult, str] | None] = [None] * len(request_list)
         batchable: List[int] = []
         for index, request in enumerate(request_list):
             if not isinstance(request, AnalysisRequest):
@@ -420,15 +440,18 @@ class Analysis:
                     f"got {type(request).__name__}"
                 )
             spec = resolve_algorithm(request.kind, request.algo)
-            if (
-                spec.kind == "matrix_profile"
-                and spec.key == "stomp"
-                and set(request.params) <= {"window", "exclusion_radius"}
-                and (not cache or not self._cached_anywhere(spec, request))
-            ):
+            if spec.kind == "matrix_profile" and spec.key == "stomp" and set(
+                request.params
+            ) <= {"window", "exclusion_radius"}:
+                if cache:
+                    key = canonical_cache_key(spec, request)
+                    hit = None if key is None else self._probe_caches(key)
+                    if hit is not None:
+                        results[index] = hit
+                        continue
                 batchable.append(index)
             else:
-                results[index] = self.run(request, cache=cache)
+                results[index] = self.run_with_info(request, cache=cache)
         if batchable:
             self._run_profile_batch(request_list, results, batchable, cache)
         return [result for result in results if result is not None]
@@ -436,7 +459,7 @@ class Analysis:
     def _run_profile_batch(
         self,
         requests: Sequence[AnalysisRequest],
-        results: List[AnalysisResult | None],
+        results: "List[Tuple[AnalysisResult, str] | None]",
         indices: List[int],
         cache: bool,
     ) -> None:
@@ -473,7 +496,7 @@ class Analysis:
                 elapsed_seconds=elapsed,
                 payload=outcome.unwrap(),
             )
-            results[index] = result
+            results[index] = (result, "computed")
             if cache:
                 key = canonical_cache_key(
                     resolve_algorithm("matrix_profile", "stomp"), request

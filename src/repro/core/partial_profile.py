@@ -7,11 +7,37 @@ base-length correlation, since the lower bound is a decreasing function of
 that correlation and its ranking never changes with the target length (see
 :mod:`repro.core.lower_bound`).
 
-For each retained entry the store keeps the neighbour offset, the raw dot
-product ``QT`` (updated incrementally as the length grows) and the base
-correlation.  All entries of all profiles live in flat ``(n_profiles, p)``
-arrays so the per-length update of the whole store is a handful of vectorised
-numpy operations instead of a Python loop over profiles.
+For each retained entry the store keeps the neighbour offset, the
+**mean-centered** dot product ``QT`` (updated incrementally as the length
+grows) and the base correlation.  All entries of all profiles live in flat
+``(n_profiles, p)`` arrays so the per-length update of the whole store is a
+handful of vectorised numpy operations instead of a Python loop over
+profiles.
+
+Centering
+---------
+Z-normalised distances are invariant under a global shift of the series, but
+dot products are not: on a series sitting at offset ``1e6`` a raw product
+carries rounding error at magnitude ``~eps·|T|²`` that survives the
+``qt → correlation`` cancellation at full size, which used to leave VALMOD's
+reported distances with ~1e-3 relative error while every other path in the
+library was already centered.  The store therefore runs end-to-end on
+:attr:`~repro.stats.sliding.SlidingStats.centered_values`: ingested products
+must be taken on the centered series (exactly what the centered STOMP sweep
+carries), :meth:`advance_to` appends centered tail products, and
+:meth:`evaluate` converts with the centered window means.  The identity
+``QT_c − L·μ̃_i·μ̃_j = QT − L·μ_i·μ_j`` (``μ̃ = μ − center``) makes this an
+exact reformulation — only the rounding error changes.
+
+Fragments and merging
+---------------------
+:meth:`PartialProfileStore.split` carves out a *fragment* covering a
+contiguous row range; fragments ingest their rows independently (each engine
+block builds its own) and :meth:`PartialProfileStore.merge` copies them back.
+Because every row's retained entries are a function of that row's base
+profile alone, merging disjoint fragments reproduces the serially-ingested
+store bit for bit.  :meth:`export_state` yields a compact picklable form so
+process-pool workers ship only their rows, not the series.
 
 Terminology (Figure 2 of the paper):
 
@@ -27,6 +53,7 @@ Terminology (Figure 2 of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -38,6 +65,18 @@ from repro.stats.sliding import SlidingStats
 from repro.stats.znorm import STD_EPSILON
 
 __all__ = ["PartialProfileStore", "LengthEvaluation"]
+
+#: Array fields of one fragment's exported state, in a fixed order so the
+#: export/merge round-trip cannot silently drop a field.
+_STATE_FIELDS = (
+    "neighbors",
+    "dot_products",
+    "base_correlations",
+    "pruned_correlation_ceiling",
+    "complete",
+    "unbounded",
+    "populated",
+)
 
 
 @dataclass(frozen=True)
@@ -91,7 +130,8 @@ class PartialProfileStore:
     Parameters
     ----------
     series_values:
-        The raw data series (validated float64 array).
+        The raw data series (validated float64 array).  Stored centered —
+        see the module docstring.
     stats:
         Precomputed sliding statistics of the series.
     base_length:
@@ -116,23 +156,97 @@ class PartialProfileStore:
     ) -> None:
         if capacity < 1:
             raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
-        self._values = np.asarray(series_values, dtype=np.float64)
-        self._stats = stats
-        self._base_length = int(base_length)
-        self._capacity = int(capacity)
-        self._exclusion_factor = int(exclusion_factor)
+        values = np.asarray(series_values, dtype=np.float64)
+        base_means, base_stds = stats.centered_mean_std(int(base_length))
+        self._init_core(
+            centered_values=stats.centered_values,
+            base_means=base_means,
+            base_stds=base_stds,
+            base_length=int(base_length),
+            capacity=int(capacity),
+            exclusion_factor=int(exclusion_factor),
+            lower_bound_kind=lower_bound_kind,
+            row_range=(0, values.size - int(base_length) + 1),
+        )
+        self._stats: SlidingStats | None = stats
+
+    @classmethod
+    def fragment(
+        cls,
+        centered_values: np.ndarray,
+        base_means: np.ndarray,
+        base_stds: np.ndarray,
+        base_length: int,
+        capacity: int,
+        *,
+        exclusion_factor: int = 4,
+        lower_bound_kind: str = "tight",
+        row_range: tuple[int, int],
+    ) -> "PartialProfileStore":
+        """A store fragment built from precomputed centered inputs.
+
+        This is the worker-side constructor: an engine block already holds
+        the centered series and the centered base means/stds (they travel
+        with the block payload), so the fragment needs no
+        :class:`~repro.stats.sliding.SlidingStats`.  Fragments can ingest
+        and :meth:`export_state` but not :meth:`evaluate` — merge them into
+        a full store first.
+        """
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        store = cls.__new__(cls)
+        store._init_core(
+            centered_values=np.asarray(centered_values, dtype=np.float64),
+            base_means=np.asarray(base_means, dtype=np.float64),
+            base_stds=np.asarray(base_stds, dtype=np.float64),
+            base_length=int(base_length),
+            capacity=int(capacity),
+            exclusion_factor=int(exclusion_factor),
+            lower_bound_kind=lower_bound_kind,
+            row_range=row_range,
+        )
+        store._stats = None
+        return store
+
+    def _init_core(
+        self,
+        *,
+        centered_values: np.ndarray,
+        base_means: np.ndarray,
+        base_stds: np.ndarray,
+        base_length: int,
+        capacity: int,
+        exclusion_factor: int,
+        lower_bound_kind: str,
+        row_range: tuple[int, int],
+    ) -> None:
+        self._values = centered_values
+        self._base_length = base_length
+        self._capacity = capacity
+        self._exclusion_factor = exclusion_factor
         self._lower_bound_kind = lower_bound_kind
 
         n = self._values.size
         self._num_profiles = n - self._base_length + 1
-        base_means, base_stds = stats.mean_std(self._base_length)
+        row_start, row_stop = int(row_range[0]), int(row_range[1])
+        if not 0 <= row_start <= row_stop <= self._num_profiles:
+            raise InvalidParameterError(
+                f"row range [{row_start}, {row_stop}) is out of bounds for "
+                f"{self._num_profiles} profiles"
+            )
+        self._row_start = row_start
+        self._row_stop = row_stop
+        if base_means.shape != (self._num_profiles,):
+            raise InvalidParameterError(
+                f"expected {self._num_profiles} base means, got {base_means.shape}"
+            )
         self._base_means = base_means
         self._base_stds = base_stds
         self._base_constant = base_stds <= 0.0
         #: one cancellation-risk decision for every base-profile ingest
         self._base_compensated = compensation_needed(base_means, base_means, base_stds)
 
-        shape = (self._num_profiles, self._capacity)
+        shape = (row_stop - row_start, self._capacity)
         self._neighbors = np.full(shape, -1, dtype=np.int64)
         self._dot_products = np.zeros(shape, dtype=np.float64)
         self._base_correlations = np.full(shape, -np.inf, dtype=np.float64)
@@ -140,17 +254,17 @@ class PartialProfileStore:
         #: profile: every pruned candidate correlates at most this much with
         #: the query, so its lower bound at any longer length is at least
         #: ``LB(threshold)`` — the profile's ``maxLB``.
-        self._pruned_correlation_ceiling = np.full(self._num_profiles, -np.inf)
+        self._pruned_correlation_ceiling = np.full(shape[0], -np.inf)
         #: True when every candidate neighbour was retained (no pruning risk)
-        self._complete = np.zeros(self._num_profiles, dtype=bool)
+        self._complete = np.zeros(shape[0], dtype=bool)
         #: True when pruning must be disabled for this offset (degenerate cases)
-        self._unbounded = np.zeros(self._num_profiles, dtype=bool)
-        self._populated = np.zeros(self._num_profiles, dtype=bool)
+        self._unbounded = np.zeros(shape[0], dtype=bool)
+        self._populated = np.zeros(shape[0], dtype=bool)
         #: the length the stored dot products currently refer to
         self._current_length = self._base_length
 
     # ------------------------------------------------------------------ #
-    # construction (driven by the STOMP callback)
+    # construction (driven by the STOMP sweep / engine blocks)
     # ------------------------------------------------------------------ #
     @property
     def base_length(self) -> int:
@@ -163,6 +277,16 @@ class PartialProfileStore:
         return self._capacity
 
     @property
+    def exclusion_factor(self) -> int:
+        """Denominator of the trivial-match radius."""
+        return self._exclusion_factor
+
+    @property
+    def lower_bound_kind(self) -> str:
+        """The lower-bound flavour used for ``maxLB`` (``"tight"``/``"paper"``)."""
+        return self._lower_bound_kind
+
+    @property
     def current_length(self) -> int:
         """The length the stored dot products currently correspond to."""
         return self._current_length
@@ -172,13 +296,68 @@ class PartialProfileStore:
         """Number of base-length query offsets."""
         return self._num_profiles
 
+    @property
+    def row_range(self) -> tuple[int, int]:
+        """The ``[start, stop)`` row range this store/fragment covers."""
+        return (self._row_start, self._row_stop)
+
+    @property
+    def is_fragment(self) -> bool:
+        """True when this store covers only a sub-range of the rows."""
+        return (self._row_start, self._row_stop) != (0, self._num_profiles)
+
+    def require_ready_for_ingest(self, window: int) -> None:
+        """Validate that this store can receive a base pass at ``window``.
+
+        Shared by every ``ingest_store=`` entry point (the serial STOMP
+        sweep and the engine's block-local path) so the contract — built
+        at this base length, not yet advanced — is enforced identically
+        everywhere.
+        """
+        if self._base_length != int(window):
+            raise InvalidParameterError(
+                f"ingest_store base length {self._base_length} does not "
+                f"match the window {window}"
+            )
+        if self._current_length != self._base_length:
+            raise InvalidParameterError(
+                "ingest_store was already advanced past its base length"
+            )
+
     def ingest_base_profile(self, offset: int, dot_products: np.ndarray) -> None:
+        """Removed raw-value ingest — the store is mean-centered now.
+
+        This shim exists so callers still holding *raw* sliding dot products
+        fail loudly instead of silently corrupting the store (a raw product
+        at a large series offset is numerically nothing like its centered
+        counterpart).  Feed :meth:`ingest_centered_profile` with products
+        taken on :attr:`~repro.stats.sliding.SlidingStats.centered_values`
+        — exactly what the centered STOMP sweep's ``profile_callback``
+        carries — or let the engine ingest for you via
+        ``stomp(..., ingest_store=store)``.
+        """
+        raise InvalidParameterError(
+            "PartialProfileStore.ingest_base_profile() was removed: the store "
+            "is mean-centered and no longer accepts raw dot products.  Pass "
+            "products computed on the centered series to "
+            "ingest_centered_profile(), or use stomp(..., ingest_store=store)."
+        )
+
+    def ingest_centered_profile(self, offset: int, dot_products: np.ndarray) -> None:
         """Retain the most promising entries of one base distance profile.
 
-        Called once per query offset from the STOMP ``profile_callback`` with
-        the raw sliding dot products of that offset's base-length profile.
+        Called once per query offset with the sliding dot products of that
+        offset's base-length profile, taken on the **mean-centered** series
+        (``stats.centered_values`` — the space the centered STOMP sweep and
+        the engine blocks run in).
         """
-        if self._populated[offset]:
+        if not self._row_start <= offset < self._row_stop:
+            raise InvalidParameterError(
+                f"profile {offset} is outside this store's row range "
+                f"[{self._row_start}, {self._row_stop})"
+            )
+        row = offset - self._row_start
+        if self._populated[row]:
             raise InvalidParameterError(f"profile {offset} was already ingested")
         length = self._base_length
         qt = np.asarray(dot_products, dtype=np.float64)
@@ -190,8 +369,8 @@ class PartialProfileStore:
         if sigma_i <= 0.0:
             # Degenerate query: the correlation is undefined, so the lower
             # bound cannot be trusted.  Disable pruning for this offset.
-            self._unbounded[offset] = True
-            self._populated[offset] = True
+            self._unbounded[row] = True
+            self._populated[row] = True
             return
 
         centered = centered_dot_products(
@@ -217,19 +396,19 @@ class PartialProfileStore:
         candidate_indices = np.flatnonzero(candidate_mask)
 
         if candidate_indices.size == 0:
-            self._complete[offset] = True
-            self._populated[offset] = True
+            self._complete[row] = True
+            self._populated[row] = True
             return
 
         if candidate_indices.size <= self._capacity:
             kept = candidate_indices
-            self._complete[offset] = True
+            self._complete[row] = True
         else:
             candidate_correlations = correlations[candidate_indices]
             partition = np.argpartition(candidate_correlations, -self._capacity)
             top = partition[-self._capacity :]
             kept = candidate_indices[top]
-            self._pruned_correlation_ceiling[offset] = float(
+            self._pruned_correlation_ceiling[row] = float(
                 candidate_correlations[partition[: -self._capacity]].max()
             )
             # If some constant-at-base neighbour was *not* retained we cannot
@@ -238,15 +417,110 @@ class PartialProfileStore:
             if constant_candidates:
                 constant_kept = int(np.count_nonzero(self._base_constant[kept]))
                 if constant_kept < constant_candidates:
-                    self._unbounded[offset] = True
+                    self._unbounded[row] = True
 
         order = np.argsort(-correlations[kept])
         kept = kept[order]
         count = kept.size
-        self._neighbors[offset, :count] = kept
-        self._dot_products[offset, :count] = qt[kept]
-        self._base_correlations[offset, :count] = correlations[kept]
-        self._populated[offset] = True
+        self._neighbors[row, :count] = kept
+        self._dot_products[row, :count] = qt[kept]
+        self._base_correlations[row, :count] = correlations[kept]
+        self._populated[row] = True
+
+    # ------------------------------------------------------------------ #
+    # fragments: split / export / merge
+    # ------------------------------------------------------------------ #
+    def split(self, row_range: tuple[int, int]) -> "PartialProfileStore":
+        """An empty fragment of this store covering ``[start, stop)`` rows.
+
+        The fragment shares the centered series and base statistics (no
+        copies) but owns its retention arrays.  Ingest its rows, then
+        :meth:`merge` it back; disjoint fragments merged in any order
+        reproduce the serially-ingested store bit for bit.
+        """
+        start, stop = int(row_range[0]), int(row_range[1])
+        if not self._row_start <= start <= stop <= self._row_stop:
+            raise InvalidParameterError(
+                f"split range [{start}, {stop}) is outside this store's rows "
+                f"[{self._row_start}, {self._row_stop})"
+            )
+        if self._current_length != self._base_length:
+            raise InvalidParameterError(
+                "cannot split a store whose dot products were already advanced "
+                f"to length {self._current_length}"
+            )
+        fragment = type(self).fragment(
+            self._values,
+            self._base_means,
+            self._base_stds,
+            self._base_length,
+            self._capacity,
+            exclusion_factor=self._exclusion_factor,
+            lower_bound_kind=self._lower_bound_kind,
+            row_range=(start, stop),
+        )
+        return fragment
+
+    def export_state(self) -> dict:
+        """The fragment's rows as a compact picklable mapping.
+
+        Contains only the per-row retention arrays plus identifying
+        metadata — O(rows × capacity), independent of the series length —
+        so a process-pool worker ships its block's rows, not the series.
+        """
+        state = {
+            "row_range": (self._row_start, self._row_stop),
+            "base_length": self._base_length,
+            "capacity": self._capacity,
+            "exclusion_factor": self._exclusion_factor,
+            "lower_bound_kind": self._lower_bound_kind,
+            "current_length": self._current_length,
+        }
+        for field in _STATE_FIELDS:
+            state[field] = getattr(self, f"_{field}")
+        return state
+
+    def merge(self, other: "PartialProfileStore | Mapping") -> None:
+        """Copy a disjoint fragment's rows into this store.
+
+        ``other`` is a fragment produced by :meth:`split` (or
+        :meth:`fragment`) — or its :meth:`export_state` mapping when it
+        crossed a process boundary.  Both stores must still be at the base
+        length and agree on every configuration knob; the target rows must
+        not have been ingested yet.  The copy is positional, so the merged
+        store is bit-for-bit the store that would have ingested those rows
+        serially.
+        """
+        state = other.export_state() if isinstance(other, PartialProfileStore) else other
+        for knob in ("base_length", "capacity", "exclusion_factor", "lower_bound_kind"):
+            if state[knob] != getattr(self, f"_{knob}"):
+                raise InvalidParameterError(
+                    f"cannot merge stores with different {knob}: "
+                    f"{state[knob]!r} != {getattr(self, f'_{knob}')!r}"
+                )
+        if state["current_length"] != self._base_length:
+            raise InvalidParameterError(
+                "cannot merge a fragment whose dot products were advanced to "
+                f"length {state['current_length']}"
+            )
+        if self._current_length != self._base_length:
+            raise InvalidParameterError(
+                "cannot merge into a store whose dot products were advanced to "
+                f"length {self._current_length}"
+            )
+        start, stop = (int(edge) for edge in state["row_range"])
+        if not self._row_start <= start <= stop <= self._row_stop:
+            raise InvalidParameterError(
+                f"fragment rows [{start}, {stop}) are outside this store's rows "
+                f"[{self._row_start}, {self._row_stop})"
+            )
+        local = slice(start - self._row_start, stop - self._row_start)
+        if bool(self._populated[local].any()):
+            raise InvalidParameterError(
+                f"rows [{start}, {stop}) were already ingested in this store"
+            )
+        for field in _STATE_FIELDS:
+            getattr(self, f"_{field}")[local] = state[field]
 
     # ------------------------------------------------------------------ #
     # per-length evaluation
@@ -254,8 +528,8 @@ class PartialProfileStore:
     def advance_to(self, length: int) -> None:
         """Grow the stored dot products from the current length to ``length``.
 
-        The update appends one trailing product per intermediate length, each
-        as a single vectorised operation over the whole store.
+        The update appends one trailing **centered** product per intermediate
+        length, each as a single vectorised operation over the whole store.
         """
         if length < self._current_length:
             raise InvalidParameterError(
@@ -272,17 +546,20 @@ class PartialProfileStore:
             new_length = current + 1
             # Rows whose query subsequence still fits at the new length.
             row_limit = n - new_length + 1
-            rows = np.arange(row_limit)
-            neighbors = self._neighbors[:row_limit]
-            applicable = (neighbors >= 0) & (neighbors <= n - new_length)
-            if applicable.any():
-                query_tail = values[rows + current][:, np.newaxis]
-                neighbor_tail = np.where(
-                    applicable, values[np.clip(neighbors + current, 0, n - 1)], 0.0
-                )
-                self._dot_products[:row_limit] += np.where(
-                    applicable, query_tail * neighbor_tail, 0.0
-                )
+            local_stop = min(self._row_stop, row_limit)
+            if local_stop > self._row_start:
+                local = slice(0, local_stop - self._row_start)
+                rows = np.arange(self._row_start, local_stop)
+                neighbors = self._neighbors[local]
+                applicable = (neighbors >= 0) & (neighbors <= n - new_length)
+                if applicable.any():
+                    query_tail = values[rows + current][:, np.newaxis]
+                    neighbor_tail = np.where(
+                        applicable, values[np.clip(neighbors + current, 0, n - 1)], 0.0
+                    )
+                    self._dot_products[local] += np.where(
+                        applicable, query_tail * neighbor_tail, 0.0
+                    )
             self._current_length = new_length
 
     def evaluate(self, length: int) -> LengthEvaluation:
@@ -292,6 +569,17 @@ class PartialProfileStore:
         the retained (still applicable) entries, the per-profile ``minDist``
         and ``maxLB``, and the valid/non-valid classification.
         """
+        if self.is_fragment:
+            raise InvalidParameterError(
+                f"cannot evaluate a fragment covering rows "
+                f"[{self._row_start}, {self._row_stop}); merge it into a full "
+                "store first"
+            )
+        if self._stats is None:
+            raise InvalidParameterError(
+                "this store was built without sliding statistics and cannot "
+                "evaluate; merge it into a stats-backed store"
+            )
         if length < self._base_length:
             raise InvalidParameterError(
                 f"length {length} is smaller than the base length {self._base_length}"
@@ -300,7 +588,9 @@ class PartialProfileStore:
         values = self._values
         n = values.size
         num_rows = n - length + 1
-        means, stds = self._stats.mean_std(length)
+        # Centered window means: the stored products are centered, so the
+        # conversion subtracts length * mu~_i * mu~_j (see module docstring).
+        means, stds = self._stats.centered_mean_std(length)
         radius = default_exclusion_radius(length, self._exclusion_factor)
 
         rows = np.arange(num_rows)
@@ -323,9 +613,7 @@ class PartialProfileStore:
             length,
             mu_i,
             mu_j,
-            compensated=compensation_needed(
-                means[:num_rows], means[:num_rows], stds[:num_rows]
-            ),
+            compensated=self._stats.conversion_compensated(length),
         )
         with np.errstate(divide="ignore", invalid="ignore"):
             correlation = centered / (length * sigma_i * sigma_j)

@@ -58,6 +58,7 @@ def valmod(
     update_both_members: bool = True,
     engine: object | None = None,
     n_jobs: int | None = None,
+    block_size: int | None = None,
     stats: SlidingStats | None = None,
 ) -> ValmodResult:
     """Find the exact top-k motif pairs of every length in ``[min_length, max_length]``.
@@ -66,14 +67,14 @@ def valmod(
     documentation for the meaning of each knob.  ``series`` may be a plain
     array or a :class:`~repro.series.DataSeries`.
 
-    ``engine`` / ``n_jobs`` route the base-length STOMP pass through the
-    block-partitioned engine (see :mod:`repro.engine`) and batch the
-    per-length exact recomputations (independent MASS calls for non-valid
-    profiles) through :func:`repro.engine.batch.compute_profiles`.  The
-    base pass feeds the partial-profile store through an order-dependent
-    per-row callback, so the engine runs its blocks serially for VALMOD
-    today; the knob still buys the per-block re-seeding (bounded
-    numerical drift) and the batched recomputations.
+    ``engine`` / ``n_jobs`` / ``block_size`` route the base-length STOMP
+    pass through the block-partitioned engine (see :mod:`repro.engine`) and
+    batch the per-length exact recomputations (independent MASS calls for
+    non-valid profiles) through
+    :func:`repro.engine.batch.compute_profiles`.  The base pass ingests the
+    partial-profile store block-locally (each block builds a store fragment,
+    the fragments merge into the exact serial store), so VALMOD's dominant
+    cost parallelises like any other profile computation.
 
     Returns
     -------
@@ -92,7 +93,14 @@ def valmod(
         track_checkpoints=track_checkpoints,
         update_both_members=update_both_members,
     )
-    return valmod_with_config(series, config, engine=engine, n_jobs=n_jobs, stats=stats)
+    return valmod_with_config(
+        series,
+        config,
+        engine=engine,
+        n_jobs=n_jobs,
+        block_size=block_size,
+        stats=stats,
+    )
 
 
 def valmod_with_config(
@@ -101,6 +109,7 @@ def valmod_with_config(
     *,
     engine: object | None = None,
     n_jobs: int | None = None,
+    block_size: int | None = None,
     stats: SlidingStats | None = None,
 ) -> ValmodResult:
     """Run VALMOD with an explicit :class:`~repro.core.config.ValmodConfig`.
@@ -125,18 +134,19 @@ def valmod_with_config(
         lower_bound_kind=config.lower_bound_kind,
     )
 
-    def ingest(offset: int, dot_products: np.ndarray, _distances: np.ndarray) -> None:
-        store.ingest_base_profile(offset, dot_products)
-
+    # The store ingests inside the STOMP pass: serially row by row on the
+    # oracle path, block-locally (fragments merged back) when an engine is
+    # configured — no per-row callback, hence nothing forces blocks serial.
     base_radius = default_exclusion_radius(config.min_length, config.exclusion_factor)
     base_profile = stomp(
         values,
         config.min_length,
         exclusion_radius=base_radius,
         stats=stats,
-        profile_callback=ingest,
+        ingest_store=store,
         engine=engine,
         n_jobs=n_jobs,
+        block_size=block_size,
     )
 
     length_results: Dict[int, LengthResult] = {}

@@ -15,6 +15,10 @@ work is scheduled:
 * :mod:`repro.engine.batch` — :func:`compute_profiles`: many
   (series, window / length-range) jobs through one executor, with shared
   sliding-statistics reuse and per-job error isolation.
+* :mod:`repro.engine.shm` — :class:`SharedSeriesBuffer`: the block
+  arrays packed once into a ``multiprocessing.shared_memory`` segment so
+  process-pool payloads carry a name instead of pickled O(n) arrays,
+  with automatic fallback to pickling when shared memory is unavailable.
 
 The serial single-sweep implementations remain the defaults and the
 correctness oracles everywhere; the engine is opted into with the
@@ -38,6 +42,12 @@ from repro.engine.partition import (
     partitioned_stomp,
     plan_blocks,
 )
+from repro.engine.shm import (
+    SharedArraysHandle,
+    SharedSeriesBuffer,
+    attach_arrays,
+    shared_memory_available,
+)
 
 __all__ = [
     "AUTO_PARALLEL_MIN_TASK_UNITS",
@@ -47,10 +57,14 @@ __all__ = [
     "ParallelExecutor",
     "ProfileJob",
     "SerialExecutor",
+    "SharedArraysHandle",
+    "SharedSeriesBuffer",
+    "attach_arrays",
     "auto_executor",
     "compute_profiles",
     "default_block_size",
     "partitioned_stomp",
     "plan_blocks",
     "resolve_executor",
+    "shared_memory_available",
 ]

@@ -69,6 +69,17 @@ class Executor:
         """Worker count the block planner should size blocks for."""
         return 1
 
+    @property
+    def uses_processes(self) -> bool:
+        """Whether :meth:`map` will cross a process boundary.
+
+        Callers use this to decide whether cross-process transports
+        (shared-memory payloads) are worth setting up.  Defaults to the
+        complement of :attr:`supports_callbacks`; executors that can
+        degrade to in-process execution should override it with the truth.
+        """
+        return not self.supports_callbacks
+
     def map(self, fn: Callable, tasks: Sequence) -> List:
         """Apply ``fn`` to every task and return results in task order."""
         raise NotImplementedError
@@ -122,6 +133,17 @@ class ParallelExecutor(Executor):
     @property
     def effective_jobs(self) -> int:
         return max(1, self.n_jobs)
+
+    @property
+    def uses_processes(self) -> bool:
+        """True only when a pool actually exists (forces lazy creation).
+
+        A degraded executor runs tasks in-process, where shared-memory
+        transport would be pure overhead — worse, the parent would attach
+        to its own segments and pin their mappings for the process
+        lifetime (see :func:`repro.engine.shm.attach_arrays`).
+        """
+        return self._ensure_pool() is not None
 
     def _ensure_pool(self) -> ProcessPoolExecutor | None:
         if self._degraded:

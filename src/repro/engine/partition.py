@@ -26,6 +26,24 @@ first row comes from a fresh FFT instead of ``block_size`` recurrence
 steps, which makes the blocked result slightly *more* accurate, not
 less (see the re-seeding note below).
 
+The same argument covers VALMOD's base-pass ingest: the entries a
+:class:`~repro.core.partial_profile.PartialProfileStore` retains for row
+``i`` are a function of row ``i``'s distance profile alone, so each block
+ingests its rows into a store *fragment* and the fragments merge
+positionally — bit for bit the store a serial ingest would have built
+from the same block plan.  This replaced the old ``profile_callback``
+special case that forced the whole sweep serial whenever VALMOD ran.
+
+Series transport
+----------------
+Process-pool payloads do not pickle the O(n) arrays (series, means, stds,
+first-row products) into every task: when the platform provides
+``multiprocessing.shared_memory`` the arrays are packed once into a
+:class:`~repro.engine.shm.SharedSeriesBuffer` and each payload carries
+only the segment handle; workers attach by name and cache the mapping per
+process.  When shared memory is unavailable the payloads fall back to
+carrying the arrays (slower, never wrong).
+
 Re-seeding and numerical drift
 ------------------------------
 Each recurrence step adds two rounding errors of magnitude
@@ -57,6 +75,7 @@ from typing import Callable, List, Tuple
 import numpy as np
 
 from repro.engine.executor import Executor, resolve_executor
+from repro.engine.shm import SharedArraysHandle, SharedSeriesBuffer, attach_arrays
 from repro.exceptions import InvalidParameterError
 from repro.matrix_profile.distance_profile import distances_from_dot_products
 from repro.matrix_profile.exclusion import (
@@ -127,19 +146,41 @@ def _compute_block(
     stop: int,
     reseed_interval: int,
     profile_callback: Callable[[int, np.ndarray, np.ndarray], None] | None = None,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Profile and index arrays for query rows ``[start, stop)``.
+    ingest: Tuple[int, int, str] | None = None,
+) -> Tuple[np.ndarray, np.ndarray, dict | None]:
+    """Profile/index arrays (and optional store fragment) for rows ``[start, stop)``.
 
     The first row is seeded with one MASS call; subsequent rows advance
     the STOMP recurrence, re-seeding every ``reseed_interval`` rows.
     ``first_row_dots`` holds ``QT[0, j]`` for every ``j``; by symmetry of
     the self-join, ``QT[i, 0] = first_row_dots[i]`` refreshes the column
-    the recurrence cannot reach.
+    the recurrence cannot reach.  All arrays live in mean-centered space.
+
+    ``ingest`` — ``(capacity, exclusion_factor, lower_bound_kind)`` — makes
+    the block build a :class:`~repro.core.partial_profile.PartialProfileStore`
+    fragment covering its rows and return the fragment's exported state as
+    the third element (``None`` otherwise).
     """
     count = values.size - window + 1
     length = stop - start
     profile = np.full(length, np.inf, dtype=np.float64)
     indices = np.full(length, -1, dtype=np.int64)
+
+    fragment = None
+    if ingest is not None:
+        from repro.core.partial_profile import PartialProfileStore
+
+        capacity, exclusion_factor, lower_bound_kind = ingest
+        fragment = PartialProfileStore.fragment(
+            values,
+            means,
+            stds,
+            window,
+            capacity,
+            exclusion_factor=exclusion_factor,
+            lower_bound_kind=lower_bound_kind,
+            row_range=(start, stop),
+        )
 
     # One cancellation-risk decision per block (rows share the same means).
     compensated = compensation_needed(means, means, stds)
@@ -172,6 +213,8 @@ def _compute_block(
             stds,
             compensated=compensated,
         )
+        if fragment is not None:
+            fragment.ingest_centered_profile(offset, qt)
         if profile_callback is not None:
             profile_callback(offset, qt, distances)
         masked = np.array(distances)
@@ -180,12 +223,38 @@ def _compute_block(
         if np.isfinite(masked[best]):
             profile[offset - start] = masked[best]
             indices[offset - start] = best
-    return profile, indices
+    return profile, indices, None if fragment is None else fragment.export_state()
 
 
-def _block_task(payload) -> Tuple[np.ndarray, np.ndarray]:
-    """Top-level (hence picklable) adapter around :func:`_compute_block`."""
-    return _compute_block(*payload)
+def _block_task(payload) -> Tuple[np.ndarray, np.ndarray, dict | None]:
+    """Top-level (hence picklable) adapter around :func:`_compute_block`.
+
+    ``payload[0]`` carries the four O(n) block arrays — either directly as
+    a tuple or as a :class:`~repro.engine.shm.SharedArraysHandle` naming
+    the shared-memory segment they were packed into.
+    """
+    arrays_ref, window, radius, start, stop, reseed_interval, ingest = payload
+    if isinstance(arrays_ref, SharedArraysHandle):
+        arrays = attach_arrays(arrays_ref)
+        values = arrays["values"]
+        means = arrays["means"]
+        stds = arrays["stds"]
+        first_row_dots = arrays["first_row_dots"]
+    else:
+        values, means, stds, first_row_dots = arrays_ref
+    return _compute_block(
+        values,
+        window,
+        radius,
+        means,
+        stds,
+        first_row_dots,
+        start,
+        stop,
+        reseed_interval,
+        None,
+        ingest,
+    )
 
 
 def partitioned_stomp(
@@ -199,6 +268,7 @@ def partitioned_stomp(
     exclusion_radius: int | None = None,
     stats: SlidingStats | None = None,
     profile_callback: Callable[[int, np.ndarray, np.ndarray], None] | None = None,
+    ingest_store=None,
 ) -> MatrixProfile:
     """Exact matrix profile via block-partitioned STOMP.
 
@@ -224,10 +294,18 @@ def partitioned_stomp(
         Rows advanced by the recurrence before a fresh MASS seed (see the
         module docstring); ``DEFAULT_RESEED_INTERVAL`` by default.
     profile_callback:
-        Per-row hook ``callback(offset, dot_products, distances)`` —
-        inherently sequential (VALMOD's ingest mutates shared state), so
-        when given, blocks run serially in row order regardless of the
-        executor; block seeding and re-seeding still apply.
+        Per-row hook ``callback(offset, dot_products, distances)`` with
+        **mean-centered** dot products — an inherently order-dependent
+        contract, so when given, blocks run serially in row order
+        regardless of the executor; block seeding and re-seeding still
+        apply.  VALMOD no longer needs this: its ingest goes through
+        ``ingest_store``, which parallelises.
+    ingest_store:
+        An empty :class:`~repro.core.partial_profile.PartialProfileStore`
+        whose ``base_length`` equals ``window``.  Each block ingests its
+        rows into a store fragment (inside the worker, when parallel) and
+        the fragments are merged back here in block order — the
+        block-parallel replacement for VALMOD's old per-row callback.
     """
     values = validate_series(series)
     window = validate_subsequence_length(values.size, window)
@@ -245,14 +323,23 @@ def partitioned_stomp(
     # Same contract as the serial sweep in repro.matrix_profile.stomp: the
     # recurrence runs on the mean-centered series (z-normalised distances
     # are shift-invariant; the centered products no longer carry rounding
-    # error at the raw magnitude), except when a profile_callback consumes
-    # the dot products — that contract is defined on raw values.
-    if profile_callback is None:
-        sweep_values = stats.centered_values
-        means, stds = stats.centered_mean_std(window)
-    else:
-        sweep_values = values
-        means, stds = stats.mean_std(window)
+    # error at the raw magnitude).  The partial-profile store is centered
+    # too, so there is no raw-value special case left.
+    sweep_values = stats.centered_values
+    means, stds = stats.centered_mean_std(window)
+
+    ingest = None
+    if ingest_store is not None:
+        if profile_callback is not None:
+            raise InvalidParameterError(
+                "pass either profile_callback or ingest_store, not both"
+            )
+        ingest_store.require_ready_for_ingest(window)
+        ingest = (
+            ingest_store.capacity,
+            ingest_store.exclusion_factor,
+            ingest_store.lower_bound_kind,
+        )
 
     chosen_executor, owned = resolve_executor(executor, task_units=count, n_jobs=n_jobs)
     try:
@@ -274,33 +361,55 @@ def partitioned_stomp(
                     stop,
                     reseed_interval,
                     profile_callback,
+                    ingest,
                 )
                 for start, stop in blocks
             ]
         else:
-            payloads = [
-                (
-                    sweep_values,
-                    window,
-                    radius,
-                    means,
-                    stds,
-                    first_row_dots,
-                    start,
-                    stop,
-                    reseed_interval,
+            # Shared memory only pays off across a process boundary; a
+            # degraded pool runs in-process, where the parent would attach
+            # to its own segment and pin the mapping for nothing.
+            buffer = (
+                SharedSeriesBuffer.create(
+                    {
+                        "values": sweep_values,
+                        "means": means,
+                        "stds": stds,
+                        "first_row_dots": first_row_dots,
+                    }
                 )
-                for start, stop in blocks
-            ]
-            results = chosen_executor.map(_block_task, payloads)
+                if chosen_executor.uses_processes
+                else None
+            )
+            arrays_ref = (
+                buffer.handle
+                if buffer is not None
+                else (sweep_values, means, stds, first_row_dots)
+            )
+            try:
+                payloads = [
+                    (arrays_ref, window, radius, start, stop, reseed_interval, ingest)
+                    for start, stop in blocks
+                ]
+                results = chosen_executor.map(_block_task, payloads)
+            finally:
+                if buffer is not None:
+                    buffer.close()
+                    buffer.unlink()
     finally:
         if owned:
             chosen_executor.close()
 
+    if ingest_store is not None:
+        # Fragment rows partition the query range, so positional merges in
+        # block order rebuild the exact serially-ingested store.
+        for _, _, state in results:
+            ingest_store.merge(state)
+
     # Row blocks partition the query range, so block order == row order and
     # concatenation *is* the exact merge (see the module docstring).
-    profile = np.concatenate([block_profile for block_profile, _ in results])
-    indices = np.concatenate([block_indices for _, block_indices in results])
+    profile = np.concatenate([block_profile for block_profile, _, _ in results])
+    indices = np.concatenate([block_indices for _, block_indices, _ in results])
     return MatrixProfile(
         distances=profile, indices=indices, window=window, exclusion_radius=radius
     )

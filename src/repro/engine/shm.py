@@ -1,0 +1,225 @@
+"""Shared-memory series transport for the engine's process-pool tasks.
+
+A block task needs four O(n) float64 arrays: the (centered) series, the
+window means and standard deviations, and the first-row sliding dot
+products.  Shipping them inside every task payload pickles ``4·n`` doubles
+per block — for a 32-block plan over a ten-million-point series that is
+gigabytes of redundant copying.  :class:`SharedSeriesBuffer` instead packs
+the arrays once into a single :mod:`multiprocessing.shared_memory` segment
+and the payload carries only the segment *name* plus an offset table
+(:class:`SharedArraysHandle`, a few hundred bytes).  Workers attach by
+name, copy the arrays out once, and cache the copies per process so a
+reused pool pays the transfer cost once per segment, not once per task.
+
+Availability and fallback
+-------------------------
+Shared memory is not guaranteed: ``/dev/shm`` may be absent or full,
+seccomp sandboxes may refuse the required syscalls, and exotic platforms
+lack the module entirely.  :meth:`SharedSeriesBuffer.create` therefore
+returns ``None`` instead of raising when the segment cannot be created, and
+the engine falls back to pickling the arrays into each payload — slower,
+never wrong.  Workers attach lazily inside the task, so a segment that
+exists in the parent but cannot be opened in a child degrades the same way
+(the handle resolution raises and the caller's payload fallback applies
+before dispatch, not after).
+
+Lifetime: the creating process owns the segment — ``close()`` + ``unlink()``
+after the pool map returns (the context manager does both).  Workers never
+hold a mapping past the attach call itself: :func:`attach_arrays` copies
+the arrays out and closes its attachment immediately, so the data it
+returns is decoupled from the segment's fate (on Linux an unlinked segment
+persists until the last mapping closes, so a mid-copy unlink is safe too).
+Resource-tracker bookkeeping stays with the creator: pool workers talk to
+the same tracker process, where the attach-side registration is idempotent
+and ``unlink()`` performs the single matching unregister (see the note in
+:func:`attach_arrays`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+try:  # pragma: no cover - the import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = [
+    "SharedArraysHandle",
+    "SharedSeriesBuffer",
+    "attach_arrays",
+    "shared_memory_available",
+]
+
+#: Per-process cache of attached segments: segment name -> private copies of
+#: the packed arrays.  An engine call uses exactly one segment for all its
+#: tasks, so two entries (the active segment plus one straggler from a call
+#: that just ended) cover the access pattern while bounding worker memory to
+#: ~two packed copies; anything larger just pins dead series.
+_ATTACH_CACHE: "Dict[str, Dict[str, np.ndarray]]" = {}
+_ATTACH_CACHE_LIMIT = 2
+
+
+@dataclass(frozen=True)
+class SharedArraysHandle:
+    """Picklable address of one packed segment: name plus offset table.
+
+    ``fields`` maps each array key to ``(element_offset, element_count)``
+    within the float64-typed segment.
+    """
+
+    shm_name: str
+    fields: Tuple[Tuple[str, int, int], ...]
+
+    @property
+    def total_elements(self) -> int:
+        """Summed element count of every packed array."""
+        return sum(count for _, _, count in self.fields)
+
+
+def shared_memory_available() -> bool:
+    """Whether this interpreter can create shared-memory segments at all.
+
+    ``True`` means the module imported; creation can still fail at runtime
+    (no ``/dev/shm`` space, sandbox policy), which
+    :meth:`SharedSeriesBuffer.create` reports by returning ``None``.
+    """
+    return _shared_memory is not None
+
+
+class SharedSeriesBuffer:
+    """One shared-memory segment packing several 1-D float64 arrays.
+
+    Create with :meth:`create` (returns ``None`` when shared memory is
+    unavailable), hand :attr:`handle` to the task payloads, and
+    ``close()``/``unlink()`` — or use it as a context manager — once the
+    executor's ``map`` has returned.
+    """
+
+    def __init__(self, shm, handle: SharedArraysHandle) -> None:
+        self._shm = shm
+        self._handle = handle
+        self._released = False
+
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedSeriesBuffer | None":
+        """Pack ``arrays`` into a fresh segment; ``None`` when impossible.
+
+        Every value must be a 1-D float64 array (the only shape the engine
+        ships).  A wrong shape is a programming error and raises; an
+        environment that cannot host shared memory is an expected condition
+        and yields ``None`` so the caller falls back to pickled payloads.
+        """
+        if _shared_memory is None:
+            return None
+        if not arrays:
+            raise InvalidParameterError("SharedSeriesBuffer needs at least one array")
+        fields = []
+        offset = 0
+        flat = []
+        for key, value in arrays.items():
+            array = np.ascontiguousarray(value, dtype=np.float64)
+            if array.ndim != 1:
+                raise InvalidParameterError(
+                    f"shared array {key!r} must be 1-D, got shape {array.shape}"
+                )
+            fields.append((str(key), offset, array.size))
+            offset += array.size
+            flat.append(array)
+        try:
+            shm = _shared_memory.SharedMemory(create=True, size=max(1, offset * 8))
+        except (OSError, PermissionError, ValueError):
+            # No /dev/shm, quota exhausted, sandbox policy: fall back.
+            return None
+        packed = np.ndarray((offset,), dtype=np.float64, buffer=shm.buf)
+        position = 0
+        for array in flat:
+            packed[position : position + array.size] = array
+            position += array.size
+        return cls(shm, SharedArraysHandle(shm_name=shm.name, fields=tuple(fields)))
+
+    @property
+    def handle(self) -> SharedArraysHandle:
+        """The picklable handle task payloads carry instead of the arrays."""
+        return self._handle
+
+    @property
+    def name(self) -> str:
+        """The segment name (workers attach by it)."""
+        return self._handle.shm_name
+
+    def close(self) -> None:
+        """Unmap the creating process's view (idempotent)."""
+        if not self._released:
+            self._shm.close()
+            self._released = True
+
+    def unlink(self) -> None:
+        """Remove the segment; safe to call after :meth:`close`."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
+
+    def __enter__(self) -> "SharedSeriesBuffer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        self.unlink()
+
+
+def attach_arrays(handle: SharedArraysHandle) -> Dict[str, np.ndarray]:
+    """Read the packed arrays of ``handle``, cached per process.
+
+    Called inside worker processes (and in the degraded in-process case —
+    attaching to a segment the same process created works identically).
+    The arrays are **private read-only copies**: the segment is attached,
+    copied out, and closed again immediately, so the returned arrays have
+    no lifetime coupling to the segment (the creator may unlink it, the
+    cache may evict the entry — nothing a caller holds ever dangles;
+    ``SharedMemory.__del__`` closes mappings on collection, so zero-copy
+    views would silently alias recycled memory).  One copy per segment per
+    process replaces one pickle per *task*, which is where the transport
+    wins.
+
+    Raises whatever the platform raises when the segment cannot be opened;
+    callers decide the fallback *before* dispatch, so an attach failure here
+    means the segment really vanished and surfacing the error is correct.
+    """
+    if _shared_memory is None:
+        raise InvalidParameterError(
+            "multiprocessing.shared_memory is unavailable in this interpreter"
+        )
+    cached = _ATTACH_CACHE.get(handle.shm_name)
+    if cached is None:
+        # NOTE on the resource tracker: CPython (< 3.13) registers every
+        # SharedMemory — attachments included — with the tracker.  Pool
+        # workers share the parent's tracker process (the fd travels with
+        # fork/spawn prep data), where registration is idempotent and the
+        # creator's unlink() performs the single matching unregister, so no
+        # explicit deregistration is needed here (an extra unregister would
+        # make the creator's unlink KeyError inside the tracker).
+        shm = _shared_memory.SharedMemory(name=handle.shm_name, create=False)
+        try:
+            packed = np.array(
+                np.ndarray(
+                    (handle.total_elements,), dtype=np.float64, buffer=shm.buf
+                )
+            )
+        finally:
+            shm.close()
+        cached = {}
+        for key, offset, count in handle.fields:
+            array = packed[offset : offset + count]
+            array.flags.writeable = False
+            cached[key] = array
+        while len(_ATTACH_CACHE) >= _ATTACH_CACHE_LIMIT:
+            _ATTACH_CACHE.pop(next(iter(_ATTACH_CACHE)))
+        _ATTACH_CACHE[handle.shm_name] = cached
+    return dict(cached)

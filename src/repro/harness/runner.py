@@ -47,10 +47,13 @@ ENGINE_AWARE = frozenset(
 )
 
 
-def _session(series, engine, n_jobs) -> Analysis:
+def _session(series, engine, n_jobs, block_size=None) -> Analysis:
     if isinstance(series, Analysis):
         return series
-    return Analysis(series, engine=EngineConfig(executor=engine, n_jobs=n_jobs))
+    return Analysis(
+        series,
+        engine=EngineConfig(executor=engine, n_jobs=n_jobs, block_size=block_size),
+    )
 
 
 def run_algorithm(
@@ -75,10 +78,11 @@ def run_algorithm(
         )
     engine = options.pop("engine", None)
     n_jobs = options.pop("n_jobs", None)
+    block_size = options.pop("block_size", None)
     service_url = options.pop("service_url", None)
     service_timeout = float(options.pop("service_timeout", 300.0))
     if name not in ENGINE_AWARE:
-        engine, n_jobs = None, None
+        engine, n_jobs, block_size = None, None, None
     if "top_k" in options and ALGORITHMS[name] in ("moen", "quick_motif"):
         options.pop("top_k")  # single best pair per length by design
     request = AnalysisRequest(
@@ -93,7 +97,7 @@ def run_algorithm(
         client = ServiceClient.from_url(service_url, timeout=service_timeout)
         result, _source = client.analyze(values, request)
         return result.range_result()
-    session = _session(series, engine, n_jobs)
+    session = _session(series, engine, n_jobs, block_size)
     return session.run(request).range_result()
 
 
@@ -105,6 +109,7 @@ def compare_algorithms(
     algorithms: Iterable[str] = ("valmod", "stomp-range", "moen", "quickmotif"),
     engine: object | None = None,
     n_jobs: int | None = None,
+    block_size: int | None = None,
     service_url: str | None = None,
     **options,
 ) -> List[RangeDiscoveryResult]:
@@ -112,12 +117,12 @@ def compare_algorithms(
 
     One :class:`~repro.api.Analysis` session is shared across the whole
     comparison (one validation, one statistics pass).  ``engine`` /
-    ``n_jobs`` reach the algorithms whose registry entry is engine-aware
-    (see :data:`ENGINE_AWARE`) and are ignored by the rest, so a single
-    call can compare engine-routed and plain implementations on identical
-    inputs.  ``service_url`` routes every algorithm through a running
-    analysis service instead of computing in-process (the server's session
-    pool then plays the shared-session role).
+    ``n_jobs`` / ``block_size`` reach the algorithms whose registry entry
+    is engine-aware (see :data:`ENGINE_AWARE`) and are ignored by the rest,
+    so a single call can compare engine-routed and plain implementations on
+    identical inputs.  ``service_url`` routes every algorithm through a
+    running analysis service instead of computing in-process (the server's
+    session pool then plays the shared-session role).
     """
     if service_url is not None:
         values = series.values if isinstance(series, Analysis) else series
@@ -132,7 +137,7 @@ def compare_algorithms(
             )
             for name in algorithms
         ]
-    session = _session(series, engine, n_jobs)
+    session = _session(series, engine, n_jobs, block_size)
     # One session for every algorithm: the non-engine-aware runners simply
     # never read session.engine, so no second "plain" session is needed.
     return [

@@ -40,6 +40,7 @@ def stomp(
     exclusion_radius: int | None = None,
     stats: SlidingStats | None = None,
     profile_callback: Callable[[int, np.ndarray, np.ndarray], None] | None = None,
+    ingest_store=None,
     engine: object | None = None,
     n_jobs: int | None = None,
     block_size: int | None = None,
@@ -60,9 +61,18 @@ def stomp(
     profile_callback:
         Optional hook invoked as ``callback(offset, dot_products, distances)``
         for every query offset, *before* the exclusion zone is applied to the
-        returned copy.  VALMOD uses it to build its partial distance profiles
-        while the base matrix profile is being computed, exactly as described
-        in Section 2 of the paper.
+        returned copy.  The dot products are taken on the **mean-centered**
+        series (the space the sweep runs in — see the Notes); VALMOD's
+        partial-profile store ingests that form directly via
+        ``ingest_store``, which is the preferred hook because it does not
+        force the engine serial.
+    ingest_store:
+        An empty :class:`~repro.core.partial_profile.PartialProfileStore`
+        whose ``base_length`` equals ``window``: every row's centered dot
+        products are ingested while the profile is computed (VALMOD's base
+        pass).  With ``engine=`` the ingest happens block-locally inside the
+        engine and the per-block fragments are merged — the base pass
+        parallelises like any other profile computation.
     engine:
         ``None`` (default) runs this module's serial single-sweep loop —
         the correctness oracle.  ``"serial"``, ``"parallel"``, ``"auto"``
@@ -82,7 +92,7 @@ def stomp(
         The :class:`repro.api.Analysis` session memoizes it per window
         length so repeated calls on the same series skip the FFT.  Ignored
         when ``engine`` routes the computation (the engine re-seeds blocks
-        itself) or when ``profile_callback`` forces the raw-value sweep.
+        itself).
 
     Returns
     -------
@@ -98,13 +108,15 @@ def stomp(
     full size.  The sweep therefore shifts the values **once** (reusing
     :attr:`~repro.stats.sliding.SlidingStats.centered_values`) and runs the
     recurrence mean-centered, cutting the drift at the source — the same
-    treatment the MASS / distance-profile paths received earlier.
-
-    When ``profile_callback`` is given the sweep stays on the raw values:
-    the callback contract (VALMOD's partial-profile ingest, which advances
-    and converts the dot products itself) is defined on raw products, and
-    converting centered products back would reintroduce the cancellation.
+    treatment the MASS / distance-profile paths received earlier.  Since the
+    partial-profile store went mean-centered too, the sweep is centered
+    unconditionally: the old raw-value callback contract (and the ~1e-3
+    VALMOD distance error it carried at large offsets) is gone.
     """
+    if profile_callback is not None and ingest_store is not None:
+        raise InvalidParameterError(
+            "pass either profile_callback or ingest_store, not both"
+        )
     if engine is not None:
         from repro.engine.partition import partitioned_stomp
 
@@ -117,6 +129,7 @@ def stomp(
             exclusion_radius=exclusion_radius,
             stats=stats,
             profile_callback=profile_callback,
+            ingest_store=ingest_store,
         )
     values = validate_series(series)
     window = validate_subsequence_length(values.size, window)
@@ -125,18 +138,16 @@ def stomp(
         stats = SlidingStats(values)
     count = values.size - window + 1
 
-    centered_sweep = profile_callback is None
-    if centered_sweep:
-        sweep_values = stats.centered_values
-        means, stds = stats.centered_mean_std(window)
-    else:
-        sweep_values = values
-        means, stds = stats.mean_std(window)
+    sweep_values = stats.centered_values
+    means, stds = stats.centered_mean_std(window)
+
+    if ingest_store is not None:
+        ingest_store.require_ready_for_ingest(window)
 
     profile = np.full(count, np.inf, dtype=np.float64)
     indices = np.full(count, -1, dtype=np.int64)
 
-    if centered_first_row_qt is not None and centered_sweep:
+    if centered_first_row_qt is not None:
         qt = np.array(np.asarray(centered_first_row_qt, dtype=np.float64))
         if qt.shape != (count,):
             raise InvalidParameterError(
@@ -170,6 +181,8 @@ def stomp(
             stds,
             compensated=compensated,
         )
+        if ingest_store is not None:
+            ingest_store.ingest_centered_profile(offset, qt)
         if profile_callback is not None:
             profile_callback(offset, qt, distances)
         masked = np.array(distances)

@@ -1,0 +1,138 @@
+"""Cache-source reporting of the batch path and envelope-view tagging.
+
+Two PR-4 satellites:
+
+* :meth:`repro.api.Analysis.run_many_with_info` reports the same
+  ``cache_source`` tags as :meth:`run_with_info` — and the batch path
+  probes the persistent spill (promoting hits) *before* batching;
+* VALMOD results rehydrated from the spill carry only the envelope view;
+  they are tagged (:class:`~repro.api.requests.EnvelopeRangeResult`,
+  ``result.is_envelope_view``) so reaching for missing ``ValmodResult``
+  fields fails loudly with an explanation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.cache import CacheConfig
+from repro.api.requests import AnalysisRequest, EnvelopeRangeResult
+from repro.baselines.base import RangeDiscoveryResult
+from repro.core.results import ValmodResult
+
+
+@pytest.fixture(scope="module")
+def values() -> np.ndarray:
+    return np.cumsum(np.random.default_rng(31).normal(size=420))
+
+
+def _mp_request(window: int) -> AnalysisRequest:
+    return AnalysisRequest(kind="matrix_profile", params={"window": int(window)})
+
+
+class TestRunManyWithInfo:
+    def test_sources_cover_all_three_tiers(self, values, tmp_path):
+        config = CacheConfig(persist_dir=tmp_path / "spill")
+        warm = repro.analyze(values, cache_config=config)
+        warm.run(_mp_request(32))  # lands in the spill for the next session
+
+        session = repro.analyze(values, cache_config=config)
+        session.run(_mp_request(48))  # now a memory hit within this session
+        outcomes = session.run_many_with_info(
+            [_mp_request(32), _mp_request(48), _mp_request(64)]
+        )
+        sources = [source for _, source in outcomes]
+        assert sources == ["persistent", "memory", "computed"]
+        for result, _ in outcomes:
+            assert result.kind == "matrix_profile"
+
+    def test_batch_results_match_run(self, values):
+        session = repro.analyze(values)
+        outcomes = session.run_many_with_info([_mp_request(24), _mp_request(40)])
+        assert [source for _, source in outcomes] == ["computed", "computed"]
+        for (result, _), window in zip(outcomes, (24, 40)):
+            oracle = repro.analyze(values).matrix_profile(window).profile()
+            np.testing.assert_array_equal(result.profile().indices, oracle.indices)
+            np.testing.assert_allclose(
+                result.profile().distances, oracle.distances, atol=1e-8
+            )
+
+    def test_spill_probe_skips_recomputation(self, values, tmp_path):
+        """A spilled profile must come back as a hit from the batch path,
+        not be recomputed (miss counters tell the story)."""
+        config = CacheConfig(persist_dir=tmp_path / "spill")
+        repro.analyze(values, cache_config=config).run(_mp_request(36))
+
+        fresh = repro.analyze(values, cache_config=config)
+        [(result, source)] = fresh.run_many_with_info([_mp_request(36)])
+        assert source == "persistent"
+        info = fresh.cache_info()
+        assert info["persistent_hits"] == 1
+        assert info["misses"] == 0
+
+    def test_run_many_returns_bare_results(self, values):
+        session = repro.analyze(values)
+        results = session.run_many([_mp_request(28), _mp_request(44)])
+        assert [r.kind for r in results] == ["matrix_profile", "matrix_profile"]
+
+    def test_non_batchable_requests_report_sources_too(self, values):
+        session = repro.analyze(values)
+        request = AnalysisRequest(
+            kind="motifs", algo="stomp_range", params={"min_length": 24, "max_length": 26}
+        )
+        first = session.run_many_with_info([request])
+        second = session.run_many_with_info([request])
+        assert first[0][1] == "computed"
+        assert second[0][1] == "memory"
+
+
+class TestEnvelopeViewTagging:
+    def _spilled_valmod(self, values, tmp_path):
+        config = CacheConfig(persist_dir=tmp_path / "spill")
+        request = AnalysisRequest(
+            kind="motifs", algo="valmod", params={"min_length": 24, "max_length": 27}
+        )
+        computed, source = repro.analyze(values, cache_config=config).run_with_info(
+            request
+        )
+        assert source == "computed"
+        rehydrated, source = repro.analyze(values, cache_config=config).run_with_info(
+            request
+        )
+        assert source == "persistent"
+        return computed, rehydrated
+
+    def test_spill_hit_is_tagged(self, values, tmp_path):
+        computed, rehydrated = self._spilled_valmod(values, tmp_path)
+        assert isinstance(computed.payload, ValmodResult)
+        assert not computed.is_envelope_view
+        assert rehydrated.is_envelope_view
+        assert isinstance(rehydrated.payload, EnvelopeRangeResult)
+        # The comparable view still behaves like any RangeDiscoveryResult.
+        assert isinstance(rehydrated.payload, RangeDiscoveryResult)
+        assert rehydrated.range_result().lengths == computed.range_result().lengths
+        assert rehydrated.best_motif() == computed.best_motif()
+
+    def test_missing_valmod_fields_fail_loudly(self, values, tmp_path):
+        _, rehydrated = self._spilled_valmod(values, tmp_path)
+        with pytest.raises(AttributeError, match="rehydrated from a serialised"):
+            rehydrated.payload.valmap
+        with pytest.raises(AttributeError, match="Recompute in-process"):
+            rehydrated.payload.base_profile
+
+    def test_non_valmod_motifs_are_not_tagged(self, values, tmp_path):
+        """STOMP-range's in-process payload *is* the envelope view, so its
+        spill hits stay plain RangeDiscoveryResult."""
+        config = CacheConfig(persist_dir=tmp_path / "spill")
+        request = AnalysisRequest(
+            kind="motifs", algo="stomp_range", params={"min_length": 24, "max_length": 25}
+        )
+        repro.analyze(values, cache_config=config).run(request)
+        rehydrated, source = repro.analyze(values, cache_config=config).run_with_info(
+            request
+        )
+        assert source == "persistent"
+        assert not rehydrated.is_envelope_view
+        assert type(rehydrated.payload) is RangeDiscoveryResult

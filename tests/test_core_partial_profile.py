@@ -16,12 +16,7 @@ from repro.stats.sliding import SlidingStats
 def _build_store(values: np.ndarray, base_length: int, capacity: int) -> PartialProfileStore:
     stats = SlidingStats(values)
     store = PartialProfileStore(values, stats, base_length, capacity)
-    stomp(
-        values,
-        base_length,
-        stats=stats,
-        profile_callback=lambda offset, qt, _d: store.ingest_base_profile(offset, qt),
-    )
+    stomp(values, base_length, stats=stats, ingest_store=store)
     return store
 
 
@@ -31,19 +26,27 @@ class TestConstruction:
         with pytest.raises(InvalidParameterError):
             PartialProfileStore(small_random_series, stats, 16, 0)
 
+    def test_raw_ingest_shim_fails_loudly(self, small_random_series):
+        """The old raw-value entry point must refuse with an explanation,
+        not silently corrupt the now-centered store."""
+        stats = SlidingStats(small_random_series)
+        store = PartialProfileStore(small_random_series, stats, 16, 4)
+        with pytest.raises(InvalidParameterError, match="mean-centered"):
+            store.ingest_base_profile(0, np.zeros(store.num_profiles))
+
     def test_double_ingest_raises(self, small_random_series):
         stats = SlidingStats(small_random_series)
         store = PartialProfileStore(small_random_series, stats, 16, 4)
         qt = np.zeros(store.num_profiles)
-        store.ingest_base_profile(0, qt)
+        store.ingest_centered_profile(0, qt)
         with pytest.raises(InvalidParameterError):
-            store.ingest_base_profile(0, qt)
+            store.ingest_centered_profile(0, qt)
 
     def test_wrong_profile_length_raises(self, small_random_series):
         stats = SlidingStats(small_random_series)
         store = PartialProfileStore(small_random_series, stats, 16, 4)
         with pytest.raises(InvalidParameterError):
-            store.ingest_base_profile(0, np.zeros(5))
+            store.ingest_centered_profile(0, np.zeros(5))
 
     def test_properties(self, small_random_series):
         store = _build_store(small_random_series, 16, 8)

@@ -10,9 +10,11 @@ on :attr:`~repro.stats.sliding.SlidingStats.centered_values`) cuts the
 error at the source — these tests pin the improvement at 1e-5 (observed
 ~1.6e-7) against the definition-level brute-force oracle.
 
-The ``profile_callback`` path intentionally keeps the raw-value sweep
-(VALMOD's partial-profile ingest is defined on raw dot products); the
-contract test below pins that too.
+Since the partial-profile store went mean-centered (PR 4), the sweep is
+centered unconditionally: ``profile_callback`` and the store ingest both
+receive centered dot products, and VALMOD's reported distances get the same
+~1e-6 accuracy at offset 1e6 as every other path (pinned at 1e-5 below —
+they used to carry ~1e-3 relative error by the old raw-value contract).
 """
 
 from __future__ import annotations
@@ -68,20 +70,19 @@ def test_session_memoized_first_row_matches_fresh_sweep(offset_series):
     np.testing.assert_array_equal(via_session.indices, fresh.indices)
 
 
-def test_centered_beats_raw_recurrence_at_large_offset(offset_series, oracle):
-    """The raw sweep (forced via a no-op callback) measurably drifts; the
-    centered sweep must beat it by orders of magnitude."""
-    raw = stomp(offset_series, WINDOW, profile_callback=lambda o, qt, d: None)
-    centered = stomp(offset_series, WINDOW)
-    raw_drift = float(np.max(np.abs(raw.distances - oracle.distances)))
-    centered_drift = float(np.max(np.abs(centered.distances - oracle.distances)))
-    assert raw_drift > 1e-4  # the hazard is real on this series
-    assert centered_drift < raw_drift / 100.0
+def test_callback_sweep_is_centered_too(offset_series, oracle):
+    """A profile_callback no longer forces the raw-value sweep: the profile
+    computed alongside a callback must carry the centered accuracy."""
+    with_callback = stomp(offset_series, WINDOW, profile_callback=lambda o, qt, d: None)
+    drift = float(np.max(np.abs(with_callback.distances - oracle.distances)))
+    assert drift <= 1e-5, drift
+    np.testing.assert_array_equal(with_callback.indices, oracle.indices)
 
 
-def test_callback_contract_stays_raw(offset_series):
-    """VALMOD's ingest receives raw-value dot products — row 0 must equal
-    the raw sliding products exactly."""
+def test_callback_contract_is_centered(offset_series):
+    """The callback receives mean-centered dot products — row 0 must equal
+    the sliding products of the centered series exactly (and be nothing
+    like the raw products, which sit ~1e13 away on this series)."""
     seen = {}
 
     def capture(offset, dot_products, _distances):
@@ -89,8 +90,11 @@ def test_callback_contract_stays_raw(offset_series):
             seen["qt"] = np.array(dot_products)
 
     stomp(offset_series, WINDOW, profile_callback=capture)
-    expected = sliding_dot_product(offset_series[:WINDOW], offset_series)
+    centered_series = SlidingStats(offset_series).centered_values
+    expected = sliding_dot_product(centered_series[:WINDOW], centered_series)
     np.testing.assert_allclose(seen["qt"], expected, rtol=1e-12)
+    raw = sliding_dot_product(offset_series[:WINDOW], offset_series)
+    assert float(np.min(np.abs(raw - seen["qt"]))) > 1e10
 
 
 def test_centered_sweep_is_identical_on_well_scaled_series():
@@ -103,16 +107,12 @@ def test_centered_sweep_is_identical_on_well_scaled_series():
     np.testing.assert_array_equal(profile.indices, oracle.indices)
 
 
-def test_valmod_still_finds_the_same_motifs_at_large_offset(offset_series):
-    """End-to-end guard: VALMOD's raw-callback base pass still discovers the
-    same pairs as STOMP-range at every length.
-
-    The reported distances are allowed ~1e-3 relative slack: the partial
-    profile store carries dot products at the raw magnitude by contract
-    (its per-length ``advance_to`` update needs them), so its conversion
-    keeps the raw FFT error — the centered sweep only fixes the paths that
-    do not feed the store.
-    """
+def test_valmod_finds_same_motifs_and_distances_at_large_offset(offset_series):
+    """End-to-end guard: VALMOD's centered base pass discovers the same
+    pairs as STOMP-range at every length — and now that the partial-profile
+    store is mean-centered end-to-end, the *reported distances* agree to
+    1e-6 relative as well (they used to carry ~1e-3 error from the raw
+    store contract)."""
     stats = SlidingStats(offset_series)
     valmod = repro.valmod(offset_series, 48, 52, stats=stats)
     reference = repro.stomp_range(offset_series, 48, 52, stats=stats)
@@ -124,5 +124,5 @@ def test_valmod_still_finds_the_same_motifs_at_large_offset(offset_series):
             best_reference.offset_b,
         }, length
         np.testing.assert_allclose(
-            best_valmod.distance, best_reference.distance, rtol=1e-3
+            best_valmod.distance, best_reference.distance, rtol=1e-6
         )
