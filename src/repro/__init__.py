@@ -76,6 +76,7 @@ from repro.exceptions import (
     ReproError,
     SerializationError,
     ServiceError,
+    StoreError,
     SubsequenceLengthError,
 )
 from repro.engine import (
@@ -115,6 +116,7 @@ from repro.matrix_profile import (
     stomp,
 )
 from repro.series import DataSeries, as_series, load_csv, load_npy, load_text
+from repro.store import SeriesStore, open_data_root
 from repro.streaming import StreamingMatrixProfile
 
 __all__ = [
@@ -138,10 +140,12 @@ __all__ = [
     "ProfileJob",
     "RangeDiscoveryResult",
     "SerialExecutor",
+    "SeriesStore",
     "StreamingMatrixProfile",
     "ReproError",
     "SerializationError",
     "ServiceError",
+    "StoreError",
     "SubsequenceLengthError",
     "Valmap",
     "ValmapCheckpoint",
@@ -173,6 +177,7 @@ __all__ = [
     "lower_bound",
     "mass",
     "moen",
+    "open_data_root",
     "mpdist",
     "mpdist_profile",
     "partitioned_stomp",

@@ -233,6 +233,19 @@ class PersistentResultCache:
         key_hash = hashlib.sha1(key.encode("utf-8")).hexdigest()
         return self._root / digest[:2] / digest / f"{key_hash}.json"
 
+    def valmod_sidecar_for(self, digest: str, key: str) -> Path:
+        """Sidecar path holding the full ``ValmodResult`` of one slot.
+
+        The envelope only round-trips the cross-algorithm comparable view;
+        VALMOD's richer in-process result (VALMAP, checkpoints, pruning
+        detail, base profile) spills next to it via
+        :func:`repro.io.serialization.save_result` so a hit can rehydrate
+        losslessly instead of degrading to an
+        :class:`~repro.api.requests.EnvelopeRangeResult`.
+        """
+        path = self.path_for(digest, key)
+        return path.with_name(f"{path.stem}.valmod.json")
+
     def load(self, digest: str, key: str) -> Optional[Tuple[object, int]]:
         """Return ``(envelope, file_size_bytes)`` for the slot, or ``None``.
 
@@ -259,7 +272,43 @@ class PersistentResultCache:
             return None
         if stored_key != key:
             return None
-        return result, int(size)
+        return self._rehydrate_valmod(digest, key, result), int(size)
+
+    def _rehydrate_valmod(self, digest: str, key: str, result):
+        """Swap a VALMOD envelope view for the sidecar's full result.
+
+        Any failure — missing sidecar, corruption, a result that does not
+        match the envelope it rides with — degrades to the envelope view
+        the caller already has; a corrupted sidecar is removed best-effort
+        so the slot heals on the next store.
+        """
+        if getattr(result, "kind", None) != "motifs" or getattr(
+            result, "algo", None
+        ) != "valmod":
+            return result
+        from dataclasses import replace
+
+        from repro.core.results import ValmodResult
+        from repro.io.serialization import load_result
+
+        sidecar = self.valmod_sidecar_for(digest, key)
+        if not sidecar.is_file():
+            return result
+        try:
+            full = ValmodResult.from_dict(load_result(sidecar))
+        except (SerializationError, KeyError, TypeError, ValueError):
+            with self._lock:
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    pass
+            return result
+        # A sidecar that survived a crash between the two writes could be
+        # stale relative to the envelope; the evaluated lengths are a cheap
+        # fingerprint of "same run".
+        if full.lengths != sorted(result.payload.lengths):
+            return result
+        return replace(result, payload=full)
 
     def store(
         self, digest: str, key: str, result, *, result_dict: dict | None = None
@@ -271,11 +320,23 @@ class PersistentResultCache:
         ``result.as_dict()`` so callers that serialised the envelope for
         size accounting do not pay the conversion twice.
         """
-        from repro.io.serialization import save_cache_entry
+        from repro.core.results import ValmodResult
+        from repro.io.serialization import save_cache_entry, save_result
 
         path = self.path_for(digest, key)
         try:
             with self._lock:
-                return save_cache_entry(result, key, path, result_dict=result_dict)
+                written = save_cache_entry(result, key, path, result_dict=result_dict)
+                if isinstance(getattr(result, "payload", None), ValmodResult):
+                    # The envelope lands first: a crash here leaves a slot
+                    # that degrades to the envelope view, never one whose
+                    # sidecar disagrees with a newer envelope.
+                    try:
+                        save_result(
+                            result.payload, self.valmod_sidecar_for(digest, key)
+                        )
+                    except SerializationError:
+                        pass
+                return written
         except SerializationError:
             return None

@@ -191,6 +191,8 @@ def _mp_stomp(session, window: int, **options):
             engine=engine.executor,
             n_jobs=engine.n_jobs,
             block_size=engine.block_size,
+            segment_pool=session.segment_pool,
+            segment_key=session.segment_key(window),
             **options,
         )
     return stomp(

@@ -53,6 +53,7 @@ from repro.api.cache import (
 from repro.api.registry import resolve_algorithm
 from repro.api.requests import AnalysisRequest, AnalysisResult, canonical_cache_key
 from repro.engine.executor import Executor
+from repro.engine.shm import SharedSegmentPool
 from repro.exceptions import InvalidParameterError, SerializationError
 from repro.series.dataseries import DataSeries, as_series
 from repro.stats.fft import sliding_dot_product
@@ -131,7 +132,8 @@ class Analysis:
     Parameters
     ----------
     series:
-        :class:`~repro.series.DataSeries`, numpy array, or plain list.
+        :class:`~repro.series.DataSeries`, numpy array, plain list — or a
+        content digest string resolved through ``store``.
     name:
         Optional name override (reports, result envelopes).
     engine:
@@ -143,6 +145,10 @@ class Analysis:
         the in-memory result cache (entries and serialised bytes) and the
         optional cross-session spill directory.  Defaults to a bounded
         in-memory cache with no persistence.
+    store:
+        Optional :class:`repro.store.SeriesStore` used (only) to resolve a
+        digest-string ``series``; the values arrive memory-mapped from the
+        catalog blob.
     """
 
     def __init__(
@@ -152,7 +158,10 @@ class Analysis:
         name: str | None = None,
         engine: "EngineConfig | str | Executor | None" = None,
         cache_config: CacheConfig | None = None,
+        store=None,
     ) -> None:
+        if isinstance(series, str):
+            series = self._resolve_digest(series, store)
         self._series = as_series(series, name=name)
         if engine is None:
             engine = EngineConfig()
@@ -173,9 +182,26 @@ class Analysis:
             else PersistentResultCache(cache_config.persist_dir)
         )
         self._digest: str | None = None
+        self._segments: SharedSegmentPool | None = None
+        self._closed = False
         self._hits = 0
         self._misses = 0
         self._persistent_hits = 0
+
+    @staticmethod
+    def _resolve_digest(digest: str, store) -> DataSeries:
+        """Resolve a content digest through a :class:`repro.store.SeriesStore`."""
+        if store is None:
+            raise InvalidParameterError(
+                "a series digest was passed but no store= to resolve it against; "
+                "open one with repro.store.SeriesStore(root)"
+            )
+        series = store.load(digest)
+        if series is None:
+            raise InvalidParameterError(
+                f"series digest {digest!r} is not in the store at {store.root}"
+            )
+        return series
 
     # ------------------------------------------------------------------ #
     # shared state
@@ -218,6 +244,66 @@ class Analysis:
         if self._stats is None:
             self._stats = SlidingStats(self.values)
         return self._stats
+
+    @property
+    def segment_pool(self) -> SharedSegmentPool:
+        """The session's digest-keyed shared-memory segment pool.
+
+        Engine-backed profile runs acquire their packed series segment here
+        (see :meth:`segment_key`), so the pack and the per-worker copy are
+        paid **once per series per session** instead of once per call.  The
+        session owns the segments: :meth:`close` unlinks them.  Created
+        lazily — sessions that never route through a process executor never
+        touch shared memory.
+        """
+        if self._segments is None or self._closed:
+            self._segments = SharedSegmentPool()
+            self._closed = False
+        return self._segments
+
+    def segment_key(self, window: int) -> str:
+        """Pool key of the packed arrays for one window length.
+
+        The packed segment holds the centered series *and* the per-window
+        statistics (means, stds, seeding dot products), so the identity is
+        the series content digest plus the window.
+        """
+        return f"{self.series_digest}:w{int(window)}"
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the session remains usable —
+        engine resources are simply re-created on demand)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session's engine resources (idempotent).
+
+        Unlinks every shared-memory segment the session registered.  The
+        caches are left alone: the in-memory results die with the object
+        anyway and the persistent spill exists to outlive it.  Long-lived
+        owners (the service's session pool) call this on eviction; ad-hoc
+        users get it from the context-manager form::
+
+            with repro.analyze(series, engine="parallel") as session:
+                ...
+        """
+        if self._segments is not None:
+            self._segments.close()
+        self._closed = True
+
+    def __enter__(self) -> "Analysis":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            if not getattr(self, "_closed", True):
+                self.close()
+        except Exception:
+            pass
 
     def __len__(self) -> int:
         return len(self._series)
@@ -620,6 +706,15 @@ def analyze(
     name: str | None = None,
     engine: "EngineConfig | str | Executor | None" = None,
     cache_config: CacheConfig | None = None,
+    store=None,
 ) -> Analysis:
-    """Open an :class:`Analysis` session over ``series`` (the main entry point)."""
-    return Analysis(series, name=name, engine=engine, cache_config=cache_config)
+    """Open an :class:`Analysis` session over ``series`` (the main entry point).
+
+    ``series`` may also be a content digest string, resolved through
+    ``store`` (a :class:`repro.store.SeriesStore`): the session then runs
+    over the memory-mapped catalog blob without the caller ever holding the
+    values — the in-process twin of the service's digest-only requests.
+    """
+    return Analysis(
+        series, name=name, engine=engine, cache_config=cache_config, store=store
+    )

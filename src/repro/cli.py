@@ -7,9 +7,11 @@ CLI provides the equivalent head-less workflow::
     valmod generate --workload ecg --length 8192 --output ecg.txt
     valmod compare --workload ecg --min-length 64 --max-length 96
     valmod figure --name fig3-top
-    valmod serve --port 8765
+    valmod serve --port 8765 --data-dir /var/lib/valmod
     valmod request --url http://127.0.0.1:8765 --workload ecg --length 1024 \
         --kind matrix_profile --params '{"window": 64}'
+    valmod store --data-dir /var/lib/valmod put --workload ecg --length 4096
+    valmod store --data-dir /var/lib/valmod ls
 
 Run ``valmod <command> --help`` for the options of each sub-command.
 """
@@ -226,6 +228,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent result-cache directory (survives restarts)",
     )
     serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="shared digest-namespace root: wires the series store to "
+        "<dir>/series and the persistent result cache to <dir>/results "
+        "(--store-dir / --cache-dir override the halves individually)",
+    )
+    serve.add_argument(
+        "--store-dir",
+        default=None,
+        help="content-addressed series store directory (enables digest-only "
+        "requests to survive restarts and session eviction)",
+    )
+    serve.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        help="byte cap of the series store (default: 256 MiB)",
+    )
+    serve.add_argument(
         "--engine",
         choices=["serial", "parallel", "auto"],
         default=None,
@@ -267,6 +288,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     request.add_argument(
         "--timeout", type=float, default=300.0, help="response timeout (seconds)"
+    )
+    request.add_argument(
+        "--transport",
+        choices=["digest", "values"],
+        default="digest",
+        help="series transport: 'digest' (default) negotiates the "
+        "digest-only protocol (upload once, then ship ~60 bytes per "
+        "request); 'values' inlines the series in every submission",
+    )
+
+    store = subparsers.add_parser(
+        "store", help="manage the content-addressed series store"
+    )
+    store.add_argument(
+        "--data-dir",
+        required=True,
+        help="shared digest-namespace root (the store lives in <dir>/series, "
+        "next to the <dir>/results persistent result cache)",
+    )
+    store.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="byte cap of the store (default: 256 MiB)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_put = store_sub.add_parser("put", help="ingest a series, print its digest")
+    put_source = store_put.add_mutually_exclusive_group(required=True)
+    put_source.add_argument("--input", help="path to a text/CSV/npy series file")
+    put_source.add_argument(
+        "--workload", choices=sorted(WORKLOADS), help="generate a named synthetic workload"
+    )
+    store_put.add_argument("--length", type=int, default=None, help="workload length")
+    store_put.add_argument("--seed", type=int, default=0, help="workload random seed")
+    store_put.add_argument("--name", default=None, help="display name override")
+
+    store_get = store_sub.add_parser(
+        "get", help="resolve a digest (verify + print, or export the values)"
+    )
+    store_get.add_argument("digest", help="series content digest (sha1 hex)")
+    store_get.add_argument(
+        "--output", default=None, help="write the values to a text file"
+    )
+
+    store_sub.add_parser("ls", help="list the catalog, hottest first")
+
+    store_rm = store_sub.add_parser("rm", help="remove one series")
+    store_rm.add_argument("digest", help="series content digest (sha1 hex)")
+
+    store_sub.add_parser(
+        "gc", help="reconcile blobs and manifest, enforce the byte cap"
     )
 
     return parser
@@ -445,8 +518,23 @@ def _command_mpdist(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    from repro.service.server import ServiceConfig, serve_forever
+    from pathlib import Path
 
+    from repro.service.server import ServiceConfig, serve_forever
+    from repro.store import RESULTS_SUBDIR, SERIES_SUBDIR
+
+    cache_dir = args.cache_dir
+    store_dir = args.store_dir
+    if args.data_dir is not None:
+        # The shared digest namespace: series catalog and result cache side
+        # by side under one root; the specific flags still override.
+        if cache_dir is None:
+            cache_dir = Path(args.data_dir) / RESULTS_SUBDIR
+        if store_dir is None:
+            store_dir = Path(args.data_dir) / SERIES_SUBDIR
+    store_kwargs = {}
+    if args.store_max_bytes is not None:
+        store_kwargs["store_max_bytes"] = args.store_max_bytes
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -456,9 +544,11 @@ def _command_serve(args: argparse.Namespace) -> int:
         cache=CacheConfig(
             max_entries=args.cache_entries,
             max_bytes=args.cache_bytes,
-            persist_dir=args.cache_dir,
+            persist_dir=cache_dir,
         ),
         engine=EngineConfig(executor=args.engine, n_jobs=args.jobs),
+        store_dir=store_dir,
+        **store_kwargs,
     )
     serve_forever(config)
     return 0
@@ -485,12 +575,68 @@ def _command_request(args: argparse.Namespace) -> int:
             raise InvalidParameterError("--params must be a JSON object")
         request = AnalysisRequest(kind=args.kind, algo=args.algo, params=params)
     series = _series_from_args(args)
-    client = ServiceClient.from_url(args.url, timeout=args.timeout)
-    result, source = client.analyze(series, request, series_name=series.name)
-    document = result.as_dict()
-    document["cache"] = source
+    with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
+        status, payload = client.analyze_raw(
+            series,
+            request,
+            series_name=series.name,
+            transport=getattr(args, "transport", "digest"),
+        )
+        ServiceClient._raise_for_status(status, payload, "analysis request failed")
+    document = payload["result"]
+    document["cache"] = str(payload.get("cache", "unknown"))
     print(json.dumps(document, indent=2, sort_keys=True))
     return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.store import SERIES_SUBDIR, SeriesStore
+
+    kwargs = {} if args.max_bytes is None else {"max_bytes": args.max_bytes}
+    store = SeriesStore(Path(args.data_dir) / SERIES_SUBDIR, **kwargs)
+    if args.store_command == "put":
+        series = _series_from_args(args)
+        digest = store.put(series, name=args.name)
+        print(
+            f"stored {series.name!r}: {len(series)} points, "
+            f"{len(series) * 8} bytes\ndigest: {digest}"
+        )
+        return 0
+    if args.store_command == "get":
+        series = store.load(args.digest)
+        if series is None:
+            print(f"error: digest {args.digest} is not in the store", file=sys.stderr)
+            return 2
+        if args.output:
+            save_text(series, args.output)
+            print(f"{len(series)} points written to {args.output}")
+        else:
+            print(json.dumps({"digest": args.digest, **series.describe()}, indent=2))
+        return 0
+    if args.store_command == "ls":
+        rows = store.ls()
+        if not rows:
+            print("the store is empty")
+        else:
+            print(format_table(rows))
+            stats = store.stats()
+            print(
+                f"{stats['entries']} series, {stats['total_bytes']} bytes "
+                f"(cap: {stats['max_bytes']})"
+            )
+        return 0
+    if args.store_command == "rm":
+        if store.rm(args.digest):
+            print(f"removed {args.digest}")
+            return 0
+        print(f"error: digest {args.digest} is not in the store", file=sys.stderr)
+        return 2
+    if args.store_command == "gc":
+        print(json.dumps(store.gc(), indent=2))
+        return 0
+    raise InvalidParameterError(f"unknown store command {args.store_command!r}")
 
 
 _COMMANDS = {
@@ -504,6 +650,7 @@ _COMMANDS = {
     "mpdist": _command_mpdist,
     "serve": _command_serve,
     "request": _command_request,
+    "store": _command_store,
 }
 
 

@@ -117,3 +117,20 @@ class ValmodConfig:
             "track_checkpoints": self.track_checkpoints,
             "update_both_members": self.update_both_members,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ValmodConfig":
+        """Rebuild a config from :meth:`as_dict` output (validation re-runs)."""
+        return cls(
+            min_length=int(payload["min_length"]),
+            max_length=int(payload["max_length"]),
+            top_k=int(payload.get("top_k", DEFAULT_TOP_K)),
+            profile_capacity=int(
+                payload.get("profile_capacity", DEFAULT_PROFILE_CAPACITY)
+            ),
+            exclusion_factor=int(payload.get("exclusion_factor", 4)),
+            lower_bound_kind=str(payload.get("lower_bound_kind", "tight")),
+            length_step=int(payload.get("length_step", 1)),
+            track_checkpoints=bool(payload.get("track_checkpoints", True)),
+            update_both_members=bool(payload.get("update_both_members", True)),
+        )

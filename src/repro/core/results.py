@@ -70,6 +70,19 @@ class PruningStats:
             "recomputed_fraction": self.recomputed_fraction,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "PruningStats":
+        """Rebuild the counters from :meth:`as_dict` output (the derived
+        fractions are recomputed, not trusted)."""
+        return cls(
+            length=int(payload["length"]),
+            num_profiles=int(payload["num_profiles"]),
+            num_valid=int(payload["num_valid"]),
+            num_non_valid=int(payload["num_non_valid"]),
+            num_recomputed=int(payload["num_recomputed"]),
+            min_lb_abs=float(payload["min_lb_abs"]),
+        )
+
 
 @dataclass(frozen=True)
 class LengthResult:
@@ -93,6 +106,23 @@ class LengthResult:
             "motifs": [pair.as_dict() for pair in self.motifs],
             "pruning": self.pruning.as_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "LengthResult":
+        """Rebuild one per-length result from :meth:`as_dict` output."""
+        return cls(
+            length=int(payload["length"]),
+            motifs=[
+                MotifPair(
+                    distance=float(pair["distance"]),
+                    offset_a=int(pair["offset_a"]),
+                    offset_b=int(pair["offset_b"]),
+                    window=int(pair["window"]),
+                )
+                for pair in payload["motifs"]
+            ],
+            pruning=PruningStats.from_dict(payload["pruning"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -204,13 +234,20 @@ class ValmodResult:
         return np.array(self.valmap.normalized_profile)
 
     def as_dict(self) -> dict:
-        """Plain-dict form used by the report generator and serialization."""
+        """Plain-dict form used by the report generator and serialization.
+
+        Carries everything :meth:`from_dict` needs to rebuild the *full*
+        in-process result — including the base profile, which the report
+        generator ignores but the lossless persistent-cache rehydration
+        depends on.
+        """
         return {
             "config": self.config.as_dict(),
             "series_name": self.series_name,
             "series_length": self.series_length,
             "elapsed_seconds": self.elapsed_seconds,
             "lengths": self.lengths,
+            "base_profile": self.base_profile.as_dict(),
             "length_results": {
                 str(length): result.as_dict()
                 for length, result in sorted(self.length_results.items())
@@ -219,3 +256,35 @@ class ValmodResult:
             "pruning_summary": self.pruning_summary(),
             "extra": dict(self.extra),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ValmodResult":
+        """Rebuild the full in-process result from :meth:`as_dict` output.
+
+        The inverse the persistent result cache uses to rehydrate spilled
+        VALMOD hits losslessly (valmap, checkpoints, pruning detail and the
+        base profile all round-trip).  Raises ``KeyError`` / ``TypeError``
+        / ``ValueError`` on malformed input — callers needing miss-style
+        degradation translate those.
+        """
+        base = payload["base_profile"]
+        return cls(
+            config=ValmodConfig.from_dict(payload["config"]),
+            series_name=str(payload["series_name"]),
+            series_length=int(payload["series_length"]),
+            base_profile=MatrixProfile(
+                distances=np.asarray(base["distances"], dtype=np.float64),
+                indices=np.asarray(base["indices"], dtype=np.int64),
+                window=int(base["window"]),
+                exclusion_radius=int(base["exclusion_radius"]),
+            ),
+            length_results={
+                int(length): LengthResult.from_dict(result)
+                for length, result in payload["length_results"].items()
+            },
+            valmap=Valmap.from_dict(payload["valmap"]),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            extra={
+                str(key): value for key, value in payload.get("extra", {}).items()
+            },
+        )

@@ -253,3 +253,21 @@ class Valmap:
             "length_profile": self._length_profile.tolist(),
             "checkpoints": [cp.as_dict() for cp in self._checkpoints],
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Valmap":
+        """Rebuild a VALMAP (checkpoints included) from :meth:`as_dict` output.
+
+        Raises ``KeyError`` / ``TypeError`` / ``ValueError`` on malformed
+        input; callers that need a softer failure mode (the serialization
+        layer, the persistent cache) translate those themselves.
+        """
+        normalized = np.asarray(payload["normalized_profile"], dtype=np.float64)
+        valmap = cls(int(payload["min_length"]), int(payload["max_length"]), normalized.size)
+        valmap._normalized_profile[:] = normalized
+        valmap._index_profile[:] = np.asarray(payload["index_profile"], dtype=np.int64)
+        valmap._length_profile[:] = np.asarray(payload["length_profile"], dtype=np.int64)
+        valmap._checkpoints = [
+            ValmapCheckpoint(**checkpoint) for checkpoint in payload.get("checkpoints", [])
+        ]
+        return valmap

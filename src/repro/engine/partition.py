@@ -75,7 +75,12 @@ from typing import Callable, List, Tuple
 import numpy as np
 
 from repro.engine.executor import Executor, resolve_executor
-from repro.engine.shm import SharedArraysHandle, SharedSeriesBuffer, attach_arrays
+from repro.engine.shm import (
+    SharedArraysHandle,
+    SharedSegmentPool,
+    SharedSeriesBuffer,
+    attach_arrays,
+)
 from repro.exceptions import InvalidParameterError
 from repro.matrix_profile.distance_profile import distances_from_dot_products
 from repro.matrix_profile.exclusion import (
@@ -269,6 +274,8 @@ def partitioned_stomp(
     stats: SlidingStats | None = None,
     profile_callback: Callable[[int, np.ndarray, np.ndarray], None] | None = None,
     ingest_store=None,
+    segment_pool: SharedSegmentPool | None = None,
+    segment_key: str | None = None,
 ) -> MatrixProfile:
     """Exact matrix profile via block-partitioned STOMP.
 
@@ -306,6 +313,18 @@ def partitioned_stomp(
         rows into a store fragment (inside the worker, when parallel) and
         the fragments are merged back here in block order — the
         block-parallel replacement for VALMOD's old per-row callback.
+    segment_pool, segment_key:
+        Opt-in segment reuse across calls: with both given (and a process
+        executor), the packed series segment is acquired from the
+        :class:`~repro.engine.shm.SharedSegmentPool` under ``segment_key``
+        instead of created fresh — a repeat call with the same key skips
+        the pack *and* the seeding FFT, and each worker's attach-cache hit
+        skips the copy.  The pool's owner (the
+        :class:`~repro.api.Analysis` session keys it by series digest plus
+        window) is responsible for unlinking; this function never unlinks
+        a pooled segment.  The caller must guarantee the key uniquely
+        names the packed content — series values, ``window`` and the
+        statistics they derive.
     """
     values = validate_series(series)
     window = validate_subsequence_length(values.size, window)
@@ -341,12 +360,30 @@ def partitioned_stomp(
             ingest_store.lower_bound_kind,
         )
 
+    # The seeding FFT is deferred: on a segment-pool hit the packed
+    # first-row products already live in the segment, so a repeat call
+    # skips this O(n log n) pass along with the pack itself.
+    first_row_dots: np.ndarray | None = None
+
+    def seed_dots() -> np.ndarray:
+        nonlocal first_row_dots
+        if first_row_dots is None:
+            first_row_dots = sliding_dot_product(sweep_values[:window], sweep_values)
+        return first_row_dots
+
+    def packed_arrays() -> dict:
+        return {
+            "values": sweep_values,
+            "means": means,
+            "stds": stds,
+            "first_row_dots": seed_dots(),
+        }
+
     chosen_executor, owned = resolve_executor(executor, task_units=count, n_jobs=n_jobs)
     try:
         if block_size is None:
             block_size = default_block_size(count, chosen_executor.effective_jobs)
         blocks = plan_blocks(count, block_size)
-        first_row_dots = sliding_dot_product(sweep_values[:window], sweep_values)
 
         if profile_callback is not None or chosen_executor.supports_callbacks:
             results = [
@@ -356,7 +393,7 @@ def partitioned_stomp(
                     radius,
                     means,
                     stds,
-                    first_row_dots,
+                    seed_dots(),
                     start,
                     stop,
                     reseed_interval,
@@ -369,22 +406,18 @@ def partitioned_stomp(
             # Shared memory only pays off across a process boundary; a
             # degraded pool runs in-process, where the parent would attach
             # to its own segment and pin the mapping for nothing.
-            buffer = (
-                SharedSeriesBuffer.create(
-                    {
-                        "values": sweep_values,
-                        "means": means,
-                        "stds": stds,
-                        "first_row_dots": first_row_dots,
-                    }
-                )
-                if chosen_executor.uses_processes
-                else None
-            )
+            buffer = None
+            pooled = False
+            if chosen_executor.uses_processes:
+                if segment_pool is not None and segment_key is not None:
+                    buffer = segment_pool.acquire(segment_key, packed_arrays)
+                    pooled = buffer is not None
+                if buffer is None:
+                    buffer = SharedSeriesBuffer.create(packed_arrays())
             arrays_ref = (
                 buffer.handle
                 if buffer is not None
-                else (sweep_values, means, stds, first_row_dots)
+                else (sweep_values, means, stds, seed_dots())
             )
             try:
                 payloads = [
@@ -393,7 +426,9 @@ def partitioned_stomp(
                 ]
                 results = chosen_executor.map(_block_task, payloads)
             finally:
-                if buffer is not None:
+                # A pooled segment belongs to its pool's owner (the session)
+                # and stays mapped for the next call on the same key.
+                if buffer is not None and not pooled:
                     buffer.close()
                     buffer.unlink()
     finally:

@@ -17,6 +17,7 @@ __all__ = [
     "EmptyResultError",
     "SerializationError",
     "ServiceError",
+    "StoreError",
 ]
 
 
@@ -79,6 +80,16 @@ class EmptyResultError(ReproError, RuntimeError):
 
 class SerializationError(ReproError, RuntimeError):
     """A profile or VALMAP artefact could not be saved or loaded."""
+
+
+class StoreError(ReproError, RuntimeError):
+    """A series-store operation failed in a way a caller must see.
+
+    Degradable conditions (corrupted blob, missing manifest) are handled
+    inside :class:`repro.store.SeriesStore` as misses; this error is for
+    contract violations — a digest mismatch on ingest, appending to a
+    finalised upload, an unusable store root.
+    """
 
 
 class ServiceError(ReproError, RuntimeError):

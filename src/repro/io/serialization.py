@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.results import ValmodResult
 from repro.core.skimp import PanMatrixProfile
-from repro.core.valmap import Valmap, ValmapCheckpoint
+from repro.core.valmap import Valmap
 from repro.exceptions import SerializationError
 from repro.matrix_profile.ab_join import JoinProfile
 from repro.matrix_profile.profile import MatrixProfile
@@ -129,19 +129,9 @@ def load_valmap(path: PathLike) -> Valmap:
     if payload.get("kind") != "valmap":
         raise SerializationError(f"{path} does not contain a VALMAP")
     try:
-        normalized = np.asarray(payload["normalized_profile"], dtype=np.float64)
-        valmap = Valmap(
-            int(payload["min_length"]), int(payload["max_length"]), normalized.size
-        )
-        valmap.normalized_profile[:] = normalized
-        valmap.index_profile[:] = np.asarray(payload["index_profile"], dtype=np.int64)
-        valmap.length_profile[:] = np.asarray(payload["length_profile"], dtype=np.int64)
-        valmap._checkpoints = [  # noqa: SLF001 - reconstruction of our own artefact
-            ValmapCheckpoint(**checkpoint) for checkpoint in payload.get("checkpoints", [])
-        ]
+        return Valmap.from_dict(payload)
     except (KeyError, TypeError, ValueError) as error:
         raise SerializationError(f"{path} is not a valid VALMAP file: {error}") from error
-    return valmap
 
 
 def save_result(result: ValmodResult, path: PathLike) -> Path:

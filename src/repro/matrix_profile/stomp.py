@@ -45,6 +45,8 @@ def stomp(
     n_jobs: int | None = None,
     block_size: int | None = None,
     centered_first_row_qt: np.ndarray | None = None,
+    segment_pool=None,
+    segment_key: str | None = None,
 ) -> MatrixProfile:
     """Exact matrix profile of ``series`` at subsequence length ``window``.
 
@@ -81,6 +83,12 @@ def stomp(
         (:func:`repro.engine.partition.partitioned_stomp`).
     n_jobs, block_size:
         Engine tuning knobs, ignored when ``engine`` is ``None``.
+    segment_pool, segment_key:
+        Shared-memory segment reuse across engine calls (see
+        :func:`repro.engine.partition.partitioned_stomp`); ignored when
+        ``engine`` is ``None``.  The :class:`repro.api.Analysis` session
+        passes its digest-keyed pool here so repeated engine-backed runs
+        on the same series pack (and per-worker copy) the series once.
     centered_first_row_qt:
         Optional precomputed sliding dot products of the first query
         (``QT[0, j]`` for every ``j``) — the one FFT product STOMP needs —
@@ -130,6 +138,8 @@ def stomp(
             stats=stats,
             profile_callback=profile_callback,
             ingest_store=ingest_store,
+            segment_pool=segment_pool,
+            segment_key=segment_key,
         )
     values = validate_series(series)
     window = validate_subsequence_length(values.size, window)

@@ -1,12 +1,27 @@
 """Blocking HTTP client for the analysis service (stdlib ``http.client``).
 
-The counterpart of :mod:`repro.service.server`: serialises a series plus an
+The counterpart of :mod:`repro.service.server`: serialises an
 :class:`~repro.api.requests.AnalysisRequest` into the service's submission
 document, posts it, and rebuilds the
 :class:`~repro.api.requests.AnalysisResult` envelope from the response.
 Deliberately synchronous — it is what the ``repro request`` CLI command,
 the harness's service-backed mode and the concurrency tests (one client per
-thread) need; an async client would just wrap the same two calls.
+thread) need; an async client would just wrap the same calls.
+
+Two transport behaviours distinguish it from a naive poster:
+
+* **Connection reuse** — the server answers ``Connection: keep-alive``, and
+  the client keeps one socket open across calls (re-opening transparently,
+  with a single retry, when the server or an idle timeout closed it).  One
+  client object therefore costs one TCP handshake for a whole conversation.
+* **Digest negotiation** — :meth:`analyze` never ships the value array
+  inside the submission.  It sends the series *content digest*; if the
+  server does not know it (``404`` + ``unknown_digest``), the client
+  uploads the raw float64 bytes **once** through ``PUT /series/<digest>``
+  and retries.  The second and every later request for a series — from
+  this client or any other — is a few hundred bytes.  ``analyze_raw(...,
+  transport="values")`` keeps the old inline-values document for callers
+  that need it (e.g. servers predating the digest protocol).
 """
 
 from __future__ import annotations
@@ -14,11 +29,13 @@ from __future__ import annotations
 import json
 from http.client import HTTPConnection, HTTPException
 from typing import Any, Tuple
+from urllib.parse import quote
 
 import numpy as np
 
+from repro.api.cache import series_digest
 from repro.api.requests import AnalysisRequest, AnalysisResult
-from repro.exceptions import SerializationError, ServiceError
+from repro.exceptions import InvalidParameterError, SerializationError, ServiceError
 from repro.series.dataseries import DataSeries
 
 __all__ = ["ServiceClient", "parse_service_url"]
@@ -51,10 +68,11 @@ def parse_service_url(url: str) -> Tuple[str, int]:
 
 
 class ServiceClient:
-    """One service endpoint; each call opens a fresh connection.
+    """One service endpoint, one reusable connection.
 
-    (The server answers ``Connection: close``, so a connection per request
-    is the protocol, not an inefficiency worth optimising here.)
+    Usable as a context manager (``with ServiceClient(...) as client:``);
+    :meth:`close` drops the socket, and any later call transparently opens
+    a new one.
     """
 
     def __init__(
@@ -63,6 +81,7 @@ class ServiceClient:
         self._host = host
         self._port = int(port)
         self._timeout = float(timeout)
+        self._connection: HTTPConnection | None = None
 
     @classmethod
     def from_url(cls, url: str, *, timeout: float = 60.0) -> "ServiceClient":
@@ -78,22 +97,61 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop the kept-alive connection (idempotent)."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except OSError:  # pragma: no cover - teardown is best-effort
+                pass
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def _exchange(
-        self, method: str, path: str, body: bytes | None = None
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        content_type: str = "application/json",
     ) -> Tuple[int, Any]:
-        connection = HTTPConnection(self._host, self._port, timeout=self._timeout)
-        try:
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
-            status = response.status
-        except (OSError, HTTPException) as error:
-            raise ServiceError(
-                f"cannot reach the analysis service at {self.base_url}: {error}"
-            ) from error
-        finally:
-            connection.close()
+        """One request/response over the kept-alive connection.
+
+        A failure on a *reused* connection (the server may have dropped it
+        at the keep-alive idle timeout) is retried exactly once on a fresh
+        socket; a failure on a fresh connection is the server being
+        genuinely unreachable and raises.  The retry is safe for every
+        endpoint this client speaks: reads are idempotent, ``/analyze`` is
+        deterministic-and-cached, and ``PUT /series`` is content-addressed.
+        """
+        for _ in range(2):
+            reused = self._connection is not None
+            if self._connection is None:
+                self._connection = HTTPConnection(
+                    self._host, self._port, timeout=self._timeout
+                )
+            connection = self._connection
+            try:
+                headers = {"Content-Type": content_type} if body else {}
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                status = response.status
+                if response.will_close:
+                    self.close()
+                break
+            except (OSError, HTTPException) as error:
+                self.close()
+                if reused:
+                    continue  # stale keep-alive socket: one fresh retry
+                raise ServiceError(
+                    f"cannot reach the analysis service at {self.base_url}: {error}"
+                ) from error
         try:
             payload = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -133,6 +191,45 @@ class ServiceClient:
         """Server counters, completion order and per-session cache info."""
         return self._get("/stats")
 
+    def series_info(self, digest: str) -> dict | None:
+        """Catalog metadata of one stored series, or ``None`` when unknown."""
+        status, payload = self._exchange("GET", f"/series/{digest}")
+        if status == 404:
+            return None
+        self._raise_for_status(status, payload, f"GET /series/{digest} failed")
+        return payload
+
+    def put_series(
+        self, series, *, series_name: str | None = None, digest: str | None = None
+    ) -> str:
+        """Upload one series into the server's catalog; returns its digest.
+
+        The body is the raw little-endian float64 bytes — the server streams
+        them into its store's verifying chunked ingest, so the series never
+        exists server-side as a JSON array.  ``digest`` may pass a
+        precomputed content digest (skipping the local hash).
+        """
+        values, name = self._coerce_series(series, series_name)
+        if digest is None:
+            digest = series_digest(values)
+        path = f"/series/{digest}"
+        if name is not None:
+            # Names come from arbitrary sources (file paths, --name flags);
+            # percent-encode so a space cannot break the request line.
+            path = f"{path}?name={quote(str(name), safe='')}"
+        body = np.ascontiguousarray(values, dtype="<f8").tobytes()
+        status, payload = self._exchange(
+            "PUT", path, body, content_type="application/octet-stream"
+        )
+        self._raise_for_status(status, payload, "series upload failed")
+        return str(payload.get("digest", digest))
+
+    @staticmethod
+    def _coerce_series(series, series_name: str | None):
+        if isinstance(series, DataSeries):
+            return series.values, (series.name if series_name is None else series_name)
+        return np.asarray(series, dtype=np.float64), series_name
+
     def analyze_raw(
         self,
         series,
@@ -140,32 +237,52 @@ class ServiceClient:
         *,
         series_name: str | None = None,
         request_id: str | None = None,
+        transport: str = "digest",
     ) -> Tuple[int, dict]:
         """POST one submission; returns ``(status, response_document)``.
 
         No raising on non-200 — the backpressure test asserts on the 503
-        path directly.
+        path directly.  ``transport="digest"`` (default) negotiates the
+        digest-only protocol: the submission carries ``series_digest``, and
+        an ``unknown_digest`` 404 triggers one ``PUT /series`` upload plus
+        one retry.  ``transport="values"`` ships the values inline like the
+        pre-store protocol did.
         """
-        if isinstance(series, DataSeries):
-            if series_name is None:
-                series_name = series.name
-            values = series.values
-        else:
-            values = np.asarray(series, dtype=np.float64)
+        if transport not in ("digest", "values"):
+            raise InvalidParameterError(
+                f"transport must be 'digest' or 'values', got {transport!r}"
+            )
+        values, name = self._coerce_series(series, series_name)
         if isinstance(request, AnalysisRequest):
             request_document = request.as_dict()
         else:
             request_document = dict(request)
-        document = {
-            "series": values.tolist(),
-            "request": request_document,
-        }
-        if series_name is not None:
-            document["series_name"] = series_name
+        document: dict = {"request": request_document}
+        if name is not None:
+            document["series_name"] = name
         if request_id is not None:
             document["id"] = request_id
-        body = json.dumps(document).encode("utf-8")
-        return self._exchange("POST", "/analyze", body)
+        if transport == "values":
+            document["series"] = values.tolist()
+            return self._post_analyze(document)
+        digest = series_digest(values)
+        document["series_digest"] = digest
+        status, payload = self._post_analyze(document)
+        if (
+            status == 404
+            and isinstance(payload, dict)
+            and payload.get("unknown_digest") == digest
+        ):
+            # First contact for this series: upload once, retry once.  Every
+            # later request (from any client) rides the digest alone.
+            self.put_series(values, series_name=name, digest=digest)
+            status, payload = self._post_analyze(document)
+        return status, payload
+
+    def _post_analyze(self, document: dict) -> Tuple[int, dict]:
+        return self._exchange(
+            "POST", "/analyze", json.dumps(document).encode("utf-8")
+        )
 
     def analyze(
         self,

@@ -29,20 +29,43 @@ spill to disk and survive the process.  Every ``/analyze`` response reports
 where its result came from (``"memory"`` / ``"persistent"`` /
 ``"computed"``) in the ``cache`` field.
 
+Series transport
+----------------
+Shipping the value array inside every ``/analyze`` document is the cold
+path, not the protocol: a submission may carry ``"series_digest"`` instead
+of ``"series"``, and the server resolves the digest against its session
+pool and (when configured) its content-addressed
+:class:`~repro.store.SeriesStore`.  An unresolvable digest answers ``404``
+with an ``unknown_digest`` marker; :class:`~repro.service.ServiceClient`
+reacts by uploading the series **once** through ``PUT /series/<digest>``
+(raw little-endian float64 bytes, streamed chunk-by-chunk into the store's
+verifying ingest — the series never exists server-side as one JSON array)
+and retrying, so every later request for that series ships ~60 bytes of
+digest instead of megabytes of values.
+
 Protocol
 --------
-================ ======= ==================================================
-``GET /health``          liveness + queue depth
-``GET /capabilities``    the algorithm registry's capability table
-``GET /stats``           counters, completion order, per-session cache info
-``POST /analyze``        ``{"series": [...], "request": {...}}`` → envelope
-================ ======= ==================================================
+======================= ==================================================
+``GET /health``         liveness + queue depth
+``GET /capabilities``   the algorithm registry's capability table
+``GET /stats``          counters, completion order, per-session cache info
+``GET /series/<digest>``catalog metadata for one stored series (or 404)
+``PUT /series/<digest>``chunked raw-float64 upload, digest-verified
+``POST /analyze``       ``{"series": [...] | "series_digest": "...",``
+                        ``"request": {...}}`` → envelope
+======================= ==================================================
+
+Connections are **persistent** (HTTP/1.1 keep-alive): a client may issue
+any number of requests over one socket; ``Connection: close`` (or HTTP/1.0
+without ``keep-alive``) restores the old behaviour, and an idle socket is
+dropped after a timeout.
 
 The ``/analyze`` response wraps the envelope:
 ``{"result": <AnalysisResult.as_dict()>, "cache": "...", "id": ...,
 "series_digest": "..."}``.  Errors come back as JSON objects with an
-``error`` field: ``400`` for malformed documents, ``422`` for requests the
-library rejects, ``503`` when the queue is full.
+``error`` field: ``400`` for malformed documents, ``404`` for unknown
+digests, ``422`` for requests the library rejects, ``503`` when the queue
+is full.
 """
 
 from __future__ import annotations
@@ -53,6 +76,7 @@ import threading
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import List, Tuple
+from urllib.parse import unquote
 
 import numpy as np
 
@@ -65,7 +89,10 @@ from repro.exceptions import (
     ReproError,
     SerializationError,
     ServiceError,
+    StoreError,
 )
+from repro.store import DEFAULT_STORE_MAX_BYTES, SeriesStore
+from repro.store.series_store import is_series_digest
 
 __all__ = ["ServiceConfig", "AnalysisService", "BackgroundService", "serve_forever"]
 
@@ -76,9 +103,18 @@ __all__ = ["ServiceConfig", "AnalysisService", "BackgroundService", "serve_forev
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 _MAX_HEADER_LINE = 64 * 1024
 #: Read timeouts: an idle socket may not pin a handler (or, worse, an
-#: intake permit) forever — see _read_request.
+#: intake permit) forever — see _read_head.
 _HEADER_TIMEOUT_SECONDS = 30.0
 _BODY_TIMEOUT_SECONDS = 120.0
+#: How long a kept-alive connection may sit idle between requests before
+#: the server drops it (quietly — an expired idle socket is not an error).
+_KEEPALIVE_IDLE_SECONDS = 75.0
+#: Cap of one streamed series upload.  Far above the JSON body cap — the
+#: chunked ingest never materialises the series, so the bound protects the
+#: store, not the event loop.
+_MAX_SERIES_BYTES = 1024 * 1024 * 1024
+#: Socket read granularity of the streaming series upload.
+_UPLOAD_CHUNK_BYTES = 256 * 1024
 #: Completed-sequence history kept for /stats (enough for the FIFO tests
 #: and operational spot checks; unbounded growth would contradict the
 #: layer's whole bounded-memory story).
@@ -109,6 +145,14 @@ class ServiceConfig:
         optional persistent spill directory).
     engine:
         Execution configuration handed to every session.
+    store_dir:
+        Optional root of a content-addressed
+        :class:`~repro.store.SeriesStore`: uploaded series persist there
+        and digest-only submissions resolve through it (without a store the
+        catalog is the in-memory session pool alone, so uploads survive
+        only until LRU eviction).
+    store_max_bytes:
+        Byte cap of that store (``None`` disables the cap).
     """
 
     host: str = "127.0.0.1"
@@ -118,6 +162,8 @@ class ServiceConfig:
     max_sessions: int = 8
     cache: CacheConfig = field(default_factory=CacheConfig)
     engine: EngineConfig = field(default_factory=EngineConfig)
+    store_dir: object | None = None
+    store_max_bytes: int | None = DEFAULT_STORE_MAX_BYTES
 
     def __post_init__(self) -> None:
         if int(self.workers) < 1:
@@ -162,6 +208,7 @@ class _SessionPool:
             cache_config=self._config.cache,
         )
         slot = (session, threading.Lock())
+        evicted: List[Tuple[Analysis, threading.Lock]] = []
         with self._lock:
             raced = self._sessions.get(digest)
             if raced is not None:
@@ -169,8 +216,42 @@ class _SessionPool:
                 return raced
             self._sessions[digest] = slot
             while len(self._sessions) > self._config.max_sessions:
-                self._sessions.popitem(last=False)
-            return slot
+                _, old_slot = self._sessions.popitem(last=False)
+                evicted.append(old_slot)
+        # Outside the pool lock, but under each slot's own lock: close()
+        # unlinks the session's shared-memory segments, and an evicted
+        # session may still be mid-computation on another worker thread —
+        # unlinking under it would fail its in-flight engine run.
+        for old_session, old_lock in evicted:
+            with old_lock:
+                old_session.close()
+        return slot
+
+    def lookup_values(self, digest: str) -> np.ndarray | None:
+        """The values of a pooled session, without creating one.
+
+        The cheap half of digest resolution: a hot series answers straight
+        from the pool (promoting the session), the store is only consulted
+        on a pool miss.
+        """
+        with self._lock:
+            slot = self._sessions.get(digest)
+            if slot is None:
+                return None
+            self._sessions.move_to_end(digest)
+            return slot[0].values
+
+    def close_all(self) -> None:
+        """Close every pooled session (service shutdown): shared-memory
+        segments are owned by sessions and must not outlive the service.
+        Each close waits on its slot lock so a computation still draining
+        is not undercut (see the eviction path)."""
+        with self._lock:
+            slots = list(self._sessions.values())
+            self._sessions.clear()
+        for session, lock in slots:
+            with lock:
+                session.close()
 
     def stats(self) -> List[dict]:
         with self._lock:
@@ -184,6 +265,21 @@ class _SessionPool:
             }
             for digest, (session, _) in slots
         ]
+
+
+class _CloseAfterResponse(Exception):
+    """A request error whose response must be followed by a socket close.
+
+    Raised when the error is detected *before* the request body was
+    consumed: the framing of the connection is gone (unread body bytes
+    would be parsed as the next request line), so keep-alive must not
+    survive the response.
+    """
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(payload.get("error", "request failed"))
+        self.status = status
+        self.payload = payload
 
 
 @dataclass
@@ -205,6 +301,13 @@ class AnalysisService:
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self._config = config or ServiceConfig()
         self._pool = _SessionPool(self._config)
+        self._store = (
+            None
+            if self._config.store_dir is None
+            else SeriesStore(
+                self._config.store_dir, max_bytes=self._config.store_max_bytes
+            )
+        )
         self._queue: "asyncio.Queue[_Job]" = asyncio.Queue(
             maxsize=self._config.backlog
         )
@@ -222,6 +325,8 @@ class AnalysisService:
         self._completed = 0
         self._failed = 0
         self._rejected = 0
+        self._connections = 0
+        self._uploads = 0
         #: most recent sequence numbers in completion order — with
         #: ``workers=1`` this must equal enqueue order (the queue-ordering
         #: test asserts it); bounded so /stats stays cheap under sustained
@@ -291,6 +396,8 @@ class AnalysisService:
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
+        # Sessions own shared-memory segments; unlink them with the service.
+        self._pool.close_all()
 
     async def serve_until(self, stop_event: asyncio.Event) -> None:
         """Run until ``stop_event`` is set (the CLI's foreground loop)."""
@@ -349,8 +456,49 @@ class AnalysisService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # One handler serves the whole connection: requests are answered in
+        # a loop until the client asks for close, goes away, or idles out —
+        # HTTP/1.1 keep-alive, which is what lets a ServiceClient reuse one
+        # socket for its digest negotiation (probe, upload, retry) instead
+        # of paying three TCP handshakes.
+        self._connections += 1
         try:
-            method, target, body = await self._read_request(reader)
+            first = True
+            while True:
+                head = await self._read_head(reader, idle_ok=not first)
+                if head is None:
+                    return  # clean close or idle timeout between requests
+                first = False
+                method, target, content_length, keep_alive = head
+                try:
+                    status, payload = await self._dispatch(
+                        method, target, content_length, reader
+                    )
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError,
+                    TimeoutError,
+                ):
+                    # The body never arrived; the stream position is gone,
+                    # so answer and drop the connection.
+                    await self._respond(
+                        writer, 400, {"error": "malformed HTTP request"}, False
+                    )
+                    return
+                except _CloseAfterResponse as error:
+                    # The body was (partly) unconsumed: answer, then close
+                    # before the leftover bytes masquerade as a request.
+                    await self._respond(writer, error.status, error.payload, False)
+                    return
+                except ServiceError as error:
+                    status, payload = error.status or 500, {"error": str(error)}
+                except (SerializationError, InvalidParameterError) as error:
+                    status, payload = 422, {"error": str(error)}
+                except ReproError as error:
+                    status, payload = 422, {"error": str(error)}
+                alive = await self._respond(writer, status, payload, keep_alive)
+                if not alive:
+                    return
         except (
             ServiceError,
             asyncio.IncompleteReadError,
@@ -358,33 +506,76 @@ class AnalysisService:
             TimeoutError,
             ValueError,
         ):
-            await self._respond(writer, 400, {"error": "malformed HTTP request"})
-            return
-        try:
-            status, payload = await self._route(method, target, body)
-        except ServiceError as error:
-            status, payload = error.status or 500, {"error": str(error)}
-        except (SerializationError, InvalidParameterError) as error:
-            status, payload = 422, {"error": str(error)}
-        except ReproError as error:
-            status, payload = 422, {"error": str(error)}
-        await self._respond(writer, status, payload)
+            await self._respond(writer, 400, {"error": "malformed HTTP request"}, False)
+        finally:
+            # close() schedules the transport teardown; awaiting
+            # wait_closed() here would race loop shutdown (handlers for
+            # dying connections get cancelled mid-await and spam the loop's
+            # exception handler) for no benefit.
+            writer.close()
 
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
-        # Request line and headers are read WITHOUT an intake permit (an
-        # idle socket must not starve /health or the 503 path) but under a
-        # timeout, so a silent connection cannot pin this handler forever.
-        request_line = await asyncio.wait_for(
-            reader.readline(), timeout=_HEADER_TIMEOUT_SECONDS
-        )
+    async def _dispatch(
+        self,
+        method: str,
+        target: str,
+        content_length: int,
+        reader: asyncio.StreamReader,
+    ) -> Tuple[int, dict]:
+        """Route one request, deciding how its body is consumed.
+
+        ``PUT /series/<digest>`` streams the body straight into the store's
+        chunked ingest (the series never exists in server memory as one
+        buffer); everything else buffers the body under an intake permit as
+        before.
+        """
+        path = target.split("?", 1)[0]
+        if method == "PUT" and path.startswith("/series/"):
+            return await self._handle_series_put(
+                path, target, content_length, reader
+            )
+        body = b""
+        if content_length:
+            # Only the body buffering holds an intake permit: it is what
+            # makes server memory proportional to concurrent uploads.  The
+            # permit is released before the request waits for its
+            # computation, so it never delays the queue-full 503 answer.
+            async with self._intake:
+                body = await asyncio.wait_for(
+                    reader.readexactly(content_length),
+                    timeout=_BODY_TIMEOUT_SECONDS,
+                )
+        return await self._route(method, path, body)
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader, *, idle_ok: bool
+    ) -> Tuple[str, str, int, bool] | None:
+        """Read one request line + headers.
+
+        Returns ``(method, path_with_query, content_length, keep_alive)``,
+        or ``None`` for a connection that ended cleanly: EOF before the
+        request line, or (between keep-alive requests, ``idle_ok``) an idle
+        timeout.  Reading happens WITHOUT an intake permit (an idle socket
+        must not starve /health or the 503 path) but under timeouts, so a
+        silent connection cannot pin this handler forever.
+        """
+        timeout = _KEEPALIVE_IDLE_SECONDS if idle_ok else _HEADER_TIMEOUT_SECONDS
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            if idle_ok:
+                return None  # an expired idle connection is not an error
+            raise
         if not request_line:
+            if idle_ok:
+                return None
             raise ServiceError("empty request", status=400)
         parts = request_line.decode("latin-1").split()
         if len(parts) != 3:
             raise ServiceError("malformed request line", status=400)
-        method, target, _version = parts
+        method, target, version = parts
+        # HTTP/1.1 defaults to persistent connections; HTTP/1.0 needs the
+        # client to opt in.  A Connection: close header always wins.
+        keep_alive = version.upper() == "HTTP/1.1"
         content_length = 0
         while True:
             line = await asyncio.wait_for(
@@ -395,30 +586,43 @@ class AnalysisService:
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 content_length = int(value.strip())
-        if content_length < 0 or content_length > _MAX_BODY_BYTES:
+            elif name == "connection":
+                token = value.strip().lower()
+                if token == "close":
+                    keep_alive = False
+                elif token == "keep-alive":
+                    keep_alive = True
+        method = method.upper()
+        # Route-aware body cap: a streamed series upload never buffers, so
+        # it gets a far larger budget than a JSON body the loop must parse.
+        # Violations are raised here — before any body byte is consumed —
+        # so the outer handler answers 400 and closes the broken framing.
+        cap = (
+            _MAX_SERIES_BYTES
+            if method == "PUT" and target.split("?", 1)[0].startswith("/series/")
+            else _MAX_BODY_BYTES
+        )
+        if content_length < 0 or content_length > cap:
             raise ServiceError("invalid content length", status=400)
-        if not content_length:
-            return method.upper(), target, b""
-        # Only the body buffering holds an intake permit: it is what makes
-        # server memory proportional to concurrent uploads.  The permit is
-        # released before the request waits for its computation, so it
-        # never delays the queue-full 503 answer.
-        async with self._intake:
-            body = await asyncio.wait_for(
-                reader.readexactly(content_length), timeout=_BODY_TIMEOUT_SECONDS
-            )
-        return method.upper(), target, body
+        return method, target, content_length, keep_alive
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict
-    ) -> None:
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> bool:
+        """Write one response; returns whether the connection stays open."""
         reasons = {
             200: "OK",
             400: "Bad Request",
             404: "Not Found",
             405: "Method Not Allowed",
+            409: "Conflict",
             422: "Unprocessable Entity",
             500: "Internal Server Error",
             503: "Service Unavailable",
@@ -428,24 +632,20 @@ class AnalysisService:
             f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
         ).encode("latin-1")
         try:
             writer.write(head + body)
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
-            pass  # client went away; nothing to clean up beyond the socket
-        finally:
-            # close() schedules the transport teardown; awaiting
-            # wait_closed() here would race loop shutdown (handlers for
-            # dying connections get cancelled mid-await and spam the loop's
-            # exception handler) for no benefit.
-            writer.close()
+            return False  # client went away; the handler closes the socket
+        return keep_alive
 
     async def _route(
-        self, method: str, target: str, body: bytes
+        self, method: str, path: str, body: bytes
     ) -> Tuple[int, dict]:
-        path = target.split("?", 1)[0]
+        if method == "GET" and path.startswith("/series/"):
+            return self._handle_series_get(path)
         if method == "GET" and path == "/health":
             return 200, {
                 "status": "ok",
@@ -459,9 +659,180 @@ class AnalysisService:
             return 200, self.stats()
         if method == "POST" and path == "/analyze":
             return await self._handle_analyze(body)
-        if path in ("/health", "/capabilities", "/stats", "/analyze"):
+        if path in ("/health", "/capabilities", "/stats", "/analyze") or (
+            path.startswith("/series/")
+        ):
             return 405, {"error": f"method {method} not allowed for {path}"}
         return 404, {"error": f"unknown path {path!r}"}
+
+    # ------------------------------------------------------------------ #
+    # the series catalog endpoints
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _series_path_digest(path: str) -> str:
+        digest = path[len("/series/") :]
+        if not is_series_digest(digest):
+            raise ServiceError(
+                f"not a valid series digest: {digest!r}", status=400
+            )
+        return digest
+
+    async def _offload(self, fn, *args):
+        """Run blocking store/pool work on the worker executor.
+
+        Anything that may take the store lock across real work (blob
+        hashing, manifest writes) or wait on a session slot lock must not
+        run on the event loop — ``/health`` and the 503 answer keep flowing
+        while it executes."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    async def _resolve_series(self, digest: str) -> np.ndarray | None:
+        """Digest → values via the session pool, then the store.
+
+        The store half runs on the worker executor: a pool-miss ``get``
+        sha1-verifies the whole blob, and that must not stall the event
+        loop (``/health`` and the 503 answer keep flowing while a large
+        series is being mapped and hashed)."""
+        values = self._pool.lookup_values(digest)
+        if values is not None:
+            return values
+        if self._store is not None:
+            return await self._offload(self._store.get, digest)
+        return None
+
+    def _handle_series_get(self, path: str) -> Tuple[int, dict]:
+        digest = self._series_path_digest(path)
+        # Metadata answers come from the manifest (or the pool), not from a
+        # full blob read — verification stays on the value-resolving paths.
+        entry = None if self._store is None else self._store.entry(digest)
+        if entry is not None:
+            return 200, {**entry, "stored": True}
+        values = self._pool.lookup_values(digest)
+        if values is not None:
+            return 200, {
+                "digest": digest,
+                "length": int(values.size),
+                "bytes": int(values.size * 8),
+                "name": "series",
+                "stored": False,
+            }
+        return 404, {
+            "error": f"unknown series digest {digest}",
+            "unknown_digest": digest,
+        }
+
+    async def _handle_series_put(
+        self,
+        path: str,
+        target: str,
+        content_length: int,
+        reader: asyncio.StreamReader,
+    ) -> Tuple[int, dict]:
+        # Validation happens before a single body byte is consumed, so the
+        # error path must close the connection (unread bytes would garble
+        # the next request) — hence _CloseAfterResponse, not a plain return.
+        try:
+            digest = self._series_path_digest(path)
+        except ServiceError as error:
+            raise _CloseAfterResponse(400, {"error": str(error)}) from error
+        query = target.partition("?")[2]
+        name = "series"
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key == "name" and value:
+                name = unquote(value)
+        if content_length <= 0 or content_length % 8:
+            raise _CloseAfterResponse(
+                400,
+                {
+                    "error": "a series upload needs a Content-Length that is "
+                    "a non-empty multiple of 8 (raw float64 bytes)"
+                },
+            )
+        if self._store is None and content_length > _MAX_BODY_BYTES:
+            raise _CloseAfterResponse(
+                400,
+                {
+                    "error": "series too large for the in-memory catalog "
+                    "(the server runs without a store directory)"
+                },
+            )
+        # The intake permit bounds concurrent uploads; the body itself is
+        # consumed in chunks, so with a store the series never exists in
+        # server memory at once.
+        async with self._intake:
+            if self._store is not None:
+                ingest = self._store.begin(name=name, expected_digest=digest)
+                try:
+                    await self._stream_body(reader, content_length, ingest.append_bytes)
+                    try:
+                        # finalize() hashes nothing extra but renames and
+                        # rewrites the manifest under the store lock — off
+                        # the event loop with the rest of the store work.
+                        await self._offload(ingest.finalize)
+                    except StoreError as error:
+                        # The body is fully consumed: a digest mismatch is an
+                        # ordinary, keep-alive-safe 422.
+                        return 422, {"error": str(error), "digest": digest}
+                except OSError as error:
+                    ingest.abort()
+                    raise _CloseAfterResponse(
+                        500, {"error": f"cannot persist the series: {error}"}
+                    ) from error
+                except BaseException:
+                    ingest.abort()
+                    raise
+            else:
+                chunks: List[bytes] = []
+                await self._stream_body(reader, content_length, chunks.append)
+                # No store: park the series in the session pool so
+                # digest-only requests resolve until LRU pressure evicts it.
+                # Off the event loop: the digest check hashes the series and
+                # pool insertion may wait on an evicted slot's lock (a
+                # session mid-computation must finish before its segments
+                # are unlinked).
+                error = await self._offload(
+                    self._adopt_into_pool, b"".join(chunks), digest, name
+                )
+                if error is not None:
+                    return error
+        self._uploads += 1
+        return 200, {
+            "digest": digest,
+            "length": content_length // 8,
+            "stored": self._store is not None,
+        }
+
+    def _adopt_into_pool(
+        self, data: bytes, digest: str, name: str
+    ) -> Tuple[int, dict] | None:
+        """Verify and park an uploaded series in the session pool (executor
+        thread).  Returns an error response tuple, or ``None`` on success."""
+        values = np.frombuffer(data, dtype="<f8")
+        if series_digest(values) != digest:
+            return 422, {
+                "error": f"digest mismatch: the uploaded bytes do not hash to {digest}",
+                "digest": digest,
+            }
+        self._pool.get_or_create(digest, np.array(values), name)
+        return None
+
+    async def _stream_body(
+        self, reader: asyncio.StreamReader, length: int, sink
+    ) -> None:
+        """Feed exactly ``length`` body bytes into ``sink`` chunk by chunk."""
+        remaining = int(length)
+        while remaining > 0:
+            chunk = await asyncio.wait_for(
+                reader.read(min(_UPLOAD_CHUNK_BYTES, remaining)),
+                timeout=_BODY_TIMEOUT_SECONDS,
+            )
+            if not chunk:
+                raise asyncio.IncompleteReadError(b"", remaining)
+            sink(chunk)
+            remaining -= len(chunk)
 
     async def _handle_analyze(self, body: bytes) -> Tuple[int, dict]:
         self._received += 1
@@ -472,14 +843,32 @@ class AnalysisService:
         if not isinstance(document, dict):
             return 400, {"error": "request body must be a JSON object"}
         raw_series = document.get("series")
-        if not isinstance(raw_series, list) or not raw_series:
-            return 400, {"error": "'series' must be a non-empty list of numbers"}
-        try:
-            values = np.asarray(raw_series, dtype=np.float64)
-        except (TypeError, ValueError) as error:
-            return 400, {"error": f"'series' is not numeric: {error}"}
-        if values.ndim != 1:
-            return 400, {"error": "'series' must be one-dimensional"}
+        raw_digest = document.get("series_digest")
+        if raw_series is not None and raw_digest is not None:
+            return 400, {"error": "pass either 'series' or 'series_digest', not both"}
+        if raw_digest is not None:
+            # The digest-only path: the series must already be known — from
+            # the session pool (a prior submission) or the store (a prior
+            # PUT /series upload).  The 404 carries a marker the client's
+            # negotiation keys on.
+            if not isinstance(raw_digest, str):
+                return 400, {"error": "'series_digest' must be a string"}
+            values = await self._resolve_series(raw_digest)
+            if values is None:
+                return 404, {
+                    "error": f"unknown series digest {raw_digest}; upload the "
+                    "series once via PUT /series/<digest>",
+                    "unknown_digest": raw_digest,
+                }
+        else:
+            if not isinstance(raw_series, list) or not raw_series:
+                return 400, {"error": "'series' must be a non-empty list of numbers"}
+            try:
+                values = np.asarray(raw_series, dtype=np.float64)
+            except (TypeError, ValueError) as error:
+                return 400, {"error": f"'series' is not numeric: {error}"}
+            if values.ndim != 1:
+                return 400, {"error": "'series' must be one-dimensional"}
         raw_request = document.get("request")
         if not isinstance(raw_request, dict):
             return 400, {"error": "'request' must be an AnalysisRequest object"}
@@ -488,13 +877,19 @@ class AnalysisService:
         except SerializationError as error:
             return 400, {"error": str(error)}
 
+        series_name = document.get("series_name")
+        if series_name is None and raw_digest is not None and self._store is not None:
+            entry = await self._offload(self._store.entry, raw_digest)
+            series_name = None if entry is None else entry["name"]
         self._sequence += 1
         job = _Job(
             sequence=self._sequence,
             request_id=str(document.get("id", self._sequence)),
-            digest=series_digest(values),
+            # The digest path already knows the identity; hashing megabytes
+            # again would defeat the transport's whole point.
+            digest=raw_digest if raw_digest is not None else series_digest(values),
             values=values,
-            series_name=str(document.get("series_name", "series")),
+            series_name=str(series_name if series_name is not None else "series"),
             request=request,
             future=asyncio.get_running_loop().create_future(),
         )
@@ -513,15 +908,18 @@ class AnalysisService:
     # introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
-        """Counters, completion order and per-session cache info."""
+        """Counters, completion order, per-session cache and store info."""
         return {
             "received": self._received,
             "completed": self._completed,
             "failed": self._failed,
             "rejected": self._rejected,
+            "connections": self._connections,
+            "uploads": self._uploads,
             "queue_depth": self._queue.qsize(),
             "completion_order": list(self._completion_order),
             "sessions": self._pool.stats(),
+            "store": None if self._store is None else self._store.stats(),
         }
 
 

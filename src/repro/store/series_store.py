@@ -1,0 +1,636 @@
+"""The content-addressed series store.
+
+Every layer above the flat algorithms identifies a series by its content
+digest (:func:`repro.api.cache.series_digest` — sha1 of the float64 bytes):
+the persistent result cache keys spill files by it, the service keys
+sessions by it, the engine's shared-memory segments are reused under it.
+What was missing is a place where the digest *resolves back to the values*:
+the service re-received the full value array on every request and every
+engine call re-packed the same series.  :class:`SeriesStore` is that place —
+a small content-addressed blob store:
+
+* one **blob per digest** (``blobs/<digest[:2]>/<digest>.f64``, raw
+  little-endian float64) written atomically (unique temp file +
+  ``os.replace``), read back memory-mapped so a lookup does not copy the
+  series;
+* a **JSON manifest** (``manifest.json``) carrying per-entry length, byte
+  size, display name and an LRU sequence number, re-written atomically on
+  every mutation;
+* **byte-capped LRU eviction**: ``max_bytes`` bounds the blob bytes
+  retained; inserts evict from the cold end (the newest entry is always
+  retained, even when it alone exceeds the cap — evicting what was just
+  stored would make ``put`` + ``get`` incoherent);
+* a **chunked ingest path** (:meth:`begin` / :class:`ChunkedIngest`) so a
+  large series streams into the store — from a socket, a file, a generator
+  — without ever existing as one JSON array, with the digest computed (and
+  optionally verified) incrementally;
+* **degradation, not errors**: a corrupted blob, a digest-mismatched blob
+  or a mangled manifest reads back as a *miss* (and is healed best-effort),
+  never as wrong values — the same contract the persistent result cache
+  established.
+
+The blob format makes verification free of any framing: the sha1 of the
+blob's bytes IS the series digest, so :meth:`get` can certify what it
+returns by hashing exactly the bytes it mapped.
+
+Concurrency: one store object is thread-safe (a single lock covers manifest
+mutations).  Across processes the store is best-effort coherent the same
+way the persistent result cache is: atomic renames mean readers only ever
+see complete files, and the manifest's last writer wins wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, StoreError
+from repro.series.dataseries import DataSeries
+
+__all__ = [
+    "SeriesStore",
+    "ChunkedIngest",
+    "open_data_root",
+    "is_series_digest",
+    "SERIES_SUBDIR",
+    "RESULTS_SUBDIR",
+    "DEFAULT_STORE_MAX_BYTES",
+]
+
+#: Default byte cap of a store: 256 MiB holds a catalog of ~8 four-million
+#: point series — far beyond the test workloads while keeping an unattended
+#: service node bounded.
+DEFAULT_STORE_MAX_BYTES = 256 * 1024 * 1024
+
+#: Sub-directories a shared data root splits into: the series catalog and
+#: the persistent result cache live side by side, keyed by the same series
+#: content digest (see :func:`open_data_root`).
+SERIES_SUBDIR = "series"
+RESULTS_SUBDIR = "results"
+
+_MANIFEST_KIND = "series_store_manifest"
+_MANIFEST_NAME = "manifest.json"
+_BLOB_SUFFIX = ".f64"
+_ITEM_SIZE = 8  # float64
+
+
+def is_series_digest(text: str) -> bool:
+    """Whether ``text`` has the shape of a series content digest (sha1 hex).
+
+    The one shape check shared by every digest boundary — the store, the
+    service's ``/series/<digest>`` routes, the ingest verification — so a
+    future digest-format change has a single definition to update.
+    """
+    return (
+        isinstance(text, str)
+        and len(text) == 40
+        and all(ch in "0123456789abcdef" for ch in text)
+    )
+
+
+_is_digest = is_series_digest
+
+
+class ChunkedIngest:
+    """One in-flight streaming upload into a :class:`SeriesStore`.
+
+    Created by :meth:`SeriesStore.begin`; feed it with
+    :meth:`append_chunk` (float values) or :meth:`append_bytes` (raw
+    float64 bytes, e.g. straight off a socket — chunk boundaries need not
+    align to 8 bytes), then :meth:`finalize`.  The digest is computed
+    incrementally while the chunks stream into a unique temp file inside
+    the store root, so the full series never has to be materialised; the
+    temp file is renamed into its content address only when the digest is
+    known (and verified, when the caller predicted one).  :meth:`abort`
+    (or garbage collection of an unfinished ingest) removes the temp file.
+    """
+
+    def __init__(
+        self, store: "SeriesStore", name: str, expected_digest: str | None
+    ) -> None:
+        if expected_digest is not None and not _is_digest(expected_digest):
+            raise StoreError(f"not a valid series digest: {expected_digest!r}")
+        self._store = store
+        self._name = name
+        self._expected = expected_digest
+        self._sha1 = hashlib.sha1()
+        self._bytes = 0
+        self._handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=store.root, prefix=".ingest.", suffix=".tmp", delete=False
+        )
+        self._temp_path = Path(self._handle.name)
+        self._done = False
+
+    @property
+    def bytes_received(self) -> int:
+        """Bytes appended so far."""
+        return self._bytes
+
+    def append_chunk(self, values) -> None:
+        """Append a chunk of float values (anything array-like)."""
+        array = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+        if array.ndim != 1:
+            raise StoreError(
+                f"ingest chunks must be one-dimensional, got shape {array.shape}"
+            )
+        self.append_bytes(array.tobytes())
+
+    def append_bytes(self, chunk: bytes) -> None:
+        """Append raw float64 bytes (any chunking, 8-byte alignment not required)."""
+        if self._done:
+            raise StoreError("this ingest is already finalised or aborted")
+        self._handle.write(chunk)
+        self._sha1.update(chunk)
+        self._bytes += len(chunk)
+
+    def finalize(self, expected_digest: str | None = None) -> str:
+        """Close the upload; returns the digest of the ingested series.
+
+        ``expected_digest`` (here or at :meth:`SeriesStore.begin`) makes the
+        ingest *verifying*: a mismatch raises :class:`StoreError` and leaves
+        no trace in the store — the caller shipped different bytes than it
+        announced, and content addressing must never file them under the
+        announced identity.
+        """
+        if self._done:
+            raise StoreError("this ingest is already finalised or aborted")
+        self._done = True
+        self._handle.close()
+        try:
+            if self._bytes == 0 or self._bytes % _ITEM_SIZE:
+                raise StoreError(
+                    f"ingested {self._bytes} bytes, which is not a non-empty "
+                    f"multiple of {_ITEM_SIZE} (float64 values)"
+                )
+            digest = self._sha1.hexdigest()
+            for announced in (self._expected, expected_digest):
+                if announced is not None and announced != digest:
+                    raise StoreError(
+                        f"digest mismatch: the ingested bytes hash to {digest}, "
+                        f"not the announced {announced}"
+                    )
+            self._store._adopt_blob(  # noqa: SLF001 - ingest is the store's own half
+                self._temp_path, digest, self._bytes, self._name
+            )
+        except BaseException:
+            self.abort()
+            raise
+        return digest
+
+    def abort(self) -> None:
+        """Drop the upload and its temp file (idempotent)."""
+        self._done = True
+        try:
+            self._handle.close()
+        except OSError:  # pragma: no cover - double close on exotic platforms
+            pass
+        try:
+            os.unlink(self._temp_path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ChunkedIngest":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        if not getattr(self, "_done", True):
+            self.abort()
+
+
+class SeriesStore:
+    """A content-addressed catalog of data series, keyed by value digest.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first write).
+    max_bytes:
+        Byte cap of the retained blobs (LRU eviction beyond it);
+        ``None`` disables the cap.
+    """
+
+    def __init__(
+        self, root, *, max_bytes: int | None = DEFAULT_STORE_MAX_BYTES
+    ) -> None:
+        if max_bytes is not None and int(max_bytes) < 1:
+            raise InvalidParameterError(f"max_bytes must be >= 1, got {max_bytes}")
+        self._root = Path(root)
+        self._max_bytes = None if max_bytes is None else int(max_bytes)
+        self._lock = threading.RLock()
+        self._entries: Dict[str, dict] | None = None  # lazy manifest load
+        self._sequence = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # layout
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> Path:
+        """The store directory (created on demand)."""
+        self._root.mkdir(parents=True, exist_ok=True)
+        return self._root
+
+    @property
+    def max_bytes(self) -> int | None:
+        """The byte cap (``None`` when unbounded)."""
+        return self._max_bytes
+
+    def blob_path(self, digest: str) -> Path:
+        """The content address of one digest's blob."""
+        return self._root / "blobs" / digest[:2] / f"{digest}{_BLOB_SUFFIX}"
+
+    @property
+    def manifest_path(self) -> Path:
+        """The manifest file."""
+        return self._root / _MANIFEST_NAME
+
+    # ------------------------------------------------------------------ #
+    # manifest handling
+    # ------------------------------------------------------------------ #
+    def _load_manifest(self) -> Dict[str, dict]:
+        """The manifest entries, loaded lazily; corruption degrades to empty.
+
+        A mangled manifest never takes the store down: the blobs are still
+        on disk and :meth:`gc` re-adopts every one that verifies.
+        """
+        if self._entries is None:
+            entries: Dict[str, dict] = {}
+            sequence = 0
+            try:
+                payload = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+                if (
+                    isinstance(payload, dict)
+                    and payload.get("kind") == _MANIFEST_KIND
+                    and isinstance(payload.get("entries"), dict)
+                ):
+                    for digest, entry in payload["entries"].items():
+                        if not _is_digest(digest) or not isinstance(entry, dict):
+                            continue
+                        entries[digest] = {
+                            "bytes": int(entry["bytes"]),
+                            "length": int(entry["length"]),
+                            "name": str(entry.get("name", "series")),
+                            "sequence": int(entry.get("sequence", 0)),
+                        }
+                    sequence = int(payload.get("sequence", 0))
+            except (OSError, ValueError, TypeError, KeyError):
+                entries = {}
+                sequence = 0
+            self._entries = entries
+            self._sequence = max(
+                [sequence] + [entry["sequence"] for entry in entries.values()]
+            )
+        return self._entries
+
+    def _write_manifest(self) -> None:
+        """Atomically persist the manifest (best-effort: an unwritable
+        manifest degrades the store to session-local, not to an error)."""
+        payload = {
+            "kind": _MANIFEST_KIND,
+            "version": 1,
+            "sequence": self._sequence,
+            "entries": self._entries or {},
+        }
+        temp_name = None
+        try:
+            path = self.manifest_path
+            with tempfile.NamedTemporaryFile(
+                mode="w",
+                encoding="utf-8",
+                dir=path.parent,
+                prefix=f".{path.name}.",
+                suffix=".tmp",
+                delete=False,
+            ) as handle:
+                temp_name = handle.name
+                json.dump(payload, handle, indent=2)
+            os.replace(temp_name, path)
+            temp_name = None
+        except OSError:
+            pass
+        finally:
+            if temp_name is not None:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+
+    def _touch(self, digest: str) -> None:
+        """Bump one entry to the hot end of the LRU order (lock held)."""
+        self._sequence += 1
+        self._entries[digest]["sequence"] = self._sequence  # type: ignore[index]
+
+    def _evict_over_budget(self) -> None:
+        """Drop cold entries until the byte cap holds again (lock held)."""
+        if self._max_bytes is None:
+            return
+        entries = self._entries or {}
+        total = sum(entry["bytes"] for entry in entries.values())
+        while total > self._max_bytes and len(entries) > 1:
+            coldest = min(entries, key=lambda digest: entries[digest]["sequence"])
+            total -= entries[coldest]["bytes"]
+            self._drop(coldest)
+
+    def _drop(self, digest: str) -> None:
+        """Remove one entry and its blob (lock held)."""
+        (self._entries or {}).pop(digest, None)
+        self._evictions += 1
+        try:
+            self.blob_path(digest).unlink()
+        except OSError:
+            pass
+
+    def _adopt_blob(self, temp_path: Path, digest: str, size: int, name: str) -> None:
+        """Move a fully-written temp blob into its content address."""
+        with self._lock:
+            self._load_manifest()
+            target = self.blob_path(digest)
+            try:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(temp_path, target)
+            except OSError as error:
+                raise StoreError(f"cannot store blob {digest}: {error}") from error
+            self._sequence += 1
+            self._entries[digest] = {  # type: ignore[index]
+                "bytes": int(size),
+                "length": int(size // _ITEM_SIZE),
+                "name": str(name),
+                "sequence": self._sequence,
+            }
+            self._evict_over_budget()
+            self._write_manifest()
+
+    # ------------------------------------------------------------------ #
+    # the public surface
+    # ------------------------------------------------------------------ #
+    def put(self, series, *, name: str | None = None) -> str:
+        """Store one series; returns its content digest.
+
+        Accepts a :class:`~repro.series.DataSeries` (whose name rides
+        along), a numpy array or a plain list.  Storing an already-present
+        digest refreshes its LRU position without rewriting the blob.
+        """
+        if isinstance(series, DataSeries):
+            values = series.values
+            if name is None:
+                name = series.name
+        else:
+            values = np.ascontiguousarray(np.asarray(series, dtype=np.float64))
+        if values.ndim != 1 or values.size == 0:
+            raise StoreError(
+                f"only non-empty one-dimensional series can be stored, "
+                f"got shape {values.shape}"
+            )
+        data = np.ascontiguousarray(values, dtype=np.float64).tobytes()
+        digest = hashlib.sha1(data).hexdigest()
+        with self._lock:
+            entries = self._load_manifest()
+            if digest in entries and self.blob_path(digest).is_file():
+                if name is not None:
+                    entries[digest]["name"] = str(name)
+                self._touch(digest)
+                self._write_manifest()
+                return digest
+        ingest = self.begin(name=name or "series")
+        ingest.append_bytes(data)
+        return ingest.finalize(expected_digest=digest)
+
+    def begin(
+        self, *, name: str = "series", expected_digest: str | None = None
+    ) -> ChunkedIngest:
+        """Open a streaming upload (see :class:`ChunkedIngest`)."""
+        self.root  # ensure the directory exists before the temp file lands in it
+        return ChunkedIngest(self, name, expected_digest)
+
+    def get(self, digest: str) -> Optional[np.ndarray]:
+        """The stored values of ``digest`` — or ``None`` on any miss.
+
+        The returned array is a **read-only memory map** of the blob: no
+        copy is made, and the bytes were verified against the digest on
+        this very call (a corrupted or truncated blob is dropped and
+        reported as a miss, so the slot heals on the next ``put``).
+        """
+        if not _is_digest(digest):
+            return None
+        path = self.blob_path(digest)
+        # Mapping and hashing happen OUTSIDE the store lock: verifying a
+        # large blob takes real time and must not stall every concurrent
+        # catalog lookup (a concurrently-unlinked file keeps its mapping
+        # valid until released, so the hash itself is race-free).
+        try:
+            mapped = np.memmap(path, dtype="<f8", mode="r")
+        except (OSError, ValueError):
+            with self._lock:
+                if digest in self._load_manifest() or path.exists():
+                    # Present but unmappable (truncated, wrong size):
+                    # corrupted — heal the slot.  A plain absent file is the
+                    # ordinary miss and drops nothing.
+                    self._drop(digest)
+                    self._write_manifest()
+            return None
+        if hashlib.sha1(memoryview(mapped).cast("B")).hexdigest() != digest:
+            del mapped  # release the mapping before unlinking the file
+            with self._lock:
+                self._load_manifest()
+                self._drop(digest)
+                self._write_manifest()
+            return None
+        array = mapped.view(np.ndarray)
+        array.flags.writeable = False
+        with self._lock:
+            entries = self._load_manifest()
+            if digest not in entries:
+                # A blob another process (or a pre-manifest crash) left
+                # behind: adopt it, it just proved its own integrity.  (Skip
+                # if the file vanished mid-verify — adopting would resurrect
+                # a concurrent removal.)
+                if not path.is_file():
+                    return None
+                self._sequence += 1
+                entries[digest] = {
+                    "bytes": int(array.size * _ITEM_SIZE),
+                    "length": int(array.size),
+                    "name": "series",
+                    "sequence": self._sequence,
+                }
+                self._write_manifest()
+            else:
+                # An LRU touch mutates only in-memory state: persisting the
+                # order on every read would put a disk write on the hot
+                # lookup path, and cross-process LRU order is best-effort
+                # anyway (the next mutation flushes it).
+                self._touch(digest)
+            return array
+
+    def load(self, digest: str, *, name: str | None = None) -> Optional[DataSeries]:
+        """Like :meth:`get` but wrapped as a :class:`~repro.series.DataSeries`
+        (carrying the manifest's display name unless overridden)."""
+        values = self.get(digest)
+        if values is None:
+            return None
+        if name is None:
+            entry = (self._entries or {}).get(digest)
+            name = entry["name"] if entry else "series"
+        return DataSeries(values, name=name)
+
+    def entry(self, digest: str) -> Optional[dict]:
+        """Manifest metadata of one digest (length, bytes, name) — or
+        ``None``.
+
+        A constant-time catalog lookup: no blob read, no verification, no
+        LRU touch.  The values themselves still certify on :meth:`get`.
+        """
+        with self._lock:
+            entry = self._load_manifest().get(digest)
+            if entry is None or not self.blob_path(digest).is_file():
+                return None
+            return {
+                "digest": digest,
+                "length": entry["length"],
+                "bytes": entry["bytes"],
+                "name": entry["name"],
+            }
+
+    def __contains__(self, digest: str) -> bool:
+        """Manifest membership (no blob verification — that happens on read)."""
+        with self._lock:
+            return digest in self._load_manifest() and self.blob_path(digest).is_file()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._load_manifest())
+
+    @property
+    def total_bytes(self) -> int:
+        """Blob bytes currently accounted for in the manifest."""
+        with self._lock:
+            return sum(entry["bytes"] for entry in self._load_manifest().values())
+
+    def ls(self) -> List[dict]:
+        """Catalog rows (digest, length, bytes, name), hottest first."""
+        with self._lock:
+            entries = self._load_manifest()
+            rows = [
+                {
+                    "digest": digest,
+                    "length": entry["length"],
+                    "bytes": entry["bytes"],
+                    "name": entry["name"],
+                }
+                for digest, entry in sorted(
+                    entries.items(),
+                    key=lambda item: item[1]["sequence"],
+                    reverse=True,
+                )
+            ]
+        return rows
+
+    def rm(self, digest: str) -> bool:
+        """Remove one series; returns whether it was present."""
+        with self._lock:
+            entries = self._load_manifest()
+            present = digest in entries or self.blob_path(digest).is_file()
+            entries.pop(digest, None)
+            try:
+                self.blob_path(digest).unlink()
+            except OSError:
+                pass
+            self._write_manifest()
+            return present
+
+    def gc(self) -> dict:
+        """Reconcile disk and manifest; returns what was repaired.
+
+        * blobs missing their manifest entry are **adopted** when their
+          bytes verify against their filename digest, removed otherwise;
+        * manifest entries whose blob vanished are dropped;
+        * leftover ingest temp files are removed;
+        * the byte cap is re-enforced.
+        """
+        adopted = corrupted = dropped = temp_files = 0
+        with self._lock:
+            entries = self._load_manifest()
+            for stale in [d for d in entries if not self.blob_path(d).is_file()]:
+                entries.pop(stale)
+                dropped += 1
+            blob_root = self._root / "blobs"
+            if blob_root.is_dir():
+                for path in sorted(blob_root.glob(f"*/*{_BLOB_SUFFIX}")):
+                    digest = path.name[: -len(_BLOB_SUFFIX)]
+                    if not _is_digest(digest) or digest in entries:
+                        continue
+                    if self.get(digest) is not None:
+                        adopted += 1
+                    else:
+                        corrupted += 1
+                        # get() heals most corruption itself, but an
+                        # unmappable file size slips through its miss path;
+                        # gc's contract is that a failed adoption leaves no
+                        # debris behind.
+                        try:
+                            path.unlink()
+                        except OSError:
+                            pass
+            for temp in self._root.glob(".ingest.*.tmp"):
+                try:
+                    temp.unlink()
+                    temp_files += 1
+                except OSError:
+                    pass
+            self._evict_over_budget()
+            self._write_manifest()
+        return {
+            "adopted": adopted,
+            "corrupted": corrupted,
+            "dropped": dropped,
+            "temp_files": temp_files,
+            "entries": len(self),
+            "total_bytes": self.total_bytes,
+        }
+
+    def stats(self) -> dict:
+        """Occupancy and bounds (for service /stats and the CLI)."""
+        with self._lock:
+            entries = self._load_manifest()
+            return {
+                "root": str(self._root),
+                "entries": len(entries),
+                "total_bytes": sum(entry["bytes"] for entry in entries.values()),
+                "max_bytes": self._max_bytes,
+                "evictions": self._evictions,
+            }
+
+
+def open_data_root(
+    root,
+    *,
+    store_max_bytes: int | None = DEFAULT_STORE_MAX_BYTES,
+):
+    """Open the shared digest namespace under one data root.
+
+    Returns ``(series_store, cache_config)``: the series catalog lives in
+    ``<root>/series`` and the persistent result cache in ``<root>/results``
+    — two sides of the same identity, since both are keyed by the series
+    content digest.  Handing ``cache_config`` to an
+    :class:`~repro.api.Analysis` session (or a
+    :class:`~repro.service.ServiceConfig`) and ``series_store`` to the
+    transport layer gives every component one consistent view of "series
+    ``<digest>`` and everything already known about it".
+    """
+    from repro.api.cache import CacheConfig
+
+    root = Path(root)
+    store = SeriesStore(root / SERIES_SUBDIR, max_bytes=store_max_bytes)
+    cache = CacheConfig(persist_dir=root / RESULTS_SUBDIR)
+    return store, cache

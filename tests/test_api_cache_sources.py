@@ -104,23 +104,73 @@ class TestEnvelopeViewTagging:
         assert source == "persistent"
         return computed, rehydrated
 
-    def test_spill_hit_is_tagged(self, values, tmp_path):
+    def _corrupt_sidecar(self, tmp_path) -> None:
+        [sidecar] = (tmp_path / "spill").rglob("*.valmod.json")
+        sidecar.write_text("{not json")
+
+    def test_spill_hit_rehydrates_losslessly(self, values, tmp_path):
+        """A persistent VALMOD hit comes back as the *full* in-process
+        result: the sidecar written by save_result round-trips the valmap,
+        checkpoints, pruning detail and base profile."""
         computed, rehydrated = self._spilled_valmod(values, tmp_path)
         assert isinstance(computed.payload, ValmodResult)
+        assert isinstance(rehydrated.payload, ValmodResult)
         assert not computed.is_envelope_view
-        assert rehydrated.is_envelope_view
-        assert isinstance(rehydrated.payload, EnvelopeRangeResult)
-        # The comparable view still behaves like any RangeDiscoveryResult.
-        assert isinstance(rehydrated.payload, RangeDiscoveryResult)
-        assert rehydrated.range_result().lengths == computed.range_result().lengths
+        assert not rehydrated.is_envelope_view
+        assert rehydrated.payload.lengths == computed.payload.lengths
         assert rehydrated.best_motif() == computed.best_motif()
+        np.testing.assert_allclose(
+            rehydrated.payload.base_profile.distances,
+            computed.payload.base_profile.distances,
+        )
+        np.testing.assert_array_equal(
+            rehydrated.payload.valmap.index_profile,
+            computed.payload.valmap.index_profile,
+        )
+        assert [c.as_dict() for c in rehydrated.payload.valmap.checkpoints] == [
+            c.as_dict() for c in computed.payload.valmap.checkpoints
+        ]
+        assert (
+            rehydrated.payload.pruning_summary() == computed.payload.pruning_summary()
+        )
 
-    def test_missing_valmod_fields_fail_loudly(self, values, tmp_path):
-        _, rehydrated = self._spilled_valmod(values, tmp_path)
+    def test_corrupt_sidecar_degrades_to_envelope_view(self, values, tmp_path):
+        """Without a (valid) sidecar the hit falls back to the tagged
+        envelope view — and the corrupt file is healed away."""
+        computed, _ = self._spilled_valmod(values, tmp_path)
+        self._corrupt_sidecar(tmp_path)
+        degraded, source = repro.analyze(
+            values, cache_config=CacheConfig(persist_dir=tmp_path / "spill")
+        ).run_with_info(
+            AnalysisRequest(
+                kind="motifs", algo="valmod", params={"min_length": 24, "max_length": 27}
+            )
+        )
+        assert source == "persistent"
+        assert degraded.is_envelope_view
+        assert isinstance(degraded.payload, EnvelopeRangeResult)
+        # The comparable view still behaves like any RangeDiscoveryResult.
+        assert isinstance(degraded.payload, RangeDiscoveryResult)
+        assert degraded.range_result().lengths == computed.range_result().lengths
+        assert degraded.best_motif() == computed.best_motif()
+        assert not list((tmp_path / "spill").rglob("*.valmod.json"))
+
+    def test_missing_valmod_fields_fail_loudly_on_degraded_view(
+        self, values, tmp_path
+    ):
+        self._spilled_valmod(values, tmp_path)
+        self._corrupt_sidecar(tmp_path)
+        degraded, _ = repro.analyze(
+            values, cache_config=CacheConfig(persist_dir=tmp_path / "spill")
+        ).run_with_info(
+            AnalysisRequest(
+                kind="motifs", algo="valmod", params={"min_length": 24, "max_length": 27}
+            )
+        )
         with pytest.raises(AttributeError, match="rehydrated from a serialised"):
-            rehydrated.payload.valmap
+            degraded.payload.valmap
         with pytest.raises(AttributeError, match="Recompute in-process"):
-            rehydrated.payload.base_profile
+            degraded.payload.base_profile
 
     def test_non_valmod_motifs_are_not_tagged(self, values, tmp_path):
         """STOMP-range's in-process payload *is* the envelope view, so its

@@ -85,27 +85,51 @@ class TestBuffer:
             buffer.close()
             buffer.unlink()
 
-    def test_evicted_arrays_stay_valid(self):
+    def test_evicted_arrays_stay_valid(self, monkeypatch):
         """Arrays a caller holds must survive cache eviction — they are
         private copies with no lifetime coupling to the segment.  (The
         zero-copy alternative fails this test with silent aliasing:
         ``SharedMemory.__del__`` closes the mapping on collection and the
         held view then reads whatever lands in the recycled pages.)"""
+        # Two 3-element segments (24 bytes each) overflow a 32-byte cap, so
+        # the second attach must evict the first.
+        monkeypatch.setattr(shm_module, "ATTACH_CACHE_MAX_BYTES", 32)
         first = SharedSeriesBuffer.create({"x": np.array([1.0, 2.0, 3.0])})
         if first is None:
             pytest.skip("platform refuses shared-memory segments at runtime")
         extras = []
         try:
             held = attach_arrays(first.handle)["x"]
-            for index in range(shm_module._ATTACH_CACHE_LIMIT + 1):
-                extra = SharedSeriesBuffer.create({"x": np.full(3, float(index))})
-                assert extra is not None
-                extras.append(extra)
-                attach_arrays(extra.handle)
+            extra = SharedSeriesBuffer.create({"x": np.full(3, 7.0)})
+            assert extra is not None
+            extras.append(extra)
+            attach_arrays(extra.handle)
             assert first.handle.shm_name not in shm_module._ATTACH_CACHE
             np.testing.assert_array_equal(held, [1.0, 2.0, 3.0])
         finally:
             for buffer in (first, *extras):
+                buffer.close()
+                buffer.unlink()
+
+    def test_attach_cache_is_byte_capped(self, monkeypatch):
+        """The worker-side cache evicts oldest-first once the byte budget is
+        exceeded, but always retains the entry being inserted."""
+        monkeypatch.setattr(shm_module, "ATTACH_CACHE_MAX_BYTES", 200)
+        buffers = []
+        try:
+            for index in range(4):
+                buffer = SharedSeriesBuffer.create({"x": np.full(10, float(index))})
+                if buffer is None:
+                    pytest.skip("platform refuses shared-memory segments at runtime")
+                buffers.append(buffer)
+                attach_arrays(buffer.handle)
+            cached = [b.handle.shm_name in shm_module._ATTACH_CACHE for b in buffers]
+            # 80 bytes per entry, 200-byte cap: at most two entries stay.
+            assert cached[-1], "the newest entry must always be cached"
+            assert sum(shm_module._ATTACH_CACHE_BYTES.values()) <= 200
+            assert cached == [False, False, True, True]
+        finally:
+            for buffer in buffers:
                 buffer.close()
                 buffer.unlink()
 
