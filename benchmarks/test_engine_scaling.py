@@ -1,18 +1,26 @@
-"""Serial-vs-parallel scaling of the block-partitioned engine.
+"""Serial-vs-parallel and kernel scaling of the STOMP computations.
 
 Times one full STOMP profile at n ∈ {2048, 8192, 32768} through the plain
-serial sweep and through the engine's :class:`ParallelExecutor`, plus
+serial sweep (pinned to the ``"oracle"`` kernel — the frozen per-row
+reference the fast kernels are measured against), through the engine's
+:class:`ParallelExecutor`, and through the fast sweep kernels
+(``"numpy"`` row-block, compiled ``"native"`` when buildable), plus
 VALMOD's base-pass ingest (STOMP + block-local
 :class:`~repro.core.partial_profile.PartialProfileStore` fragments merged
 back — the path the mergeable-store refactor parallelised), and records
-the wall-clock pairs (plus the derived speedups) into
+the wall-clock numbers (plus the derived speedups) into
 ``BENCH_engine_scaling.json`` at the repository root, so the speedup
 trajectory is tracked from this PR onwards.
 
 On a single-core machine the parallel numbers measure pure overhead —
-every speedup assertion is therefore gated on the *effective* core count
-(scheduler affinity, not ``os.cpu_count()``, which ignores cgroup and
-affinity limits); single-core runs still check exactness.
+every parallel speedup assertion is therefore gated on the *effective*
+core count (scheduler affinity, not ``os.cpu_count()``, which ignores
+cgroup and affinity limits); single-core runs still check exactness.
+The kernel speedups are same-process single-thread ratios and are
+asserted regardless of core count (advisory warnings by default,
+enforced under ``ENGINE_SPEEDUP_STRICT=1``); every skipped gate says so
+loudly with a warning, so a green run that didn't check anything is
+visible in the log.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ import pytest
 from repro.core.partial_profile import PartialProfileStore
 from repro.engine import ParallelExecutor, partitioned_stomp
 from repro.generators import generate_random_walk
+from repro.matrix_profile.kernels import available_kernels
 from repro.matrix_profile.stomp import stomp
 from repro.stats.sliding import SlidingStats
 
@@ -37,12 +46,30 @@ VALMOD_INGEST_SIZE = 8192
 VALMOD_CAPACITY = 16
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine_scaling.json"
 
+#: Sweep kernels timed against the oracle baseline.
+FAST_KERNELS = tuple(
+    name for name in ("numpy", "native") if name in available_kernels()
+)
+
 #: Wall-clock seconds per (size, mode), filled by the timing tests and
 #: flushed to RESULT_PATH once complete.
 _TIMINGS: dict[int, dict[str, float]] = {}
 
 #: Wall-clock seconds of the VALMOD base-pass ingest case, same shape.
 _VALMOD_TIMINGS: dict[str, float] = {}
+
+#: Oracle-kernel profiles stashed by the serial runs so the kernel runs
+#: can assert bit-for-bit equality on the benchmark workload itself.
+_SERIAL_PROFILES: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _loud_skip(reason: str) -> None:
+    """Skip a gate, but leave a warning in the log — a skipped speedup
+    assertion must never masquerade as a checked one."""
+    import warnings
+
+    warnings.warn(f"speedup gate skipped: {reason}")
+    pytest.skip(reason)
 
 
 def _effective_cores() -> int:
@@ -66,25 +93,27 @@ def _flush_results() -> None:
             existing = json.loads(RESULT_PATH.read_text())
         except (OSError, json.JSONDecodeError):
             existing = {}
+    sizes = dict(existing.get("sizes", {}))
+    for n, times in sorted(_TIMINGS.items()):
+        merged = {**sizes.get(str(n), {}), **times}
+        serial = merged.get("serial_seconds")
+        merged["speedup"] = (
+            serial / merged["parallel_seconds"]
+            if serial and merged.get("parallel_seconds")
+            else None
+        )
+        for kernel in ("numpy", "native"):
+            seconds = merged.get(f"{kernel}_kernel_seconds")
+            if serial and seconds:
+                merged[f"{kernel}_kernel_speedup"] = serial / seconds
+        sizes[str(n)] = merged
     payload = {
         "window": WINDOW,
         "effective_cores": _effective_cores(),
         "cpu_count": os.cpu_count(),
         "n_jobs": _n_jobs(),
-        "sizes": {
-            **existing.get("sizes", {}),
-            **{
-                str(n): {
-                    **times,
-                    "speedup": (
-                        times["serial_seconds"] / times["parallel_seconds"]
-                        if times.get("parallel_seconds")
-                        else None
-                    ),
-                }
-                for n, times in sorted(_TIMINGS.items())
-            },
-        },
+        "serial_kernel": "oracle",
+        "sizes": sizes,
     }
     if _VALMOD_TIMINGS:
         payload["valmod_base_pass_ingest"] = {
@@ -108,11 +137,42 @@ def _n_jobs() -> int:
 
 @pytest.mark.parametrize("n", SIZES)
 def test_scaling_serial(benchmark, n):
+    """The serial baseline, pinned to the oracle kernel.
+
+    Without the pin, ``stomp``'s default would auto-resolve to the fast
+    kernels this file measures — the baseline must stay the historical
+    per-row sweep.
+    """
     benchmark.group = f"engine scaling n={n}"
     values = _series(n)
     started = time.perf_counter()
-    benchmark.pedantic(stomp, args=(values, WINDOW), rounds=1, iterations=1)
+    profile = benchmark.pedantic(
+        stomp, args=(values, WINDOW), kwargs={"kernel": "oracle"}, rounds=1, iterations=1
+    )
     _TIMINGS.setdefault(n, {})["serial_seconds"] = time.perf_counter() - started
+    _SERIAL_PROFILES[n] = (profile.distances, profile.indices)
+
+
+@pytest.mark.parametrize("kernel", FAST_KERNELS)
+@pytest.mark.parametrize("n", SIZES)
+def test_scaling_kernels(benchmark, n, kernel):
+    """The fast sweep kernels on the same workload, bit-checked against
+    the oracle baseline of :func:`test_scaling_serial`."""
+    benchmark.group = f"engine scaling n={n}"
+    values = _series(n)
+    started = time.perf_counter()
+    profile = benchmark.pedantic(
+        stomp, args=(values, WINDOW), kwargs={"kernel": kernel}, rounds=1, iterations=1
+    )
+    _TIMINGS.setdefault(n, {})[f"{kernel}_kernel_seconds"] = (
+        time.perf_counter() - started
+    )
+    if n in _SERIAL_PROFILES:
+        distances, indices = _SERIAL_PROFILES[n]
+        np.testing.assert_array_equal(profile.distances, distances)
+        np.testing.assert_array_equal(profile.indices, indices)
+    if n == SIZES[-1] and kernel == FAST_KERNELS[-1]:
+        _flush_results()
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -198,9 +258,9 @@ def test_valmod_ingest_speedup_on_multicore():
     cores (single-core tier-1 runs only check exactness above); advisory
     unless ``ENGINE_SPEEDUP_STRICT=1``."""
     if not {"serial_seconds", "parallel_seconds"} <= set(_VALMOD_TIMINGS):
-        pytest.skip("ingest timing test did not run (deselected)")
+        _loud_skip("ingest timing test did not run (deselected)")
     if _effective_cores() < 2:
-        pytest.skip(f"needs 2+ effective cores, have {_effective_cores()}")
+        _loud_skip(f"needs 2+ effective cores, have {_effective_cores()}")
     speedup = _VALMOD_TIMINGS["serial_seconds"] / _VALMOD_TIMINGS["parallel_seconds"]
     message = f"valmod ingest speedup {speedup:.2f}x below the 1.2x floor"
     if os.environ.get("ENGINE_SPEEDUP_STRICT") == "1":
@@ -222,14 +282,46 @@ def test_parallel_speedup_on_multicore():
     """
     largest = _TIMINGS.get(SIZES[-1], {})
     if not {"serial_seconds", "parallel_seconds"} <= set(largest):
-        pytest.skip("timing tests did not run (deselected)")
+        _loud_skip("timing tests did not run (deselected)")
     if _effective_cores() < 2:
-        pytest.skip(f"needs 2+ effective cores, have {_effective_cores()}")
+        _loud_skip(f"needs 2+ effective cores, have {_effective_cores()}")
     speedup = largest["serial_seconds"] / largest["parallel_seconds"]
     message = f"parallel speedup {speedup:.2f}x below the 1.3x floor"
     if os.environ.get("ENGINE_SPEEDUP_STRICT") == "1":
         assert speedup >= 1.3, message
     elif speedup < 1.3:
+        import warnings
+
+        warnings.warn(message + " (set ENGINE_SPEEDUP_STRICT=1 to enforce)")
+
+
+#: Acceptance floors for the fast kernels at the largest size: the numpy
+#: row-block kernel must be ≥8x over the oracle baseline, the compiled
+#: kernel an order of magnitude.
+_KERNEL_FLOORS = {"numpy": 8.0, "native": 10.0}
+
+
+@pytest.mark.parametrize("kernel", ("numpy", "native"))
+def test_kernel_speedup_floor(kernel):
+    """Acceptance gate: kernel speedups at n=32768 over the oracle sweep.
+
+    Same-process single-thread wall-clock ratios, so no core gate; still
+    advisory by default (``ENGINE_SPEEDUP_STRICT=1`` enforces) because the
+    baseline and the kernel run are separate timings on possibly noisy
+    machines.  A missing native build skips loudly.
+    """
+    if kernel not in FAST_KERNELS:
+        _loud_skip(f"{kernel} kernel unavailable (no C compiler or disabled)")
+    largest = _TIMINGS.get(SIZES[-1], {})
+    needed = {"serial_seconds", f"{kernel}_kernel_seconds"}
+    if not needed <= set(largest):
+        _loud_skip("timing tests did not run (deselected)")
+    floor = _KERNEL_FLOORS[kernel]
+    speedup = largest["serial_seconds"] / largest[f"{kernel}_kernel_seconds"]
+    message = f"{kernel} kernel speedup {speedup:.2f}x below the {floor:g}x floor"
+    if os.environ.get("ENGINE_SPEEDUP_STRICT") == "1":
+        assert speedup >= floor, message
+    elif speedup < floor:
         import warnings
 
         warnings.warn(message + " (set ENGINE_SPEEDUP_STRICT=1 to enforce)")

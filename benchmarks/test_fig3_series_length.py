@@ -36,7 +36,9 @@ def test_fig3_bottom_time_vs_series_length(
     result = benchmark.pedantic(
         run_algorithm,
         args=(algorithm, series, BASE_LENGTH, max_length),
-        kwargs={"top_k": 1},
+        # Oracle kernel: the figure compares algorithmic growth at equal
+        # per-distance cost (see test_fig3_length_range's docstring).
+        kwargs={"top_k": 1, "kernel": "oracle"},
         rounds=1,
         iterations=1,
     )

@@ -191,6 +191,7 @@ def _mp_stomp(session, window: int, **options):
             engine=engine.executor,
             n_jobs=engine.n_jobs,
             block_size=engine.block_size,
+            kernel=engine.kernel,
             segment_pool=session.segment_pool,
             segment_key=session.segment_key(window),
             **options,
@@ -199,6 +200,7 @@ def _mp_stomp(session, window: int, **options):
         session.values,
         window,
         stats=session.stats,
+        kernel=engine.kernel,
         centered_first_row_qt=session.base_dot_products(window),
         **options,
     )
@@ -240,6 +242,7 @@ def _motifs_valmod(session, min_length: int, max_length: int, **options):
         engine=engine.executor,
         n_jobs=engine.n_jobs,
         block_size=engine.block_size,
+        kernel=engine.kernel,
         **options,
     )
 
@@ -250,6 +253,8 @@ def _motifs_stomp_range(session, min_length: int, max_length: int, **options):
     engine = session.engine
     if engine.enabled:
         options = {**options, "engine": engine.executor, "n_jobs": engine.n_jobs}
+    if engine.kernel is not None:
+        options = {**options, "kernel": engine.kernel}
     return stomp_range(
         session.series, min_length, max_length, stats=session.stats, **options
     )
@@ -289,6 +294,8 @@ def _pan_profile_skimp(session, min_length: int, max_length: int, **options):
     engine = session.engine
     if engine.enabled:
         options = {**options, "engine": engine.executor, "n_jobs": engine.n_jobs}
+    if engine.kernel is not None:
+        options = {**options, "kernel": engine.kernel}
     return skimp(
         session.series, min_length, max_length, stats=session.stats, **options
     )

@@ -55,6 +55,7 @@ from repro.api.requests import AnalysisRequest, AnalysisResult, canonical_cache_
 from repro.engine.executor import Executor
 from repro.engine.shm import SharedSegmentPool
 from repro.exceptions import InvalidParameterError, SerializationError
+from repro.matrix_profile.kernels import validate_kernel
 from repro.series.dataseries import DataSeries, as_series
 from repro.stats.fft import sliding_dot_product
 from repro.stats.sliding import SlidingStats
@@ -80,11 +81,18 @@ class EngineConfig:
         Worker processes for ``"parallel"`` / ``"auto"``.
     block_size:
         Row-block size for the partitioned profile computations.
+    kernel:
+        Sweep kernel for the STOMP-shaped computations — ``None``
+        (default; resolves per process via ``REPRO_KERNEL`` / auto),
+        ``"auto"``, ``"oracle"``, ``"numpy"`` or ``"native"``; see
+        :mod:`repro.matrix_profile.kernels`.  Unlike ``executor``, the
+        kernel applies even to the plain serial paths.
     """
 
     executor: object | None = None
     n_jobs: int | None = None
     block_size: int | None = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor is not None and not isinstance(self.executor, Executor):
@@ -99,6 +107,7 @@ class EngineConfig:
             raise InvalidParameterError(
                 f"block_size must be >= 1, got {self.block_size}"
             )
+        validate_kernel(self.kernel)
 
     @property
     def enabled(self) -> bool:
@@ -114,6 +123,7 @@ class EngineConfig:
             "executor": executor,
             "n_jobs": self.n_jobs,
             "block_size": self.block_size,
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -123,6 +133,7 @@ class EngineConfig:
             executor=payload.get("executor"),
             n_jobs=payload.get("n_jobs"),
             block_size=payload.get("block_size"),
+            kernel=payload.get("kernel"),
         )
 
 
@@ -558,6 +569,7 @@ class Analysis:
                 window=int(requests[index].params["window"]),
                 exclusion_radius=requests[index].params.get("exclusion_radius"),
                 block_size=self._engine.block_size,
+                kernel=self._engine.kernel,
                 name=self.name,
             )
             for index in indices

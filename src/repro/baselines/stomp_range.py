@@ -33,6 +33,7 @@ def stomp_range(
     exclusion_factor: int = 4,
     engine: object | None = None,
     n_jobs: int | None = None,
+    kernel: str | None = None,
     stats: SlidingStats | None = None,
 ) -> RangeDiscoveryResult:
     """Exact top-k motif pairs of every length, one STOMP run per length.
@@ -41,6 +42,8 @@ def stomp_range(
     of independent jobs through :func:`repro.engine.batch.compute_profiles`
     (each length is a full, data-independent profile computation — the
     engine's ideal workload); ``engine=None`` keeps the serial loop.
+    ``kernel`` selects the sweep kernel of every per-length run
+    (:mod:`repro.matrix_profile.kernels`).
     """
     values = validate_series(series)
     min_length, max_length = validate_length_range(values.size, min_length, max_length)
@@ -58,6 +61,7 @@ def stomp_range(
                 values,
                 window=length,
                 exclusion_radius=default_exclusion_radius(length, exclusion_factor),
+                kernel=kernel,
             )
             for length in lengths
         ]
@@ -74,6 +78,7 @@ def stomp_range(
                 length,
                 stats=stats,
                 exclusion_radius=default_exclusion_radius(length, exclusion_factor),
+                kernel=kernel,
             )
             motifs_by_length[length] = profile.motifs(top_k)
             stats.forget(length)

@@ -29,6 +29,7 @@ from repro.analysis.report import result_report
 from repro.api.cache import CacheConfig
 from repro.api.requests import AnalysisRequest
 from repro.api.session import EngineConfig, analyze
+from repro.matrix_profile.kernels import KERNEL_NAMES
 from repro.core.motif_sets import expand_motif_pair
 from repro.exceptions import InvalidParameterError, ReproError
 from repro.harness.extensions import (
@@ -104,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for --engine parallel/auto (default: all cores)",
     )
+    discover.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        default=None,
+        help="STOMP sweep kernel (default auto: native when compilable, "
+        "else numpy)",
+    )
     discover.add_argument("--output", help="write the full result as JSON")
     discover.add_argument("--valmap-output", help="write the VALMAP as JSON")
     discover.add_argument(
@@ -130,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument(
         "--jobs", type=int, default=None, help="worker processes for the engine"
+    )
+    compare.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        default=None,
+        help="STOMP sweep kernel for the kernel-aware algorithms",
     )
     compare.add_argument(
         "--algorithms",
@@ -255,6 +269,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--jobs", type=int, default=None, help="worker processes for the engine"
     )
+    serve.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        default=None,
+        help="STOMP sweep kernel for the engine-aware algorithms",
+    )
 
     request = subparsers.add_parser(
         "request", help="post one AnalysisRequest to a running analysis service"
@@ -359,7 +379,10 @@ def _command_discover(args: argparse.Namespace) -> int:
     else:
         series = build_workload(args.workload, args.length, random_state=args.seed)
     session = analyze(
-        series, engine=EngineConfig(executor=args.engine, n_jobs=args.jobs)
+        series,
+        engine=EngineConfig(
+            executor=args.engine, n_jobs=args.jobs, kernel=args.kernel
+        ),
     )
     result = session.motifs(
         args.min_length,
@@ -398,6 +421,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         top_k=1,
         engine=args.engine,
         n_jobs=args.jobs,
+        kernel=args.kernel,
     )
     print(
         f"workload={args.workload} length={len(series)} "
@@ -546,7 +570,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             max_bytes=args.cache_bytes,
             persist_dir=cache_dir,
         ),
-        engine=EngineConfig(executor=args.engine, n_jobs=args.jobs),
+        engine=EngineConfig(executor=args.engine, n_jobs=args.jobs, kernel=args.kernel),
         store_dir=store_dir,
         **store_kwargs,
     )

@@ -216,6 +216,7 @@ def skimp(
     exclusion_factor: int = 4,
     engine: object | None = None,
     n_jobs: int | None = None,
+    kernel: str | None = None,
     stats: SlidingStats | None = None,
 ) -> PanMatrixProfile:
     """Compute a pan matrix profile over ``[min_length, max_length]``.
@@ -238,6 +239,9 @@ def skimp(
         independent jobs through :func:`repro.engine.batch.compute_profiles`
         — the pan profile is the engine's best case, since every length is
         a full profile with no cross-length data dependency.
+    kernel:
+        Sweep kernel of the per-length STOMP runs
+        (:mod:`repro.matrix_profile.kernels`).
     """
     values = validate_series(series)
     min_length, max_length = validate_length_range(values.size, min_length, max_length)
@@ -276,6 +280,7 @@ def skimp(
                 values,
                 window=length,
                 exclusion_radius=default_exclusion_radius(length, exclusion_factor),
+                kernel=kernel,
             )
             for length in chosen
         ]
@@ -295,6 +300,7 @@ def skimp(
                     length,
                     exclusion_radius=default_exclusion_radius(length, exclusion_factor),
                     stats=stats,
+                    kernel=kernel,
                 ),
             )
             stats.forget(length)

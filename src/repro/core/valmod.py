@@ -59,6 +59,7 @@ def valmod(
     engine: object | None = None,
     n_jobs: int | None = None,
     block_size: int | None = None,
+    kernel: str | None = None,
     stats: SlidingStats | None = None,
 ) -> ValmodResult:
     """Find the exact top-k motif pairs of every length in ``[min_length, max_length]``.
@@ -74,7 +75,9 @@ def valmod(
     :func:`repro.engine.batch.compute_profiles`.  The base pass ingests the
     partial-profile store block-locally (each block builds a store fragment,
     the fragments merge into the exact serial store), so VALMOD's dominant
-    cost parallelises like any other profile computation.
+    cost parallelises like any other profile computation.  ``kernel``
+    selects the sweep kernel of the base pass
+    (:mod:`repro.matrix_profile.kernels`).
 
     Returns
     -------
@@ -99,6 +102,7 @@ def valmod(
         engine=engine,
         n_jobs=n_jobs,
         block_size=block_size,
+        kernel=kernel,
         stats=stats,
     )
 
@@ -110,6 +114,7 @@ def valmod_with_config(
     engine: object | None = None,
     n_jobs: int | None = None,
     block_size: int | None = None,
+    kernel: str | None = None,
     stats: SlidingStats | None = None,
 ) -> ValmodResult:
     """Run VALMOD with an explicit :class:`~repro.core.config.ValmodConfig`.
@@ -147,6 +152,7 @@ def valmod_with_config(
         engine=engine,
         n_jobs=n_jobs,
         block_size=block_size,
+        kernel=kernel,
     )
 
     length_results: Dict[int, LengthResult] = {}

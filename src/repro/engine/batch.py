@@ -72,6 +72,7 @@ class ProfileJob:
     query_offset: int | None = None
     exclusion_radius: int | None = None
     block_size: int | None = None
+    kernel: str | None = None
     reseed_interval: int = DEFAULT_RESEED_INTERVAL
     name: str | None = None
 
@@ -133,6 +134,7 @@ def _profile_for_length(
     window: int,
     exclusion_radius: int | None,
     block_size: int | None,
+    kernel: str | None,
     reseed_interval: int,
 ) -> MatrixProfile:
     """One serial blocked profile computation (runs inside a worker).
@@ -147,6 +149,7 @@ def _profile_for_length(
         window,
         executor="serial",
         block_size=block_size,
+        kernel=kernel,
         reseed_interval=reseed_interval,
         exclusion_radius=exclusion_radius,
         stats=stats,
@@ -195,6 +198,7 @@ def _run_job(
                 window,
                 job.exclusion_radius,
                 job.block_size,
+                job.kernel,
                 job.reseed_interval,
             )
             # Keep the shared-stats cache bounded across a length sweep

@@ -82,11 +82,8 @@ from repro.engine.shm import (
     attach_arrays,
 )
 from repro.exceptions import InvalidParameterError
-from repro.matrix_profile.distance_profile import distances_from_dot_products
-from repro.matrix_profile.exclusion import (
-    apply_exclusion_zone,
-    default_exclusion_radius,
-)
+from repro.matrix_profile.exclusion import default_exclusion_radius
+from repro.matrix_profile.kernels import run_sweep
 from repro.matrix_profile.profile import MatrixProfile
 from repro.series.validation import validate_series, validate_subsequence_length
 from repro.stats.distance import compensation_needed
@@ -152,6 +149,7 @@ def _compute_block(
     reseed_interval: int,
     profile_callback: Callable[[int, np.ndarray, np.ndarray], None] | None = None,
     ingest: Tuple[int, int, str] | None = None,
+    kernel: str | None = None,
 ) -> Tuple[np.ndarray, np.ndarray, dict | None]:
     """Profile/index arrays (and optional store fragment) for rows ``[start, stop)``.
 
@@ -160,17 +158,16 @@ def _compute_block(
     ``first_row_dots`` holds ``QT[0, j]`` for every ``j``; by symmetry of
     the self-join, ``QT[i, 0] = first_row_dots[i]`` refreshes the column
     the recurrence cannot reach.  All arrays live in mean-centered space.
+    The sweep itself — recurrence, reseeding, reductions, hook dispatch —
+    is :func:`repro.matrix_profile.kernels.run_sweep` with the requested
+    kernel; segment boundaries are shared by all kernels, so the block
+    result does not depend on which one ran.
 
     ``ingest`` — ``(capacity, exclusion_factor, lower_bound_kind)`` — makes
     the block build a :class:`~repro.core.partial_profile.PartialProfileStore`
     fragment covering its rows and return the fragment's exported state as
     the third element (``None`` otherwise).
     """
-    count = values.size - window + 1
-    length = stop - start
-    profile = np.full(length, np.inf, dtype=np.float64)
-    indices = np.full(length, -1, dtype=np.int64)
-
     fragment = None
     if ingest is not None:
         from repro.core.partial_profile import PartialProfileStore
@@ -187,47 +184,20 @@ def _compute_block(
             row_range=(start, stop),
         )
 
-    # One cancellation-risk decision per block (rows share the same means).
-    compensated = compensation_needed(means, means, stds)
-
-    qt: np.ndarray | None = None
-    rows_since_seed = 0
-    for offset in range(start, stop):
-        if qt is None or rows_since_seed >= reseed_interval:
-            if offset == 0:
-                # Row 0's seed IS first_row_dots; copy (the recurrence
-                # mutates qt in place and later blocks read this array).
-                qt = np.array(first_row_dots)
-            else:
-                qt = sliding_dot_product(values[offset : offset + window], values)
-            rows_since_seed = 0
-        else:
-            qt[1:] = (
-                qt[:-1]
-                - values[offset - 1] * values[: count - 1]
-                + values[offset + window - 1] * values[window : window + count - 1]
-            )
-            qt[0] = first_row_dots[offset]
-            rows_since_seed += 1
-        distances = distances_from_dot_products(
-            qt,
-            window,
-            float(means[offset]),
-            float(stds[offset]),
-            means,
-            stds,
-            compensated=compensated,
-        )
-        if fragment is not None:
-            fragment.ingest_centered_profile(offset, qt)
-        if profile_callback is not None:
-            profile_callback(offset, qt, distances)
-        masked = np.array(distances)
-        apply_exclusion_zone(masked, offset, radius)
-        best = int(np.argmin(masked))
-        if np.isfinite(masked[best]):
-            profile[offset - start] = masked[best]
-            indices[offset - start] = best
+    profile, indices = run_sweep(
+        values,
+        window,
+        radius,
+        means,
+        stds,
+        first_row_dots,
+        start,
+        stop,
+        kernel=kernel,
+        reseed_interval=reseed_interval,
+        profile_callback=profile_callback,
+        ingest=fragment,
+    )
     return profile, indices, None if fragment is None else fragment.export_state()
 
 
@@ -238,7 +208,7 @@ def _block_task(payload) -> Tuple[np.ndarray, np.ndarray, dict | None]:
     a tuple or as a :class:`~repro.engine.shm.SharedArraysHandle` naming
     the shared-memory segment they were packed into.
     """
-    arrays_ref, window, radius, start, stop, reseed_interval, ingest = payload
+    arrays_ref, window, radius, start, stop, reseed_interval, ingest, kernel = payload
     if isinstance(arrays_ref, SharedArraysHandle):
         arrays = attach_arrays(arrays_ref)
         values = arrays["values"]
@@ -259,6 +229,7 @@ def _block_task(payload) -> Tuple[np.ndarray, np.ndarray, dict | None]:
         reseed_interval,
         None,
         ingest,
+        kernel,
     )
 
 
@@ -269,6 +240,7 @@ def partitioned_stomp(
     executor: "str | Executor | None" = "auto",
     n_jobs: int | None = None,
     block_size: int | None = None,
+    kernel: str | None = None,
     reseed_interval: int = DEFAULT_RESEED_INTERVAL,
     exclusion_radius: int | None = None,
     stats: SlidingStats | None = None,
@@ -297,6 +269,11 @@ def partitioned_stomp(
         machine's core count.
     block_size:
         Rows per block; defaults to :func:`default_block_size`.
+    kernel:
+        Sweep kernel each block runs
+        (:mod:`repro.matrix_profile.kernels`); all kernels produce
+        identical block results, so mixed-kernel workers would even be
+        legal.  ``None`` resolves per process (``REPRO_KERNEL`` or auto).
     reseed_interval:
         Rows advanced by the recurrence before a fresh MASS seed (see the
         module docstring); ``DEFAULT_RESEED_INTERVAL`` by default.
@@ -399,6 +376,7 @@ def partitioned_stomp(
                     reseed_interval,
                     profile_callback,
                     ingest,
+                    kernel,
                 )
                 for start, stop in blocks
             ]
@@ -421,7 +399,7 @@ def partitioned_stomp(
             )
             try:
                 payloads = [
-                    (arrays_ref, window, radius, start, stop, reseed_interval, ingest)
+                    (arrays_ref, window, radius, start, stop, reseed_interval, ingest, kernel)
                     for start, stop in blocks
                 ]
                 results = chosen_executor.map(_block_task, payloads)

@@ -47,12 +47,14 @@ ENGINE_AWARE = frozenset(
 )
 
 
-def _session(series, engine, n_jobs, block_size=None) -> Analysis:
+def _session(series, engine, n_jobs, block_size=None, kernel=None) -> Analysis:
     if isinstance(series, Analysis):
         return series
     return Analysis(
         series,
-        engine=EngineConfig(executor=engine, n_jobs=n_jobs, block_size=block_size),
+        engine=EngineConfig(
+            executor=engine, n_jobs=n_jobs, block_size=block_size, kernel=kernel
+        ),
     )
 
 
@@ -79,9 +81,12 @@ def run_algorithm(
     engine = options.pop("engine", None)
     n_jobs = options.pop("n_jobs", None)
     block_size = options.pop("block_size", None)
+    kernel = options.pop("kernel", None)
     service_url = options.pop("service_url", None)
     service_timeout = float(options.pop("service_timeout", 300.0))
     if name not in ENGINE_AWARE:
+        # The sweep kernel is kept: unlike the executor knobs it also
+        # applies to the plain serial STOMP paths.
         engine, n_jobs, block_size = None, None, None
     if "top_k" in options and ALGORITHMS[name] in ("moen", "quick_motif"):
         options.pop("top_k")  # single best pair per length by design
@@ -97,7 +102,7 @@ def run_algorithm(
         client = ServiceClient.from_url(service_url, timeout=service_timeout)
         result, _source = client.analyze(values, request)
         return result.range_result()
-    session = _session(series, engine, n_jobs, block_size)
+    session = _session(series, engine, n_jobs, block_size, kernel)
     return session.run(request).range_result()
 
 
@@ -110,6 +115,7 @@ def compare_algorithms(
     engine: object | None = None,
     n_jobs: int | None = None,
     block_size: int | None = None,
+    kernel: str | None = None,
     service_url: str | None = None,
     **options,
 ) -> List[RangeDiscoveryResult]:
@@ -118,7 +124,9 @@ def compare_algorithms(
     One :class:`~repro.api.Analysis` session is shared across the whole
     comparison (one validation, one statistics pass).  ``engine`` /
     ``n_jobs`` / ``block_size`` reach the algorithms whose registry entry
-    is engine-aware (see :data:`ENGINE_AWARE`) and are ignored by the rest,
+    is engine-aware (see :data:`ENGINE_AWARE`) and are ignored by the rest
+    (``kernel`` selects the STOMP sweep kernel and also reaches the plain
+    serial paths),
     so a single call can compare engine-routed and plain implementations on
     identical inputs.  ``service_url`` routes every algorithm through a
     running analysis service instead of computing in-process (the server's
@@ -137,7 +145,7 @@ def compare_algorithms(
             )
             for name in algorithms
         ]
-    session = _session(series, engine, n_jobs, block_size)
+    session = _session(series, engine, n_jobs, block_size, kernel)
     # One session for every algorithm: the non-engine-aware runners simply
     # never read session.engine, so no second "plain" session is needed.
     return [

@@ -1,0 +1,153 @@
+"""Build and load the optional compiled STOMP kernel.
+
+The container images this library targets do not ship numba or Cython,
+but they do ship a C toolchain — so the "compiled backend" is a single C
+file (``_stomp_kernel.c``) compiled on first use with the system compiler
+and loaded through :mod:`ctypes`.  Everything is best-effort: any failure
+(no compiler, read-only install, bad cc) marks the backend unavailable
+with a recorded reason, and :mod:`repro.matrix_profile.kernels` falls
+back to the numpy row-block kernel.
+
+Environment knobs
+-----------------
+``REPRO_NO_NATIVE=1``
+    Never build or load the compiled kernel (forces the fallback path —
+    this is what the CI fallback leg sets).
+``REPRO_NATIVE_CACHE=<dir>``
+    Where the compiled shared object is cached.  Defaults to
+    ``_native_cache/`` next to this module (git-ignored); the cache file
+    is keyed by a hash of the source and flags, so editing the C source
+    or flags rebuilds instead of loading a stale object.
+
+Compiler flags
+--------------
+``-ffp-contract=off`` is load-bearing, not an optimisation preference:
+the kernel is pinned bit-for-bit against the numpy kernel, and both FMA
+contraction of the recurrence and (worse) of Dekker's ``two_product``
+would silently change results.  No ``-ffast-math`` for the same reason.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+
+import numpy as np
+from numpy.ctypeslib import ndpointer
+
+__all__ = ["load", "available", "unavailable_reason", "reset"]
+
+DISABLE_ENV = "REPRO_NO_NATIVE"
+CACHE_ENV = "REPRO_NATIVE_CACHE"
+
+_SOURCE = os.path.join(os.path.dirname(__file__), "_stomp_kernel.c")
+_CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-math-errno")
+
+_lib = None
+_attempted = False
+_reason: "str | None" = None
+
+
+def _find_compiler() -> "str | None":
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate:
+            path = shutil.which(candidate)
+            if path:
+                return path
+    return None
+
+
+def _cache_dir() -> str:
+    return os.environ.get(CACHE_ENV) or os.path.join(
+        os.path.dirname(__file__), "_native_cache"
+    )
+
+
+def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
+    c_double_arr = ndpointer(np.float64, flags="C_CONTIGUOUS")
+    c_index_arr = ndpointer(np.int64, flags="C_CONTIGUOUS")
+    i64 = ctypes.c_longlong
+    lib.repro_stomp_segment.restype = None
+    lib.repro_stomp_segment.argtypes = [
+        c_double_arr,  # values
+        i64,  # window
+        i64,  # count
+        c_double_arr,  # means
+        c_double_arr,  # stds
+        c_double_arr,  # inv_stds
+        c_double_arr,  # coef
+        c_double_arr,  # first_col
+        c_double_arr,  # qt
+        i64,  # start
+        i64,  # stop
+        i64,  # radius
+        ctypes.c_int,  # compensated
+        ctypes.c_int,  # has_const
+        c_double_arr,  # profile
+        c_index_arr,  # indices
+    ]
+    return lib
+
+
+def _build_and_load():
+    if os.environ.get(DISABLE_ENV, "") not in ("", "0"):
+        raise RuntimeError(f"disabled via {DISABLE_ENV}")
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler found (tried $CC, cc, gcc, clang)")
+    with open(_SOURCE, "rb") as handle:
+        source = handle.read()
+    digest = hashlib.sha256(source + "\0".join(_CFLAGS).encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    target = os.path.join(cache, f"stomp_kernel_{digest}.so")
+    if not os.path.exists(target):
+        os.makedirs(cache, exist_ok=True)
+        scratch = f"{target}.{os.getpid()}.tmp"
+        command = [compiler, *_CFLAGS, "-o", scratch, _SOURCE, "-lm"]
+        result = subprocess.run(
+            command, capture_output=True, text=True, timeout=120, check=False
+        )
+        if result.returncode != 0:
+            raise RuntimeError(
+                f"compile failed ({' '.join(command)}): {result.stderr.strip()[:500]}"
+            )
+        os.replace(scratch, target)  # atomic: concurrent builders race benignly
+    return _declare(ctypes.CDLL(target))
+
+
+def load():
+    """The loaded kernel library, or ``None`` (reason via :func:`unavailable_reason`).
+
+    The first call pays the (cached) compile; subsequent calls are a
+    module-global read.  Failures are remembered — one attempt per
+    process, never an exception to the caller.
+    """
+    global _lib, _attempted, _reason
+    if not _attempted:
+        _attempted = True
+        try:
+            _lib = _build_and_load()
+        except Exception as error:  # noqa: BLE001 - availability probe
+            _lib = None
+            _reason = str(error)
+    return _lib
+
+
+def available() -> bool:
+    return load() is not None
+
+
+def unavailable_reason() -> "str | None":
+    load()
+    return _reason
+
+
+def reset() -> None:
+    """Forget the cached load attempt (tests flip the env knobs)."""
+    global _lib, _attempted, _reason
+    _lib = None
+    _attempted = False
+    _reason = None

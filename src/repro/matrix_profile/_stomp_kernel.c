@@ -1,0 +1,172 @@
+/* Compiled STOMP sweep kernel.
+ *
+ * One reseed segment of the self-join sweep: rows [start, stop) of the
+ * dot-product recurrence
+ *
+ *     QT[i, j] = QT[i-1, j-1] - T[i-1]*T[j-1] + T[i+m-1]*T[j+m-1]
+ *
+ * advanced in place, each row reduced to its best match.  This is a line
+ * by line transcription of the numpy row-block kernel in kernels.py; the
+ * two must stay bit-for-bit identical, which constrains the code more
+ * than it first appears:
+ *
+ *  - every floating-point expression keeps the numpy operation order
+ *    (the recurrence is (qt - a*u) + b*v, parenthesised);
+ *  - the build MUST use -ffp-contract=off: a fused multiply-add in the
+ *    recurrence or in the Dekker two_product below would change roundings
+ *    (two_product is *wrong* under contraction, not just different);
+ *  - the argmax scans ascending with a strict '>' so ties resolve to the
+ *    first maximum, matching np.argmax;
+ *  - selection scores of constant columns/rows are injected exactly like
+ *    the numpy kernel does (0.5*m*sigma_i, 1.0/0.5), never computed.
+ *
+ * The entry point is loaded via ctypes (see _native.py); it holds no
+ * state and releases the GIL for the whole segment by construction.
+ */
+
+#include <math.h>
+
+typedef long long i64;
+
+/* Dekker's two_product / two_sum, matching repro.stats.distance exactly. */
+static void two_product(double a, double b, double *p, double *e) {
+    const double SPLIT = 134217729.0; /* 2**27 + 1 */
+    double prod = a * b;
+    double a_big = SPLIT * a;
+    double a_hi = a_big - (a_big - a);
+    double a_lo = a - a_hi;
+    double b_big = SPLIT * b;
+    double b_hi = b_big - (b_big - b);
+    double b_lo = b - b_hi;
+    *p = prod;
+    *e = ((a_hi * b_hi - prod) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo;
+}
+
+static void two_sum(double a, double b, double *s, double *e) {
+    double sum = a + b;
+    double v = sum - a;
+    *s = sum;
+    *e = (a - (sum - v)) + (b - v);
+}
+
+/* Scalar transcription of distances_from_dot_products at one element. */
+static double winner_distance(double qt_best, double window, double query_mean,
+                              double target_mean, double query_std,
+                              double target_std, int compensated,
+                              double sqrt_window) {
+    double centered, correlation, squared;
+    if (query_std == 0.0)
+        return (target_std == 0.0) ? 0.0 : sqrt_window;
+    if (target_std == 0.0)
+        return sqrt_window;
+    if (compensated) {
+        double coeff, coeff_err, product, product_err, base, sum_err;
+        two_product(window, query_mean, &coeff, &coeff_err);
+        two_product(coeff, target_mean, &product, &product_err);
+        two_sum(qt_best, -product, &base, &sum_err);
+        centered = base + (sum_err - product_err - coeff_err * target_mean);
+    } else {
+        centered = qt_best - (window * query_mean) * target_mean;
+    }
+    correlation = centered / ((window * query_std) * target_std);
+    if (correlation < -1.0)
+        correlation = -1.0;
+    else if (correlation > 1.0)
+        correlation = 1.0;
+    squared = (2.0 * window) * (1.0 - correlation);
+    if (squared < 0.0)
+        squared = 0.0;
+    return sqrt(squared);
+}
+
+void repro_stomp_segment(const double *values, i64 window, i64 count,
+                         const double *means, const double *stds,
+                         const double *inv_stds, const double *coef,
+                         const double *first_col, double *qt, i64 start,
+                         i64 stop, i64 radius, int compensated, int has_const,
+                         double *profile, i64 *indices) {
+    double window_d = (double)window;
+    double sqrt_window = sqrt(window_d);
+    i64 off;
+    for (off = start; off < stop; off++) {
+        i64 j, lo, hi, best = -1;
+        double best_sel = -INFINITY;
+        double query_std = stds[off];
+        lo = off - radius;
+        if (lo < 0)
+            lo = 0;
+        hi = off + radius + 1;
+        if (hi > count)
+            hi = count;
+        if (off > start && query_std != 0.0 && !has_const) {
+            /* Common case: fuse the advance with the selection scan so the
+             * row is reduced while each element is still in a register.
+             * The scan runs descending, so ties resolve with '>=' to keep
+             * the *smallest* winning index — the same first-occurrence
+             * rule as np.argmax and the ascending '>' scan below. */
+            double a = values[off - 1];
+            double b = values[off + window - 1];
+            double row_coef = coef[off];
+            for (j = count - 1; j >= 1; j--) {
+                double q = (qt[j - 1] - a * values[j - 1]) + b * values[j + window - 1];
+                qt[j] = q;
+                if (j < lo || j >= hi) {
+                    double sel = (q - row_coef * means[j]) * inv_stds[j];
+                    if (sel >= best_sel) {
+                        best_sel = sel;
+                        best = j;
+                    }
+                }
+            }
+            qt[0] = first_col[off];
+            if (0 < lo || 0 >= hi) {
+                double sel = (qt[0] - row_coef * means[0]) * inv_stds[0];
+                if (sel >= best_sel) {
+                    best_sel = sel;
+                    best = 0;
+                }
+            }
+        } else {
+            if (off > start) {
+                double a = values[off - 1];
+                double b = values[off + window - 1];
+                for (j = count - 1; j >= 1; j--)
+                    qt[j] = (qt[j - 1] - a * values[j - 1]) + b * values[j + window - 1];
+                qt[0] = first_col[off];
+            }
+            if (query_std == 0.0) {
+                for (j = 0; j < count; j++) {
+                    double sel;
+                    if (j >= lo && j < hi)
+                        continue;
+                    sel = (stds[j] == 0.0) ? 1.0 : 0.5;
+                    if (sel > best_sel) {
+                        best_sel = sel;
+                        best = j;
+                    }
+                }
+            } else {
+                double row_coef = coef[off];
+                double half_wq = 0.5 * (window_d * query_std);
+                for (j = 0; j < count; j++) {
+                    double sel;
+                    if (j >= lo && j < hi)
+                        continue;
+                    sel = (stds[j] == 0.0)
+                              ? half_wq
+                              : (qt[j] - row_coef * means[j]) * inv_stds[j];
+                    if (sel > best_sel) {
+                        best_sel = sel;
+                        best = j;
+                    }
+                }
+            }
+        }
+        if (best >= 0 && best_sel != -INFINITY) {
+            profile[off - start] =
+                winner_distance(qt[best], window_d, means[off], means[best],
+                                query_std, stds[best], compensated, sqrt_window);
+            indices[off - start] = best;
+        }
+    }
+}

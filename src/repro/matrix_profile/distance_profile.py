@@ -55,7 +55,6 @@ def distances_from_dot_products(
         )
     query_constant = query_std == 0.0
     target_constant = stds == 0.0
-    distances = np.empty_like(qt)
     if compensated is None:
         compensated = compensation_needed(query_mean, means, stds)
     centered = centered_dot_products(

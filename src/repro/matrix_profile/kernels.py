@@ -1,0 +1,559 @@
+"""Pluggable sweep kernels for the STOMP recurrence.
+
+Every STOMP-shaped computation in the library — the serial sweep in
+:mod:`repro.matrix_profile.stomp`, the engine's row blocks in
+:mod:`repro.engine.partition`, and through them VALMOD's base pass,
+``stomp-range`` and SKIMP — advances the same dot-product recurrence::
+
+    QT[i, j] = QT[i-1, j-1] - T[i-1]·T[j-1] + T[i+m-1]·T[j+m-1]
+
+and reduces each row to one ``(profile, index)`` pair.  This module owns
+that inner loop.  :func:`run_sweep` drives a row range ``[start, stop)``
+through one of three interchangeable kernels:
+
+``"oracle"``
+    The original per-row loop: one full distance row per query offset via
+    :func:`~repro.matrix_profile.distance_profile.distances_from_dot_products`.
+    It is the frozen reference the fast kernels are pinned against, the
+    benchmark baseline, and the only kernel that can feed
+    ``profile_callback`` (which wants the full distance row).
+``"numpy"``
+    The batched row-block kernel: rows advance through a preallocated 2-D
+    QT block (a ring of row buffers, so each row is computed from the
+    cache-hot previous row), the row reduction happens immediately in a
+    cheap *selection space* (see below) while the row is still resident,
+    and the winners of a whole reseed segment are converted to distances
+    in one deferred vectorized pass.  No per-row allocations — the
+    per-row cost drops from "allocate + fill three O(n) temporaries"
+    (each above the allocator's mmap threshold, i.e. a page-fault storm
+    per row) to a handful of writes into reused buffers, worth ~10x on a
+    32k sweep (see ``benchmarks/test_engine_scaling.py``).  A variant
+    that advanced ``k`` rows before reducing any of them was measured ~2x
+    slower: by the time the block was reduced, its first rows had been
+    evicted from L2 and every byte was read back from DRAM.
+``"native"``
+    A small C translation of the numpy kernel, compiled on demand with the
+    system C compiler and loaded through :mod:`ctypes`
+    (:mod:`repro.matrix_profile._native`).  Optional: when no compiler is
+    available (or ``REPRO_NO_NATIVE=1``), requests for it fall back to
+    ``"numpy"`` with a one-time :class:`RuntimeWarning`.
+
+``"auto"`` resolves to ``"native"`` when the compiled kernel is loadable
+and ``"numpy"`` otherwise; a ``kernel=None`` default additionally honours
+the ``REPRO_KERNEL`` environment variable.
+
+Bit-for-bit equality across kernels
+-----------------------------------
+The three kernels produce **identical** profiles and indices, not merely
+close ones (``tests/test_kernels.py`` pins this).  Two ingredients make
+that possible:
+
+* Every kernel picks each row's winner by ``argmax`` over the same
+  *selection scores* ``sel[j] = (QT[j] - m·μ_i·μ_j) / σ_j`` — the
+  numerator of the Pearson correlation scaled by the row-constant
+  ``1 / (m·σ_i)``, evaluated with the exact same floating-point operation
+  sequence everywhere (the C kernel is compiled with ``-ffp-contract=off``
+  so no FMA contraction can reorder a rounding).  Constant-subsequence
+  conventions are injected *in selection space*: a constant target column
+  scores ``0.5·m·σ_i`` (the sel value whose distance is exactly
+  ``sqrt(m)``) and a constant query row scores ``1.0`` against constant
+  columns and ``0.5`` otherwise, mirroring the ``0 / sqrt(m)`` distance
+  convention of ``distances_from_dot_products``.  Excluded columns score
+  ``-inf``; a row whose best score is ``-inf`` has no valid match.
+* The winner's *distance* is then computed by a transcription of the
+  exact ``distances_from_dot_products`` arithmetic — vectorized over all
+  winners at once in the numpy kernel, scalar in the C kernel, and
+  including the Dekker-compensated centering when the sweep-level
+  :func:`~repro.stats.distance.compensation_needed` decision is on — so
+  the reported value carries the same bits the oracle's full row would.
+
+Buffer-ownership contract (the ``qt`` aliasing fix)
+---------------------------------------------------
+The recurrence mutates its dot-product buffers in place, so handing them
+to hooks used to be a use-after-advance hazard.  The contract is now:
+
+* ``profile_callback(offset, dot_products, distances)`` receives a
+  **read-only copy** of the row's dot products — safe to keep across
+  rows — and a fresh ``distances`` array it owns outright.
+* ``ingest_store.ingest_centered_profile(offset, dot_products)`` receives
+  a **read-only view** that is only valid for the duration of the call
+  (the store copies what it retains); consuming it during the call is the
+  whole contract.
+
+``tests/test_kernels.py`` holds references across rows to enforce both.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.distance_profile import distances_from_dot_products
+from repro.matrix_profile.exclusion import apply_exclusion_zone
+from repro.stats.distance import centered_dot_products, compensation_needed
+from repro.stats.fft import sliding_dot_product
+
+__all__ = [
+    "KERNEL_NAMES",
+    "available_kernels",
+    "resolve_kernel",
+    "validate_kernel",
+    "run_sweep",
+]
+
+#: Accepted ``kernel=`` spellings, in resolution order of preference.
+KERNEL_NAMES = ("auto", "oracle", "numpy", "native")
+
+#: Environment override consulted when no explicit kernel is requested.
+KERNEL_ENV = "REPRO_KERNEL"
+
+
+def validate_kernel(kernel: "str | None") -> "str | None":
+    """Check a ``kernel=`` argument, returning it unchanged.
+
+    ``None`` (resolve at run time, honouring :data:`KERNEL_ENV`) and the
+    names in :data:`KERNEL_NAMES` are accepted.
+    """
+    if kernel is not None and kernel not in KERNEL_NAMES:
+        raise InvalidParameterError(
+            f"unknown kernel {kernel!r}; expected one of {list(KERNEL_NAMES)} or None"
+        )
+    return kernel
+
+
+def _native_lib():
+    """The loaded native kernel library, or ``None`` when unavailable."""
+    from repro.matrix_profile import _native
+
+    return _native.load()
+
+
+def available_kernels() -> tuple:
+    """The concrete kernels usable right now (``"auto"`` excluded)."""
+    names = ["oracle", "numpy"]
+    if _native_lib() is not None:
+        names.append("native")
+    return tuple(names)
+
+
+_warned_native_fallback = False
+
+
+def resolve_kernel(kernel: "str | None") -> str:
+    """Resolve a ``kernel=`` argument to a concrete kernel name.
+
+    ``None`` reads :data:`KERNEL_ENV` (default ``"auto"``); ``"auto"``
+    prefers the native kernel when loadable and falls back to
+    ``"numpy"``.  An explicit ``"native"`` request that cannot be served
+    warns once per process and degrades to ``"numpy"`` — callers never
+    have to guard on compiler availability.
+    """
+    global _warned_native_fallback
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV) or "auto"
+    validate_kernel(kernel)
+    if kernel == "auto":
+        return "native" if _native_lib() is not None else "numpy"
+    if kernel == "native" and _native_lib() is None:
+        if not _warned_native_fallback:
+            from repro.matrix_profile import _native
+
+            warnings.warn(
+                "native STOMP kernel unavailable "
+                f"({_native.unavailable_reason()}); falling back to the "
+                "numpy row-block kernel",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _warned_native_fallback = True
+        return "numpy"
+    return kernel
+
+
+class _SweepContext:
+    """Per-sweep precomputation shared by every kernel.
+
+    All arrays live in mean-centered space (``values`` is
+    ``SlidingStats.centered_values``), which is where the recurrence runs.
+    """
+
+    __slots__ = (
+        "values",
+        "window",
+        "count",
+        "radius",
+        "means",
+        "stds",
+        "first_col",
+        "compensated",
+        "coef",
+        "inv_stds",
+        "half_wq",
+        "const_cols",
+        "has_const",
+        "const_row_sel",
+        "sqrt_window",
+    )
+
+    def __init__(self, values, window, radius, means, stds, first_col, compensated):
+        self.values = values
+        self.window = int(window)
+        self.count = int(means.size)
+        self.radius = int(radius)
+        self.means = means
+        self.stds = stds
+        self.first_col = first_col
+        self.compensated = bool(compensated)
+        # Row/column coefficients of the selection scores.  ``inv_stds``
+        # holds 0 (not inf) at constant columns so the blocked multiply
+        # never manufactures inf/NaN; those columns are overwritten with
+        # their convention score before the argmax either way.
+        self.coef = window * means
+        constant = stds == 0.0
+        self.inv_stds = np.zeros_like(stds)
+        np.divide(1.0, stds, out=self.inv_stds, where=~constant)
+        self.half_wq = 0.5 * (window * stds)
+        self.const_cols = np.flatnonzero(constant)
+        self.has_const = self.const_cols.size > 0
+        # Selection scores of a constant *query* row: distance 0 to the
+        # constant columns, sqrt(m) to everything else — any strictly
+        # decreasing map of the distance convention works, 1.0 / 0.5 is
+        # the cheapest.
+        self.const_row_sel = np.where(constant, 1.0, 0.5)
+        self.sqrt_window = float(np.sqrt(window))
+
+
+def _readonly_view(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+def _seed_into(ctx: _SweepContext, out: np.ndarray, offset: int) -> None:
+    """Fresh MASS seed of row ``offset`` into ``out``.
+
+    Row 0's seed *is* the first-row products; any other row costs one FFT.
+    """
+    if offset == 0:
+        np.copyto(out, ctx.first_col)
+    else:
+        np.copyto(
+            out,
+            sliding_dot_product(ctx.values[offset : offset + ctx.window], ctx.values),
+        )
+
+
+def _advance_into(
+    ctx: _SweepContext, prev: np.ndarray, out: np.ndarray, offset: int, tmp: np.ndarray
+) -> None:
+    """One recurrence step ``prev`` (row ``offset-1``) → ``out`` (row ``offset``).
+
+    The operation order replicates the oracle's vectorised expression
+    ``(qt[:-1] - a·u) + b·v`` exactly, so the fast kernels accumulate the
+    same rounding as the reference.  ``tmp`` is a reused scratch buffer.
+    """
+    values = ctx.values
+    count = ctx.count
+    window = ctx.window
+    scratch = tmp[: count - 1]
+    np.multiply(values[offset - 1], values[: count - 1], out=scratch)
+    np.subtract(prev[: count - 1], scratch, out=out[1:])
+    np.multiply(values[offset + window - 1], values[window : window + count - 1], out=scratch)
+    np.add(out[1:], scratch, out=out[1:])
+    out[0] = ctx.first_col[offset]
+
+
+def _fill_selection_row(
+    ctx: _SweepContext, qt: np.ndarray, offset: int, sel: np.ndarray
+) -> None:
+    """Selection scores of one row into ``sel`` (exclusion zone applied)."""
+    if ctx.stds[offset] == 0.0:
+        np.copyto(sel, ctx.const_row_sel)
+    else:
+        np.multiply(ctx.coef[offset], ctx.means, out=sel)
+        np.subtract(qt, sel, out=sel)
+        np.multiply(sel, ctx.inv_stds, out=sel)
+        if ctx.has_const:
+            sel[ctx.const_cols] = ctx.half_wq[offset]
+    apply_exclusion_zone(sel, offset, ctx.radius, value=-np.inf)
+
+
+def _winner_distances(
+    ctx: _SweepContext, offsets: np.ndarray, bests: np.ndarray, qt_best: np.ndarray
+) -> np.ndarray:
+    """Distances of the ``(offsets[r], bests[r])`` winners, bit-equal to oracle rows.
+
+    Vectorised transcription of the element-wise arithmetic of
+    :func:`~repro.matrix_profile.distance_profile.distances_from_dot_products`
+    (including the compensated centering of
+    :func:`~repro.stats.distance.centered_dot_products` when the sweep
+    decided it is needed), preserving the operation order so each result
+    carries the identical bits the oracle's full row would.
+    """
+    window = ctx.window
+    query_stds = ctx.stds[offsets]
+    target_stds = ctx.stds[bests]
+    centered = centered_dot_products(
+        qt_best,
+        window,
+        ctx.means[offsets],
+        ctx.means[bests],
+        compensated=ctx.compensated,
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        correlation = centered / ((window * query_stds) * target_stds)
+    np.clip(correlation, -1.0, 1.0, out=correlation)
+    squared = 2.0 * window * (1.0 - correlation)
+    np.maximum(squared, 0.0, out=squared)
+    distances = np.sqrt(squared)
+    query_constant = query_stds == 0.0
+    target_constant = target_stds == 0.0
+    distances[query_constant | target_constant] = ctx.sqrt_window
+    distances[query_constant & target_constant] = 0.0
+    return distances
+
+
+# --------------------------------------------------------------------- #
+# kernels (one reseed segment each)
+# --------------------------------------------------------------------- #
+def _oracle_segment(
+    ctx,
+    qt,
+    sel,
+    seg_start,
+    seg_stop,
+    base,
+    profile,
+    indices,
+    profile_callback,
+    ingest,
+):
+    """Reference per-row sweep: full distance rows, shared selection."""
+    for offset in range(seg_start, seg_stop):
+        if offset > seg_start:
+            qt[1:] = (
+                qt[:-1]
+                - ctx.values[offset - 1] * ctx.values[: ctx.count - 1]
+                + ctx.values[offset + ctx.window - 1]
+                * ctx.values[ctx.window : ctx.window + ctx.count - 1]
+            )
+            qt[0] = ctx.first_col[offset]
+        distances = distances_from_dot_products(
+            qt,
+            ctx.window,
+            float(ctx.means[offset]),
+            float(ctx.stds[offset]),
+            ctx.means,
+            ctx.stds,
+            compensated=ctx.compensated,
+        )
+        if ingest is not None:
+            ingest.ingest_centered_profile(offset, _readonly_view(qt))
+        if profile_callback is not None:
+            snapshot = qt.copy()
+            snapshot.flags.writeable = False
+            profile_callback(offset, snapshot, distances)
+        _fill_selection_row(ctx, qt, offset, sel)
+        best = int(np.argmax(sel))
+        if sel[best] != -np.inf:
+            profile[offset - base] = distances[best]
+            indices[offset - base] = best
+
+
+def _numpy_segment(
+    ctx,
+    workspace,
+    seg_start,
+    seg_stop,
+    base,
+    best,
+    best_qt,
+    valid,
+    ingest,
+):
+    """Row-pipelined sweep of one reseed segment.
+
+    Each row is advanced from the still cache-hot previous row (the two
+    rows of the QT block ping-pong: the advance reads one and writes the
+    other, so nothing aliases), scored and reduced immediately, and only
+    the winner's ``(column, dot product)`` pair is recorded.  Winner
+    *distances* are not computed here — the driver converts every
+    recorded winner in one vectorized :func:`_winner_distances` pass
+    after the sweep.
+    """
+    qt_block, sel, tmp = workspace
+    prev = None
+    t = 0
+    for offset in range(seg_start, seg_stop):
+        row = qt_block[t]
+        t ^= 1
+        if prev is None:
+            _seed_into(ctx, row, offset)
+        else:
+            _advance_into(ctx, prev, row, offset, tmp)
+        prev = row
+        if ingest is not None:
+            ingest.ingest_centered_profile(offset, _readonly_view(row))
+        _fill_selection_row(ctx, row, offset, sel)
+        winner = int(np.argmax(sel))
+        if sel[winner] != -np.inf:
+            pos = offset - base
+            valid[pos] = True
+            best[pos] = winner
+            best_qt[pos] = row[winner]
+
+
+def _native_segment(ctx, lib, qt, seg_start, seg_stop, base, profile, indices):
+    """Dispatch one reseed segment to the compiled kernel."""
+    lib.repro_stomp_segment(
+        ctx.values,
+        ctx.window,
+        ctx.count,
+        ctx.means,
+        ctx.stds,
+        ctx.inv_stds,
+        ctx.coef,
+        ctx.first_col,
+        qt,
+        seg_start,
+        seg_stop,
+        ctx.radius,
+        1 if ctx.compensated else 0,
+        1 if ctx.has_const else 0,
+        profile[seg_start - base : seg_stop - base],
+        indices[seg_start - base : seg_stop - base],
+    )
+
+
+# --------------------------------------------------------------------- #
+# the driver
+# --------------------------------------------------------------------- #
+def run_sweep(
+    values: np.ndarray,
+    window: int,
+    radius: int,
+    means: np.ndarray,
+    stds: np.ndarray,
+    first_row_dots: np.ndarray,
+    start: int,
+    stop: int,
+    *,
+    kernel: "str | None" = None,
+    compensated: "bool | None" = None,
+    reseed_interval: "int | None" = None,
+    profile_callback: "Callable[[int, np.ndarray, np.ndarray], None] | None" = None,
+    ingest=None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Profile/index arrays for query rows ``[start, stop)``.
+
+    Parameters
+    ----------
+    values:
+        The **mean-centered** series the recurrence runs on
+        (``SlidingStats.centered_values``).
+    means, stds:
+        Per-window statistics of the centered series.
+    first_row_dots:
+        ``QT[0, j]`` for every ``j`` — by self-join symmetry also the
+        ``QT[i, 0]`` column the recurrence cannot reach.
+    reseed_interval:
+        Rows advanced by the recurrence before a fresh MASS seed;
+        ``None`` keeps one unbroken chain (the serial-sweep contract).
+        Segment boundaries are part of the numerical result, so all
+        kernels share them: bit-for-bit equality holds per
+        ``(start, stop, reseed_interval)`` shape.
+    profile_callback, ingest:
+        Per-row hooks (see the module docstring for the buffer-ownership
+        contract).  A ``profile_callback`` needs full distance rows and
+        therefore always runs on the oracle kernel; an ``ingest`` object
+        (a :class:`~repro.core.partial_profile.PartialProfileStore` or
+        fragment) is fed row views by the oracle and numpy kernels, so a
+        native request with ingest runs the numpy kernel.
+
+    Returns
+    -------
+    (profile, indices):
+        Arrays of length ``stop - start``; rows with no valid match
+        (fully excluded) hold ``inf`` / ``-1``.
+    """
+    count = int(means.size)
+    length = int(stop) - int(start)
+    if length < 0 or start < 0 or stop > count:
+        raise InvalidParameterError(
+            f"row range [{start}, {stop}) out of bounds for {count} rows"
+        )
+    profile = np.full(length, np.inf, dtype=np.float64)
+    indices = np.full(length, -1, dtype=np.int64)
+    if length == 0:
+        return profile, indices
+
+    name = resolve_kernel(kernel)
+    if profile_callback is not None:
+        name = "oracle"
+    elif ingest is not None and name == "native":
+        name = "numpy"
+
+    if compensated is None:
+        compensated = compensation_needed(means, means, stds)
+    ctx = _SweepContext(values, window, radius, means, stds, first_row_dots, compensated)
+
+    # Segment layout replicates the historical reseed loop: a fresh seed
+    # row followed by ``reseed_interval`` recurrence advances.
+    interval = length if reseed_interval is None else int(reseed_interval)
+    seg_len = interval + 1
+
+    lib = _native_lib() if name == "native" else None
+    if name == "native" and lib is None:  # pragma: no cover - racy unload guard
+        name = "numpy"
+
+    if name == "numpy":
+        workspace = (
+            np.empty((2, count), dtype=np.float64),
+            np.empty(count, dtype=np.float64),
+            np.empty(count, dtype=np.float64),
+        )
+        best = np.empty(length, dtype=np.int64)
+        best_qt = np.empty(length, dtype=np.float64)
+        valid = np.zeros(length, dtype=bool)
+    else:
+        qt = np.empty(count, dtype=np.float64)
+        sel = np.empty(count, dtype=np.float64) if name == "oracle" else None
+
+    seg_start = start
+    while seg_start < stop:
+        seg_stop = min(seg_start + seg_len, stop)
+        if name == "numpy":
+            _numpy_segment(
+                ctx, workspace, seg_start, seg_stop, start, best, best_qt, valid, ingest
+            )
+        else:
+            _seed_into(ctx, qt, seg_start)
+            if name == "native":
+                _native_segment(ctx, lib, qt, seg_start, seg_stop, start, profile, indices)
+            else:
+                _oracle_segment(
+                    ctx,
+                    qt,
+                    sel,
+                    seg_start,
+                    seg_stop,
+                    start,
+                    profile,
+                    indices,
+                    profile_callback,
+                    ingest,
+                )
+        seg_start = seg_stop
+
+    if name == "numpy":
+        chosen = np.flatnonzero(valid)
+        if chosen.size:
+            profile[chosen] = _winner_distances(
+                ctx, chosen + start, best[chosen], best_qt[chosen]
+            )
+            indices[chosen] = best[chosen]
+    return profile, indices

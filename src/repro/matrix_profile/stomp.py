@@ -19,14 +19,10 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.matrix_profile.distance_profile import distances_from_dot_products
-from repro.matrix_profile.exclusion import (
-    apply_exclusion_zone,
-    default_exclusion_radius,
-)
+from repro.matrix_profile.exclusion import default_exclusion_radius
+from repro.matrix_profile.kernels import run_sweep
 from repro.matrix_profile.profile import MatrixProfile
 from repro.series.validation import validate_series, validate_subsequence_length
-from repro.stats.distance import compensation_needed
 from repro.stats.fft import sliding_dot_product
 from repro.stats.sliding import SlidingStats
 
@@ -44,6 +40,7 @@ def stomp(
     engine: object | None = None,
     n_jobs: int | None = None,
     block_size: int | None = None,
+    kernel: str | None = None,
     centered_first_row_qt: np.ndarray | None = None,
     segment_pool=None,
     segment_key: str | None = None,
@@ -62,12 +59,14 @@ def stomp(
         Optional precomputed sliding statistics of ``series``.
     profile_callback:
         Optional hook invoked as ``callback(offset, dot_products, distances)``
-        for every query offset, *before* the exclusion zone is applied to the
-        returned copy.  The dot products are taken on the **mean-centered**
-        series (the space the sweep runs in — see the Notes); VALMOD's
-        partial-profile store ingests that form directly via
-        ``ingest_store``, which is the preferred hook because it does not
-        force the engine serial.
+        for every query offset, with no exclusion zone applied to either
+        array.  ``dot_products`` is a **read-only copy** of the row's
+        products on the **mean-centered** series (the space the sweep runs
+        in — see the Notes) and ``distances`` is a fresh array the callback
+        owns outright; both are safe to keep across rows (the sweep never
+        touches them again).  VALMOD's partial-profile store ingests the
+        centered form directly via ``ingest_store``, which is the preferred
+        hook because it does not force the engine serial.
     ingest_store:
         An empty :class:`~repro.core.partial_profile.PartialProfileStore`
         whose ``base_length`` equals ``window``: every row's centered dot
@@ -83,6 +82,13 @@ def stomp(
         (:func:`repro.engine.partition.partitioned_stomp`).
     n_jobs, block_size:
         Engine tuning knobs, ignored when ``engine`` is ``None``.
+    kernel:
+        Which sweep kernel advances the recurrence — ``"auto"`` (default;
+        honours ``REPRO_KERNEL``), ``"oracle"``, ``"numpy"`` or
+        ``"native"``; see :mod:`repro.matrix_profile.kernels`.  All
+        kernels produce identical profiles and indices; a
+        ``profile_callback`` (which needs full distance rows) always runs
+        on the oracle kernel.
     segment_pool, segment_key:
         Shared-memory segment reuse across engine calls (see
         :func:`repro.engine.partition.partitioned_stomp`); ignored when
@@ -134,6 +140,7 @@ def stomp(
             executor=engine,
             n_jobs=n_jobs,
             block_size=block_size,
+            kernel=kernel,
             exclusion_radius=exclusion_radius,
             stats=stats,
             profile_callback=profile_callback,
@@ -154,53 +161,33 @@ def stomp(
     if ingest_store is not None:
         ingest_store.require_ready_for_ingest(window)
 
-    profile = np.full(count, np.inf, dtype=np.float64)
-    indices = np.full(count, -1, dtype=np.int64)
-
     if centered_first_row_qt is not None:
-        qt = np.array(np.asarray(centered_first_row_qt, dtype=np.float64))
-        if qt.shape != (count,):
+        first_row_dots = np.asarray(centered_first_row_qt, dtype=np.float64)
+        if first_row_dots.shape != (count,):
             raise InvalidParameterError(
-                f"centered_first_row_qt must have {count} entries, got shape {qt.shape}"
+                "centered_first_row_qt must have "
+                f"{count} entries, got shape {first_row_dots.shape}"
             )
     else:
         first_query = sweep_values[:window]
-        qt = sliding_dot_product(first_query, sweep_values)
-    qt_first_column = np.array(qt)  # QT[i, 0] for every i
+        first_row_dots = sliding_dot_product(first_query, sweep_values)
 
-    # One cancellation-risk decision for the whole sweep (every row shares
-    # the same means), keeping the reduction passes out of the hot loop.
-    compensated = compensation_needed(means, means, stds)
-
-    for offset in range(count):
-        if offset > 0:
-            # Vectorised application of the STOMP recurrence for row `offset`.
-            qt[1:] = (
-                qt[:-1]
-                - sweep_values[offset - 1] * sweep_values[: count - 1]
-                + sweep_values[offset + window - 1]
-                * sweep_values[window : window + count - 1]
-            )
-            qt[0] = qt_first_column[offset]
-        distances = distances_from_dot_products(
-            qt,
-            window,
-            float(means[offset]),
-            float(stds[offset]),
-            means,
-            stds,
-            compensated=compensated,
-        )
-        if ingest_store is not None:
-            ingest_store.ingest_centered_profile(offset, qt)
-        if profile_callback is not None:
-            profile_callback(offset, qt, distances)
-        masked = np.array(distances)
-        apply_exclusion_zone(masked, offset, radius)
-        best = int(np.argmin(masked))
-        if np.isfinite(masked[best]):
-            profile[offset] = masked[best]
-            indices[offset] = best
+    # The whole sweep — recurrence, row reductions, hook dispatch — lives
+    # in the kernel layer; the serial contract is one unbroken recurrence
+    # chain (reseed_interval=None).
+    profile, indices = run_sweep(
+        sweep_values,
+        window,
+        radius,
+        means,
+        stds,
+        first_row_dots,
+        0,
+        count,
+        kernel=kernel,
+        profile_callback=profile_callback,
+        ingest=ingest_store,
+    )
 
     return MatrixProfile(
         distances=profile, indices=indices, window=window, exclusion_radius=radius

@@ -73,6 +73,10 @@ class ServiceClient:
     Usable as a context manager (``with ServiceClient(...) as client:``);
     :meth:`close` drops the socket, and any later call transparently opens
     a new one.
+
+    Not thread-safe: the kept-alive connection carries one in-flight
+    request at a time.  Give each thread its own client (they are cheap —
+    the socket opens lazily on first use).
     """
 
     def __init__(

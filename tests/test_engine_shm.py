@@ -168,14 +168,14 @@ class TestEngineTransport:
             "first_row_dots": first_row,
         }
         direct = _block_task(
-            ((sweep, means, stds, first_row), window, 6, 10, 60, 512, (4, 4, "tight"))
+            ((sweep, means, stds, first_row), window, 6, 10, 60, 512, (4, 4, "tight"), None)
         )
         buffer = SharedSeriesBuffer.create(arrays)
         if buffer is None:
             pytest.skip("platform refuses shared-memory segments at runtime")
         try:
             via_shm = _block_task(
-                (buffer.handle, window, 6, 10, 60, 512, (4, 4, "tight"))
+                (buffer.handle, window, 6, 10, 60, 512, (4, 4, "tight"), None)
             )
         finally:
             buffer.close()

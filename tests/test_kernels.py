@@ -1,0 +1,384 @@
+"""Sweep-kernel regression pins: bit-for-bit equality, aliasing, allocations.
+
+The PR that introduced :mod:`repro.matrix_profile.kernels` made three
+promises, each pinned here:
+
+* the numpy row-block kernel and the compiled kernel produce **identical**
+  profiles and indices to the serial oracle — not merely close — across
+  window sizes, reseed intervals, seam-straddling partial ranges, tiny
+  series and constant/near-constant segments, for every entry point
+  (``stomp``, the engine blocks, VALMOD's base pass, ``stomp-range``,
+  SKIMP);
+* the fast path makes **no per-row O(n) allocations** (the old loop
+  allocated three O(n) temporaries per row);
+* the hooks no longer alias the recurrence buffer: ``profile_callback``
+  receives a read-only copy plus an owned distances array (safe to keep
+  across rows), ``ingest`` receives a read-only view consumed during the
+  call.
+
+Zero-variance behaviour (flat and near-flat segments, including at block
+seams) is pinned both at the ``distances_from_dot_products`` convention
+level and through the cross-kernel equality sweeps.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api.session import Analysis, EngineConfig
+from repro.baselines.stomp_range import stomp_range
+from repro.core.skimp import skimp
+from repro.core.valmod import valmod
+from repro.engine.partition import partitioned_stomp
+from repro.exceptions import InvalidParameterError
+from repro.matrix_profile import _native, kernels
+from repro.matrix_profile.distance_profile import distances_from_dot_products
+from repro.matrix_profile.exclusion import default_exclusion_radius
+from repro.matrix_profile.kernels import available_kernels, resolve_kernel, run_sweep
+from repro.matrix_profile.stomp import stomp
+from repro.stats.fft import sliding_dot_product
+from repro.stats.sliding import SlidingStats
+
+#: Fast kernels actually usable in this environment ("numpy" always is;
+#: "native" joins when a C compiler is present — the CI fallback leg sets
+#: REPRO_NO_NATIVE=1 so both configurations stay exercised).
+FAST_KERNELS = [name for name in ("numpy", "native") if name in available_kernels()]
+
+
+def _walk(n: int, seed: int = 7) -> np.ndarray:
+    return np.cumsum(np.random.default_rng(seed).normal(size=n))
+
+
+def _seam_series(n: int = 320) -> np.ndarray:
+    """A walk with two flat runs, one straddling the 128-row block seam."""
+    values = _walk(n, seed=3)
+    values[50:90] = values[50]  # flat run well inside the first block
+    values[120:140] = values[120]  # flat run straddling offset 128
+    return values
+
+
+SERIES_CASES = {
+    "walk": (_walk(300), 32),
+    "offset": (1e6 + _walk(300, seed=11), 32),  # triggers compensated centering
+    "flat": (np.full(120, 3.25), 16),
+    "seam": (_seam_series(), 24),
+    "tiny": (_walk(40, seed=5), 8),
+    "w3": (_walk(90, seed=9), 3),
+}
+
+
+def _sweep_args(values: np.ndarray, window: int):
+    stats = SlidingStats(np.asarray(values, dtype=np.float64))
+    centered = stats.centered_values
+    means, stds = stats.centered_mean_std(window)
+    first = sliding_dot_product(centered[:window], centered)
+    radius = default_exclusion_radius(window)
+    return centered, window, radius, means, stds, first
+
+
+# --------------------------------------------------------------------- #
+# bit-for-bit equality (satellite: the property test)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("case", sorted(SERIES_CASES))
+@pytest.mark.parametrize("reseed", [None, 64, 17])
+def test_kernels_bit_equal_full_sweep(case, reseed):
+    values, window = SERIES_CASES[case]
+    args = _sweep_args(values, window)
+    count = args[3].size
+    reference = run_sweep(*args, 0, count, kernel="oracle", reseed_interval=reseed)
+    for name in FAST_KERNELS:
+        profile, indices = run_sweep(
+            *args, 0, count, kernel=name, reseed_interval=reseed
+        )
+        np.testing.assert_array_equal(profile, reference[0], err_msg=name)
+        np.testing.assert_array_equal(indices, reference[1], err_msg=name)
+
+
+@pytest.mark.parametrize("case", ["walk", "offset", "seam"])
+def test_kernels_bit_equal_partial_ranges(case):
+    """Row ranges that start mid-series and straddle reseed boundaries."""
+    values, window = SERIES_CASES[case]
+    args = _sweep_args(values, window)
+    count = args[3].size
+    start = count // 3
+    stop = min(count, start + 123)
+    for reseed in (None, 50):
+        reference = run_sweep(
+            *args, start, stop, kernel="oracle", reseed_interval=reseed
+        )
+        for name in FAST_KERNELS:
+            result = run_sweep(*args, start, stop, kernel=name, reseed_interval=reseed)
+            np.testing.assert_array_equal(result[0], reference[0], err_msg=name)
+            np.testing.assert_array_equal(result[1], reference[1], err_msg=name)
+
+
+@pytest.mark.parametrize("kernel", FAST_KERNELS)
+def test_entry_points_bit_equal(kernel):
+    """stomp / engine blocks / valmod / stomp-range / skimp, kernel threaded."""
+    values, window = SERIES_CASES["seam"]
+    reference = stomp(values, window, kernel="oracle")
+
+    fast = stomp(values, window, kernel=kernel)
+    np.testing.assert_array_equal(fast.distances, reference.distances)
+    np.testing.assert_array_equal(fast.indices, reference.indices)
+
+    blocked_ref = partitioned_stomp(
+        values, window, executor="serial", block_size=100, kernel="oracle"
+    )
+    blocked = partitioned_stomp(
+        values, window, executor="serial", block_size=100, kernel=kernel
+    )
+    np.testing.assert_array_equal(blocked.distances, blocked_ref.distances)
+    np.testing.assert_array_equal(blocked.indices, blocked_ref.indices)
+
+    valmod_ref = valmod(values, window, window + 2, kernel="oracle")
+    valmod_fast = valmod(values, window, window + 2, kernel=kernel)
+    np.testing.assert_array_equal(
+        valmod_fast.base_profile.distances, valmod_ref.base_profile.distances
+    )
+    np.testing.assert_array_equal(
+        valmod_fast.base_profile.indices, valmod_ref.base_profile.indices
+    )
+    for length, result in valmod_ref.length_results.items():
+        assert valmod_fast.length_results[length].motifs == result.motifs
+
+    range_ref = stomp_range(values, window, window + 2, kernel="oracle")
+    range_fast = stomp_range(values, window, window + 2, kernel=kernel)
+    assert range_fast.motifs_by_length == range_ref.motifs_by_length
+
+    pan_ref = skimp(values, window, window + 2, kernel="oracle")
+    pan_fast = skimp(values, window, window + 2, kernel=kernel)
+    np.testing.assert_array_equal(
+        pan_fast.normalized_profiles, pan_ref.normalized_profiles
+    )
+    np.testing.assert_array_equal(pan_fast.index_profiles, pan_ref.index_profiles)
+
+
+def test_session_kernel_threads_through_api():
+    values, window = SERIES_CASES["walk"]
+    reference = None
+    for kernel in ("oracle", *FAST_KERNELS):
+        session = Analysis(values, engine=EngineConfig(kernel=kernel))
+        profile = session.matrix_profile(window).value
+        if reference is None:
+            reference = profile
+        else:
+            np.testing.assert_array_equal(profile.distances, reference.distances)
+            np.testing.assert_array_equal(profile.indices, reference.indices)
+
+
+# --------------------------------------------------------------------- #
+# allocation regression (satellite: no per-row O(n) temporaries)
+# --------------------------------------------------------------------- #
+class _CountingNumpy:
+    """Proxy for the kernels module's ``np`` that counts array constructions."""
+
+    _CONSTRUCTORS = frozenset(
+        {"empty", "zeros", "full", "array", "empty_like", "zeros_like", "arange"}
+    )
+
+    def __init__(self):
+        self.calls = 0
+
+    def __getattr__(self, name):
+        attr = getattr(np, name)
+        if name in self._CONSTRUCTORS:
+            def counted(*args, **kwargs):
+                self.calls += 1
+                return attr(*args, **kwargs)
+
+            return counted
+        return attr
+
+
+def test_numpy_kernel_allocation_count_is_row_independent(monkeypatch):
+    """Doubling the row count must not change the kernel's allocation count.
+
+    The pre-kernel loop allocated three O(n) temporaries per row; the
+    row-block kernel allocates its workspace once per sweep.  Counting the
+    array constructions issued from the kernels module at two different
+    series sizes pins that: any per-row allocation would scale the count
+    with the number of rows.
+    """
+    counts = []
+    for n in (240, 480):
+        args = _sweep_args(_walk(n), 24)
+        proxy = _CountingNumpy()
+        monkeypatch.setattr(kernels, "np", proxy)
+        try:
+            run_sweep(*args, 0, args[3].size, kernel="numpy")
+        finally:
+            monkeypatch.setattr(kernels, "np", np)
+        counts.append(proxy.calls)
+    assert counts[0] == counts[1], counts
+
+
+# --------------------------------------------------------------------- #
+# aliasing contract (satellite: the qt use-after-advance fix)
+# --------------------------------------------------------------------- #
+def test_profile_callback_rows_safe_to_keep_across_rows():
+    values, window = SERIES_CASES["walk"]
+    kept_qt, kept_distances, snapshots = [], [], []
+
+    def callback(offset, dot_products, distances):
+        kept_qt.append(dot_products)
+        kept_distances.append(distances)
+        snapshots.append((dot_products.copy(), distances.copy()))
+
+    stomp(values, window, profile_callback=callback)
+
+    assert len(kept_qt) == values.size - window + 1
+    for row, (qt, distances) in enumerate(zip(kept_qt, kept_distances)):
+        qt_then, distances_then = snapshots[row]
+        # The arrays a callback keeps must still hold row ``row``'s values
+        # after the sweep advanced past it — the old code handed out the
+        # buffer the recurrence mutated next row.
+        np.testing.assert_array_equal(qt, qt_then)
+        np.testing.assert_array_equal(distances, distances_then)
+        assert not qt.flags.writeable  # read-only copy
+        assert distances.flags.writeable  # owned outright
+    # Owned means no hidden sharing between consecutive rows either.
+    assert not np.shares_memory(kept_distances[0], kept_distances[1])
+    assert not np.shares_memory(kept_qt[0], kept_qt[1])
+
+
+class _IngestRecorder:
+    """Minimal ingest hook: copies what it keeps, as the contract demands."""
+
+    def __init__(self):
+        self.rows = {}
+        self.writeable = []
+
+    def ingest_centered_profile(self, offset, dot_products):
+        self.writeable.append(dot_products.flags.writeable)
+        self.rows[int(offset)] = np.array(dot_products)
+
+
+@pytest.mark.parametrize("kernel", ["oracle", *FAST_KERNELS])
+def test_ingest_views_read_only_and_consistent(kernel):
+    """Every kernel feeds ingest the same read-only centered rows.
+
+    A native request with ingest runs the numpy kernel (the compiled loop
+    has no per-row hook), so this also pins that silent downgrade.
+    """
+    values, window = SERIES_CASES["walk"]
+    args = _sweep_args(values, window)
+    count = args[3].size
+
+    reference = _IngestRecorder()
+    run_sweep(*args, 0, count, kernel="oracle", ingest=reference)
+
+    recorder = _IngestRecorder()
+    run_sweep(*args, 0, count, kernel=kernel, ingest=recorder)
+    assert not any(recorder.writeable)
+    assert recorder.rows.keys() == reference.rows.keys()
+    for offset, row in reference.rows.items():
+        np.testing.assert_array_equal(recorder.rows[offset], row)
+
+
+# --------------------------------------------------------------------- #
+# zero-variance conventions (satellite: std == 0 asymmetries)
+# --------------------------------------------------------------------- #
+def test_distance_conventions_for_constant_subsequences():
+    window = 8
+    qt = np.zeros(4)
+    means = np.array([0.0, 1.0, -2.0, 0.5])
+    stds = np.array([0.0, 1.0, 0.0, 2.0])
+
+    # Constant query: 0 against constant targets, sqrt(m) elsewhere.
+    constant_query = distances_from_dot_products(qt, window, 0.0, 0.0, means, stds)
+    np.testing.assert_array_equal(
+        constant_query,
+        np.where(stds == 0.0, 0.0, np.sqrt(window)),
+    )
+
+    # Non-constant query: sqrt(m) exactly at constant target columns.
+    mixed = distances_from_dot_products(qt, window, 0.0, 1.5, means, stds)
+    np.testing.assert_array_equal(
+        mixed[stds == 0.0], np.full(2, np.sqrt(window))
+    )
+    assert np.all(np.isfinite(mixed))
+
+
+def test_flat_series_profile_is_all_zero_for_every_kernel():
+    values, window = SERIES_CASES["flat"]
+    for kernel in ("oracle", *FAST_KERNELS):
+        profile = stomp(values, window, kernel=kernel)
+        # Every subsequence is constant: distance 0 to any non-excluded one.
+        np.testing.assert_array_equal(profile.distances, np.zeros(len(profile)))
+        assert np.all(profile.indices >= 0)
+
+
+def test_near_flat_seam_profiles_finite_and_conventional():
+    values, window = SERIES_CASES["seam"]
+    stats = SlidingStats(values)
+    _, stds = stats.centered_mean_std(window)
+    constant_rows = np.flatnonzero(stds == 0.0)
+    assert constant_rows.size > 0  # the fixture must exercise the case
+    for kernel in ("oracle", *FAST_KERNELS):
+        profile = partitioned_stomp(
+            values, window, executor="serial", block_size=128, kernel=kernel
+        )
+        assert np.all(np.isfinite(profile.distances))
+        # Two disjoint flat runs exist, so every constant row has an exact
+        # constant partner: distance exactly 0, matched to a constant row.
+        np.testing.assert_array_equal(
+            profile.distances[constant_rows], np.zeros(constant_rows.size)
+        )
+        assert np.all(stds[profile.indices[constant_rows]] == 0.0)
+
+
+# --------------------------------------------------------------------- #
+# selection, fallback and configuration plumbing
+# --------------------------------------------------------------------- #
+def test_validate_kernel_rejects_unknown_names():
+    with pytest.raises(InvalidParameterError):
+        kernels.validate_kernel("fortran")
+    with pytest.raises(InvalidParameterError):
+        run_sweep(*_sweep_args(_walk(60), 8), 0, 1, kernel="fortran")
+    with pytest.raises(InvalidParameterError):
+        EngineConfig(kernel="fortran")
+
+
+def test_engine_config_kernel_roundtrip():
+    config = EngineConfig(executor="serial", kernel="numpy")
+    assert config.as_dict()["kernel"] == "numpy"
+    assert EngineConfig.from_dict(config.as_dict()).kernel == "numpy"
+    assert EngineConfig.from_dict({"executor": None}).kernel is None
+
+
+def test_kernel_env_override(monkeypatch):
+    monkeypatch.setenv(kernels.KERNEL_ENV, "oracle")
+    assert resolve_kernel(None) == "oracle"
+    monkeypatch.setenv(kernels.KERNEL_ENV, "")
+    assert resolve_kernel(None) in ("numpy", "native")
+
+
+@pytest.fixture
+def _native_reset():
+    """Restore the native loader's cached probe state around env flips."""
+    yield
+    _native.reset()
+
+
+def test_native_fallback_warns_once_and_degrades(monkeypatch, _native_reset):
+    monkeypatch.setenv(_native.DISABLE_ENV, "1")
+    _native.reset()
+    monkeypatch.setattr(kernels, "_warned_native_fallback", False)
+
+    assert "native" not in available_kernels()
+    assert resolve_kernel("auto") == "numpy"
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        assert resolve_kernel("native") == "numpy"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # the warning fires once per process
+        assert resolve_kernel("native") == "numpy"
+
+    # An explicit native request still computes (on the numpy kernel).
+    values, window = SERIES_CASES["tiny"]
+    fast = stomp(values, window, kernel="native")
+    reference = stomp(values, window, kernel="oracle")
+    np.testing.assert_array_equal(fast.distances, reference.distances)

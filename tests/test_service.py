@@ -205,7 +205,11 @@ class TestConcurrency:
                 results: dict[int, float] = {}
 
                 def post(tag: int) -> None:
-                    envelope, _ = local.analyze(
+                    # ServiceClient keeps one HTTP connection alive and is
+                    # not thread-safe; each thread needs its own (the main
+                    # thread polls ``local.stats()`` while these are parked).
+                    client = ServiceClient(port=background.port, timeout=120)
+                    envelope, _ = client.analyze(
                         values,
                         AnalysisRequest(
                             kind="mpdist", algo="_test_blocking", params={"tag": tag}
@@ -259,7 +263,9 @@ class TestConcurrency:
                 local = ServiceClient(port=background.port, timeout=120)
 
                 def post(tag: int) -> None:
-                    local.analyze(
+                    # Per-thread client: see test_queue_is_fifo_under_backpressure.
+                    client = ServiceClient(port=background.port, timeout=120)
+                    client.analyze(
                         values,
                         AnalysisRequest(
                             kind="mpdist",
