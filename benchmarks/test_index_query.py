@@ -1,0 +1,160 @@
+"""Cost of answering from the motif index vs recomputing.
+
+Two regimes land in ``BENCH_index.json`` at the repository root:
+
+* **query vs recompute** — answering ``kind=motif top=5`` from the
+  catalog against producing the same answer by recomputing every profile
+  in the corpus (even with every result sitting warm in the persistent
+  cache, assembling a cross-series top-k without the index means
+  re-running one request per indexed result);
+* **backfill throughput** — walking a ~50-result persisted corpus into a
+  cold catalog: results/second and rows/second.
+
+The query path must beat recompute-from-cache deterministically — it is
+a few SQLite point reads against ~50 envelope loads — so the speedup
+gate asserts on every box, single-core CI included.  The flush merges
+into an existing ``BENCH_index.json``, so a partial ``-k`` run never
+clobbers the other section.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.cache import CacheConfig
+from repro.api.requests import AnalysisRequest
+from repro.api.session import analyze
+from repro.index import MotifIndex, open_motif_index
+
+SERIES_COUNT = 5
+WINDOWS = tuple(range(32, 112, 8))  # 10 windows x 5 series = 50 results
+SERIES_LENGTH = 1024
+QUERY = "kind=motif top=5"
+QUERY_REPEATS = 25
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_index.json"
+
+_RESULTS: dict = {}
+
+
+def _flush() -> None:
+    existing: dict = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    payload = {
+        **existing,
+        "series_count": SERIES_COUNT,
+        "windows": list(WINDOWS),
+        "series_length": SERIES_LENGTH,
+        **_RESULTS,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def _corpus_series():
+    rng = np.random.default_rng(47)
+    return [
+        np.cumsum(rng.standard_normal(SERIES_LENGTH)) for _ in range(SERIES_COUNT)
+    ]
+
+
+def _populate(root: Path, all_series) -> int:
+    """Compute the 50-result corpus (persist + live-index it); returns rows."""
+    cache = CacheConfig(persist_dir=root / "results")
+    with open_motif_index(root) as index:
+        for position, values in enumerate(all_series):
+            with analyze(
+                values, name=f"series-{position}", cache_config=cache, index=index
+            ) as session:
+                session.run_many(
+                    [
+                        AnalysisRequest(
+                            kind="matrix_profile", algo="stomp", params={"window": w}
+                        )
+                        for w in WINDOWS
+                    ]
+                )
+        return index.count()
+
+
+def test_query_vs_recompute_from_cache(tmp_path) -> None:
+    all_series = _corpus_series()
+    rows = _populate(tmp_path, all_series)
+    assert rows > 0
+
+    # The indexed answer: repeated cross-series top-k queries.
+    with open_motif_index(tmp_path) as index:
+        assert index.series_count() == SERIES_COUNT  # the query ranks across all
+        started = time.perf_counter()
+        for _ in range(QUERY_REPEATS):
+            answer = index.answer(QUERY)
+        query_seconds = (time.perf_counter() - started) / QUERY_REPEATS
+    assert answer["count"] == 5
+
+    # The same answer without an index: re-run every request of the corpus
+    # (all of them warm persistent-cache hits) and rank the motifs by hand.
+    cache = CacheConfig(persist_dir=tmp_path / "results")
+    started = time.perf_counter()
+    best = []
+    for values in all_series:
+        with analyze(values, cache_config=cache) as session:
+            for window in WINDOWS:
+                result, source = session.run_with_info(
+                    AnalysisRequest(
+                        kind="matrix_profile", algo="stomp", params={"window": window}
+                    )
+                )
+                assert source == "persistent", "recompute must hit the warm cache"
+                best.extend(
+                    pair.normalized_distance for pair in result.payload.motifs(3)
+                )
+    recompute_seconds = time.perf_counter() - started
+    top_recomputed = sorted(best)[:5]
+
+    # Same answer, both ways (the oracle, at benchmark scale).
+    assert [row["score"] for row in answer["rows"]] == sorted(
+        row["score"] for row in answer["rows"]
+    )
+    assert np.allclose([row["score"] for row in answer["rows"]], top_recomputed)
+
+    speedup = recompute_seconds / max(query_seconds, 1e-9)
+    _RESULTS["query_vs_recompute"] = {
+        "indexed_results": SERIES_COUNT * len(WINDOWS),
+        "rows": rows,
+        "query_seconds": query_seconds,
+        "recompute_from_cache_seconds": recompute_seconds,
+        "speedup": speedup,
+        "query_repeats": QUERY_REPEATS,
+    }
+    _flush()
+    # A handful of SQLite point reads vs ~50 envelope loads: the index must
+    # win by an order of magnitude even on a loaded single core.
+    assert speedup > 10.0
+
+
+def test_backfill_throughput_on_50_result_corpus(tmp_path) -> None:
+    _populate(tmp_path, _corpus_series())
+    cold = MotifIndex(tmp_path / "cold.db")
+    started = time.perf_counter()
+    report = cold.backfill(tmp_path)
+    backfill_seconds = time.perf_counter() - started
+    rows = cold.count()
+    cold.close()
+    assert report["envelopes"] == SERIES_COUNT * len(WINDOWS)
+    assert report["skipped"] == 0
+    assert rows == report["rows_added"]
+
+    _RESULTS["backfill"] = {
+        "envelopes": report["envelopes"],
+        "rows": rows,
+        "seconds": backfill_seconds,
+        "results_per_second": report["envelopes"] / max(backfill_seconds, 1e-9),
+        "rows_per_second": rows / max(backfill_seconds, 1e-9),
+    }
+    _flush()

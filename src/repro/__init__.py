@@ -115,6 +115,7 @@ from repro.matrix_profile import (
     stamp,
     stomp,
 )
+from repro.index import MotifIndex, QuerySpec, open_motif_index
 from repro.series import DataSeries, as_series, load_csv, load_npy, load_text
 from repro.store import SeriesStore, open_data_root
 from repro.streaming import StreamingMatrixProfile
@@ -133,9 +134,11 @@ __all__ = [
     "JoinProfile",
     "LengthRangeError",
     "MatrixProfile",
+    "MotifIndex",
     "MotifPair",
     "MotifSet",
     "PanMatrixProfile",
+    "QuerySpec",
     "ParallelExecutor",
     "ProfileJob",
     "RangeDiscoveryResult",
@@ -178,6 +181,7 @@ __all__ = [
     "mass",
     "moen",
     "open_data_root",
+    "open_motif_index",
     "mpdist",
     "mpdist_profile",
     "partitioned_stomp",

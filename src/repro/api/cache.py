@@ -279,8 +279,12 @@ class PersistentResultCache:
 
         Any failure — missing sidecar, corruption, a result that does not
         match the envelope it rides with — degrades to the envelope view
-        the caller already has; a corrupted sidecar is removed best-effort
-        so the slot heals on the next store.
+        the caller already has.  A sidecar that is outright corrupt is
+        removed best-effort so the slot heals on the next store, but an
+        **older-format** sidecar (parseable, carries ``length_results``,
+        merely missing optional fields such as ``base_profile``) is kept on
+        disk: it still describes the same motifs, and
+        :meth:`repro.index.MotifIndex.backfill` can walk it.
         """
         if getattr(result, "kind", None) != "motifs" or getattr(
             result, "algo", None
@@ -295,8 +299,14 @@ class PersistentResultCache:
         if not sidecar.is_file():
             return result
         try:
-            full = ValmodResult.from_dict(load_result(sidecar))
+            payload = load_result(sidecar)
+        except SerializationError:
+            payload = None
+        try:
+            full = ValmodResult.from_dict(payload)
         except (SerializationError, KeyError, TypeError, ValueError):
+            if isinstance(payload, dict) and "length_results" in payload:
+                return result
             with self._lock:
                 try:
                     sidecar.unlink()

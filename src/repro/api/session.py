@@ -160,6 +160,11 @@ class Analysis:
         Optional :class:`repro.store.SeriesStore` used (only) to resolve a
         digest-string ``series``; the values arrive memory-mapped from the
         catalog blob.
+    index:
+        Optional :class:`repro.index.MotifIndex`: every **computed** (non
+        cache-hit) result is flattened into catalog rows automatically.
+        Ingest is best-effort by the index's own contract — a broken catalog
+        warns and degrades, it never fails the computation.
     """
 
     def __init__(
@@ -170,6 +175,7 @@ class Analysis:
         engine: "EngineConfig | str | Executor | None" = None,
         cache_config: CacheConfig | None = None,
         store=None,
+        index=None,
     ) -> None:
         if isinstance(series, str):
             series = self._resolve_digest(series, store)
@@ -192,6 +198,7 @@ class Analysis:
             if cache_config.persist_dir is None
             else PersistentResultCache(cache_config.persist_dir)
         )
+        self._index = index
         self._digest: str | None = None
         self._segments: SharedSegmentPool | None = None
         self._closed = False
@@ -436,6 +443,25 @@ class Analysis:
                 self.series_digest, key, result, result_dict=document
             )
 
+    def _index_computed(self, spec, request: AnalysisRequest, key, result) -> None:
+        """Catalog one freshly-computed result in the session's motif index.
+
+        Cache hits never reach here (their rows were catalogued when they
+        were first computed — or arrive via ``MotifIndex.backfill``).  The
+        row identity is the same canonical key the caches use, so live
+        ingest and backfill dedupe against each other; a request whose
+        parameters resist canonicalisation is simply not indexed.
+        """
+        if self._index is None:
+            return
+        if key is None:
+            key = canonical_cache_key(spec, request)
+        if key is None:
+            return
+        self._index.ingest_result(
+            result, series_digest=self.series_digest, result_key=key
+        )
+
     # ------------------------------------------------------------------ #
     # the one dispatch path
     # ------------------------------------------------------------------ #
@@ -494,6 +520,7 @@ class Analysis:
         )
         if key is not None:
             self._cache_store(key, result)
+        self._index_computed(spec, request, key, result)
         return result, "computed"
 
     def run_many(
@@ -581,6 +608,7 @@ class Analysis:
         )
         elapsed = time.perf_counter() - started
         self._misses += len(indices)
+        stomp_spec = resolve_algorithm("matrix_profile", "stomp")
         for index, outcome in zip(indices, outcomes):
             request = requests[index]
             result = AnalysisResult(
@@ -595,12 +623,10 @@ class Analysis:
                 payload=outcome.unwrap(),
             )
             results[index] = (result, "computed")
-            if cache:
-                key = canonical_cache_key(
-                    resolve_algorithm("matrix_profile", "stomp"), request
-                )
-                if key is not None:
-                    self._cache_store(key, result)
+            key = canonical_cache_key(stomp_spec, request)
+            if cache and key is not None:
+                self._cache_store(key, result)
+            self._index_computed(stomp_spec, request, key, result)
 
     # ------------------------------------------------------------------ #
     # the public computation surface
@@ -719,6 +745,7 @@ def analyze(
     engine: "EngineConfig | str | Executor | None" = None,
     cache_config: CacheConfig | None = None,
     store=None,
+    index=None,
 ) -> Analysis:
     """Open an :class:`Analysis` session over ``series`` (the main entry point).
 
@@ -726,7 +753,14 @@ def analyze(
     ``store`` (a :class:`repro.store.SeriesStore`): the session then runs
     over the memory-mapped catalog blob without the caller ever holding the
     values — the in-process twin of the service's digest-only requests.
+    ``index`` (a :class:`repro.index.MotifIndex`) catalogs every computed
+    result's motifs and discords for cross-series queries.
     """
     return Analysis(
-        series, name=name, engine=engine, cache_config=cache_config, store=store
+        series,
+        name=name,
+        engine=engine,
+        cache_config=cache_config,
+        store=store,
+        index=index,
     )

@@ -12,6 +12,8 @@ CLI provides the equivalent head-less workflow::
         --kind matrix_profile --params '{"window": 64}'
     valmod store --data-dir /var/lib/valmod put --workload ecg --length 4096
     valmod store --data-dir /var/lib/valmod ls
+    valmod query --data-dir /var/lib/valmod "kind=motif length=64..128 top=5"
+    valmod index --data-dir /var/lib/valmod backfill
 
 Run ``valmod <command> --help`` for the options of each sub-command.
 """
@@ -261,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="byte cap of the series store (default: 256 MiB)",
     )
     serve.add_argument(
+        "--index-dir",
+        default=None,
+        help="motif/discord catalog directory (enables GET /query; wired to "
+        "<data-dir>/index automatically when --data-dir is given)",
+    )
+    serve.add_argument(
         "--engine",
         choices=["serial", "parallel", "auto"],
         default=None,
@@ -361,6 +369,45 @@ def build_parser() -> argparse.ArgumentParser:
     store_sub.add_parser(
         "gc", help="reconcile blobs and manifest, enforce the byte cap"
     )
+
+    query = subparsers.add_parser(
+        "query",
+        help="query the motif/discord catalog (a local --data-dir index, or a "
+        "running service's GET /query)",
+    )
+    query.add_argument(
+        "query",
+        nargs="?",
+        default="",
+        help="whitespace-separated key=value filters: kind=motif|discord|"
+        "motif_set, digest=<sha1>, name=<substring>, algorithm=<key>, "
+        "length=<a>..<b>, score=<a>..<b>, top=<k>, order=score|-score|"
+        "length|-length, trim=true (overlap-trimmed top-k); empty matches "
+        "everything",
+    )
+    query_target = query.add_mutually_exclusive_group(required=True)
+    query_target.add_argument(
+        "--data-dir", help="shared data root whose <dir>/index/catalog.db to query"
+    )
+    query_target.add_argument(
+        "--url", help="running service endpoint (uses GET /query)"
+    )
+
+    index = subparsers.add_parser(
+        "index", help="manage the motif/discord catalog of one data root"
+    )
+    index.add_argument(
+        "--data-dir",
+        required=True,
+        help="shared digest-namespace root (the catalog lives in <dir>/index)",
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_sub.add_parser(
+        "backfill",
+        help="walk the existing <dir>/results cache envelopes and "
+        ".valmod.json sidecars into the catalog (idempotent)",
+    )
+    index_sub.add_parser("stats", help="print catalog size and counters")
 
     return parser
 
@@ -549,13 +596,19 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     cache_dir = args.cache_dir
     store_dir = args.store_dir
+    index_dir = args.index_dir
     if args.data_dir is not None:
-        # The shared digest namespace: series catalog and result cache side
-        # by side under one root; the specific flags still override.
+        # The shared digest namespace: series catalog, result cache and
+        # motif index side by side under one root; the specific flags still
+        # override.
         if cache_dir is None:
             cache_dir = Path(args.data_dir) / RESULTS_SUBDIR
         if store_dir is None:
             store_dir = Path(args.data_dir) / SERIES_SUBDIR
+        if index_dir is None:
+            from repro.index import INDEX_SUBDIR
+
+            index_dir = Path(args.data_dir) / INDEX_SUBDIR
     store_kwargs = {}
     if args.store_max_bytes is not None:
         store_kwargs["store_max_bytes"] = args.store_max_bytes
@@ -572,6 +625,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         ),
         engine=EngineConfig(executor=args.engine, n_jobs=args.jobs, kernel=args.kernel),
         store_dir=store_dir,
+        index_dir=index_dir,
         **store_kwargs,
     )
     serve_forever(config)
@@ -620,6 +674,25 @@ def _command_store(args: argparse.Namespace) -> int:
 
     kwargs = {} if args.max_bytes is None else {"max_bytes": args.max_bytes}
     store = SeriesStore(Path(args.data_dir) / SERIES_SUBDIR, **kwargs)
+    index = None
+    if args.store_command in ("rm", "gc"):
+        # Removing a series must take its catalog rows with it — but only
+        # when a catalog already exists; plain store maintenance must not
+        # conjure an index directory.
+        from repro.index import MotifIndex, catalog_path
+
+        catalog = catalog_path(args.data_dir)
+        if catalog.is_file():
+            index = MotifIndex(catalog)
+            store.subscribe_removal(index.remove_series)
+    try:
+        return _run_store_command(args, store)
+    finally:
+        if index is not None:
+            index.close()
+
+
+def _run_store_command(args: argparse.Namespace, store) -> int:
     if args.store_command == "put":
         series = _series_from_args(args)
         digest = store.put(series, name=args.name)
@@ -663,6 +736,42 @@ def _command_store(args: argparse.Namespace) -> int:
     raise InvalidParameterError(f"unknown store command {args.store_command!r}")
 
 
+def _command_query(args: argparse.Namespace) -> int:
+    # CLI and HTTP answer the identical document: the local path prints
+    # MotifIndex.answer(spec) and the service's GET /query returns the very
+    # same method's output, so the two front ends can be diffed byte for
+    # byte (the tests do).
+    if args.url:
+        from repro.service.client import ServiceClient
+
+        with ServiceClient.from_url(args.url) as client:
+            document = client.query(args.query)
+    else:
+        from repro.index import QuerySpec, open_motif_index
+
+        spec = QuerySpec.parse(args.query)
+        with open_motif_index(args.data_dir) as index:
+            document = index.answer(spec)
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+def _command_index(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.index import open_motif_index
+
+    with open_motif_index(args.data_dir) as index:
+        if args.index_command == "backfill":
+            report = index.backfill(Path(args.data_dir))
+            print(json.dumps({**report, "rows": index.count()}, indent=2))
+            return 0
+        if args.index_command == "stats":
+            print(json.dumps(index.stats(), indent=2, sort_keys=True))
+            return 0
+    raise InvalidParameterError(f"unknown index command {args.index_command!r}")
+
+
 _COMMANDS = {
     "discover": _command_discover,
     "generate": _command_generate,
@@ -675,6 +784,8 @@ _COMMANDS = {
     "serve": _command_serve,
     "request": _command_request,
     "store": _command_store,
+    "query": _command_query,
+    "index": _command_index,
 }
 
 

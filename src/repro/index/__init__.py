@@ -1,0 +1,49 @@
+"""Queryable motif/discord index over the result corpus.
+
+The subsystem has two halves:
+
+* :mod:`repro.index.extract` — flattens analysis payloads (matrix profiles,
+  VALMOD results, discord lists, pan profiles, motif sets) into uniform
+  :class:`IndexRecord` rows scored by length-normalised distance;
+* :mod:`repro.index.catalog` — the SQLite-backed :class:`MotifIndex`
+  (``<data-dir>/index/catalog.db``, WAL mode, schema-versioned) with
+  duplicate-free ingest, :class:`QuerySpec` queries, store-eviction pruning
+  and a :meth:`MotifIndex.backfill` that walks pre-existing cache envelopes
+  and ``.valmod.json`` sidecars.
+
+Entry points: ``repro query`` / ``repro index`` on the CLI, ``GET /query``
+on the service, or programmatically::
+
+    from repro.index import open_motif_index, QuerySpec
+
+    index = open_motif_index(data_dir)
+    answer = index.answer(QuerySpec.parse("kind=motif length=64..128 top=5"))
+"""
+
+from repro.index.catalog import (
+    INDEX_SUBDIR,
+    SCHEMA_VERSION,
+    MotifIndex,
+    QuerySpec,
+    catalog_path,
+    open_motif_index,
+)
+from repro.index.extract import (
+    PROFILE_TOP_K,
+    IndexRecord,
+    extract_records,
+    records_from_motif_set,
+)
+
+__all__ = [
+    "MotifIndex",
+    "QuerySpec",
+    "IndexRecord",
+    "open_motif_index",
+    "catalog_path",
+    "extract_records",
+    "records_from_motif_set",
+    "INDEX_SUBDIR",
+    "SCHEMA_VERSION",
+    "PROFILE_TOP_K",
+]

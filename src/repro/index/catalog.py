@@ -1,0 +1,765 @@
+"""The SQLite-backed motif/discord catalog (:class:`MotifIndex`).
+
+Every answered analysis request used to be a one-shot JSON envelope: the
+persistent result cache can only be hit by exact request key, so the corpus
+of discovered motifs and discords was write-only.  The catalog turns it into
+a queryable product surface — one SQLite database under the shared
+``--data-dir`` namespace (``<root>/index/catalog.db``, WAL mode,
+schema-versioned) holding one row per motif pair / discord / motif-set
+occurrence, keyed by
+
+    ``(series_digest, kind, length, score, start, end, algorithm,
+    result_key)``
+
+so inserting the same event twice — live ingest then :meth:`backfill`, or a
+re-run backfill — is an ``INSERT OR IGNORE`` no-op and the catalog stays
+duplicate-free by construction.
+
+Degradation contract
+--------------------
+The index mirrors the store's corrupted-blob → miss + heal behaviour: it is
+an *accelerator over data that exists elsewhere* (the result corpus), so it
+must never take a request down.
+
+* a **corrupt** database file is deleted and recreated empty (one tagged
+  ``[repro.index]`` warning; :meth:`backfill` rebuilds the contents);
+* a **locked / unwritable** database degrades the single affected call —
+  queries answer empty, ingests skip — without touching the file;
+* :meth:`ingest_result` never raises, whatever the payload.
+
+Concurrency: one :class:`MotifIndex` object is thread-safe (a single lock
+serialises its one connection — the service ingests from worker threads
+while ``GET /query`` reads).  Across processes, WAL mode gives concurrent
+readers a consistent snapshot while one writer appends.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, List, Mapping
+
+from repro.exceptions import InvalidParameterError, SerializationError
+from repro.index.extract import (
+    RECORD_KINDS,
+    IndexRecord,
+    extract_records,
+    load_sidecar_view,
+)
+from repro.store.series_store import RESULTS_SUBDIR, is_series_digest
+
+__all__ = [
+    "MotifIndex",
+    "QuerySpec",
+    "open_motif_index",
+    "INDEX_SUBDIR",
+    "SCHEMA_VERSION",
+]
+
+#: Sub-directory of a shared data root the catalog lives in (next to the
+#: store's ``series`` and the result cache's ``results``).
+INDEX_SUBDIR = "index"
+
+#: Database file name inside :data:`INDEX_SUBDIR`.
+_CATALOG_NAME = "catalog.db"
+
+#: Bumped on any incompatible schema change; a database carrying a different
+#: version is rebuilt empty (the corpus re-enters via ``backfill``).
+SCHEMA_VERSION = 1
+
+_ORDERINGS = {
+    "score": "score ASC",
+    "-score": "score DESC",
+    "length": "length ASC",
+    "-length": "length DESC",
+}
+
+#: Deterministic tie-break appended to every ordering, so equal-score rows
+#: come back in one stable order whatever insertion order produced them.
+_TIE_BREAK = "series_digest ASC, length ASC, start ASC, algorithm ASC, result_key ASC"
+
+_ROW_COLUMNS = (
+    "series_digest",
+    "series_name",
+    "kind",
+    "length",
+    "score",
+    "start",
+    "end",
+    "partner",
+    "distance",
+    "algorithm",
+    "result_key",
+)
+
+#: ``end`` is a reserved SQLite word; every statement quotes the columns.
+_QUOTED_COLUMNS = ", ".join(f'"{column}"' for column in _ROW_COLUMNS)
+
+
+def _parse_range(value: str, caster, label: str):
+    """``"a..b"`` / ``"a.."`` / ``"..b"`` / ``"a"`` → ``(lo, hi)``."""
+    text = str(value).strip()
+    try:
+        if ".." in text:
+            low_text, _, high_text = text.partition("..")
+            low = caster(low_text) if low_text.strip() else None
+            high = caster(high_text) if high_text.strip() else None
+        else:
+            low = high = caster(text)
+    except (TypeError, ValueError) as error:
+        raise InvalidParameterError(
+            f"cannot parse {label} range {value!r}: {error}"
+        ) from error
+    return low, high
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One catalog query: filters, ordering, and an optional top-k.
+
+    Build one directly, from the CLI's token grammar (:meth:`parse` —
+    whitespace-separated ``key=value`` tokens, e.g.
+    ``"kind=motif length=64..128 top=5"``) or from HTTP query parameters
+    (:meth:`from_params`).  All three construction paths share the same
+    validation, so the CLI and the service answer identical queries with
+    identical documents.
+    """
+
+    kind: str | None = None
+    digest: str | None = None
+    name: str | None = None
+    algorithm: str | None = None
+    min_length: int | None = None
+    max_length: int | None = None
+    min_score: float | None = None
+    max_score: float | None = None
+    top: int | None = None
+    order: str | None = None
+    trim_overlaps: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind is not None and self.kind not in RECORD_KINDS:
+            raise InvalidParameterError(
+                f"unknown record kind {self.kind!r}; expected one of "
+                f"{list(RECORD_KINDS)}"
+            )
+        if self.order is not None and self.order not in _ORDERINGS:
+            raise InvalidParameterError(
+                f"unknown ordering {self.order!r}; expected one of "
+                f"{sorted(_ORDERINGS)}"
+            )
+        if self.top is not None and int(self.top) < 1:
+            raise InvalidParameterError(f"top must be >= 1, got {self.top}")
+        for label in ("min_length", "max_length"):
+            value = getattr(self, label)
+            if value is not None and int(value) < 1:
+                raise InvalidParameterError(f"{label} must be >= 1, got {value}")
+        for low, high, what in (
+            (self.min_length, self.max_length, "length"),
+            (self.min_score, self.max_score, "score"),
+        ):
+            if low is not None and high is not None and low > high:
+                raise InvalidParameterError(
+                    f"empty {what} range: {low}..{high} has its bounds reversed"
+                )
+
+    # The CLI token grammar and the HTTP parameter names are one vocabulary.
+    _KEYS = (
+        "kind",
+        "digest",
+        "name",
+        "algorithm",
+        "algo",
+        "length",
+        "min_length",
+        "max_length",
+        "score",
+        "min_score",
+        "max_score",
+        "top",
+        "k",
+        "order",
+        "trim",
+    )
+
+    @classmethod
+    def parse(cls, text: str) -> "QuerySpec":
+        """Parse the CLI grammar: whitespace-separated ``key=value`` tokens.
+
+        An empty string is the match-everything query.  Values containing
+        spaces (series names) can be passed via :meth:`from_params` or the
+        ``name=`` HTTP parameter instead — the token grammar is for the
+        common filters.
+        """
+        params: dict = {}
+        for token in str(text).split():
+            key, sep, value = token.partition("=")
+            if not sep or not key:
+                raise InvalidParameterError(
+                    f"cannot parse query token {token!r}; expected key=value "
+                    f"with key one of {list(cls._KEYS)}"
+                )
+            params[key] = value
+        return cls.from_params(params)
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "QuerySpec":
+        """Build a spec from a string-valued mapping (HTTP query params)."""
+        unknown = sorted(set(params) - set(cls._KEYS))
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown query parameter(s) {unknown}; expected a subset of "
+                f"{list(cls._KEYS)}"
+            )
+        fields: dict = {}
+
+        def _set(label: str, value) -> None:
+            if label in fields and fields[label] != value:
+                raise InvalidParameterError(
+                    f"conflicting values for {label}: {fields[label]!r} vs {value!r}"
+                )
+            fields[label] = value
+
+        for key, raw in params.items():
+            if raw is None:
+                continue
+            if key in ("kind", "digest", "name", "order"):
+                _set(key, str(raw))
+            elif key in ("algorithm", "algo"):
+                _set("algorithm", str(raw))
+            elif key == "length":
+                low, high = _parse_range(raw, int, "length")
+                if low is not None:
+                    _set("min_length", low)
+                if high is not None:
+                    _set("max_length", high)
+            elif key in ("min_length", "max_length"):
+                _set(key, int(raw))
+            elif key == "score":
+                low, high = _parse_range(raw, float, "score")
+                if low is not None:
+                    _set("min_score", low)
+                if high is not None:
+                    _set("max_score", high)
+            elif key in ("min_score", "max_score"):
+                _set(key, float(raw))
+            elif key in ("top", "k"):
+                _set("top", int(raw))
+            elif key == "trim":
+                _set(
+                    "trim_overlaps",
+                    str(raw).strip().lower() in ("1", "true", "yes", "on"),
+                )
+        try:
+            return cls(**fields)
+        except (TypeError, ValueError) as error:
+            raise InvalidParameterError(f"invalid query: {error}") from error
+
+    @property
+    def effective_order(self) -> str:
+        """The ordering actually applied: explicit ``order=``, else best
+        first — ascending score for motifs, descending for discords."""
+        if self.order is not None:
+            return self.order
+        return "-score" if self.kind == "discord" else "score"
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (echoed in every query answer)."""
+        return {
+            "kind": self.kind,
+            "digest": self.digest,
+            "name": self.name,
+            "algorithm": self.algorithm,
+            "min_length": self.min_length,
+            "max_length": self.max_length,
+            "min_score": self.min_score,
+            "max_score": self.max_score,
+            "top": self.top,
+            "order": self.effective_order,
+            "trim": self.trim_overlaps,
+        }
+
+
+def _spans_conflict(kept: dict, row: dict) -> bool:
+    """Whether two rows describe (mostly) the same stretch of one series."""
+    if kept["series_digest"] != row["series_digest"] or kept["kind"] != row["kind"]:
+        return False
+    overlap = min(kept["end"], row["end"]) - max(kept["start"], row["start"])
+    shorter = min(kept["end"] - kept["start"], row["end"] - row["start"])
+    return overlap * 2 > shorter
+
+
+def _trim_overlapping(rows: List[dict]) -> List[dict]:
+    """Greedy overlap trim: walk the rows best-first, keep a row only when
+    its span does not cover more than half of an already-kept row's span on
+    the same series (the ranking module's distinct-events idea, applied to
+    catalog rows)."""
+    kept: List[dict] = []
+    for row in rows:
+        if any(_spans_conflict(existing, row) for existing in kept):
+            continue
+        kept.append(row)
+    return kept
+
+
+class MotifIndex:
+    """The queryable catalog over everything the corpus has discovered.
+
+    Parameters
+    ----------
+    path:
+        The database file, or a directory (the conventional
+        ``<data-dir>/index``) in which ``catalog.db`` is created.
+    timeout:
+        Seconds a write waits on another process's lock before degrading.
+    """
+
+    def __init__(self, path, *, timeout: float = 5.0) -> None:
+        path = Path(path)
+        if path.suffix != ".db":
+            path = path / _CATALOG_NAME
+        self._path = path
+        self._timeout = float(timeout)
+        self._lock = threading.RLock()
+        self._conn: sqlite3.Connection | None = None
+        self._disabled = False
+        self._counters = {
+            "ingested_results": 0,
+            "rows_added": 0,
+            "queries": 0,
+            "pruned_rows": 0,
+            "heals": 0,
+            "skipped_payloads": 0,
+        }
+
+    @property
+    def path(self) -> Path:
+        """The database file."""
+        return self._path
+
+    # ------------------------------------------------------------------ #
+    # connection / degradation machinery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _warn(message: str) -> None:
+        warnings.warn(f"[repro.index] {message}", RuntimeWarning, stacklevel=3)
+
+    def _connect(self) -> sqlite3.Connection:
+        """Open (or return) the one connection; creates schema on demand."""
+        if self._conn is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                str(self._path),
+                timeout=self._timeout,
+                check_same_thread=False,
+            )
+            try:
+                conn.execute("PRAGMA journal_mode=WAL")
+                self._ensure_schema(conn)
+            except sqlite3.Error:
+                conn.close()
+                raise
+            self._conn = conn
+        return self._conn
+
+    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
+        row = conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
+        ).fetchone()
+        if row is not None:
+            stored = conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if stored is not None and str(stored[0]) == str(SCHEMA_VERSION):
+                return
+            # A different (older or newer) schema: rebuild empty rather than
+            # guess at a migration — the corpus re-enters via backfill().
+            self._warn(
+                f"catalog at {self._path} has schema version "
+                f"{None if stored is None else stored[0]!r}, expected "
+                f"{SCHEMA_VERSION}; rebuilding empty (run backfill to repopulate)"
+            )
+            conn.executescript("DROP TABLE IF EXISTS records; DROP TABLE IF EXISTS meta;")
+        conn.executescript(
+            """
+            CREATE TABLE IF NOT EXISTS meta (
+                key TEXT PRIMARY KEY,
+                value TEXT NOT NULL
+            );
+            CREATE TABLE IF NOT EXISTS records (
+                id INTEGER PRIMARY KEY,
+                series_digest TEXT NOT NULL,
+                series_name TEXT NOT NULL,
+                kind TEXT NOT NULL,
+                length INTEGER NOT NULL,
+                score REAL NOT NULL,
+                start INTEGER NOT NULL,
+                "end" INTEGER NOT NULL,
+                partner INTEGER,
+                distance REAL NOT NULL,
+                algorithm TEXT NOT NULL,
+                result_key TEXT NOT NULL
+            );
+            CREATE UNIQUE INDEX IF NOT EXISTS records_identity ON records (
+                series_digest, kind, length, score, start, "end", algorithm,
+                result_key
+            );
+            CREATE INDEX IF NOT EXISTS records_by_filter
+                ON records (kind, length, score);
+            CREATE INDEX IF NOT EXISTS records_by_series
+                ON records (series_digest);
+            """
+        )
+        conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+        conn.commit()
+
+    def _heal(self, error: Exception) -> None:
+        """Corrupt database: drop the file and start empty (lock held)."""
+        self._warn(
+            f"catalog at {self._path} is unreadable ({error}); rebuilding an "
+            "empty catalog (run backfill to repopulate)"
+        )
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - teardown best-effort
+                pass
+            self._conn = None
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                Path(f"{self._path}{suffix}").unlink()
+            except OSError:
+                pass
+        self._counters["heals"] += 1
+
+    def _run(self, operation: str, fallback, fn):
+        """Execute one catalog operation under the degradation contract.
+
+        ``fn(conn)`` runs under the lock.  A locked or unwritable database
+        degrades this call to ``fallback`` (warning, file untouched); a
+        corrupt database is healed to empty once and the operation retried
+        against the fresh catalog; a second failure disables the index for
+        the process (every later call short-circuits to its fallback).
+        """
+        with self._lock:
+            if self._disabled:
+                return fallback
+            for attempt in (0, 1):
+                try:
+                    return fn(self._connect())
+                except sqlite3.OperationalError as error:
+                    # "database is locked" / unwritable directory: the data
+                    # is (presumably) fine — degrade this call only.
+                    if self._conn is None:
+                        # Could not even open/create the file: repeated
+                        # attempts would warn forever; disable instead.
+                        self._disabled = True
+                    self._warn(
+                        f"{operation} degraded ({error}); the catalog was left "
+                        "untouched"
+                    )
+                    return fallback
+                except sqlite3.DatabaseError as error:
+                    if attempt:
+                        self._disabled = True
+                        self._warn(
+                            f"{operation} failed twice ({error}); disabling the "
+                            "index for this process"
+                        )
+                        return fallback
+                    self._heal(error)
+            return fallback  # pragma: no cover - loop always returns
+
+    def close(self) -> None:
+        """Close the connection (idempotent; the index reopens on use)."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:  # pragma: no cover
+                    pass
+                self._conn = None
+
+    def __enter__(self) -> "MotifIndex":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def add(self, records: Iterable[IndexRecord]) -> int:
+        """Insert records; returns how many were new (duplicates ignored)."""
+        rows = [
+            (
+                record.series_digest,
+                record.series_name,
+                record.kind,
+                int(record.length),
+                float(record.score),
+                int(record.start),
+                int(record.end),
+                None if record.partner is None else int(record.partner),
+                float(record.distance),
+                record.algorithm,
+                record.result_key,
+            )
+            for record in records
+        ]
+        if not rows:
+            return 0
+
+        def _insert(conn: sqlite3.Connection) -> int:
+            before = conn.total_changes
+            conn.executemany(
+                f"INSERT OR IGNORE INTO records ({_QUOTED_COLUMNS}) "
+                "VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+                rows,
+            )
+            conn.commit()
+            return conn.total_changes - before
+
+        added = int(self._run("add", 0, _insert))
+        self._counters["rows_added"] += added
+        return added
+
+    def ingest_result(self, result, *, series_digest: str, result_key: str) -> int:
+        """Extract and insert one analysis result's rows.  **Never raises**:
+        the index is an accelerator, and indexing failures must not take the
+        producing request down — they warn and count instead."""
+        try:
+            records = extract_records(
+                result, series_digest=series_digest, result_key=result_key
+            )
+        except Exception as error:  # defensive: any payload, never a crash
+            self._counters["skipped_payloads"] += 1
+            self._warn(f"cannot index a {type(result).__name__}: {error}")
+            return 0
+        if not records:
+            return 0
+        self._counters["ingested_results"] += 1
+        return self.add(records)
+
+    def remove_series(self, digest: str) -> int:
+        """Drop every row of one series (store eviction/removal hook);
+        returns how many rows were pruned."""
+
+        def _delete(conn: sqlite3.Connection) -> int:
+            cursor = conn.execute(
+                "DELETE FROM records WHERE series_digest = ?", (str(digest),)
+            )
+            conn.commit()
+            return cursor.rowcount if cursor.rowcount > 0 else 0
+
+        pruned = int(self._run("remove_series", 0, _delete))
+        self._counters["pruned_rows"] += pruned
+        return pruned
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(self, spec: "QuerySpec | str") -> List[dict]:
+        """The catalog rows matching ``spec``, best first (see
+        :attr:`QuerySpec.effective_order`), as JSON-ready dicts."""
+        if isinstance(spec, str):
+            spec = QuerySpec.parse(spec)
+        clauses: List[str] = []
+        params: List[Any] = []
+        if spec.kind is not None:
+            clauses.append("kind = ?")
+            params.append(spec.kind)
+        if spec.digest is not None:
+            clauses.append("series_digest = ?")
+            params.append(spec.digest)
+        if spec.name is not None:
+            escaped = (
+                spec.name.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
+            )
+            clauses.append("series_name LIKE ? ESCAPE '\\'")
+            params.append(f"%{escaped}%")
+        if spec.algorithm is not None:
+            clauses.append("algorithm = ?")
+            params.append(spec.algorithm)
+        if spec.min_length is not None:
+            clauses.append("length >= ?")
+            params.append(int(spec.min_length))
+        if spec.max_length is not None:
+            clauses.append("length <= ?")
+            params.append(int(spec.max_length))
+        if spec.min_score is not None:
+            clauses.append("score >= ?")
+            params.append(float(spec.min_score))
+        if spec.max_score is not None:
+            clauses.append("score <= ?")
+            params.append(float(spec.max_score))
+        sql = f"SELECT {_QUOTED_COLUMNS} FROM records"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += f" ORDER BY {_ORDERINGS[spec.effective_order]}, {_TIE_BREAK}"
+        if spec.top is not None and not spec.trim_overlaps:
+            # With overlap trimming the cut happens after the trim, so the
+            # LIMIT can only be pushed into SQL on the untrimmed path.
+            sql += f" LIMIT {int(spec.top)}"
+
+        def _select(conn: sqlite3.Connection) -> List[dict]:
+            return [
+                dict(zip(_ROW_COLUMNS, row)) for row in conn.execute(sql, params)
+            ]
+
+        rows = self._run("query", [], _select)
+        self._counters["queries"] += 1
+        if spec.trim_overlaps:
+            rows = _trim_overlapping(rows)
+            if spec.top is not None:
+                rows = rows[: int(spec.top)]
+        return rows
+
+    def answer(self, spec: "QuerySpec | str") -> dict:
+        """The full query answer document — one shape shared verbatim by the
+        ``repro query`` CLI and the service's ``GET /query``, so the two
+        surfaces return identical JSON by construction."""
+        if isinstance(spec, str):
+            spec = QuerySpec.parse(spec)
+        rows = self.query(spec)
+        return {"spec": spec.as_dict(), "count": len(rows), "rows": rows}
+
+    def count(self) -> int:
+        """Total rows in the catalog."""
+        return int(
+            self._run(
+                "count",
+                0,
+                lambda conn: conn.execute("SELECT COUNT(*) FROM records").fetchone()[0],
+            )
+        )
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def series_count(self) -> int:
+        """How many distinct series have catalog rows."""
+        return int(
+            self._run(
+                "series_count",
+                0,
+                lambda conn: conn.execute(
+                    "SELECT COUNT(DISTINCT series_digest) FROM records"
+                ).fetchone()[0],
+            )
+        )
+
+    def stats(self) -> dict:
+        """Occupancy and lifetime counters (service ``/stats``, CLI)."""
+        return {
+            "path": str(self._path),
+            "schema_version": SCHEMA_VERSION,
+            "rows": self.count(),
+            "series": self.series_count(),
+            **dict(self._counters),
+        }
+
+    # ------------------------------------------------------------------ #
+    # backfill
+    # ------------------------------------------------------------------ #
+    def backfill(self, data_root) -> dict:
+        """Walk an existing result corpus into the catalog.
+
+        ``data_root`` is a shared data directory (the ``--data-dir`` root —
+        its ``results/`` subtree is used when present, otherwise the path is
+        taken to be the results tree itself).  Two sources feed the catalog:
+
+        * **cache envelopes** (``<d2>/<digest>/<keyhash>.json``) — loaded
+          through the same serialisation layer the persistent cache uses,
+          and indexed under their stored canonical key, so backfilled rows
+          are bit-identical to (and dedupe against) live-ingested ones;
+        * **orphan sidecars** (``.valmod.json`` files whose envelope is
+          missing or unreadable) — loaded tolerantly (older sidecars missing
+          optional fields degrade to the envelope view) and indexed under a
+          synthetic ``sidecar:<stem>`` key.
+
+        Unreadable files are skipped and counted, never raised.  Re-running
+        is idempotent: every row rides the catalog's unique identity.
+        """
+        from repro.api.requests import AnalysisResult
+        from repro.io.serialization import load_cache_entry, load_result
+
+        root = Path(data_root)
+        results_root = root / RESULTS_SUBDIR if (root / RESULTS_SUBDIR).is_dir() else root
+        summary = {
+            "envelopes": 0,
+            "sidecars": 0,
+            "rows_added": 0,
+            "skipped": 0,
+        }
+        if not results_root.is_dir():
+            return summary
+        for series_dir in sorted(results_root.glob("??/*")):
+            digest = series_dir.name
+            if not series_dir.is_dir() or not is_series_digest(digest):
+                continue
+            for path in sorted(series_dir.glob("*.json")):
+                if path.name.endswith(".valmod.json"):
+                    continue
+                try:
+                    key, result = load_cache_entry(path)
+                except SerializationError:
+                    summary["skipped"] += 1
+                    continue
+                if not isinstance(result, AnalysisResult):
+                    summary["skipped"] += 1
+                    continue
+                summary["envelopes"] += 1
+                summary["rows_added"] += self.ingest_result(
+                    result, series_digest=digest, result_key=key
+                )
+            for path in sorted(series_dir.glob("*.valmod.json")):
+                stem = path.name[: -len(".valmod.json")]
+                if (series_dir / f"{stem}.json").is_file():
+                    # The envelope above already contributed these motifs
+                    # (same pairs, canonical key); indexing the sidecar too
+                    # would re-add them under a second key.
+                    continue
+                try:
+                    payload = load_result(path)
+                    view = load_sidecar_view(payload)
+                except SerializationError:
+                    summary["skipped"] += 1
+                    continue
+                summary["sidecars"] += 1
+                sidecar_result = _SidecarResult(
+                    payload=view,
+                    series_name=str(payload.get("series_name", "series")),
+                )
+                summary["rows_added"] += self.ingest_result(
+                    sidecar_result,
+                    series_digest=digest,
+                    result_key=f"sidecar:{stem}",
+                )
+        return summary
+
+
+@dataclass(frozen=True)
+class _SidecarResult:
+    """Minimal envelope stand-in for indexing an orphan sidecar."""
+
+    payload: Any
+    series_name: str
+    algo: str = "valmod"
+    kind: str = "motifs"
+
+
+def catalog_path(data_root) -> Path:
+    """The canonical catalog location under one shared data root."""
+    return Path(data_root) / INDEX_SUBDIR / _CATALOG_NAME
+
+
+def open_motif_index(data_root, **kwargs) -> MotifIndex:
+    """The catalog of one shared data root (``<root>/index/catalog.db``)."""
+    return MotifIndex(catalog_path(data_root), **kwargs)

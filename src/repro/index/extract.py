@@ -1,0 +1,390 @@
+"""Extraction layer of the motif/discord index.
+
+Every analysis payload the session can produce — a fixed-length
+:class:`~repro.matrix_profile.profile.MatrixProfile`, a VALMOD
+:class:`~repro.core.results.ValmodResult`, the cross-algorithm
+:class:`~repro.baselines.base.RangeDiscoveryResult` view, a discord list, a
+SKIMP :class:`~repro.core.skimp.PanMatrixProfile` — carries motifs and/or
+discords in its own native shape.  This module flattens them all into one
+row type, :class:`IndexRecord`, which is what
+:class:`~repro.index.catalog.MotifIndex` persists and queries.
+
+Two invariants matter more than the per-payload details:
+
+* **Determinism** — a record is a pure function of the payload.  Since the
+  result envelopes round-trip through JSON losslessly (Python ``repr``
+  floats), extracting from a live in-process result and extracting from the
+  same result re-read off disk produce byte-identical rows; this is what
+  makes :meth:`~repro.index.catalog.MotifIndex.backfill` populate exactly
+  the rows live ingest would have.
+* **Comparability** — every row's ``score`` is the length-normalised
+  distance ``d / sqrt(length)`` (the paper's cross-length quantity): lower
+  is a tighter motif, higher is a stronger discord, and rows of different
+  lengths and different algorithms rank on one axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Mapping
+
+import numpy as np
+
+from repro.baselines.base import RangeDiscoveryResult
+from repro.core.discords import VariableLengthDiscord
+from repro.core.motif_sets import MotifSet
+from repro.core.results import ValmodResult
+from repro.core.skimp import PanMatrixProfile
+from repro.exceptions import EmptyResultError, InvalidParameterError, SerializationError
+from repro.matrix_profile.profile import MatrixProfile, MotifPair
+
+__all__ = [
+    "IndexRecord",
+    "extract_records",
+    "records_from_motif_set",
+    "load_sidecar_view",
+    "PROFILE_TOP_K",
+]
+
+#: How many motif pairs / discords a fixed-length matrix profile contributes
+#: to the index.  Matches the default ``k`` of ``MatrixProfile.motifs`` /
+#: ``.discords`` — the index catalogs what a caller of those accessors would
+#: have seen.
+PROFILE_TOP_K = 3
+
+#: The row kinds the index knows about.
+RECORD_KINDS = ("motif", "discord", "motif_set")
+
+
+@dataclass(frozen=True)
+class IndexRecord:
+    """One catalog row: a motif pair, a discord, or a motif-set occurrence.
+
+    Attributes
+    ----------
+    series_digest, series_name:
+        Identity of the series the event was found in.
+    kind:
+        ``"motif"``, ``"discord"`` or ``"motif_set"``.
+    length:
+        Subsequence length of the event.
+    score:
+        Length-normalised distance ``d / sqrt(length)`` — comparable across
+        lengths and algorithms (motifs: lower is better; discords: higher is
+        more anomalous).
+    start, end:
+        The event's span, ``end = start + length`` (for a motif pair this is
+        the span of the *first* member; the second lives at ``partner``).
+    partner:
+        The companion offset — a motif pair's other member, a discord's
+        nearest neighbour, a motif-set occurrence's pair anchor.  ``None``
+        when the payload carries no companion.
+    distance:
+        The raw (un-normalised) z-normalised Euclidean distance.
+    algorithm:
+        Canonical registry key of the algorithm that produced the result.
+    result_key:
+        Canonical cache key of the producing request — the same identity the
+        session cache, the persistent spill and the service share, so live
+        ingest and backfill dedupe against each other.
+    """
+
+    series_digest: str
+    series_name: str
+    kind: str
+    length: int
+    score: float
+    start: int
+    end: int
+    partner: int | None
+    distance: float
+    algorithm: str
+    result_key: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in RECORD_KINDS:
+            raise InvalidParameterError(
+                f"unknown index record kind {self.kind!r}; expected one of "
+                f"{list(RECORD_KINDS)}"
+            )
+        if int(self.length) < 1:
+            raise InvalidParameterError(f"length must be >= 1, got {self.length}")
+        if int(self.end) != int(self.start) + int(self.length):
+            raise InvalidParameterError(
+                f"end must equal start + length ({self.start} + {self.length}), "
+                f"got {self.end}"
+            )
+
+    def as_dict(self) -> dict:
+        """Plain-dict (JSON-ready) form — the row shape queries return."""
+        return {
+            "series_digest": self.series_digest,
+            "series_name": self.series_name,
+            "kind": self.kind,
+            "length": int(self.length),
+            "score": float(self.score),
+            "start": int(self.start),
+            "end": int(self.end),
+            "partner": None if self.partner is None else int(self.partner),
+            "distance": float(self.distance),
+            "algorithm": self.algorithm,
+            "result_key": self.result_key,
+        }
+
+
+def _motif_record(
+    pair: MotifPair,
+    *,
+    series_digest: str,
+    series_name: str,
+    algorithm: str,
+    result_key: str,
+) -> IndexRecord:
+    return IndexRecord(
+        series_digest=series_digest,
+        series_name=series_name,
+        kind="motif",
+        length=int(pair.window),
+        score=float(pair.normalized_distance),
+        start=int(pair.offset_a),
+        end=int(pair.offset_a) + int(pair.window),
+        partner=int(pair.offset_b),
+        distance=float(pair.distance),
+        algorithm=algorithm,
+        result_key=result_key,
+    )
+
+
+def _records_from_profile(
+    profile: MatrixProfile, **identity: Any
+) -> List[IndexRecord]:
+    """Motif pairs and discords of one fixed-length matrix profile."""
+    records: List[IndexRecord] = []
+    try:
+        pairs = profile.motifs(PROFILE_TOP_K)
+    except (EmptyResultError, InvalidParameterError):
+        pairs = []
+    records.extend(_motif_record(pair, **identity) for pair in pairs)
+    window = int(profile.window)
+    try:
+        offsets = profile.discords(PROFILE_TOP_K)
+    except (EmptyResultError, InvalidParameterError):
+        offsets = []
+    for offset in offsets:
+        distance = float(profile.distances[offset])
+        if not math.isfinite(distance):
+            continue
+        partner = int(profile.indices[offset])
+        records.append(
+            IndexRecord(
+                series_digest=identity["series_digest"],
+                series_name=identity["series_name"],
+                kind="discord",
+                length=window,
+                score=distance / math.sqrt(window),
+                start=int(offset),
+                end=int(offset) + window,
+                partner=partner if partner >= 0 else None,
+                distance=distance,
+                algorithm=identity["algorithm"],
+                result_key=identity["result_key"],
+            )
+        )
+    return records
+
+
+def _records_from_range_result(
+    view: RangeDiscoveryResult, **identity: Any
+) -> List[IndexRecord]:
+    """Per-length motif pairs of a range-discovery result (any algorithm)."""
+    records: List[IndexRecord] = []
+    for length in view.lengths:
+        records.extend(
+            _motif_record(pair, **identity) for pair in view.motifs_at(length)
+        )
+    return records
+
+
+def _records_from_discords(
+    discords: List[VariableLengthDiscord], **identity: Any
+) -> List[IndexRecord]:
+    return [
+        IndexRecord(
+            series_digest=identity["series_digest"],
+            series_name=identity["series_name"],
+            kind="discord",
+            length=int(discord.window),
+            score=float(discord.normalized_distance),
+            start=int(discord.offset),
+            end=int(discord.offset) + int(discord.window),
+            partner=int(discord.nearest_neighbor),
+            distance=float(discord.distance),
+            algorithm=identity["algorithm"],
+            result_key=identity["result_key"],
+        )
+        for discord in discords
+    ]
+
+
+def _records_from_pan_profile(
+    pan: PanMatrixProfile, **identity: Any
+) -> List[IndexRecord]:
+    """The best motif of every evaluated pan-profile length.
+
+    The pan rows are already length-normalised, so the row minimum *is* the
+    score; the raw distance is recovered by undoing the normalisation.
+    """
+    records: List[IndexRecord] = []
+    for row, length in enumerate(pan.lengths.tolist()):
+        normalized = pan.normalized_profiles[row]
+        finite = np.isfinite(normalized)
+        if not finite.any():
+            continue
+        start = int(np.argmin(np.where(finite, normalized, np.inf)))
+        partner = int(pan.index_profiles[row][start])
+        if partner < 0:
+            continue
+        score = float(normalized[start])
+        records.append(
+            IndexRecord(
+                series_digest=identity["series_digest"],
+                series_name=identity["series_name"],
+                kind="motif",
+                length=int(length),
+                score=score,
+                start=start,
+                end=start + int(length),
+                partner=partner,
+                distance=score * math.sqrt(int(length)),
+                algorithm=identity["algorithm"],
+                result_key=identity["result_key"],
+            )
+        )
+    return records
+
+
+def extract_records(result, *, series_digest: str, result_key: str) -> List[IndexRecord]:
+    """Flatten one :class:`~repro.api.requests.AnalysisResult` into rows.
+
+    Dispatches on the payload's native type; payloads that carry no
+    catalogable events (AB-join profiles, MPdist scalars) yield an empty
+    list — indexing them is a no-op, not an error.
+    """
+    identity = {
+        "series_digest": series_digest,
+        "series_name": str(getattr(result, "series_name", "series")),
+        "algorithm": str(getattr(result, "algo", "unknown")),
+        "result_key": result_key,
+    }
+    payload = getattr(result, "payload", result)
+    if isinstance(payload, ValmodResult):
+        return _records_from_range_result(_valmod_view(payload), **identity)
+    if isinstance(payload, RangeDiscoveryResult):
+        return _records_from_range_result(payload, **identity)
+    if isinstance(payload, MatrixProfile):
+        return _records_from_profile(payload, **identity)
+    if isinstance(payload, PanMatrixProfile):
+        return _records_from_pan_profile(payload, **identity)
+    if isinstance(payload, list) and payload and all(
+        isinstance(item, VariableLengthDiscord) for item in payload
+    ):
+        return _records_from_discords(payload, **identity)
+    return []
+
+
+def _valmod_view(result: ValmodResult) -> RangeDiscoveryResult:
+    """The per-length motif view of a full VALMOD result.
+
+    Built directly from ``length_results`` (the same ``MotifPair`` lists
+    ``_range_result_from_valmod`` reuses), so indexing the in-process result
+    and indexing its serialised envelope produce identical rows.
+    """
+    return RangeDiscoveryResult(
+        algorithm="valmod",
+        motifs_by_length={
+            length: list(result.length_results[length].motifs)
+            for length in result.lengths
+        },
+        elapsed_seconds=result.elapsed_seconds,
+    )
+
+
+def records_from_motif_set(
+    motif_set: MotifSet,
+    *,
+    series_digest: str,
+    series_name: str = "series",
+    algorithm: str = "motif_set",
+    result_key: str,
+) -> List[IndexRecord]:
+    """One ``motif_set`` row per occurrence of a motif set.
+
+    Motif sets are discovered through the flat
+    :mod:`repro.core.motif_sets` helpers rather than the session dispatch,
+    so callers index them explicitly; each occurrence's score is its
+    length-normalised distance to the nearest pair member and the partner is
+    the set's anchor (the pair's first offset).
+    """
+    window = int(motif_set.window)
+    anchor = int(motif_set.pair.offset_a)
+    records: List[IndexRecord] = []
+    for occurrence, distance in zip(motif_set.occurrences, motif_set.distances):
+        records.append(
+            IndexRecord(
+                series_digest=series_digest,
+                series_name=series_name,
+                kind="motif_set",
+                length=window,
+                score=float(distance) / math.sqrt(window),
+                start=int(occurrence),
+                end=int(occurrence) + window,
+                partner=anchor,
+                distance=float(distance),
+                algorithm=algorithm,
+                result_key=result_key,
+            )
+        )
+    return records
+
+
+def load_sidecar_view(payload: Mapping):
+    """Rebuild a motifs view from a ``.valmod.json`` sidecar document.
+
+    Tries the lossless :meth:`~repro.core.results.ValmodResult.from_dict`
+    first; an older sidecar missing optional fields (``base_profile``,
+    ``valmap``, ``config`` — anything beyond the per-length motif lists)
+    degrades to the tagged envelope view
+    (:class:`~repro.api.requests.EnvelopeRangeResult`) instead of raising,
+    so :meth:`~repro.index.catalog.MotifIndex.backfill` can walk historical
+    corpora.  Only a document without even ``length_results`` raises
+    :class:`~repro.exceptions.SerializationError`.
+    """
+    try:
+        return ValmodResult.from_dict(payload)
+    except (KeyError, TypeError, ValueError):
+        pass
+    from repro.api.requests import EnvelopeRangeResult
+
+    try:
+        motifs_by_length = {
+            int(length): [
+                MotifPair(
+                    distance=float(pair["distance"]),
+                    offset_a=int(pair["offset_a"]),
+                    offset_b=int(pair["offset_b"]),
+                    window=int(pair["window"]),
+                )
+                for pair in entry["motifs"]
+            ]
+            for length, entry in payload["length_results"].items()
+        }
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise SerializationError(
+            f"not a usable valmod sidecar: {error}"
+        ) from error
+    return EnvelopeRangeResult(
+        algorithm="valmod",
+        motifs_by_length=motifs_by_length,
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0) or 0.0),
+    )

@@ -192,8 +192,36 @@ class ServiceClient:
         return self._get("/capabilities")["algorithms"]
 
     def stats(self) -> dict:
-        """Server counters, completion order and per-session cache info."""
+        """Server counters, completion order, per-session cache info, and
+        (when a motif index is configured) the catalog's row/ingest/query
+        counters under the ``"index"`` key."""
         return self._get("/stats")
+
+    def query(self, query="") -> dict:
+        """Query the server's motif/discord catalog (``GET /query``).
+
+        ``query`` is either the CLI token string (``"kind=motif
+        length=64..128 top=5"``) or a mapping of the same parameters.
+        Values are percent-encoded on the wire, so URL-unsafe series names
+        (spaces, slashes, unicode) travel intact.  Returns the same
+        ``{"spec": ..., "count": ..., "rows": [...]}`` document ``repro
+        query`` prints.  Raises :class:`~repro.exceptions.ServiceError`
+        (status 404) when the server runs without an index.
+        """
+        from repro.index import QuerySpec
+
+        if isinstance(query, str):
+            params = QuerySpec.parse(query).as_dict()
+        elif isinstance(query, QuerySpec):
+            params = query.as_dict()
+        else:
+            params = dict(query)
+        encoded = "&".join(
+            f"{quote(str(key), safe='')}={quote(str(value), safe='')}"
+            for key, value in params.items()
+            if value is not None and value is not False
+        )
+        return self._get(f"/query?{encoded}" if encoded else "/query")
 
     def series_info(self, digest: str) -> dict | None:
         """Catalog metadata of one stored series, or ``None`` when unknown."""

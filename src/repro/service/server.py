@@ -51,6 +51,8 @@ Protocol
 ``GET /stats``          counters, completion order, per-session cache info
 ``GET /series/<digest>``catalog metadata for one stored series (or 404)
 ``PUT /series/<digest>``chunked raw-float64 upload, digest-verified
+``GET /query``          motif/discord catalog query (percent-encoded
+                        ``kind``/``digest``/``name``/``length``/… params)
 ``POST /analyze``       ``{"series": [...] | "series_digest": "...",``
                         ``"request": {...}}`` → envelope
 ======================= ==================================================
@@ -76,7 +78,7 @@ import threading
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import List, Tuple
-from urllib.parse import unquote
+from urllib.parse import parse_qsl, unquote
 
 import numpy as np
 
@@ -91,6 +93,7 @@ from repro.exceptions import (
     ServiceError,
     StoreError,
 )
+from repro.index import MotifIndex, QuerySpec
 from repro.store import DEFAULT_STORE_MAX_BYTES, SeriesStore
 from repro.store.series_store import is_series_digest
 
@@ -153,6 +156,11 @@ class ServiceConfig:
         only until LRU eviction).
     store_max_bytes:
         Byte cap of that store (``None`` disables the cap).
+    index_dir:
+        Optional directory of a :class:`~repro.index.MotifIndex` catalog:
+        every computed result is indexed automatically, ``GET /query``
+        answers cross-series motif/discord queries over it, and store
+        evictions prune its rows.  Without it ``/query`` answers 404.
     """
 
     host: str = "127.0.0.1"
@@ -164,6 +172,7 @@ class ServiceConfig:
     engine: EngineConfig = field(default_factory=EngineConfig)
     store_dir: object | None = None
     store_max_bytes: int | None = DEFAULT_STORE_MAX_BYTES
+    index_dir: object | None = None
 
     def __post_init__(self) -> None:
         if int(self.workers) < 1:
@@ -184,8 +193,9 @@ class _SessionPool:
     for concurrent mutation) while different series proceed independently.
     """
 
-    def __init__(self, config: ServiceConfig) -> None:
+    def __init__(self, config: ServiceConfig, index=None) -> None:
         self._config = config
+        self._index = index
         self._sessions: "OrderedDict[str, Tuple[Analysis, threading.Lock]]" = (
             OrderedDict()
         )
@@ -206,6 +216,7 @@ class _SessionPool:
             name=name,
             engine=self._config.engine,
             cache_config=self._config.cache,
+            index=self._index,
         )
         slot = (session, threading.Lock())
         evicted: List[Tuple[Analysis, threading.Lock]] = []
@@ -300,7 +311,12 @@ class AnalysisService:
 
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self._config = config or ServiceConfig()
-        self._pool = _SessionPool(self._config)
+        self._index = (
+            None
+            if self._config.index_dir is None
+            else MotifIndex(self._config.index_dir)
+        )
+        self._pool = _SessionPool(self._config, index=self._index)
         self._store = (
             None
             if self._config.store_dir is None
@@ -308,6 +324,9 @@ class AnalysisService:
                 self._config.store_dir, max_bytes=self._config.store_max_bytes
             )
         )
+        if self._store is not None and self._index is not None:
+            # A series leaving the store takes its catalog rows with it.
+            self._store.subscribe_removal(self._index.remove_series)
         self._queue: "asyncio.Queue[_Job]" = asyncio.Queue(
             maxsize=self._config.backlog
         )
@@ -398,6 +417,8 @@ class AnalysisService:
             self._executor = None
         # Sessions own shared-memory segments; unlink them with the service.
         self._pool.close_all()
+        if self._index is not None:
+            self._index.close()
 
     async def serve_until(self, stop_event: asyncio.Event) -> None:
         """Run until ``stop_event`` is set (the CLI's foreground loop)."""
@@ -544,7 +565,7 @@ class AnalysisService:
                     reader.readexactly(content_length),
                     timeout=_BODY_TIMEOUT_SECONDS,
                 )
-        return await self._route(method, path, body)
+        return await self._route(method, path, body, target.partition("?")[2])
 
     async def _read_head(
         self, reader: asyncio.StreamReader, *, idle_ok: bool
@@ -642,7 +663,7 @@ class AnalysisService:
         return keep_alive
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes, query: str = ""
     ) -> Tuple[int, dict]:
         if method == "GET" and path.startswith("/series/"):
             return self._handle_series_get(path)
@@ -657,13 +678,36 @@ class AnalysisService:
             return 200, {"algorithms": capabilities()}
         if method == "GET" and path == "/stats":
             return 200, self.stats()
+        if method == "GET" and path == "/query":
+            return await self._handle_query(query)
         if method == "POST" and path == "/analyze":
             return await self._handle_analyze(body)
-        if path in ("/health", "/capabilities", "/stats", "/analyze") or (
+        if path in ("/health", "/capabilities", "/stats", "/analyze", "/query") or (
             path.startswith("/series/")
         ):
             return 405, {"error": f"method {method} not allowed for {path}"}
         return 404, {"error": f"unknown path {path!r}"}
+
+    async def _handle_query(self, query: str) -> Tuple[int, dict]:
+        """Answer one ``GET /query`` over the motif index.
+
+        Parameters arrive percent-encoded (``parse_qsl`` decodes them, so
+        URL-unsafe series names travel intact) and map one-to-one onto
+        :meth:`repro.index.QuerySpec.from_params`.  The catalog read runs on
+        the worker executor — SQLite under the index lock is still blocking
+        work the event loop must not absorb.
+        """
+        if self._index is None:
+            return 404, {
+                "error": "no motif index is configured "
+                "(start the service with --data-dir)"
+            }
+        params = dict(parse_qsl(query, keep_blank_values=True))
+        try:
+            spec = QuerySpec.from_params(params)
+        except InvalidParameterError as error:
+            return 400, {"error": str(error)}
+        return 200, await self._offload(self._index.answer, spec)
 
     # ------------------------------------------------------------------ #
     # the series catalog endpoints
@@ -920,6 +964,7 @@ class AnalysisService:
             "completion_order": list(self._completion_order),
             "sessions": self._pool.stats(),
             "store": None if self._store is None else self._store.stats(),
+            "index": None if self._index is None else self._index.stats(),
         }
 
 

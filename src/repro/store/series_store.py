@@ -231,6 +231,26 @@ class SeriesStore:
         self._entries: Dict[str, dict] | None = None  # lazy manifest load
         self._sequence = 0
         self._evictions = 0
+        self._removal_callbacks: List = []
+
+    def subscribe_removal(self, callback) -> None:
+        """Register ``callback(digest)``, fired whenever a blob leaves the
+        store (eviction, :meth:`rm`, corruption healing, :meth:`gc` drops).
+
+        Subscribers keep derived state — e.g. a ``repro.index.MotifIndex``
+        pruning catalog rows for evicted series — consistent with the store.
+        Callbacks run with the store lock held and must not call back into
+        the store; a raising callback is swallowed (removal is best-effort
+        coordination, never a store failure).
+        """
+        self._removal_callbacks.append(callback)
+
+    def _notify_removal(self, digest: str) -> None:
+        for callback in list(self._removal_callbacks):
+            try:
+                callback(digest)
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------ #
     # layout
@@ -350,6 +370,7 @@ class SeriesStore:
             self.blob_path(digest).unlink()
         except OSError:
             pass
+        self._notify_removal(digest)
 
     def _adopt_blob(self, temp_path: Path, digest: str, size: int, name: str) -> None:
         """Move a fully-written temp blob into its content address."""
@@ -546,6 +567,8 @@ class SeriesStore:
                 self.blob_path(digest).unlink()
             except OSError:
                 pass
+            if present:
+                self._notify_removal(digest)
             self._write_manifest()
             return present
 
@@ -564,6 +587,7 @@ class SeriesStore:
             for stale in [d for d in entries if not self.blob_path(d).is_file()]:
                 entries.pop(stale)
                 dropped += 1
+                self._notify_removal(stale)
             blob_root = self._root / "blobs"
             if blob_root.is_dir():
                 for path in sorted(blob_root.glob(f"*/*{_BLOB_SUFFIX}")):
@@ -582,6 +606,7 @@ class SeriesStore:
                             path.unlink()
                         except OSError:
                             pass
+                        self._notify_removal(digest)
             for temp in self._root.glob(".ingest.*.tmp"):
                 try:
                     temp.unlink()
