@@ -1,0 +1,144 @@
+"""Thread vs process data plane throughput of the analysis service.
+
+Submits the same batch of CPU-bound requests (the pure-Python ``"oracle"``
+sweep kernel, which never releases the GIL) to two otherwise identical
+services — ``worker_kind="thread"`` and ``worker_kind="process"`` — and
+writes both wall times to ``BENCH_service_mp.json`` at the repository root.
+
+Each request targets a *distinct* series: same-digest jobs share one
+session (and its lock), which would serialise the batch regardless of the
+executor and measure nothing.
+
+The speedup gate follows the engine-scaling convention: it only runs where
+it can physically hold (≥ 2 effective cores, a working process pool) and
+is warn-only unless ``ENGINE_SPEEDUP_STRICT=1``; every skipped or soft
+gate leaves a warning in the log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api.requests import AnalysisRequest
+from repro.api.session import EngineConfig
+from repro.generators import generate_random_walk
+from repro.service import BackgroundService, ServiceClient, ServiceConfig
+
+SERIES_LENGTH = 1600
+WINDOW = 64
+N_SERIES = 4
+WORKERS = 2
+MIN_SPEEDUP = 1.3
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service_mp.json"
+
+
+def _loud_skip(reason: str) -> None:
+    warnings.warn(f"speedup gate skipped: {reason}")
+    pytest.skip(reason)
+
+
+def _effective_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def _series_batch() -> list:
+    return [
+        np.array(generate_random_walk(SERIES_LENGTH, random_state=seed).values)
+        for seed in range(N_SERIES)
+    ]
+
+
+def _run_batch(worker_kind: str, store_dir: str) -> tuple:
+    """One service, one warmup, one timed cold batch; returns (seconds, stats)."""
+    batch = _series_batch()
+    request = AnalysisRequest(kind="matrix_profile", params={"window": WINDOW})
+    config = ServiceConfig(
+        port=0,
+        workers=WORKERS,
+        worker_kind=worker_kind,
+        engine=EngineConfig(kernel="oracle"),
+        store_dir=Path(store_dir) / worker_kind,
+    )
+    with BackgroundService(config) as background:
+        # Warm up the pool (process workers spawn lazily on first use) and
+        # pre-upload every series so the timed phase measures computation,
+        # not digest negotiation.
+        warmup = ServiceClient(port=background.port, timeout=600)
+        warmup.analyze(
+            np.array(generate_random_walk(256, random_state=99).values),
+            AnalysisRequest(kind="matrix_profile", params={"window": 16}),
+        )
+        for values in batch:
+            warmup.put_series(values)
+
+        sources: list = [None] * N_SERIES
+
+        def submit(index: int) -> None:
+            client = ServiceClient(port=background.port, timeout=600)
+            _result, source = client.analyze(batch[index], request)
+            sources[index] = source
+
+        threads = [
+            threading.Thread(target=submit, args=(index,))
+            for index in range(N_SERIES)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        stats = warmup.stats()
+    assert sources == ["computed"] * N_SERIES
+    return elapsed, stats
+
+
+def test_service_thread_vs_process_throughput() -> None:
+    with tempfile.TemporaryDirectory() as store_dir:
+        thread_seconds, thread_stats = _run_batch("thread", store_dir)
+        process_seconds, process_stats = _run_batch("process", store_dir)
+
+    assert thread_stats["worker_kind"] == "thread"
+    speedup = thread_seconds / max(process_seconds, 1e-9)
+    payload = {
+        "series_length": SERIES_LENGTH,
+        "window": WINDOW,
+        "n_series": N_SERIES,
+        "workers": WORKERS,
+        "kernel": "oracle",
+        "effective_cores": _effective_cores(),
+        "cpu_count": os.cpu_count(),
+        "thread_seconds": thread_seconds,
+        "process_seconds": process_seconds,
+        "process_speedup": speedup,
+        "process_worker_kind": process_stats["worker_kind"],
+        "process_zero_copy_jobs": process_stats.get("zero_copy_jobs", 0),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    if process_stats["worker_kind"] != "process":
+        _loud_skip("the environment cannot host a process pool (degraded to threads)")
+    # The blob-backed zero-copy path must actually have been taken.
+    assert process_stats["zero_copy_jobs"] >= N_SERIES
+    if _effective_cores() < 2:
+        _loud_skip(f"{_effective_cores()} effective core(s): no parallel speedup to gate")
+    if speedup < MIN_SPEEDUP:
+        message = (
+            f"process workers {speedup:.2f}x vs threads "
+            f"(wanted >= {MIN_SPEEDUP}x on {_effective_cores()} cores)"
+        )
+        if os.environ.get("ENGINE_SPEEDUP_STRICT") == "1":
+            raise AssertionError(message)
+        warnings.warn(message)

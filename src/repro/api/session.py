@@ -177,8 +177,16 @@ class Analysis:
         store=None,
         index=None,
     ) -> None:
+        self._blob_handle = None
         if isinstance(series, str):
-            series = self._resolve_digest(series, store)
+            digest = series
+            series = self._resolve_digest(digest, store)
+            # Remember the store blob behind this series: engine batches can
+            # then ship a ~100-byte BlobHandle to process workers instead of
+            # pickling (or shm-repacking) the O(n) values.
+            handle_of = getattr(store, "handle", None)
+            if callable(handle_of):
+                self._blob_handle = handle_of(digest)
         self._series = as_series(series, name=name)
         if engine is None:
             engine = EngineConfig()
@@ -462,6 +470,47 @@ class Analysis:
             result, series_digest=self.series_digest, result_key=key
         )
 
+    def probe(self, request: AnalysisRequest) -> Tuple[AnalysisResult, str] | None:
+        """Cache-only lookup of one request: ``(result, source)`` or ``None``.
+
+        The read half of :meth:`run_with_info` — resolves the algorithm,
+        derives the canonical key and probes both cache tiers, but never
+        computes.  The service's process data plane uses this split: the
+        parent probes its pooled session, only misses travel to a worker
+        process, and the worker's answer comes back through
+        :meth:`adopt_result`.
+        """
+        if not isinstance(request, AnalysisRequest):
+            raise InvalidParameterError(
+                f"probe() expects an AnalysisRequest, got {type(request).__name__}"
+            )
+        spec = resolve_algorithm(request.kind, request.algo)
+        key = canonical_cache_key(spec, request)
+        if key is None:
+            return None
+        return self._probe_caches(key)
+
+    def adopt_result(self, request: AnalysisRequest, result: AnalysisResult) -> None:
+        """Record a result computed elsewhere as if this session computed it.
+
+        The write half of :meth:`run_with_info`: the envelope enters both
+        cache tiers under the request's canonical key and is catalogued in
+        the motif index.  ``result`` must answer ``request`` for this series
+        — the caller (the service worker loop) guarantees that by
+        construction, the session cannot check it.
+        """
+        if not isinstance(request, AnalysisRequest):
+            raise InvalidParameterError(
+                f"adopt_result() expects an AnalysisRequest, "
+                f"got {type(request).__name__}"
+            )
+        spec = resolve_algorithm(request.kind, request.algo)
+        key = canonical_cache_key(spec, request)
+        self._misses += 1
+        if key is not None:
+            self._cache_store(key, result)
+        self._index_computed(spec, request, key, result)
+
     # ------------------------------------------------------------------ #
     # the one dispatch path
     # ------------------------------------------------------------------ #
@@ -590,9 +639,18 @@ class Analysis:
         """Dispatch plain STOMP requests as one engine batch."""
         from repro.engine.batch import ProfileJob, compute_profiles
 
+        series_ref: object = self.values
+        if self._engine.enabled and self._blob_handle is not None:
+            # Store-resolved sessions hand workers the blob handle: each
+            # worker memory-maps the catalog file directly (zero-copy)
+            # instead of receiving a pickled or shm-repacked array.
+            from pathlib import Path
+
+            if Path(self._blob_handle.path).is_file():
+                series_ref = self._blob_handle
         jobs = [
             ProfileJob(
-                self.values,
+                series_ref,
                 window=int(requests[index].params["window"]),
                 exclusion_radius=requests[index].params.get("exclusion_radius"),
                 block_size=self._engine.block_size,

@@ -218,6 +218,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="worker tasks draining the queue"
     )
     serve.add_argument(
+        "--worker-kind",
+        choices=["thread", "process"],
+        default="thread",
+        help="run computations on threads (default) or an engine process "
+        "pool (CPU-bound jobs overlap without the GIL; degrades to threads "
+        "where process pools are unavailable)",
+    )
+    serve.add_argument(
         "--backlog",
         type=int,
         default=32,
@@ -616,6 +624,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        worker_kind=args.worker_kind,
         backlog=args.backlog,
         max_sessions=args.max_sessions,
         cache=CacheConfig(

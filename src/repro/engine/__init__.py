@@ -43,14 +43,17 @@ from repro.engine.partition import (
     plan_blocks,
 )
 from repro.engine.shm import (
+    BlobHandle,
     SharedArraysHandle,
     SharedSeriesBuffer,
     attach_arrays,
+    attach_blob,
     shared_memory_available,
 )
 
 __all__ = [
     "AUTO_PARALLEL_MIN_TASK_UNITS",
+    "BlobHandle",
     "DEFAULT_RESEED_INTERVAL",
     "Executor",
     "JobOutcome",
@@ -60,6 +63,7 @@ __all__ = [
     "SharedArraysHandle",
     "SharedSeriesBuffer",
     "attach_arrays",
+    "attach_blob",
     "auto_executor",
     "compute_profiles",
     "default_block_size",

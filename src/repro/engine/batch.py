@@ -19,20 +19,42 @@ first-class API:
 on series identity shares one :class:`~repro.stats.sliding.SlidingStats`
 (one pair of prefix-sum arrays) across every job on the same series —
 this is what makes a many-lengths batch over one series cost one ``O(n)``
-statistics pass instead of one per length.  Parallel workers live in
-separate processes and rebuild the ``O(n)`` statistics per job; that cost
-is negligible against the ``O(n²)`` profile computation it fronts.
+statistics pass instead of one per length.
+
+Series transport
+----------------
+``job.series`` also accepts the engine's picklable handles instead of an
+array: a :class:`~repro.engine.shm.BlobHandle` (a store blob the worker
+memory-maps zero-copy) or a :class:`~repro.engine.shm.SharedArraysHandle`
+packing just ``{"values": ...}``.  Handle-backed payloads stay a few
+hundred bytes regardless of series length, so a thousand-job fan-out over
+one ten-million-point series ships kilobytes instead of eighty gigabytes.
+Array-backed jobs that *share* one series object are rewritten onto this
+transport automatically before a process-pool dispatch (see
+``_prepare_parallel_tasks``) — the per-job O(n) pickle the parallel path
+used to pay was a bug, not a contract.  Workers resolve a handle once per
+process (the attach caches in :mod:`repro.engine.shm`) and share the
+``O(n)`` sliding statistics across jobs on the same handle through a
+small per-process cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Tuple, Union
 
 import numpy as np
 
 from repro.engine.executor import Executor, resolve_executor
 from repro.engine.partition import DEFAULT_RESEED_INTERVAL, partitioned_stomp
+from repro.engine.shm import (
+    BlobHandle,
+    SharedArraysHandle,
+    SharedSeriesBuffer,
+    attach_arrays,
+    attach_blob,
+)
 from repro.exceptions import InvalidParameterError
 from repro.matrix_profile.distance_profile import distance_profile
 from repro.matrix_profile.profile import MatrixProfile
@@ -41,6 +63,17 @@ from repro.series.validation import validate_series
 from repro.stats.sliding import SlidingStats
 
 __all__ = ["ProfileJob", "JobOutcome", "compute_profiles"]
+
+#: Entry cap of the per-process stats cache for handle-backed jobs.  A
+#: worker typically serves many jobs over few distinct series; a handful of
+#: slots captures that reuse while bounding worker memory (two prefix-sum
+#: arrays per entry).
+_WORKER_STATS_MAX_ENTRIES = 4
+
+#: Per-process ``SlidingStats`` cache keyed by handle identity (blob digest
+#: or segment name).  Only handle-backed series use it: handles have a
+#: stable cross-pickle identity, ``id()`` of an unpickled array does not.
+_WORKER_STATS: "OrderedDict[tuple, SlidingStats]" = OrderedDict()
 
 
 @dataclass(frozen=True, eq=False)
@@ -156,9 +189,51 @@ def _profile_for_length(
     )
 
 
+def _series_cache_key(series: object) -> tuple:
+    """A stats-cache key that survives pickling for handle-backed series.
+
+    Handles carry a stable identity (blob digest, segment name); plain
+    arrays only have ``id()``, which is meaningful within one process but
+    not across a pool dispatch — which is fine, because plain arrays only
+    hit the *per-batch* cache of the serial path.
+    """
+    if isinstance(series, BlobHandle):
+        return ("blob", series.digest)
+    if isinstance(series, SharedArraysHandle):
+        return ("shm", series.shm_name)
+    return ("id", id(series))
+
+
+def _resolve_series(series: object) -> np.ndarray:
+    """Materialise ``job.series`` into a validated float64 array.
+
+    Handles resolve through the per-process attach caches in
+    :mod:`repro.engine.shm`, so a worker maps each distinct blob/segment
+    once no matter how many jobs reference it.
+    """
+    if isinstance(series, BlobHandle):
+        return validate_series(attach_blob(series))
+    if isinstance(series, SharedArraysHandle):
+        return validate_series(attach_arrays(series)["values"])
+    return validate_series(series)
+
+
+def _worker_stats(key: tuple, values: np.ndarray) -> SlidingStats:
+    """Per-process ``SlidingStats`` for a handle-backed series (LRU)."""
+    stats = _WORKER_STATS.get(key)
+    if stats is None:
+        stats = SlidingStats(values)
+        while len(_WORKER_STATS) >= _WORKER_STATS_MAX_ENTRIES:
+            _WORKER_STATS.popitem(last=False)
+        _WORKER_STATS[key] = stats
+    else:
+        _WORKER_STATS.move_to_end(key)
+    return stats
+
+
 def _run_job(
     job: ProfileJob,
-    stats_cache: Dict[int, SlidingStats] | None = None,
+    stats_cache: Dict[tuple, SlidingStats] | None = None,
 ) -> Tuple[str, object]:
     """Run one job to a ``("ok", result)`` / ``("error", exc)`` pair.
 
@@ -167,14 +242,20 @@ def _run_job(
     exception itself) keeps the transport picklable either way.
     """
     try:
-        values = validate_series(job.series)
-        stats = None
-        if stats_cache is not None:
-            stats = stats_cache.get(id(job.series))
-        if stats is None:
-            stats = SlidingStats(values)
+        values = _resolve_series(job.series)
+        key = _series_cache_key(job.series)
+        if key[0] == "id":
+            stats = None
             if stats_cache is not None:
-                stats_cache[id(job.series)] = stats
+                stats = stats_cache.get(key)
+            if stats is None:
+                stats = SlidingStats(values)
+                if stats_cache is not None:
+                    stats_cache[key] = stats
+        else:
+            # Handle-backed series: the per-process cache makes the O(n)
+            # prefix sums a once-per-worker cost across pool dispatches.
+            stats = _worker_stats(key, values)
         if job.query_offset is not None:
             # Single-offset job: one distance profile (a MASS call), not a
             # full matrix profile.  No stats.forget(): many such jobs share
@@ -217,6 +298,67 @@ def _job_task(job: ProfileJob) -> Tuple[str, object]:
     return _run_job(job)
 
 
+def _series_length(series: object) -> int | None:
+    """Series length without materialising the data.
+
+    Handles already know their length; attaching them in the parent just
+    to size the work would pin mappings the parent never computes on.
+    """
+    if isinstance(series, BlobHandle):
+        return int(series.length)
+    if isinstance(series, SharedArraysHandle):
+        for key, _offset, count in series.fields:
+            if key == "values":
+                return int(count)
+        return None
+    try:
+        return int(validate_series(series).size)
+    except Exception:  # invalid series fail per-job later, not here
+        return None
+
+
+def _prepare_parallel_tasks(
+    job_list: List[ProfileJob],
+) -> Tuple[List[ProfileJob], List[SharedSeriesBuffer]]:
+    """Rewrite shared plain-array series onto handle transport.
+
+    Jobs whose ``series`` is the *same array object* would each pickle the
+    full O(n) array across the pool boundary — for a length sweep over one
+    series that is O(n · jobs) of pure serialisation.  Groups of two or
+    more such jobs get their series packed once into a
+    :class:`~repro.engine.shm.SharedSeriesBuffer` and the jobs rewritten
+    to reference its handle; singleton and already-handle-backed jobs pass
+    through untouched.  Returns the (possibly rewritten) task list plus
+    the buffers the caller must close after the map completes.
+
+    The rewrite only changes the *transport*: outcomes still reference the
+    caller's original jobs, and a packing failure (no shared memory)
+    simply leaves the remaining jobs on the pickle path.
+    """
+    groups: Dict[int, List[int]] = {}
+    for index, job in enumerate(job_list):
+        if isinstance(job.series, (BlobHandle, SharedArraysHandle)):
+            continue
+        groups.setdefault(id(job.series), []).append(index)
+
+    tasks = list(job_list)
+    buffers: List[SharedSeriesBuffer] = []
+    for indices in groups.values():
+        if len(indices) < 2:
+            continue
+        try:
+            values = validate_series(job_list[indices[0]].series)
+        except Exception:
+            continue  # the job itself will surface the validation error
+        buffer = SharedSeriesBuffer.create({"values": values})
+        if buffer is None:  # shared memory unavailable: keep pickling
+            break
+        buffers.append(buffer)
+        for index in indices:
+            tasks[index] = replace(job_list[index], series=buffer.handle)
+    return tasks, buffers
+
+
 def compute_profiles(
     jobs: Iterable[ProfileJob],
     *,
@@ -254,9 +396,8 @@ def compute_profiles(
 
     task_units = 0
     for job in job_list:
-        try:
-            size = validate_series(job.series).size
-        except Exception:  # invalid series fail per-job later, not here
+        size = _series_length(job.series)
+        if size is None:  # invalid series fail per-job later, not here
             continue
         if job.query_offset is not None:
             # One MASS call is O(n log n), i.e. ~log2(n) "profile rows".
@@ -267,10 +408,21 @@ def compute_profiles(
     chosen, owned = resolve_executor(executor, task_units=task_units, n_jobs=n_jobs)
     try:
         if chosen.supports_callbacks:  # serial: share stats across jobs
-            stats_cache: Dict[int, SlidingStats] = {}
+            stats_cache: Dict[tuple, SlidingStats] = {}
             raw = [_run_job(job, stats_cache) for job in job_list]
         else:
-            raw = chosen.map(_job_task, job_list)
+            tasks = job_list
+            buffers: List[SharedSeriesBuffer] = []
+            if chosen.uses_processes:
+                # Deduplicate shared plain-array series onto handle
+                # transport so the pool pickles bytes, not gigabytes.
+                tasks, buffers = _prepare_parallel_tasks(job_list)
+            try:
+                raw = chosen.map(_job_task, tasks)
+            finally:
+                for buffer in buffers:
+                    buffer.close()
+                    buffer.unlink()
     finally:
         if owned:
             chosen.close()

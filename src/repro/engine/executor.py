@@ -169,9 +169,32 @@ class ParallelExecutor(Executor):
             return [fn(task) for task in tasks]
         return list(pool.map(fn, tasks))
 
-    def close(self) -> None:
+    def submit(self, fn: Callable, /, *args):
+        """Schedule one call on the pool; returns its ``concurrent.futures``
+        future.
+
+        The submission half of the :class:`concurrent.futures.Executor`
+        interface, which is what lets ``loop.run_in_executor`` drive this
+        pool directly (the analysis service's process data plane).  A
+        degraded executor raises instead of silently running ``fn`` inline —
+        inline execution during ``submit`` would block the caller's event
+        loop, the exact failure mode the pool exists to prevent; callers
+        check :attr:`uses_processes` first and fall back themselves.
+        """
+        pool = self._ensure_pool()
+        if pool is None:
+            raise InvalidParameterError(
+                "this ParallelExecutor degraded to in-process execution; "
+                "submit() needs a live process pool (check uses_processes)"
+            )
+        return pool.submit(fn, *args)
+
+    def close(self, *, wait: bool = True, cancel_futures: bool = False) -> None:
+        """Shut the pool down.  ``wait=False`` + ``cancel_futures=True`` is
+        the service-shutdown flavour: pending tasks are dropped and the
+        call returns without blocking on in-flight computations."""
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
             self._pool = None
 
 

@@ -37,6 +37,7 @@ and ``unlink()`` performs the single matching unregister (see the note in
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -44,7 +45,7 @@ from typing import Callable, Dict, Mapping, Tuple
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, StoreError
 
 try:  # pragma: no cover - the import succeeds on every supported platform
     from multiprocessing import shared_memory as _shared_memory
@@ -53,11 +54,14 @@ except ImportError:  # pragma: no cover
 
 __all__ = [
     "SharedArraysHandle",
+    "BlobHandle",
     "SharedSeriesBuffer",
     "SharedSegmentPool",
     "attach_arrays",
+    "attach_blob",
     "shared_memory_available",
     "ATTACH_CACHE_MAX_BYTES",
+    "BLOB_CACHE_MAX_BYTES",
     "DEFAULT_SEGMENT_POOL_MAX_BYTES",
 ]
 
@@ -99,6 +103,95 @@ class SharedArraysHandle:
     def total_elements(self) -> int:
         """Summed element count of every packed array."""
         return sum(count for _, _, count in self.fields)
+
+
+#: Byte cap of the per-process blob attach cache.  The cached arrays are
+#: file-backed memory maps, so the "bytes" here are address space and page
+#: cache, not anonymous memory — the cap exists so a worker serving
+#: thousands of series over its lifetime cannot accumulate an unbounded
+#: set of open mappings.
+BLOB_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
+#: Per-process cache of attached store blobs, keyed by content digest.
+#: Content-addressing makes the cache trivially correct: a digest's bytes
+#: never change, so an entry can only ever be stale by *absence*.
+_BLOB_CACHE: "Dict[str, np.ndarray]" = {}
+
+
+@dataclass(frozen=True)
+class BlobHandle:
+    """Picklable address of one store blob: the zero-copy series transport.
+
+    A :class:`~repro.store.SeriesStore` blob is already the perfect worker
+    payload — a raw little-endian float64 file whose sha1 *is* the series
+    digest, so any process that can see the filesystem can map it read-only
+    and verify it independently.  The handle carries the blob ``path``, the
+    content ``digest`` and the element ``length``; workers resolve it with
+    :func:`attach_blob`.  Unlike :class:`SharedArraysHandle` nothing is
+    packed, copied or unlinked: the store owns the file, the handle merely
+    names it.
+
+    Mint handles with :meth:`repro.store.SeriesStore.handle`.
+    """
+
+    path: str
+    digest: str
+    length: int
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the blob in bytes (8 bytes per float64 element)."""
+        return int(self.length) * 8
+
+
+def attach_blob(handle: BlobHandle, *, verify: bool = True) -> np.ndarray:
+    """Memory-map the blob of ``handle`` read-only, cached per process.
+
+    The returned array is a **read-only view over the file mapping** — no
+    copy is made in the attaching process, which is the whole point of the
+    transport: N workers over one series share the kernel's page cache
+    instead of holding N pickled copies.  ``verify=True`` (default) hashes
+    the mapped bytes once per process and raises
+    :class:`~repro.exceptions.StoreError` on a digest mismatch, keeping the
+    store's self-verifying contract across the process boundary.
+
+    A vanished or truncated blob raises :class:`StoreError` too: handles
+    are built from a live manifest entry immediately before dispatch, so a
+    failure here means the blob really disappeared underneath the job (an
+    LRU eviction racing the dispatch) and surfacing it beats computing on
+    garbage.  On Linux an *unlinked* blob with a live mapping stays valid,
+    so cached attachments never dangle.
+    """
+    cached = _BLOB_CACHE.get(handle.digest)
+    if cached is not None and cached.size == int(handle.length):
+        return cached
+    try:
+        mapped = np.memmap(handle.path, dtype="<f8", mode="r")
+    except (OSError, ValueError) as error:
+        raise StoreError(
+            f"cannot attach store blob {handle.path!r} "
+            f"(digest {handle.digest}): {error}"
+        ) from error
+    if mapped.size != int(handle.length):
+        raise StoreError(
+            f"store blob {handle.path!r} holds {mapped.size} elements, "
+            f"expected {handle.length} — truncated or corrupted"
+        )
+    if verify:
+        observed = hashlib.sha1(memoryview(mapped).cast("B")).hexdigest()
+        if observed != handle.digest:
+            raise StoreError(
+                f"store blob {handle.path!r} hashes to {observed}, "
+                f"expected {handle.digest} — refusing corrupted data"
+            )
+    array = mapped.view(np.ndarray)
+    array.flags.writeable = False
+    total = sum(entry.size * 8 for entry in _BLOB_CACHE.values()) + array.nbytes
+    while _BLOB_CACHE and total > BLOB_CACHE_MAX_BYTES:
+        evicted = next(iter(_BLOB_CACHE))
+        total -= _BLOB_CACHE.pop(evicted).size * 8
+    _BLOB_CACHE[handle.digest] = array
+    return array
 
 
 def shared_memory_available() -> bool:

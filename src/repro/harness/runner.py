@@ -47,7 +47,7 @@ ENGINE_AWARE = frozenset(
 )
 
 
-def _session(series, engine, n_jobs, block_size=None, kernel=None) -> Analysis:
+def _session(series, engine, n_jobs, block_size=None, kernel=None, store=None) -> Analysis:
     if isinstance(series, Analysis):
         return series
     return Analysis(
@@ -55,6 +55,7 @@ def _session(series, engine, n_jobs, block_size=None, kernel=None) -> Analysis:
         engine=EngineConfig(
             executor=engine, n_jobs=n_jobs, block_size=block_size, kernel=kernel
         ),
+        store=store,
     )
 
 
@@ -73,6 +74,11 @@ def run_algorithm(
     same registry), but computed (and cached) in the server process.
     ``service_timeout=`` (seconds, default 300) bounds the wait for the
     server's answer — large series/ranges legitimately compute for minutes.
+
+    ``series`` may also be a **content digest string**: pass ``store=`` (a
+    :class:`repro.store.SeriesStore`) to resolve it locally, or
+    ``service_url=`` to let the server resolve it from *its* catalog — the
+    harness then never holds the values at all.
     """
     if name not in ALGORITHMS:
         raise InvalidParameterError(
@@ -82,6 +88,7 @@ def run_algorithm(
     n_jobs = options.pop("n_jobs", None)
     block_size = options.pop("block_size", None)
     kernel = options.pop("kernel", None)
+    store = options.pop("store", None)
     service_url = options.pop("service_url", None)
     service_timeout = float(options.pop("service_timeout", 300.0))
     if name not in ENGINE_AWARE:
@@ -102,7 +109,7 @@ def run_algorithm(
         client = ServiceClient.from_url(service_url, timeout=service_timeout)
         result, _source = client.analyze(values, request)
         return result.range_result()
-    session = _session(series, engine, n_jobs, block_size, kernel)
+    session = _session(series, engine, n_jobs, block_size, kernel, store)
     return session.run(request).range_result()
 
 
@@ -116,6 +123,7 @@ def compare_algorithms(
     n_jobs: int | None = None,
     block_size: int | None = None,
     kernel: str | None = None,
+    store: object | None = None,
     service_url: str | None = None,
     **options,
 ) -> List[RangeDiscoveryResult]:
@@ -131,6 +139,11 @@ def compare_algorithms(
     identical inputs.  ``service_url`` routes every algorithm through a
     running analysis service instead of computing in-process (the server's
     session pool then plays the shared-session role).
+
+    ``series`` may be a **content digest string** resolved through
+    ``store=`` (locally) or by the server's catalog (with ``service_url``)
+    — so ``compare_algorithms(store=store, series=digest, ...)``-style
+    calls never materialise the values in the harness process.
     """
     if service_url is not None:
         values = series.values if isinstance(series, Analysis) else series
@@ -145,7 +158,7 @@ def compare_algorithms(
             )
             for name in algorithms
         ]
-    session = _session(series, engine, n_jobs, block_size, kernel)
+    session = _session(series, engine, n_jobs, block_size, kernel, store)
     # One session for every algorithm: the non-engine-aware runners simply
     # never read session.engine, so no second "plain" session is needed.
     return [

@@ -15,7 +15,13 @@ from typing import Iterable, List, Mapping, Sequence
 
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["format_table", "format_markdown_table", "save_rows_csv", "select_columns"]
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "metrics_rows",
+    "save_rows_csv",
+    "select_columns",
+]
 
 
 def _stringify(value: object, float_format: str) -> str:
@@ -121,3 +127,50 @@ def save_rows_csv(
         for row in materialised:
             writer.writerow({column: row.get(column, "") for column in columns})
     return target
+
+
+def metrics_rows(document: Mapping[str, object]) -> List[dict]:
+    """Flatten a service ``GET /metrics`` document into harness table rows.
+
+    One row per ``(kind, phase)`` histogram with ``count`` / ``mean`` /
+    ``p50`` / ``p95`` columns, ready for :func:`format_table` /
+    :func:`save_rows_csv` — quantiles are read from the shared log-spaced
+    bucket bounds (upper-bound estimates, matching the server's own
+    ``/stats`` summaries).
+    """
+    import math
+
+    bounds = [float(bound) for bound in document.get("bounds", [])]
+    kinds = document.get("kinds", {})
+    if not isinstance(kinds, Mapping):
+        raise InvalidParameterError("'kinds' must be a mapping of histograms")
+
+    def quantile(counts: Sequence[int], total: int, q: float) -> float | None:
+        if not total or not bounds:
+            return None
+        rank = max(1, math.ceil(q * total))
+        seen = 0
+        for index, bucket in enumerate(counts):
+            seen += int(bucket)
+            if seen >= rank:
+                return bounds[min(index, len(bounds) - 1)]
+        return bounds[-1]
+
+    rows: List[dict] = []
+    for kind in sorted(kinds):
+        phases = kinds[kind]
+        for phase, histogram in phases.items():
+            count = int(histogram.get("count", 0))
+            total_seconds = float(histogram.get("sum", 0.0))
+            counts = histogram.get("counts", [])
+            rows.append(
+                {
+                    "kind": kind,
+                    "phase": phase,
+                    "count": count,
+                    "mean": (total_seconds / count) if count else None,
+                    "p50": quantile(counts, count, 0.5),
+                    "p95": quantile(counts, count, 0.95),
+                }
+            )
+    return rows

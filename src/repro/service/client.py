@@ -197,6 +197,17 @@ class ServiceClient:
         counters under the ``"index"`` key."""
         return self._get("/stats")
 
+    def metrics(self) -> dict:
+        """The server's latency histograms (``GET /metrics``).
+
+        ``{"bounds": [...], "phases": [...], "kinds": {kind: {phase:
+        {"count", "sum", "counts"}}}}`` — fixed log-spaced buckets, so two
+        scrapes diff (and different servers sum) bucket-by-bucket;
+        :func:`repro.harness.tables.metrics_rows` flattens the document
+        into harness table rows.
+        """
+        return self._get("/metrics")
+
     def query(self, query="") -> dict:
         """Query the server's motif/discord catalog (``GET /query``).
 
@@ -279,11 +290,32 @@ class ServiceClient:
         an ``unknown_digest`` 404 triggers one ``PUT /series`` upload plus
         one retry.  ``transport="values"`` ships the values inline like the
         pre-store protocol did.
+
+        ``series`` may also be a **digest string** for a series the server
+        already has (a prior upload, the server's store): the submission is
+        digest-only, the caller never holds the values, and an unknown
+        digest stays a 404 — there is nothing to upload.
         """
         if transport not in ("digest", "values"):
             raise InvalidParameterError(
                 f"transport must be 'digest' or 'values', got {transport!r}"
             )
+        if isinstance(series, str):
+            if transport == "values":
+                raise InvalidParameterError(
+                    "a digest-string series cannot use transport='values' "
+                    "(the client does not hold the values)"
+                )
+            if isinstance(request, AnalysisRequest):
+                request_document = request.as_dict()
+            else:
+                request_document = dict(request)
+            document = {"request": request_document, "series_digest": series}
+            if series_name is not None:
+                document["series_name"] = series_name
+            if request_id is not None:
+                document["id"] = request_id
+            return self._post_analyze(document)
         values, name = self._coerce_series(series, series_name)
         if isinstance(request, AnalysisRequest):
             request_document = request.as_dict()

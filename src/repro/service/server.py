@@ -10,13 +10,34 @@ Execution model
 ---------------
 Connection handlers never compute.  A ``POST /analyze`` body is parsed and
 enqueued on a **bounded** :class:`asyncio.Queue`; a fixed pool of worker
-tasks drains it in FIFO order, running each computation on a thread
-executor so the event loop keeps answering health checks and new
-submissions while a profile is being computed.  A full queue answers
-``503`` immediately — real backpressure instead of unbounded buffering,
-which is what the single-core tier-1 environment can actually exercise and
-assert on (the concurrency tests check correctness and queue ordering, not
-parallel speedup).
+tasks drains it in FIFO order.  With the default ``worker_kind="thread"``
+each computation runs on a thread executor; with ``worker_kind="process"``
+the computation itself crosses into an engine
+:class:`~repro.engine.executor.ParallelExecutor` process pool — the GIL
+leaves the picture, so CPU-bound profile computations genuinely overlap.
+Either way a full queue answers ``503`` immediately — real backpressure
+instead of unbounded buffering.
+
+The process data plane splits each job in three: the **parent** probes the
+pooled session's caches (a hit never pays a process round-trip), a
+**worker process** computes on a cache miss, and the parent **adopts** the
+returned envelope back into the pooled session (cache tiers + motif
+index), so thread and process workers observe identical cache semantics.
+Workers never receive pickled value arrays when the service has a store:
+the job ships a ~100-byte :class:`~repro.engine.shm.BlobHandle` and the
+worker memory-maps the content-addressed blob file directly (zero-copy,
+verified once per process).
+
+Request pipelining
+------------------
+A kept-alive connection is served by a **reader loop + writer task** pair:
+the reader keeps parsing and dispatching requests while earlier ones are
+still computing, and the writer emits the responses strictly in request
+order (HTTP/1.1 pipelining semantics).  A client may thus stuff several
+``/analyze`` submissions down one socket and have them compute
+concurrently — previously the connection was serial even though the
+workers were not.  A bounded in-flight budget per connection keeps one
+socket from monopolising the queue.
 
 Sessions and caching
 --------------------
@@ -48,7 +69,10 @@ Protocol
 ======================= ==================================================
 ``GET /health``         liveness + queue depth
 ``GET /capabilities``   the algorithm registry's capability table
-``GET /stats``          counters, completion order, per-session cache info
+``GET /stats``          counters, completion order, per-session cache info,
+                        latency summaries
+``GET /metrics``        per-kind latency histograms (queue wait / execute /
+                        total, fixed log-spaced buckets)
 ``GET /series/<digest>``catalog metadata for one stored series (or 404)
 ``PUT /series/<digest>``chunked raw-float64 upload, digest-verified
 ``GET /query``          motif/discord catalog query (percent-encoded
@@ -73,19 +97,25 @@ is full.
 from __future__ import annotations
 
 import asyncio
+import bisect
 import json
+import math
 import threading
+import time
 from collections import OrderedDict, deque
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Tuple, Union
 from urllib.parse import parse_qsl, unquote
 
 import numpy as np
 
 from repro.api.cache import CacheConfig, series_digest
 from repro.api.registry import capabilities
-from repro.api.requests import AnalysisRequest
+from repro.api.requests import AnalysisRequest, AnalysisResult
 from repro.api.session import Analysis, EngineConfig
+from repro.engine.executor import ParallelExecutor
+from repro.engine.shm import BlobHandle, attach_blob
 from repro.exceptions import (
     InvalidParameterError,
     ReproError,
@@ -122,6 +152,109 @@ _UPLOAD_CHUNK_BYTES = 256 * 1024
 #: and operational spot checks; unbounded growth would contradict the
 #: layer's whole bounded-memory story).
 _COMPLETION_HISTORY = 4096
+#: Most requests one connection may have in flight (parsed but not yet
+#: answered).  The budget keeps a single pipelining client from buffering
+#: unbounded responses or monopolising the request queue.
+_MAX_PIPELINE_DEPTH = 64
+
+#: Latency histogram bucket upper bounds: 100µs to 100s, four buckets per
+#: decade.  Fixed and log-spaced so histograms from different processes (or
+#: different /metrics scrapes) can be summed bucket-by-bucket.
+_LATENCY_BUCKET_BOUNDS = tuple(10.0 ** (-4 + i / 4) for i in range(25))
+#: The phases each /analyze job is timed over: queue wait (enqueue to
+#: dequeue), execute (dequeue to completion) and total (receipt to
+#: completion — what the client experiences minus the socket).
+_METRIC_PHASES = ("queue", "execute", "total")
+
+#: Per-process cap of worker-side Analysis sessions (process workers).  A
+#: worker serves many jobs over few distinct series; a handful of slots
+#: keeps statistics/caches warm without letting worker memory track the
+#: whole catalog.
+_WORKER_SESSION_SLOTS = 4
+
+
+class _LatencyHistogram:
+    """One fixed-bucket latency histogram (event-loop-thread only).
+
+    Counts land via :func:`bisect.bisect_left` over the shared bound table;
+    the final slot is the overflow bucket.  Quantiles are read as the upper
+    bound of the bucket containing the rank — an upper estimate, exact
+    enough for dashboards and the regression tests' monotonicity checks.
+    """
+
+    __slots__ = ("counts", "count", "total")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(_LATENCY_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect.bisect_left(_LATENCY_BUCKET_BOUNDS, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+
+    def quantile(self, q: float) -> float | None:
+        """Upper-bound estimate of the ``q``-quantile (``None`` when empty)."""
+        if not self.count:
+            return None
+        rank = max(1, math.ceil(float(q) * self.count))
+        seen = 0
+        for index, bucket in enumerate(self.counts):
+            seen += bucket
+            if seen >= rank:
+                bounded = min(index, len(_LATENCY_BUCKET_BOUNDS) - 1)
+                return _LATENCY_BUCKET_BOUNDS[bounded]
+        return _LATENCY_BUCKET_BOUNDS[-1]
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "sum": self.total, "counts": list(self.counts)}
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": (self.total / self.count) if self.count else None,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class _ServiceMetrics:
+    """Per-request-kind latency histograms behind ``GET /metrics``.
+
+    Observations arrive only from the worker loops — coroutines on the
+    event-loop thread — so no locking is needed; the routes that read the
+    histograms run on the same thread.
+    """
+
+    def __init__(self) -> None:
+        self._kinds: "Dict[str, Dict[str, _LatencyHistogram]]" = {}
+
+    def observe(self, kind: str, **phases: float) -> None:
+        slot = self._kinds.get(kind)
+        if slot is None:
+            slot = {phase: _LatencyHistogram() for phase in _METRIC_PHASES}
+            self._kinds[kind] = slot
+        for phase, seconds in phases.items():
+            slot[phase].observe(max(0.0, float(seconds)))
+
+    def document(self) -> dict:
+        """The full ``/metrics`` payload (bounds shared across histograms)."""
+        return {
+            "bounds": list(_LATENCY_BUCKET_BOUNDS),
+            "phases": list(_METRIC_PHASES),
+            "kinds": {
+                kind: {phase: hist.as_dict() for phase, hist in slot.items()}
+                for kind, slot in self._kinds.items()
+            },
+        }
+
+    def summary(self) -> dict:
+        """Compact per-kind summaries (count/mean/p50/p95) for ``/stats``."""
+        return {
+            kind: {phase: hist.summary() for phase, hist in slot.items()}
+            for kind, slot in self._kinds.items()
+        }
 
 
 @dataclass(frozen=True)
@@ -135,8 +268,14 @@ class ServiceConfig:
         readable as :attr:`AnalysisService.port` after start — the tests
         rely on this).
     workers:
-        Worker tasks draining the request queue (and threads executing the
-        computations).  ``1`` gives strict FIFO execution.
+        Worker tasks draining the request queue (and threads or processes
+        executing the computations).  ``1`` gives strict FIFO execution.
+    worker_kind:
+        ``"thread"`` (default) runs computations on a thread executor;
+        ``"process"`` routes them through an engine process pool so
+        CPU-bound jobs overlap without the GIL.  An environment that cannot
+        host a process pool degrades to threads (with a warning) rather
+        than failing to start.
     backlog:
         Bound of the request queue; a submission beyond it is answered
         ``503`` instead of buffered.
@@ -166,6 +305,7 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 8765
     workers: int = 1
+    worker_kind: str = "thread"
     backlog: int = 32
     max_sessions: int = 8
     cache: CacheConfig = field(default_factory=CacheConfig)
@@ -177,6 +317,10 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if int(self.workers) < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {self.workers}")
+        if self.worker_kind not in ("thread", "process"):
+            raise InvalidParameterError(
+                f"worker_kind must be 'thread' or 'process', got {self.worker_kind!r}"
+            )
         if int(self.backlog) < 1:
             raise InvalidParameterError(f"backlog must be >= 1, got {self.backlog}")
         if int(self.max_sessions) < 1:
@@ -304,6 +448,70 @@ class _Job:
     series_name: str
     request: AnalysisRequest
     future: "asyncio.Future[dict]"
+    #: ``time.monotonic()`` at request receipt / enqueue — the worker loop
+    #: derives the queue-wait and total latencies from these.
+    received_at: float = 0.0
+    enqueued_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class _WorkerTask:
+    """Picklable description of one computation for a process worker.
+
+    ``series`` is a :class:`~repro.engine.shm.BlobHandle` whenever the
+    parent's store has the blob (the zero-copy path) and the raw values
+    array otherwise; ``request`` and ``engine`` travel as their JSON dict
+    forms — the objects rebuild cheaply and the dicts pickle predictably.
+    """
+
+    digest: str
+    series: object
+    series_name: str
+    request: dict
+    engine: dict
+
+
+#: Worker-process session LRU, keyed by series digest.  Reusing a session
+#: across jobs keeps its sliding statistics, memoized FFT products and
+#: result cache warm — the per-process mirror of the parent's session pool.
+_WORKER_SESSIONS: "OrderedDict[str, Analysis]" = OrderedDict()
+
+
+def _worker_session(task: _WorkerTask) -> Analysis:
+    """The per-process session for one task's series (created on miss)."""
+    session = _WORKER_SESSIONS.get(task.digest)
+    if session is not None:
+        _WORKER_SESSIONS.move_to_end(task.digest)
+        return session
+    series = task.series
+    if isinstance(series, BlobHandle):
+        # Zero-copy attach: the blob is memory-mapped and content-verified
+        # once per process (the attach cache in repro.engine.shm).
+        series = attach_blob(series)
+    session = Analysis(
+        series,
+        name=task.series_name,
+        engine=EngineConfig.from_dict(task.engine),
+    )
+    while len(_WORKER_SESSIONS) >= _WORKER_SESSION_SLOTS:
+        _, evicted = _WORKER_SESSIONS.popitem(last=False)
+        evicted.close()
+    _WORKER_SESSIONS[task.digest] = session
+    return session
+
+
+def _execute_worker_task(task: _WorkerTask) -> dict:
+    """Run one task inside a worker process (top level: must be picklable).
+
+    Returns the result envelope as a JSON-ready dict — the parent adopts it
+    into its pooled session.  :class:`~repro.exceptions.ReproError` crosses
+    the pool boundary as-is (the hierarchy pickles), keeping the parent's
+    error mapping identical to the thread path.
+    """
+    session = _worker_session(task)
+    request = AnalysisRequest.from_dict(task.request)
+    result, source = session.run_with_info(request)
+    return {"cache": source, "result": result.as_dict()}
 
 
 class AnalysisService:
@@ -338,7 +546,20 @@ class AnalysisService:
         self._intake = asyncio.Semaphore(self._config.backlog + self._config.workers)
         self._server: asyncio.AbstractServer | None = None
         self._workers: List[asyncio.Task] = []
-        self._executor = None  # created on start
+        self._executor = None  # thread executor: offloads + thread workers
+        self._compute: ParallelExecutor | None = None  # process workers
+        #: Jobs dequeued but not yet resolved — stop() must fail these too,
+        #: or their connection handlers hang on futures nobody settles.
+        self._inflight: "Dict[int, _Job]" = {}
+        #: Future-backed responses parsed but not yet written to their
+        #: sockets.  ``stop()`` fails every unresolved job future, then
+        #: waits (bounded) on this event so the 503s actually reach the
+        #: clients before the caller tears the loop down.
+        self._pending_futures = 0
+        self._futures_flushed = asyncio.Event()
+        self._futures_flushed.set()
+        self._metrics = _ServiceMetrics()
+        self._zero_copy = 0
         self._sequence = 0
         self._received = 0
         self._completed = 0
@@ -368,7 +589,14 @@ class AnalysisService:
     # lifecycle
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
-        """Bind the listening socket and launch the worker pool."""
+        """Bind the listening socket and launch the worker pool.
+
+        A failure after resources were acquired — typically the bind
+        raising ``EADDRINUSE`` — unwinds everything already started, so a
+        caught start error leaves no leaked executor threads, process pool
+        or orphaned worker tasks behind (the bind-conflict regression test
+        retries on a fresh port with the same service object's config).
+        """
         if self._server is not None:
             raise ServiceError("the service is already running")
         from concurrent.futures import ThreadPoolExecutor
@@ -377,19 +605,52 @@ class AnalysisService:
             max_workers=self._config.workers,
             thread_name_prefix="repro-service",
         )
-        self._workers = [
-            asyncio.get_running_loop().create_task(self._worker_loop())
-            for _ in range(self._config.workers)
-        ]
-        self._server = await asyncio.start_server(
-            self._handle_connection, self._config.host, self._config.port
-        )
+        try:
+            if self._config.worker_kind == "process":
+                candidate = ParallelExecutor(self._config.workers)
+                # uses_processes forces pool creation; an environment that
+                # cannot host one already warned and degrades to threads.
+                if candidate.uses_processes:
+                    self._compute = candidate
+            self._workers = [
+                asyncio.get_running_loop().create_task(self._worker_loop())
+                for _ in range(self._config.workers)
+            ]
+            self._server = await asyncio.start_server(
+                self._handle_connection, self._config.host, self._config.port
+            )
+        except BaseException:
+            await self._unwind_start()
+            raise
+
+    async def _unwind_start(self) -> None:
+        """Roll back a partially-completed :meth:`start` (no leaks)."""
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        self._shutdown_executors()
+
+    def _shutdown_executors(self) -> None:
+        """Release both executors without waiting on in-flight work."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        if self._compute is not None:
+            self._compute.close(wait=False, cancel_futures=True)
+            self._compute = None
 
     async def stop(self) -> None:
-        """Stop listening, cancel the workers, fail queued jobs, release the
-        executor.  Jobs still waiting in the queue get their futures failed
-        (``503``) so their connection handlers — and clients — are released
-        instead of hanging on futures nobody will ever resolve."""
+        """Stop listening, cancel the workers, fail queued **and in-flight**
+        jobs, release the executors.  Every unresolved job future gets a
+        ``503`` so its connection handler — and client — is released instead
+        of hanging on a future nobody will ever settle (cancelling a worker
+        task abandons its ``run_in_executor`` await without resolving the
+        job it was driving)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -402,6 +663,12 @@ class AnalysisService:
             except asyncio.CancelledError:
                 pass
         self._workers = []
+        for job in list(self._inflight.values()):
+            if not job.future.done():
+                job.future.set_exception(
+                    ServiceError("the service is shutting down", status=503)
+                )
+        self._inflight.clear()
         while True:
             try:
                 job = self._queue.get_nowait()
@@ -412,9 +679,14 @@ class AnalysisService:
                     ServiceError("the service is shutting down", status=503)
                 )
             self._queue.task_done()
-        if self._executor is not None:
-            self._executor.shutdown(wait=False)
-            self._executor = None
+        # The 503s above only *settled* the futures; give the connection
+        # writers a bounded window to actually put them on the wire before
+        # the caller tears the event loop down under them.
+        try:
+            await asyncio.wait_for(self._futures_flushed.wait(), timeout=5.0)
+        except (asyncio.TimeoutError, TimeoutError):
+            pass
+        self._shutdown_executors()
         # Sessions own shared-memory segments; unlink them with the service.
         self._pool.close_all()
         if self._index is not None:
@@ -435,10 +707,26 @@ class AnalysisService:
         loop = asyncio.get_running_loop()
         while True:
             job = await self._queue.get()
+            # Registered before any await so stop() can fail this job's
+            # future if the service dies mid-computation.
+            self._inflight[job.sequence] = job
+            dequeued = time.monotonic()
             try:
-                payload = await loop.run_in_executor(
-                    self._executor, self._execute_job, job
-                )
+                if self._compute is not None:
+                    payload = await self._execute_job_process(job, loop)
+                else:
+                    payload = await loop.run_in_executor(
+                        self._executor, self._execute_job, job
+                    )
+            except asyncio.CancelledError:
+                # Only stop()/_unwind_start() cancel workers: the abandoned
+                # job must still answer, or its connection (and client)
+                # waits on a future nobody will ever settle.
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceError("the service is shutting down", status=503)
+                    )
+                raise
             except ReproError as error:
                 self._failed += 1
                 if not job.future.done():
@@ -450,11 +738,19 @@ class AnalysisService:
                         ServiceError(f"internal error: {error}", status=500)
                     )
             else:
+                done = time.monotonic()
                 self._completed += 1
                 self._completion_order.append(job.sequence)
+                self._metrics.observe(
+                    job.request.kind,
+                    queue=dequeued - job.enqueued_at,
+                    execute=done - dequeued,
+                    total=done - job.received_at,
+                )
                 if not job.future.done():
                     job.future.set_result(payload)
             finally:
+                self._inflight.pop(job.sequence, None)
                 self._queue.task_done()
 
     def _execute_job(self, job: _Job) -> dict:
@@ -472,28 +768,138 @@ class AnalysisService:
         }
 
     # ------------------------------------------------------------------ #
+    # the process data plane
+    # ------------------------------------------------------------------ #
+    async def _execute_job_process(self, job: _Job, loop) -> dict:
+        """Probe in the parent, compute in a worker process, adopt back.
+
+        The cache probe and the adoption run on the thread executor (they
+        take session slot locks and may touch the persistent spill); only
+        the cache-missing computation crosses the process boundary.  The
+        series travels as a store :class:`~repro.engine.shm.BlobHandle`
+        whenever possible — the worker maps the blob file directly instead
+        of unpickling an O(n) array.
+        """
+        cached = await loop.run_in_executor(self._executor, self._probe_job, job)
+        if cached is not None:
+            return cached
+        try:
+            request_dict = job.request.as_dict()
+        except SerializationError:
+            # Params that resist JSON resist pickling predictably too; the
+            # thread path computes them in-process.
+            return await loop.run_in_executor(self._executor, self._execute_job, job)
+        series_ref: object = job.values
+        if self._store is not None:
+            handle = await loop.run_in_executor(
+                self._executor, self._store.handle, job.digest
+            )
+            if handle is not None:
+                series_ref = handle
+                self._zero_copy += 1
+        engine = self._config.engine.as_dict()
+        # Workers are the parallelism; a nested pool per worker would fork
+        # bomb the host.  Kernel/block-size knobs still apply.
+        engine["executor"] = None
+        engine["n_jobs"] = None
+        task = _WorkerTask(
+            digest=job.digest,
+            series=series_ref,
+            series_name=job.series_name,
+            request=request_dict,
+            engine=engine,
+        )
+        try:
+            document = await loop.run_in_executor(
+                self._compute, _execute_worker_task, task
+            )
+        except BrokenProcessPool as error:
+            raise ServiceError(
+                f"the worker process pool died: {error}", status=500
+            ) from error
+        return await loop.run_in_executor(
+            self._executor, self._adopt_computed, job, document
+        )
+
+    def _probe_job(self, job: _Job) -> dict | None:
+        """Executor thread: cache-only probe of the pooled parent session."""
+        session, lock = self._pool.get_or_create(
+            job.digest, job.values, job.series_name
+        )
+        with lock:
+            hit = session.probe(job.request)
+        if hit is None:
+            return None
+        result, source = hit
+        return {
+            "id": job.request_id,
+            "series_digest": job.digest,
+            "cache": source,
+            "result": result.as_dict(),
+        }
+
+    def _adopt_computed(self, job: _Job, document: dict) -> dict:
+        """Executor thread: fold a worker's envelope into the parent session.
+
+        Adoption feeds the parent's cache tiers and motif index so the next
+        identical request hits ``"memory"`` without a process round-trip.
+        A result that will not rebuild is still answered — adoption is an
+        optimisation, not a correctness gate.
+        """
+        payload = {
+            "id": job.request_id,
+            "series_digest": job.digest,
+            "cache": document["cache"],
+            "result": document["result"],
+        }
+        try:
+            result = AnalysisResult.from_dict(document["result"])
+        except (SerializationError, KeyError, TypeError, ValueError):
+            return payload
+        session, lock = self._pool.get_or_create(
+            job.digest, job.values, job.series_name
+        )
+        with lock:
+            session.adopt_result(job.request, result)
+        return payload
+
+    # ------------------------------------------------------------------ #
     # HTTP layer
     # ------------------------------------------------------------------ #
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        # One handler serves the whole connection: requests are answered in
-        # a loop until the client asks for close, goes away, or idles out —
-        # HTTP/1.1 keep-alive, which is what lets a ServiceClient reuse one
-        # socket for its digest negotiation (probe, upload, retry) instead
-        # of paying three TCP handshakes.
+        # One reader loop + one writer task serve the whole connection.
+        # The reader keeps parsing and dispatching requests while earlier
+        # ones are still computing — an /analyze dispatch returns the job's
+        # *future*, not its payload — and the writer settles the outcomes
+        # strictly in request order (HTTP/1.1 pipelining: responses must
+        # match request order, frames must not interleave).  Keep-alive is
+        # what lets a ServiceClient reuse one socket for its digest
+        # negotiation; pipelining is what lets it overlap submissions.
         self._connections += 1
+        responses: "asyncio.Queue" = asyncio.Queue()
+        budget = asyncio.Semaphore(_MAX_PIPELINE_DEPTH)
+        writer_task = asyncio.get_running_loop().create_task(
+            self._write_responses(writer, responses, budget)
+        )
         try:
             first = True
             while True:
+                # The budget bounds parsed-but-unanswered requests; the
+                # writer releases one permit per response written and its
+                # exit floods the semaphore so a parked reader wakes up.
+                await budget.acquire()
+                if writer_task.done():
+                    return  # the peer vanished or a response closed the link
                 head = await self._read_head(reader, idle_ok=not first)
                 if head is None:
                     return  # clean close or idle timeout between requests
                 first = False
                 method, target, content_length, keep_alive = head
                 try:
-                    status, payload = await self._dispatch(
-                        method, target, content_length, reader
+                    outcome: "Union[Tuple[int, dict], asyncio.Future]" = (
+                        await self._dispatch(method, target, content_length, reader)
                     )
                 except (
                     asyncio.IncompleteReadError,
@@ -502,23 +908,26 @@ class AnalysisService:
                 ):
                     # The body never arrived; the stream position is gone,
                     # so answer and drop the connection.
-                    await self._respond(
-                        writer, 400, {"error": "malformed HTTP request"}, False
+                    responses.put_nowait(
+                        ((400, {"error": "malformed HTTP request"}), False)
                     )
                     return
                 except _CloseAfterResponse as error:
                     # The body was (partly) unconsumed: answer, then close
                     # before the leftover bytes masquerade as a request.
-                    await self._respond(writer, error.status, error.payload, False)
+                    responses.put_nowait(((error.status, error.payload), False))
                     return
                 except ServiceError as error:
-                    status, payload = error.status or 500, {"error": str(error)}
+                    outcome = (error.status or 500, {"error": str(error)})
                 except (SerializationError, InvalidParameterError) as error:
-                    status, payload = 422, {"error": str(error)}
+                    outcome = (422, {"error": str(error)})
                 except ReproError as error:
-                    status, payload = 422, {"error": str(error)}
-                alive = await self._respond(writer, status, payload, keep_alive)
-                if not alive:
+                    outcome = (422, {"error": str(error)})
+                if isinstance(outcome, asyncio.Future):
+                    self._pending_futures += 1
+                    self._futures_flushed.clear()
+                responses.put_nowait((outcome, keep_alive))
+                if not keep_alive:
                     return
         except (
             ServiceError,
@@ -527,13 +936,88 @@ class AnalysisService:
             TimeoutError,
             ValueError,
         ):
-            await self._respond(writer, 400, {"error": "malformed HTTP request"}, False)
+            responses.put_nowait(((400, {"error": "malformed HTTP request"}), False))
         finally:
-            # close() schedules the transport teardown; awaiting
-            # wait_closed() here would race loop shutdown (handlers for
-            # dying connections get cancelled mid-await and spam the loop's
-            # exception handler) for no benefit.
-            writer.close()
+            responses.put_nowait(None)  # reader is done: drain, then stop
+            try:
+                await writer_task
+            except BaseException:
+                # The handler itself was cancelled (loop teardown): the
+                # writer must not be orphaned awaiting a response future.
+                writer_task.cancel()
+                raise
+            finally:
+                # Responses the writer never reached (it died, or the
+                # handler was cancelled) will never be flushed — account
+                # for them so stop() is not left waiting on this socket.
+                while True:
+                    try:
+                        entry = responses.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if entry is not None and isinstance(entry[0], asyncio.Future):
+                        self._future_flushed()
+                # close() schedules the transport teardown; awaiting
+                # wait_closed() here would race loop shutdown (handlers for
+                # dying connections get cancelled mid-await and spam the
+                # loop's exception handler) for no benefit.
+                writer.close()
+
+    def _future_flushed(self) -> None:
+        """One future-backed response left the building (or died trying)."""
+        self._pending_futures -= 1
+        if self._pending_futures <= 0:
+            self._pending_futures = 0
+            self._futures_flushed.set()
+
+    async def _write_responses(
+        self,
+        writer: asyncio.StreamWriter,
+        responses: "asyncio.Queue",
+        budget: asyncio.Semaphore,
+    ) -> None:
+        """The per-connection writer: settle outcomes, respond in order."""
+        try:
+            while True:
+                entry = await responses.get()
+                if entry is None:
+                    return
+                outcome, keep_alive = entry
+                try:
+                    status, payload = await self._settle(outcome)
+                    alive = await self._respond(writer, status, payload, keep_alive)
+                finally:
+                    if isinstance(outcome, asyncio.Future):
+                        self._future_flushed()
+                budget.release()
+                if not alive:
+                    return
+        finally:
+            # Unpark a reader blocked on the budget no matter how this task
+            # ends; it observes writer_task.done() and stops.
+            for _ in range(_MAX_PIPELINE_DEPTH):
+                budget.release()
+
+    async def _settle(
+        self, outcome: "Union[Tuple[int, dict], asyncio.Future]"
+    ) -> Tuple[int, dict]:
+        """Await a pending job future into its ``(status, payload)`` pair.
+
+        The error mapping mirrors the dispatch-time one in the reader loop
+        — a job failing *after* acceptance must answer exactly like one
+        failing before it.
+        """
+        if isinstance(outcome, tuple):
+            return outcome
+        try:
+            payload = await outcome
+        except ServiceError as error:
+            return error.status or 500, {"error": str(error)}
+        except (SerializationError, InvalidParameterError) as error:
+            return 422, {"error": str(error)}
+        except ReproError as error:
+            return 422, {"error": str(error)}
+        return 200, payload
 
     async def _dispatch(
         self,
@@ -541,8 +1025,12 @@ class AnalysisService:
         target: str,
         content_length: int,
         reader: asyncio.StreamReader,
-    ) -> Tuple[int, dict]:
+    ) -> "Union[Tuple[int, dict], asyncio.Future]":
         """Route one request, deciding how its body is consumed.
+
+        Returns a ready ``(status, payload)`` pair — or, for an accepted
+        ``/analyze`` submission, the job's future so the connection's
+        reader can pipeline the next request while this one computes.
 
         ``PUT /series/<digest>`` streams the body straight into the store's
         chunked ingest (the series never exists in server memory as one
@@ -664,7 +1152,7 @@ class AnalysisService:
 
     async def _route(
         self, method: str, path: str, body: bytes, query: str = ""
-    ) -> Tuple[int, dict]:
+    ) -> "Union[Tuple[int, dict], asyncio.Future]":
         if method == "GET" and path.startswith("/series/"):
             return self._handle_series_get(path)
         if method == "GET" and path == "/health":
@@ -678,13 +1166,20 @@ class AnalysisService:
             return 200, {"algorithms": capabilities()}
         if method == "GET" and path == "/stats":
             return 200, self.stats()
+        if method == "GET" and path == "/metrics":
+            return 200, self._metrics.document()
         if method == "GET" and path == "/query":
             return await self._handle_query(query)
         if method == "POST" and path == "/analyze":
             return await self._handle_analyze(body)
-        if path in ("/health", "/capabilities", "/stats", "/analyze", "/query") or (
-            path.startswith("/series/")
-        ):
+        if path in (
+            "/health",
+            "/capabilities",
+            "/stats",
+            "/metrics",
+            "/analyze",
+            "/query",
+        ) or path.startswith("/series/"):
             return 405, {"error": f"method {method} not allowed for {path}"}
         return 404, {"error": f"unknown path {path!r}"}
 
@@ -878,7 +1373,10 @@ class AnalysisService:
             sink(chunk)
             remaining -= len(chunk)
 
-    async def _handle_analyze(self, body: bytes) -> Tuple[int, dict]:
+    async def _handle_analyze(
+        self, body: bytes
+    ) -> "Union[Tuple[int, dict], asyncio.Future]":
+        received_at = time.monotonic()
         self._received += 1
         try:
             document = json.loads(body.decode("utf-8"))
@@ -936,8 +1434,10 @@ class AnalysisService:
             series_name=str(series_name if series_name is not None else "series"),
             request=request,
             future=asyncio.get_running_loop().create_future(),
+            received_at=received_at,
         )
         try:
+            job.enqueued_at = time.monotonic()
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
             self._rejected += 1
@@ -945,8 +1445,9 @@ class AnalysisService:
                 "error": f"request queue is full ({self._config.backlog} pending)",
                 "id": job.request_id,
             }
-        payload = await job.future
-        return 200, payload
+        # The future, not the payload: the connection's writer awaits it in
+        # response order while the reader pipelines the next request.
+        return job.future
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -961,6 +1462,9 @@ class AnalysisService:
             "connections": self._connections,
             "uploads": self._uploads,
             "queue_depth": self._queue.qsize(),
+            "worker_kind": "process" if self._compute is not None else "thread",
+            "zero_copy_jobs": self._zero_copy,
+            "latency": self._metrics.summary(),
             "completion_order": list(self._completion_order),
             "sessions": self._pool.stats(),
             "store": None if self._store is None else self._store.stats(),

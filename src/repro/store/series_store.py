@@ -523,6 +523,29 @@ class SeriesStore:
                 "name": entry["name"],
             }
 
+    def handle(self, digest: str):
+        """A picklable :class:`~repro.engine.shm.BlobHandle` for one stored
+        blob — or ``None`` when the digest is unknown.
+
+        The zero-copy worker transport: instead of pickling the values into
+        a task payload (or repacking them into a shared-memory segment), a
+        dispatcher ships this ~100-byte handle and the worker process maps
+        ``blobs/<d[:2]>/<digest>.f64`` directly with
+        :func:`repro.engine.shm.attach_blob`, which re-verifies the bytes
+        against the digest on first attach.  Constant-time: a manifest
+        lookup plus one ``stat``, no blob read.
+        """
+        from repro.engine.shm import BlobHandle
+
+        with self._lock:
+            entry = self._load_manifest().get(digest)
+            path = self.blob_path(digest)
+            if entry is None or not path.is_file():
+                return None
+            return BlobHandle(
+                path=str(path), digest=digest, length=int(entry["length"])
+            )
+
     def __contains__(self, digest: str) -> bool:
         """Manifest membership (no blob verification — that happens on read)."""
         with self._lock:
