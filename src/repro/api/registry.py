@@ -209,12 +209,18 @@ def _mp_stomp(session, window: int, **options):
 def _mp_scrimp(session, window: int, **options):
     from repro.matrix_profile.scrimp import scrimp
 
+    engine = session.engine
+    if engine.kernel is not None:
+        options.setdefault("kernel", engine.kernel)
     return scrimp(session.values, window, stats=session.stats, **options)
 
 
 def _mp_scrimp_pp(session, window: int, **options):
     from repro.matrix_profile.scrimp import scrimp_pp
 
+    engine = session.engine
+    if engine.kernel is not None:
+        options.setdefault("kernel", engine.kernel)
     return scrimp_pp(session.values, window, stats=session.stats, **options)
 
 
@@ -304,17 +310,42 @@ def _pan_profile_skimp(session, min_length: int, max_length: int, **options):
 def _ab_join_mass(session, other, window: int, **options):
     from repro.matrix_profile.ab_join import ab_join
 
+    engine = session.engine
+    if engine.enabled:
+        options.setdefault("engine", engine.executor)
+        options.setdefault("n_jobs", engine.n_jobs)
+        options.setdefault("block_size", engine.block_size)
+    if engine.kernel is not None:
+        options.setdefault("kernel", engine.kernel)
     other_values, other_stats = session.coerce_other(other)
     return ab_join(
-        session.values, other_values, window, stats_b=other_stats, **options
+        session.values,
+        other_values,
+        window,
+        stats_a=session.stats,
+        stats_b=other_stats,
+        **options,
     )
 
 
 def _mpdist_default(session, other, window: int, **options):
     from repro.matrix_profile.mpdist import mpdist
 
-    other_values, _ = session.coerce_other(other)
-    return mpdist(session.values, other_values, window, **options)
+    engine = session.engine
+    if engine.enabled:
+        options.setdefault("engine", engine.executor)
+        options.setdefault("n_jobs", engine.n_jobs)
+    if engine.kernel is not None:
+        options.setdefault("kernel", engine.kernel)
+    other_values, other_stats = session.coerce_other(other)
+    return mpdist(
+        session.values,
+        other_values,
+        window,
+        stats_a=session.stats,
+        stats_b=other_stats,
+        **options,
+    )
 
 
 register(
@@ -436,7 +467,8 @@ register(
         kind="ab_join",
         key="mass",
         runner=_ab_join_mass,
-        description="one-sided AB-join via per-subsequence MASS calls",
+        description="one-sided AB-join via the kernelized cross-series STOMP recurrence",
+        engine_aware=True,
     ),
     default=True,
 )
@@ -445,7 +477,8 @@ register(
         kind="mpdist",
         key="mpdist",
         runner=_mpdist_default,
-        description="k-th smallest of the combined AB-join profiles",
+        description="k-th smallest of the combined (kernelized) AB-join profiles",
+        engine_aware=True,
     ),
     default=True,
 )

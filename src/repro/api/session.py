@@ -780,12 +780,19 @@ class Analysis:
         *,
         percentile: float = 0.05,
         cache: bool = True,
+        **options: Any,
     ) -> AnalysisResult:
-        """MPdist between this series and ``other`` at one window length."""
+        """MPdist between this series and ``other`` at one window length.
+
+        Extra keyword arguments (``kernel=``, ``reseed_interval=``, …) are
+        forwarded to :func:`~repro.matrix_profile.mpdist.mpdist`; plain calls
+        keep their historical cache keys.
+        """
         params = {
             "other": self._other_param(other),
             "window": int(window),
             "percentile": float(percentile),
+            **options,
         }
         return self.run(AnalysisRequest(kind="mpdist", params=params), cache=cache)
 

@@ -208,6 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
     distance.add_argument("second", help="path to the second series file")
     distance.add_argument("--window", type=int, required=True)
     distance.add_argument("--percentile", type=float, default=0.05)
+    distance.add_argument(
+        "--kernel",
+        choices=list(KERNEL_NAMES),
+        default=None,
+        help="AB-join sweep kernel (default auto: native when compilable, "
+        "else numpy)",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="run the asyncio analysis service over AnalysisRequest JSON"
@@ -591,7 +598,10 @@ def _command_stream(args: argparse.Namespace) -> int:
 def _command_mpdist(args: argparse.Namespace) -> int:
     first = analyze(_load_series(args.first))
     second = analyze(_load_series(args.second))
-    value = first.mpdist(second, args.window, percentile=args.percentile).value
+    options = {} if args.kernel is None else {"kernel": args.kernel}
+    value = first.mpdist(
+        second, args.window, percentile=args.percentile, **options
+    ).value
     print(f"MPdist(window={args.window}, percentile={args.percentile}) = {value:.6f}")
     return 0
 

@@ -529,7 +529,70 @@ class PartialProfileStore:
         """Grow the stored dot products from the current length to ``length``.
 
         The update appends one trailing **centered** product per intermediate
-        length, each as a single vectorised operation over the whole store.
+        length.  Accumulation stays sequential per step — each lane's running
+        sum must round exactly like the historical one-length-at-a-time loop
+        (:meth:`_advance_to_stepwise`, kept for the equivalence test) — but
+        everything invariant across the tail window is hoisted out of the
+        loop: row indices, neighbour applicability cutoffs (``applicable`` at
+        step ``t`` is simply ``t < n - neighbour``, monotone in ``t``), and
+        the gather bases.  Each step then classifies itself with two O(rows)
+        prefix reductions: all-applicable steps take a mask-free fused
+        gather-multiply-add (the common case while the tail window is short),
+        none-applicable steps skip outright, and only the shrinking boundary
+        between them pays the masked update.  This is VALMOD's per-length hot
+        loop when ``length_step > 1`` or the length range is wide.
+        """
+        if length < self._current_length:
+            raise InvalidParameterError(
+                f"cannot shrink the store from length {self._current_length} to {length}"
+            )
+        if length > self._values.size:
+            raise InvalidParameterError(
+                f"length {length} exceeds the series length {self._values.size}"
+            )
+        start_length = self._current_length
+        if length <= start_length:
+            return
+        values = self._values
+        n = values.size
+        neighbors = self._neighbors
+        has_neighbor = neighbors >= 0
+        # Step t contributes to a lane iff t < cap; cap = 0 parks empty lanes.
+        neighbor_cap = np.where(has_neighbor, n - neighbors, 0)
+        neighbor_base = np.where(has_neighbor, neighbors, 0)
+        cap_row_min = neighbor_cap.min(axis=1)
+        cap_row_max = neighbor_cap.max(axis=1)
+        row_base = np.arange(self._row_start, self._row_stop)
+        for current in range(start_length, length):
+            # Rows whose query subsequence still fits at length current + 1.
+            local_stop = min(self._row_stop, n - current)
+            count = local_stop - self._row_start
+            if count <= 0:
+                break
+            if current >= int(cap_row_max[:count].max()):
+                continue
+            query_tail = values[row_base[:count] + current][:, np.newaxis]
+            if current < int(cap_row_min[:count].min()):
+                self._dot_products[:count] += (
+                    query_tail * values[neighbors[:count] + current]
+                )
+            else:
+                applicable = current < neighbor_cap[:count]
+                neighbor_tail = np.where(
+                    applicable,
+                    values[np.minimum(neighbor_base[:count] + current, n - 1)],
+                    0.0,
+                )
+                self._dot_products[:count] += np.where(
+                    applicable, query_tail * neighbor_tail, 0.0
+                )
+        self._current_length = length
+
+    def _advance_to_stepwise(self, length: int) -> None:
+        """The historical one-length-per-pass advance, kept as the reference.
+
+        Bit-for-bit equivalent to :meth:`advance_to` by construction (the
+        tests compare the two lane by lane); not used on any hot path.
         """
         if length < self._current_length:
             raise InvalidParameterError(

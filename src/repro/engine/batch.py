@@ -56,6 +56,7 @@ from repro.engine.shm import (
     attach_blob,
 )
 from repro.exceptions import InvalidParameterError
+from repro.matrix_profile.ab_join import JoinProfile, join_sweep_rows
 from repro.matrix_profile.distance_profile import distance_profile
 from repro.matrix_profile.profile import MatrixProfile
 from repro.series.dataseries import DataSeries
@@ -94,6 +95,17 @@ class ProfileJob:
     ``exclusion_radius`` is set) instead of a
     :class:`~repro.matrix_profile.profile.MatrixProfile`.
 
+    ``series_b`` (only with ``window=``, incompatible with
+    ``query_offset``) turns the job into an **AB-join**: the nearest
+    neighbour in ``series_b`` of each query subsequence of ``series``.
+    ``row_range=(start, stop)`` optionally restricts the join to that
+    block of query rows — :func:`repro.matrix_profile.ab_join.ab_join`'s
+    ``engine=`` path plans one such job per A-row block, which is how
+    cross-series joins scale across cores like self-joins do.  Both series
+    fields accept the handle transport, and the outcome's result is a
+    :class:`~repro.matrix_profile.ab_join.JoinProfile` covering the
+    requested rows.
+
     ``eq=False``: the generated field-tuple ``__eq__`` would compare the
     series array element-wise (ambiguous truth value) and make jobs
     unhashable; identity semantics are the useful ones for work items.
@@ -108,6 +120,8 @@ class ProfileJob:
     kernel: str | None = None
     reseed_interval: int = DEFAULT_RESEED_INTERVAL
     name: str | None = None
+    series_b: object = None
+    row_range: Tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         if (self.window is None) == (self.lengths is None):
@@ -120,6 +134,21 @@ class ProfileJob:
                     "query_offset= requires a single window= job"
                 )
             object.__setattr__(self, "query_offset", int(self.query_offset))
+        if self.series_b is not None:
+            if self.window is None:
+                raise InvalidParameterError("series_b= requires a single window= job")
+            if self.query_offset is not None:
+                raise InvalidParameterError(
+                    "series_b= (an AB-join job) is incompatible with query_offset="
+                )
+        if self.row_range is not None:
+            if self.series_b is None:
+                raise InvalidParameterError(
+                    "row_range= only applies to AB-join jobs (series_b=)"
+                )
+            object.__setattr__(
+                self, "row_range", (int(self.row_range[0]), int(self.row_range[1]))
+            )
         if self.lengths is not None:
             lengths = tuple(int(length) for length in self.lengths)
             if not lengths:
@@ -139,13 +168,17 @@ class JobOutcome:
     """Result slot of one job, in the order the jobs were submitted.
 
     ``result`` is a :class:`MatrixProfile` for ``window=`` jobs, a dict of
-    them for ``lengths=`` jobs, and a plain distance array for
-    ``query_offset=`` jobs.
+    them for ``lengths=`` jobs, a plain distance array for
+    ``query_offset=`` jobs, and a
+    :class:`~repro.matrix_profile.ab_join.JoinProfile` for ``series_b=``
+    (AB-join) jobs.
     """
 
     index: int
     job: ProfileJob
-    result: Union[MatrixProfile, Dict[int, MatrixProfile], np.ndarray, None] = None
+    result: Union[
+        MatrixProfile, Dict[int, MatrixProfile], np.ndarray, JoinProfile, None
+    ] = None
     error: BaseException | None = None
 
     @property
@@ -231,6 +264,27 @@ def _worker_stats(key: tuple, values: np.ndarray) -> SlidingStats:
     return stats
 
 
+def _stats_for(
+    series: object,
+    values: np.ndarray,
+    stats_cache: Dict[tuple, SlidingStats] | None,
+) -> SlidingStats:
+    """Shared ``SlidingStats`` for one job series (batch or worker cache)."""
+    key = _series_cache_key(series)
+    if key[0] == "id":
+        stats = None
+        if stats_cache is not None:
+            stats = stats_cache.get(key)
+        if stats is None:
+            stats = SlidingStats(values)
+            if stats_cache is not None:
+                stats_cache[key] = stats
+        return stats
+    # Handle-backed series: the per-process cache makes the O(n)
+    # prefix sums a once-per-worker cost across pool dispatches.
+    return _worker_stats(key, values)
+
+
 def _run_job(
     job: ProfileJob,
     stats_cache: Dict[tuple, SlidingStats] | None = None,
@@ -243,19 +297,30 @@ def _run_job(
     """
     try:
         values = _resolve_series(job.series)
-        key = _series_cache_key(job.series)
-        if key[0] == "id":
-            stats = None
-            if stats_cache is not None:
-                stats = stats_cache.get(key)
-            if stats is None:
-                stats = SlidingStats(values)
-                if stats_cache is not None:
-                    stats_cache[key] = stats
-        else:
-            # Handle-backed series: the per-process cache makes the O(n)
-            # prefix sums a once-per-worker cost across pool dispatches.
-            stats = _worker_stats(key, values)
+        stats = _stats_for(job.series, values, stats_cache)
+        if job.series_b is not None:
+            # AB-join job: the nearest neighbour in series_b of each query
+            # row of series (optionally one row block of the join).
+            values_b = _resolve_series(job.series_b)
+            stats_b = _stats_for(job.series_b, values_b, stats_cache)
+            if job.row_range is not None:
+                start, stop = job.row_range
+            else:
+                start, stop = 0, values.size - job.window + 1
+            return (
+                "ok",
+                join_sweep_rows(
+                    values,
+                    values_b,
+                    job.window,
+                    start,
+                    stop,
+                    stats_a=stats,
+                    stats_b=stats_b,
+                    kernel=job.kernel,
+                    reseed_interval=job.reseed_interval,
+                ),
+            )
         if job.query_offset is not None:
             # Single-offset job: one distance profile (a MASS call), not a
             # full matrix profile.  No stats.forget(): many such jobs share
@@ -334,28 +399,35 @@ def _prepare_parallel_tasks(
     The rewrite only changes the *transport*: outcomes still reference the
     caller's original jobs, and a packing failure (no shared memory)
     simply leaves the remaining jobs on the pickle path.
+
+    Both series slots participate: a blocked AB-join fan-out shares *two*
+    arrays across its jobs (``series`` and ``series_b``), and each becomes
+    one buffer no matter how many jobs — or which field — reference it.
     """
-    groups: Dict[int, List[int]] = {}
+    groups: Dict[int, List[Tuple[int, str]]] = {}
     for index, job in enumerate(job_list):
-        if isinstance(job.series, (BlobHandle, SharedArraysHandle)):
-            continue
-        groups.setdefault(id(job.series), []).append(index)
+        for field in ("series", "series_b"):
+            series = getattr(job, field)
+            if series is None or isinstance(series, (BlobHandle, SharedArraysHandle)):
+                continue
+            groups.setdefault(id(series), []).append((index, field))
 
     tasks = list(job_list)
     buffers: List[SharedSeriesBuffer] = []
-    for indices in groups.values():
-        if len(indices) < 2:
+    for references in groups.values():
+        if len(references) < 2:
             continue
+        first_index, first_field = references[0]
         try:
-            values = validate_series(job_list[indices[0]].series)
+            values = validate_series(getattr(job_list[first_index], first_field))
         except Exception:
             continue  # the job itself will surface the validation error
         buffer = SharedSeriesBuffer.create({"values": values})
         if buffer is None:  # shared memory unavailable: keep pickling
             break
         buffers.append(buffer)
-        for index in indices:
-            tasks[index] = replace(job_list[index], series=buffer.handle)
+        for index, field in references:
+            tasks[index] = replace(tasks[index], **{field: buffer.handle})
     return tasks, buffers
 
 
@@ -402,6 +474,12 @@ def compute_profiles(
         if job.query_offset is not None:
             # One MASS call is O(n log n), i.e. ~log2(n) "profile rows".
             task_units += max(1, int(size).bit_length())
+        elif job.series_b is not None:
+            # Join jobs: one recurrence row per query offset of the block.
+            if job.row_range is not None:
+                task_units += max(1, job.row_range[1] - job.row_range[0])
+            else:
+                task_units += max(1, size - (job.window or 1) + 1)
         else:
             task_units += sum(max(1, size - window + 1) for window in job.windows)
 

@@ -89,6 +89,43 @@ def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
         c_double_arr,  # profile
         c_index_arr,  # indices
     ]
+    lib.repro_ab_join_segment.restype = None
+    lib.repro_ab_join_segment.argtypes = [
+        c_double_arr,  # values_a
+        c_double_arr,  # values_b
+        i64,  # window
+        i64,  # count_b
+        c_double_arr,  # means_a
+        c_double_arr,  # stds_a
+        c_double_arr,  # means_b
+        c_double_arr,  # stds_b
+        c_double_arr,  # inv_stds_b
+        c_double_arr,  # coef_a
+        c_double_arr,  # first_col
+        c_double_arr,  # qt
+        i64,  # start
+        i64,  # stop
+        ctypes.c_int,  # compensated
+        ctypes.c_int,  # has_const
+        c_double_arr,  # profile
+        c_index_arr,  # indices
+    ]
+    lib.repro_scrimp_block.restype = None
+    lib.repro_scrimp_block.argtypes = [
+        c_double_arr,  # values
+        i64,  # n
+        i64,  # window
+        i64,  # count
+        c_double_arr,  # means
+        c_double_arr,  # stds
+        c_index_arr,  # diagonals
+        i64,  # num_diagonals
+        ctypes.c_int,  # compensated
+        c_double_arr,  # csum scratch (n + 1)
+        c_double_arr,  # dist scratch (count)
+        c_double_arr,  # distances (in/out)
+        c_index_arr,  # indices (in/out)
+    ]
     return lib
 
 

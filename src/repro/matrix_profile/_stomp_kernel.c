@@ -170,3 +170,138 @@ void repro_stomp_segment(const double *values, i64 window, i64 count,
         }
     }
 }
+
+/* One reseed segment of an AB-join sweep: rows [start, stop) of series A
+ * advanced against all of series B with the cross-series recurrence
+ *
+ *     QT[i, j] = QT[i-1, j-1] - A[i-1]*B[j-1] + A[i+m-1]*B[j+m-1]
+ *
+ * Transcribed from the numpy join kernel in kernels.py under the same
+ * bit-for-bit constraints as repro_stomp_segment above.  Both series are
+ * pre-shifted by B's global mean on the Python side; there is no
+ * exclusion zone (the series are distinct), so every row has a winner. */
+void repro_ab_join_segment(const double *values_a, const double *values_b,
+                           i64 window, i64 count_b, const double *means_a,
+                           const double *stds_a, const double *means_b,
+                           const double *stds_b, const double *inv_stds_b,
+                           const double *coef_a, const double *first_col,
+                           double *qt, i64 start, i64 stop, int compensated,
+                           int has_const, double *profile, i64 *indices) {
+    double window_d = (double)window;
+    double sqrt_window = sqrt(window_d);
+    i64 off;
+    for (off = start; off < stop; off++) {
+        i64 j, best = 0;
+        double best_sel = -INFINITY;
+        double query_std = stds_a[off];
+        if (off > start && query_std != 0.0 && !has_const) {
+            /* Common case: fused advance + descending '>=' scan, exactly
+             * like the self-join kernel but with A-scalars against
+             * B-slices and no exclusion-zone test in the loop. */
+            double a = values_a[off - 1];
+            double b = values_a[off + window - 1];
+            double row_coef = coef_a[off];
+            double sel;
+            for (j = count_b - 1; j >= 1; j--) {
+                double q =
+                    (qt[j - 1] - a * values_b[j - 1]) + b * values_b[j + window - 1];
+                qt[j] = q;
+                sel = (q - row_coef * means_b[j]) * inv_stds_b[j];
+                if (sel >= best_sel) {
+                    best_sel = sel;
+                    best = j;
+                }
+            }
+            qt[0] = first_col[off];
+            sel = (qt[0] - row_coef * means_b[0]) * inv_stds_b[0];
+            if (sel >= best_sel) {
+                best_sel = sel;
+                best = 0;
+            }
+        } else {
+            if (off > start) {
+                double a = values_a[off - 1];
+                double b = values_a[off + window - 1];
+                for (j = count_b - 1; j >= 1; j--)
+                    qt[j] =
+                        (qt[j - 1] - a * values_b[j - 1]) + b * values_b[j + window - 1];
+                qt[0] = first_col[off];
+            }
+            if (query_std == 0.0) {
+                for (j = 0; j < count_b; j++) {
+                    double sel = (stds_b[j] == 0.0) ? 1.0 : 0.5;
+                    if (sel > best_sel) {
+                        best_sel = sel;
+                        best = j;
+                    }
+                }
+            } else {
+                double row_coef = coef_a[off];
+                double half_wq = 0.5 * (window_d * query_std);
+                for (j = 0; j < count_b; j++) {
+                    double sel = (stds_b[j] == 0.0)
+                                     ? half_wq
+                                     : (qt[j] - row_coef * means_b[j]) * inv_stds_b[j];
+                    if (sel > best_sel) {
+                        best_sel = sel;
+                        best = j;
+                    }
+                }
+            }
+        }
+        profile[off - start] =
+            winner_distance(qt[best], window_d, means_a[off], means_b[best],
+                            query_std, stds_b[best], compensated, sqrt_window);
+        indices[off - start] = best;
+    }
+}
+
+/* A sequence of SCRIMP diagonals folded into the profile state in order.
+ *
+ * Per diagonal d: dot products via one running product sum (the same
+ * sequential accumulation as np.cumsum), distances through the shared
+ * winner_distance transcription, then a row pass (entry j learns about
+ * j + d) followed by a column pass (entry j + d learns about j), both
+ * with strict '<' so earlier updates keep ties — the exact application
+ * order of the historical Python loop, hence bit-identical state.
+ * csum (n + 1 doubles) and dist (count doubles) are caller-provided
+ * scratch. */
+void repro_scrimp_block(const double *values, i64 n, i64 window, i64 count,
+                        const double *means, const double *stds,
+                        const i64 *diagonals, i64 num_diagonals, int compensated,
+                        double *csum, double *dist, double *distances,
+                        i64 *indices) {
+    double window_d = (double)window;
+    double sqrt_window = sqrt(window_d);
+    i64 t, i, j;
+    for (t = 0; t < num_diagonals; t++) {
+        i64 d = diagonals[t];
+        i64 cnt = count - d;
+        i64 len = n - d;
+        double acc = 0.0;
+        if (cnt <= 0)
+            continue;
+        csum[0] = 0.0;
+        for (i = 0; i < len; i++) {
+            acc += values[i] * values[i + d];
+            csum[i + 1] = acc;
+        }
+        for (j = 0; j < cnt; j++) {
+            double qt = csum[j + window] - csum[j];
+            dist[j] = winner_distance(qt, window_d, means[j], means[j + d], stds[j],
+                                      stds[j + d], compensated, sqrt_window);
+        }
+        for (j = 0; j < cnt; j++) {
+            if (dist[j] < distances[j]) {
+                distances[j] = dist[j];
+                indices[j] = j + d;
+            }
+        }
+        for (j = 0; j < cnt; j++) {
+            if (dist[j] < distances[j + d]) {
+                distances[j + d] = dist[j];
+                indices[j + d] = j;
+            }
+        }
+    }
+}

@@ -15,22 +15,35 @@ features rely on them:
 * the analysis helpers use joins to locate a discovered motif inside another
   recording (e.g. "does the heartbeat found in recording 1 appear in
   recording 2?").
+
+The inner loop lives in :mod:`repro.matrix_profile.kernels`
+(:func:`~repro.matrix_profile.kernels.run_join_sweep`): the historical
+one-MASS-call-per-subsequence loop is the ``"oracle"`` kernel, and the
+``"numpy"``/``"native"`` kernels replace the per-row FFTs with the
+``O(|A|·|B|)`` cross-series STOMP recurrence.  ``engine="parallel"``
+additionally block-partitions the A-rows across cores through
+:func:`repro.engine.batch.compute_profiles`, the same data plane self-joins
+use.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List
 
 import numpy as np
 
 from repro.exceptions import EmptyResultError, InvalidParameterError
-from repro.matrix_profile.distance_profile import distances_from_dot_products
+from repro.matrix_profile.kernels import (
+    DEFAULT_JOIN_RESEED_INTERVAL,
+    run_join_sweep,
+    validate_kernel,
+)
 from repro.series.validation import validate_series, validate_subsequence_length
-from repro.stats.fft import sliding_dot_product
 from repro.stats.sliding import SlidingStats
 
-__all__ = ["JoinProfile", "ab_join", "ab_join_both"]
+__all__ = ["JoinProfile", "ab_join", "ab_join_both", "join_sweep_rows"]
 
 
 @dataclass(frozen=True)
@@ -100,66 +113,174 @@ class JoinProfile:
         }
 
 
+def join_sweep_rows(
+    series_a,
+    series_b,
+    window: int,
+    start: int,
+    stop: int,
+    *,
+    stats_a: SlidingStats | None = None,
+    stats_b: SlidingStats | None = None,
+    kernel: str | None = None,
+    reseed_interval: int | None = None,
+) -> JoinProfile:
+    """AB-join of query rows ``[start, stop)`` of ``series_a`` against ``series_b``.
+
+    The row-range primitive behind :func:`ab_join` and the engine's block
+    partitioning: it prepares the B-centered inputs (both series shifted by
+    ``stats_b.center`` — z-normalised distances are shift-invariant and the
+    centered products avoid the large-offset cancellation) and hands the rows
+    to :func:`~repro.matrix_profile.kernels.run_join_sweep`.  The returned
+    profile covers only the requested rows; ``indices`` are offsets in ``B``.
+    """
+    values_a = validate_series(series_a, name="series_a")
+    values_b = validate_series(series_b, name="series_b")
+    window = validate_subsequence_length(min(values_a.size, values_b.size), window)
+    if stats_a is None:
+        stats_a = SlidingStats(values_a)
+    if stats_b is None:
+        stats_b = SlidingStats(values_b)
+    means_a, stds_a = stats_a.mean_std(window)
+
+    center = stats_b.center
+    shifted_a = values_a - center
+    shifted_means_a = means_a - center
+    centered_b = stats_b.centered_values
+    centered_means_b, stds_b = stats_b.centered_mean_std(window)
+    compensated = stats_b.conversion_compensated(window)
+
+    distances, indices = run_join_sweep(
+        shifted_a,
+        centered_b,
+        window,
+        shifted_means_a,
+        stds_a,
+        centered_means_b,
+        stds_b,
+        start,
+        stop,
+        kernel=kernel,
+        compensated=compensated,
+        reseed_interval=reseed_interval,
+    )
+    return JoinProfile(distances=distances, indices=indices, window=window)
+
+
 def ab_join(
     series_a,
     series_b,
     window: int,
     *,
+    stats_a: SlidingStats | None = None,
     stats_b: SlidingStats | None = None,
+    kernel: str | None = None,
+    reseed_interval: int | None = None,
+    engine: str | None = None,
+    n_jobs: int | None = None,
+    block_size: int | None = None,
 ) -> JoinProfile:
     """One-sided AB-join: nearest neighbour in ``series_b`` of every subsequence of ``series_a``.
 
-    The computation is STAMP-style — one MASS call (an FFT convolution against
-    ``series_b``) per subsequence of ``series_a`` — which keeps the memory
-    footprint at ``O(|B|)`` and the cost at ``O(|A| · |B| log |B|)``.
+    ``kernel`` selects the inner loop (see
+    :func:`~repro.matrix_profile.kernels.run_join_sweep`): ``"oracle"`` is the
+    historical STAMP-style loop — one MASS call per subsequence of ``A``,
+    ``O(|A|·|B| log |B|)`` — while ``"numpy"``/``"native"`` advance the
+    cross-series STOMP recurrence for ``O(|A|·|B|)``.  ``engine="parallel"``
+    (or ``"auto"``) block-partitions the A-rows through
+    :func:`repro.engine.batch.compute_profiles`; ``reseed_interval=0`` makes
+    every kernel and any block partitioning bit-for-bit equal to the oracle
+    (each row is then seeded by the identical FFT).
     """
     values_a = validate_series(series_a, name="series_a")
     values_b = validate_series(series_b, name="series_b")
     window = validate_subsequence_length(min(values_a.size, values_b.size), window)
-    if stats_b is None:
-        stats_b = SlidingStats(values_b)
-    stats_a = SlidingStats(values_a)
-    means_a, stds_a = stats_a.mean_std(window)
-
-    # Shift both series by one common constant before taking dot products:
-    # z-normalised distances are shift-invariant and the centered products
-    # avoid the large-offset cancellation (see SlidingStats.centered_values).
-    center = stats_b.center
-    centered_b = stats_b.centered_values
-    centered_means_b, stds_b = stats_b.centered_mean_std(window)
-    compensated = stats_b.conversion_compensated(window)
-
+    validate_kernel(kernel)
     count_a = values_a.size - window + 1
-    distances = np.full(count_a, np.inf, dtype=np.float64)
-    indices = np.full(count_a, -1, dtype=np.int64)
-    for offset in range(count_a):
-        query = values_a[offset : offset + window] - center
-        dot_products = sliding_dot_product(query, centered_b)
-        profile = distances_from_dot_products(
-            dot_products,
-            window,
-            float(means_a[offset]) - center,
-            float(stds_a[offset]),
-            centered_means_b,
-            stds_b,
-            compensated=compensated,
-        )
-        best = int(np.argmin(profile))
-        distances[offset] = float(profile[best])
-        indices[offset] = best
 
-    return JoinProfile(distances=distances, indices=indices, window=window)
+    if engine is not None and engine != "serial":
+        from repro.engine import batch as engine_batch
+        from repro.engine.partition import default_block_size, plan_blocks
+
+        jobs_hint = n_jobs if n_jobs is not None else (os.cpu_count() or 1)
+        width = (
+            int(block_size)
+            if block_size is not None
+            else default_block_size(count_a, max(1, int(jobs_hint)))
+        )
+        interval = (
+            DEFAULT_JOIN_RESEED_INTERVAL if reseed_interval is None else reseed_interval
+        )
+        jobs = [
+            engine_batch.ProfileJob(
+                series=values_a,
+                series_b=values_b,
+                window=window,
+                row_range=(block_start, block_stop),
+                kernel=kernel,
+                reseed_interval=interval,
+            )
+            for block_start, block_stop in plan_blocks(count_a, width)
+        ]
+        outcomes = engine_batch.compute_profiles(jobs, executor=engine, n_jobs=n_jobs)
+        parts = [outcome.unwrap() for outcome in outcomes]
+        return JoinProfile(
+            distances=np.concatenate([part.distances for part in parts]),
+            indices=np.concatenate([part.indices for part in parts]),
+            window=window,
+        )
+
+    return join_sweep_rows(
+        values_a,
+        values_b,
+        window,
+        0,
+        count_a,
+        stats_a=stats_a,
+        stats_b=stats_b,
+        kernel=kernel,
+        reseed_interval=reseed_interval,
+    )
 
 
 def ab_join_both(
     series_a,
     series_b,
     window: int,
+    *,
+    stats_a: SlidingStats | None = None,
+    stats_b: SlidingStats | None = None,
+    kernel: str | None = None,
+    reseed_interval: int | None = None,
+    engine: str | None = None,
+    n_jobs: int | None = None,
+    block_size: int | None = None,
 ) -> tuple[JoinProfile, JoinProfile]:
-    """Both one-sided joins ``(A -> B, B -> A)``, sharing the sliding statistics."""
+    """Both one-sided joins ``(A -> B, B -> A)``, sharing the sliding statistics.
+
+    Each series' :class:`~repro.stats.sliding.SlidingStats` is built (or taken
+    from ``stats_a=``/``stats_b=``) exactly once and reused across both join
+    directions — one set of prefix sums and centered values per series instead
+    of one per direction.
+    """
     values_a = validate_series(series_a, name="series_a")
     values_b = validate_series(series_b, name="series_b")
     window = validate_subsequence_length(min(values_a.size, values_b.size), window)
-    forward = ab_join(values_a, values_b, window, stats_b=SlidingStats(values_b))
-    backward = ab_join(values_b, values_a, window, stats_b=SlidingStats(values_a))
+    if stats_a is None:
+        stats_a = SlidingStats(values_a)
+    if stats_b is None:
+        stats_b = SlidingStats(values_b)
+    options = dict(
+        kernel=kernel,
+        reseed_interval=reseed_interval,
+        engine=engine,
+        n_jobs=n_jobs,
+        block_size=block_size,
+    )
+    forward = ab_join(
+        values_a, values_b, window, stats_a=stats_a, stats_b=stats_b, **options
+    )
+    backward = ab_join(
+        values_b, values_a, window, stats_a=stats_b, stats_b=stats_a, **options
+    )
     return forward, backward

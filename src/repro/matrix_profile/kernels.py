@@ -98,10 +98,15 @@ from repro.stats.distance import centered_dot_products, compensation_needed
 from repro.stats.fft import sliding_dot_product
 
 __all__ = [
+    "DEFAULT_DIAG_BLOCK",
+    "DEFAULT_JOIN_RESEED_INTERVAL",
+    "DIAG_BATCH_MAX_N",
     "KERNEL_NAMES",
     "available_kernels",
     "resolve_kernel",
     "validate_kernel",
+    "run_diagonal_sweep",
+    "run_join_sweep",
     "run_sweep",
 ]
 
@@ -282,27 +287,34 @@ def _fill_selection_row(
     apply_exclusion_zone(sel, offset, ctx.radius, value=-np.inf)
 
 
-def _winner_distances(
-    ctx: _SweepContext, offsets: np.ndarray, bests: np.ndarray, qt_best: np.ndarray
+def _transcribed_distances(
+    window: int,
+    qt_best: np.ndarray,
+    query_means: np.ndarray,
+    query_stds: np.ndarray,
+    target_means: np.ndarray,
+    target_stds: np.ndarray,
+    compensated: bool,
+    sqrt_window: float,
 ) -> np.ndarray:
-    """Distances of the ``(offsets[r], bests[r])`` winners, bit-equal to oracle rows.
+    """Winner distances from winner dot products, bit-equal to oracle rows.
 
     Vectorised transcription of the element-wise arithmetic of
     :func:`~repro.matrix_profile.distance_profile.distances_from_dot_products`
     (including the compensated centering of
     :func:`~repro.stats.distance.centered_dot_products` when the sweep
     decided it is needed), preserving the operation order so each result
-    carries the identical bits the oracle's full row would.
+    carries the identical bits the oracle's full row would.  Query and
+    target statistics are explicit arrays, so the same transcription
+    serves the self-join sweep (both sides indexed into one series) and
+    the AB-join sweep (query stats from ``A``, target stats from ``B``).
     """
-    window = ctx.window
-    query_stds = ctx.stds[offsets]
-    target_stds = ctx.stds[bests]
     centered = centered_dot_products(
         qt_best,
         window,
-        ctx.means[offsets],
-        ctx.means[bests],
-        compensated=ctx.compensated,
+        query_means,
+        target_means,
+        compensated=compensated,
     )
     with np.errstate(divide="ignore", invalid="ignore"):
         correlation = centered / ((window * query_stds) * target_stds)
@@ -312,9 +324,25 @@ def _winner_distances(
     distances = np.sqrt(squared)
     query_constant = query_stds == 0.0
     target_constant = target_stds == 0.0
-    distances[query_constant | target_constant] = ctx.sqrt_window
+    distances[query_constant | target_constant] = sqrt_window
     distances[query_constant & target_constant] = 0.0
     return distances
+
+
+def _winner_distances(
+    ctx: _SweepContext, offsets: np.ndarray, bests: np.ndarray, qt_best: np.ndarray
+) -> np.ndarray:
+    """Distances of the ``(offsets[r], bests[r])`` winners of a self-join sweep."""
+    return _transcribed_distances(
+        ctx.window,
+        qt_best,
+        ctx.means[offsets],
+        ctx.stds[offsets],
+        ctx.means[bests],
+        ctx.stds[bests],
+        ctx.compensated,
+        ctx.sqrt_window,
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -557,3 +585,548 @@ def run_sweep(
             )
             indices[chosen] = best[chosen]
     return profile, indices
+
+
+# --------------------------------------------------------------------- #
+# AB-join sweep (cross-series STOMP recurrence)
+# --------------------------------------------------------------------- #
+#: Rows advanced by the join recurrence before a fresh MASS re-seed — the
+#: same drift bound as the engine's ``DEFAULT_RESEED_INTERVAL`` (defined
+#: here rather than imported: :mod:`repro.engine.partition` imports this
+#: module).  ``0`` re-seeds every row, which makes the fast join kernels
+#: bit-for-bit equal to the per-row oracle loop (each row then comes from
+#: the identical FFT instead of recurrence steps).
+DEFAULT_JOIN_RESEED_INTERVAL = 512
+
+
+class _JoinContext:
+    """Per-sweep precomputation of an AB-join, shared by every kernel.
+
+    All arrays live in ``B``-centered space — both series shifted by
+    ``stats_b.center``, which is the space the historical per-offset MASS
+    loop computes in (z-normalised distances are shift-invariant; one
+    common shift keeps the dot products small).  Query rows come from
+    ``A``; target columns from ``B``.  There is no exclusion zone: the two
+    series are distinct, so every column is a legal match and every row
+    has a winner.
+    """
+
+    __slots__ = (
+        "values_a",
+        "values_b",
+        "window",
+        "count_a",
+        "count_b",
+        "means_a",
+        "stds_a",
+        "means_b",
+        "stds_b",
+        "first_col",
+        "compensated",
+        "coef_a",
+        "inv_stds_b",
+        "half_wq_a",
+        "const_cols",
+        "has_const",
+        "const_row_sel",
+        "sqrt_window",
+    )
+
+    def __init__(
+        self, values_a, values_b, window, means_a, stds_a, means_b, stds_b, compensated
+    ):
+        self.values_a = values_a
+        self.values_b = values_b
+        self.window = int(window)
+        self.count_a = int(means_a.size)
+        self.count_b = int(means_b.size)
+        self.means_a = means_a
+        self.stds_a = stds_a
+        self.means_b = means_b
+        self.stds_b = stds_b
+        # QT[i, 0] for every A-row i — the column the recurrence cannot
+        # reach.  Only the recurrence kernels need it (the oracle seeds
+        # every row fresh), so it is computed lazily by run_join_sweep.
+        self.first_col = None
+        self.compensated = bool(compensated)
+        # Row/column coefficients of the selection scores
+        # sel[j] = (QT[j] - m*mu_a[i]*mu_b[j]) / sigma_b[j]; same
+        # conventions as the self-join context, with the row side from A
+        # and the column side from B.
+        self.coef_a = window * means_a
+        constant = stds_b == 0.0
+        self.inv_stds_b = np.zeros_like(stds_b)
+        np.divide(1.0, stds_b, out=self.inv_stds_b, where=~constant)
+        self.half_wq_a = 0.5 * (window * stds_a)
+        self.const_cols = np.flatnonzero(constant)
+        self.has_const = self.const_cols.size > 0
+        self.const_row_sel = np.where(constant, 1.0, 0.5)
+        self.sqrt_window = float(np.sqrt(window))
+
+
+def _seed_join_into(ctx: _JoinContext, out: np.ndarray, offset: int) -> None:
+    """Fresh MASS seed of A-row ``offset`` against all of B, into ``out``.
+
+    This is byte-for-byte the FFT call of the historical per-offset loop,
+    so a sweep that seeds every row (``reseed_interval=0``) reproduces the
+    oracle's dot products exactly.
+    """
+    np.copyto(
+        out,
+        sliding_dot_product(
+            ctx.values_a[offset : offset + ctx.window], ctx.values_b
+        ),
+    )
+
+
+def _advance_join_into(
+    ctx: _JoinContext, prev: np.ndarray, out: np.ndarray, offset: int, tmp: np.ndarray
+) -> None:
+    """One join recurrence step ``prev`` (row ``offset-1``) → ``out``.
+
+    ``QT[i, j] = QT[i-1, j-1] - A[i-1]·B[j-1] + A[i+m-1]·B[j+m-1]`` with
+    the exact ``(prev - a·u) + b·v`` operation order of the self-join
+    kernels, so the numpy and native kernels accumulate identical
+    rounding.
+    """
+    values_b = ctx.values_b
+    count_b = ctx.count_b
+    window = ctx.window
+    scratch = tmp[: count_b - 1]
+    np.multiply(ctx.values_a[offset - 1], values_b[: count_b - 1], out=scratch)
+    np.subtract(prev[: count_b - 1], scratch, out=out[1:])
+    np.multiply(
+        ctx.values_a[offset + window - 1],
+        values_b[window : window + count_b - 1],
+        out=scratch,
+    )
+    np.add(out[1:], scratch, out=out[1:])
+    out[0] = ctx.first_col[offset]
+
+
+def _fill_join_selection_row(
+    ctx: _JoinContext, qt: np.ndarray, offset: int, sel: np.ndarray
+) -> None:
+    """Selection scores of one join row into ``sel`` (no exclusion zone)."""
+    if ctx.stds_a[offset] == 0.0:
+        np.copyto(sel, ctx.const_row_sel)
+    else:
+        np.multiply(ctx.coef_a[offset], ctx.means_b, out=sel)
+        np.subtract(qt, sel, out=sel)
+        np.multiply(sel, ctx.inv_stds_b, out=sel)
+        if ctx.has_const:
+            sel[ctx.const_cols] = ctx.half_wq_a[offset]
+
+
+def _oracle_join_rows(ctx, qt, start, stop, profile, indices):
+    """Reference per-row join: the historical ab_join loop, verbatim.
+
+    One MASS call and one full ``distances_from_dot_products`` row per
+    query offset, winner by ``argmin`` over the distances — exactly the
+    arithmetic (and tie-breaking) of the pre-kernel ``ab_join``, which is
+    why this path ignores ``reseed_interval``: the historical loop never
+    advanced a recurrence.
+    """
+    for offset in range(start, stop):
+        _seed_join_into(ctx, qt, offset)
+        distances = distances_from_dot_products(
+            qt,
+            ctx.window,
+            float(ctx.means_a[offset]),
+            float(ctx.stds_a[offset]),
+            ctx.means_b,
+            ctx.stds_b,
+            compensated=ctx.compensated,
+        )
+        best = int(np.argmin(distances))
+        profile[offset - start] = float(distances[best])
+        indices[offset - start] = best
+
+
+def _numpy_join_segment(ctx, workspace, seg_start, seg_stop, base, best, best_qt):
+    """Row-pipelined join sweep of one reseed segment.
+
+    Same shape as the self-join numpy kernel: ping-pong QT rows, immediate
+    selection-space reduction, winner distances deferred to one vectorized
+    :func:`_transcribed_distances` pass after the sweep.  Every row has a
+    winner (no exclusion zone), so no validity mask is needed.
+    """
+    qt_block, sel, tmp = workspace
+    prev = None
+    t = 0
+    for offset in range(seg_start, seg_stop):
+        row = qt_block[t]
+        t ^= 1
+        if prev is None:
+            _seed_join_into(ctx, row, offset)
+        else:
+            _advance_join_into(ctx, prev, row, offset, tmp)
+        prev = row
+        _fill_join_selection_row(ctx, row, offset, sel)
+        winner = int(np.argmax(sel))
+        pos = offset - base
+        best[pos] = winner
+        best_qt[pos] = row[winner]
+
+
+def _native_join_segment(ctx, lib, qt, seg_start, seg_stop, base, profile, indices):
+    """Dispatch one join reseed segment to the compiled kernel."""
+    lib.repro_ab_join_segment(
+        ctx.values_a,
+        ctx.values_b,
+        ctx.window,
+        ctx.count_b,
+        ctx.means_a,
+        ctx.stds_a,
+        ctx.means_b,
+        ctx.stds_b,
+        ctx.inv_stds_b,
+        ctx.coef_a,
+        ctx.first_col,
+        qt,
+        seg_start,
+        seg_stop,
+        1 if ctx.compensated else 0,
+        1 if ctx.has_const else 0,
+        profile[seg_start - base : seg_stop - base],
+        indices[seg_start - base : seg_stop - base],
+    )
+
+
+def run_join_sweep(
+    values_a: np.ndarray,
+    values_b: np.ndarray,
+    window: int,
+    means_a: np.ndarray,
+    stds_a: np.ndarray,
+    means_b: np.ndarray,
+    stds_b: np.ndarray,
+    start: int,
+    stop: int,
+    *,
+    kernel: "str | None" = None,
+    compensated: "bool | None" = None,
+    reseed_interval: "int | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """AB-join profile/index arrays for query rows ``[start, stop)`` of A.
+
+    Parameters
+    ----------
+    values_a, values_b:
+        Both series shifted by **B's** global mean (``stats_b.center``) —
+        the space the historical per-offset MASS loop computes in.
+    means_a, stds_a:
+        Window statistics of the *shifted* A (``means_a - center_b``, raw
+        standard deviations — shifts do not change sigma).
+    means_b, stds_b:
+        Centered window statistics of B
+        (``SlidingStats.centered_mean_std``).
+    kernel:
+        ``"oracle"`` (the historical per-row MASS loop), ``"numpy"`` (the
+        O(|A|·|B|) STOMP recurrence across A-rows), ``"native"`` (its C
+        translation), ``"auto"`` / ``None`` as in :func:`resolve_kernel`.
+    reseed_interval:
+        Rows advanced by the recurrence before a fresh MASS re-seed;
+        ``None`` uses :data:`DEFAULT_JOIN_RESEED_INTERVAL`, ``0`` re-seeds
+        every row (which makes the fast kernels bit-for-bit equal to the
+        oracle — same FFTs, no recurrence rounding).  The oracle kernel
+        ignores it (the historical loop is always per-row seeded).  As
+        with :func:`run_sweep`, segment boundaries are part of the
+        numerical result: the fast kernels are bit-for-bit identical to
+        each other per ``(start, stop, reseed_interval)`` shape.
+
+    Returns
+    -------
+    (profile, indices):
+        Arrays of length ``stop - start``; ``indices[r]`` is the offset in
+        B of the nearest neighbour of A-row ``start + r``.
+    """
+    count_a = int(means_a.size)
+    count_b = int(means_b.size)
+    length = int(stop) - int(start)
+    if length < 0 or start < 0 or stop > count_a:
+        raise InvalidParameterError(
+            f"row range [{start}, {stop}) out of bounds for {count_a} rows"
+        )
+    profile = np.full(length, np.inf, dtype=np.float64)
+    indices = np.full(length, -1, dtype=np.int64)
+    if length == 0:
+        return profile, indices
+
+    name = resolve_kernel(kernel)
+    if compensated is None:
+        compensated = compensation_needed(means_b, means_b, stds_b)
+    ctx = _JoinContext(
+        values_a, values_b, window, means_a, stds_a, means_b, stds_b, compensated
+    )
+
+    if name == "oracle":
+        qt = np.empty(count_b, dtype=np.float64)
+        _oracle_join_rows(ctx, qt, start, stop, profile, indices)
+        return profile, indices
+
+    if reseed_interval is None:
+        reseed_interval = DEFAULT_JOIN_RESEED_INTERVAL
+    interval = int(reseed_interval)
+    if interval < 0:
+        raise InvalidParameterError(
+            f"reseed_interval must be >= 0, got {reseed_interval}"
+        )
+    seg_len = interval + 1
+
+    lib = _native_lib() if name == "native" else None
+    if name == "native" and lib is None:  # pragma: no cover - racy unload guard
+        name = "numpy"
+
+    # The recurrence cannot reach column 0, so the advances refresh it from
+    # QT[:, 0] = B[0:m] . A[i:i+m] — one extra FFT, only needed when a
+    # segment actually advances (seg_len > 1); the native kernel takes the
+    # array unconditionally.
+    if seg_len > 1 or name == "native":
+        ctx.first_col = sliding_dot_product(values_b[:window], values_a)
+
+    if name == "numpy":
+        workspace = (
+            np.empty((2, count_b), dtype=np.float64),
+            np.empty(count_b, dtype=np.float64),
+            np.empty(count_b, dtype=np.float64),
+        )
+        best = np.empty(length, dtype=np.int64)
+        best_qt = np.empty(length, dtype=np.float64)
+    else:
+        qt = np.empty(count_b, dtype=np.float64)
+
+    seg_start = start
+    while seg_start < stop:
+        seg_stop = min(seg_start + seg_len, stop)
+        if name == "numpy":
+            _numpy_join_segment(ctx, workspace, seg_start, seg_stop, start, best, best_qt)
+        else:
+            _seed_join_into(ctx, qt, seg_start)
+            _native_join_segment(ctx, lib, qt, seg_start, seg_stop, start, profile, indices)
+        seg_start = seg_stop
+
+    if name == "numpy":
+        offsets = np.arange(start, stop)
+        profile[:] = _transcribed_distances(
+            ctx.window,
+            best_qt,
+            ctx.means_a[offsets],
+            ctx.stds_a[offsets],
+            ctx.means_b[best],
+            ctx.stds_b[best],
+            ctx.compensated,
+            ctx.sqrt_window,
+        )
+        indices[:] = best
+    return profile, indices
+
+
+# --------------------------------------------------------------------- #
+# SCRIMP diagonal sweep (batched anytime kernel)
+# --------------------------------------------------------------------- #
+#: Diagonals processed per batched-kernel call.  Peak extra memory of the
+#: numpy kernel is ~``3 * DEFAULT_DIAG_BLOCK * n`` doubles (products,
+#: prefix sums, distances); 32 keeps that ~0.8 MB per 1k points while
+#: amortising the per-call numpy overhead over a full block.
+DEFAULT_DIAG_BLOCK = 32
+
+#: Above this series length the default numpy path processes diagonals one
+#: at a time instead of in padded batches.  The batch pads every diagonal
+#: to the full series length (a diagonal ``d`` only has ``n - d`` valid
+#: lanes), so once the vectorized work dominates the per-call numpy
+#: overhead the padding costs more than the batching saves; the two
+#: schedules are bit-identical, so the switch is purely a speed choice.
+#: An explicit ``block_size`` always forces the batch.
+DIAG_BATCH_MAX_N = 1024
+
+
+def _diagonal_distances(qt, window, means_a, stds_a, means_b, stds_b, compensated):
+    """Distances along diagonals, honouring the constant-subsequence rules.
+
+    The exact arithmetic of SCRIMP's historical per-diagonal helper
+    (:mod:`repro.matrix_profile.scrimp` now imports it from here), written
+    to broadcast: 1-D inputs give one diagonal, a 2-D ``qt`` with gathered
+    2-D B-side stats gives a whole block with bit-identical lanes.
+    """
+    a_constant = stds_a == 0.0
+    b_constant = stds_b == 0.0
+    centered = centered_dot_products(
+        qt, window, means_a, means_b, compensated=compensated
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        correlation = centered / (window * stds_a * stds_b)
+    np.clip(correlation, -1.0, 1.0, out=correlation)
+    squared = 2.0 * window * (1.0 - correlation)
+    np.maximum(squared, 0.0, out=squared)
+    distances = np.sqrt(squared)
+    both_constant = a_constant & b_constant
+    one_constant = a_constant ^ b_constant
+    distances[both_constant] = 0.0
+    distances[one_constant] = np.sqrt(window)
+    return distances
+
+
+def _oracle_diagonal(values, window, means, stds, diagonal, distances, indices, compensated):
+    """One diagonal of the historical SCRIMP loop, verbatim.
+
+    Dot products via one elementwise product and a cumulative sum, then a
+    row pass (entry ``i`` learns about ``i + d``) followed by a column
+    pass (entry ``i + d`` learns about ``i``), both with strict ``<`` so
+    an earlier diagonal keeps ties.
+    """
+    count = distances.size - diagonal
+    if count <= 0:
+        return
+    products = values[: values.size - diagonal] * values[diagonal:]
+    csum = np.concatenate(([0.0], np.cumsum(products)))
+    qt = csum[window : window + count] - csum[:count]
+    diag = _diagonal_distances(
+        qt, window, means[:count], stds[:count], means[diagonal:], stds[diagonal:], compensated
+    )
+    rows = np.arange(count)
+    columns = rows + diagonal
+
+    better_rows = diag < distances[rows]
+    distances[rows[better_rows]] = diag[better_rows]
+    indices[rows[better_rows]] = columns[better_rows]
+
+    better_columns = diag < distances[columns]
+    distances[columns[better_columns]] = diag[better_columns]
+    indices[columns[better_columns]] = rows[better_columns]
+
+
+def _numpy_diagonal_block(values, window, means, stds, block, distances, indices, compensated):
+    """One block of diagonals, batched — bit-equal to processing them one
+    by one.
+
+    Distances along a diagonal do not depend on the evolving profile
+    state, so the whole block is computed as a 2-D batch (padded products,
+    per-row prefix sums, gathered B-side stats; garbage lanes masked to
+    ``inf``).  The sequential row/column passes are then reproduced by one
+    ``argmin`` over an interleaved stack — layer 0 is the current state,
+    layers ``2t+1``/``2t+2`` are diagonal ``t``'s row/column candidates in
+    application order — because each pass writes each profile entry at
+    most once: the survivor at an entry is simply the minimum over
+    (state, candidates in order), ties to the earliest, which is exactly
+    ``argmin``'s first-occurrence rule.
+    """
+    n = values.size
+    count = distances.size
+    k = block.size
+    lanes = np.arange(n)
+    gather = np.minimum(lanes[None, :] + block[:, None], n - 1)
+    products = values[None, :] * values[gather]
+    products[lanes[None, :] >= (n - block)[:, None]] = 0.0
+    csum = np.empty((k, n + 1), dtype=np.float64)
+    csum[:, 0] = 0.0
+    np.cumsum(products, axis=1, out=csum[:, 1:])
+    qt = csum[:, window:] - csum[:, :count]
+
+    positions = np.arange(count)
+    col_gather = np.minimum(positions[None, :] + block[:, None], count - 1)
+    diag = _diagonal_distances(
+        qt, window, means, stds, means[col_gather], stds[col_gather], compensated
+    )
+    diag[positions[None, :] >= (count - block)[:, None]] = np.inf
+
+    stacked = np.full((2 * k + 1, count), np.inf, dtype=np.float64)
+    stacked[0] = distances
+    for t in range(k):
+        cnt = count - int(block[t])
+        stacked[2 * t + 1, :cnt] = diag[t, :cnt]
+        stacked[2 * t + 2, count - cnt :] = diag[t, :cnt]
+    winner = np.argmin(stacked, axis=0)
+    updated = winner > 0
+    if not updated.any():
+        return
+    distances[:] = stacked[winner, positions]
+    offsets = block[np.maximum(winner - 1, 0) // 2]
+    new_indices = np.where(winner % 2 == 1, positions + offsets, positions - offsets)
+    indices[:] = np.where(updated, new_indices, indices)
+
+
+def run_diagonal_sweep(
+    values: np.ndarray,
+    window: int,
+    means: np.ndarray,
+    stds: np.ndarray,
+    diagonals: np.ndarray,
+    distances: np.ndarray,
+    indices: np.ndarray,
+    *,
+    kernel: "str | None" = None,
+    compensated: "bool | None" = None,
+    block_size: "int | None" = None,
+) -> None:
+    """Fold a sequence of SCRIMP diagonals into ``distances``/``indices``.
+
+    The arrays are updated **in place** (they are the mutable state of an
+    anytime run); ``diagonals`` is visited in the given order, so a
+    randomized permutation keeps its anytime convergence behaviour.  All
+    kernels produce bit-identical state for any ``block_size``: diagonal
+    distances are state-independent and every kernel resolves collisions
+    by the same (value, earliest-application) rule, so batching changes
+    the schedule but not one output bit — which is why the anytime
+    ``fraction``/resume contract survives kernelization untouched.
+
+    ``kernel`` follows :func:`resolve_kernel`; ``"oracle"`` is the
+    historical one-diagonal-at-a-time loop.  ``compensated`` is the
+    sweep-level Dekker-compensation decision (``None`` recomputes it from
+    the stats); ``block_size`` only affects the numpy kernel's batch width
+    (default :data:`DEFAULT_DIAG_BLOCK`).
+    """
+    if diagonals.size == 0:
+        return
+    name = resolve_kernel(kernel)
+    if compensated is None:
+        compensated = compensation_needed(means, means, stds)
+
+    if name == "oracle":
+        for diagonal in diagonals.tolist():
+            _oracle_diagonal(
+                values, window, means, stds, diagonal, distances, indices, compensated
+            )
+        return
+
+    if name == "native":
+        lib = _native_lib()
+        if lib is None:  # pragma: no cover - racy unload guard
+            name = "numpy"
+        else:
+            diags = np.ascontiguousarray(diagonals, dtype=np.int64)
+            lib.repro_scrimp_block(
+                values,
+                int(values.size),
+                int(window),
+                int(distances.size),
+                means,
+                stds,
+                diags,
+                int(diags.size),
+                1 if compensated else 0,
+                np.empty(values.size + 1, dtype=np.float64),
+                np.empty(distances.size, dtype=np.float64),
+                distances,
+                indices,
+            )
+            return
+
+    if block_size is None:
+        if values.size > DIAG_BATCH_MAX_N:
+            # Bit-identical by the argument above; see DIAG_BATCH_MAX_N for
+            # why padded batches lose once the series is long.
+            for diagonal in diagonals.tolist():
+                _oracle_diagonal(
+                    values, window, means, stds, diagonal, distances, indices, compensated
+                )
+            return
+        block_size = DEFAULT_DIAG_BLOCK
+    width = int(block_size)
+    if width < 1:
+        raise InvalidParameterError(f"block_size must be >= 1, got {block_size}")
+    for start in range(0, diagonals.size, width):
+        block = np.ascontiguousarray(diagonals[start : start + width], dtype=np.int64)
+        _numpy_diagonal_block(
+            values, window, means, stds, block, distances, indices, compensated
+        )

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.matrix_profile.ab_join import ab_join
+from repro.matrix_profile.ab_join import ab_join_both
 from repro.series.validation import validate_series, validate_subsequence_length
 from repro.stats.sliding import SlidingStats
 
@@ -33,6 +33,12 @@ def mpdist(
     window: int,
     *,
     percentile: float = 0.05,
+    stats_a: SlidingStats | None = None,
+    stats_b: SlidingStats | None = None,
+    kernel: str | None = None,
+    reseed_interval: int | None = None,
+    engine: str | None = None,
+    n_jobs: int | None = None,
 ) -> float:
     """MPdist between two series for subsequences of length ``window``.
 
@@ -48,6 +54,14 @@ def mpdist(
         (``0.05`` in the original paper).  ``0`` degenerates to the closest
         cross-pair distance, ``1`` to the largest value of the combined
         profile.
+    stats_a, stats_b:
+        Optional precomputed sliding statistics of each series; whatever is
+        missing is built once here and shared by both join directions.
+    kernel, reseed_interval, engine, n_jobs:
+        Forwarded to the underlying joins (see
+        :func:`~repro.matrix_profile.ab_join.ab_join`): ``kernel`` picks the
+        oracle MASS loop or the O(|A|·|B|) recurrence kernels, ``engine``
+        spreads the A-rows of each join across cores.
     """
     if not 0.0 <= percentile <= 1.0:
         raise InvalidParameterError(f"percentile must be in [0, 1], got {percentile}")
@@ -55,8 +69,17 @@ def mpdist(
     values_b = validate_series(series_b, name="series_b")
     window = validate_subsequence_length(min(values_a.size, values_b.size), window)
 
-    forward = ab_join(values_a, values_b, window, stats_b=SlidingStats(values_b))
-    backward = ab_join(values_b, values_a, window, stats_b=SlidingStats(values_a))
+    forward, backward = ab_join_both(
+        values_a,
+        values_b,
+        window,
+        stats_a=stats_a,
+        stats_b=stats_b,
+        kernel=kernel,
+        reseed_interval=reseed_interval,
+        engine=engine,
+        n_jobs=n_jobs,
+    )
     combined = np.concatenate([forward.distances, backward.distances])
     combined = np.sort(combined)
     k = int(np.ceil(percentile * (values_a.size + values_b.size)))
@@ -71,6 +94,7 @@ def mpdist_profile(
     *,
     percentile: float = 0.05,
     step: int = 1,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Sliding MPdist of ``query`` against every window of ``series`` of ``len(query)``.
 
@@ -98,12 +122,16 @@ def mpdist_profile(
     evaluated = list(range(0, count, step))
     if evaluated[-1] != count - 1:
         evaluated.append(count - 1)
+    # The query is the same at every position — build its stats once.
+    query_stats = SlidingStats(query_values)
     for position in evaluated:
         profile[position] = mpdist(
             series_values[position : position + segment],
             query_values,
             window,
             percentile=percentile,
+            stats_b=query_stats,
+            kernel=kernel,
         )
     # Fill skipped positions with the nearest evaluated neighbour.
     if step > 1:

@@ -31,10 +31,11 @@ import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.matrix_profile.exclusion import apply_exclusion_zone, default_exclusion_radius
+from repro.matrix_profile.kernels import run_diagonal_sweep, validate_kernel
 from repro.matrix_profile.mass import mass
 from repro.matrix_profile.profile import MatrixProfile
 from repro.series.validation import validate_series, validate_subsequence_length
-from repro.stats.distance import centered_dot_products, compensation_needed
+from repro.stats.distance import compensation_needed
 from repro.stats.sliding import SlidingStats
 
 __all__ = [
@@ -89,81 +90,6 @@ class ScrimpState:
         )
 
 
-def _constant_aware_distances(
-    qt: np.ndarray,
-    window: int,
-    means_a: np.ndarray,
-    stds_a: np.ndarray,
-    means_b: np.ndarray,
-    stds_b: np.ndarray,
-    compensated: bool | None = None,
-) -> np.ndarray:
-    """Distances along a diagonal, honouring the constant-subsequence rules."""
-    a_constant = stds_a == 0.0
-    b_constant = stds_b == 0.0
-    centered = centered_dot_products(
-        qt, window, means_a, means_b, compensated=compensated
-    )
-    with np.errstate(divide="ignore", invalid="ignore"):
-        correlation = centered / (window * stds_a * stds_b)
-    np.clip(correlation, -1.0, 1.0, out=correlation)
-    squared = 2.0 * window * (1.0 - correlation)
-    np.maximum(squared, 0.0, out=squared)
-    distances = np.sqrt(squared)
-    both_constant = a_constant & b_constant
-    one_constant = a_constant ^ b_constant
-    distances[both_constant] = 0.0
-    distances[one_constant] = np.sqrt(window)
-    return distances
-
-
-def _diagonal_dot_products(values: np.ndarray, window: int, diagonal: int) -> np.ndarray:
-    """Dot products ``T[i:i+w] . T[i+diagonal:i+diagonal+w]`` for every valid ``i``.
-
-    Computed with one elementwise product and a cumulative sum, so each
-    diagonal costs ``O(n)`` regardless of the window length.
-    """
-    products = values[: values.size - diagonal] * values[diagonal:]
-    csum = np.concatenate(([0.0], np.cumsum(products)))
-    count = values.size - window + 1 - diagonal
-    return csum[window : window + count] - csum[:count]
-
-
-def _process_diagonal(
-    state: ScrimpState,
-    values: np.ndarray,
-    means: np.ndarray,
-    stds: np.ndarray,
-    diagonal: int,
-    compensated: bool | None = None,
-) -> None:
-    """Update the profile with every pair that lies on one diagonal."""
-    window = state.window
-    count = state.distances.size - diagonal
-    if count <= 0:
-        return
-    qt = _diagonal_dot_products(values, window, diagonal)
-    distances = _constant_aware_distances(
-        qt,
-        window,
-        means[:count],
-        stds[:count],
-        means[diagonal:],
-        stds[diagonal:],
-        compensated,
-    )
-    rows = np.arange(count)
-    columns = rows + diagonal
-
-    better_rows = distances < state.distances[rows]
-    state.distances[rows[better_rows]] = distances[better_rows]
-    state.indices[rows[better_rows]] = columns[better_rows]
-
-    better_columns = distances < state.distances[columns]
-    state.distances[columns[better_columns]] = distances[better_columns]
-    state.indices[columns[better_columns]] = rows[better_columns]
-
-
 def scrimp(
     series,
     window: int,
@@ -173,6 +99,8 @@ def scrimp(
     stats: SlidingStats | None = None,
     random_state: np.random.Generator | int | None = None,
     state: ScrimpState | None = None,
+    kernel: str | None = None,
+    diag_block_size: int | None = None,
 ) -> MatrixProfile:
     """Anytime exact matrix profile via random diagonal traversal.
 
@@ -197,6 +125,17 @@ def scrimp(
         (e.g. the output of :func:`pre_scrimp`); diagonals already counted in
         it are assumed *not* to have been processed (PreSCRIMP seeds values,
         not diagonals), so resuming simply continues improving the snapshot.
+    kernel:
+        Diagonal-sweep kernel (see
+        :func:`~repro.matrix_profile.kernels.run_diagonal_sweep`):
+        ``"oracle"`` processes one diagonal at a time, ``"numpy"`` batches
+        blocks of diagonals, ``"native"`` runs the compiled loop.  All
+        kernels produce bit-identical profiles for every ``fraction`` and
+        resume point — batching respects the randomized visiting order at
+        block granularity and the merge rule is order-exact — so the
+        anytime contract is unchanged.
+    diag_block_size:
+        Batch width of the ``"numpy"`` kernel (ignored by the others).
 
     Returns
     -------
@@ -207,6 +146,7 @@ def scrimp(
     """
     values = validate_series(series)
     window = validate_subsequence_length(values.size, window)
+    validate_kernel(kernel)
     if not 0.0 < fraction <= 1.0:
         raise InvalidParameterError(f"fraction must be in (0, 1], got {fraction}")
     radius = default_exclusion_radius(window) if exclusion_radius is None else int(exclusion_radius)
@@ -243,8 +183,18 @@ def scrimp(
     # One cancellation-risk decision for the whole sweep (every diagonal
     # shares the same means array).
     compensated = compensation_needed(means, means, stds)
-    for diagonal in to_process.tolist():
-        _process_diagonal(state, values, means, stds, diagonal, compensated)
+    run_diagonal_sweep(
+        values,
+        window,
+        means,
+        stds,
+        to_process,
+        state.distances,
+        state.indices,
+        kernel=kernel,
+        compensated=compensated,
+        block_size=diag_block_size,
+    )
     state.diagonals_done += int(to_process.size)
 
     return state.as_profile()
@@ -313,12 +263,15 @@ def scrimp_pp(
     exclusion_radius: int | None = None,
     stats: SlidingStats | None = None,
     random_state: np.random.Generator | int | None = None,
+    kernel: str | None = None,
+    diag_block_size: int | None = None,
 ) -> MatrixProfile:
     """SCRIMP++ — PreSCRIMP seeding followed by a (possibly partial) SCRIMP sweep.
 
     With ``fraction=1.0`` the result is exact; with a smaller fraction the
     PreSCRIMP seed guarantees the approximation is already close while the
-    diagonal sweep keeps tightening it.
+    diagonal sweep keeps tightening it.  ``kernel``/``diag_block_size``
+    select the diagonal-sweep kernel exactly as in :func:`scrimp`.
     """
     values = validate_series(series)
     window = validate_subsequence_length(values.size, window)
@@ -350,6 +303,8 @@ def scrimp_pp(
         stats=stats,
         random_state=random_state,
         state=state,
+        kernel=kernel,
+        diag_block_size=diag_block_size,
     )
 
 

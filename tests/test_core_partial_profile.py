@@ -73,6 +73,30 @@ class TestAdvance:
         with pytest.raises(InvalidParameterError):
             store.evaluate(10)
 
+    @pytest.mark.parametrize(
+        "size,base,capacity", [(200, 16, 4), (200, 16, 32), (257, 24, 8)]
+    )
+    def test_blocked_advance_is_bitwise_stepwise(self, size, base, capacity):
+        """The blocked multi-step tail update must be *bit-for-bit* equal to
+        the per-step reference loop — including multi-stage resumes and an
+        advance to the full series length."""
+        values = np.cumsum(np.random.default_rng(size + capacity).normal(size=size))
+        blocked = _build_store(values, base, capacity)
+        stepwise = _build_store(values, base, capacity)
+        targets = [base + 1, base + 7, base + 40, size]
+        for target in targets:
+            blocked.advance_to(target)
+            stepwise._advance_to_stepwise(target)
+            assert blocked.current_length == stepwise.current_length == target
+            assert (
+                blocked._dot_products.tobytes() == stepwise._dot_products.tobytes()
+            ), f"dot products diverged advancing to {target}"
+        evaluated = blocked.evaluate(size)
+        reference = stepwise.evaluate(size)
+        np.testing.assert_array_equal(evaluated.min_distances, reference.min_distances)
+        np.testing.assert_array_equal(evaluated.min_indices, reference.min_indices)
+        np.testing.assert_array_equal(evaluated.valid, reference.valid)
+
 
 class TestEvaluationCorrectness:
     @pytest.mark.parametrize("capacity", [2, 8, 32])
