@@ -1,0 +1,119 @@
+"""Overhead of the observability layer on the hot kernel path.
+
+The ``repro.obs`` design contract is that a *disabled* registry costs one
+shared-flag check per recording call — cheap enough that the kernels can
+stay instrumented unconditionally.  This benchmark holds that contract on
+a 16k-point STOMP:
+
+* **analytic gate (strict)** — count the instrumentation calls one STOMP
+  actually makes (the ``kernel.sweeps`` counter ticks once per
+  ``_record_sweep``, and each ``_record_sweep`` issues a fixed number of
+  recording calls), measure the per-call cost of a disabled registry in
+  isolation, and require ``calls x cost < 2%`` of the disabled-run wall
+  time;
+* **wall-clock A/B (advisory)** — time the same STOMP with metrics
+  enabled and disabled and warn (never fail — wall clocks on shared CI
+  are noisy) if the enabled run is more than 10% slower.
+
+Results land in ``BENCH_obs_overhead.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.generators import generate_random_walk
+from repro.matrix_profile.stomp import stomp
+
+SERIES_LENGTH = 16384
+WINDOW = 256
+#: Recording calls per ``_record_sweep``: histogram observe, two counter
+#: incs, one gauge set, one ``record_span`` (see kernels._record_sweep) —
+#: padded by one as margin against future instrumentation.
+CALLS_PER_SWEEP = 6
+OVERHEAD_BUDGET = 0.02
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+
+
+def _disabled_call_cost(calls: int = 200_000) -> float:
+    """Seconds per recording call against a disabled registry."""
+    registry = obs.MetricsRegistry(enabled=False)
+    counter = registry.counter("bench.calls")
+    histogram = registry.histogram("bench.seconds")
+    gauge = registry.gauge("bench.rate")
+    rounds = calls // 3
+    started = time.perf_counter()
+    for _ in range(rounds):
+        counter.inc()
+        histogram.observe(1e-3)
+        gauge.set(1.0)
+    return (time.perf_counter() - started) / (rounds * 3)
+
+
+def _timed_stomp(values: np.ndarray) -> float:
+    started = time.perf_counter()
+    stomp(values, WINDOW)
+    return time.perf_counter() - started
+
+
+def test_obs_disabled_overhead_on_16k_stomp() -> None:
+    values = np.array(
+        generate_random_walk(SERIES_LENGTH, random_state=0).values
+    )
+    was_enabled = obs.metrics_enabled()
+    try:
+        # Untimed warm-up: FFT plans, allocator pools, import-time lazies.
+        obs.set_metrics_enabled(False)
+        _timed_stomp(values)
+
+        # Enabled run: how many instrumented sweeps does one STOMP issue?
+        obs.set_metrics_enabled(True)
+        before = obs.snapshot()
+        enabled_seconds = _timed_stomp(values)
+        delta = obs.snapshot_delta(obs.snapshot(), before)
+        sweeps = int(delta["counters"].get("kernel.sweeps", 0))
+        assert sweeps > 0, "the STOMP run recorded no kernel sweeps"
+
+        obs.set_metrics_enabled(False)
+        disabled_seconds = _timed_stomp(values)
+    finally:
+        obs.set_metrics_enabled(was_enabled)
+
+    per_call = _disabled_call_cost()
+    instrumented_calls = sweeps * CALLS_PER_SWEEP
+    analytic_overhead = (instrumented_calls * per_call) / max(
+        disabled_seconds, 1e-9
+    )
+    wallclock_overhead = enabled_seconds / max(disabled_seconds, 1e-9) - 1.0
+
+    payload = {
+        "series_length": SERIES_LENGTH,
+        "window": WINDOW,
+        "sweeps": sweeps,
+        "calls_per_sweep": CALLS_PER_SWEEP,
+        "disabled_call_seconds": per_call,
+        "enabled_seconds": enabled_seconds,
+        "disabled_seconds": disabled_seconds,
+        "analytic_overhead": analytic_overhead,
+        "wallclock_overhead": wallclock_overhead,
+        "budget": OVERHEAD_BUDGET,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert analytic_overhead < OVERHEAD_BUDGET, (
+        f"disabled-path instrumentation cost {analytic_overhead:.4%} of a "
+        f"{SERIES_LENGTH}-point STOMP (budget {OVERHEAD_BUDGET:.0%}): "
+        f"{instrumented_calls} calls x {per_call:.2e}s vs "
+        f"{disabled_seconds:.3f}s"
+    )
+    if wallclock_overhead > 0.10:  # advisory only: wall clocks are noisy
+        warnings.warn(
+            f"enabled-metrics wall-clock overhead {wallclock_overhead:.1%} "
+            f"on a {SERIES_LENGTH}-point STOMP (advisory threshold 10%)"
+        )

@@ -16,6 +16,7 @@ from repro.matrix_profile.profile import MotifPair
 __all__ = [
     "format_motif_table",
     "format_pruning_table",
+    "format_pruning_power",
     "format_valmap_summary",
     "result_report",
 ]
@@ -111,7 +112,26 @@ def result_report(result: ValmodResult, *, top_k: int = 5) -> str:
             [result.length_results[length].pruning for length in result.lengths],
             title="pruning per length",
         ),
+        format_pruning_power(
+            [result.length_results[length].pruning for length in result.lengths]
+        ),
         "",
         format_valmap_summary(result),
     ]
     return "\n".join(sections)
+
+
+def format_pruning_power(stats: Sequence[PruningStats]) -> str:
+    """One-line overall pruning power (the paper's Section 6 headline
+    number): the fraction of per-length profiles the lower bound kept
+    valid, i.e. that never needed recomputation.  The same value is
+    published live as the ``valmod.pruning_power.overall`` gauge
+    (per-length: ``valmod.pruning_power.len<L>``) — ``repro metrics``
+    reads it without re-running anything."""
+    total = sum(stat.num_profiles for stat in stats)
+    valid = sum(stat.num_valid for stat in stats)
+    overall = 1.0 if total == 0 else valid / total
+    return (
+        f"pruning power: {overall:.3f} "
+        f"({valid}/{total} profiles valid across {len(list(stats))} lengths)"
+    )

@@ -31,7 +31,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import InvalidParameterError, SerializationError
+
+_CACHE_METRICS = obs.scope("cache")
+_LRU_EVICTIONS = _CACHE_METRICS.counter("lru_evictions")
+_PERSISTENT_LOADS = _CACHE_METRICS.counter("persistent_loads")
+_PERSISTENT_STORES = _CACHE_METRICS.counter("persistent_stores")
 
 __all__ = [
     "CacheConfig",
@@ -189,6 +195,7 @@ class LRUResultCache:
                 _, (_, evicted_size) = self._entries.popitem(last=False)
                 self._total_bytes -= evicted_size
                 self._evictions += 1
+                _LRU_EVICTIONS.inc()
             return True
 
     def clear(self) -> None:
@@ -272,6 +279,7 @@ class PersistentResultCache:
             return None
         if stored_key != key:
             return None
+        _PERSISTENT_LOADS.inc()
         return self._rehydrate_valmod(digest, key, result), int(size)
 
     def _rehydrate_valmod(self, digest: str, key: str, result):
@@ -347,6 +355,8 @@ class PersistentResultCache:
                         )
                     except SerializationError:
                         pass
+                if written is not None:
+                    _PERSISTENT_STORES.inc()
                 return written
         except SerializationError:
             return None

@@ -44,6 +44,7 @@ from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.api.cache import (
     CacheConfig,
     LRUResultCache,
@@ -63,6 +64,14 @@ from repro.stats.sliding import SlidingStats
 __all__ = ["EngineConfig", "CacheConfig", "Analysis", "analyze"]
 
 _ENGINE_NAMES = ("serial", "parallel", "auto")
+
+_CACHE_METRICS = obs.scope("cache")
+_CACHE_MEMORY_HITS = _CACHE_METRICS.counter("memory_hits")
+_CACHE_PERSISTENT_HITS = _CACHE_METRICS.counter("persistent_hits")
+_CACHE_MISSES = _CACHE_METRICS.counter("misses")
+_SESSION_METRICS = obs.scope("session")
+_SESSION_RUNS = _SESSION_METRICS.counter("runs")
+_SESSION_COMPUTE_SECONDS = _SESSION_METRICS.histogram("compute_seconds")
 
 
 @dataclass(frozen=True)
@@ -412,6 +421,7 @@ class Analysis:
         cached = self._results.get(key)
         if cached is not None:
             self._hits += 1
+            _CACHE_MEMORY_HITS.inc()
             return cached, "memory"
         spilled = self._load_spilled(key)
         if spilled is not None:
@@ -431,6 +441,7 @@ class Analysis:
             return None
         result, size = spilled
         self._persistent_hits += 1
+        _CACHE_PERSISTENT_HITS.inc()
         self._results.put(key, result, size)
         return result
 
@@ -507,6 +518,7 @@ class Analysis:
         spec = resolve_algorithm(request.kind, request.algo)
         key = canonical_cache_key(spec, request)
         self._misses += 1
+        _CACHE_MISSES.inc()
         if key is not None:
             self._cache_store(key, result)
         self._index_computed(spec, request, key, result)
@@ -555,9 +567,13 @@ class Analysis:
             if hit is not None:
                 return hit
         self._misses += 1
+        _CACHE_MISSES.inc()
+        _SESSION_RUNS.inc()
         started = time.perf_counter()
-        payload = spec.runner(self, **request.params)
+        with obs.span("session.run", kind=spec.kind, algo=spec.key):
+            payload = spec.runner(self, **request.params)
         elapsed = time.perf_counter() - started
+        _SESSION_COMPUTE_SECONDS.observe(elapsed)
         result = AnalysisResult(
             kind=spec.kind,
             algo=spec.key,
@@ -660,12 +676,16 @@ class Analysis:
             for index in indices
         ]
         executor = self._engine.executor if self._engine.enabled else "serial"
+        _SESSION_RUNS.inc(len(indices))
         started = time.perf_counter()
-        outcomes = compute_profiles(
-            jobs, executor=executor, n_jobs=self._engine.n_jobs
-        )
+        with obs.span("session.run_batch", jobs=len(jobs)):
+            outcomes = compute_profiles(
+                jobs, executor=executor, n_jobs=self._engine.n_jobs
+            )
         elapsed = time.perf_counter() - started
+        _SESSION_COMPUTE_SECONDS.observe(elapsed)
         self._misses += len(indices)
+        _CACHE_MISSES.inc(len(indices))
         stomp_spec = resolve_algorithm("matrix_profile", "stomp")
         for index, outcome in zip(indices, outcomes):
             request = requests[index]

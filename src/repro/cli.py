@@ -25,6 +25,7 @@ import json
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro._version import __version__
 from repro.analysis.ascii_plot import render_valmap
 from repro.analysis.report import result_report
@@ -119,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument(
         "--plot", action="store_true", help="print an ASCII rendering of the VALMAP"
     )
+    discover.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.JSON",
+        help="collect a hierarchical trace of the run and write it as "
+        "Chrome trace-event JSON (open in chrome://tracing or Perfetto)",
+    )
 
     generate = subparsers.add_parser("generate", help="generate a synthetic workload")
     generate.add_argument("--workload", choices=sorted(WORKLOADS), required=True)
@@ -140,6 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument(
         "--jobs", type=int, default=None, help="worker processes for the engine"
+    )
+    compare.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.JSON",
+        help="collect a hierarchical trace of the comparison and write it "
+        "as Chrome trace-event JSON",
     )
     compare.add_argument(
         "--kernel",
@@ -298,6 +313,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="STOMP sweep kernel for the engine-aware algorithms",
     )
+    serve.add_argument(
+        "--prewarm",
+        action="store_true",
+        help="with --worker-kind process: spawn the pool and round-trip a "
+        "ping through every worker before accepting traffic, so the first "
+        "request does not pay the pool start-up",
+    )
 
     request = subparsers.add_parser(
         "request", help="post one AnalysisRequest to a running analysis service"
@@ -339,6 +361,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="series transport: 'digest' (default) negotiates the "
         "digest-only protocol (upload once, then ship ~60 bytes per "
         "request); 'values' inlines the series in every submission",
+    )
+    request.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.JSON",
+        help="collect a hierarchical trace of the request — including the "
+        "server-side spans propagated back over X-Repro-Trace — and write "
+        "it as Chrome trace-event JSON",
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="print observability metrics: scrape a running service's "
+        "GET /metrics, or run VALMOD locally and report the registry "
+        "(including the per-length pruning-power gauges)",
+    )
+    metrics.add_argument(
+        "--url", default=None, help="running service endpoint to scrape"
+    )
+    metrics.add_argument(
+        "--since",
+        default=None,
+        help="window token from a previous scrape: report the delta since "
+        "that scrape instead of process-lifetime totals (service mode)",
+    )
+    metrics.add_argument(
+        "--family",
+        default=None,
+        help="print only one metric family (engine, cache, store, valmod, "
+        "service, index, session, ...)",
+    )
+    metrics_source = metrics.add_mutually_exclusive_group(required=False)
+    metrics_source.add_argument(
+        "--input", help="path to a text/CSV/npy series file (local run mode)"
+    )
+    metrics_source.add_argument(
+        "--workload",
+        choices=sorted(WORKLOADS),
+        help="generate a named synthetic workload (local run mode)",
+    )
+    metrics.add_argument(
+        "--length", type=int, default=None, help="workload length (points)"
+    )
+    metrics.add_argument("--seed", type=int, default=0, help="workload random seed")
+    metrics.add_argument(
+        "--min-length", type=int, default=None, help="VALMOD range lower bound"
+    )
+    metrics.add_argument(
+        "--max-length", type=int, default=None, help="VALMOD range upper bound"
     )
 
     store = subparsers.add_parser(
@@ -645,6 +716,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         engine=EngineConfig(executor=args.engine, n_jobs=args.jobs, kernel=args.kernel),
         store_dir=store_dir,
         index_dir=index_dir,
+        prewarm=getattr(args, "prewarm", False),
         **store_kwargs,
     )
     serve_forever(config)
@@ -673,12 +745,20 @@ def _command_request(args: argparse.Namespace) -> int:
         request = AnalysisRequest(kind=args.kind, algo=args.algo, params=params)
     series = _series_from_args(args)
     with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
-        status, payload = client.analyze_raw(
-            series,
-            request,
-            series_name=series.name,
-            transport=getattr(args, "transport", "digest"),
+        # The root span gives --trace a client-side anchor; without an
+        # open span there is no trace position to send in X-Repro-Trace.
+        request_kind = (
+            request.kind
+            if isinstance(request, AnalysisRequest)
+            else dict(request).get("kind")
         )
+        with obs.span("client.analyze", kind=request_kind):
+            status, payload = client.analyze_raw(
+                series,
+                request,
+                series_name=series.name,
+                transport=getattr(args, "transport", "digest"),
+            )
         ServiceClient._raise_for_status(status, payload, "analysis request failed")
     document = payload["result"]
     document["cache"] = str(payload.get("cache", "unknown"))
@@ -755,6 +835,48 @@ def _run_store_command(args: argparse.Namespace, store) -> int:
     raise InvalidParameterError(f"unknown store command {args.store_command!r}")
 
 
+def _command_metrics(args: argparse.Namespace) -> int:
+    if args.url:
+        from repro.service.client import ServiceClient
+
+        with ServiceClient.from_url(args.url) as client:
+            document = client.metrics(since=args.since)
+        if args.family:
+            document["families"] = {
+                args.family: document.get("families", {}).get(
+                    args.family, {"counters": {}, "gauges": {}, "histograms": {}}
+                )
+            }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    # Local mode: optionally run VALMOD first so the paper-facing gauges
+    # (valmod.pruning_power.len<L>, valmod.pruning_power.overall) are
+    # populated, then print the process registry grouped by family.
+    if args.input or args.workload:
+        if args.min_length is None or args.max_length is None:
+            raise InvalidParameterError(
+                "a local metrics run needs --min-length and --max-length "
+                "(the VALMOD motif range)"
+            )
+        series = _series_from_args(args)
+        session = analyze(series)
+        session.motifs(args.min_length, args.max_length, method="valmod")
+    snapshot = obs.snapshot()
+    document = {
+        "at": snapshot.get("at"),
+        "enabled": obs.metrics_enabled(),
+        "families": obs.group_families(snapshot),
+    }
+    if args.family:
+        document["families"] = {
+            args.family: document["families"].get(
+                args.family, {"counters": {}, "gauges": {}, "histograms": {}}
+            )
+        }
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
 def _command_query(args: argparse.Namespace) -> int:
     # CLI and HTTP answer the identical document: the local path prints
     # MotifIndex.answer(spec) and the service's GET /query returns the very
@@ -802,6 +924,7 @@ _COMMANDS = {
     "mpdist": _command_mpdist,
     "serve": _command_serve,
     "request": _command_request,
+    "metrics": _command_metrics,
     "store": _command_store,
     "query": _command_query,
     "index": _command_index,
@@ -812,7 +935,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
     try:
+        if trace_path:
+            # Everything the command does — engine blocks, kernel sweeps,
+            # worker processes, even server-side spans of a `request` —
+            # lands in one Chrome trace-event file.
+            with obs.trace(trace_path):
+                code = _COMMANDS[args.command](args)
+            print(f"trace written to {trace_path}", file=sys.stderr)
+            return code
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -29,6 +29,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import ValmodConfig
 from repro.core.partial_profile import PartialProfileStore
 from repro.core.results import LengthResult, PruningStats, ValmodResult
@@ -41,7 +42,40 @@ from repro.series.dataseries import DataSeries
 from repro.series.validation import validate_length_range, validate_series
 from repro.stats.sliding import SlidingStats
 
-__all__ = ["valmod", "valmod_with_config"]
+__all__ = ["valmod", "valmod_with_config", "publish_pruning_metrics"]
+
+_VALMOD_METRICS = obs.scope("valmod")
+_VALMOD_RUNS = _VALMOD_METRICS.counter("runs")
+_VALMOD_LENGTHS = _VALMOD_METRICS.counter("lengths_evaluated")
+_VALMOD_RECOMPUTED = _VALMOD_METRICS.counter("recomputed_profiles")
+_VALMOD_NON_VALID = _VALMOD_METRICS.counter("non_valid_profiles")
+
+
+def publish_pruning_metrics(length_results: "Dict[int, LengthResult]") -> None:
+    """Publish one run's per-length pruning power to the metrics registry.
+
+    Pruning power (the paper's Figure 2 quantity) is the fraction of
+    partial distance profiles certified *without* an exact recomputation —
+    :attr:`~repro.core.results.PruningStats.valid_fraction`.  Each length
+    becomes a gauge ``valmod.pruning_power.len<L>`` (last run wins, which
+    is the useful reading: the gauges always describe the most recent
+    VALMOD invocation) plus an aggregate ``valmod.pruning_power.overall``
+    weighted by per-length profile counts.  ``repro metrics`` and
+    ``repro report`` both read these names.
+    """
+    if not obs.metrics_enabled() or not length_results:
+        return
+    total_profiles = 0
+    total_valid = 0
+    for length, result in length_results.items():
+        pruning = result.pruning
+        _VALMOD_METRICS.gauge(f"pruning_power.len{int(length)}").set(
+            pruning.valid_fraction
+        )
+        total_profiles += pruning.num_profiles
+        total_valid += pruning.num_valid
+    overall = 1.0 if total_profiles == 0 else total_valid / total_profiles
+    _VALMOD_METRICS.gauge("pruning_power.overall").set(overall)
 
 
 def valmod(
@@ -127,6 +161,7 @@ def valmod_with_config(
     values = validate_series(series)
     validate_length_range(values.size, config.min_length, config.max_length)
 
+    started_wall = time.time()
     started = time.perf_counter()
     if stats is None:
         stats = SlidingStats(values)
@@ -176,17 +211,32 @@ def valmod_with_config(
     )
 
     total_recomputed = 0
+    total_non_valid = 0
     for length in config.lengths[1:]:
         result, recomputed = _evaluate_length(
             values, stats, store, config, length, engine=engine, n_jobs=n_jobs
         )
         total_recomputed += recomputed
+        total_non_valid += result.pruning.num_non_valid
         length_results[length] = result
         valmap.update_from_pairs(result.motifs, both_members=config.update_both_members)
         if length != config.min_length:
             stats.forget(length)
 
     elapsed = time.perf_counter() - started
+    _VALMOD_RUNS.inc()
+    _VALMOD_LENGTHS.inc(len(length_results))
+    _VALMOD_RECOMPUTED.inc(total_recomputed)
+    _VALMOD_NON_VALID.inc(total_non_valid)
+    publish_pruning_metrics(length_results)
+    if obs.tracing_active():
+        obs.record_span(
+            "valmod.run",
+            started_wall,
+            elapsed,
+            lengths=len(length_results),
+            recomputed=total_recomputed,
+        )
     return ValmodResult(
         config=config,
         series_name=series_name,

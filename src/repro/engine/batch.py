@@ -40,12 +40,14 @@ small per-process cache.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.engine.executor import Executor, resolve_executor
 from repro.engine.partition import DEFAULT_RESEED_INTERVAL, partitioned_stomp
 from repro.engine.shm import (
@@ -75,6 +77,10 @@ _WORKER_STATS_MAX_ENTRIES = 4
 #: or segment name).  Only handle-backed series use it: handles have a
 #: stable cross-pickle identity, ``id()`` of an unpickled array does not.
 _WORKER_STATS: "OrderedDict[tuple, SlidingStats]" = OrderedDict()
+
+_ENGINE_METRICS = obs.scope("engine")
+_JOBS = _ENGINE_METRICS.counter("jobs")
+_JOB_QUEUE_SECONDS = _ENGINE_METRICS.histogram("job_queue_seconds")
 
 
 @dataclass(frozen=True, eq=False)
@@ -122,6 +128,10 @@ class ProfileJob:
     name: str | None = None
     series_b: object = None
     row_range: Tuple[int, int] | None = None
+    #: Observability stamp ``(obs_payload, enqueued_at)`` — set by the
+    #: dispatcher just before a process-pool map so the worker can adopt
+    #: the parent's trace/metrics context (never set by callers).
+    trace: object = None
 
     def __post_init__(self) -> None:
         if (self.window is None) == (self.lengths is None):
@@ -358,9 +368,25 @@ def _run_job(
         return ("error", error)
 
 
-def _job_task(job: ProfileJob) -> Tuple[str, object]:
-    """Top-level (picklable) adapter for process-pool dispatch."""
-    return _run_job(job)
+def _job_task(job: ProfileJob):
+    """Top-level (picklable) adapter for process-pool dispatch.
+
+    A job stamped with an observability context (``job.trace``) adopts it
+    and returns a **three**-tuple whose last element is the harvest blob
+    (spans + metric delta) for the parent to absorb; unstamped jobs keep
+    the plain two-tuple shape.
+    """
+    if job.trace is None:
+        return _run_job(job)
+    context, enqueued_at = job.trace
+    with obs.remote_task(context, skip_same_process=True) as task:
+        queued = max(0.0, time.time() - enqueued_at)
+        _JOB_QUEUE_SECONDS.observe(queued)
+        obs.record_span("engine.job.queue", enqueued_at, queued)
+        with obs.span("engine.job", windows=len(job.windows)):
+            _JOBS.inc()
+            outcome = _run_job(job)
+    return outcome + (task.harvest(),)
 
 
 def _series_length(series: object) -> int | None:
@@ -484,9 +510,12 @@ def compute_profiles(
             task_units += sum(max(1, size - window + 1) for window in job.windows)
 
     chosen, owned = resolve_executor(executor, task_units=task_units, n_jobs=n_jobs)
+    batch_span = obs.span("engine.batch", jobs=len(job_list))
+    batch_span.__enter__()
     try:
         if chosen.supports_callbacks:  # serial: share stats across jobs
             stats_cache: Dict[tuple, SlidingStats] = {}
+            _JOBS.inc(len(job_list))
             raw = [_run_job(job, stats_cache) for job in job_list]
         else:
             tasks = job_list
@@ -495,13 +524,25 @@ def compute_profiles(
                 # Deduplicate shared plain-array series onto handle
                 # transport so the pool pickles bytes, not gigabytes.
                 tasks, buffers = _prepare_parallel_tasks(job_list)
+            obs_context = obs.current_payload()
+            if obs_context is not None:
+                stamp = (obs_context, time.time())
+                tasks = [replace(task, trace=stamp) for task in tasks]
             try:
                 raw = chosen.map(_job_task, tasks)
             finally:
                 for buffer in buffers:
                     buffer.close()
                     buffer.unlink()
+            harvested = []
+            for item in raw:
+                if len(item) == 3:
+                    obs.absorb(item[2])
+                    item = item[:2]
+                harvested.append(item)
+            raw = harvested
     finally:
+        batch_span.__exit__(None, None, None)
         if owned:
             chosen.close()
 

@@ -29,10 +29,12 @@ serial executor is chosen; likewise when the machine has a single core.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Sequence
 
+from repro import obs
 from repro.exceptions import InvalidParameterError
 
 __all__ = [
@@ -50,9 +52,19 @@ __all__ = [
 #: + pickle overhead once a profile has several thousand rows.
 AUTO_PARALLEL_MIN_TASK_UNITS = 8192
 
+_EXECUTOR_METRICS = obs.scope("engine.executor")
+_POOL_SPAWNS = _EXECUTOR_METRICS.counter("pool_spawns")
+_POOL_DEGRADES = _EXECUTOR_METRICS.counter("pool_degrades")
+_PREWARM_SECONDS = _EXECUTOR_METRICS.gauge("prewarm_seconds")
+
 
 def _cpu_count() -> int:
     return os.cpu_count() or 1
+
+
+def _worker_ping(_index: int = 0) -> int:
+    """Trivial pool task used by :meth:`ParallelExecutor.prewarm`."""
+    return os.getpid()
 
 
 class Executor:
@@ -151,6 +163,7 @@ class ParallelExecutor(Executor):
         if self._pool is None:
             try:
                 self._pool = ProcessPoolExecutor(max_workers=self.n_jobs)
+                _POOL_SPAWNS.inc()
             except (OSError, PermissionError, ValueError) as error:
                 # Restricted environments (no /dev/shm, seccomp sandboxes)
                 # cannot host a pool; computing serially is always correct.
@@ -161,7 +174,31 @@ class ParallelExecutor(Executor):
                     stacklevel=3,
                 )
                 self._degraded = True
+                _POOL_DEGRADES.inc()
         return self._pool
+
+    def prewarm(self) -> float:
+        """Spawn the pool and ping every worker once, eagerly.
+
+        Interpreter start-up in the workers normally lands on the first
+        real ``map`` call; a service that wants predictable first-request
+        latency calls this at boot instead (``repro serve --prewarm``).
+        Returns the wall-clock seconds spent (also published as the
+        ``engine.executor.prewarm_seconds`` gauge).  A degraded executor
+        returns ``0.0`` — there is nothing to warm.
+        """
+        started = time.perf_counter()
+        pool = self._ensure_pool()
+        if pool is None:
+            return 0.0
+        with obs.span("engine.executor.prewarm", workers=self.n_jobs):
+            # One trivial task per worker forces every process to finish
+            # bootstrapping; chunksize=1 stops a single worker draining
+            # the whole batch before its siblings have even started.
+            list(pool.map(_worker_ping, range(self.n_jobs), chunksize=1))
+        elapsed = time.perf_counter() - started
+        _PREWARM_SECONDS.set(elapsed)
+        return elapsed
 
     def map(self, fn: Callable, tasks: Sequence) -> List:
         pool = self._ensure_pool()

@@ -70,10 +70,12 @@ drift producing out-of-range correlations.
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.engine.executor import Executor, resolve_executor
 from repro.engine.shm import (
     SharedArraysHandle,
@@ -106,6 +108,13 @@ DEFAULT_RESEED_INTERVAL = 512
 #: Minimum block size the planner will produce: below ~64 rows the per-block
 #: MASS seed dominates the recurrence work the block saves.
 _MIN_AUTO_BLOCK = 64
+
+# Engine telemetry: one recording per block / per sweep call, never per row.
+_ENGINE_METRICS = obs.scope("engine")
+_BLOCKS = _ENGINE_METRICS.counter("blocks")
+_BLOCK_SECONDS = _ENGINE_METRICS.histogram("block_seconds")
+_BLOCK_QUEUE_SECONDS = _ENGINE_METRICS.histogram("block_queue_seconds")
+_STOMP_CALLS = _ENGINE_METRICS.counter("stomp_calls")
 
 
 def default_block_size(count: int, n_jobs: int) -> int:
@@ -168,46 +177,57 @@ def _compute_block(
     fragment covering its rows and return the fragment's exported state as
     the third element (``None`` otherwise).
     """
-    fragment = None
-    if ingest is not None:
-        from repro.core.partial_profile import PartialProfileStore
+    started_at = time.perf_counter()
+    with obs.span("engine.block", start=int(start), stop=int(stop)):
+        fragment = None
+        if ingest is not None:
+            from repro.core.partial_profile import PartialProfileStore
 
-        capacity, exclusion_factor, lower_bound_kind = ingest
-        fragment = PartialProfileStore.fragment(
+            capacity, exclusion_factor, lower_bound_kind = ingest
+            fragment = PartialProfileStore.fragment(
+                values,
+                means,
+                stds,
+                window,
+                capacity,
+                exclusion_factor=exclusion_factor,
+                lower_bound_kind=lower_bound_kind,
+                row_range=(start, stop),
+            )
+
+        profile, indices = run_sweep(
             values,
+            window,
+            radius,
             means,
             stds,
-            window,
-            capacity,
-            exclusion_factor=exclusion_factor,
-            lower_bound_kind=lower_bound_kind,
-            row_range=(start, stop),
+            first_row_dots,
+            start,
+            stop,
+            kernel=kernel,
+            reseed_interval=reseed_interval,
+            profile_callback=profile_callback,
+            ingest=fragment,
         )
-
-    profile, indices = run_sweep(
-        values,
-        window,
-        radius,
-        means,
-        stds,
-        first_row_dots,
-        start,
-        stop,
-        kernel=kernel,
-        reseed_interval=reseed_interval,
-        profile_callback=profile_callback,
-        ingest=fragment,
-    )
+    _BLOCKS.inc()
+    _BLOCK_SECONDS.observe(time.perf_counter() - started_at)
     return profile, indices, None if fragment is None else fragment.export_state()
 
 
-def _block_task(payload) -> Tuple[np.ndarray, np.ndarray, dict | None]:
+def _block_task(payload):
     """Top-level (hence picklable) adapter around :func:`_compute_block`.
 
     ``payload[0]`` carries the four O(n) block arrays — either directly as
     a tuple or as a :class:`~repro.engine.shm.SharedArraysHandle` naming
-    the shared-memory segment they were packed into.
+    the shared-memory segment they were packed into.  A ninth element, when
+    present, is the observability stamp ``(obs_payload, enqueued_at)``: the
+    task then adopts the dispatcher's trace/metrics context and returns a
+    **four**-tuple whose last element is the harvest blob for the parent to
+    :func:`repro.obs.absorb` (``None`` harvest when nothing was recorded).
     """
+    obs_stamp = None
+    if len(payload) == 9:
+        obs_stamp, payload = payload[8], payload[:8]
     arrays_ref, window, radius, start, stop, reseed_interval, ingest, kernel = payload
     if isinstance(arrays_ref, SharedArraysHandle):
         arrays = attach_arrays(arrays_ref)
@@ -217,20 +237,43 @@ def _block_task(payload) -> Tuple[np.ndarray, np.ndarray, dict | None]:
         first_row_dots = arrays["first_row_dots"]
     else:
         values, means, stds, first_row_dots = arrays_ref
-    return _compute_block(
-        values,
-        window,
-        radius,
-        means,
-        stds,
-        first_row_dots,
-        start,
-        stop,
-        reseed_interval,
-        None,
-        ingest,
-        kernel,
-    )
+    if obs_stamp is None:
+        return _compute_block(
+            values,
+            window,
+            radius,
+            means,
+            stds,
+            first_row_dots,
+            start,
+            stop,
+            reseed_interval,
+            None,
+            ingest,
+            kernel,
+        )
+    context, enqueued_at = obs_stamp
+    with obs.remote_task(context, skip_same_process=True) as task:
+        queued = max(0.0, time.time() - enqueued_at)
+        _BLOCK_QUEUE_SECONDS.observe(queued)
+        obs.record_span(
+            "engine.block.queue", enqueued_at, queued, start=int(start), stop=int(stop)
+        )
+        result = _compute_block(
+            values,
+            window,
+            radius,
+            means,
+            stds,
+            first_row_dots,
+            start,
+            stop,
+            reseed_interval,
+            None,
+            ingest,
+            kernel,
+        )
+    return result + (task.harvest(),)
 
 
 def partitioned_stomp(
@@ -356,73 +399,106 @@ def partitioned_stomp(
             "first_row_dots": seed_dots(),
         }
 
-    chosen_executor, owned = resolve_executor(executor, task_units=count, n_jobs=n_jobs)
+    _STOMP_CALLS.inc()
+    stomp_span = obs.span("engine.stomp", window=int(window), rows=int(count))
+    stomp_span.__enter__()
     try:
-        if block_size is None:
-            block_size = default_block_size(count, chosen_executor.effective_jobs)
-        blocks = plan_blocks(count, block_size)
+        chosen_executor, owned = resolve_executor(
+            executor, task_units=count, n_jobs=n_jobs
+        )
+        try:
+            if block_size is None:
+                block_size = default_block_size(count, chosen_executor.effective_jobs)
+            blocks = plan_blocks(count, block_size)
 
-        if profile_callback is not None or chosen_executor.supports_callbacks:
-            results = [
-                _compute_block(
-                    sweep_values,
-                    window,
-                    radius,
-                    means,
-                    stds,
-                    seed_dots(),
-                    start,
-                    stop,
-                    reseed_interval,
-                    profile_callback,
-                    ingest,
-                    kernel,
-                )
-                for start, stop in blocks
-            ]
-        else:
-            # Shared memory only pays off across a process boundary; a
-            # degraded pool runs in-process, where the parent would attach
-            # to its own segment and pin the mapping for nothing.
-            buffer = None
-            pooled = False
-            if chosen_executor.uses_processes:
-                if segment_pool is not None and segment_key is not None:
-                    buffer = segment_pool.acquire(segment_key, packed_arrays)
-                    pooled = buffer is not None
-                if buffer is None:
-                    buffer = SharedSeriesBuffer.create(packed_arrays())
-            arrays_ref = (
-                buffer.handle
-                if buffer is not None
-                else (sweep_values, means, stds, seed_dots())
-            )
-            try:
-                payloads = [
-                    (arrays_ref, window, radius, start, stop, reseed_interval, ingest, kernel)
+            if profile_callback is not None or chosen_executor.supports_callbacks:
+                results = [
+                    _compute_block(
+                        sweep_values,
+                        window,
+                        radius,
+                        means,
+                        stds,
+                        seed_dots(),
+                        start,
+                        stop,
+                        reseed_interval,
+                        profile_callback,
+                        ingest,
+                        kernel,
+                    )
                     for start, stop in blocks
                 ]
-                results = chosen_executor.map(_block_task, payloads)
-            finally:
-                # A pooled segment belongs to its pool's owner (the session)
-                # and stays mapped for the next call on the same key.
-                if buffer is not None and not pooled:
-                    buffer.close()
-                    buffer.unlink()
+            else:
+                # Shared memory only pays off across a process boundary; a
+                # degraded pool runs in-process, where the parent would attach
+                # to its own segment and pin the mapping for nothing.
+                buffer = None
+                pooled = False
+                if chosen_executor.uses_processes:
+                    if segment_pool is not None and segment_key is not None:
+                        buffer = segment_pool.acquire(segment_key, packed_arrays)
+                        pooled = buffer is not None
+                    if buffer is None:
+                        buffer = SharedSeriesBuffer.create(packed_arrays())
+                arrays_ref = (
+                    buffer.handle
+                    if buffer is not None
+                    else (sweep_values, means, stds, seed_dots())
+                )
+                try:
+                    # Tasks crossing a process boundary carry the trace and
+                    # metrics context; their harvest comes back as a fourth
+                    # result element the parent absorbs below.
+                    obs_context = obs.current_payload()
+                    obs_stamp = (
+                        None if obs_context is None else (obs_context, time.time())
+                    )
+                    payloads = [
+                        (
+                            arrays_ref,
+                            window,
+                            radius,
+                            start,
+                            stop,
+                            reseed_interval,
+                            ingest,
+                            kernel,
+                        )
+                        + (() if obs_stamp is None else (obs_stamp,))
+                        for start, stop in blocks
+                    ]
+                    results = chosen_executor.map(_block_task, payloads)
+                    harvested = []
+                    for item in results:
+                        if len(item) == 4:
+                            obs.absorb(item[3])
+                            item = item[:3]
+                        harvested.append(item)
+                    results = harvested
+                finally:
+                    # A pooled segment belongs to its pool's owner (the
+                    # session) and stays mapped for the next call on the
+                    # same key.
+                    if buffer is not None and not pooled:
+                        buffer.close()
+                        buffer.unlink()
+        finally:
+            if owned:
+                chosen_executor.close()
+
+        if ingest_store is not None:
+            # Fragment rows partition the query range, so positional merges
+            # in block order rebuild the exact serially-ingested store.
+            for _, _, state in results:
+                ingest_store.merge(state)
+
+        # Row blocks partition the query range, so block order == row order
+        # and concatenation *is* the exact merge (see the module docstring).
+        profile = np.concatenate([block_profile for block_profile, _, _ in results])
+        indices = np.concatenate([block_indices for _, block_indices, _ in results])
+        return MatrixProfile(
+            distances=profile, indices=indices, window=window, exclusion_radius=radius
+        )
     finally:
-        if owned:
-            chosen_executor.close()
-
-    if ingest_store is not None:
-        # Fragment rows partition the query range, so positional merges in
-        # block order rebuild the exact serially-ingested store.
-        for _, _, state in results:
-            ingest_store.merge(state)
-
-    # Row blocks partition the query range, so block order == row order and
-    # concatenation *is* the exact merge (see the module docstring).
-    profile = np.concatenate([block_profile for block_profile, _, _ in results])
-    indices = np.concatenate([block_indices for _, block_indices, _ in results])
-    return MatrixProfile(
-        distances=profile, indices=indices, window=window, exclusion_radius=radius
-    )
+        stomp_span.__exit__(None, None, None)

@@ -45,6 +45,7 @@ from typing import Callable, Dict, Mapping, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import InvalidParameterError, StoreError
 
 try:  # pragma: no cover - the import succeeds on every supported platform
@@ -117,6 +118,16 @@ BLOB_CACHE_MAX_BYTES = 256 * 1024 * 1024
 #: never change, so an entry can only ever be stale by *absence*.
 _BLOB_CACHE: "Dict[str, np.ndarray]" = {}
 
+_SHM_METRICS = obs.scope("engine.shm")
+_BLOB_ATTACH_HITS = _SHM_METRICS.counter("blob_attach_hits")
+_BLOB_ATTACH_MISSES = _SHM_METRICS.counter("blob_attach_misses")
+_BLOB_VERIFY_FAILURES = _SHM_METRICS.counter("blob_verify_failures")
+_ARRAY_ATTACH_HITS = _SHM_METRICS.counter("array_attach_hits")
+_ARRAY_ATTACH_MISSES = _SHM_METRICS.counter("array_attach_misses")
+_SEGMENT_HITS = _SHM_METRICS.counter("segment_pool_hits")
+_SEGMENT_CREATES = _SHM_METRICS.counter("segment_pool_creates")
+_SEGMENT_EVICTIONS = _SHM_METRICS.counter("segment_pool_evictions")
+
 
 @dataclass(frozen=True)
 class BlobHandle:
@@ -164,7 +175,9 @@ def attach_blob(handle: BlobHandle, *, verify: bool = True) -> np.ndarray:
     """
     cached = _BLOB_CACHE.get(handle.digest)
     if cached is not None and cached.size == int(handle.length):
+        _BLOB_ATTACH_HITS.inc()
         return cached
+    _BLOB_ATTACH_MISSES.inc()
     try:
         mapped = np.memmap(handle.path, dtype="<f8", mode="r")
     except (OSError, ValueError) as error:
@@ -180,6 +193,7 @@ def attach_blob(handle: BlobHandle, *, verify: bool = True) -> np.ndarray:
     if verify:
         observed = hashlib.sha1(memoryview(mapped).cast("B")).hexdigest()
         if observed != handle.digest:
+            _BLOB_VERIFY_FAILURES.inc()
             raise StoreError(
                 f"store blob {handle.path!r} hashes to {observed}, "
                 f"expected {handle.digest} — refusing corrupted data"
@@ -340,8 +354,10 @@ class SharedSegmentPool:
                 if buffer is None:
                     return None
                 self._segments[key] = buffer
+                _SEGMENT_CREATES.inc()
             else:
                 self._segments.move_to_end(key)
+                _SEGMENT_HITS.inc()
             if self._max_bytes is not None:
                 total = sum(
                     segment.handle.total_elements * 8
@@ -351,6 +367,7 @@ class SharedSegmentPool:
                     _, coldest = self._segments.popitem(last=False)
                     total -= coldest.handle.total_elements * 8
                     evicted.append(coldest)
+                    _SEGMENT_EVICTIONS.inc()
         # Unlink outside the pool lock.  NOTE: the caller that last used an
         # evicted segment has either finished its map() (segments are only
         # touched between acquire() and the executor map returning) or is
@@ -426,7 +443,10 @@ def attach_arrays(handle: SharedArraysHandle) -> Dict[str, np.ndarray]:
             "multiprocessing.shared_memory is unavailable in this interpreter"
         )
     cached = _ATTACH_CACHE.get(handle.shm_name)
-    if cached is None:
+    if cached is not None:
+        _ARRAY_ATTACH_HITS.inc()
+    else:
+        _ARRAY_ATTACH_MISSES.inc()
         # NOTE on the resource tracker: CPython (< 3.13) registers every
         # SharedMemory — attachments included — with the tracker.  Pool
         # workers share the parent's tracker process (the fd travels with

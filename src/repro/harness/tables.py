@@ -129,7 +129,9 @@ def save_rows_csv(
     return target
 
 
-def metrics_rows(document: Mapping[str, object]) -> List[dict]:
+def metrics_rows(
+    document: Mapping[str, object], *, include_families: bool = False
+) -> List[dict]:
     """Flatten a service ``GET /metrics`` document into harness table rows.
 
     One row per ``(kind, phase)`` histogram with ``count`` / ``mean`` /
@@ -137,15 +139,26 @@ def metrics_rows(document: Mapping[str, object]) -> List[dict]:
     :func:`save_rows_csv` — quantiles are read from the shared log-spaced
     bucket bounds (upper-bound estimates, matching the server's own
     ``/stats`` summaries).
+
+    Understands both document generations: the PR 8 shape (``bounds`` +
+    ``kinds``) and the extended registry shape that adds ``families``.
+    With ``include_families=True``, registry histograms from other layers
+    (``session.compute_seconds``, ``engine.job_queue_seconds``, ...)
+    become extra rows whose ``kind`` is the family name — except the
+    ``service`` family, which would duplicate the ``kinds`` rows verbatim.
+    The default keeps the PR 8 row set exactly, whichever document shape
+    arrives.
     """
     import math
 
-    bounds = [float(bound) for bound in document.get("bounds", [])]
+    shared_bounds = [float(bound) for bound in document.get("bounds", [])]
     kinds = document.get("kinds", {})
     if not isinstance(kinds, Mapping):
         raise InvalidParameterError("'kinds' must be a mapping of histograms")
 
-    def quantile(counts: Sequence[int], total: int, q: float) -> float | None:
+    def quantile(
+        counts: Sequence[int], total: int, q: float, bounds: Sequence[float]
+    ) -> float | None:
         if not total or not bounds:
             return None
         rank = max(1, math.ceil(q * total))
@@ -156,21 +169,34 @@ def metrics_rows(document: Mapping[str, object]) -> List[dict]:
                 return bounds[min(index, len(bounds) - 1)]
         return bounds[-1]
 
+    def histogram_row(kind: str, phase: str, histogram: Mapping, bounds) -> dict:
+        count = int(histogram.get("count", 0))
+        total_seconds = float(histogram.get("sum", 0.0))
+        counts = histogram.get("counts", [])
+        return {
+            "kind": kind,
+            "phase": phase,
+            "count": count,
+            "mean": (total_seconds / count) if count else None,
+            "p50": quantile(counts, count, 0.5, bounds),
+            "p95": quantile(counts, count, 0.95, bounds),
+        }
+
     rows: List[dict] = []
     for kind in sorted(kinds):
         phases = kinds[kind]
         for phase, histogram in phases.items():
-            count = int(histogram.get("count", 0))
-            total_seconds = float(histogram.get("sum", 0.0))
-            counts = histogram.get("counts", [])
-            rows.append(
-                {
-                    "kind": kind,
-                    "phase": phase,
-                    "count": count,
-                    "mean": (total_seconds / count) if count else None,
-                    "p50": quantile(counts, count, 0.5),
-                    "p95": quantile(counts, count, 0.95),
-                }
-            )
+            rows.append(histogram_row(kind, phase, histogram, shared_bounds))
+    families = document.get("families") if include_families else None
+    if isinstance(families, Mapping):
+        for family in sorted(families):
+            if family == "service" and kinds:
+                continue  # identical histograms already emitted above
+            histograms = families[family].get("histograms", {})
+            for name in sorted(histograms):
+                histogram = histograms[name]
+                bounds = [
+                    float(bound) for bound in histogram.get("bounds", shared_bounds)
+                ]
+                rows.append(histogram_row(family, name, histogram, bounds))
     return rows

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, List, Mapping
 
+from repro import obs
 from repro.exceptions import InvalidParameterError, SerializationError
 from repro.index.extract import (
     RECORD_KINDS,
@@ -67,8 +68,17 @@ INDEX_SUBDIR = "index"
 _CATALOG_NAME = "catalog.db"
 
 #: Bumped on any incompatible schema change; a database carrying a different
-#: version is rebuilt empty (the corpus re-enters via ``backfill``).
-SCHEMA_VERSION = 1
+#: version is rebuilt empty (the corpus re-enters via ``backfill``) — except
+#: v1, which migrates in place (v2 only added the ``ingested_at`` column).
+SCHEMA_VERSION = 2
+
+_INDEX_METRICS = obs.scope("index")
+_INGESTED_RESULTS = _INDEX_METRICS.counter("ingested_results")
+_ROWS_ADDED = _INDEX_METRICS.counter("rows_added")
+_QUERIES = _INDEX_METRICS.counter("queries")
+_PRUNED_ROWS = _INDEX_METRICS.counter("pruned_rows")
+_HEALS = _INDEX_METRICS.counter("heals")
+_MIGRATIONS = _INDEX_METRICS.counter("migrations")
 
 _ORDERINGS = {
     "score": "score ASC",
@@ -93,10 +103,34 @@ _ROW_COLUMNS = (
     "distance",
     "algorithm",
     "result_key",
+    "ingested_at",
 )
 
 #: ``end`` is a reserved SQLite word; every statement quotes the columns.
 _QUOTED_COLUMNS = ", ".join(f'"{column}"' for column in _ROW_COLUMNS)
+
+
+def _parse_timestamp(value, label: str) -> float:
+    """``since=`` / ``until=`` value → epoch seconds.
+
+    Accepts a number (epoch seconds) or an ISO-8601 date / datetime
+    (``2026-08-07``, ``2026-08-07T12:30:00``; naive values are local time,
+    matching the ``ingested_at`` stamps written by :func:`repro.obs.now`).
+    """
+    text = str(value).strip()
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    from datetime import datetime
+
+    try:
+        return datetime.fromisoformat(text).timestamp()
+    except ValueError as error:
+        raise InvalidParameterError(
+            f"cannot parse {label} timestamp {value!r}: expected epoch "
+            f"seconds or an ISO date/datetime ({error})"
+        ) from error
 
 
 def _parse_range(value: str, caster, label: str):
@@ -136,6 +170,8 @@ class QuerySpec:
     max_length: int | None = None
     min_score: float | None = None
     max_score: float | None = None
+    since: float | None = None
+    until: float | None = None
     top: int | None = None
     order: str | None = None
     trim_overlaps: bool = False
@@ -165,6 +201,14 @@ class QuerySpec:
                 raise InvalidParameterError(
                     f"empty {what} range: {low}..{high} has its bounds reversed"
                 )
+        if (
+            self.since is not None
+            and self.until is not None
+            and self.since > self.until
+        ):
+            raise InvalidParameterError(
+                f"empty time window: since={self.since} is after until={self.until}"
+            )
 
     # The CLI token grammar and the HTTP parameter names are one vocabulary.
     _KEYS = (
@@ -179,6 +223,8 @@ class QuerySpec:
         "score",
         "min_score",
         "max_score",
+        "since",
+        "until",
         "top",
         "k",
         "order",
@@ -246,6 +292,8 @@ class QuerySpec:
                     _set("max_score", high)
             elif key in ("min_score", "max_score"):
                 _set(key, float(raw))
+            elif key in ("since", "until"):
+                _set(key, _parse_timestamp(raw, key))
             elif key in ("top", "k"):
                 _set("top", int(raw))
             elif key == "trim":
@@ -277,6 +325,8 @@ class QuerySpec:
             "max_length": self.max_length,
             "min_score": self.min_score,
             "max_score": self.max_score,
+            "since": self.since,
+            "until": self.until,
             "top": self.top,
             "order": self.effective_order,
             "trim": self.trim_overlaps,
@@ -375,6 +425,25 @@ class MotifIndex:
             ).fetchone()
             if stored is not None and str(stored[0]) == str(SCHEMA_VERSION):
                 return
+            if stored is not None and str(stored[0]) == "1":
+                # v1 → v2 only added the ingested_at column: migrate in
+                # place instead of discarding the corpus.  Existing rows
+                # keep NULL (unknown ingest time); time-window queries
+                # exclude them by SQL comparison semantics.
+                conn.execute("ALTER TABLE records ADD COLUMN ingested_at REAL")
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) "
+                    "VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+                conn.commit()
+                _MIGRATIONS.inc()
+                self._warn(
+                    f"catalog at {self._path} migrated from schema version 1 "
+                    f"to {SCHEMA_VERSION} (added ingested_at; pre-existing "
+                    "rows have no ingest timestamp)"
+                )
+                return
             # A different (older or newer) schema: rebuild empty rather than
             # guess at a migration — the corpus re-enters via backfill().
             self._warn(
@@ -401,7 +470,8 @@ class MotifIndex:
                 partner INTEGER,
                 distance REAL NOT NULL,
                 algorithm TEXT NOT NULL,
-                result_key TEXT NOT NULL
+                result_key TEXT NOT NULL,
+                ingested_at REAL
             );
             CREATE UNIQUE INDEX IF NOT EXISTS records_identity ON records (
                 series_digest, kind, length, score, start, "end", algorithm,
@@ -437,6 +507,7 @@ class MotifIndex:
             except OSError:
                 pass
         self._counters["heals"] += 1
+        _HEALS.inc()
 
     def _run(self, operation: str, fallback, fn):
         """Execute one catalog operation under the degradation contract.
@@ -496,7 +567,14 @@ class MotifIndex:
     # writes
     # ------------------------------------------------------------------ #
     def add(self, records: Iterable[IndexRecord]) -> int:
-        """Insert records; returns how many were new (duplicates ignored)."""
+        """Insert records; returns how many were new (duplicates ignored).
+
+        Each new row is stamped with the current :func:`repro.obs.now`
+        wall clock (freezable in tests) as its ``ingested_at``; the stamp
+        is not part of the row identity, so re-ingesting a known row stays
+        an ``INSERT OR IGNORE`` no-op and keeps its original timestamp.
+        """
+        ingested_at = obs.now()
         rows = [
             (
                 record.series_digest,
@@ -510,6 +588,7 @@ class MotifIndex:
                 float(record.distance),
                 record.algorithm,
                 record.result_key,
+                ingested_at,
             )
             for record in records
         ]
@@ -520,7 +599,7 @@ class MotifIndex:
             before = conn.total_changes
             conn.executemany(
                 f"INSERT OR IGNORE INTO records ({_QUOTED_COLUMNS}) "
-                "VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+                "VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
                 rows,
             )
             conn.commit()
@@ -528,6 +607,7 @@ class MotifIndex:
 
         added = int(self._run("add", 0, _insert))
         self._counters["rows_added"] += added
+        _ROWS_ADDED.inc(added)
         return added
 
     def ingest_result(self, result, *, series_digest: str, result_key: str) -> int:
@@ -545,6 +625,7 @@ class MotifIndex:
         if not records:
             return 0
         self._counters["ingested_results"] += 1
+        _INGESTED_RESULTS.inc()
         return self.add(records)
 
     def remove_series(self, digest: str) -> int:
@@ -560,6 +641,7 @@ class MotifIndex:
 
         pruned = int(self._run("remove_series", 0, _delete))
         self._counters["pruned_rows"] += pruned
+        _PRUNED_ROWS.inc(pruned)
         return pruned
 
     # ------------------------------------------------------------------ #
@@ -599,6 +681,14 @@ class MotifIndex:
         if spec.max_score is not None:
             clauses.append("score <= ?")
             params.append(float(spec.max_score))
+        if spec.since is not None:
+            # NULL ingested_at (rows migrated from v1) never satisfies a
+            # comparison, so time-window queries exclude undated rows.
+            clauses.append("ingested_at >= ?")
+            params.append(float(spec.since))
+        if spec.until is not None:
+            clauses.append("ingested_at <= ?")
+            params.append(float(spec.until))
         sql = f"SELECT {_QUOTED_COLUMNS} FROM records"
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
@@ -615,6 +705,7 @@ class MotifIndex:
 
         rows = self._run("query", [], _select)
         self._counters["queries"] += 1
+        _QUERIES.inc()
         if spec.trim_overlaps:
             rows = _trim_overlapping(rows)
             if spec.top is not None:

@@ -86,11 +86,13 @@ to hooks used to be a use-after-advance hazard.  The contract is now:
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import InvalidParameterError
 from repro.matrix_profile.distance_profile import distances_from_dot_products
 from repro.matrix_profile.exclusion import apply_exclusion_zone
@@ -115,6 +117,42 @@ KERNEL_NAMES = ("auto", "oracle", "numpy", "native")
 
 #: Environment override consulted when no explicit kernel is requested.
 KERNEL_ENV = "REPRO_KERNEL"
+
+# Sweep telemetry (the ``kernel`` metric family).  Recording happens once
+# per sweep *call* — a block of hundreds of rows — never per row, and the
+# whole path is guarded by one flag check so a disabled registry costs two
+# branches per block (the ``BENCH_obs_overhead`` gate).
+_KERNEL_METRICS = obs.scope("kernel")
+_SWEEP_SECONDS = _KERNEL_METRICS.histogram("sweep_seconds")
+_SWEEP_ROWS = _KERNEL_METRICS.counter("sweep_rows")
+_SWEEPS = _KERNEL_METRICS.counter("sweeps")
+_SWEEP_RATE = _KERNEL_METRICS.gauge("sweep_rows_per_second")
+_JOIN_SECONDS = _KERNEL_METRICS.histogram("join_sweep_seconds")
+_JOIN_ROWS = _KERNEL_METRICS.counter("join_sweep_rows")
+_JOINS = _KERNEL_METRICS.counter("join_sweeps")
+_JOIN_RATE = _KERNEL_METRICS.gauge("join_sweep_rows_per_second")
+
+
+def _record_sweep(
+    span_name: str,
+    kernel_name: str,
+    rows: int,
+    started_wall: float,
+    started_at: float,
+    seconds: "obs.Histogram",
+    row_counter: "obs.Counter",
+    call_counter: "obs.Counter",
+    rate: "obs.Gauge",
+) -> None:
+    elapsed = time.perf_counter() - started_at
+    seconds.observe(elapsed)
+    row_counter.inc(rows)
+    call_counter.inc()
+    if elapsed > 0.0:
+        rate.set(rows / elapsed)
+    obs.record_span(
+        span_name, started_wall, elapsed, rows=rows, kernel=kernel_name
+    )
 
 
 def validate_kernel(kernel: "str | None") -> "str | None":
@@ -525,6 +563,11 @@ def run_sweep(
     elif ingest is not None and name == "native":
         name = "numpy"
 
+    observing = obs.metrics_enabled() or obs.tracing_active()
+    if observing:
+        started_wall = time.time()
+        started_at = time.perf_counter()
+
     if compensated is None:
         compensated = compensation_needed(means, means, stds)
     ctx = _SweepContext(values, window, radius, means, stds, first_row_dots, compensated)
@@ -584,6 +627,18 @@ def run_sweep(
                 ctx, chosen + start, best[chosen], best_qt[chosen]
             )
             indices[chosen] = best[chosen]
+    if observing:
+        _record_sweep(
+            "kernel.sweep",
+            name,
+            length,
+            started_wall,
+            started_at,
+            _SWEEP_SECONDS,
+            _SWEEP_ROWS,
+            _SWEEPS,
+            _SWEEP_RATE,
+        )
     return profile, indices
 
 
@@ -854,6 +909,10 @@ def run_join_sweep(
         return profile, indices
 
     name = resolve_kernel(kernel)
+    observing = obs.metrics_enabled() or obs.tracing_active()
+    if observing:
+        started_wall = time.time()
+        started_at = time.perf_counter()
     if compensated is None:
         compensated = compensation_needed(means_b, means_b, stds_b)
     ctx = _JoinContext(
@@ -863,6 +922,18 @@ def run_join_sweep(
     if name == "oracle":
         qt = np.empty(count_b, dtype=np.float64)
         _oracle_join_rows(ctx, qt, start, stop, profile, indices)
+        if observing:
+            _record_sweep(
+                "kernel.join_sweep",
+                name,
+                length,
+                started_wall,
+                started_at,
+                _JOIN_SECONDS,
+                _JOIN_ROWS,
+                _JOINS,
+                _JOIN_RATE,
+            )
         return profile, indices
 
     if reseed_interval is None:
@@ -919,6 +990,18 @@ def run_join_sweep(
             ctx.sqrt_window,
         )
         indices[:] = best
+    if observing:
+        _record_sweep(
+            "kernel.join_sweep",
+            name,
+            length,
+            started_wall,
+            started_at,
+            _JOIN_SECONDS,
+            _JOIN_ROWS,
+            _JOINS,
+            _JOIN_RATE,
+        )
     return profile, indices
 
 

@@ -1,0 +1,109 @@
+"""Cross-layer observability: metrics registry, trace spans, freezable clock.
+
+One import serves every layer of the stack::
+
+    from repro import obs
+
+    _SCOPE = obs.scope("engine")                  # metrics namespace
+    _BLOCKS = _SCOPE.counter("blocks")
+
+    with obs.span("engine.block", rows=rows):     # hierarchical tracing
+        _BLOCKS.inc()
+
+Three submodules, re-exported flat:
+
+* :mod:`repro.obs.registry` — counters / gauges / log-bucket histograms
+  with snapshot, delta, and associative cross-process merge (the layer
+  ``GET /metrics`` and ``repro metrics`` serve);
+* :mod:`repro.obs.trace` — nested spans, Chrome trace-event export, and
+  context propagation through process-pool payloads and the
+  ``X-Repro-Trace`` HTTP header;
+* :mod:`repro.obs.clock` — the freezable wall clock shared by snapshots
+  and the index catalog's ``ingested_at`` column.
+
+Everything here is stdlib-only and imported by the hot layers (kernels,
+engine), so this package must never import back into them.
+"""
+
+from repro.obs.clock import freeze, frozen, now, perf, unfreeze
+from repro.obs.registry import (
+    LATENCY_BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Scope,
+    counter,
+    gauge,
+    get_registry,
+    group_families,
+    histogram,
+    merge_snapshot,
+    merge_snapshots,
+    metrics_enabled,
+    scope,
+    set_metrics_enabled,
+    snapshot,
+    snapshot_delta,
+)
+from repro.obs.trace import (
+    TRACE_HEADER,
+    TraceCollector,
+    absorb,
+    absorb_events,
+    chrome_trace_document,
+    current_payload,
+    format_trace_header,
+    parse_trace_header,
+    record_span,
+    remote_task,
+    span,
+    start_collecting,
+    stop_collecting,
+    trace,
+    tracing_active,
+)
+
+__all__ = [
+    # clock
+    "now",
+    "perf",
+    "freeze",
+    "unfreeze",
+    "frozen",
+    # registry
+    "LATENCY_BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Scope",
+    "counter",
+    "gauge",
+    "histogram",
+    "scope",
+    "get_registry",
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "snapshot",
+    "snapshot_delta",
+    "merge_snapshot",
+    "merge_snapshots",
+    "group_families",
+    # tracing
+    "TRACE_HEADER",
+    "TraceCollector",
+    "span",
+    "record_span",
+    "trace",
+    "tracing_active",
+    "start_collecting",
+    "stop_collecting",
+    "current_payload",
+    "format_trace_header",
+    "parse_trace_header",
+    "remote_task",
+    "absorb",
+    "absorb_events",
+    "chrome_trace_document",
+]

@@ -1,0 +1,57 @@
+"""The observability clock: one wall-clock source the whole stack shares.
+
+Every timestamp the observability layer emits — metric snapshot times,
+trace span start times, the index catalog's ``ingested_at`` column — goes
+through :func:`now` instead of calling :func:`time.time` directly.  That
+indirection exists for exactly one reason: tests (and reproducible
+benchmarks) can **freeze** the clock (:func:`freeze` / :func:`frozen`) and
+assert on exact timestamps instead of sleeping around tolerances.
+
+Durations are a different quantity than instants: they come from
+:func:`perf` (``time.perf_counter``), which is monotonic and deliberately
+*not* freezable — a frozen duration would make every span and histogram
+observation zero-width, which is never what a test wants.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["now", "perf", "freeze", "unfreeze", "frozen"]
+
+_FROZEN: "float | None" = None
+
+
+def now() -> float:
+    """Seconds since the epoch — or the frozen instant, when frozen."""
+    return time.time() if _FROZEN is None else _FROZEN
+
+
+def perf() -> float:
+    """Monotonic high-resolution timer for durations (never frozen)."""
+    return time.perf_counter()
+
+
+def freeze(at: float) -> None:
+    """Pin :func:`now` to ``at`` until :func:`unfreeze` (tests only)."""
+    global _FROZEN
+    _FROZEN = float(at)
+
+
+def unfreeze() -> None:
+    """Let :func:`now` follow the real clock again."""
+    global _FROZEN
+    _FROZEN = None
+
+
+@contextmanager
+def frozen(at: float):
+    """Context-managed :func:`freeze` that restores the previous state."""
+    global _FROZEN
+    previous = _FROZEN
+    _FROZEN = float(at)
+    try:
+        yield
+    finally:
+        _FROZEN = previous

@@ -1,0 +1,492 @@
+"""The process-wide metrics registry: counters, gauges, log-bucket histograms.
+
+This generalises the latency histogram PR 8 grew inside ``server.py`` into
+a layer every subsystem records into under one namespace::
+
+    from repro import obs
+    _METRICS = obs.scope("engine")
+    _BLOCKS = _METRICS.counter("blocks")          # "engine.blocks"
+    _SWEEP = _METRICS.histogram("sweep_seconds")  # "engine.sweep_seconds"
+
+Design constraints, in priority order:
+
+* **cheap when disabled** — every recording call (``inc`` / ``set`` /
+  ``observe``) starts with one shared-flag check and returns without
+  taking a lock or allocating anything, so instrumentation woven into the
+  kernels costs nothing measurable when the registry is off (the
+  ``BENCH_obs_overhead`` gate holds the disabled path under 2% of a 16k
+  STOMP);
+* **snapshot / delta semantics** — :meth:`MetricsRegistry.snapshot`
+  captures the whole registry as one plain dict; :func:`snapshot_delta`
+  subtracts an earlier snapshot, which is what gives ``GET /metrics`` its
+  ``?since=`` windowed form (the PR 8 follow-up: counters used to be
+  process-lifetime only);
+* **associative merge** — :func:`merge_snapshots` folds worker-process
+  snapshots into the parent's; counters and histograms add, gauges are
+  last-writer-wins, and the operation is associative so a tree of workers
+  can merge in any grouping and agree on the totals.
+
+Metric identity is the dotted name; the segment before the first dot is
+the metric's **family** (``engine``, ``kernel``, ``cache``, ``store``,
+``index``, ``service``, ``valmod``), which is how ``/metrics`` groups the
+document.  One module-level default registry serves the process; code
+that needs isolation (tests, merges) builds its own
+:class:`MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping
+
+from repro.obs import clock
+
+__all__ = [
+    "LATENCY_BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Scope",
+    "get_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "scope",
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "snapshot",
+    "merge_snapshot",
+    "snapshot_delta",
+    "merge_snapshots",
+    "group_families",
+]
+
+#: Histogram bucket upper bounds (seconds): 25 log-spaced buckets, four per
+#: decade, 100 microseconds to 100 seconds — exactly the bounds the service
+#: latency histograms shipped with in PR 8, now shared by every family so
+#: ``/metrics`` keeps serving one ``bounds`` array.
+LATENCY_BUCKET_BOUNDS = tuple(10.0 ** (-4 + i / 4) for i in range(25))
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "_on", "_lock", "_value")
+
+    def __init__(self, name: str, on: List[bool], lock: threading.Lock) -> None:
+        self.name = name
+        self._on = on
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (no-op, no allocation, when the registry is off)."""
+        if not self._on[0]:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (last write wins, also across merges)."""
+
+    __slots__ = ("name", "_on", "_lock", "_value")
+
+    def __init__(self, name: str, on: List[bool], lock: threading.Lock) -> None:
+        self.name = name
+        self._on = on
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value (no-op when the registry is off)."""
+        if not self._on[0]:
+            return
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Log-bucket histogram (count, sum, per-bucket counts).
+
+    The bucket layout is ``len(bounds) + 1`` counts: observations larger
+    than the last bound land in the overflow bucket, mirroring the PR 8
+    service histogram bit for bit.
+    """
+
+    __slots__ = ("name", "bounds", "_on", "_lock", "_counts", "_count", "_sum")
+
+    def __init__(
+        self,
+        name: str,
+        on: List[bool],
+        lock: threading.Lock,
+        bounds: tuple = LATENCY_BUCKET_BOUNDS,
+    ) -> None:
+        self.name = name
+        self.bounds = tuple(float(bound) for bound in bounds)
+        self._on = on
+        self._lock = lock
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (no-op when the registry is off)."""
+        if not self._on[0]:
+            return
+        with self._lock:
+            self._counts[bisect_left(self.bounds, value)] += 1
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding the
+        q-th observation (``inf`` for the overflow bucket, 0.0 when empty)."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            seen = 0
+            for index, bucket in enumerate(self._counts):
+                seen += bucket
+                if seen >= rank and bucket:
+                    if index >= len(self.bounds):
+                        return float("inf")
+                    return self.bounds[index]
+        return float("inf")
+
+    def as_dict(self) -> dict:
+        """JSON-ready ``{"count", "sum", "counts"}`` (the PR 8 wire shape)."""
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "counts": list(self._counts),
+            }
+
+
+class Scope:
+    """A named prefix over a registry: ``scope("engine").counter("blocks")``
+    registers ``engine.blocks``."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(f"{self._prefix}.{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(f"{self._prefix}.{name}")
+
+    def histogram(self, name: str, bounds: tuple = LATENCY_BUCKET_BOUNDS) -> Histogram:
+        return self._registry.histogram(f"{self._prefix}.{name}", bounds=bounds)
+
+
+class MetricsRegistry:
+    """One process's metric namespace.
+
+    ``enabled`` defaults to the ``REPRO_OBS`` environment variable (on
+    unless set to ``0`` / ``off`` / ``false``) so worker processes spawned
+    by a pool inherit the parent's choice through the environment.
+    """
+
+    def __init__(self, enabled: "bool | None" = None) -> None:
+        if enabled is None:
+            enabled = os.environ.get("REPRO_OBS", "1").strip().lower() not in (
+                "0",
+                "off",
+                "false",
+                "no",
+            )
+        self._lock = threading.Lock()
+        # The enabled flag lives in a one-element list shared with every
+        # metric object: the recording fast path reads one cell, no
+        # attribute chain back through the registry.
+        self._on: List[bool] = [bool(enabled)]
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name, self._on, self._lock)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name, self._on, self._lock)
+            return metric
+
+    def histogram(self, name: str, bounds: tuple = LATENCY_BUCKET_BOUNDS) -> Histogram:
+        """Get or create the named histogram."""
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(
+                    name, self._on, self._lock, bounds
+                )
+            return metric
+
+    def scope(self, prefix: str) -> Scope:
+        """A dotted-prefix view (``scope("engine").counter("blocks")``)."""
+        return Scope(self, prefix)
+
+    # ------------------------------------------------------------------ #
+    # enable / disable
+    # ------------------------------------------------------------------ #
+    @property
+    def enabled(self) -> bool:
+        return self._on[0]
+
+    def set_enabled(self, flag: bool) -> None:
+        self._on[0] = bool(flag)
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """The whole registry as one plain (picklable, JSON-ready) dict."""
+        with self._lock:
+            return {
+                "at": clock.now(),
+                "counters": {
+                    name: metric._value for name, metric in self._counters.items()
+                },
+                "gauges": {
+                    name: metric._value for name, metric in self._gauges.items()
+                },
+                "histograms": {
+                    name: {
+                        "bounds": list(metric.bounds),
+                        "count": metric._count,
+                        "sum": metric._sum,
+                        "counts": list(metric._counts),
+                    }
+                    for name, metric in self._histograms.items()
+                },
+            }
+
+    def merge_snapshot(self, delta: "Mapping | None") -> None:
+        """Fold a snapshot (typically a worker's delta) into the live
+        registry: counters and histograms add, gauges overwrite."""
+        if not delta:
+            return
+        for name, amount in delta.get("counters", {}).items():
+            if amount:
+                metric = self.counter(name)
+                with self._lock:
+                    metric._value += int(amount)
+        for name, value in delta.get("gauges", {}).items():
+            metric = self.gauge(name)
+            with self._lock:
+                metric._value = value
+        for name, payload in delta.get("histograms", {}).items():
+            if not payload.get("count"):
+                continue
+            metric = self.histogram(name, bounds=tuple(payload["bounds"]))
+            with self._lock:
+                if len(payload["counts"]) == len(metric._counts):
+                    for index, bucket in enumerate(payload["counts"]):
+                        metric._counts[index] += bucket
+                    metric._count += int(payload["count"])
+                    metric._sum += float(payload["sum"])
+
+    def reset(self) -> None:
+        """Zero every metric (tests; production windows use deltas instead)."""
+        with self._lock:
+            for metric in self._counters.values():
+                metric._value = 0
+            for metric in self._gauges.values():
+                metric._value = 0.0
+            for metric in self._histograms.values():
+                metric._counts = [0] * len(metric._counts)
+                metric._count = 0
+                metric._sum = 0.0
+
+
+def snapshot_delta(current: Mapping, earlier: "Mapping | None") -> dict:
+    """``current - earlier`` for counters/histograms; gauges keep their
+    current value but only appear when they *changed* inside the window.
+
+    The changed-only gauge rule matters for worker harvests: a pool
+    worker's delta would otherwise carry every gauge its registry merely
+    *declared* (at import time, value 0.0), and the last-wins gauge merge
+    in :func:`merge_snapshots` / :meth:`MetricsRegistry.merge_snapshot`
+    would clobber a value the parent actually set (e.g. the service's
+    ``prewarm_seconds``, which only the parent ever writes).
+
+    ``earlier=None`` returns ``current`` unchanged (the full window).  A
+    metric absent from ``earlier`` contributes its full current value.
+    """
+    if not earlier:
+        return dict(current)
+    earlier_counters = earlier.get("counters", {})
+    earlier_gauges = earlier.get("gauges", {})
+    earlier_histograms = earlier.get("histograms", {})
+    delta = {
+        "at": current.get("at"),
+        "since": earlier.get("at"),
+        "counters": {
+            name: value - earlier_counters.get(name, 0)
+            for name, value in current.get("counters", {}).items()
+        },
+        "gauges": {
+            name: value
+            for name, value in current.get("gauges", {}).items()
+            if name not in earlier_gauges or earlier_gauges[name] != value
+        },
+        "histograms": {},
+    }
+    for name, payload in current.get("histograms", {}).items():
+        before = earlier_histograms.get(name)
+        if before is None or before.get("bounds") != payload.get("bounds"):
+            delta["histograms"][name] = dict(payload)
+            continue
+        delta["histograms"][name] = {
+            "bounds": list(payload["bounds"]),
+            "count": payload["count"] - before["count"],
+            "sum": payload["sum"] - before["sum"],
+            "counts": [
+                bucket - prior
+                for bucket, prior in zip(payload["counts"], before["counts"])
+            ],
+        }
+    return delta
+
+
+def merge_snapshots(first: "Mapping | None", second: "Mapping | None") -> dict:
+    """Combine two snapshots: counters/histograms add, gauges last-wins.
+
+    Associative by construction (addition is, and gauge overwrite composes
+    left to right), so worker snapshots can fold into the parent in any
+    grouping — the property the cross-process merge tests pin.
+    """
+    if not first:
+        return dict(second or {"counters": {}, "gauges": {}, "histograms": {}})
+    if not second:
+        return dict(first)
+    merged = {
+        "at": max(first.get("at") or 0.0, second.get("at") or 0.0),
+        "counters": dict(first.get("counters", {})),
+        "gauges": dict(first.get("gauges", {})),
+        "histograms": {
+            name: dict(payload)
+            for name, payload in first.get("histograms", {}).items()
+        },
+    }
+    for name, value in second.get("counters", {}).items():
+        merged["counters"][name] = merged["counters"].get(name, 0) + value
+    merged["gauges"].update(second.get("gauges", {}))
+    for name, payload in second.get("histograms", {}).items():
+        existing = merged["histograms"].get(name)
+        if existing is None or existing.get("bounds") != payload.get("bounds"):
+            merged["histograms"][name] = dict(payload)
+            continue
+        merged["histograms"][name] = {
+            "bounds": list(payload["bounds"]),
+            "count": existing["count"] + payload["count"],
+            "sum": existing["sum"] + payload["sum"],
+            "counts": [
+                mine + theirs
+                for mine, theirs in zip(existing["counts"], payload["counts"])
+            ],
+        }
+    return merged
+
+
+def group_families(snapshot: "Mapping | None") -> dict:
+    """A snapshot regrouped by metric family.
+
+    The family is the name segment before the first dot (``engine``,
+    ``cache``, ``store``, ``valmod``, ...), so a consumer — ``GET
+    /metrics``, the ``metrics`` CLI command — can pick one layer without
+    knowing every metric name in advance.  Each family maps to
+    ``{"counters": ..., "gauges": ..., "histograms": ...}`` keyed by the
+    remainder of the metric name.
+    """
+    families: dict = {}
+    if not snapshot:
+        return families
+    for section in ("counters", "gauges", "histograms"):
+        for name, value in (snapshot.get(section) or {}).items():
+            family, _, rest = name.partition(".")
+            slot = families.setdefault(
+                family, {"counters": {}, "gauges": {}, "histograms": {}}
+            )
+            slot[section][rest or name] = value
+    return families
+
+
+# --------------------------------------------------------------------- #
+# the process-default registry
+# --------------------------------------------------------------------- #
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-default registry every module-level scope records into."""
+    return _DEFAULT
+
+
+def counter(name: str) -> Counter:
+    return _DEFAULT.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _DEFAULT.gauge(name)
+
+
+def histogram(name: str, bounds: tuple = LATENCY_BUCKET_BOUNDS) -> Histogram:
+    return _DEFAULT.histogram(name, bounds=bounds)
+
+
+def scope(prefix: str) -> Scope:
+    return _DEFAULT.scope(prefix)
+
+
+def metrics_enabled() -> bool:
+    return _DEFAULT.enabled
+
+
+def set_metrics_enabled(flag: bool) -> None:
+    _DEFAULT.set_enabled(flag)
+
+
+def snapshot() -> dict:
+    return _DEFAULT.snapshot()
+
+
+def merge_snapshot(delta: "Mapping | None") -> None:
+    _DEFAULT.merge_snapshot(delta)

@@ -33,6 +33,7 @@ from urllib.parse import quote
 
 import numpy as np
 
+from repro import obs
 from repro.api.cache import series_digest
 from repro.api.requests import AnalysisRequest, AnalysisResult
 from repro.exceptions import InvalidParameterError, SerializationError, ServiceError
@@ -142,6 +143,14 @@ class ServiceClient:
             connection = self._connection
             try:
                 headers = {"Content-Type": content_type} if body else {}
+                # When a trace is being collected client-side, every request
+                # carries the current trace position so server-side spans
+                # (queue wait, session run, engine blocks, kernel sweeps —
+                # across the server's worker processes) join this client's
+                # tree.
+                trace_header = obs.format_trace_header(obs.current_payload())
+                if trace_header is not None:
+                    headers[obs.TRACE_HEADER] = trace_header
                 connection.request(method, path, body=body, headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
@@ -197,16 +206,22 @@ class ServiceClient:
         counters under the ``"index"`` key."""
         return self._get("/stats")
 
-    def metrics(self) -> dict:
-        """The server's latency histograms (``GET /metrics``).
+    def metrics(self, *, since: str | None = None) -> dict:
+        """The server's metrics document (``GET /metrics``).
 
-        ``{"bounds": [...], "phases": [...], "kinds": {kind: {phase:
-        {"count", "sum", "counts"}}}}`` — fixed log-spaced buckets, so two
-        scrapes diff (and different servers sum) bucket-by-bucket;
-        :func:`repro.harness.tables.metrics_rows` flattens the document
-        into harness table rows.
+        The latency-histogram half is ``{"bounds": [...], "phases": [...],
+        "kinds": {kind: {phase: {"count", "sum", "counts"}}}}`` — fixed
+        log-spaced buckets, so two scrapes diff (and different servers sum)
+        bucket-by-bucket; :func:`repro.harness.tables.metrics_rows`
+        flattens the document into harness table rows.  The registry half
+        adds ``families`` (every obs counter/gauge/histogram grouped by
+        layer), plus a ``token`` naming this scrape's snapshot: pass it
+        back as ``since`` and the next document's ``families`` holds the
+        *delta* since that scrape (``"window": "delta"``) instead of
+        process-lifetime totals.
         """
-        return self._get("/metrics")
+        path = "/metrics" if since is None else f"/metrics?since={quote(since)}"
+        return self._get(path)
 
     def query(self, query="") -> dict:
         """Query the server's motif/discord catalog (``GET /query``).
@@ -344,9 +359,18 @@ class ServiceClient:
         return status, payload
 
     def _post_analyze(self, document: dict) -> Tuple[int, dict]:
-        return self._exchange(
+        status, payload = self._exchange(
             "POST", "/analyze", json.dumps(document).encode("utf-8")
         )
+        if isinstance(payload, dict):
+            # Server-side spans ride home in the response; fold them into
+            # whatever trace is being collected here.  The key is popped so
+            # result parsing and cached-payload comparisons never see
+            # transport metadata.
+            envelope = payload.pop("trace", None)
+            if isinstance(envelope, dict):
+                obs.absorb_events(envelope.get("events"))
+        return status, payload
 
     def analyze(
         self,
@@ -363,9 +387,15 @@ class ServiceClient:
         :class:`~repro.exceptions.ServiceError` (with the HTTP status) on
         any non-200 response.
         """
-        status, payload = self.analyze_raw(
-            series, request, series_name=series_name, request_id=request_id
+        kind = (
+            request.kind
+            if isinstance(request, AnalysisRequest)
+            else dict(request).get("kind")
         )
+        with obs.span("client.analyze", kind=kind):
+            status, payload = self.analyze_raw(
+                series, request, series_name=series_name, request_id=request_id
+            )
         self._raise_for_status(status, payload, "analysis request failed")
         try:
             result = AnalysisResult.from_dict(payload["result"])

@@ -97,19 +97,18 @@ is full.
 from __future__ import annotations
 
 import asyncio
-import bisect
 import json
-import math
 import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Tuple, Union
 from urllib.parse import parse_qsl, unquote
 
 import numpy as np
 
+from repro import obs
 from repro.api.cache import CacheConfig, series_digest
 from repro.api.registry import capabilities
 from repro.api.requests import AnalysisRequest, AnalysisResult
@@ -158,13 +157,26 @@ _COMPLETION_HISTORY = 4096
 _MAX_PIPELINE_DEPTH = 64
 
 #: Latency histogram bucket upper bounds: 100µs to 100s, four buckets per
-#: decade.  Fixed and log-spaced so histograms from different processes (or
-#: different /metrics scrapes) can be summed bucket-by-bucket.
-_LATENCY_BUCKET_BOUNDS = tuple(10.0 ** (-4 + i / 4) for i in range(25))
+#: decade.  Since PR 10 the canonical copy lives in the obs registry
+#: (:data:`repro.obs.LATENCY_BUCKET_BOUNDS`); the alias keeps the service's
+#: wire shape (`/metrics` ``bounds``) pinned to it by construction.
+_LATENCY_BUCKET_BOUNDS = obs.LATENCY_BUCKET_BOUNDS
 #: The phases each /analyze job is timed over: queue wait (enqueue to
 #: dequeue), execute (dequeue to completion) and total (receipt to
 #: completion — what the client experiences minus the socket).
 _METRIC_PHASES = ("queue", "execute", "total")
+
+#: How many ``/metrics`` snapshots the service retains for ``?since=``
+#: windowing.  A scraper that falls more than this many scrapes behind gets
+#: the full (process-lifetime) document back, flagged ``"window": "full"``.
+_METRIC_SNAPSHOT_RING = 32
+
+_SERVICE_METRICS = obs.scope("service")
+_REQUESTS_RECEIVED = _SERVICE_METRICS.counter("requests_received")
+_REQUESTS_COMPLETED = _SERVICE_METRICS.counter("requests_completed")
+_REQUESTS_FAILED = _SERVICE_METRICS.counter("requests_failed")
+_REQUESTS_REJECTED = _SERVICE_METRICS.counter("requests_rejected")
+_PREWARM_GAUGE = _SERVICE_METRICS.gauge("prewarm_seconds")
 
 #: Per-process cap of worker-side Analysis sessions (process workers).  A
 #: worker serves many jobs over few distinct series; a handful of slots
@@ -173,70 +185,42 @@ _METRIC_PHASES = ("queue", "execute", "total")
 _WORKER_SESSION_SLOTS = 4
 
 
-class _LatencyHistogram:
-    """One fixed-bucket latency histogram (event-loop-thread only).
-
-    Counts land via :func:`bisect.bisect_left` over the shared bound table;
-    the final slot is the overflow bucket.  Quantiles are read as the upper
-    bound of the bucket containing the rank — an upper estimate, exact
-    enough for dashboards and the regression tests' monotonicity checks.
-    """
-
-    __slots__ = ("counts", "count", "total")
-
-    def __init__(self) -> None:
-        self.counts = [0] * (len(_LATENCY_BUCKET_BOUNDS) + 1)
-        self.count = 0
-        self.total = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self.counts[bisect.bisect_left(_LATENCY_BUCKET_BOUNDS, seconds)] += 1
-        self.count += 1
-        self.total += seconds
-
-    def quantile(self, q: float) -> float | None:
-        """Upper-bound estimate of the ``q``-quantile (``None`` when empty)."""
-        if not self.count:
-            return None
-        rank = max(1, math.ceil(float(q) * self.count))
-        seen = 0
-        for index, bucket in enumerate(self.counts):
-            seen += bucket
-            if seen >= rank:
-                bounded = min(index, len(_LATENCY_BUCKET_BOUNDS) - 1)
-                return _LATENCY_BUCKET_BOUNDS[bounded]
-        return _LATENCY_BUCKET_BOUNDS[-1]
-
-    def as_dict(self) -> dict:
-        return {"count": self.count, "sum": self.total, "counts": list(self.counts)}
-
-    def summary(self) -> dict:
-        return {
-            "count": self.count,
-            "mean": (self.total / self.count) if self.count else None,
-            "p50": self.quantile(0.5),
-            "p95": self.quantile(0.95),
-        }
-
-
 class _ServiceMetrics:
     """Per-request-kind latency histograms behind ``GET /metrics``.
 
-    Observations arrive only from the worker loops — coroutines on the
-    event-loop thread — so no locking is needed; the routes that read the
-    histograms run on the same thread.
+    Since PR 10 each ``(kind, phase)`` slot is a registry histogram named
+    ``service.<kind>.<phase>`` — what used to be a private ``server.py``
+    structure is just a view over :mod:`repro.obs`, so the same numbers are
+    visible to ``repro metrics``, snapshot deltas and cross-process merges.
+    The PR 8 wire shape (``bounds`` / ``phases`` / ``kinds``) is preserved
+    verbatim; :meth:`AnalysisService._metrics_document` layers the new
+    windowed registry view on top.
     """
 
     def __init__(self) -> None:
-        self._kinds: "Dict[str, Dict[str, _LatencyHistogram]]" = {}
+        # A private registry (always on) rather than the process default:
+        # latency numbers are per-service-instance — two services in one
+        # test process must not bleed counts into each other — and they
+        # must keep recording even when ``REPRO_OBS=0`` silences the
+        # hot-path instrumentation (the PR 8 behaviour).  The /metrics
+        # document merges this registry's snapshot with the global one.
+        self._registry = obs.MetricsRegistry(enabled=True)
+        self._kinds: "Dict[str, Dict[str, obs.Histogram]]" = {}
 
     def observe(self, kind: str, **phases: float) -> None:
         slot = self._kinds.get(kind)
         if slot is None:
-            slot = {phase: _LatencyHistogram() for phase in _METRIC_PHASES}
+            slot = {
+                phase: self._registry.histogram(f"service.{kind}.{phase}")
+                for phase in _METRIC_PHASES
+            }
             self._kinds[kind] = slot
         for phase, seconds in phases.items():
             slot[phase].observe(max(0.0, float(seconds)))
+
+    def registry_snapshot(self) -> dict:
+        """This service's latency histograms as a registry snapshot."""
+        return self._registry.snapshot()
 
     def document(self) -> dict:
         """The full ``/metrics`` payload (bounds shared across histograms)."""
@@ -249,10 +233,30 @@ class _ServiceMetrics:
             },
         }
 
+    @staticmethod
+    def _quantile(hist: "obs.Histogram", q: float) -> float | None:
+        if not hist.count:
+            return None
+        value = hist.quantile(q)
+        # The overflow bucket has no upper bound; report the last finite
+        # bound (the pre-registry behaviour, and JSON-safe).
+        if value == float("inf"):
+            return hist.bounds[-1]
+        return value
+
+    def _summarise(self, hist: "obs.Histogram") -> dict:
+        count = hist.count
+        return {
+            "count": count,
+            "mean": (hist.sum / count) if count else None,
+            "p50": self._quantile(hist, 0.5),
+            "p95": self._quantile(hist, 0.95),
+        }
+
     def summary(self) -> dict:
         """Compact per-kind summaries (count/mean/p50/p95) for ``/stats``."""
         return {
-            kind: {phase: hist.summary() for phase, hist in slot.items()}
+            kind: {phase: self._summarise(hist) for phase, hist in slot.items()}
             for kind, slot in self._kinds.items()
         }
 
@@ -300,6 +304,12 @@ class ServiceConfig:
         every computed result is indexed automatically, ``GET /query``
         answers cross-series motif/discord queries over it, and store
         evictions prune its rows.  Without it ``/query`` answers 404.
+    prewarm:
+        When true and the worker kind is ``"process"``, :meth:`start`
+        spawns the pool and round-trips a ping through every worker before
+        the socket accepts traffic, so the first request does not pay the
+        multi-hundred-millisecond pool spawn.  The measured warm-up time is
+        published as the ``service.prewarm_seconds`` gauge.
     """
 
     host: str = "127.0.0.1"
@@ -313,6 +323,7 @@ class ServiceConfig:
     store_dir: object | None = None
     store_max_bytes: int | None = DEFAULT_STORE_MAX_BYTES
     index_dir: object | None = None
+    prewarm: bool = False
 
     def __post_init__(self) -> None:
         if int(self.workers) < 1:
@@ -452,6 +463,11 @@ class _Job:
     #: derives the queue-wait and total latencies from these.
     received_at: float = 0.0
     enqueued_at: float = 0.0
+    #: ``time.time()`` at enqueue — trace spans are wall-clock based.
+    enqueued_wall: float = 0.0
+    #: Parsed ``X-Repro-Trace`` payload (or ``None``): the executing path
+    #: adopts it so server-side spans join the client's trace tree.
+    trace: object = None
 
 
 @dataclass(frozen=True)
@@ -469,6 +485,10 @@ class _WorkerTask:
     series_name: str
     request: dict
     engine: dict
+    #: Parent obs payload (or ``None``): the worker process adopts it,
+    #: records its spans/metrics locally and ships the harvest back under
+    #: the ``"obs"`` key of its result document.
+    trace: object = None
 
 
 #: Worker-process session LRU, keyed by series digest.  Reusing a session
@@ -508,10 +528,21 @@ def _execute_worker_task(task: _WorkerTask) -> dict:
     the pool boundary as-is (the hierarchy pickles), keeping the parent's
     error mapping identical to the thread path.
     """
-    session = _worker_session(task)
-    request = AnalysisRequest.from_dict(task.request)
-    result, source = session.run_with_info(request)
-    return {"cache": source, "result": result.as_dict()}
+    if task.trace is None:
+        session = _worker_session(task)
+        request = AnalysisRequest.from_dict(task.request)
+        result, source = session.run_with_info(request)
+        return {"cache": source, "result": result.as_dict()}
+    with obs.remote_task(task.trace, skip_same_process=True) as remote:
+        with obs.span("service.worker", kind=task.request.get("kind")):
+            session = _worker_session(task)
+            request = AnalysisRequest.from_dict(task.request)
+            result, source = session.run_with_info(request)
+    document = {"cache": source, "result": result.as_dict()}
+    blob = remote.harvest()
+    if blob is not None:
+        document["obs"] = blob
+    return document
 
 
 class AnalysisService:
@@ -559,6 +590,12 @@ class AnalysisService:
         self._futures_flushed = asyncio.Event()
         self._futures_flushed.set()
         self._metrics = _ServiceMetrics()
+        #: Retained /metrics snapshots keyed by their opaque window token —
+        #: a scraper passing ``?since=<token>`` gets the delta against the
+        #: snapshot that token named (the "no windowing" fix: counters no
+        #: longer have to be diffed client-side against a process lifetime).
+        self._metric_snapshots: "OrderedDict[str, dict]" = OrderedDict()
+        self._metric_window_seq = 0
         self._zero_copy = 0
         self._sequence = 0
         self._received = 0
@@ -612,6 +649,15 @@ class AnalysisService:
                 # cannot host one already warned and degrades to threads.
                 if candidate.uses_processes:
                     self._compute = candidate
+            if self._config.prewarm and self._compute is not None:
+                # Round-trip a ping through every pool worker before the
+                # socket accepts traffic: the first request pays neither the
+                # pool spawn nor the interpreter start of its worker.  Off
+                # the event loop — spawning is hundreds of milliseconds.
+                warmed = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, self._compute.prewarm
+                )
+                _PREWARM_GAUGE.set(float(warmed))
             self._workers = [
                 asyncio.get_running_loop().create_task(self._worker_loop())
                 for _ in range(self._config.workers)
@@ -729,10 +775,12 @@ class AnalysisService:
                 raise
             except ReproError as error:
                 self._failed += 1
+                _REQUESTS_FAILED.inc()
                 if not job.future.done():
                     job.future.set_exception(error)
             except Exception as error:  # defensive: a worker must never die
                 self._failed += 1
+                _REQUESTS_FAILED.inc()
                 if not job.future.done():
                     job.future.set_exception(
                         ServiceError(f"internal error: {error}", status=500)
@@ -740,6 +788,7 @@ class AnalysisService:
             else:
                 done = time.monotonic()
                 self._completed += 1
+                _REQUESTS_COMPLETED.inc()
                 self._completion_order.append(job.sequence)
                 self._metrics.observe(
                     job.request.kind,
@@ -755,6 +804,23 @@ class AnalysisService:
 
     def _execute_job(self, job: _Job) -> dict:
         """Runs on an executor thread: resolve the session, run, envelope."""
+        if job.trace is None:
+            return self._execute_job_inner(job)
+        # Same-process adoption: metric recordings already land in the live
+        # registry, so only span events are captured and shipped back (in
+        # the response envelope's "trace" key, for the client to absorb).
+        with obs.remote_task(job.trace, capture_metrics=False) as remote:
+            with obs.span(
+                "service.request", kind=job.request.kind, worker="thread"
+            ):
+                self._record_queue_span(job)
+                payload = self._execute_job_inner(job)
+        blob = remote.harvest()
+        if blob is not None and blob.get("events"):
+            payload["trace"] = {"events": blob["events"]}
+        return payload
+
+    def _execute_job_inner(self, job: _Job) -> dict:
         session, lock = self._pool.get_or_create(
             job.digest, job.values, job.series_name
         )
@@ -767,10 +833,45 @@ class AnalysisService:
             "result": result.as_dict(),
         }
 
+    @staticmethod
+    def _record_queue_span(job: _Job) -> None:
+        """One leaf span for the time the job sat in the request queue."""
+        if job.enqueued_wall:
+            queued = max(0.0, time.time() - job.enqueued_wall)
+            obs.record_span("service.queue", job.enqueued_wall, queued)
+
     # ------------------------------------------------------------------ #
     # the process data plane
     # ------------------------------------------------------------------ #
     async def _execute_job_process(self, job: _Job, loop) -> dict:
+        """Adopt the client's trace context around the process data plane.
+
+        The remote-task context lives on this coroutine (ContextVars are
+        task-local, so concurrent jobs do not cross-pollinate); the worker
+        process's harvested spans are absorbed into the same buffer mid
+        flight, and the combined tree travels back in the response
+        envelope's ``"trace"`` key.
+        """
+        if job.trace is None:
+            return await self._process_plane(job, loop)
+        with obs.remote_task(job.trace, capture_metrics=False) as remote:
+            with obs.span(
+                "service.request", kind=job.request.kind, worker="process"
+            ):
+                self._record_queue_span(job)
+                payload = await self._process_plane(job, loop)
+        blob = remote.harvest()
+        if blob is not None and blob.get("events"):
+            events = list(blob["events"])
+            existing = payload.get("trace")
+            if existing and existing.get("events"):
+                # The serialization fallback already attached a thread-path
+                # tree; keep both sides' spans.
+                events.extend(existing["events"])
+            payload["trace"] = {"events": events}
+        return payload
+
+    async def _process_plane(self, job: _Job, loop) -> dict:
         """Probe in the parent, compute in a worker process, adopt back.
 
         The cache probe and the adoption run on the thread executor (they
@@ -787,8 +888,12 @@ class AnalysisService:
             request_dict = job.request.as_dict()
         except SerializationError:
             # Params that resist JSON resist pickling predictably too; the
-            # thread path computes them in-process.
-            return await loop.run_in_executor(self._executor, self._execute_job, job)
+            # thread path computes them in-process.  The trace is stripped:
+            # the caller already opened the request span, and _execute_job
+            # would otherwise start a second tree for the same job.
+            return await loop.run_in_executor(
+                self._executor, self._execute_job, replace(job, trace=None)
+            )
         series_ref: object = job.values
         if self._store is not None:
             handle = await loop.run_in_executor(
@@ -808,6 +913,11 @@ class AnalysisService:
             series_name=job.series_name,
             request=request_dict,
             engine=engine,
+            # Captured *here*, inside the request span when one is open, so
+            # the worker's spans parent under it; also non-None whenever
+            # metrics are on, which is what ships the worker-process metric
+            # delta home even for untraced requests.
+            trace=obs.current_payload(),
         )
         try:
             document = await loop.run_in_executor(
@@ -817,6 +927,9 @@ class AnalysisService:
             raise ServiceError(
                 f"the worker process pool died: {error}", status=500
             ) from error
+        # Spans join the open buffer (or collector), the metric delta folds
+        # into the live registry.
+        obs.absorb(document.pop("obs", None))
         return await loop.run_in_executor(
             self._executor, self._adopt_computed, job, document
         )
@@ -896,10 +1009,12 @@ class AnalysisService:
                 if head is None:
                     return  # clean close or idle timeout between requests
                 first = False
-                method, target, content_length, keep_alive = head
+                method, target, content_length, keep_alive, trace_header = head
                 try:
                     outcome: "Union[Tuple[int, dict], asyncio.Future]" = (
-                        await self._dispatch(method, target, content_length, reader)
+                        await self._dispatch(
+                            method, target, content_length, reader, trace_header
+                        )
                     )
                 except (
                     asyncio.IncompleteReadError,
@@ -1025,6 +1140,7 @@ class AnalysisService:
         target: str,
         content_length: int,
         reader: asyncio.StreamReader,
+        trace_header: str | None = None,
     ) -> "Union[Tuple[int, dict], asyncio.Future]":
         """Route one request, deciding how its body is consumed.
 
@@ -1053,14 +1169,17 @@ class AnalysisService:
                     reader.readexactly(content_length),
                     timeout=_BODY_TIMEOUT_SECONDS,
                 )
-        return await self._route(method, path, body, target.partition("?")[2])
+        return await self._route(
+            method, path, body, target.partition("?")[2], trace_header
+        )
 
     async def _read_head(
         self, reader: asyncio.StreamReader, *, idle_ok: bool
-    ) -> Tuple[str, str, int, bool] | None:
+    ) -> Tuple[str, str, int, bool, "str | None"] | None:
         """Read one request line + headers.
 
-        Returns ``(method, path_with_query, content_length, keep_alive)``,
+        Returns ``(method, path_with_query, content_length, keep_alive,
+        trace_header)``,
         or ``None`` for a connection that ended cleanly: EOF before the
         request line, or (between keep-alive requests, ``idle_ok``) an idle
         timeout.  Reading happens WITHOUT an intake permit (an idle socket
@@ -1086,6 +1205,7 @@ class AnalysisService:
         # client to opt in.  A Connection: close header always wins.
         keep_alive = version.upper() == "HTTP/1.1"
         content_length = 0
+        trace_header: "str | None" = None
         while True:
             line = await asyncio.wait_for(
                 reader.readline(), timeout=_HEADER_TIMEOUT_SECONDS
@@ -1098,6 +1218,8 @@ class AnalysisService:
             name = name.strip().lower()
             if name == "content-length":
                 content_length = int(value.strip())
+            elif name == obs.TRACE_HEADER.lower():
+                trace_header = value.strip()
             elif name == "connection":
                 token = value.strip().lower()
                 if token == "close":
@@ -1116,7 +1238,7 @@ class AnalysisService:
         )
         if content_length < 0 or content_length > cap:
             raise ServiceError("invalid content length", status=400)
-        return method, target, content_length, keep_alive
+        return method, target, content_length, keep_alive, trace_header
 
     async def _respond(
         self,
@@ -1151,7 +1273,12 @@ class AnalysisService:
         return keep_alive
 
     async def _route(
-        self, method: str, path: str, body: bytes, query: str = ""
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        query: str = "",
+        trace_header: "str | None" = None,
     ) -> "Union[Tuple[int, dict], asyncio.Future]":
         if method == "GET" and path.startswith("/series/"):
             return self._handle_series_get(path)
@@ -1167,11 +1294,11 @@ class AnalysisService:
         if method == "GET" and path == "/stats":
             return 200, self.stats()
         if method == "GET" and path == "/metrics":
-            return 200, self._metrics.document()
+            return 200, self._metrics_document(query)
         if method == "GET" and path == "/query":
             return await self._handle_query(query)
         if method == "POST" and path == "/analyze":
-            return await self._handle_analyze(body)
+            return await self._handle_analyze(body, trace_header)
         if path in (
             "/health",
             "/capabilities",
@@ -1182,6 +1309,47 @@ class AnalysisService:
         ) or path.startswith("/series/"):
             return 405, {"error": f"method {method} not allowed for {path}"}
         return 404, {"error": f"unknown path {path!r}"}
+
+    def _metrics_document(self, query: str) -> dict:
+        """The ``GET /metrics`` document.
+
+        Keeps the PR 8 latency-histogram shape (``bounds``/``phases``/
+        ``kinds``) verbatim and extends it with the registry view:
+
+        * ``families`` — every counter/gauge/histogram in the process
+          registry *and* this service's latency registry, grouped by the
+          name segment before the first dot;
+        * ``token`` — an opaque window token naming the snapshot taken for
+          this response (a bounded ring of them is retained);
+        * ``window`` — ``"full"``, or ``"delta"`` when ``?since=<token>``
+          matched a retained snapshot and ``families`` holds the counter/
+          histogram *deltas* since it (gauges stay current-value).  An
+          expired or unknown token degrades to ``"full"`` — monotonic, so
+          the scraper's rate arithmetic stays safe.
+        """
+        params = dict(parse_qsl(query, keep_blank_values=True))
+        current = obs.merge_snapshots(
+            obs.snapshot(), self._metrics.registry_snapshot()
+        )
+        window = "full"
+        view = current
+        since = params.get("since")
+        if since:
+            earlier = self._metric_snapshots.get(since)
+            if earlier is not None:
+                view = obs.snapshot_delta(current, earlier)
+                window = "delta"
+        self._metric_window_seq += 1
+        token = f"w{self._metric_window_seq}"
+        self._metric_snapshots[token] = current
+        while len(self._metric_snapshots) > _METRIC_SNAPSHOT_RING:
+            self._metric_snapshots.popitem(last=False)
+        document = self._metrics.document()
+        document["at"] = current.get("at")
+        document["token"] = token
+        document["window"] = window
+        document["families"] = obs.group_families(view)
+        return document
 
     async def _handle_query(self, query: str) -> Tuple[int, dict]:
         """Answer one ``GET /query`` over the motif index.
@@ -1374,10 +1542,11 @@ class AnalysisService:
             remaining -= len(chunk)
 
     async def _handle_analyze(
-        self, body: bytes
+        self, body: bytes, trace_header: "str | None" = None
     ) -> "Union[Tuple[int, dict], asyncio.Future]":
         received_at = time.monotonic()
         self._received += 1
+        _REQUESTS_RECEIVED.inc()
         try:
             document = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -1435,12 +1604,15 @@ class AnalysisService:
             request=request,
             future=asyncio.get_running_loop().create_future(),
             received_at=received_at,
+            trace=obs.parse_trace_header(trace_header),
         )
         try:
             job.enqueued_at = time.monotonic()
+            job.enqueued_wall = time.time()
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
             self._rejected += 1
+            _REQUESTS_REJECTED.inc()
             return 503, {
                 "error": f"request queue is full ({self._config.backlog} pending)",
                 "id": job.request_id,

@@ -51,8 +51,16 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import InvalidParameterError, StoreError
 from repro.series.dataseries import DataSeries
+
+_STORE_METRICS = obs.scope("store")
+_BLOB_READS = _STORE_METRICS.counter("blob_reads")
+_BLOB_MISSES = _STORE_METRICS.counter("blob_misses")
+_VERIFY_FAILURES = _STORE_METRICS.counter("verify_failures")
+_EVICTIONS = _STORE_METRICS.counter("evictions")
+_PUTS = _STORE_METRICS.counter("puts")
 
 __all__ = [
     "SeriesStore",
@@ -366,6 +374,7 @@ class SeriesStore:
         """Remove one entry and its blob (lock held)."""
         (self._entries or {}).pop(digest, None)
         self._evictions += 1
+        _EVICTIONS.inc()
         try:
             self.blob_path(digest).unlink()
         except OSError:
@@ -415,6 +424,7 @@ class SeriesStore:
             )
         data = np.ascontiguousarray(values, dtype=np.float64).tobytes()
         digest = hashlib.sha1(data).hexdigest()
+        _PUTS.inc()
         with self._lock:
             entries = self._load_manifest()
             if digest in entries and self.blob_path(digest).is_file():
@@ -443,6 +453,7 @@ class SeriesStore:
         reported as a miss, so the slot heals on the next ``put``).
         """
         if not _is_digest(digest):
+            _BLOB_MISSES.inc()
             return None
         path = self.blob_path(digest)
         # Mapping and hashing happen OUTSIDE the store lock: verifying a
@@ -457,11 +468,15 @@ class SeriesStore:
                     # Present but unmappable (truncated, wrong size):
                     # corrupted — heal the slot.  A plain absent file is the
                     # ordinary miss and drops nothing.
+                    _VERIFY_FAILURES.inc()
                     self._drop(digest)
                     self._write_manifest()
+            _BLOB_MISSES.inc()
             return None
         if hashlib.sha1(memoryview(mapped).cast("B")).hexdigest() != digest:
             del mapped  # release the mapping before unlinking the file
+            _VERIFY_FAILURES.inc()
+            _BLOB_MISSES.inc()
             with self._lock:
                 self._load_manifest()
                 self._drop(digest)
@@ -469,6 +484,7 @@ class SeriesStore:
             return None
         array = mapped.view(np.ndarray)
         array.flags.writeable = False
+        _BLOB_READS.inc()
         with self._lock:
             entries = self._load_manifest()
             if digest not in entries:
